@@ -1,0 +1,43 @@
+//! TFP closed-itemset miner cost on NDS-shaped transaction sets (many nearly
+//! identical node sets with small perturbations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itemset::top_k_closed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn synth_transactions(theta: usize, core: usize, jitter: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..theta)
+        .map(|_| {
+            let mut t: Vec<u32> = (0..core as u32).collect();
+            // Drop a couple of core items and add a couple of noise items.
+            for _ in 0..jitter {
+                if rng.gen_bool(0.5) && !t.is_empty() {
+                    let i = rng.gen_range(0..t.len());
+                    t.remove(i);
+                } else {
+                    t.push(core as u32 + rng.gen_range(0..20));
+                }
+            }
+            t.sort_unstable();
+            t.dedup();
+            t
+        })
+        .collect()
+}
+
+fn bench_tfp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tfp");
+    group.sample_size(20);
+    for (theta, core, jitter) in [(160, 20, 3), (640, 40, 5)] {
+        let txs = synth_transactions(theta, core, jitter, 42);
+        group.bench_function(format!("theta{theta}_core{core}"), |b| {
+            b.iter(|| top_k_closed(&txs, 10, 4, 1_000_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tfp);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Core-pruning ablation (DESIGN.md §5.5): the `(⌈ρ̃⌉, ·)`-core reduction of
+//! paper Line 2 vs running the flow machinery on the whole world.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use densest::solve::{max_density_unpruned, };
+use densest::{max_density, DensityNotion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::{MonteCarlo, WorldSampler};
+use ugraph::datasets;
+
+fn bench_pruning(c: &mut Criterion) {
+    let data = datasets::lastfm_like(42);
+    let mut mc = MonteCarlo::new(&data.graph, StdRng::seed_from_u64(7));
+    let mask = mc.next_mask();
+    let world = data.graph.world_from_mask(&mask);
+
+    // Sanity: both must agree on rho*.
+    assert_eq!(
+        max_density(&world, &DensityNotion::Edge),
+        max_density_unpruned(&world, &DensityNotion::Edge)
+    );
+
+    let mut group = c.benchmark_group("core_pruning/lastfm_world");
+    group.sample_size(10);
+    group.bench_function("pruned", |b| {
+        b.iter(|| max_density(&world, &DensityNotion::Edge))
+    });
+    group.bench_function("unpruned", |b| {
+        b.iter(|| max_density_unpruned(&world, &DensityNotion::Edge))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

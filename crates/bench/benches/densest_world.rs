@@ -1,0 +1,44 @@
+//! Per-world densest-subgraph cost across density notions (the microbench
+//! behind Fig. 16's ordering: edge < cliques/patterns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use densest::{all_densest, DensityNotion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::{MonteCarlo, WorldSampler};
+use ugraph::{datasets, Graph, Pattern};
+
+fn sample_world(name: &str) -> Graph {
+    let data = match name {
+        "karate" => datasets::karate_club(),
+        "intellab" => datasets::intel_lab_like(42),
+        _ => unreachable!(),
+    };
+    let mut mc = MonteCarlo::new(&data.graph, StdRng::seed_from_u64(7));
+    let mask = mc.next_mask();
+    data.graph.world_from_mask(&mask)
+}
+
+fn bench_densest(c: &mut Criterion) {
+    let notions = [
+        ("edge", DensityNotion::Edge),
+        ("3-clique", DensityNotion::Clique(3)),
+        ("4-clique", DensityNotion::Clique(4)),
+        ("2-star", DensityNotion::Pattern(Pattern::two_star())),
+        ("diamond", DensityNotion::Pattern(Pattern::diamond())),
+    ];
+    for dataset in ["karate", "intellab"] {
+        let world = sample_world(dataset);
+        let mut group = c.benchmark_group(format!("all_densest/{dataset}"));
+        group.sample_size(10);
+        for (label, notion) in &notions {
+            group.bench_function(*label, |b| {
+                b.iter(|| all_densest(&world, notion, 10_000))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_densest);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! End-to-end Algorithm 1 and Algorithm 5 costs at fixed θ.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use densest::DensityNotion;
+use mpds::estimate::{top_k_mpds, MpdsConfig};
+use mpds::nds::{top_k_nds, NdsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::MonteCarlo;
+use ugraph::datasets;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let karate = datasets::karate_club();
+    let intel = datasets::intel_lab_like(42);
+
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.bench_function("mpds/karate/theta64", |b| {
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 64, 5);
+        b.iter(|| {
+            let mut mc = MonteCarlo::new(&karate.graph, StdRng::seed_from_u64(7));
+            top_k_mpds(&karate.graph, &mut mc, &cfg)
+        })
+    });
+    group.bench_function("mpds/intellab/theta16", |b| {
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 16, 5);
+        b.iter(|| {
+            let mut mc = MonteCarlo::new(&intel.graph, StdRng::seed_from_u64(7));
+            top_k_mpds(&intel.graph, &mut mc, &cfg)
+        })
+    });
+    group.bench_function("nds/karate/theta64", |b| {
+        let cfg = NdsConfig::new(DensityNotion::Edge, 64, 5, 2);
+        b.iter(|| {
+            let mut mc = MonteCarlo::new(&karate.graph, StdRng::seed_from_u64(7));
+            top_k_nds(&karate.graph, &mut mc, &cfg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Sampling-strategy microbench (Tables XIII–XIV ablation): cost of drawing
+//! one possible world with MC, LP, and RSS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::{LazyPropagation, MonteCarlo, RecursiveStratified, WorldSampler};
+use ugraph::datasets;
+
+fn bench_samplers(c: &mut Criterion) {
+    let data = datasets::lastfm_like(42);
+    let g = &data.graph;
+    let mut group = c.benchmark_group("sampler/next_mask/lastfm");
+    group.sample_size(20);
+    group.bench_function("MC", |b| {
+        let mut s = MonteCarlo::new(g, StdRng::seed_from_u64(1));
+        b.iter(|| s.next_mask())
+    });
+    group.bench_function("LP", |b| {
+        let mut s = LazyPropagation::new(g, StdRng::seed_from_u64(1));
+        b.iter(|| s.next_mask())
+    });
+    group.bench_function("RSS", |b| {
+        let mut s = RecursiveStratified::new(g, 3, StdRng::seed_from_u64(1));
+        b.iter(|| s.next_mask())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Paper §VI-F case study (Figs. 8–15): 3-clique MPDS vs EDS / innermost
+//! core / innermost truss on simulated TD and ASD brain networks — lobes
+//! spanned and hemispheric symmetry.
+
+use mpds::case_studies::brain_case_study;
+use mpds_bench::{fmt, Table};
+use ugraph::brain::Cohort;
+
+fn main() {
+    for cohort in [Cohort::TypicallyDeveloped, Cohort::Asd] {
+        let study = brain_case_study(cohort, 160, 5);
+        let title = match cohort {
+            Cohort::TypicallyDeveloped => "Typically developed (TD) cohort",
+            Cohort::Asd => "ASD cohort",
+        };
+        let mut t = Table::new(
+            &format!("Case study: brain networks — {title}"),
+            &["method", "#ROIs", "lobes spanned", "unpaired nodes", "symmetry", "ROIs"],
+        );
+        for s in &study.subgraphs {
+            t.row(&[
+                s.method.to_string(),
+                s.node_set.len().to_string(),
+                format!("{:?}", s.lobes),
+                s.unpaired.to_string(),
+                fmt(s.symmetry),
+                s.roi_names.join(" "),
+            ]);
+        }
+        t.print();
+    }
+    println!("\nPaper shape (Figs. 8-15): the ASD MPDS lies entirely in the occipital");
+    println!("lobe and is more hemispherically symmetric than the TD MPDS, which also");
+    println!("touches the temporal lobe and cerebellum; EDS/core/truss span many lobes");
+    println!("in BOTH cohorts and cannot distinguish them.");
+}

@@ -1,0 +1,36 @@
+//! Paper §VI-E case study (Figs. 6–7): MPDS vs EDS / innermost core /
+//! innermost truss / deterministic DS on Karate Club, with ground-truth
+//! community purity.
+
+use mpds::case_studies::karate_case_study;
+use mpds_bench::{default_theta, fmt, fmt_set, Table};
+
+fn main() {
+    let study = karate_case_study(default_theta("KarateClub"), 10, 7);
+    let mut t = Table::new(
+        "Case study: Karate Club (Figs. 6-7)",
+        &["method", "node set", "purity", "PD (Eq.19)", "PCC (Eq.20)"],
+    );
+    for s in &study.scored {
+        t.row(&[
+            s.method.to_string(),
+            fmt_set(&s.node_set),
+            s.purity.map(fmt).unwrap_or_else(|| "-".into()),
+            fmt(s.pd),
+            fmt(s.pcc),
+        ]);
+    }
+    t.print();
+
+    let mut tk = Table::new("Top-10 MPDSs", &["rank", "node set", "tau_hat"]);
+    for (i, (set, tau)) in study.mpds_top_k.iter().enumerate() {
+        tk.row(&[(i + 1).to_string(), fmt_set(set), fmt(*tau)]);
+    }
+    tk.print();
+    println!(
+        "\nAverage purity of the top-10 MPDSs: {} (paper: 1.0 for all k)",
+        fmt(study.mpds_avg_purity)
+    );
+    println!("Paper shape (Figs. 6-7): every MPDS sits inside one ground-truth");
+    println!("faction with high-probability edges; EDS/core/truss/DDS mix factions.");
+}

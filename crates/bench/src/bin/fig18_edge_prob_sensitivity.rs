@@ -1,0 +1,44 @@
+//! Paper Fig. 18: effect of the edge-probability distribution — ER7 with
+//! normally distributed probabilities of mean {0.2, 0.5, 0.8}: runtime of the
+//! estimator and average F1 vs exact for k ∈ {1, 5, 10}.
+
+use densest::DensityNotion;
+use mpds::estimate::{top_k_mpds, MpdsConfig};
+use mpds::exact::{average_f1_across_ranks, exact_all_tau, exact_top_k_from};
+use mpds_bench::{fmt, fmt_secs, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::MonteCarlo;
+use ugraph::{generators, probability, UncertainGraph};
+
+fn main() {
+    let theta = 640;
+    let mut t = Table::new(
+        "Fig. 18: ER7 with normal edge probabilities (std 0.1)",
+        &["mean p", "time (s)", "F1 k=1", "F1 k=5", "F1 k=10"],
+    );
+    for mean in [0.2f64, 0.5, 0.8] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let graph = generators::erdos_renyi_nm(7, 20, &mut rng);
+        let probs =
+            probability::truncated_normal_probs(graph.num_edges(), mean, 0.1, 0.01, 1.0, &mut rng);
+        let g = UncertainGraph::new(graph, probs);
+
+        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 10);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(7));
+        let (approx, elapsed) = mpds_bench::time(|| top_k_mpds(&g, &mut mc, &cfg));
+
+        let mut cells = vec![fmt(mean), fmt_secs(elapsed)];
+        // One exhaustive 2^m sweep per graph, shared across the three ks.
+        let tau = exact_all_tau(&g, &DensityNotion::Edge);
+        for k in [1usize, 5, 10] {
+            let exact = exact_top_k_from(&tau, k);
+            let approx_k: Vec<_> = approx.top_k.iter().take(k).cloned().collect();
+            cells.push(fmt(average_f1_across_ranks(&approx_k, &exact)));
+        }
+        t.row(&cells);
+    }
+    t.print();
+    println!("\nPaper shape (Fig. 18): good F1 for every distribution; runtime grows");
+    println!("with the mean probability (denser sampled worlds).");
+}

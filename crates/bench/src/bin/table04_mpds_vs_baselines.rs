@@ -1,0 +1,62 @@
+//! Paper Table IV: densest subgraph probabilities of the MPDS vs EDS,
+//! innermost η-core, innermost γ-truss (η = γ = 0.1), plus expected densities
+//! of the MPDS and EDS, on the three smaller datasets.
+//!
+//! The DSP of every baseline's node set is estimated with the same θ world
+//! samples used by Algorithm 1 (a set's τ̂ is its frequency of inducing a
+//! densest subgraph).
+
+use densest::DensityNotion;
+use mpds::baselines::{eds, ucore, utruss};
+use mpds::estimate::{top_k_mpds, MpdsConfig};
+use mpds_bench::{default_theta, fmt, small_datasets, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::MonteCarlo;
+
+fn main() {
+    let mut t = Table::new(
+        "Table IV: DSP of MPDS vs baselines (eta = gamma = 0.1); expected densities",
+        &[
+            "dataset",
+            "DSP(MPDS)",
+            "DSP(EDS)",
+            "DSP(Core)",
+            "DSP(Truss)",
+            "ExpDens(MPDS)",
+            "ExpDens(EDS)",
+        ],
+    );
+    for data in small_datasets() {
+        let g = &data.graph;
+        let theta = default_theta(&data.name);
+        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 1);
+        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
+        let res = top_k_mpds(g, &mut mc, &cfg);
+        let (mpds_set, mpds_tau) = res.top_k.first().cloned().unwrap_or((vec![], 0.0));
+
+        let eds_res = eds::expected_densest_subgraph(g, &DensityNotion::Edge)
+            .expect("datasets have edges");
+        let core = ucore::innermost_eta_core(g, 0.1);
+        let truss = utruss::innermost_gamma_truss(g, 0.1);
+
+        // DSP of baseline sets, estimated from the same sampled candidates.
+        let dsp_eds = res.tau_hat(&eds_res.node_set);
+        let dsp_core = res.tau_hat(&core);
+        let dsp_truss = res.tau_hat(&truss);
+
+        let exp_mpds = g.expected_edge_density(&mpds_set);
+        t.row(&[
+            data.name.clone(),
+            fmt(mpds_tau),
+            fmt(dsp_eds),
+            fmt(dsp_core),
+            fmt(dsp_truss),
+            fmt(exp_mpds),
+            fmt(eds_res.expected_density),
+        ]);
+    }
+    t.print();
+    println!("\nPaper shape: DSP(MPDS) strictly dominates all baselines; expected");
+    println!("density of the MPDS stays close to the EDS optimum (Table IV).");
+}

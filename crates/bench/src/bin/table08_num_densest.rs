@@ -1,0 +1,46 @@
+//! Paper Table VIII: distribution (mean, std, quartiles) of the number of
+//! densest subgraphs across sampling rounds, for edge, 3-clique, and diamond
+//! densities on Karate Club and LastFM-like.
+
+use densest::DensityNotion;
+use mpds::estimate::{densest_count_stats, top_k_mpds, MpdsConfig};
+use mpds_bench::{default_theta, fmt, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::MonteCarlo;
+use ugraph::{datasets, Pattern};
+
+fn main() {
+    let notions = [
+        ("edge", DensityNotion::Edge),
+        ("3-clique", DensityNotion::Clique(3)),
+        ("diamond", DensityNotion::Pattern(Pattern::diamond())),
+    ];
+    let mut t = Table::new(
+        "Table VIII: #densest subgraphs per sampled world (mean, std, quartiles)",
+        &["dataset", "notion", "mean", "std", "q1", "median", "q3"],
+    );
+    for data in [datasets::karate_club(), datasets::lastfm_like(42)] {
+        let g = &data.graph;
+        let theta = default_theta(&data.name);
+        for (label, notion) in &notions {
+            let cfg = MpdsConfig::new(notion.clone(), theta, 1);
+            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
+            let res = top_k_mpds(g, &mut mc, &cfg);
+            let (mean, std, q) = densest_count_stats(&res.densest_counts);
+            t.row(&[
+                data.name.clone(),
+                label.to_string(),
+                fmt(mean),
+                fmt(std),
+                q[0].to_string(),
+                q[1].to_string(),
+                q[2].to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nPaper shape (Table VIII): counts are ~1 on Karate Club but huge and");
+    println!("heavy-tailed on LastFM for edge/3-clique density — why enumerating ALL");
+    println!("densest subgraphs (not one) matters.");
+}

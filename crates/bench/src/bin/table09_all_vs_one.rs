@@ -1,0 +1,52 @@
+//! Paper Table IX (§VI-D ablation): average estimated DSP of the top-10
+//! MPDSs when counting ALL densest subgraphs per sampled world vs only ONE
+//! randomly chosen densest subgraph.
+
+use densest::DensityNotion;
+use mpds::estimate::{top_k_mpds, MpdsConfig};
+use mpds_bench::{default_theta, fmt, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::MonteCarlo;
+use ugraph::{datasets, Pattern};
+
+fn main() {
+    let notions = [
+        ("edge", DensityNotion::Edge),
+        ("3-clique", DensityNotion::Clique(3)),
+        ("diamond", DensityNotion::Pattern(Pattern::diamond())),
+    ];
+    let mut t = Table::new(
+        "Table IX: avg DSP of the top-10 MPDSs, all vs one densest subgraph per world",
+        &["dataset", "notion", "all", "one", "ratio"],
+    );
+    for data in [datasets::karate_club(), datasets::lastfm_like(42)] {
+        let g = &data.graph;
+        let theta = default_theta(&data.name);
+        for (label, notion) in &notions {
+            let avg = |all_mode: bool| -> f64 {
+                let mut cfg = MpdsConfig::new(notion.clone(), theta, 10);
+                cfg.all_densest = all_mode;
+                let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
+                let res = top_k_mpds(g, &mut mc, &cfg);
+                if res.top_k.is_empty() {
+                    return 0.0;
+                }
+                res.top_k.iter().map(|(_, tau)| tau).sum::<f64>() / res.top_k.len() as f64
+            };
+            let all = avg(true);
+            let one = avg(false);
+            let ratio = if one > 0.0 { all / one } else { f64::NAN };
+            t.row(&[
+                data.name.clone(),
+                label.to_string(),
+                fmt(all),
+                fmt(one),
+                fmt(ratio),
+            ]);
+        }
+    }
+    t.print();
+    println!("\nPaper shape (Table IX): 'all' dominates 'one'; the gap grows with the");
+    println!("number of densest subgraphs per world (up to ~20x on LastFM).");
+}

@@ -1,0 +1,48 @@
+//! Paper Table X: average purity of the top-k node sets (MPDS vs EDS, core,
+//! truss) against the Karate Club ground-truth communities.
+
+use densest::DensityNotion;
+use mpds::baselines::{eds, ucore, utruss};
+use mpds::estimate::{top_k_mpds, MpdsConfig};
+use mpds_bench::{default_theta, fmt, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::MonteCarlo;
+use ugraph::datasets;
+use ugraph::metrics::{average_purity, purity};
+
+fn main() {
+    let data = datasets::karate_club();
+    let g = &data.graph;
+    let comms = data.communities.as_ref().unwrap();
+    let theta = default_theta(&data.name);
+
+    // Baselines have a single subgraph each (paper: only two cores/trusses
+    // exist; we report the innermost).
+    let eds_set = eds::expected_densest_subgraph(g, &DensityNotion::Edge)
+        .unwrap()
+        .node_set;
+    let core = ucore::innermost_eta_core(g, 0.1);
+    let truss = utruss::innermost_gamma_truss(g, 0.1);
+
+    let mut t = Table::new(
+        "Table X: purity of top-k subgraphs on Karate Club",
+        &["k", "MPDS", "EDS", "Core", "Truss"],
+    );
+    for k in [1usize, 2, 5, 10] {
+        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, k);
+        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
+        let res = top_k_mpds(g, &mut mc, &cfg);
+        let sets: Vec<Vec<u32>> = res.top_k.iter().map(|(s, _)| s.clone()).collect();
+        t.row(&[
+            k.to_string(),
+            fmt(average_purity(&sets, comms)),
+            fmt(purity(&eds_set, comms)),
+            fmt(purity(&core, comms)),
+            fmt(purity(&truss, comms)),
+        ]);
+    }
+    t.print();
+    println!("\nPaper shape (Table X): MPDS purity = 1 for every k; all baselines mix");
+    println!("the two ground-truth factions.");
+}

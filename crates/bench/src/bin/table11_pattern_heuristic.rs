@@ -1,0 +1,53 @@
+//! Paper Table XI: approximate (exact enumeration) vs heuristic Pattern-NDS
+//! on Karate Club — containment probability of the top result and running
+//! time, for the four patterns of Fig. 5.
+
+use densest::DensityNotion;
+use mpds::nds::{top_k_nds, NdsConfig};
+use mpds_bench::{default_theta, fmt, fmt_secs, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::MonteCarlo;
+use ugraph::{datasets, Pattern};
+
+fn main() {
+    let data = datasets::karate_club();
+    let g = &data.graph;
+    let theta = default_theta(&data.name);
+
+    let mut t = Table::new(
+        "Table XI: approximate vs heuristic Pattern-NDS on Karate Club",
+        &[
+            "pattern",
+            "gamma (approx)",
+            "gamma (heuristic)",
+            "time approx (s)",
+            "time heuristic (s)",
+            "speedup",
+        ],
+    );
+    for pattern in Pattern::paper_patterns() {
+        let notion = DensityNotion::Pattern(pattern.clone());
+        let run = |heuristic: bool| {
+            let mut cfg = NdsConfig::new(notion.clone(), theta, 1, 2);
+            cfg.heuristic = heuristic;
+            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
+            mpds_bench::time(|| top_k_nds(g, &mut mc, &cfg))
+        };
+        let (approx, t_a) = run(false);
+        let (heur, t_h) = run(true);
+        let ga = approx.top_k.first().map(|(_, g)| *g).unwrap_or(0.0);
+        let gh = heur.top_k.first().map(|(_, g)| *g).unwrap_or(0.0);
+        t.row(&[
+            pattern.name().to_string(),
+            fmt(ga),
+            fmt(gh),
+            fmt_secs(t_a),
+            fmt_secs(t_h),
+            fmt(t_a.as_secs_f64() / t_h.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    t.print();
+    println!("\nPaper shape (Table XI): the heuristic returns containment");
+    println!("probabilities close to the approximate method at a fraction of the time.");
+}

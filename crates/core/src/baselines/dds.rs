@@ -1,0 +1,47 @@
+//! Deterministic densest subgraph (DDS) baseline (paper §VI-C): run the
+//! densest-subgraph machinery on the deterministic version of the uncertain
+//! graph, ignoring all probabilities.
+
+use densest::{max_sized_densest, DensityNotion};
+use ugraph::{NodeSet, UncertainGraph};
+
+/// The (maximum-sized) densest subgraph of the deterministic version, with
+/// its deterministic density. `None` if the graph has no instances.
+pub fn deterministic_densest(
+    g: &UncertainGraph,
+    notion: &DensityNotion,
+) -> Option<(f64, NodeSet)> {
+    max_sized_densest(g.graph(), notion).map(|(d, s)| (d.as_f64(), s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dds_ignores_probabilities() {
+        // A weak K4 and a strong edge: DDS picks the K4 (density 1.5) even
+        // though every K4 edge is nearly non-existent.
+        let g = UncertainGraph::from_weighted_edges(
+            6,
+            &[
+                (0, 1, 0.01),
+                (0, 2, 0.01),
+                (0, 3, 0.01),
+                (1, 2, 0.01),
+                (1, 3, 0.01),
+                (2, 3, 0.01),
+                (4, 5, 0.99),
+            ],
+        );
+        let (d, set) = deterministic_densest(&g, &DensityNotion::Edge).unwrap();
+        assert!((d - 1.5).abs() < 1e-12);
+        assert_eq!(set, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dds_none_on_edgeless() {
+        let g = UncertainGraph::from_weighted_edges(3, &[]);
+        assert!(deterministic_densest(&g, &DensityNotion::Edge).is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! Probabilistic `(k, γ)`-truss decomposition (Huang, Lu, Lakshmanan [41]).
+//!
+//! The γ-support of an edge `e = (u, v)` is the largest `s` such that
+//! `Pr[e exists ∧ sup(e) ≥ s] ≥ γ`, where `sup(e)` counts triangles through
+//! `e` — Poisson-binomial over the common neighbors `w` with success
+//! probability `p(u,w)·p(v,w)`. The `(k, γ)`-truss keeps edges whose
+//! γ-support is at least `k − 2` within the truss; peeling by minimum
+//! γ-support yields truss numbers, and the innermost truss (maximum `k`) is
+//! the baseline of the paper's Tables III–VI.
+
+use ugraph::{NodeId, NodeSet, UncertainGraph};
+
+/// Result of the decomposition.
+#[derive(Debug, Clone)]
+pub struct GammaTruss {
+    /// Truss number of every edge (indexed like the canonical edge list);
+    /// `k ≥ 2`, where a `k`-truss edge closes `k − 2` probable triangles.
+    pub truss_number: Vec<u32>,
+    /// Node set of the innermost truss (edges with maximum truss number).
+    pub innermost: NodeSet,
+    /// The maximum truss number.
+    pub k_max: u32,
+}
+
+fn pmf_of(probs: &[f64]) -> Vec<f64> {
+    let mut pmf = vec![1.0f64];
+    for &p in probs {
+        let mut out = vec![0.0; pmf.len() + 1];
+        for (j, &q) in pmf.iter().enumerate() {
+            out[j] += q * (1.0 - p);
+            out[j + 1] += q * p;
+        }
+        pmf = out;
+    }
+    pmf
+}
+
+/// γ-support: max `s ≥ 0` with `p_e · Pr[X ≥ s] ≥ γ`; `u32::MAX` sentinel is
+/// never returned (support is bounded by the pmf length).
+fn gamma_support(p_e: f64, pmf: &[f64], gamma: f64) -> u32 {
+    if p_e < gamma {
+        return 0;
+    }
+    let mut tail = 0.0;
+    for s in (1..pmf.len()).rev() {
+        tail += pmf[s];
+        if p_e * tail >= gamma {
+            return s as u32;
+        }
+    }
+    0
+}
+
+/// Full `(k, γ)`-truss decomposition by minimum-γ-support edge peeling.
+pub fn gamma_truss_decomposition(g: &UncertainGraph, gamma: f64) -> GammaTruss {
+    assert!(gamma > 0.0 && gamma <= 1.0);
+    let gr = g.graph();
+    let m = gr.num_edges();
+    // Triangle partner lists per edge: (w, other_edge_1, other_edge_2).
+    let mut partners: Vec<Vec<(NodeId, u32, u32)>> = vec![Vec::new(); m];
+    for (u, v, w) in gr.triangles() {
+        let euv = gr.edge_index(u, v).unwrap() as u32;
+        let euw = gr.edge_index(u, w).unwrap() as u32;
+        let evw = gr.edge_index(v, w).unwrap() as u32;
+        partners[euv as usize].push((w, euw, evw));
+        partners[euw as usize].push((v, euv, evw));
+        partners[evw as usize].push((u, euv, euw));
+    }
+    // Live triangle probabilities per edge (parallel to a live partner list).
+    let mut live_partners: Vec<Vec<(u32, u32)>> = Vec::with_capacity(m); // (e1, e2)
+    let mut live_probs: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for (e, ps) in partners.iter().enumerate() {
+        let mut lp = Vec::with_capacity(ps.len());
+        let mut pr = Vec::with_capacity(ps.len());
+        for &(_, e1, e2) in ps {
+            lp.push((e1, e2));
+            pr.push(g.prob(e1 as usize) * g.prob(e2 as usize));
+        }
+        live_partners.push(lp);
+        live_probs.push(pr);
+        let _ = e;
+    }
+    let mut support: Vec<u32> = (0..m)
+        .map(|e| gamma_support(g.prob(e), &pmf_of(&live_probs[e]), gamma))
+        .collect();
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = (0..m)
+        .map(|e| Reverse((support[e], e as u32)))
+        .collect();
+    let mut alive = vec![true; m];
+    let mut truss_number = vec![2u32; m];
+    let mut running_max = 0u32;
+
+    for _ in 0..m {
+        let e = loop {
+            let Reverse((s, e)) = heap.pop().expect("live edges remain");
+            if alive[e as usize] && support[e as usize] == s {
+                break e as usize;
+            }
+        };
+        alive[e] = false;
+        running_max = running_max.max(support[e]);
+        truss_number[e] = running_max + 2;
+        // Kill the triangles through e: each live partner pair (e1, e2)
+        // loses one triangle on both e1 and e2.
+        let pairs = std::mem::take(&mut live_partners[e]);
+        for (e1, e2) in pairs {
+            for (me, other) in [(e1 as usize, e2 as usize), (e2 as usize, e1 as usize)] {
+                if !alive[me] {
+                    continue;
+                }
+                // Remove the (e, other)-triangle from `me`'s live lists.
+                let pos = live_partners[me]
+                    .iter()
+                    .position(|&(a, b)| {
+                        (a as usize == e && b as usize == other)
+                            || (b as usize == e && a as usize == other)
+                    });
+                let Some(pos) = pos else { continue };
+                live_partners[me].swap_remove(pos);
+                live_probs[me].swap_remove(pos);
+                let ns = gamma_support(
+                    g.prob(me),
+                    &pmf_of(&live_probs[me]),
+                    gamma,
+                );
+                if ns != support[me] {
+                    support[me] = ns;
+                    heap.push(Reverse((ns, me as u32)));
+                }
+            }
+        }
+    }
+
+    let k_max = truss_number.iter().copied().max().unwrap_or(2);
+    let mut innermost: Vec<NodeId> = gr
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|&(e, _)| truss_number[e] == k_max)
+        .flat_map(|(_, &(u, v))| [u, v])
+        .collect();
+    innermost.sort_unstable();
+    innermost.dedup();
+    GammaTruss {
+        truss_number,
+        innermost,
+        k_max,
+    }
+}
+
+/// Node set of the innermost γ-truss (paper §VI-B).
+pub fn innermost_gamma_truss(g: &UncertainGraph, gamma: f64) -> NodeSet {
+    gamma_truss_decomposition(g, gamma).innermost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_support_basics() {
+        // Edge p=.9 with two triangles of prob .5 each.
+        let pmf = pmf_of(&[0.5, 0.5]);
+        // p_e * P[X>=1] = .9*.75 = .675; p_e * P[X>=2] = .9*.25 = .225.
+        assert_eq!(gamma_support(0.9, &pmf, 0.6), 1);
+        assert_eq!(gamma_support(0.9, &pmf, 0.2), 2);
+        assert_eq!(gamma_support(0.9, &pmf, 0.7), 0);
+        // Edge probability below gamma: support 0 regardless.
+        assert_eq!(gamma_support(0.05, &pmf, 0.1), 0);
+    }
+
+    #[test]
+    fn certain_graph_matches_deterministic_truss() {
+        // Certain K4 + pendant: K4 edges form a 4-truss (2 triangles each),
+        // the pendant edge a 2-truss.
+        let g = UncertainGraph::from_weighted_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (0, 3, 1.0),
+                (1, 2, 1.0),
+                (1, 3, 1.0),
+                (2, 3, 1.0),
+                (3, 4, 1.0),
+            ],
+        );
+        let t = gamma_truss_decomposition(&g, 0.5);
+        assert_eq!(t.k_max, 4);
+        assert_eq!(t.innermost, vec![0, 1, 2, 3]);
+        let pendant = g.graph().edge_index(3, 4).unwrap();
+        assert_eq!(t.truss_number[pendant], 2);
+    }
+
+    #[test]
+    fn weak_triangles_do_not_count() {
+        // Triangle with tiny probabilities: no edge reaches support 1 at
+        // gamma = 0.5, so everything stays a 2-truss.
+        let g = UncertainGraph::from_weighted_edges(
+            3,
+            &[(0, 1, 0.3), (0, 2, 0.3), (1, 2, 0.3)],
+        );
+        let t = gamma_truss_decomposition(&g, 0.5);
+        assert_eq!(t.k_max, 2);
+    }
+
+    #[test]
+    fn strong_triangle_survives() {
+        let g = UncertainGraph::from_weighted_edges(
+            5,
+            &[
+                (0, 1, 0.95),
+                (0, 2, 0.95),
+                (1, 2, 0.95),
+                (2, 3, 0.2),
+                (3, 4, 0.2),
+            ],
+        );
+        let t = gamma_truss_decomposition(&g, 0.5);
+        assert_eq!(t.k_max, 3);
+        assert_eq!(t.innermost, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn truss_numbers_monotone_under_gamma() {
+        // Stricter gamma can only lower truss numbers.
+        let g = UncertainGraph::from_weighted_edges(
+            4,
+            &[
+                (0, 1, 0.8),
+                (0, 2, 0.8),
+                (0, 3, 0.8),
+                (1, 2, 0.8),
+                (1, 3, 0.8),
+                (2, 3, 0.8),
+            ],
+        );
+        let loose = gamma_truss_decomposition(&g, 0.1);
+        let strict = gamma_truss_decomposition(&g, 0.9);
+        for e in 0..g.num_edges() {
+            assert!(strict.truss_number[e] <= loose.truss_number[e]);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UncertainGraph::from_weighted_edges(3, &[]);
+        let t = gamma_truss_decomposition(&g, 0.5);
+        assert_eq!(t.k_max, 2);
+        assert!(t.innermost.is_empty());
+        assert!(t.truss_number.is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Top-k MPDS estimation (paper Algorithm 1).
+//!
+//! Sample θ possible worlds; in each, find **all** densest subgraphs and
+//! increment their counters; return the k node sets with the highest
+//! estimated densest subgraph probability `τ̂(U) = count(U) / θ` (an unbiased
+//! estimator — paper Lemma 1; accuracy guarantees in [`crate::theory`]).
+
+use densest::{all_densest, heuristic::heuristic_dense_subgraphs, DensityNotion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sampling::WorldSampler;
+use std::collections::HashMap;
+use ugraph::{NodeId, NodeSet, UncertainGraph};
+
+/// Configuration for the top-k MPDS estimator.
+#[derive(Debug, Clone)]
+pub struct MpdsConfig {
+    /// Density notion ρ (edge / h-clique / pattern).
+    pub notion: DensityNotion,
+    /// Number of sampled possible worlds θ.
+    pub theta: usize,
+    /// How many top node sets to return.
+    pub k: usize,
+    /// Cap on densest subgraphs enumerated per world (they can explode —
+    /// paper Table VIII; LastFM std-dev > 22 000).
+    pub enumeration_cap: usize,
+    /// `true` (paper default): count *all* densest subgraphs per world.
+    /// `false`: count one uniformly random densest subgraph per world — the
+    /// §VI-D ablation showing why "all" matters (up to 20× on LastFM).
+    pub all_densest: bool,
+    /// Use the §III-C heuristic (innermost core + denser peeling suffixes)
+    /// instead of the exact enumeration. For large graphs / big patterns.
+    pub heuristic: bool,
+    /// Seed for the internal tie-breaking RNG (used by the `one densest`
+    /// ablation mode).
+    pub choice_seed: u64,
+}
+
+impl MpdsConfig {
+    /// Paper-default configuration for a given notion, θ, and k.
+    pub fn new(notion: DensityNotion, theta: usize, k: usize) -> Self {
+        MpdsConfig {
+            notion,
+            theta,
+            k,
+            enumeration_cap: 100_000,
+            all_densest: true,
+            heuristic: false,
+            choice_seed: 0x5eed,
+        }
+    }
+}
+
+/// Output of the estimator.
+#[derive(Debug, Clone)]
+pub struct MpdsResult {
+    /// Top-k node sets with their estimated densest subgraph probability
+    /// `τ̂`, sorted by `τ̂` descending (ties: smaller set first, then
+    /// lexicographic — deterministic).
+    pub top_k: Vec<(NodeSet, f64)>,
+    /// Full candidate table: node set → number of worlds in which it was a
+    /// densest subgraph.
+    pub candidates: HashMap<NodeSet, u32>,
+    /// Number of sampled worlds.
+    pub theta: usize,
+    /// Worlds with no instance of the notion (they contribute to no set).
+    pub empty_worlds: usize,
+    /// Number of densest subgraphs found in each world (paper Table VIII).
+    pub densest_counts: Vec<usize>,
+    /// Whether any world's enumeration hit the cap.
+    pub truncated: bool,
+}
+
+impl MpdsResult {
+    /// Estimated densest subgraph probability of an arbitrary node set.
+    pub fn tau_hat(&self, nodes: &[NodeId]) -> f64 {
+        let key: NodeSet = nodes.to_vec();
+        *self.candidates.get(&key).unwrap_or(&0) as f64 / self.theta as f64
+    }
+}
+
+/// Runs Algorithm 1 with the given sampler (Monte Carlo in the paper's
+/// default setup; LP and RSS are drop-in alternatives compared in §VI-G).
+pub fn top_k_mpds<S: WorldSampler>(
+    g: &UncertainGraph,
+    sampler: &mut S,
+    cfg: &MpdsConfig,
+) -> MpdsResult {
+    assert!(cfg.theta > 0, "need at least one sample");
+    let mut candidates: HashMap<NodeSet, u32> = HashMap::new();
+    let mut empty_worlds = 0usize;
+    let mut densest_counts = Vec::with_capacity(cfg.theta);
+    let mut truncated = false;
+    let mut choice_rng = StdRng::seed_from_u64(cfg.choice_seed);
+
+    for _ in 0..cfg.theta {
+        let mask = sampler.next_mask();
+        let world = g.world_from_mask(&mask);
+        let subgraphs: Vec<NodeSet> = if cfg.heuristic {
+            match heuristic_dense_subgraphs(&world, &cfg.notion) {
+                None => Vec::new(),
+                Some(h) => h.subgraphs,
+            }
+        } else {
+            match all_densest(&world, &cfg.notion, cfg.enumeration_cap) {
+                None => Vec::new(),
+                Some(r) => {
+                    truncated |= r.truncated;
+                    r.subgraphs
+                }
+            }
+        };
+        if subgraphs.is_empty() {
+            empty_worlds += 1;
+            densest_counts.push(0);
+            continue;
+        }
+        densest_counts.push(subgraphs.len());
+        if cfg.all_densest {
+            for sg in subgraphs {
+                *candidates.entry(sg).or_insert(0) += 1;
+            }
+        } else {
+            // §VI-D ablation: one uniformly random densest subgraph.
+            let pick = choice_rng.gen_range(0..subgraphs.len());
+            *candidates
+                .entry(subgraphs[pick].clone())
+                .or_insert(0) += 1;
+        }
+    }
+
+    let top_k = select_top_k(&candidates, cfg.k, cfg.theta);
+    MpdsResult {
+        top_k,
+        candidates,
+        theta: cfg.theta,
+        empty_worlds,
+        densest_counts,
+        truncated,
+    }
+}
+
+/// Deterministically selects the k best candidates.
+fn select_top_k(
+    candidates: &HashMap<NodeSet, u32>,
+    k: usize,
+    theta: usize,
+) -> Vec<(NodeSet, f64)> {
+    let mut all: Vec<(&NodeSet, u32)> = candidates.iter().map(|(s, &c)| (s, c)).collect();
+    all.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(a.0.len().cmp(&b.0.len()))
+            .then(a.0.cmp(b.0))
+    });
+    all.into_iter()
+        .take(k)
+        .map(|(s, c)| (s.clone(), c as f64 / theta as f64))
+        .collect()
+}
+
+/// Summary statistics of the per-world densest-subgraph counts, as reported
+/// in the paper's Table VIII: `(mean, std, [q1, median, q3])`.
+pub fn densest_count_stats(counts: &[usize]) -> (f64, f64, [usize; 3]) {
+    assert!(!counts.is_empty());
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<usize>() as f64 / n;
+    let var = counts
+        .iter()
+        .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+        .sum::<f64>()
+        / n;
+    let mut sorted = counts.to_vec();
+    sorted.sort_unstable();
+    let q = |f: f64| sorted[((sorted.len() - 1) as f64 * f).round() as usize];
+    (mean, var.sqrt(), [q(0.25), q(0.5), q(0.75)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sampling::MonteCarlo;
+    use ugraph::UncertainGraph;
+
+    /// The paper's Fig. 1 running example (matches Table I's probabilities).
+    fn fig1() -> UncertainGraph {
+        UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)])
+    }
+
+    fn run(g: &UncertainGraph, cfg: &MpdsConfig, seed: u64) -> MpdsResult {
+        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(seed));
+        top_k_mpds(g, &mut mc, cfg)
+    }
+
+    #[test]
+    fn fig1_mpds_is_bd() {
+        // Table I: DSP({B,D}) = 0.42 is the maximum; B = 1, D = 3.
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 4000, 1);
+        let r = run(&g, &cfg, 42);
+        assert_eq!(r.top_k.len(), 1);
+        assert_eq!(r.top_k[0].0, vec![1, 3]);
+        assert!((r.top_k[0].1 - 0.42).abs() < 0.03, "tau {}", r.top_k[0].1);
+    }
+
+    #[test]
+    fn fig1_estimates_match_table1() {
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 8000, 10);
+        let r = run(&g, &cfg, 7);
+        // Table I DSP row: {A,B}=.07, {A,C}=.24, {B,D}=.42, {A,B,C}=.05,
+        // {A,B,D}=.17, {A,B,C,D}=.28 (with A,B,C,D = 0,1,2,3).
+        let close = |set: &[NodeId], want: f64| {
+            let got = r.tau_hat(set);
+            assert!((got - want).abs() < 0.025, "{set:?}: {got} vs {want}");
+        };
+        close(&[0, 1], 0.072);
+        close(&[0, 2], 0.24);
+        close(&[1, 3], 0.42);
+        close(&[0, 1, 2], 0.048);
+        close(&[0, 1, 3], 0.168);
+        close(&[0, 1, 2, 3], 0.28);
+    }
+
+    #[test]
+    fn empty_worlds_are_counted() {
+        let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.1)]);
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 1000, 1);
+        let r = run(&g, &cfg, 1);
+        // ~90% of worlds have no edges.
+        assert!(r.empty_worlds > 800);
+        assert_eq!(r.densest_counts.len(), 1000);
+        // The only candidate is {0,1} with tau ≈ 0.1.
+        assert_eq!(r.top_k[0].0, vec![0, 1]);
+        assert!((r.top_k[0].1 - 0.1).abs() < 0.03);
+    }
+
+    #[test]
+    fn one_vs_all_mode() {
+        // Two disjoint certain edges: every world has 3 densest subgraphs
+        // ({0,1}, {2,3}, {0,1,2,3}). "All" mode gives each tau = 1; "one"
+        // mode splits the mass.
+        let g = UncertainGraph::from_weighted_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let mut cfg = MpdsConfig::new(DensityNotion::Edge, 300, 3);
+        let all = run(&g, &cfg, 3);
+        assert_eq!(all.top_k.len(), 3);
+        for (_, tau) in &all.top_k {
+            assert!((tau - 1.0).abs() < 1e-9);
+        }
+        cfg.all_densest = false;
+        let one = run(&g, &cfg, 3);
+        let total: f64 = one.top_k.iter().map(|(_, t)| t).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (_, tau) in &one.top_k {
+            assert!(*tau < 0.6, "one-mode mass should split, got {tau}");
+        }
+    }
+
+    #[test]
+    fn clique_mpds_on_certain_triangle() {
+        let g = UncertainGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (2, 3, 0.5)],
+        );
+        let cfg = MpdsConfig::new(DensityNotion::Clique(3), 200, 1);
+        let r = run(&g, &cfg, 5);
+        assert_eq!(r.top_k[0].0, vec![0, 1, 2]);
+        assert!((r.top_k[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heuristic_mode_runs() {
+        let g = fig1();
+        let mut cfg = MpdsConfig::new(DensityNotion::Edge, 500, 2);
+        cfg.heuristic = true;
+        let r = run(&g, &cfg, 11);
+        assert!(!r.top_k.is_empty());
+        // Heuristic candidates still have sane probabilities.
+        for (_, tau) in &r.top_k {
+            assert!(*tau <= 1.0 && *tau > 0.0);
+        }
+    }
+
+    #[test]
+    fn stats_helper() {
+        let (mean, std, q) = densest_count_stats(&[1, 1, 1, 3]);
+        assert!((mean - 1.5).abs() < 1e-12);
+        assert!(std > 0.0);
+        assert_eq!(q, [1, 1, 1]);
+    }
+
+    #[test]
+    fn estimator_is_deterministic_given_seeds() {
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 200, 3);
+        let a = run(&g, &cfg, 99);
+        let b = run(&g, &cfg, 99);
+        assert_eq!(a.top_k, b.top_k);
+    }
+}

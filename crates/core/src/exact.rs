@@ -1,0 +1,222 @@
+//! Exact MPDS / NDS by exhaustive possible-world enumeration (paper §VI-H).
+//!
+//! Computing `τ(U)` is #P-hard, but for small graphs (`m ≤ 22` here; the
+//! paper went to `m = 30` on a 512 GB server over days) all `2^m` worlds can
+//! be swept, giving ground truth for the accuracy experiments (Table XV,
+//! Figs. 17–18).
+
+use densest::{all_densest, max_sized_densest, DensityNotion};
+use std::collections::HashMap;
+use ugraph::{nodeset, NodeId, NodeSet, UncertainGraph};
+
+/// Hard limit on the edge count for exhaustive enumeration.
+pub const MAX_EDGES_EXACT: usize = 22;
+
+/// Exact densest subgraph probability `τ(U)` (paper Def. 4).
+pub fn exact_tau(g: &UncertainGraph, notion: &DensityNotion, set: &[NodeId]) -> f64 {
+    let key: NodeSet = {
+        let mut s = set.to_vec();
+        s.sort_unstable();
+        s
+    };
+    exact_all_tau(g, notion)
+        .get(&key)
+        .copied()
+        .unwrap_or(0.0)
+}
+
+/// Exact `τ(U)` for **every** node set with non-zero probability.
+///
+/// Sweeps all `2^m` worlds, enumerating all densest subgraphs in each and
+/// accumulating world probabilities.
+pub fn exact_all_tau(g: &UncertainGraph, notion: &DensityNotion) -> HashMap<NodeSet, f64> {
+    assert!(
+        g.num_edges() <= MAX_EDGES_EXACT,
+        "exact sweep limited to m <= {MAX_EDGES_EXACT} (got {})",
+        g.num_edges()
+    );
+    let mut tau: HashMap<NodeSet, f64> = HashMap::new();
+    for (mask, pr) in g.iter_worlds() {
+        if pr == 0.0 {
+            continue;
+        }
+        let world = g.world_from_mask(&mask);
+        if let Some(r) = all_densest(&world, notion, usize::MAX) {
+            debug_assert!(!r.truncated);
+            for sg in r.subgraphs {
+                *tau.entry(sg).or_insert(0.0) += pr;
+            }
+        }
+    }
+    tau
+}
+
+/// Exact top-k MPDS: the k node sets with the highest `τ(U)`, sorted
+/// descending (deterministic tie-breaking as in the estimator).
+pub fn exact_top_k_mpds(
+    g: &UncertainGraph,
+    notion: &DensityNotion,
+    k: usize,
+) -> Vec<(NodeSet, f64)> {
+    exact_top_k_from(&exact_all_tau(g, notion), k)
+}
+
+/// Top-k extraction from a precomputed exact τ table — lets callers share one
+/// `2^m` sweep across several values of k (used by the Fig. 17 experiment).
+pub fn exact_top_k_from(tau: &HashMap<NodeSet, f64>, k: usize) -> Vec<(NodeSet, f64)> {
+    let mut all: Vec<(NodeSet, f64)> = tau.iter().map(|(s, &t)| (s.clone(), t)).collect();
+    all.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap()
+            .then(a.0.len().cmp(&b.0.len()))
+            .then(a.0.cmp(&b.0))
+    });
+    all.truncate(k);
+    all
+}
+
+/// Exact densest subgraph **containment** probability `γ(U)` (paper Def. 5):
+/// the probability that `U` is contained in a densest subgraph of the world,
+/// checked against the world's maximum-sized densest subgraph.
+pub fn exact_gamma(g: &UncertainGraph, notion: &DensityNotion, set: &[NodeId]) -> f64 {
+    assert!(g.num_edges() <= MAX_EDGES_EXACT);
+    let key: NodeSet = {
+        let mut s = set.to_vec();
+        s.sort_unstable();
+        s
+    };
+    let mut gamma = 0.0;
+    for (mask, pr) in g.iter_worlds() {
+        if pr == 0.0 {
+            continue;
+        }
+        let world = g.world_from_mask(&mask);
+        if let Some((_, ms)) = max_sized_densest(&world, notion) {
+            if nodeset::is_subset(&key, &ms) {
+                gamma += pr;
+            }
+        }
+    }
+    gamma
+}
+
+/// Average F1 score across ranks of an approximate top-k against the exact
+/// top-k (the paper's Figs. 17–18 metric: "F1-score averaged across all
+/// ranks from 1 to k").
+pub fn average_f1_across_ranks(approx: &[(NodeSet, f64)], exact: &[(NodeSet, f64)]) -> f64 {
+    let k = approx.len().min(exact.len());
+    if k == 0 {
+        return 0.0;
+    }
+    (0..k)
+        .map(|i| nodeset::f1_score(&approx[i].0, &exact[i].0))
+        .sum::<f64>()
+        / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{top_k_mpds, MpdsConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sampling::MonteCarlo;
+
+    fn fig1() -> UncertainGraph {
+        UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)])
+    }
+
+    #[test]
+    fn exact_tau_matches_table1() {
+        // Paper Table I, DSP row (exact values with p = .4/.4/.7):
+        let g = fig1();
+        let close = |set: &[NodeId], want: f64| {
+            let got = exact_tau(&g, &DensityNotion::Edge, set);
+            assert!((got - want).abs() < 1e-9, "{set:?}: {got} vs {want}");
+        };
+        close(&[0, 1], 0.072); // {A,B}: G2 only
+        close(&[0, 2], 0.24); // {A,C}: G3 + G7
+        close(&[1, 3], 0.42); // {B,D}: G4 + G7
+        close(&[0, 1, 2], 0.048); // {A,B,C}: G5
+        close(&[0, 1, 3], 0.168); // {A,B,D}: G6
+        close(&[0, 1, 2, 3], 0.28); // {A,B,C,D}: G7 + G8
+    }
+
+    #[test]
+    fn exact_top1_is_bd() {
+        let g = fig1();
+        let top = exact_top_k_mpds(&g, &DensityNotion::Edge, 1);
+        assert_eq!(top[0].0, vec![1, 3]);
+        assert!((top[0].1 - 0.42).abs() < 1e-9);
+    }
+
+    #[test]
+    fn taus_of_all_sets_bounded() {
+        let g = fig1();
+        let all = exact_all_tau(&g, &DensityNotion::Edge);
+        for (set, tau) in &all {
+            assert!(*tau > 0.0 && *tau <= 1.0, "{set:?}");
+        }
+        // The sum over sets of tau = expected number of densest subgraphs
+        // per world >= 1 - Pr(empty world).
+        let total: f64 = all.values().sum();
+        assert!(total >= 1.0 - 0.108 - 1e-9);
+    }
+
+    #[test]
+    fn exact_gamma_matches_example3() {
+        // Paper Example 3: γ({B,D}) = 0.7 (worlds G4, G6, G7, G8).
+        let g = fig1();
+        let gamma = exact_gamma(&g, &DensityNotion::Edge, &[1, 3]);
+        assert!((gamma - 0.7).abs() < 1e-9, "gamma {gamma}");
+        // γ >= τ always.
+        let tau = exact_tau(&g, &DensityNotion::Edge, &[1, 3]);
+        assert!(gamma >= tau);
+    }
+
+    #[test]
+    fn estimator_converges_to_exact() {
+        // End-to-end: Algorithm 1 estimates must approach the exact taus.
+        let g = fig1();
+        let exact = exact_top_k_mpds(&g, &DensityNotion::Edge, 3);
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 20_000, 3);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(123));
+        let est = top_k_mpds(&g, &mut mc, &cfg);
+        assert_eq!(est.top_k[0].0, exact[0].0);
+        for (i, (set, tau)) in exact.iter().enumerate() {
+            let got = est.top_k[i].1;
+            assert!((got - tau).abs() < 0.02, "{set:?}: {got} vs {tau}");
+        }
+    }
+
+    #[test]
+    fn f1_average() {
+        let a = vec![(vec![1, 2], 0.5), (vec![3], 0.2)];
+        let b = vec![(vec![1, 2], 0.5), (vec![4], 0.3)];
+        // Rank 1: F1 = 1; rank 2: F1 = 0 -> average 0.5.
+        assert!((average_f1_across_ranks(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(average_f1_across_ranks(&[], &b), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exact sweep limited")]
+    fn rejects_large_graphs() {
+        let edges: Vec<(NodeId, NodeId, f64)> = (0..30)
+            .map(|i| (i as NodeId, i as NodeId + 1, 0.5))
+            .collect();
+        let g = UncertainGraph::from_weighted_edges(31, &edges);
+        exact_all_tau(&g, &DensityNotion::Edge);
+    }
+
+    #[test]
+    fn exact_clique_tau_on_triangle() {
+        // Certain triangle + uncertain pendant edge: the triangle is the
+        // 3-clique densest subgraph in every world.
+        let g = UncertainGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (2, 3, 0.5)],
+        );
+        let tau = exact_tau(&g, &DensityNotion::Clique(3), &[0, 1, 2]);
+        assert!((tau - 1.0).abs() < 1e-9);
+    }
+}

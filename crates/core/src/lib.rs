@@ -1,0 +1,57 @@
+//! Most Probable Densest Subgraphs (MPDS) — the paper's core contribution.
+//!
+//! Given an uncertain graph `G = (V, E, p)`, the *densest subgraph
+//! probability* `τ(U)` of a node set `U` is the probability that `U` induces
+//! a densest subgraph in a possible world of `G` (paper Def. 4); computing it
+//! is #P-hard (Theorem 1). This crate implements:
+//!
+//! * [`estimate`] — the sampling estimator for top-k MPDS (paper Algorithm
+//!   1) for edge, clique, and pattern densities, including the
+//!   one-densest-subgraph ablation of §VI-D and the heuristic mode of §III-C;
+//! * [`nds`] — the top-k Nucleus Densest Subgraph estimator (Algorithm 5)
+//!   via reduction to top-k closed frequent itemset mining;
+//! * [`exact`] — exact `τ(U)`/`γ(U)` and exact top-k by exhaustive
+//!   possible-world enumeration (small graphs; §VI-H);
+//! * [`theory`] — the end-to-end accuracy guarantees (Theorems 2, 3, 5, 6);
+//! * [`baselines`] — the notions MPDS is compared against in §VI: the
+//!   expected densest subgraph (EDS [44], extended to clique/pattern density
+//!   per Appendix C), the probabilistic `(k, η)`-core [40], the probabilistic
+//!   `(k, γ)`-truss [41], and the deterministic densest subgraph (DDS);
+//! * [`case_studies`] — the Karate-Club community study (§VI-E) and the
+//!   simulated brain-network study (§VI-F).
+//!
+//! # Example
+//!
+//! The paper's running example (Fig. 1): the node set `{B, D}` is the most
+//! probable densest subgraph with τ ≈ 0.42, even though the whole graph has
+//! the highest *expected* density.
+//!
+//! ```
+//! use densest::DensityNotion;
+//! use mpds::estimate::{top_k_mpds, MpdsConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use sampling::MonteCarlo;
+//! use ugraph::UncertainGraph;
+//!
+//! // A = 0, B = 1, C = 2, D = 3.
+//! let g = UncertainGraph::from_weighted_edges(
+//!     4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)]);
+//! let cfg = MpdsConfig::new(DensityNotion::Edge, 2000, 1);
+//! let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(42));
+//! let result = top_k_mpds(&g, &mut mc, &cfg);
+//! assert_eq!(result.top_k[0].0, vec![1, 3]); // {B, D}
+//! assert!((result.top_k[0].1 - 0.42).abs() < 0.04);
+//! ```
+
+pub mod baselines;
+pub mod case_studies;
+pub mod convergence;
+pub mod estimate;
+pub mod exact;
+pub mod nds;
+pub mod parallel;
+pub mod single;
+pub mod theory;
+
+pub use estimate::{top_k_mpds, MpdsConfig, MpdsResult};
+pub use nds::{top_k_nds, NdsConfig, NdsResult};

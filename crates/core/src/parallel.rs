@@ -1,0 +1,163 @@
+//! Parallel Monte-Carlo MPDS estimation (ablation; DESIGN.md §6).
+//!
+//! The paper's experiments are single-core, but Algorithm 1's θ iterations
+//! are embarrassingly parallel: each worker samples its own share of worlds
+//! with an independently seeded Monte-Carlo stream and accumulates a local
+//! candidate table; tables are merged at the end. The estimator stays
+//! unbiased (the union of independent MC streams is an MC stream), and the
+//! result is deterministic for a fixed `(seed, workers)` pair.
+
+use crate::estimate::{MpdsConfig, MpdsResult};
+use densest::all_densest;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::{MonteCarlo, WorldSampler};
+use std::collections::HashMap;
+use ugraph::{NodeSet, UncertainGraph};
+
+/// Runs Algorithm 1 with `workers` threads (crossbeam scoped), splitting θ
+/// evenly. Worker `w` uses the Monte-Carlo stream seeded `seed + w`.
+pub fn parallel_top_k_mpds(
+    g: &UncertainGraph,
+    cfg: &MpdsConfig,
+    seed: u64,
+    workers: usize,
+) -> MpdsResult {
+    assert!(workers >= 1 && cfg.theta >= workers);
+    assert!(
+        cfg.all_densest && !cfg.heuristic,
+        "parallel ablation covers the default configuration only"
+    );
+    let per = cfg.theta / workers;
+    let extra = cfg.theta % workers; // first `extra` workers take one more
+
+    struct Partial {
+        candidates: HashMap<NodeSet, u32>,
+        empty_worlds: usize,
+        densest_counts: Vec<usize>,
+        truncated: bool,
+    }
+
+    let partials: Vec<Partial> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let quota = per + usize::from(w < extra);
+                let notion = cfg.notion.clone();
+                let cap = cfg.enumeration_cap;
+                scope.spawn(move |_| {
+                    let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(seed + w as u64));
+                    let mut p = Partial {
+                        candidates: HashMap::new(),
+                        empty_worlds: 0,
+                        densest_counts: Vec::with_capacity(quota),
+                        truncated: false,
+                    };
+                    for _ in 0..quota {
+                        let mask = mc.next_mask();
+                        let world = g.world_from_mask(&mask);
+                        match all_densest(&world, &notion, cap) {
+                            None => {
+                                p.empty_worlds += 1;
+                                p.densest_counts.push(0);
+                            }
+                            Some(r) => {
+                                p.truncated |= r.truncated;
+                                p.densest_counts.push(r.subgraphs.len());
+                                for sg in r.subgraphs {
+                                    *p.candidates.entry(sg).or_insert(0) += 1;
+                                }
+                            }
+                        }
+                    }
+                    p
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .expect("worker panicked");
+
+    let mut candidates: HashMap<NodeSet, u32> = HashMap::new();
+    let mut empty_worlds = 0;
+    let mut densest_counts = Vec::with_capacity(cfg.theta);
+    let mut truncated = false;
+    for p in partials {
+        for (set, c) in p.candidates {
+            *candidates.entry(set).or_insert(0) += c;
+        }
+        empty_worlds += p.empty_worlds;
+        densest_counts.extend(p.densest_counts);
+        truncated |= p.truncated;
+    }
+
+    // Same deterministic selection as the sequential estimator.
+    let mut all: Vec<(&NodeSet, u32)> = candidates.iter().map(|(s, &c)| (s, c)).collect();
+    all.sort_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then(a.0.len().cmp(&b.0.len()))
+            .then(a.0.cmp(b.0))
+    });
+    let top_k = all
+        .into_iter()
+        .take(cfg.k)
+        .map(|(s, c)| (s.clone(), c as f64 / cfg.theta as f64))
+        .collect();
+    MpdsResult {
+        top_k,
+        candidates,
+        theta: cfg.theta,
+        empty_worlds,
+        densest_counts,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::top_k_mpds;
+    use densest::DensityNotion;
+
+    fn fig1() -> UncertainGraph {
+        UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)])
+    }
+
+    #[test]
+    fn parallel_matches_sequential_with_one_worker() {
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 500, 3);
+        let par = parallel_top_k_mpds(&g, &cfg, 42, 1);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(42));
+        let seq = top_k_mpds(&g, &mut mc, &cfg);
+        assert_eq!(par.top_k, seq.top_k);
+        assert_eq!(par.empty_worlds, seq.empty_worlds);
+    }
+
+    #[test]
+    fn parallel_is_deterministic_per_seed_and_workers() {
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 400, 3);
+        let a = parallel_top_k_mpds(&g, &cfg, 7, 4);
+        let b = parallel_top_k_mpds(&g, &cfg, 7, 4);
+        assert_eq!(a.top_k, b.top_k);
+    }
+
+    #[test]
+    fn parallel_converges_to_exact() {
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 8000, 1);
+        let r = parallel_top_k_mpds(&g, &cfg, 3, 4);
+        assert_eq!(r.top_k[0].0, vec![1, 3]);
+        assert!((r.top_k[0].1 - 0.42).abs() < 0.03);
+        assert_eq!(r.densest_counts.len(), 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel ablation covers the default")]
+    fn rejects_one_mode() {
+        let g = fig1();
+        let mut cfg = MpdsConfig::new(DensityNotion::Edge, 100, 1);
+        cfg.all_densest = false;
+        parallel_top_k_mpds(&g, &cfg, 1, 2);
+    }
+}

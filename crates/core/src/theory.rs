@@ -1,0 +1,197 @@
+//! End-to-end accuracy guarantees (paper Theorems 2, 3, 5, 6).
+//!
+//! These are the sample-size bounds that justify Algorithm 1 and Algorithm 5:
+//! given the (true) probabilities of the top sets, they lower-bound the
+//! probability that the estimators return exactly the true top-k, and
+//! conversely yield the θ needed for a target confidence.
+
+/// Theorem 2: probability that all true top-k sets appear among the
+/// candidates after θ rounds, `≥ 1 − Σ_i (1 − τ(V_i))^θ`.
+///
+/// `top_taus` are the true densest subgraph probabilities of the top-k sets.
+pub fn candidate_inclusion_bound(top_taus: &[f64], theta: usize) -> f64 {
+    let miss: f64 = top_taus
+        .iter()
+        .map(|&tau| (1.0 - tau).powi(theta as i32))
+        .sum();
+    (1.0 - miss).max(0.0)
+}
+
+/// Theorem 3: probability that Algorithm 1 returns exactly the true top-k.
+///
+/// * `top_taus`: true τ of the top-k sets (descending), length k;
+/// * `tau_k1`: τ of the (k+1)-th best set (0 if none);
+/// * `other_taus`: τ of the remaining candidate sets (each < `mid`);
+/// * `theta`: number of samples.
+///
+/// Bound: `[1 − Σ_{i≤k} (1−τ_i)^θ] · [1 − Σ_{U ∈ CV} exp(−2 d_U² θ)]` with
+/// `mid = (τ_k + τ_{k+1}) / 2` and `d_U = |τ(U) − mid|`.
+pub fn top_k_return_bound(
+    top_taus: &[f64],
+    tau_k1: f64,
+    other_taus: &[f64],
+    theta: usize,
+) -> f64 {
+    assert!(!top_taus.is_empty());
+    let tau_k = *top_taus.last().unwrap();
+    let mid = 0.5 * (tau_k + tau_k1);
+    let inclusion = candidate_inclusion_bound(top_taus, theta);
+    let mut hoeffding_miss = 0.0;
+    for &tau in top_taus {
+        let d = tau - mid;
+        hoeffding_miss += (-2.0 * d * d * theta as f64).exp();
+    }
+    for &tau in other_taus {
+        let d = mid - tau;
+        hoeffding_miss += (-2.0 * d * d * theta as f64).exp();
+    }
+    (inclusion * (1.0 - hoeffding_miss)).max(0.0)
+}
+
+/// Theorem 5: probability that the true top-k closed sets remain closed
+/// w.r.t. `γ̂` after θ rounds, `≥ 1 − Σ_{G ∈ 𝒢} (1 − Pr(G))^θ`, where
+/// `world_probs` are the probabilities of the possible worlds whose densest
+/// subgraphs contain some true top-k set.
+pub fn closedness_bound(world_probs: &[f64], theta: usize) -> f64 {
+    let miss: f64 = world_probs
+        .iter()
+        .map(|&p| (1.0 - p).powi(theta as i32))
+        .sum();
+    (1.0 - miss).max(0.0)
+}
+
+/// Theorem 6: probability that Algorithm 5 returns exactly the true top-k
+/// closed node sets. Mirrors [`top_k_return_bound`] with γ in place of τ and
+/// the closedness bound in place of candidate inclusion.
+pub fn nds_return_bound(
+    world_probs: &[f64],
+    top_gammas: &[f64],
+    gamma_k1: f64,
+    other_gammas: &[f64],
+    theta: usize,
+) -> f64 {
+    assert!(!top_gammas.is_empty());
+    let gamma_k = *top_gammas.last().unwrap();
+    let mid = 0.5 * (gamma_k + gamma_k1);
+    let closed = closedness_bound(world_probs, theta);
+    let mut miss = 0.0;
+    for &g in top_gammas {
+        let d = g - mid;
+        miss += (-2.0 * d * d * theta as f64).exp();
+    }
+    for &g in other_gammas {
+        let d = mid - g;
+        miss += (-2.0 * d * d * theta as f64).exp();
+    }
+    (closed * (1.0 - miss)).max(0.0)
+}
+
+/// Smallest θ for which [`top_k_return_bound`] reaches `1 − delta`
+/// (doubling + binary search; `None` if `10^8` samples do not suffice, e.g.
+/// when τ_k = τ_{k+1} makes the sets statistically indistinguishable).
+pub fn theta_for_confidence(
+    top_taus: &[f64],
+    tau_k1: f64,
+    other_taus: &[f64],
+    delta: f64,
+) -> Option<usize> {
+    assert!(delta > 0.0 && delta < 1.0);
+    let target = 1.0 - delta;
+    let ok = |theta: usize| top_k_return_bound(top_taus, tau_k1, other_taus, theta) >= target;
+    let mut hi = 1usize;
+    while !ok(hi) {
+        hi *= 2;
+        if hi > 100_000_000 {
+            return None;
+        }
+    }
+    let mut lo = hi / 2;
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if ok(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusion_bound_monotone_in_theta() {
+        let taus = [0.4, 0.3, 0.1];
+        let b10 = candidate_inclusion_bound(&taus, 10);
+        let b100 = candidate_inclusion_bound(&taus, 100);
+        assert!(b100 > b10);
+        assert!(b100 <= 1.0);
+        // With tau near 0 the bound collapses.
+        assert!(candidate_inclusion_bound(&[1e-9], 10) < 1e-6);
+    }
+
+    #[test]
+    fn inclusion_bound_exact_value() {
+        // Single set, tau = 0.5, theta = 3: 1 - 0.5^3 = 0.875.
+        let b = candidate_inclusion_bound(&[0.5], 3);
+        assert!((b - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn return_bound_improves_with_gap() {
+        // Well-separated taus give a better bound than close ones.
+        let wide = top_k_return_bound(&[0.5, 0.4], 0.1, &[0.05], 500);
+        let tight = top_k_return_bound(&[0.5, 0.4], 0.39, &[0.385], 500);
+        assert!(wide > tight);
+        assert!(wide > 0.99, "wide bound {wide}");
+    }
+
+    #[test]
+    fn return_bound_within_unit_interval() {
+        for theta in [1, 10, 100, 10_000] {
+            let b = top_k_return_bound(&[0.3, 0.2], 0.1, &[0.05, 0.02], theta);
+            assert!((0.0..=1.0).contains(&b), "theta {theta}: {b}");
+        }
+    }
+
+    #[test]
+    fn theta_search_finds_minimal() {
+        let taus = [0.5, 0.4];
+        let theta = theta_for_confidence(&taus, 0.1, &[0.05], 0.05).unwrap();
+        assert!(top_k_return_bound(&taus, 0.1, &[0.05], theta) >= 0.95);
+        if theta > 1 {
+            assert!(top_k_return_bound(&taus, 0.1, &[0.05], theta - 1) < 0.95);
+        }
+    }
+
+    #[test]
+    fn theta_search_fails_on_ties() {
+        // tau_k == tau_{k+1}: mid = tau_k, d = 0, Hoeffding term never < 1.
+        assert_eq!(theta_for_confidence(&[0.4], 0.4, &[], 0.05), None);
+    }
+
+    #[test]
+    fn closedness_and_nds_bounds() {
+        let worlds = [0.2, 0.15, 0.1];
+        let b = closedness_bound(&worlds, 50);
+        assert!(b > 0.99);
+        let nds = nds_return_bound(&worlds, &[0.6, 0.5], 0.2, &[0.1], 400);
+        assert!(nds > 0.95, "nds bound {nds}");
+        assert!(nds <= 1.0);
+    }
+
+    #[test]
+    fn empirical_check_of_theorem2() {
+        // Simulate candidate inclusion for a single set with tau = 0.3 and
+        // verify the bound is conservative.
+        let tau = 0.3f64;
+        let theta = 10usize;
+        let bound = candidate_inclusion_bound(&[tau], theta);
+        // Exact inclusion probability = 1 - (1-tau)^theta, which the bound
+        // equals for k = 1 (union bound is tight for one set).
+        let exact = 1.0 - (1.0 - tau).powi(theta as i32);
+        assert!((bound - exact).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration tests for the `mpds-cli` binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mpds-cli"))
+}
+
+fn demo_file() -> tempfile::TempPath {
+    // The Fig. 1 example with labels 1..4 (A=1, B=2, C=3, D=4).
+    let mut f = tempfile::NamedTempFile::new();
+    writeln!(f.file, "# fig1 demo").unwrap();
+    writeln!(f.file, "1 2 0.4").unwrap();
+    writeln!(f.file, "1 3 0.4").unwrap();
+    writeln!(f.file, "2 4 0.7").unwrap();
+    f.into_path()
+}
+
+/// Minimal replacement for the tempfile crate (not a dependency): a real
+/// temp file deleted on drop.
+mod tempfile {
+    use std::path::PathBuf;
+
+    pub struct NamedTempFile {
+        pub file: std::fs::File,
+        path: PathBuf,
+    }
+
+    pub struct TempPath(PathBuf);
+
+    impl NamedTempFile {
+        pub fn new() -> Self {
+            let path = std::env::temp_dir().join(format!(
+                "mpds-cli-test-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let file = std::fs::File::create(&path).unwrap();
+            NamedTempFile { file, path }
+        }
+
+        pub fn into_path(self) -> TempPath {
+            TempPath(self.path)
+        }
+    }
+
+    impl TempPath {
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+#[test]
+fn stats_command() {
+    let path = demo_file();
+    let out = cli().args(["stats", path.as_str()]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("nodes: 4"));
+    assert!(text.contains("edges: 3"));
+}
+
+#[test]
+fn mpds_command_finds_bd() {
+    let path = demo_file();
+    let out = cli()
+        .args(["mpds", path.as_str(), "--theta", "3000", "--k", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    // The MPDS is {B, D} = labels {2, 4}.
+    assert!(text.contains("{2, 4}"), "{text}");
+}
+
+#[test]
+fn nds_command_runs() {
+    let path = demo_file();
+    let out = cli()
+        .args(["nds", path.as_str(), "--theta", "1000", "--k", "2", "--lm", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("gamma_hat"));
+}
+
+#[test]
+fn clique_density_flag() {
+    let path = demo_file();
+    let out = cli()
+        .args(["mpds", path.as_str(), "--density", "3clique", "--theta", "50"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    // The demo graph has no triangle, so no world has an instance.
+    assert!(text.contains("no sampled world"), "{text}");
+}
+
+#[test]
+fn bad_arguments_fail_gracefully() {
+    let out = cli().args(["bogus", "/nonexistent"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+
+    let out = cli().args(["mpds", "/nonexistent-file-xyz"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let path = demo_file();
+    let out = cli()
+        .args(["mpds", path.as_str(), "--density", "tesseract"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

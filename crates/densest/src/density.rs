@@ -1,0 +1,130 @@
+//! Exact rational densities.
+//!
+//! A density is `instances / nodes` with both parts integral, so densities of
+//! two subgraphs can always be compared exactly via cross-multiplication in
+//! `u128`. Keeping densities rational (instead of `f64`) is what makes the
+//! flow-network binary search and the "all densest subgraphs" enumeration
+//! exact.
+
+use std::cmp::Ordering;
+
+/// A non-negative rational density `num / den` (`den > 0`). Not necessarily
+/// reduced; equality and ordering are value-based.
+#[derive(Debug, Clone, Copy)]
+pub struct Density {
+    pub num: u64,
+    pub den: u64,
+}
+
+impl Density {
+    /// Creates `num / den`.
+    ///
+    /// # Panics
+    /// If `den == 0`.
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den > 0, "density denominator must be positive");
+        Density { num, den }
+    }
+
+    /// The zero density `0 / 1`.
+    pub const ZERO: Density = Density { num: 0, den: 1 };
+
+    /// Floating-point value (for reporting only; never used in comparisons).
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// `⌈num / den⌉`, the core threshold used by the `(⌈ρ̃⌉, ·)`-core
+    /// reduction.
+    pub fn ceil(&self) -> u64 {
+        self.num.div_ceil(self.den)
+    }
+
+    /// Reduced form (for stable display).
+    pub fn reduced(&self) -> Density {
+        if self.num == 0 {
+            return Density::ZERO;
+        }
+        let g = gcd(self.num, self.den);
+        Density {
+            num: self.num / g,
+            den: self.den / g,
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl PartialEq for Density {
+    fn eq(&self, other: &Self) -> bool {
+        (self.num as u128) * (other.den as u128) == (other.num as u128) * (self.den as u128)
+    }
+}
+
+impl Eq for Density {}
+
+impl PartialOrd for Density {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Density {
+    fn cmp(&self, other: &Self) -> Ordering {
+        ((self.num as u128) * (other.den as u128)).cmp(&((other.num as u128) * (self.den as u128)))
+    }
+}
+
+impl std::fmt::Display for Density {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let r = self.reduced();
+        write!(f, "{}/{}", r.num, r.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_exact() {
+        // 1/3 < 2/5 < 1/2; f64 would also get these right, but the point is
+        // exactness at large magnitudes below.
+        assert!(Density::new(1, 3) < Density::new(2, 5));
+        assert!(Density::new(2, 5) < Density::new(1, 2));
+        assert_eq!(Density::new(2, 4), Density::new(1, 2));
+        // Large values that differ by 1 part in ~1e18: exact comparison.
+        let a = Density::new(u64::MAX / 3, u64::MAX / 2);
+        let b = Density::new(u64::MAX / 3 + 1, u64::MAX / 2);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ceil_values() {
+        assert_eq!(Density::new(5, 2).ceil(), 3);
+        assert_eq!(Density::new(4, 2).ceil(), 2);
+        assert_eq!(Density::new(0, 7).ceil(), 0);
+        assert_eq!(Density::new(1, 7).ceil(), 1);
+    }
+
+    #[test]
+    fn reduced_and_display() {
+        assert_eq!(Density::new(6, 4).reduced().num, 3);
+        assert_eq!(Density::new(6, 4).reduced().den, 2);
+        assert_eq!(format!("{}", Density::new(6, 4)), "3/2");
+        assert_eq!(format!("{}", Density::new(0, 9)), "0/1");
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator")]
+    fn zero_denominator_rejected() {
+        Density::new(1, 0);
+    }
+}

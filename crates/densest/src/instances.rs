@@ -1,0 +1,456 @@
+//! Instance enumeration: `h`-cliques (kClist-style ordered search [56]) and
+//! arbitrary pattern instances (backtracking subgraph matching [58]).
+//!
+//! An *instance* of a pattern `ψ` in `G` is a (non-induced) subgraph of `G`
+//! isomorphic to `ψ`; instances are identified by their edge image, so two
+//! embeddings related by a pattern automorphism are the same instance. For
+//! density purposes each instance contributes its node set; several distinct
+//! instances may share one node set (e.g. the 6 diamonds on a `K_4`), which is
+//! exactly what the grouped flow network of Algorithm 7 exploits.
+
+use std::collections::HashSet;
+use ugraph::{Graph, NodeId, Pattern};
+
+/// All instances of a density notion in `G`, one entry per instance.
+#[derive(Debug, Clone)]
+pub struct InstanceSet {
+    /// Number of pattern nodes `|V_ψ|`.
+    pub arity: usize,
+    /// Node set of each instance, sorted ascending. Duplicates allowed:
+    /// distinct instances on the same node set each get an entry.
+    pub instances: Vec<Vec<NodeId>>,
+}
+
+impl InstanceSet {
+    /// Total instance count `µ(G)`.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Instance-degree of every node: the number of instances containing it
+    /// (paper Def. 6 generalized to patterns).
+    pub fn degrees(&self, n: usize) -> Vec<u64> {
+        let mut deg = vec![0u64; n];
+        for inst in &self.instances {
+            for &v in inst {
+                deg[v as usize] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Number of instances whose node set lies entirely inside `nodes`
+    /// (`µ(G[U])` for non-induced instances — instances are edge subsets of
+    /// `G`, so an instance survives in `G[U]` iff its nodes all lie in `U`).
+    pub fn count_within(&self, n: usize, nodes: &[NodeId]) -> u64 {
+        let mut mark = vec![false; n];
+        for &v in nodes {
+            mark[v as usize] = true;
+        }
+        self.instances
+            .iter()
+            .filter(|inst| inst.iter().all(|&v| mark[v as usize]))
+            .count() as u64
+    }
+
+    /// Keeps only instances fully contained in the node set `keep` (marks).
+    pub fn retain_within(&mut self, keep: &[bool]) {
+        self.instances
+            .retain(|inst| inst.iter().all(|&v| keep[v as usize]));
+    }
+
+    /// Groups instances by node set, returning `(node_set, multiplicity)`
+    /// pairs — the `Λ'` groups of Algorithm 7.
+    pub fn grouped(&self) -> Vec<(Vec<NodeId>, u64)> {
+        let mut sorted = self.instances.clone();
+        sorted.sort_unstable();
+        let mut out: Vec<(Vec<NodeId>, u64)> = Vec::new();
+        for inst in sorted {
+            match out.last_mut() {
+                Some((set, cnt)) if *set == inst => *cnt += 1,
+                _ => out.push((inst, 1)),
+            }
+        }
+        out
+    }
+}
+
+/// Enumerates all `h`-cliques of `G` (`h ≥ 1`), returned as sorted node sets.
+///
+/// Uses the ordered-extension scheme of kClist [56]: each clique is produced
+/// exactly once in increasing node order, with candidate sets maintained as
+/// intersections of (higher-numbered) neighbor lists.
+pub fn enumerate_cliques(g: &Graph, h: usize) -> InstanceSet {
+    assert!(h >= 1);
+    let mut instances = Vec::new();
+    if h == 1 {
+        instances.extend((0..g.num_nodes() as NodeId).map(|v| vec![v]));
+        return InstanceSet { arity: 1, instances };
+    }
+    if h == 2 {
+        instances.extend(g.edges().iter().map(|&(u, v)| vec![u, v]));
+        return InstanceSet { arity: 2, instances };
+    }
+    let mut current: Vec<NodeId> = Vec::with_capacity(h);
+    for v in 0..g.num_nodes() as NodeId {
+        // Candidates: neighbors of v with higher id.
+        let cand: Vec<NodeId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| w > v)
+            .collect();
+        current.push(v);
+        extend_clique(g, h, &mut current, &cand, &mut instances);
+        current.pop();
+    }
+    InstanceSet { arity: h, instances }
+}
+
+fn extend_clique(
+    g: &Graph,
+    h: usize,
+    current: &mut Vec<NodeId>,
+    cand: &[NodeId],
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    if current.len() == h {
+        out.push(current.clone());
+        return;
+    }
+    // Prune: not enough candidates left to finish the clique.
+    if current.len() + cand.len() < h {
+        return;
+    }
+    for (i, &w) in cand.iter().enumerate() {
+        // New candidates: members of cand after w that are adjacent to w.
+        let next: Vec<NodeId> = cand[i + 1..]
+            .iter()
+            .copied()
+            .filter(|&x| g.has_edge(w, x))
+            .collect();
+        current.push(w);
+        extend_clique(g, h, current, &next, out);
+        current.pop();
+    }
+}
+
+/// Enumerates all instances of `pattern` in `G`.
+///
+/// Backtracking over an adjacency-connected ordering of the pattern nodes;
+/// embeddings that share the same edge image (pattern automorphisms) are
+/// deduplicated so each instance is reported once. For clique patterns this
+/// delegates to the faster [`enumerate_cliques`].
+pub fn enumerate_pattern(g: &Graph, pattern: &Pattern) -> InstanceSet {
+    if pattern.is_clique() {
+        return enumerate_cliques(g, pattern.num_nodes());
+    }
+    let k = pattern.num_nodes();
+    let order = search_order(pattern);
+    // For each position i > 0, the earlier positions adjacent to order[i].
+    let back_edges: Vec<Vec<usize>> = (0..k)
+        .map(|i| {
+            (0..i)
+                .filter(|&j| pattern.has_edge(order[i], order[j]))
+                .collect()
+        })
+        .collect();
+    let mut assignment: Vec<NodeId> = Vec::with_capacity(k);
+    let mut seen_edge_images: HashSet<Vec<(NodeId, NodeId)>> = HashSet::new();
+    let mut instances = Vec::new();
+    embed(
+        g,
+        pattern,
+        &order,
+        &back_edges,
+        &mut assignment,
+        &mut seen_edge_images,
+        &mut instances,
+    );
+    InstanceSet {
+        arity: k,
+        instances,
+    }
+}
+
+/// Orders pattern nodes so every node (after the first) is adjacent to an
+/// earlier one, starting from a maximum-degree node (small candidate sets).
+fn search_order(pattern: &Pattern) -> Vec<usize> {
+    let k = pattern.num_nodes();
+    let start = (0..k).max_by_key(|&u| pattern.degree(u)).unwrap();
+    let mut order = vec![start];
+    let mut placed = vec![false; k];
+    placed[start] = true;
+    while order.len() < k {
+        // Next: an unplaced node adjacent to a placed one, max degree first.
+        let next = (0..k)
+            .filter(|&u| !placed[u] && order.iter().any(|&v| pattern.has_edge(u, v)))
+            .max_by_key(|&u| pattern.degree(u))
+            .expect("pattern is connected");
+        placed[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+fn embed(
+    g: &Graph,
+    pattern: &Pattern,
+    order: &[usize],
+    back_edges: &[Vec<usize>],
+    assignment: &mut Vec<NodeId>,
+    seen: &mut HashSet<Vec<(NodeId, NodeId)>>,
+    out: &mut Vec<Vec<NodeId>>,
+) {
+    let pos = assignment.len();
+    if pos == order.len() {
+        // Canonical edge image: map each pattern edge through the embedding.
+        let mut slot = vec![NodeId::MAX; order.len()];
+        for (i, &p) in order.iter().enumerate() {
+            slot[p] = assignment[i];
+        }
+        let mut image: Vec<(NodeId, NodeId)> = pattern
+            .edges()
+            .iter()
+            .map(|&(a, b)| {
+                let (x, y) = (slot[a as usize], slot[b as usize]);
+                if x < y {
+                    (x, y)
+                } else {
+                    (y, x)
+                }
+            })
+            .collect();
+        image.sort_unstable();
+        if seen.insert(image) {
+            let mut nodes = assignment.clone();
+            nodes.sort_unstable();
+            out.push(nodes);
+        }
+        return;
+    }
+    // Candidates: all nodes for the root; afterwards the neighbors of the
+    // first already-matched pattern-neighbor (connectivity of the order).
+    let candidates: Vec<NodeId> = if pos == 0 {
+        (0..g.num_nodes() as NodeId).collect()
+    } else {
+        let anchor = back_edges[pos]
+            .first()
+            .copied()
+            .expect("search order keeps connectivity");
+        g.neighbors(assignment[anchor]).to_vec()
+    };
+    'cand: for w in candidates {
+        if assignment.contains(&w) {
+            continue; // embeddings are injective
+        }
+        for &j in back_edges[pos].iter().skip(if pos == 0 { 0 } else { 1 }) {
+            if !g.has_edge(w, assignment[j]) {
+                continue 'cand;
+            }
+        }
+        assignment.push(w);
+        embed(g, pattern, order, back_edges, assignment, seen, out);
+        assignment.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn triangle_counts() {
+        let g = k4();
+        assert_eq!(enumerate_cliques(&g, 3).count(), 4);
+        assert_eq!(enumerate_cliques(&g, 4).count(), 1);
+        assert_eq!(enumerate_cliques(&g, 2).count(), 6);
+        assert_eq!(enumerate_cliques(&g, 5).count(), 0);
+    }
+
+    #[test]
+    fn clique_counts_on_k6() {
+        let mut edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(6, &edges);
+        // C(6, h) cliques of each size.
+        assert_eq!(enumerate_cliques(&g, 3).count(), 20);
+        assert_eq!(enumerate_cliques(&g, 4).count(), 15);
+        assert_eq!(enumerate_cliques(&g, 5).count(), 6);
+        assert_eq!(enumerate_cliques(&g, 6).count(), 1);
+    }
+
+    #[test]
+    fn cliques_are_sorted_and_unique() {
+        let g = k4();
+        let tris = enumerate_cliques(&g, 3);
+        for t in &tris.instances {
+            assert!(t.windows(2).all(|w| w[0] < w[1]));
+        }
+        let set: HashSet<_> = tris.instances.iter().cloned().collect();
+        assert_eq!(set.len(), tris.count());
+    }
+
+    #[test]
+    fn degrees_and_count_within() {
+        let g = k4();
+        let tris = enumerate_cliques(&g, 3);
+        let deg = tris.degrees(4);
+        assert_eq!(deg, vec![3, 3, 3, 3]);
+        assert_eq!(tris.count_within(4, &[0, 1, 2]), 1);
+        assert_eq!(tris.count_within(4, &[0, 1, 2, 3]), 4);
+        assert_eq!(tris.count_within(4, &[0, 1]), 0);
+    }
+
+    #[test]
+    fn two_star_count_matches_formula() {
+        // #2-stars = Σ_v C(deg(v), 2).
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        let inst = enumerate_pattern(&g, &Pattern::two_star());
+        let expected: usize = (0..5)
+            .map(|v| {
+                let d = g.degree(v);
+                d * d.saturating_sub(1) / 2
+            })
+            .sum();
+        assert_eq!(inst.count(), expected); // 3 + 1 = 4
+        assert_eq!(inst.count(), 4);
+    }
+
+    #[test]
+    fn three_star_count_matches_formula() {
+        let g = k4();
+        // Each K4 node has degree 3: C(3,3) = 1 three-star per node.
+        let inst = enumerate_pattern(&g, &Pattern::three_star());
+        assert_eq!(inst.count(), 4);
+    }
+
+    #[test]
+    fn diamond_count_on_k4() {
+        // K4 contains 6 diamonds (one per choice of the omitted edge), all on
+        // the same node set.
+        let inst = enumerate_pattern(&k4(), &Pattern::diamond());
+        assert_eq!(inst.count(), 6);
+        let groups = inst.grouped();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].0, vec![0, 1, 2, 3]);
+        assert_eq!(groups[0].1, 6);
+    }
+
+    #[test]
+    fn paw_count_on_triangle_with_tail() {
+        // Exactly the pattern itself: triangle {0,1,2} + pendant 3 on 0.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3)]);
+        let inst = enumerate_pattern(&g, &Pattern::c3_star());
+        assert_eq!(inst.count(), 1);
+        assert_eq!(inst.instances[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn paw_count_on_k4() {
+        // K4: 4 triangles × 1 remaining node × 3 attachment points = 12 paws.
+        let inst = enumerate_pattern(&k4(), &Pattern::c3_star());
+        assert_eq!(inst.count(), 12);
+    }
+
+    #[test]
+    fn pattern_clique_delegates() {
+        let inst = enumerate_pattern(&k4(), &Pattern::clique(3));
+        assert_eq!(inst.count(), 4);
+    }
+
+    #[test]
+    fn retain_within_filters() {
+        let g = k4();
+        let mut tris = enumerate_cliques(&g, 3);
+        let keep = vec![true, true, true, false];
+        tris.retain_within(&keep);
+        assert_eq!(tris.count(), 1);
+        assert_eq!(tris.instances[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn brute_force_cross_check_diamond() {
+        // Random-ish graph: verify the matcher against a brute-force count
+        // over all 4-node subsets and their sub-edge-sets.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (1, 4), (4, 5)],
+        );
+        let pattern = Pattern::diamond();
+        let fast = enumerate_pattern(&g, &pattern).count();
+        let slow = brute_force_count(&g, &pattern);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn brute_force_cross_check_paw() {
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6), (1, 6)],
+        );
+        let pattern = Pattern::c3_star();
+        assert_eq!(
+            enumerate_pattern(&g, &pattern).count(),
+            brute_force_count(&g, &pattern)
+        );
+    }
+
+    /// Counts instances by checking every injective map from pattern nodes to
+    /// graph nodes and deduplicating edge images.
+    fn brute_force_count(g: &Graph, pattern: &Pattern) -> usize {
+        let k = pattern.num_nodes();
+        let n = g.num_nodes();
+        let mut images: HashSet<Vec<(NodeId, NodeId)>> = HashSet::new();
+        let mut map = vec![0usize; k];
+        fn rec(
+            g: &Graph,
+            pattern: &Pattern,
+            map: &mut Vec<usize>,
+            pos: usize,
+            n: usize,
+            images: &mut HashSet<Vec<(NodeId, NodeId)>>,
+        ) {
+            let k = pattern.num_nodes();
+            if pos == k {
+                for &(a, b) in pattern.edges() {
+                    if !g.has_edge(map[a as usize] as NodeId, map[b as usize] as NodeId) {
+                        return;
+                    }
+                }
+                let mut image: Vec<(NodeId, NodeId)> = pattern
+                    .edges()
+                    .iter()
+                    .map(|&(a, b)| {
+                        let (x, y) = (map[a as usize] as NodeId, map[b as usize] as NodeId);
+                        if x < y {
+                            (x, y)
+                        } else {
+                            (y, x)
+                        }
+                    })
+                    .collect();
+                image.sort_unstable();
+                images.insert(image);
+                return;
+            }
+            for v in 0..n {
+                if !map[..pos].contains(&v) {
+                    map[pos] = v;
+                    rec(g, pattern, map, pos + 1, n, images);
+                }
+            }
+        }
+        rec(g, pattern, &mut map, 0, n, &mut images);
+        images.len()
+    }
+}

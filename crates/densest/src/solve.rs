@@ -1,0 +1,568 @@
+//! Exact densest-subgraph solving for all density notions (paper Algorithms
+//! 2 and 4, plus Goldberg/Chang–Qiao for edge density).
+//!
+//! Pipeline (identical for every notion, following the paper):
+//!
+//! 1. enumerate instances (edges / `h`-cliques [56] / ψ-instances [58]);
+//! 2. peel to get the lower bound ρ̃ (paper Line 1);
+//! 3. shrink to the `(⌈ρ̃⌉, ·)`-core (paper Line 2; Lemma 2);
+//! 4. find the exact maximum density ρ\* by Dinkelbach iteration on the
+//!    parameterized flow network: test `α`, and while some subgraph beats
+//!    `α`, jump to the exact density of the min-cut witness. The paper uses
+//!    the convex-programming solver of [57] here; Dinkelbach over the same
+//!    flow network is also exact and reuses the network needed in step 5
+//!    (the Frank–Wolfe solver of [57] is available in [`crate::fw`] and
+//!    compared in the ablation benches);
+//! 5. with the max flow at `α = ρ*` in hand, enumerate all densest subgraphs
+//!    from the residual SCCs (paper Algorithm 3, [`crate::enumerate`]).
+//!
+//! Densities are exact rationals; all capacities are scaled by the density
+//! denominator so the flow solver only ever sees integers.
+
+use crate::density::Density;
+use crate::enumerate::enumerate_min_cut_subgraphs;
+use crate::instances::{enumerate_cliques, enumerate_pattern, InstanceSet};
+use crate::notion::DensityNotion;
+use crate::peeling::peel;
+use maxflow::{FlowNetwork, INF};
+use ugraph::{Graph, NodeId};
+
+/// Exact solution: the maximum density and every node set attaining it.
+#[derive(Debug, Clone)]
+pub struct AllDensest {
+    /// The exact maximum density ρ\*.
+    pub density: Density,
+    /// All densest node sets (sorted ids, sorted lexicographically), possibly
+    /// truncated to the enumeration cap.
+    pub subgraphs: Vec<Vec<NodeId>>,
+    /// The maximum-sized densest subgraph (union of all densest subgraphs).
+    pub max_sized: Vec<NodeId>,
+    /// True if `subgraphs` was truncated.
+    pub truncated: bool,
+}
+
+/// Computes **all** densest subgraphs of `g` under `notion`.
+///
+/// Returns `None` when `g` contains no instance of the notion at all (e.g. an
+/// edgeless possible world): such worlds have maximum density 0 and, by the
+/// paper's accounting (Table I), contribute no densest subgraph.
+pub fn all_densest(g: &Graph, notion: &DensityNotion, cap: usize) -> Option<AllDensest> {
+    solve(g, notion, Some(cap))
+}
+
+/// The exact maximum density ρ\* of any subgraph of `g`, or `None` if `g`
+/// has no instances.
+pub fn max_density(g: &Graph, notion: &DensityNotion) -> Option<Density> {
+    solve(g, notion, None).map(|r| r.density)
+}
+
+/// The maximum-sized densest subgraph (and ρ\*), skipping the full
+/// enumeration — this is what the NDS estimator calls per sampled world
+/// (paper Algorithm 5 Line 4).
+pub fn max_sized_densest(g: &Graph, notion: &DensityNotion) -> Option<(Density, Vec<NodeId>)> {
+    solve(g, notion, None).map(|r| (r.density, r.max_sized))
+}
+
+/// Like [`max_density`] but *without* the `(⌈ρ̃⌉, ·)`-core reduction —
+/// the flow networks span the whole graph. Exists only so the ablation bench
+/// can quantify how much the paper's core pruning (Line 2) buys.
+pub fn max_density_unpruned(g: &Graph, notion: &DensityNotion) -> Option<Density> {
+    solve_opts(g, notion, None, false).map(|r| r.density)
+}
+
+/// `Clique(2)` and clique-shaped patterns are routed to the cheaper
+/// specialized networks.
+fn normalize(notion: &DensityNotion) -> DensityNotion {
+    match notion {
+        DensityNotion::Clique(2) => DensityNotion::Edge,
+        DensityNotion::Pattern(p) if p.is_clique() && p.num_nodes() == 2 => DensityNotion::Edge,
+        DensityNotion::Pattern(p) if p.is_clique() => DensityNotion::Clique(p.num_nodes()),
+        other => other.clone(),
+    }
+}
+
+/// Enumerates the instances of `notion` in `g`.
+pub fn instances_of(g: &Graph, notion: &DensityNotion) -> InstanceSet {
+    match normalize(notion) {
+        DensityNotion::Edge => enumerate_cliques(g, 2),
+        DensityNotion::Clique(h) => enumerate_cliques(g, h),
+        DensityNotion::Pattern(p) => enumerate_pattern(g, &p),
+    }
+}
+
+fn solve(g: &Graph, notion: &DensityNotion, enumerate_cap: Option<usize>) -> Option<AllDensest> {
+    solve_opts(g, notion, enumerate_cap, true)
+}
+
+fn solve_opts(
+    g: &Graph,
+    notion: &DensityNotion,
+    enumerate_cap: Option<usize>,
+    prune: bool,
+) -> Option<AllDensest> {
+    let notion = normalize(notion);
+    let instances = instances_of(g, &notion);
+    if instances.count() == 0 {
+        return None;
+    }
+    let n = g.num_nodes();
+    let peeling = peel(n, &instances);
+    debug_assert!(peeling.best_density > Density::ZERO);
+
+    // (⌈ρ̃⌉, ·)-core reduction (paper Line 2). The densest subgraph survives
+    // (Lemma 2), and so do all its instances. With pruning disabled (ablation
+    // only) every node that touches an instance is kept.
+    let k = if prune { peeling.best_density.ceil() } else { 1 };
+    let core_nodes: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| peeling.core_number[v as usize] >= k)
+        .collect();
+    debug_assert!(!core_nodes.is_empty());
+    let mut local_of = vec![u32::MAX; n];
+    for (i, &v) in core_nodes.iter().enumerate() {
+        local_of[v as usize] = i as u32;
+    }
+    let local_insts: Vec<Vec<u32>> = instances
+        .instances
+        .iter()
+        .filter(|inst| inst.iter().all(|&v| local_of[v as usize] != u32::MAX))
+        .map(|inst| inst.iter().map(|&v| local_of[v as usize]).collect())
+        .collect();
+    debug_assert!(!local_insts.is_empty());
+
+    let nc = core_nodes.len();
+    let arity = notion.arity() as u64;
+    let mu = local_insts.len() as u64;
+
+    // Dinkelbach iteration: α is always an achieved subgraph density; when
+    // the test at α finds nothing denser, α = ρ*.
+    let mut alpha = peeling.best_density;
+    loop {
+        let mut built = build_network(&notion, g, nc, &core_nodes, &local_of, &local_insts, alpha);
+        let flow = built.net.max_flow(built.s, built.t);
+        let trivial = arity
+            .checked_mul(mu)
+            .and_then(|x| x.checked_mul(alpha.den))
+            .expect("trivial cut fits in u64");
+        debug_assert!(flow <= trivial, "min cut cannot exceed the trivial cut");
+        if flow == trivial {
+            // α = ρ*. Extract results from this network's residual structure.
+            let result = match enumerate_cap {
+                Some(cap) => {
+                    let e =
+                        enumerate_min_cut_subgraphs(&built.net, built.s, built.t, nc, &core_nodes, cap);
+                    AllDensest {
+                        density: alpha,
+                        subgraphs: e.subgraphs,
+                        max_sized: e.max_sized,
+                        truncated: e.truncated,
+                    }
+                }
+                None => {
+                    let reach_t = built.net.can_reach(built.t);
+                    let max_sized: Vec<NodeId> = (0..nc)
+                        .filter(|&i| !reach_t[i])
+                        .map(|i| core_nodes[i])
+                        .collect();
+                    AllDensest {
+                        density: alpha,
+                        subgraphs: Vec::new(),
+                        max_sized,
+                        truncated: false,
+                    }
+                }
+            };
+            return Some(result);
+        }
+        // A denser subgraph exists: the min-cut source side is a witness.
+        let reach = built.net.reachable_from(built.s);
+        let witness: Vec<u32> = (0..nc as u32).filter(|&i| reach[i as usize]).collect();
+        debug_assert!(!witness.is_empty());
+        let cnt = count_within_local(nc, &local_insts, &witness);
+        let d = Density::new(cnt, witness.len() as u64);
+        debug_assert!(d > alpha, "Dinkelbach must strictly improve");
+        alpha = d;
+    }
+}
+
+fn count_within_local(nc: usize, insts: &[Vec<u32>], nodes: &[u32]) -> u64 {
+    let mut mark = vec![false; nc];
+    for &v in nodes {
+        mark[v as usize] = true;
+    }
+    insts
+        .iter()
+        .filter(|inst| inst.iter().all(|&v| mark[v as usize]))
+        .count() as u64
+}
+
+struct BuiltNetwork {
+    net: FlowNetwork,
+    s: usize,
+    t: usize,
+}
+
+/// Builds the parameterized flow network for `α = a/b`, capacity-scaled by
+/// `b` (paper Example 4 network for edges, Algorithm 6 for cliques,
+/// Algorithm 7 for patterns).
+fn build_network(
+    notion: &DensityNotion,
+    g: &Graph,
+    nc: usize,
+    core_nodes: &[NodeId],
+    local_of: &[u32],
+    local_insts: &[Vec<u32>],
+    alpha: Density,
+) -> BuiltNetwork {
+    let (a, b) = (alpha.num, alpha.den);
+    match notion {
+        DensityNotion::Edge => {
+            // Nodes: 0..nc = V, nc = s, nc+1 = t.
+            let s = nc;
+            let t = nc + 1;
+            let mut net = FlowNetwork::new(nc + 2);
+            // Local degrees within the core.
+            let mut deg = vec![0u64; nc];
+            for inst in local_insts {
+                deg[inst[0] as usize] += 1;
+                deg[inst[1] as usize] += 1;
+            }
+            for v in 0..nc {
+                net.add_edge(s, v, b * deg[v], 0);
+                net.add_edge(v, t, 2 * a, 0);
+            }
+            for inst in local_insts {
+                // One arc pair models the undirected edge: cap b both ways.
+                net.add_edge(inst[0] as usize, inst[1] as usize, b, b);
+            }
+            let _ = (g, core_nodes, local_of);
+            BuiltNetwork { net, s, t }
+        }
+        DensityNotion::Clique(h) => {
+            let h = *h;
+            // Λ: distinct (h−1)-cliques contained in h-cliques (paper Line 3
+            // of Algorithm 2), found as the h facets of each h-clique.
+            let mut lambda_of: std::collections::HashMap<Vec<u32>, u32> =
+                std::collections::HashMap::new();
+            // (λ index, completing node) pairs — one per (clique, member).
+            let mut pairs: Vec<(u32, u32)> = Vec::new();
+            for inst in local_insts {
+                for (i, &v) in inst.iter().enumerate() {
+                    let mut facet = inst.clone();
+                    facet.remove(i);
+                    let next_id = lambda_of.len() as u32;
+                    let id = *lambda_of.entry(facet).or_insert(next_id);
+                    pairs.push((id, v));
+                }
+            }
+            let num_lambda = lambda_of.len();
+            // Nodes: 0..nc = V, nc..nc+|Λ| = Λ, then s, t.
+            let s = nc + num_lambda;
+            let t = s + 1;
+            let mut net = FlowNetwork::new(nc + num_lambda + 2);
+            let mut deg = vec![0u64; nc];
+            for inst in local_insts {
+                for &v in inst {
+                    deg[v as usize] += 1;
+                }
+            }
+            for v in 0..nc {
+                net.add_edge(s, v, b * deg[v], 0);
+                net.add_edge(v, t, (h as u64) * a, 0);
+            }
+            // λ → each member with infinite capacity (Algorithm 6 Line 8).
+            for (facet, &id) in &lambda_of {
+                for &v in facet {
+                    net.add_edge(nc + id as usize, v as usize, INF, 0);
+                }
+            }
+            // v → λ with capacity 1 (scaled: b) per completed h-clique.
+            for &(id, v) in &pairs {
+                net.add_edge(v as usize, nc + id as usize, b, 0);
+            }
+            BuiltNetwork { net, s, t }
+        }
+        DensityNotion::Pattern(p) => {
+            let kp = p.num_nodes() as u64;
+            // Λ′: groups of instances sharing a node set (Algorithm 7 Line 5).
+            let mut groups: std::collections::HashMap<Vec<u32>, u64> =
+                std::collections::HashMap::new();
+            for inst in local_insts {
+                *groups.entry(inst.clone()).or_insert(0) += 1;
+            }
+            let group_list: Vec<(&Vec<u32>, u64)> =
+                groups.iter().map(|(k, &v)| (k, v)).collect();
+            let num_groups = group_list.len();
+            let s = nc + num_groups;
+            let t = s + 1;
+            let mut net = FlowNetwork::new(nc + num_groups + 2);
+            let mut deg = vec![0u64; nc];
+            for inst in local_insts {
+                for &v in inst {
+                    deg[v as usize] += 1;
+                }
+            }
+            for v in 0..nc {
+                net.add_edge(s, v, b * deg[v], 0);
+                net.add_edge(v, t, kp * a, 0);
+            }
+            for (gi, &(nodes, cnt)) in group_list.iter().enumerate() {
+                for &v in nodes {
+                    // λ′ → v: |g|(|V_ψ|−1); v → λ′: |g| (scaled by b).
+                    net.add_edge(nc + gi, v as usize, b * cnt * (kp - 1), 0);
+                    net.add_edge(v as usize, nc + gi, b * cnt, 0);
+                }
+            }
+            BuiltNetwork { net, s, t }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ugraph::Pattern;
+
+    fn k4_tail() -> Graph {
+        Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn edge_densest_k4_tail() {
+        let r = all_densest(&k4_tail(), &DensityNotion::Edge, 100).unwrap();
+        assert_eq!(r.density, Density::new(6, 4));
+        assert_eq!(r.subgraphs, vec![vec![0, 1, 2, 3]]);
+        assert_eq!(r.max_sized, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn edgeless_world_has_no_densest_subgraph() {
+        let g = Graph::new(5);
+        assert!(all_densest(&g, &DensityNotion::Edge, 10).is_none());
+        assert!(max_density(&g, &DensityNotion::Clique(3)).is_none());
+    }
+
+    #[test]
+    fn single_edge_world() {
+        let g = Graph::from_edges(4, &[(1, 3)]);
+        let r = all_densest(&g, &DensityNotion::Edge, 10).unwrap();
+        assert_eq!(r.density, Density::new(1, 2));
+        assert_eq!(r.subgraphs, vec![vec![1, 3]]);
+    }
+
+    #[test]
+    fn two_disjoint_edges_are_both_densest() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let r = all_densest(&g, &DensityNotion::Edge, 10).unwrap();
+        assert_eq!(r.density, Density::new(1, 2));
+        let mut subs = r.subgraphs.clone();
+        subs.sort();
+        // {0,1}, {2,3}, and their union {0,1,2,3} (density 2/4 = 1/2) are all
+        // densest.
+        assert_eq!(subs, vec![vec![0, 1], vec![0, 1, 2, 3], vec![2, 3]]);
+        assert_eq!(r.max_sized, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn triangle_densest_clique3() {
+        // Two triangles sharing no node, plus a bridge.
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3), (5, 6)],
+        );
+        let r = all_densest(&g, &DensityNotion::Clique(3), 100).unwrap();
+        assert_eq!(r.density, Density::new(1, 3));
+        let mut subs = r.subgraphs.clone();
+        subs.sort();
+        assert_eq!(
+            subs,
+            vec![vec![0, 1, 2], vec![0, 1, 2, 3, 4, 5], vec![3, 4, 5]]
+        );
+        assert_eq!(r.max_sized, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn clique2_matches_edge() {
+        let g = k4_tail();
+        let a = all_densest(&g, &DensityNotion::Edge, 100).unwrap();
+        let b = all_densest(&g, &DensityNotion::Clique(2), 100).unwrap();
+        assert_eq!(a.density, b.density);
+        assert_eq!(a.subgraphs, b.subgraphs);
+    }
+
+    #[test]
+    fn diamond_densest_on_k4() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let r = all_densest(&g, &DensityNotion::Pattern(Pattern::diamond()), 100).unwrap();
+        // 6 diamonds on 4 nodes.
+        assert_eq!(r.density, Density::new(6, 4));
+        assert_eq!(r.subgraphs, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn max_sized_matches_union_of_all() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let (d, ms) = max_sized_densest(&g, &DensityNotion::Edge).unwrap();
+        assert_eq!(d, Density::new(1, 2));
+        assert_eq!(ms, vec![0, 1, 2, 3]);
+    }
+
+    /// Brute-force reference: all densest subgraphs by sweeping every
+    /// non-empty node subset.
+    fn brute_force(g: &Graph, notion: &DensityNotion) -> Option<(Density, Vec<Vec<NodeId>>)> {
+        let inst = instances_of(g, notion);
+        if inst.count() == 0 {
+            return None;
+        }
+        let n = g.num_nodes();
+        assert!(n <= 16);
+        let mut best = Density::ZERO;
+        let mut sets: Vec<Vec<NodeId>> = Vec::new();
+        for mask in 1u32..(1 << n) {
+            let nodes: Vec<NodeId> = (0..n as NodeId).filter(|&v| mask >> v & 1 == 1).collect();
+            let cnt = inst.count_within(n, &nodes);
+            if cnt == 0 {
+                continue;
+            }
+            let d = Density::new(cnt, nodes.len() as u64);
+            if d > best {
+                best = d;
+                sets.clear();
+                sets.push(nodes);
+            } else if d == best {
+                sets.push(nodes);
+            }
+        }
+        sets.sort();
+        Some((best, sets))
+    }
+
+    fn pseudo_random_graph(n: usize, edge_pct: u64, seed: &mut u64) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                *seed ^= *seed << 13;
+                *seed ^= *seed >> 7;
+                *seed ^= *seed << 17;
+                if *seed % 100 < edge_pct {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn cross_validate_edge_density_against_brute_force() {
+        let mut seed = 0xabcd_ef12u64;
+        for trial in 0..30 {
+            let g = pseudo_random_graph(7, 45, &mut seed);
+            let ours = all_densest(&g, &DensityNotion::Edge, 10_000);
+            let truth = brute_force(&g, &DensityNotion::Edge);
+            match (ours, truth) {
+                (None, None) => {}
+                (Some(r), Some((d, sets))) => {
+                    assert_eq!(r.density, d, "trial {trial}");
+                    let mut subs = r.subgraphs.clone();
+                    subs.sort();
+                    assert_eq!(subs, sets, "trial {trial}");
+                    assert!(!r.truncated);
+                    // max_sized = union of all densest subgraphs.
+                    let mut union: Vec<NodeId> =
+                        sets.iter().flatten().copied().collect();
+                    union.sort_unstable();
+                    union.dedup();
+                    assert_eq!(r.max_sized, union, "trial {trial}");
+                }
+                (a, b) => panic!("trial {trial}: ours = {a:?}, truth = {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cross_validate_clique3_against_brute_force() {
+        let mut seed = 0x1357_9bdfu64;
+        for trial in 0..30 {
+            let g = pseudo_random_graph(7, 55, &mut seed);
+            let ours = all_densest(&g, &DensityNotion::Clique(3), 10_000);
+            let truth = brute_force(&g, &DensityNotion::Clique(3));
+            match (ours, truth) {
+                (None, None) => {}
+                (Some(r), Some((d, sets))) => {
+                    assert_eq!(r.density, d, "trial {trial}");
+                    let mut subs = r.subgraphs.clone();
+                    subs.sort();
+                    assert_eq!(subs, sets, "trial {trial}");
+                }
+                (a, b) => panic!("trial {trial}: ours = {a:?}, truth = {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cross_validate_clique4_against_brute_force() {
+        let mut seed = 0x0f0f_0f0fu64;
+        for trial in 0..20 {
+            let g = pseudo_random_graph(7, 65, &mut seed);
+            let ours = all_densest(&g, &DensityNotion::Clique(4), 10_000);
+            let truth = brute_force(&g, &DensityNotion::Clique(4));
+            match (ours, truth) {
+                (None, None) => {}
+                (Some(r), Some((d, sets))) => {
+                    assert_eq!(r.density, d, "trial {trial}");
+                    let mut subs = r.subgraphs.clone();
+                    subs.sort();
+                    assert_eq!(subs, sets, "trial {trial}");
+                }
+                (a, b) => panic!("trial {trial}: ours = {a:?}, truth = {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cross_validate_patterns_against_brute_force() {
+        for (pi, pattern) in [
+            Pattern::two_star(),
+            Pattern::three_star(),
+            Pattern::c3_star(),
+            Pattern::diamond(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut seed = 0x2468_ace0u64 + pi as u64;
+            for trial in 0..15 {
+                let g = pseudo_random_graph(6, 50, &mut seed);
+                let notion = DensityNotion::Pattern(pattern.clone());
+                let ours = all_densest(&g, &notion, 10_000);
+                let truth = brute_force(&g, &notion);
+                match (ours, truth) {
+                    (None, None) => {}
+                    (Some(r), Some((d, sets))) => {
+                        assert_eq!(r.density, d, "{} trial {trial}", pattern.name());
+                        let mut subs = r.subgraphs.clone();
+                        subs.sort();
+                        assert_eq!(subs, sets, "{} trial {trial}", pattern.name());
+                    }
+                    (a, b) => panic!(
+                        "{} trial {trial}: ours = {a:?}, truth = {b:?}",
+                        pattern.name()
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_cap_truncates() {
+        // A perfect matching has exponentially many densest subgraphs (any
+        // union of its edges): cap must kick in.
+        let g = Graph::from_edges(10, &[(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)]);
+        let r = all_densest(&g, &DensityNotion::Edge, 5).unwrap();
+        assert_eq!(r.subgraphs.len(), 5);
+        assert!(r.truncated);
+        assert_eq!(r.max_sized.len(), 10);
+    }
+}

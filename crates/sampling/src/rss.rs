@@ -1,0 +1,214 @@
+//! Recursive Stratified Sampling [55].
+//!
+//! Worlds are generated in batches. A batch of size `B` is split across the
+//! `2^r` joint assignments ("strata") of the next `r` pivot edges; each
+//! stratum receives a share of the batch proportional to its probability
+//! (floor allocation plus systematic sampling of the fractional remainders,
+//! which keeps the per-edge presence frequencies exactly unbiased across
+//! batches). Strata with large allocations recurse on the following `r`
+//! edges; small ones fall back to Monte Carlo on their free edges.
+//!
+//! Compared to MC this reduces the estimator variance contributed by the
+//! pivot edges, at the cost of batch buffering and recursion state — the
+//! memory overhead the paper reports in Tables XIII–XIV.
+
+use crate::WorldSampler;
+use rand::rngs::StdRng;
+use rand::Rng;
+use ugraph::UncertainGraph;
+
+/// Batched recursive stratified sampler.
+pub struct RecursiveStratified {
+    probs: Vec<f64>,
+    /// Pivot edges per recursion level.
+    r: usize,
+    batch_size: usize,
+    /// Minimum allocation for which a stratum recurses further.
+    recurse_threshold: usize,
+    queue: Vec<Vec<bool>>,
+    rng: StdRng,
+    /// High-water mark of recursion depth (memory accounting).
+    max_depth_seen: usize,
+}
+
+impl RecursiveStratified {
+    /// Creates a sampler stratifying on `r` pivot edges per level
+    /// (`1 ≤ r ≤ 6`).
+    pub fn new(g: &UncertainGraph, r: usize, rng: StdRng) -> Self {
+        assert!((1..=6).contains(&r));
+        RecursiveStratified {
+            probs: g.probs().to_vec(),
+            r,
+            batch_size: 128,
+            recurse_threshold: 32,
+            queue: Vec::new(),
+            rng,
+            max_depth_seen: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        let m = self.probs.len();
+        let mut batch: Vec<Vec<bool>> = Vec::with_capacity(self.batch_size);
+        let prefix = vec![false; m];
+        let batch_size = self.batch_size;
+        self.generate(&prefix, 0, batch_size, 0, &mut batch);
+        // Shuffle so within-batch stratum ordering cannot correlate with
+        // consumption order.
+        for i in (1..batch.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            batch.swap(i, j);
+        }
+        self.queue = batch;
+    }
+
+    /// Generates `count` masks whose edges `..start` are fixed to `prefix`.
+    fn generate(
+        &mut self,
+        prefix: &[bool],
+        start: usize,
+        count: usize,
+        depth: usize,
+        out: &mut Vec<Vec<bool>>,
+    ) {
+        if count == 0 {
+            return;
+        }
+        self.max_depth_seen = self.max_depth_seen.max(depth);
+        let m = self.probs.len();
+        let remaining = m - start;
+        if remaining == 0 || count < self.recurse_threshold {
+            // Monte Carlo fill of the free edges.
+            for _ in 0..count {
+                let mut mask = prefix.to_vec();
+                for (e, slot) in mask.iter_mut().enumerate().skip(start) {
+                    *slot = self.rng.gen_bool(self.probs[e]);
+                }
+                out.push(mask);
+            }
+            return;
+        }
+        let r = self.r.min(remaining);
+        let strata = 1usize << r;
+        // Stratum probabilities: product over pivot assignments.
+        let mut q = vec![0f64; strata];
+        for (j, qj) in q.iter_mut().enumerate() {
+            let mut p = 1.0;
+            for (b, &pe) in self.probs[start..start + r].iter().enumerate() {
+                p *= if j >> b & 1 == 1 { pe } else { 1.0 - pe };
+            }
+            *qj = p;
+        }
+        // Proportional allocation: floors + systematic sampling of fractions
+        // (inclusion probability of each extra = fractional part, keeping
+        // E[n_j] = count * q_j exactly).
+        let mut alloc = vec![0usize; strata];
+        let mut fracs = vec![0f64; strata];
+        for j in 0..strata {
+            let c = count as f64 * q[j];
+            alloc[j] = c.floor() as usize;
+            fracs[j] = c - c.floor();
+        }
+        let mut threshold: f64 = self.rng.gen();
+        let mut cum = 0.0;
+        for j in 0..strata {
+            cum += fracs[j];
+            while threshold < cum {
+                alloc[j] += 1;
+                threshold += 1.0;
+            }
+        }
+        for (j, &nj) in alloc.iter().enumerate() {
+            if nj == 0 {
+                continue;
+            }
+            let mut sub_prefix = prefix.to_vec();
+            for b in 0..r {
+                sub_prefix[start + b] = j >> b & 1 == 1;
+            }
+            self.generate(&sub_prefix, start + r, nj, depth + 1, out);
+        }
+    }
+}
+
+impl WorldSampler for RecursiveStratified {
+    fn next_mask(&mut self) -> Vec<bool> {
+        if self.queue.is_empty() {
+            self.refill();
+        }
+        self.queue.pop().expect("refill produced a non-empty batch")
+    }
+
+    fn aux_memory_bytes(&self) -> usize {
+        let m = self.probs.len();
+        m * std::mem::size_of::<f64>()                       // probabilities
+            + self.batch_size * m                            // buffered masks
+            + (self.max_depth_seen.max(1)) * (m + (1 << self.r) * 24) // recursion
+    }
+
+    fn name(&self) -> &'static str {
+        "RSS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn graph(probs: &[f64]) -> UncertainGraph {
+        let edges: Vec<(u32, u32, f64)> = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u32, i as u32 + 1, p))
+            .collect();
+        UncertainGraph::from_weighted_edges(probs.len() + 1, &edges)
+    }
+
+    #[test]
+    fn batch_is_exactly_consumed() {
+        let g = graph(&[0.5, 0.5]);
+        let mut rss = RecursiveStratified::new(&g, 2, StdRng::seed_from_u64(1));
+        for _ in 0..500 {
+            let mask = rss.next_mask();
+            assert_eq!(mask.len(), 2);
+        }
+    }
+
+    #[test]
+    fn pivot_edge_variance_is_reduced() {
+        // Frequency of a pivot edge over exactly one batch should be closer
+        // to p than iid MC typically is: with proportional allocation the
+        // batch count differs from B*p by at most the systematic-sampling
+        // remainder (1 sample).
+        let g = graph(&[0.3, 0.6, 0.5]);
+        let mut rss = RecursiveStratified::new(&g, 3, StdRng::seed_from_u64(2));
+        let batch: Vec<Vec<bool>> = (0..128).map(|_| rss.next_mask()).collect();
+        let count0 = batch.iter().filter(|m| m[0]).count() as f64;
+        // E = 128 * 0.3 = 38.4; allocation error <= 2^r extra samples spread
+        // across strata, but the edge-0 marginal error is at most the number
+        // of fractional allocations, bounded by a few samples.
+        assert!(
+            (count0 - 38.4).abs() <= 4.0,
+            "stratified count {count0} strays from 38.4"
+        );
+    }
+
+    #[test]
+    fn deep_graphs_recurse() {
+        let probs: Vec<f64> = (0..12).map(|i| 0.2 + 0.05 * i as f64).collect();
+        let g = graph(&probs);
+        let mut rss = RecursiveStratified::new(&g, 3, StdRng::seed_from_u64(3));
+        for _ in 0..256 {
+            rss.next_mask();
+        }
+        assert!(rss.max_depth_seen >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_r() {
+        let g = graph(&[0.5]);
+        RecursiveStratified::new(&g, 0, StdRng::seed_from_u64(1));
+    }
+}

@@ -1,0 +1,324 @@
+//! Deterministic, undirected, unweighted graphs.
+//!
+//! Nodes are dense integer identifiers `0..n`. Edges are stored both as sorted
+//! adjacency lists (for O(log d) membership tests) and as a canonical edge list
+//! `(u, v)` with `u < v` (so the uncertain layer can attach one probability per
+//! edge by index). Self-loops and parallel edges are rejected: the paper works
+//! on simple graphs.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense node identifier. `u32` keeps adjacency lists half the size of `usize`
+/// on 64-bit targets, which matters for the million-edge synthetic datasets.
+pub type NodeId = u32;
+
+/// An undirected simple graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<NodeId>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl Graph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from an edge list. Node count is `n`; edges outside
+    /// `0..n`, self-loops, and duplicates (in either orientation) are rejected.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v as usize]
+    }
+
+    /// Canonical edge list; every entry satisfies `u < v`.
+    #[inline]
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Index of edge `(u, v)` in [`Graph::edges`], if present.
+    pub fn edge_index(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.binary_search(&(a, b)).ok()
+    }
+
+    /// Whether the edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// # Panics
+    /// Panics on self-loops, out-of-range endpoints, or duplicate edges, and if
+    /// edges are not added in canonical sorted order relative to existing ones
+    /// is fine — insertion keeps both representations sorted.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u != v, "self-loop ({u}, {v})");
+        let n = self.num_nodes() as NodeId;
+        assert!(u < n && v < n, "edge ({u}, {v}) out of range for n = {n}");
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let pos = self
+            .edges
+            .binary_search(&(a, b))
+            .expect_err("duplicate edge");
+        self.edges.insert(pos, (a, b));
+        let pa = self.adj[a as usize].binary_search(&b).unwrap_err();
+        self.adj[a as usize].insert(pa, b);
+        let pb = self.adj[b as usize].binary_search(&a).unwrap_err();
+        self.adj[b as usize].insert(pb, a);
+    }
+
+    /// Edge density `|E| / |V|` (paper Def. 1). Returns 0 for the empty graph.
+    pub fn edge_density(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Subgraph induced by `nodes` (paper notation `G[W]`).
+    ///
+    /// Returns the induced graph with nodes relabelled `0..nodes.len()` in the
+    /// order given, plus the mapping from new ids back to original ids.
+    /// `nodes` must be duplicate-free.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+        let mut rename = vec![NodeId::MAX; self.num_nodes()];
+        for (i, &v) in nodes.iter().enumerate() {
+            assert!(
+                rename[v as usize] == NodeId::MAX,
+                "duplicate node {v} in induced_subgraph"
+            );
+            rename[v as usize] = i as NodeId;
+        }
+        let mut sub = Graph::new(nodes.len());
+        for &v in nodes {
+            let nv = rename[v as usize];
+            for &w in self.neighbors(v) {
+                let nw = rename[w as usize];
+                if nw != NodeId::MAX && nv < nw {
+                    sub.add_edge(nv, nw);
+                }
+            }
+        }
+        (sub, nodes.to_vec())
+    }
+
+    /// Number of edges with both endpoints in `nodes` (`nodes` must be
+    /// duplicate-free). Runs in `O(Σ deg)` over the set.
+    pub fn induced_edge_count(&self, nodes: &[NodeId]) -> usize {
+        let mut mark = vec![false; self.num_nodes()];
+        for &v in nodes {
+            mark[v as usize] = true;
+        }
+        let mut cnt = 0;
+        for &v in nodes {
+            for &w in self.neighbors(v) {
+                if v < w && mark[w as usize] {
+                    cnt += 1;
+                }
+            }
+        }
+        cnt
+    }
+
+    /// Connected components as sorted node lists, largest first.
+    pub fn connected_components(&self) -> Vec<Vec<NodeId>> {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        let mut comps = Vec::new();
+        let mut stack = Vec::new();
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            seen[s] = true;
+            stack.push(s as NodeId);
+            let mut comp = Vec::new();
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in self.neighbors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        comps
+    }
+
+    /// Enumerates all triangles `(u, v, w)` with `u < v < w`.
+    pub fn triangles(&self) -> Vec<(NodeId, NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for &(u, v) in &self.edges {
+            // Intersect neighbor lists, keeping only w > v to canonicalize.
+            let (mut i, mut j) = (0, 0);
+            let (nu, nv) = (self.neighbors(u), self.neighbors(v));
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if nu[i] > v {
+                            out.push((u, v, nu[i]));
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Common neighbors of `u` and `v` (sorted).
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let (mut i, mut j) = (0, 0);
+        let (nu, nv) = (self.neighbors(u), self.neighbors(v));
+        let mut out = Vec::new();
+        while i < nu.len() && j < nv.len() {
+            match nu[i].cmp(&nv[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(nu[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edge_list_is_canonical() {
+        let g = Graph::from_edges(4, &[(3, 2), (1, 0), (2, 0)]);
+        assert_eq!(g.edges(), &[(0, 1), (0, 2), (2, 3)]);
+        assert_eq!(g.edge_index(3, 2), Some(2));
+        assert_eq!(g.edge_index(1, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut g = Graph::new(2);
+        g.add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    fn density() {
+        assert_eq!(path3().edge_density(), 2.0 / 3.0);
+        assert_eq!(Graph::new(0).edge_density(), 0.0);
+        assert_eq!(Graph::new(5).edge_density(), 0.0);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let (sub, map) = g.induced_subgraph(&[1, 3, 4]);
+        assert_eq!(map, vec![1, 3, 4]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Edges among {1,3,4}: (1,3) and (3,4).
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(0, 1)); // 1-3
+        assert!(sub.has_edge(1, 2)); // 3-4
+        assert!(!sub.has_edge(0, 2)); // 1-4 absent
+        assert_eq!(g.induced_edge_count(&[1, 3, 4]), 2);
+    }
+
+    #[test]
+    fn components() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert_eq!(comps[2], vec![5]);
+    }
+
+    #[test]
+    fn triangles_k4() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let tris = g.triangles();
+        assert_eq!(tris.len(), 4);
+        assert!(tris.contains(&(0, 1, 2)));
+        assert!(tris.contains(&(1, 2, 3)));
+    }
+
+    #[test]
+    fn common_neighbors_sorted() {
+        let g = Graph::from_edges(5, &[(0, 2), (0, 3), (1, 2), (1, 3), (1, 4)]);
+        assert_eq!(g.common_neighbors(0, 1), vec![2, 3]);
+        assert_eq!(g.common_neighbors(2, 3), vec![0, 1]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Graph substrate for the MPDS (Most Probable Densest Subgraphs) reproduction.
+//!
+//! This crate provides the deterministic and uncertain graph types that every
+//! other crate in the workspace builds on, together with:
+//!
+//! * [`Graph`] — a compact undirected, unweighted deterministic graph,
+//! * [`UncertainGraph`] — a graph whose edges exist independently with a
+//!   probability `p(e) ∈ (0, 1]` (the paper's `G = (V, E, p)`),
+//! * [`Pattern`] — small pattern graphs (`2-star`, `3-star`, `c3-star`,
+//!   `diamond`, cliques, …) used for pattern-density,
+//! * random-graph [`generators`] and the paper's edge-[`probability`] models,
+//! * embedded and synthetic [`datasets`] (Zachary's Karate Club with ground
+//!   truth, scaled stand-ins for the paper's large datasets),
+//! * a [`brain`] network simulator reproducing the structural properties the
+//!   paper's ABIDE case study relies on,
+//! * the evaluation [`metrics`] of the paper's §VI (expected density,
+//!   probabilistic density, probabilistic clustering coefficient, purity, F1).
+
+pub mod brain;
+pub mod datasets;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod metrics;
+pub mod nodeset;
+pub mod pattern;
+pub mod probability;
+pub mod uncertain;
+
+pub use graph::{Graph, NodeId};
+pub use nodeset::NodeSet;
+pub use pattern::Pattern;
+pub use uncertain::UncertainGraph;

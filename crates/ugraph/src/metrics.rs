@@ -1,0 +1,170 @@
+//! Evaluation metrics of the paper's §VI.
+//!
+//! * [`probabilistic_density`] — Eq. 19 (`PD(U)`), cohesiveness of an
+//!   uncertain subgraph (Tables V).
+//! * [`probabilistic_clustering_coefficient`] — Eq. 20 (`PCC(U)`), how well
+//!   the nodes cluster together (Table VI).
+//! * [`purity`] — highest fraction of a node set drawn from one ground-truth
+//!   community (Table X).
+//!
+//! Expected edge density lives on [`UncertainGraph`]; F1/Jaccard live in
+//! [`crate::nodeset`].
+
+use crate::graph::NodeId;
+use crate::uncertain::UncertainGraph;
+
+/// Probabilistic density `PD(U)` (paper Eq. 19): twice the sum of the
+/// probabilities of the edges induced by `U`, divided by the number of node
+/// pairs `|U|(|U|−1)`.
+pub fn probabilistic_density(g: &UncertainGraph, nodes: &[NodeId]) -> f64 {
+    if nodes.len() < 2 {
+        return 0.0;
+    }
+    let mut mark = vec![false; g.num_nodes()];
+    for &v in nodes {
+        mark[v as usize] = true;
+    }
+    let mut sum = 0.0;
+    for (i, &(u, v)) in g.graph().edges().iter().enumerate() {
+        if mark[u as usize] && mark[v as usize] {
+            sum += g.prob(i);
+        }
+    }
+    2.0 * sum / (nodes.len() * (nodes.len() - 1)) as f64
+}
+
+/// Probabilistic clustering coefficient `PCC(U)` (paper Eq. 20): three times
+/// the weighted number of triangles in `U` divided by the weighted number of
+/// adjacent edge pairs (open wedges), where weights are existence
+/// probabilities under edge independence.
+pub fn probabilistic_clustering_coefficient(g: &UncertainGraph, nodes: &[NodeId]) -> f64 {
+    if nodes.len() < 3 {
+        return 0.0;
+    }
+    let mut mark = vec![false; g.num_nodes()];
+    for &v in nodes {
+        mark[v as usize] = true;
+    }
+    let gr = g.graph();
+    // Numerator: triangles fully inside U, weighted by the product of their
+    // three edge probabilities.
+    let mut tri_sum = 0.0;
+    for (u, v, w) in gr.triangles() {
+        if mark[u as usize] && mark[v as usize] && mark[w as usize] {
+            let puv = g.prob(gr.edge_index(u, v).unwrap());
+            let puw = g.prob(gr.edge_index(u, w).unwrap());
+            let pvw = g.prob(gr.edge_index(v, w).unwrap());
+            tri_sum += puv * puw * pvw;
+        }
+    }
+    // Denominator: ordered wedges centred at each u in U with both endpoints
+    // in U, weighted by the product of the two edge probabilities. Each
+    // unordered neighbor pair {v, w} of u is counted once.
+    let mut wedge_sum = 0.0;
+    for &u in nodes {
+        let nbrs: Vec<NodeId> = gr
+            .neighbors(u)
+            .iter()
+            .copied()
+            .filter(|&v| mark[v as usize])
+            .collect();
+        for i in 0..nbrs.len() {
+            let pui = g.prob(gr.edge_index(u, nbrs[i]).unwrap());
+            for &w in &nbrs[i + 1..] {
+                let puw = g.prob(gr.edge_index(u, w).unwrap());
+                wedge_sum += pui * puw;
+            }
+        }
+    }
+    if wedge_sum == 0.0 {
+        0.0
+    } else {
+        3.0 * tri_sum / wedge_sum
+    }
+}
+
+/// Purity of a node set against ground-truth communities: the highest
+/// fraction of nodes belonging to a single community (paper §VI-E).
+pub fn purity(nodes: &[NodeId], communities: &[usize]) -> f64 {
+    if nodes.is_empty() {
+        return 0.0;
+    }
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for &v in nodes {
+        *counts.entry(communities[v as usize]).or_insert(0) += 1;
+    }
+    let best = counts.values().copied().max().unwrap_or(0);
+    best as f64 / nodes.len() as f64
+}
+
+/// Average purity over a ranked list of node sets (Table X reports the purity
+/// averaged over the top-k results).
+pub fn average_purity(sets: &[Vec<NodeId>], communities: &[usize]) -> f64 {
+    if sets.is_empty() {
+        return 0.0;
+    }
+    sets.iter().map(|s| purity(s, communities)).sum::<f64>() / sets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uncertain::UncertainGraph;
+
+    fn triangle_graph() -> UncertainGraph {
+        UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.5), (0, 2, 0.4), (1, 2, 0.8), (2, 3, 0.9)])
+    }
+
+    #[test]
+    fn pd_triangle() {
+        let g = triangle_graph();
+        // U = {0,1,2}: sum p = 1.7, pairs = 3 -> PD = 2*1.7/6.
+        let pd = probabilistic_density(&g, &[0, 1, 2]);
+        assert!((pd - 2.0 * 1.7 / 6.0).abs() < 1e-12);
+        // Singleton and empty sets have PD 0.
+        assert_eq!(probabilistic_density(&g, &[0]), 0.0);
+        assert_eq!(probabilistic_density(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn pd_counts_only_induced_edges() {
+        let g = triangle_graph();
+        // U = {0,1,3}: only (0,1) induced -> PD = 2*0.5/6.
+        let pd = probabilistic_density(&g, &[0, 1, 3]);
+        assert!((pd - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcc_triangle() {
+        let g = triangle_graph();
+        // U = {0,1,2}: one triangle with weight .5*.4*.8 = .16.
+        // Wedges: at 0: (1,2) w .5*.4=.2; at 1: (0,2) w .5*.8=.4;
+        // at 2: (0,1) w .4*.8=.32 -> total .92. PCC = 3*.16/.92.
+        let pcc = probabilistic_clustering_coefficient(&g, &[0, 1, 2]);
+        assert!((pcc - 3.0 * 0.16 / 0.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcc_on_certain_triangle_is_one() {
+        let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)]);
+        let pcc = probabilistic_clustering_coefficient(&g, &[0, 1, 2]);
+        assert!((pcc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pcc_no_wedges_is_zero() {
+        let g = UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.9), (2, 3, 0.9)]);
+        assert_eq!(probabilistic_clustering_coefficient(&g, &[0, 1, 2, 3]), 0.0);
+        assert_eq!(probabilistic_clustering_coefficient(&g, &[0, 1]), 0.0);
+    }
+
+    #[test]
+    fn purity_values() {
+        let comms = vec![0, 0, 0, 1, 1];
+        assert_eq!(purity(&[0, 1, 2], &comms), 1.0);
+        assert!((purity(&[0, 1, 3], &comms) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(purity(&[], &comms), 0.0);
+        let avg = average_purity(&[vec![0, 1, 2], vec![3, 4]], &comms);
+        assert_eq!(avg, 1.0);
+    }
+}

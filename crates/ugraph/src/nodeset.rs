@@ -1,0 +1,163 @@
+//! Canonical node sets and set-comparison helpers.
+//!
+//! Throughout the workspace a candidate subgraph is identified by its *node
+//! set*: a sorted, duplicate-free `Vec<NodeId>`. Sorted vectors hash and
+//! compare cheaply and keep the candidate maps of Algorithm 1 compact.
+
+use crate::graph::NodeId;
+
+/// A sorted, duplicate-free set of node identifiers.
+pub type NodeSet = Vec<NodeId>;
+
+/// Sorts and deduplicates `nodes` in place, returning it as a canonical set.
+pub fn canonicalize(mut nodes: Vec<NodeId>) -> NodeSet {
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+/// Whether sorted set `a` is a subset of sorted set `b`.
+pub fn is_subset(a: &[NodeId], b: &[NodeId]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut j = 0;
+    for &x in a {
+        // Advance j to the first element >= x.
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j == b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Size of the intersection of two sorted sets.
+pub fn intersection_size(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut cnt) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                cnt += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    cnt
+}
+
+/// F1 score of a returned set `pred` against a ground-truth set `truth`
+/// (used in the paper's Fig. 17/18 comparisons to the exact method).
+pub fn f1_score(pred: &[NodeId], truth: &[NodeId]) -> f64 {
+    if pred.is_empty() || truth.is_empty() {
+        return if pred.is_empty() && truth.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    let inter = intersection_size(pred, truth) as f64;
+    if inter == 0.0 {
+        return 0.0;
+    }
+    let precision = inter / pred.len() as f64;
+    let recall = inter / truth.len() as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Jaccard similarity of two sorted sets.
+pub fn jaccard(a: &[NodeId], b: &[NodeId]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = intersection_size(a, b) as f64;
+    let union = (a.len() + b.len()) as f64 - inter;
+    inter / union
+}
+
+/// Average best-match Jaccard similarity between two collections of node sets.
+///
+/// Used for the paper's Fig. 19 convergence study: "similarity of the returned
+/// node sets to those for the previous value of θ". Each set in `a` is matched
+/// to its most similar set in `b` and vice versa; the two directional averages
+/// are averaged (a symmetric greedy matching).
+pub fn set_family_similarity(a: &[NodeSet], b: &[NodeSet]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let dir = |xs: &[NodeSet], ys: &[NodeSet]| -> f64 {
+        xs.iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| jaccard(x, y))
+                    .fold(0.0_f64, f64::max)
+            })
+            .sum::<f64>()
+            / xs.len() as f64
+    };
+    0.5 * (dir(a, b) + dir(b, a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalize_sorts_and_dedups() {
+        assert_eq!(canonicalize(vec![3, 1, 3, 2]), vec![1, 2, 3]);
+        assert!(canonicalize(vec![]).is_empty());
+    }
+
+    #[test]
+    fn subset_checks() {
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(is_subset(&[], &[1]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 2, 3], &[1, 3]));
+        assert!(is_subset(&[2], &[2]));
+    }
+
+    #[test]
+    fn intersections() {
+        assert_eq!(intersection_size(&[1, 2, 3], &[2, 3, 4]), 2);
+        assert_eq!(intersection_size(&[1], &[2]), 0);
+    }
+
+    #[test]
+    fn f1_basics() {
+        assert_eq!(f1_score(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(f1_score(&[1], &[2]), 0.0);
+        // pred={1,2,3}, truth={2,3,4}: P=2/3, R=2/3, F1=2/3.
+        let f1 = f1_score(&[1, 2, 3], &[2, 3, 4]);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(f1_score(&[], &[]), 1.0);
+        assert_eq!(f1_score(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(jaccard(&[1], &[2]), 0.0);
+        assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn family_similarity() {
+        let a = vec![vec![1, 2], vec![3, 4]];
+        let b = vec![vec![1, 2], vec![3, 4]];
+        assert_eq!(set_family_similarity(&a, &b), 1.0);
+        let c = vec![vec![1, 2]];
+        // a->c: best for [1,2] is 1.0, for [3,4] is 0.0 -> 0.5; c->a: 1.0.
+        assert!((set_family_similarity(&a, &c) - 0.75).abs() < 1e-12);
+        assert_eq!(set_family_similarity(&[], &[]), 1.0);
+    }
+}

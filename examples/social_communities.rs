@@ -1,0 +1,37 @@
+//! Community detection in an uncertain social network (paper §VI-E).
+//!
+//! Runs the Karate-Club case study: the top-k MPDSs are compared against the
+//! expected densest subgraph, the innermost probabilistic core and truss, and
+//! the deterministic densest subgraph, using ground-truth faction purity.
+//!
+//! Run with: `cargo run --release --example social_communities`
+
+use mpds::case_studies::karate_case_study;
+
+fn main() {
+    let study = karate_case_study(320, 10, 7);
+
+    println!("Zachary's Karate Club as an uncertain graph (p = 1 - e^(-t/20)):\n");
+    println!("{:<8} {:>7} {:>7} {:>7}  node set", "method", "purity", "PD", "PCC");
+    for s in &study.scored {
+        println!(
+            "{:<8} {:>7.3} {:>7.3} {:>7.3}  {:?}",
+            s.method,
+            s.purity.unwrap_or(f64::NAN),
+            s.pd,
+            s.pcc,
+            s.node_set
+        );
+    }
+
+    println!("\nTop-10 MPDSs (all inside a single ground-truth faction):");
+    for (rank, (set, tau)) in study.mpds_top_k.iter().enumerate() {
+        println!("  #{:<2} tau_hat = {:.3}  {:?}", rank + 1, tau, set);
+    }
+    println!(
+        "\nAverage purity of the top-10 MPDSs: {:.3} (paper Table X: 1.0 for all k).",
+        study.mpds_avg_purity
+    );
+    println!("The EDS / core / truss / DDS subgraphs mix members of both factions and");
+    println!("lean on low-probability edges — the paper's Figs. 6-7 observation.");
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the MPDS reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so that examples and
+//! integration tests can depend on a single name. Library users should depend
+//! on the individual crates (`mpds`, `ugraph`, `densest`, ...) directly.
+
+pub use densest;
+pub use itemset;
+pub use maxflow;
+pub use mpds;
+pub use sampling;
+pub use ugraph;

@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) on the core invariants of the densest
+//! subgraph machinery, run over randomly generated graphs.
+
+use densest::{all_densest, heuristic, max_sized_densest, peeling, solve, Density, DensityNotion};
+use proptest::prelude::*;
+use ugraph::{Graph, NodeId, Pattern, UncertainGraph};
+
+/// Strategy: a random simple graph on up to 9 nodes.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..=9).prop_flat_map(|n| {
+        let pairs: Vec<(NodeId, NodeId)> = (0..n as NodeId)
+            .flat_map(|u| ((u + 1)..n as NodeId).map(move |v| (u, v)))
+            .collect();
+        let len = pairs.len();
+        proptest::collection::vec(proptest::bool::ANY, len).prop_map(move |mask| {
+            let edges: Vec<(NodeId, NodeId)> = pairs
+                .iter()
+                .zip(&mask)
+                .filter(|(_, &b)| b)
+                .map(|(&e, _)| e)
+                .collect();
+            Graph::from_edges(n, &edges)
+        })
+    })
+}
+
+/// Strategy: a random uncertain graph (graph + probabilities in (0, 1]).
+fn arb_uncertain() -> impl Strategy<Value = UncertainGraph> {
+    arb_graph().prop_flat_map(|g| {
+        let m = g.num_edges();
+        proptest::collection::vec(0.05f64..=1.0, m)
+            .prop_map(move |probs| UncertainGraph::new(g.clone(), probs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every returned densest subgraph attains exactly rho*, and rho* upper-
+    /// bounds the peeling estimate.
+    #[test]
+    fn all_densest_sets_attain_rho_star(g in arb_graph()) {
+        let notion = DensityNotion::Edge;
+        if let Some(r) = all_densest(&g, &notion, 100_000) {
+            prop_assert!(!r.subgraphs.is_empty());
+            let inst = solve::instances_of(&g, &notion);
+            for set in &r.subgraphs {
+                let cnt = inst.count_within(g.num_nodes(), set);
+                prop_assert_eq!(Density::new(cnt, set.len() as u64), r.density);
+            }
+            // Peeling is a lower bound.
+            let p = peeling::peel(g.num_nodes(), &inst);
+            prop_assert!(p.best_density <= r.density);
+            // No single node's degree-based bound exceeds it: density of the
+            // whole graph is a lower bound too.
+            let whole = Density::new(g.num_edges() as u64, g.num_nodes() as u64);
+            prop_assert!(whole <= r.density);
+        } else {
+            prop_assert_eq!(g.num_edges(), 0);
+        }
+    }
+
+    /// max_sized equals the union of all densest subgraphs and is itself
+    /// densest.
+    #[test]
+    fn max_sized_is_union_and_densest(g in arb_graph()) {
+        let notion = DensityNotion::Edge;
+        if let Some(r) = all_densest(&g, &notion, 100_000) {
+            prop_assert!(!r.truncated);
+            let mut union: Vec<NodeId> = r.subgraphs.iter().flatten().copied().collect();
+            union.sort_unstable();
+            union.dedup();
+            prop_assert_eq!(&r.max_sized, &union);
+            // And the union attains rho* (footnote 5 / [59]).
+            let inst = solve::instances_of(&g, &notion);
+            let cnt = inst.count_within(g.num_nodes(), &union);
+            prop_assert_eq!(Density::new(cnt, union.len() as u64), r.density);
+            // The cheap path agrees.
+            let (d2, ms2) = max_sized_densest(&g, &notion).unwrap();
+            prop_assert_eq!(d2, r.density);
+            prop_assert_eq!(ms2, union);
+        }
+    }
+
+    /// Densest subgraphs are unique in the enumeration (paper Theorem 4:
+    /// "exactly once").
+    #[test]
+    fn enumeration_has_no_duplicates(g in arb_graph()) {
+        for notion in [DensityNotion::Edge, DensityNotion::Clique(3)] {
+            if let Some(r) = all_densest(&g, &notion, 100_000) {
+                let set: std::collections::HashSet<_> =
+                    r.subgraphs.iter().cloned().collect();
+                prop_assert_eq!(set.len(), r.subgraphs.len());
+            }
+        }
+    }
+
+    /// Clique-density results agree with pattern-density results for the
+    /// triangle pattern (clique density is a special case of pattern density).
+    #[test]
+    fn clique_equals_triangle_pattern(g in arb_graph()) {
+        let a = all_densest(&g, &DensityNotion::Clique(3), 100_000);
+        let b = all_densest(&g, &DensityNotion::Pattern(Pattern::clique(3)), 100_000);
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x.density, y.density);
+                let mut xs = x.subgraphs; xs.sort();
+                let mut ys = y.subgraphs; ys.sort();
+                prop_assert_eq!(xs, ys);
+            }
+            _ => prop_assert!(false, "clique/pattern disagree on existence"),
+        }
+    }
+
+    /// The heuristic's best subgraph is within the 1/|V_psi| guarantee.
+    #[test]
+    fn heuristic_respects_guarantee(g in arb_graph()) {
+        let notion = DensityNotion::Edge;
+        match (heuristic::heuristic_dense_subgraphs(&g, &notion),
+               densest::max_density(&g, &notion)) {
+            (None, None) => {}
+            (Some(h), Some(exact)) => {
+                // arity 2: best >= rho*/2.
+                prop_assert!(
+                    Density::new(h.best_density.num * 2, h.best_density.den) >= exact
+                );
+            }
+            _ => prop_assert!(false),
+        }
+    }
+
+    /// World probabilities over all 2^m worlds sum to 1 and the expected
+    /// edge density of V equals the probability-weighted mean density.
+    #[test]
+    fn possible_world_semantics(ug in arb_uncertain()) {
+        prop_assume!(ug.num_edges() <= 10);
+        let total: f64 = ug.iter_worlds().map(|(_, p)| p).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let all: Vec<NodeId> = (0..ug.num_nodes() as NodeId).collect();
+        let direct = ug.expected_edge_density(&all);
+        let via_worlds: f64 = ug
+            .iter_worlds()
+            .map(|(mask, p)| p * ug.world_from_mask(&mask).edge_density())
+            .sum();
+        prop_assert!((direct - via_worlds).abs() < 1e-9);
+    }
+
+    /// tau values from the exact solver are valid probabilities and the
+    /// MPDS's tau is the maximum.
+    #[test]
+    fn exact_taus_are_probabilities(ug in arb_uncertain()) {
+        prop_assume!(ug.num_edges() <= 10);
+        let taus = mpds::exact::exact_all_tau(&ug, &DensityNotion::Edge);
+        let mut best = 0.0f64;
+        for (_, &tau) in taus.iter() {
+            prop_assert!(tau > 0.0 && tau <= 1.0 + 1e-12);
+            best = best.max(tau);
+        }
+        if let Some(top) = mpds::exact::exact_top_k_mpds(&ug, &DensityNotion::Edge, 1).first() {
+            prop_assert!((top.1 - best).abs() < 1e-12);
+        }
+    }
+}
