@@ -2,7 +2,7 @@
 //! paper Line 2 vs running the flow machinery on the whole world.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use densest::solve::{max_density_unpruned, };
+use densest::solve::max_density_unpruned;
 use densest::{max_density, DensityNotion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

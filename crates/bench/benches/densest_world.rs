@@ -32,9 +32,7 @@ fn bench_densest(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("all_densest/{dataset}"));
         group.sample_size(10);
         for (label, notion) in &notions {
-            group.bench_function(*label, |b| {
-                b.iter(|| all_densest(&world, notion, 10_000))
-            });
+            group.bench_function(*label, |b| b.iter(|| all_densest(&world, notion, 10_000)));
         }
         group.finish();
     }

@@ -1,5 +1,5 @@
 //! ρ\* oracle ablation (DESIGN.md §5.2): exact Dinkelbach flow iteration vs
-//! the Frank–Wolfe/kclist++ iterative solver of [57].
+//! the Frank–Wolfe/kclist++ iterative solver of \[57\].
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use densest::instances::enumerate_cliques;

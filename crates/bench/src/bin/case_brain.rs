@@ -15,7 +15,14 @@ fn main() {
         };
         let mut t = Table::new(
             &format!("Case study: brain networks — {title}"),
-            &["method", "#ROIs", "lobes spanned", "unpaired nodes", "symmetry", "ROIs"],
+            &[
+                "method",
+                "#ROIs",
+                "lobes spanned",
+                "unpaired nodes",
+                "symmetry",
+                "ROIs",
+            ],
         );
         for s in &study.subgraphs {
             t.row(&[

@@ -30,8 +30,7 @@ fn main() {
     for kind in &graphs {
         let data = datasets::synthetic_accuracy_graph(kind, 42);
         let g = &data.graph;
-        let mut per_k_cells: Vec<Vec<String>> =
-            ks.iter().map(|_| vec![kind.to_string()]).collect();
+        let mut per_k_cells: Vec<Vec<String>> = ks.iter().map(|_| vec![kind.to_string()]).collect();
         for (_, notion) in &notions {
             // One exhaustive sweep per (graph, notion), shared across ks.
             let tau = exact_all_tau(g, notion);

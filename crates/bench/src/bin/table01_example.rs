@@ -29,7 +29,14 @@ fn main() {
     let tau = exact_all_tau(&g, &DensityNotion::Edge);
     let mut t = Table::new(
         "Table I: EED vs DSP on the running example (exact)",
-        &["node set", "EED (paper)", "EED (ours)", "DSP (paper)", "DSP (ours)", "gamma (ours)"],
+        &[
+            "node set",
+            "EED (paper)",
+            "EED (ours)",
+            "DSP (paper)",
+            "DSP (ours)",
+            "gamma (ours)",
+        ],
     );
     for (i, set) in sets.iter().enumerate() {
         let eed = g.expected_edge_density(set);

@@ -34,8 +34,8 @@ fn main() {
         let res = top_k_nds(g, &mut mc, &cfg);
         let (nds_set, nds_gamma) = res.top_k.first().cloned().unwrap_or((vec![], 0.0));
 
-        let eds_res = eds::expected_densest_subgraph(g, &DensityNotion::Edge)
-            .expect("datasets have edges");
+        let eds_res =
+            eds::expected_densest_subgraph(g, &DensityNotion::Edge).expect("datasets have edges");
         let core = ucore::innermost_eta_core(g, 0.1);
         let truss = utruss::innermost_gamma_truss(g, 0.1);
 

@@ -63,8 +63,7 @@ fn run_strategies(title: &str, g: &UncertainGraph, nds: bool, theta_cap: usize) 
         (
             "MC",
             Box::new(|seed| {
-                Box::new(MonteCarlo::new(g, StdRng::seed_from_u64(seed)))
-                    as Box<dyn WorldSampler>
+                Box::new(MonteCarlo::new(g, StdRng::seed_from_u64(seed))) as Box<dyn WorldSampler>
             }),
         ),
         (

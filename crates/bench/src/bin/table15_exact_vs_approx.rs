@@ -31,7 +31,13 @@ fn main() {
     let mut t = Table::new(
         "Table XV: exact vs approximate MPDS runtimes (seconds)",
         &[
-            "graph", "m", "notion", "exact (s)", "ours (s)", "speedup", "top-1 match",
+            "graph",
+            "m",
+            "notion",
+            "exact (s)",
+            "ours (s)",
+            "speedup",
+            "top-1 match",
         ],
     );
     for kind in graphs {

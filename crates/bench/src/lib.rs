@@ -42,6 +42,7 @@ pub struct Table {
 }
 
 impl Table {
+    /// Starts an empty table with the given title and column headers.
     pub fn new(title: &str, headers: &[&str]) -> Self {
         Table {
             title: title.to_string(),
@@ -50,6 +51,7 @@ impl Table {
         }
     }
 
+    /// Appends one row (must match the header count).
     pub fn row(&mut self, cells: &[String]) {
         assert_eq!(cells.len(), self.headers.len());
         self.rows.push(cells.to_vec());
@@ -101,7 +103,9 @@ pub fn fmt_set(set: &[u32]) -> String {
 /// Whether quick mode is requested (smaller θ / fewer worlds), via
 /// `MPDS_QUICK=1`.
 pub fn quick_mode() -> bool {
-    std::env::var("MPDS_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("MPDS_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The paper's three "smaller" datasets (MPDS experiments): Karate Club,

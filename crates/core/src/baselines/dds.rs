@@ -7,10 +7,7 @@ use ugraph::{NodeSet, UncertainGraph};
 
 /// The (maximum-sized) densest subgraph of the deterministic version, with
 /// its deterministic density. `None` if the graph has no instances.
-pub fn deterministic_densest(
-    g: &UncertainGraph,
-    notion: &DensityNotion,
-) -> Option<(f64, NodeSet)> {
+pub fn deterministic_densest(g: &UncertainGraph, notion: &DensityNotion) -> Option<(f64, NodeSet)> {
     max_sized_densest(g.graph(), notion).map(|(d, s)| (d.as_f64(), s))
 }
 

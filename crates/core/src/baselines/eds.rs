@@ -1,4 +1,4 @@
-//! Expected densest subgraph (EDS) — Zou [44], extended to clique and
+//! Expected densest subgraph (EDS) — Zou \[44\], extended to clique and
 //! pattern densities per the paper's Appendix C.
 //!
 //! By linearity of expectation, the expected edge density of `U` equals
@@ -28,10 +28,7 @@ pub struct EdsResult {
 
 /// Maximum expected-density subgraph for the given notion. `None` when the
 /// graph has no instances (no edges, cliques, or pattern embeddings).
-pub fn expected_densest_subgraph(
-    g: &UncertainGraph,
-    notion: &DensityNotion,
-) -> Option<EdsResult> {
+pub fn expected_densest_subgraph(g: &UncertainGraph, notion: &DensityNotion) -> Option<EdsResult> {
     // Instance weights: Π of the member edge probabilities, fixed-pointed.
     // Instances whose weight rounds to zero are dropped (they contribute
     // < 1e-6 to any expected density).
@@ -91,17 +88,15 @@ pub fn expected_densest_subgraph(
             } else {
                 node_set
             };
-            let expected_density = weight_within(&group_list, n, &set) as f64
-                / (SCALE * set.len() as f64);
+            let expected_density =
+                weight_within(&group_list, n, &set) as f64 / (SCALE * set.len() as f64);
             return Some(EdsResult {
                 node_set: set,
                 expected_density,
             });
         }
         let reach = net.reachable_from(s);
-        let witness: Vec<NodeId> = (0..n as NodeId)
-            .filter(|&v| reach[v as usize])
-            .collect();
+        let witness: Vec<NodeId> = (0..n as NodeId).filter(|&v| reach[v as usize]).collect();
         debug_assert!(!witness.is_empty());
         let w = weight_within(&group_list, n, &witness);
         let d = Density::new(w, witness.len() as u64);
@@ -212,9 +207,7 @@ fn pattern_edge_images(g: &ugraph::Graph, pat: &ugraph::Pattern) -> Vec<Vec<(u32
                 continue;
             }
             // Check pattern edges to already-placed nodes.
-            let ok = (0..pos).all(|j| {
-                !pat.has_edge(pos, j) || g.has_edge(v, map[j])
-            });
+            let ok = (0..pos).all(|j| !pat.has_edge(pos, j) || g.has_edge(v, map[j]));
             if ok {
                 map.push(v);
                 rec(g, pat, map, n, images);
@@ -323,21 +316,19 @@ mod tests {
             _ => {
                 let (sub, map) = g.graph().induced_subgraph(nodes);
                 let images = match notion {
-                    DensityNotion::Clique(h) => {
-                        densest::instances::enumerate_cliques(&sub, *h)
-                            .instances
-                            .iter()
-                            .map(|c| {
-                                let mut im = Vec::new();
-                                for (i, &u) in c.iter().enumerate() {
-                                    for &v in &c[i + 1..] {
-                                        im.push((u, v));
-                                    }
+                    DensityNotion::Clique(h) => densest::instances::enumerate_cliques(&sub, *h)
+                        .instances
+                        .iter()
+                        .map(|c| {
+                            let mut im = Vec::new();
+                            for (i, &u) in c.iter().enumerate() {
+                                for &v in &c[i + 1..] {
+                                    im.push((u, v));
                                 }
-                                im
-                            })
-                            .collect::<Vec<_>>()
-                    }
+                            }
+                            im
+                        })
+                        .collect::<Vec<_>>(),
                     DensityNotion::Pattern(p) => pattern_edge_images(&sub, p),
                     DensityNotion::Edge => unreachable!(),
                 };
@@ -346,9 +337,7 @@ mod tests {
                     .map(|image| {
                         image
                             .iter()
-                            .map(|&(a, b)| {
-                                g.edge_prob(map[a as usize], map[b as usize]).unwrap()
-                            })
+                            .map(|&(a, b)| g.edge_prob(map[a as usize], map[b as usize]).unwrap())
                             .product::<f64>()
                     })
                     .sum();
@@ -443,7 +432,10 @@ mod tests {
             }
             let g = UncertainGraph::from_weighted_edges(7, &edges);
             let notion = DensityNotion::Clique(3);
-            match (expected_densest_subgraph(&g, &notion), brute_force(&g, &notion)) {
+            match (
+                expected_densest_subgraph(&g, &notion),
+                brute_force(&g, &notion),
+            ) {
                 (None, None) => {}
                 (Some(r), Some(best)) => {
                     assert!(
@@ -475,7 +467,10 @@ mod tests {
             }
             let g = UncertainGraph::from_weighted_edges(6, &edges);
             let notion = DensityNotion::Pattern(Pattern::two_star());
-            match (expected_densest_subgraph(&g, &notion), brute_force(&g, &notion)) {
+            match (
+                expected_densest_subgraph(&g, &notion),
+                brute_force(&g, &notion),
+            ) {
                 (None, None) => {}
                 (Some(r), Some(best)) => {
                     assert!(

@@ -1,11 +1,11 @@
 //! Baselines the paper compares MPDS/NDS against (§V, §VI-B, §VI-C):
 //!
-//! * [`eds`] — the expected densest subgraph of Zou [44], maximizing expected
+//! * [`eds`] — the expected densest subgraph of Zou \[44\], maximizing expected
 //!   edge density, extended to expected clique/pattern density per the
 //!   paper's Appendix C (Theorem 7: expected pattern density = weighted
 //!   pattern density with instance weights `Π p(e)`);
-//! * [`ucore`] — the probabilistic `(k, η)`-core of Bonchi et al. [40];
-//! * [`utruss`] — the probabilistic `(k, γ)`-truss of Huang et al. [41];
+//! * [`ucore`] — the probabilistic `(k, η)`-core of Bonchi et al. \[40\];
+//! * [`utruss`] — the probabilistic `(k, γ)`-truss of Huang et al. \[41\];
 //! * [`dds`] — the densest subgraph of the deterministic version of the
 //!   uncertain graph (all probabilities ignored).
 

@@ -1,4 +1,4 @@
-//! Probabilistic `(k, η)`-core decomposition (Bonchi et al. [40]).
+//! Probabilistic `(k, η)`-core decomposition (Bonchi et al. \[40\]).
 //!
 //! The η-degree of a node `v` is the largest `k` such that
 //! `Pr[deg(v) ≥ k] ≥ η`, where `deg(v)` is Poisson-binomial over `v`'s
@@ -93,9 +93,8 @@ pub fn eta_core_decomposition(g: &UncertainGraph, eta: f64) -> EtaCores {
 
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = (0..n)
-        .map(|v| Reverse((eta_deg[v], v as NodeId)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> =
+        (0..n).map(|v| Reverse((eta_deg[v], v as NodeId))).collect();
     let mut alive = vec![true; n];
     let mut core_number = vec![0u32; n];
     let mut running_max = 0u32;
@@ -206,10 +205,7 @@ mod tests {
     #[test]
     fn low_probability_edges_reduce_eta_degree() {
         // Star with 3 weak edges (p=.2): P[deg >= 1] = 1-.8^3 = .488 < .5.
-        let g = UncertainGraph::from_weighted_edges(
-            4,
-            &[(0, 1, 0.2), (0, 2, 0.2), (0, 3, 0.2)],
-        );
+        let g = UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.2), (0, 2, 0.2), (0, 3, 0.2)]);
         let cores = eta_core_decomposition(&g, 0.5);
         assert_eq!(cores.k_max, 0);
         // With a lenient eta = 0.15, even the leaves (P[deg >= 1] = 0.2) keep
@@ -250,7 +246,7 @@ mod tests {
     fn peeling_matches_naive_recompute() {
         // Cross-check against a naive algorithm that recomputes every pmf
         // from scratch at each step.
-        let mut seed = 0xabc1_23u64;
+        let mut seed = 0x00ab_c123_u64;
         let mut edges = Vec::new();
         for u in 0..9u32 {
             for v in (u + 1)..9 {

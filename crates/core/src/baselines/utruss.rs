@@ -1,4 +1,4 @@
-//! Probabilistic `(k, γ)`-truss decomposition (Huang, Lu, Lakshmanan [41]).
+//! Probabilistic `(k, γ)`-truss decomposition (Huang, Lu, Lakshmanan \[41\]).
 //!
 //! The γ-support of an edge `e = (u, v)` is the largest `s` such that
 //! `Pr[e exists ∧ sup(e) ≥ s] ≥ γ`, where `sup(e)` counts triangles through
@@ -86,9 +86,8 @@ pub fn gamma_truss_decomposition(g: &UncertainGraph, gamma: f64) -> GammaTruss {
 
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
-    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = (0..m)
-        .map(|e| Reverse((support[e], e as u32)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> =
+        (0..m).map(|e| Reverse((support[e], e as u32))).collect();
     let mut alive = vec![true; m];
     let mut truss_number = vec![2u32; m];
     let mut running_max = 0u32;
@@ -112,20 +111,14 @@ pub fn gamma_truss_decomposition(g: &UncertainGraph, gamma: f64) -> GammaTruss {
                     continue;
                 }
                 // Remove the (e, other)-triangle from `me`'s live lists.
-                let pos = live_partners[me]
-                    .iter()
-                    .position(|&(a, b)| {
-                        (a as usize == e && b as usize == other)
-                            || (b as usize == e && a as usize == other)
-                    });
+                let pos = live_partners[me].iter().position(|&(a, b)| {
+                    (a as usize == e && b as usize == other)
+                        || (b as usize == e && a as usize == other)
+                });
                 let Some(pos) = pos else { continue };
                 live_partners[me].swap_remove(pos);
                 live_probs[me].swap_remove(pos);
-                let ns = gamma_support(
-                    g.prob(me),
-                    &pmf_of(&live_probs[me]),
-                    gamma,
-                );
+                let ns = gamma_support(g.prob(me), &pmf_of(&live_probs[me]), gamma);
                 if ns != support[me] {
                     support[me] = ns;
                     heap.push(Reverse((ns, me as u32)));
@@ -199,10 +192,7 @@ mod tests {
     fn weak_triangles_do_not_count() {
         // Triangle with tiny probabilities: no edge reaches support 1 at
         // gamma = 0.5, so everything stays a 2-truss.
-        let g = UncertainGraph::from_weighted_edges(
-            3,
-            &[(0, 1, 0.3), (0, 2, 0.3), (1, 2, 0.3)],
-        );
+        let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.3), (0, 2, 0.3), (1, 2, 0.3)]);
         let t = gamma_truss_decomposition(&g, 0.5);
         assert_eq!(t.k_max, 2);
     }

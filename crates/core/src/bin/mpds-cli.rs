@@ -53,7 +53,7 @@ fn parse_density(s: &str) -> Result<DensityNotion, String> {
                 let h: usize = h
                     .parse()
                     .map_err(|_| format!("bad clique size in {other:?}"))?;
-                if h < 2 || h > 8 {
+                if !(2..=8).contains(&h) {
                     return Err(format!("clique size {h} outside 2..=8"));
                 }
                 Ok(DensityNotion::Clique(h))

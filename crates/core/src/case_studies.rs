@@ -19,7 +19,9 @@ use ugraph::{datasets, metrics, NodeSet};
 /// One compared method's subgraph with its quality metrics.
 #[derive(Debug, Clone)]
 pub struct ScoredSubgraph {
+    /// Label of the producing method (e.g. `"MPDS"`, `"EDS"`).
     pub method: &'static str,
+    /// The subgraph's node set.
     pub node_set: NodeSet,
     /// Ground-truth purity (only when communities are known).
     pub purity: Option<f64>,
@@ -83,20 +85,27 @@ pub fn karate_case_study(theta: usize, k: usize, seed: u64) -> KarateCaseStudy {
 /// A method's subgraph measured against the brain atlas.
 #[derive(Debug, Clone)]
 pub struct BrainSubgraph {
+    /// Label of the producing method (e.g. `"MPDS"`, `"EDS"`).
     pub method: &'static str,
+    /// The subgraph's node set (atlas `NodeId`s).
     pub node_set: NodeSet,
+    /// Atlas names of the member ROIs.
     pub roi_names: Vec<String>,
+    /// Lobe of each member ROI, parallel to `roi_names`.
     pub lobes: Vec<Lobe>,
     /// Nodes without their mirror ROI in the set (lower = more symmetric;
     /// the paper counts 1 for ASD vs 3 for TD).
     pub unpaired: usize,
+    /// Fraction of member ROIs whose mirror is also in the set.
     pub symmetry: f64,
 }
 
 /// Output of the brain case study for one cohort.
 #[derive(Debug, Clone)]
 pub struct BrainCaseStudy {
+    /// Which simulated cohort was analysed.
     pub cohort: Cohort,
+    /// One entry per compared method.
     pub subgraphs: Vec<BrainSubgraph>,
 }
 

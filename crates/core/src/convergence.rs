@@ -16,17 +16,21 @@ use ugraph::{NodeSet, UncertainGraph};
 /// One step of the doubling schedule.
 #[derive(Debug, Clone)]
 pub struct ConvergenceStep {
+    /// Sample count θ used at this step.
     pub theta: usize,
     /// Jaccard-based similarity of this step's top-k to the previous step's
     /// (`None` for the first step).
     pub similarity: Option<f64>,
+    /// Top-k node sets estimated at this step.
     pub top_k: Vec<NodeSet>,
+    /// Wall-clock time of the step.
     pub seconds: f64,
 }
 
 /// Full trace of a convergence run.
 #[derive(Debug, Clone)]
 pub struct ConvergenceTrace {
+    /// Steps of the doubling schedule, in execution order.
     pub steps: Vec<ConvergenceStep>,
     /// First θ whose similarity reached the threshold (`None` if the cap was
     /// hit first).
@@ -133,18 +137,10 @@ mod tests {
     fn mpds_converges_on_small_graph() {
         let g = fig1();
         let mut seed = 0u64;
-        let trace = mpds_convergence(
-            &g,
-            &DensityNotion::Edge,
-            1,
-            50,
-            6400,
-            0.99,
-            || {
-                seed += 1;
-                MonteCarlo::new(&g, StdRng::seed_from_u64(seed))
-            },
-        );
+        let trace = mpds_convergence(&g, &DensityNotion::Edge, 1, 50, 6400, 0.99, || {
+            seed += 1;
+            MonteCarlo::new(&g, StdRng::seed_from_u64(seed))
+        });
         assert!(trace.converged_theta.is_some());
         // Once converged, the last two steps return the same top-1.
         let n = trace.steps.len();

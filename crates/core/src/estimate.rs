@@ -123,9 +123,7 @@ pub fn top_k_mpds<S: WorldSampler>(
         } else {
             // §VI-D ablation: one uniformly random densest subgraph.
             let pick = choice_rng.gen_range(0..subgraphs.len());
-            *candidates
-                .entry(subgraphs[pick].clone())
-                .or_insert(0) += 1;
+            *candidates.entry(subgraphs[pick].clone()).or_insert(0) += 1;
         }
     }
 
@@ -141,11 +139,7 @@ pub fn top_k_mpds<S: WorldSampler>(
 }
 
 /// Deterministically selects the k best candidates.
-fn select_top_k(
-    candidates: &HashMap<NodeSet, u32>,
-    k: usize,
-    theta: usize,
-) -> Vec<(NodeSet, f64)> {
+fn select_top_k(candidates: &HashMap<NodeSet, u32>, k: usize, theta: usize) -> Vec<(NodeSet, f64)> {
     let mut all: Vec<(&NodeSet, u32)> = candidates.iter().map(|(s, &c)| (s, c)).collect();
     all.sort_by(|a, b| {
         b.1.cmp(&a.1)

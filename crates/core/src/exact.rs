@@ -19,10 +19,7 @@ pub fn exact_tau(g: &UncertainGraph, notion: &DensityNotion, set: &[NodeId]) -> 
         s.sort_unstable();
         s
     };
-    exact_all_tau(g, notion)
-        .get(&key)
-        .copied()
-        .unwrap_or(0.0)
+    exact_all_tau(g, notion).get(&key).copied().unwrap_or(0.0)
 }
 
 /// Exact `τ(U)` for **every** node set with non-zero probability.

@@ -5,8 +5,8 @@
 //! a densest subgraph in a possible world of `G` (paper Def. 4); computing it
 //! is #P-hard (Theorem 1). This crate implements:
 //!
-//! * [`estimate`] — the sampling estimator for top-k MPDS (paper Algorithm
-//!   1) for edge, clique, and pattern densities, including the
+//! * [`estimate`] — the sampling estimator for top-k MPDS (paper
+//!   Algorithm 1) for edge, clique, and pattern densities, including the
 //!   one-densest-subgraph ablation of §VI-D and the heuristic mode of §III-C;
 //! * [`nds`] — the top-k Nucleus Densest Subgraph estimator (Algorithm 5)
 //!   via reduction to top-k closed frequent itemset mining;
@@ -14,9 +14,9 @@
 //!   possible-world enumeration (small graphs; §VI-H);
 //! * [`theory`] — the end-to-end accuracy guarantees (Theorems 2, 3, 5, 6);
 //! * [`baselines`] — the notions MPDS is compared against in §VI: the
-//!   expected densest subgraph (EDS [44], extended to clique/pattern density
-//!   per Appendix C), the probabilistic `(k, η)`-core [40], the probabilistic
-//!   `(k, γ)`-truss [41], and the deterministic densest subgraph (DDS);
+//!   expected densest subgraph (EDS \[44\], extended to clique/pattern density
+//!   per Appendix C), the probabilistic `(k, η)`-core \[40\], the probabilistic
+//!   `(k, γ)`-truss \[41\], and the deterministic densest subgraph (DDS);
 //! * [`case_studies`] — the Karate-Club community study (§VI-E) and the
 //!   simulated brain-network study (§VI-F).
 //!

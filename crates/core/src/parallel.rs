@@ -15,8 +15,8 @@ use sampling::{MonteCarlo, WorldSampler};
 use std::collections::HashMap;
 use ugraph::{NodeSet, UncertainGraph};
 
-/// Runs Algorithm 1 with `workers` threads (crossbeam scoped), splitting θ
-/// evenly. Worker `w` uses the Monte-Carlo stream seeded `seed + w`.
+/// Runs Algorithm 1 with `workers` scoped threads, splitting θ evenly.
+/// Worker `w` uses the Monte-Carlo stream seeded `seed + w`.
 pub fn parallel_top_k_mpds(
     g: &UncertainGraph,
     cfg: &MpdsConfig,
@@ -38,13 +38,13 @@ pub fn parallel_top_k_mpds(
         truncated: bool,
     }
 
-    let partials: Vec<Partial> = crossbeam::thread::scope(|scope| {
+    let partials: Vec<Partial> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
                 let quota = per + usize::from(w < extra);
                 let notion = cfg.notion.clone();
                 let cap = cfg.enumeration_cap;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(seed + w as u64));
                     let mut p = Partial {
                         candidates: HashMap::new(),
@@ -74,8 +74,7 @@ pub fn parallel_top_k_mpds(
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("worker panicked");
+    });
 
     let mut candidates: HashMap<NodeSet, u32> = HashMap::new();
     let mut empty_worlds = 0;

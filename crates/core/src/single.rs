@@ -102,8 +102,7 @@ mod tests {
     fn direct_gamma_matches_example3() {
         let g = fig1();
         let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(5));
-        let gammas =
-            estimate_gamma_for(&g, &mut mc, &DensityNotion::Edge, &[vec![1, 3]], 8000);
+        let gammas = estimate_gamma_for(&g, &mut mc, &DensityNotion::Edge, &[vec![1, 3]], 8000);
         assert!((gammas[0] - 0.7).abs() < 0.02, "{gammas:?}");
     }
 

@@ -26,12 +26,7 @@ pub fn candidate_inclusion_bound(top_taus: &[f64], theta: usize) -> f64 {
 ///
 /// Bound: `[1 − Σ_{i≤k} (1−τ_i)^θ] · [1 − Σ_{U ∈ CV} exp(−2 d_U² θ)]` with
 /// `mid = (τ_k + τ_{k+1}) / 2` and `d_U = |τ(U) − mid|`.
-pub fn top_k_return_bound(
-    top_taus: &[f64],
-    tau_k1: f64,
-    other_taus: &[f64],
-    theta: usize,
-) -> f64 {
+pub fn top_k_return_bound(top_taus: &[f64], tau_k1: f64, other_taus: &[f64], theta: usize) -> f64 {
     assert!(!top_taus.is_empty());
     let tau_k = *top_taus.last().unwrap();
     let mid = 0.5 * (tau_k + tau_k1);

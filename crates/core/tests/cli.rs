@@ -85,7 +85,16 @@ fn mpds_command_finds_bd() {
 fn nds_command_runs() {
     let path = demo_file();
     let out = cli()
-        .args(["nds", path.as_str(), "--theta", "1000", "--k", "2", "--lm", "2"])
+        .args([
+            "nds",
+            path.as_str(),
+            "--theta",
+            "1000",
+            "--k",
+            "2",
+            "--lm",
+            "2",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -97,7 +106,14 @@ fn nds_command_runs() {
 fn clique_density_flag() {
     let path = demo_file();
     let out = cli()
-        .args(["mpds", path.as_str(), "--density", "3clique", "--theta", "50"])
+        .args([
+            "mpds",
+            path.as_str(),
+            "--density",
+            "3clique",
+            "--theta",
+            "50",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -113,7 +129,10 @@ fn bad_arguments_fail_gracefully() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("unknown command"));
 
-    let out = cli().args(["mpds", "/nonexistent-file-xyz"]).output().unwrap();
+    let out = cli()
+        .args(["mpds", "/nonexistent-file-xyz"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 
     let path = demo_file();

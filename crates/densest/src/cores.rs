@@ -1,9 +1,9 @@
 //! Core decompositions: the classic `k`-core (Batagelj–Zaversnik, O(m)) for
 //! edge degrees and the instance-based `(k, h)`/`(k, ψ)`-core (paper Def. 7,
-//! [5]) via [`crate::peeling`].
+//! \[5\]) via [`crate::peeling`].
 //!
 //! Densest subgraphs live inside the `(⌈ρ̃⌉, ·)`-core (paper Lemma 2 and
-//! [46]), so both the MPDS and NDS inner loops shrink each sampled world to
+//! \[46\]), so both the MPDS and NDS inner loops shrink each sampled world to
 //! this core before building any flow network.
 
 use crate::instances::InstanceSet;
@@ -11,7 +11,7 @@ use crate::peeling::{peel, Peeling};
 use ugraph::{Graph, NodeId};
 
 /// Edge-degree core number of every node via the O(m) bucket-queue algorithm
-/// of Batagelj–Zaversnik [53].
+/// of Batagelj–Zaversnik \[53\].
 pub fn edge_core_numbers(g: &Graph) -> Vec<u32> {
     let n = g.num_nodes();
     if n == 0 {
@@ -101,7 +101,16 @@ mod tests {
     fn k4_tail() -> Graph {
         Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         )
     }
 

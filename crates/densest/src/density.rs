@@ -12,7 +12,9 @@ use std::cmp::Ordering;
 /// reduced; equality and ordering are value-based.
 #[derive(Debug, Clone, Copy)]
 pub struct Density {
+    /// Numerator: instance count (edges, cliques, or pattern instances).
     pub num: u64,
+    /// Denominator: node count (`> 0`).
     pub den: u64,
 }
 

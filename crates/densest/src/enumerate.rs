@@ -19,7 +19,7 @@ pub struct EnumerationResult {
     /// Every densest node set (original node ids, sorted). May be truncated.
     pub subgraphs: Vec<Vec<NodeId>>,
     /// The maximum-sized densest subgraph: the union of all densest
-    /// subgraphs (paper footnote 5 / [59]). Never truncated.
+    /// subgraphs (paper footnote 5 / \[59\]). Never truncated.
     pub max_sized: Vec<NodeId>,
     /// Whether enumeration stopped early because `cap` was reached.
     pub truncated: bool,
@@ -160,9 +160,7 @@ impl Enumerator<'_> {
             let next: Vec<usize> = live
                 .iter()
                 .copied()
-                .filter(|&d| {
-                    !contains(&self.descendants[c], d) && !contains(&self.ancestors[c], d)
-                })
+                .filter(|&d| !contains(&self.descendants[c], d) && !contains(&self.ancestors[c], d))
                 .collect();
             c1.push(c);
             self.recurse(c1, next);

@@ -1,8 +1,8 @@
-//! Frank–Wolfe / kclist++-style iterative density solver (Sun et al. [57]).
+//! Frank–Wolfe / kclist++-style iterative density solver (Sun et al. \[57\]).
 //!
 //! The paper's Algorithms 2 and 4 compute ρ\* with the convex-programming
-//! method of [57]; our main pipeline uses exact Dinkelbach flow iteration
-//! instead (see `solve.rs`), and this module provides the [57]-style solver
+//! method of \[57\]; our main pipeline uses exact Dinkelbach flow iteration
+//! instead (see `solve.rs`), and this module provides the \[57\]-style solver
 //! for the ablation benches ("ρ\* oracle: flow vs Frank–Wolfe").
 //!
 //! Each instance holds one unit of weight and repeatedly re-assigns it to its
@@ -103,7 +103,16 @@ mod tests {
     fn k4_tail() -> Graph {
         Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         )
     }
 

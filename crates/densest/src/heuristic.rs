@@ -3,7 +3,7 @@
 //! For large worlds and expensive patterns, enumerating all ψ-instances and
 //! running the flow machinery per sampled world is costly. The paper's
 //! fallback runs the core decomposition w.r.t. ψ and returns the innermost
-//! `(k_max, ψ)`-core — whose density is at least `ρ*/|V_ψ|` [5] — together
+//! `(k_max, ψ)`-core — whose density is at least `ρ*/|V_ψ|` \[5\] — together
 //! with every intermediate peeling suffix that is denser than it. These node
 //! sets replace the exact densest-subgraph list in Algorithm 1's inner loop.
 
@@ -72,7 +72,16 @@ mod tests {
     fn k4_tail() -> Graph {
         Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         )
     }
 

@@ -1,5 +1,5 @@
-//! Instance enumeration: `h`-cliques (kClist-style ordered search [56]) and
-//! arbitrary pattern instances (backtracking subgraph matching [58]).
+//! Instance enumeration: `h`-cliques (kClist-style ordered search \[56\]) and
+//! arbitrary pattern instances (backtracking subgraph matching \[58\]).
 //!
 //! An *instance* of a pattern `ψ` in `G` is a (non-induced) subgraph of `G`
 //! isomorphic to `ψ`; instances are identified by their edge image, so two
@@ -78,7 +78,7 @@ impl InstanceSet {
 
 /// Enumerates all `h`-cliques of `G` (`h ≥ 1`), returned as sorted node sets.
 ///
-/// Uses the ordered-extension scheme of kClist [56]: each clique is produced
+/// Uses the ordered-extension scheme of kClist \[56\]: each clique is produced
 /// exactly once in increasing node order, with candidate sets maintained as
 /// intersections of (higher-numbered) neighbor lists.
 pub fn enumerate_cliques(g: &Graph, h: usize) -> InstanceSet {
@@ -86,26 +86,30 @@ pub fn enumerate_cliques(g: &Graph, h: usize) -> InstanceSet {
     let mut instances = Vec::new();
     if h == 1 {
         instances.extend((0..g.num_nodes() as NodeId).map(|v| vec![v]));
-        return InstanceSet { arity: 1, instances };
+        return InstanceSet {
+            arity: 1,
+            instances,
+        };
     }
     if h == 2 {
         instances.extend(g.edges().iter().map(|&(u, v)| vec![u, v]));
-        return InstanceSet { arity: 2, instances };
+        return InstanceSet {
+            arity: 2,
+            instances,
+        };
     }
     let mut current: Vec<NodeId> = Vec::with_capacity(h);
     for v in 0..g.num_nodes() as NodeId {
         // Candidates: neighbors of v with higher id.
-        let cand: Vec<NodeId> = g
-            .neighbors(v)
-            .iter()
-            .copied()
-            .filter(|&w| w > v)
-            .collect();
+        let cand: Vec<NodeId> = g.neighbors(v).iter().copied().filter(|&w| w > v).collect();
         current.push(v);
         extend_clique(g, h, &mut current, &cand, &mut instances);
         current.pop();
     }
-    InstanceSet { arity: h, instances }
+    InstanceSet {
+        arity: h,
+        instances,
+    }
 }
 
 fn extend_clique(
@@ -384,7 +388,17 @@ mod tests {
         // over all 4-node subsets and their sub-edge-sets.
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (1, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (1, 4),
+                (4, 5),
+            ],
         );
         let pattern = Pattern::diamond();
         let fast = enumerate_pattern(&g, &pattern).count();
@@ -396,7 +410,17 @@ mod tests {
     fn brute_force_cross_check_paw() {
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5), (5, 6), (1, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (5, 6),
+                (1, 6),
+            ],
         );
         let pattern = Pattern::c3_star();
         assert_eq!(

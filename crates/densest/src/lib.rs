@@ -5,14 +5,14 @@
 //!
 //! * the exact maximum density ρ\* as a rational number,
 //! * **all** densest subgraphs (the node sets attaining ρ\*), via minimum-cut
-//!   residual structure (Goldberg [1] / Chang–Qiao [46] for edges; the
+//!   residual structure (Goldberg \[1\] / Chang–Qiao \[46\] for edges; the
 //!   paper's novel Algorithms 2 and 4 for cliques and patterns),
 //! * the maximum-sized densest subgraph (union of all densest subgraphs,
 //!   needed by the NDS estimator),
 //! * the peeling 1/2-approximation (lower bound ρ̃) and `(k, ·)`-core
 //!   reductions used to shrink the flow networks,
 //! * the heuristic dense-subgraph extraction of the paper's §III-C remark,
-//! * a Frank–Wolfe/kclist++-style iterative ρ\* solver [57] used as an
+//! * a Frank–Wolfe/kclist++-style iterative ρ\* solver \[57\] used as an
 //!   ablation alternative to the flow-based oracle.
 //!
 //! All flow arithmetic is exact: densities are rationals `a/b` and every

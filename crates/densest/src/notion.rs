@@ -55,7 +55,10 @@ mod tests {
         assert_eq!(DensityNotion::Pattern(Pattern::diamond()).arity(), 4);
         assert_eq!(DensityNotion::Edge.label(), "edge");
         assert_eq!(DensityNotion::Clique(3).label(), "3-clique");
-        assert_eq!(DensityNotion::Pattern(Pattern::c3_star()).label(), "c3-star");
+        assert_eq!(
+            DensityNotion::Pattern(Pattern::c3_star()).label(),
+            "c3-star"
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Instance-based peeling: the greedy 1/`|V_ψ|` approximation and the density
-//! lower bound ρ̃ (paper Line 1 of Algorithms 2 and 4; Charikar [2] for edge
-//! density, Tsourakakis/Fang [19], [5] for cliques and patterns).
+//! lower bound ρ̃ (paper Line 1 of Algorithms 2 and 4; Charikar \[2\] for edge
+//! density, Tsourakakis/Fang \[19\], \[5\] for cliques and patterns).
 //!
 //! Peeling repeatedly removes a node of minimum instance-degree and records
 //! the density of every suffix; the best suffix density ρ̃ lower-bounds ρ\*
@@ -62,9 +62,8 @@ pub fn peel(n: usize, instances: &InstanceSet) -> Peeling {
     let mut alive_node = vec![true; n];
     let mut live_instances = instances.count() as u64;
 
-    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = (0..n)
-        .map(|v| Reverse((degree[v], v as NodeId)))
-        .collect();
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> =
+        (0..n).map(|v| Reverse((degree[v], v as NodeId))).collect();
 
     let mut best_density = Density::ZERO;
     let mut best_suffix_len = n;
@@ -134,7 +133,16 @@ mod tests {
     fn k4_tail() -> Graph {
         Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         )
     }
 
@@ -222,8 +230,7 @@ mod tests {
             // Brute force ρ*.
             let mut best = Density::ZERO;
             for mask in 1u32..(1 << n) {
-                let nodes: Vec<NodeId> =
-                    (0..n as NodeId).filter(|&v| mask >> v & 1 == 1).collect();
+                let nodes: Vec<NodeId> = (0..n as NodeId).filter(|&v| mask >> v & 1 == 1).collect();
                 let cnt = g.induced_edge_count(&nodes) as u64;
                 let d = Density::new(cnt, nodes.len() as u64);
                 if d > best {

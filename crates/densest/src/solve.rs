@@ -3,15 +3,15 @@
 //!
 //! Pipeline (identical for every notion, following the paper):
 //!
-//! 1. enumerate instances (edges / `h`-cliques [56] / ψ-instances [58]);
+//! 1. enumerate instances (edges / `h`-cliques \[56\] / ψ-instances \[58\]);
 //! 2. peel to get the lower bound ρ̃ (paper Line 1);
 //! 3. shrink to the `(⌈ρ̃⌉, ·)`-core (paper Line 2; Lemma 2);
 //! 4. find the exact maximum density ρ\* by Dinkelbach iteration on the
 //!    parameterized flow network: test `α`, and while some subgraph beats
 //!    `α`, jump to the exact density of the min-cut witness. The paper uses
-//!    the convex-programming solver of [57] here; Dinkelbach over the same
+//!    the convex-programming solver of \[57\] here; Dinkelbach over the same
 //!    flow network is also exact and reuses the network needed in step 5
-//!    (the Frank–Wolfe solver of [57] is available in [`crate::fw`] and
+//!    (the Frank–Wolfe solver of \[57\] is available in [`crate::fw`] and
 //!    compared in the ablation benches);
 //! 5. with the max flow at `α = ρ*` in hand, enumerate all densest subgraphs
 //!    from the residual SCCs (paper Algorithm 3, [`crate::enumerate`]).
@@ -112,7 +112,11 @@ fn solve_opts(
     // (⌈ρ̃⌉, ·)-core reduction (paper Line 2). The densest subgraph survives
     // (Lemma 2), and so do all its instances. With pruning disabled (ablation
     // only) every node that touches an instance is kept.
-    let k = if prune { peeling.best_density.ceil() } else { 1 };
+    let k = if prune {
+        peeling.best_density.ceil()
+    } else {
+        1
+    };
     let core_nodes: Vec<NodeId> = (0..n as NodeId)
         .filter(|&v| peeling.core_number[v as usize] >= k)
         .collect();
@@ -148,8 +152,14 @@ fn solve_opts(
             // α = ρ*. Extract results from this network's residual structure.
             let result = match enumerate_cap {
                 Some(cap) => {
-                    let e =
-                        enumerate_min_cut_subgraphs(&built.net, built.s, built.t, nc, &core_nodes, cap);
+                    let e = enumerate_min_cut_subgraphs(
+                        &built.net,
+                        built.s,
+                        built.t,
+                        nc,
+                        &core_nodes,
+                        cap,
+                    );
                     AllDensest {
                         density: alpha,
                         subgraphs: e.subgraphs,
@@ -289,8 +299,7 @@ fn build_network(
             for inst in local_insts {
                 *groups.entry(inst.clone()).or_insert(0) += 1;
             }
-            let group_list: Vec<(&Vec<u32>, u64)> =
-                groups.iter().map(|(k, &v)| (k, v)).collect();
+            let group_list: Vec<(&Vec<u32>, u64)> = groups.iter().map(|(k, &v)| (k, v)).collect();
             let num_groups = group_list.len();
             let s = nc + num_groups;
             let t = s + 1;
@@ -325,7 +334,16 @@ mod tests {
     fn k4_tail() -> Graph {
         Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+            ],
         )
     }
 
@@ -370,7 +388,16 @@ mod tests {
         // Two triangles sharing no node, plus a bridge.
         let g = Graph::from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (2, 3),
+                (5, 6),
+            ],
         );
         let r = all_densest(&g, &DensityNotion::Clique(3), 100).unwrap();
         assert_eq!(r.density, Density::new(1, 3));
@@ -470,8 +497,7 @@ mod tests {
                     assert_eq!(subs, sets, "trial {trial}");
                     assert!(!r.truncated);
                     // max_sized = union of all densest subgraphs.
-                    let mut union: Vec<NodeId> =
-                        sets.iter().flatten().copied().collect();
+                    let mut union: Vec<NodeId> = sets.iter().flatten().copied().collect();
                     union.sort_unstable();
                     union.dedup();
                     assert_eq!(r.max_sized, union, "trial {trial}");

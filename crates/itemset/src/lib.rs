@@ -1,5 +1,5 @@
 //! Top-k frequent **closed** itemset mining with a minimum length constraint
-//! — the TFP problem of Wang et al. [47], which the paper's NDS estimator
+//! — the TFP problem of Wang et al. \[47\], which the paper's NDS estimator
 //! (Algorithm 5) reduces to.
 //!
 //! Transactions are node sets (the maximum-sized densest subgraphs of the
@@ -64,28 +64,16 @@ pub fn all_closed(
         let mut miner = Miner::new(transactions, usize::MAX, min_len, usize::MAX);
         miner.floor_support = min_support.max(1);
         miner.run();
-        (
-            miner
-                .all
-            ,
-            miner.capped,
-        )
+        (miner.all, miner.capped)
     };
     debug_assert!(!capped);
-    out.sort_by(|a, b| {
-        b.support
-            .cmp(&a.support)
-            .then(a.items.cmp(&b.items))
-    });
+    out.sort_by(|a, b| b.support.cmp(&a.support).then(a.items.cmp(&b.items)));
     out
 }
 
 /// Support of one itemset within the transactions (`θ · γ̂`).
 pub fn support_of(transactions: &[Vec<u32>], items: &[u32]) -> u64 {
-    transactions
-        .iter()
-        .filter(|t| is_subset(items, t))
-        .count() as u64
+    transactions.iter().filter(|t| is_subset(items, t)).count() as u64
 }
 
 fn is_subset(a: &[u32], b: &[u32]) -> bool {
@@ -355,11 +343,7 @@ mod tests {
         let brute = brute_force_closed(&t, 1);
         assert_eq!(all, brute);
         // {1} support 4, {2} support 4 ... check a few.
-        let find = |items: &[u32]| {
-            all.iter()
-                .find(|c| c.items == items)
-                .map(|c| c.support)
-        };
+        let find = |items: &[u32]| all.iter().find(|c| c.items == items).map(|c| c.support);
         assert_eq!(find(&[1]), Some(4));
         assert_eq!(find(&[1, 2, 3]), Some(2));
         assert_eq!(find(&[1, 2, 3, 4]), Some(1));
@@ -428,14 +412,7 @@ mod tests {
 
     #[test]
     fn all_closed_sets_are_distinct() {
-        let t = txs(&[
-            &[1, 2],
-            &[2, 3],
-            &[1, 3],
-            &[1, 2, 3],
-            &[3, 4],
-            &[1, 4],
-        ]);
+        let t = txs(&[&[1, 2], &[2, 3], &[1, 3], &[1, 2, 3], &[3, 4], &[1, 4]]);
         let all = all_closed(&t, 1, 1);
         let set: HashSet<Vec<u32>> = all.iter().map(|c| c.items.clone()).collect();
         assert_eq!(set.len(), all.len(), "duplicate closed itemsets produced");

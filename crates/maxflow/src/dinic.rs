@@ -185,7 +185,7 @@ impl FlowNetwork {
 
     /// Nodes that can reach `t` through residual arcs. The complement is the
     /// source side of the *maximal* minimum cut — how the maximum-sized
-    /// densest subgraph is extracted (paper footnote 5 / [59]).
+    /// densest subgraph is extracted (paper footnote 5 / \[59\]).
     pub fn can_reach(&self, t: usize) -> Vec<bool> {
         // Reverse BFS: v can reach t iff some residual arc v → w with w ⇝ t.
         // Walk reverse arcs: arc e: v → w has residual cap[e] > 0; from w we

@@ -6,12 +6,12 @@
 //!
 //! * **Monte Carlo (MC)** — flip every edge independently per world; lowest
 //!   memory, the paper's default.
-//! * **Lazy Propagation (LP)** [54] — per-edge geometric skip counters: each
+//! * **Lazy Propagation (LP)** \[54\] — per-edge geometric skip counters: each
 //!   edge pre-draws the index of the next world in which it is present, so a
 //!   world materializes without one RNG call per edge. Extra per-edge state
 //!   (the paper: "the visit frequencies of all edges need to be stored and
 //!   updated", raising memory).
-//! * **Recursive Stratified Sampling (RSS)** [55] — condition on `r` pivot
+//! * **Recursive Stratified Sampling (RSS)** \[55\] — condition on `r` pivot
 //!   edges per recursion level, enumerate the `2^r` strata, and allocate the
 //!   sample budget proportionally to stratum probability; lower variance at
 //!   the cost of recursion memory.

@@ -1,4 +1,4 @@
-//! Lazy Propagation sampling [54]: geometric skip-ahead per edge.
+//! Lazy Propagation sampling \[54\]: geometric skip-ahead per edge.
 //!
 //! Instead of flipping each edge in every round, each edge pre-draws the
 //! round index at which it will next be *present* (a geometric variable with
@@ -23,12 +23,10 @@ pub struct LazyPropagation {
 }
 
 impl LazyPropagation {
+    /// Builds a sampler over `g`'s edge probabilities, consuming `rng`.
     pub fn new(g: &UncertainGraph, mut rng: StdRng) -> Self {
         let probs = g.probs().to_vec();
-        let next_present = probs
-            .iter()
-            .map(|&p| geometric_skip(&mut rng, p))
-            .collect();
+        let next_present = probs.iter().map(|&p| geometric_skip(&mut rng, p)).collect();
         LazyPropagation {
             probs,
             next_present,

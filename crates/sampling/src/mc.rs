@@ -13,6 +13,7 @@ pub struct MonteCarlo {
 }
 
 impl MonteCarlo {
+    /// Builds a sampler over `g`'s edge probabilities, consuming `rng`.
     pub fn new(g: &UncertainGraph, rng: StdRng) -> Self {
         MonteCarlo {
             probs: g.probs().to_vec(),
@@ -23,10 +24,7 @@ impl MonteCarlo {
 
 impl WorldSampler for MonteCarlo {
     fn next_mask(&mut self) -> Vec<bool> {
-        self.probs
-            .iter()
-            .map(|&p| self.rng.gen_bool(p))
-            .collect()
+        self.probs.iter().map(|&p| self.rng.gen_bool(p)).collect()
     }
 
     fn aux_memory_bytes(&self) -> usize {

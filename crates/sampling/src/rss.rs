@@ -1,4 +1,4 @@
-//! Recursive Stratified Sampling [55].
+//! Recursive Stratified Sampling \[55\].
 //!
 //! Worlds are generated in batches. A batch of size `B` is split across the
 //! `2^r` joint assignments ("strata") of the next `r` pivot edges; each

@@ -22,19 +22,28 @@ use rand::{Rng, SeedableRng};
 /// Anatomical lobe of an ROI.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lobe {
+    /// Frontal lobe.
     Frontal,
+    /// Temporal lobe.
     Temporal,
+    /// Parietal lobe.
     Parietal,
+    /// Occipital lobe.
     Occipital,
+    /// Limbic system regions.
     Limbic,
+    /// Subcortical nuclei.
     Subcortical,
+    /// Cerebellar regions (including vermis).
     Cerebellum,
 }
 
 /// A brain region of interest.
 #[derive(Debug, Clone)]
 pub struct Roi {
+    /// AAL-style region name, e.g. `CAL.L`.
     pub name: String,
+    /// Anatomical lobe the region belongs to.
     pub lobe: Lobe,
     /// `0` = left hemisphere, `1` = right, `2` = vermis (midline).
     pub hemisphere: u8,
@@ -45,6 +54,7 @@ pub struct Roi {
 /// The 116-ROI atlas used by both simulated cohorts.
 #[derive(Debug, Clone)]
 pub struct Atlas {
+    /// Regions of interest, indexed by `NodeId`.
     pub rois: Vec<Roi>,
 }
 
@@ -148,10 +158,7 @@ impl Atlas {
     /// Distinct lobes spanned by a node set (the case study's headline
     /// measurement: the ASD MPDS spans exactly one lobe).
     pub fn lobes_spanned(&self, nodes: &[NodeId]) -> Vec<Lobe> {
-        let mut lobes: Vec<Lobe> = nodes
-            .iter()
-            .map(|&v| self.rois[v as usize].lobe)
-            .collect();
+        let mut lobes: Vec<Lobe> = nodes.iter().map(|&v| self.rois[v as usize].lobe).collect();
         lobes.sort_by_key(|l| *l as u8);
         lobes.dedup();
         lobes
@@ -194,7 +201,9 @@ impl Atlas {
 /// Which simulated cohort to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Cohort {
+    /// Typically-developed control group.
     TypicallyDeveloped,
+    /// Autism-spectrum-disorder group.
     Asd,
 }
 
@@ -209,11 +218,12 @@ pub fn simulate_group_graph(atlas: &Atlas, cohort: Cohort, seed: u64) -> Uncerta
     let n = atlas.rois.len();
     // Later stages overwrite earlier ones: core probabilities take priority
     // over within-lobe noise, which takes priority over background noise.
-    let mut map: std::collections::BTreeMap<(NodeId, NodeId), f64> = std::collections::BTreeMap::new();
+    let mut map: std::collections::BTreeMap<(NodeId, NodeId), f64> =
+        std::collections::BTreeMap::new();
     let push = |map: &mut std::collections::BTreeMap<(NodeId, NodeId), f64>,
-                    u: NodeId,
-                    v: NodeId,
-                    p: f64| {
+                u: NodeId,
+                v: NodeId,
+                p: f64| {
         if u != v {
             let key = if u < v { (u, v) } else { (v, u) };
             map.insert(key, p.clamp(1e-3, 1.0));
@@ -268,11 +278,7 @@ pub fn simulate_group_graph(atlas: &Atlas, cohort: Cohort, seed: u64) -> Uncerta
             // exactly one unpaired node: MOG.R participates, MOG.L is left at
             // background strength.
             let mog_l = atlas.index_of("MOG.L").expect("atlas has MOG.L");
-            let core: Vec<NodeId> = occipital
-                .iter()
-                .copied()
-                .filter(|&v| v != mog_l)
-                .collect();
+            let core: Vec<NodeId> = occipital.iter().copied().filter(|&v| v != mog_l).collect();
             for (i, &u) in core.iter().enumerate() {
                 for &v in &core[i + 1..] {
                     push(&mut map, u, v, rng.gen_range(0.85..0.99));
@@ -312,9 +318,9 @@ pub fn simulate_group_graph(atlas: &Atlas, cohort: Cohort, seed: u64) -> Uncerta
 /// which the paper's EDS/core figures call out).
 pub fn hub_roi_names() -> [&'static str; 24] {
     [
-        "MFG1.L", "MFG1.R", "SFG1.L", "SFG1.R", "IFG1.L", "IFG1.R", "PCUN.L", "PCUN.R",
-        "SPG.L", "SPG.R", "IPL.L", "IPL.R", "SMG.L", "SMG.R", "ACG.L", "ACG.R",
-        "INS.L", "INS.R", "CAU.L", "CAU.R", "PUT.L", "PUT.R", "THA.L", "THA.R",
+        "MFG1.L", "MFG1.R", "SFG1.L", "SFG1.R", "IFG1.L", "IFG1.R", "PCUN.L", "PCUN.R", "SPG.L",
+        "SPG.R", "IPL.L", "IPL.R", "SMG.L", "SMG.R", "ACG.L", "ACG.R", "INS.L", "INS.R", "CAU.L",
+        "CAU.R", "PUT.L", "PUT.R", "THA.L", "THA.R",
     ]
 }
 
@@ -358,7 +364,14 @@ mod tests {
     #[test]
     fn atlas_contains_case_study_rois() {
         let atlas = Atlas::aal116();
-        for name in ["MOG.R", "CRBL6.L", "FFG.R", "PCUN.R", "PCG.L", "CRBLCrus2.L"] {
+        for name in [
+            "MOG.R",
+            "CRBL6.L",
+            "FFG.R",
+            "PCUN.R",
+            "PCG.L",
+            "CRBLCrus2.L",
+        ] {
             assert!(atlas.index_of(name).is_some(), "missing {name}");
         }
     }

@@ -17,7 +17,9 @@ use rand::{Rng, SeedableRng};
 /// A named uncertain graph plus optional ground-truth community labels.
 #[derive(Debug, Clone)]
 pub struct Dataset {
+    /// Dataset label as used in the paper's tables.
     pub name: String,
+    /// The uncertain graph itself.
     pub graph: UncertainGraph,
     /// Ground-truth community of each node, when known.
     pub communities: Option<Vec<usize>>,
@@ -35,6 +37,7 @@ pub fn karate_club() -> Dataset {
     let edges = karate_edges();
     let graph = Graph::from_edges(34, &edges);
     let mut rng = StdRng::seed_from_u64(0x4B41_5241); // "KARA"
+
     // Communication counts correlate with how social the endpoints are
     // (hub members interact more), plus noise — matching how the original
     // interaction weights concentrate on the faction leaders. This keeps
@@ -59,32 +62,83 @@ pub fn karate_club() -> Dataset {
 /// The canonical 78-edge list of Zachary's karate club (0-indexed).
 pub fn karate_edges() -> Vec<(NodeId, NodeId)> {
     vec![
-        (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10),
-        (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31),
-        (1, 2), (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30),
-        (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32),
-        (3, 7), (3, 12), (3, 13),
-        (4, 6), (4, 10),
-        (5, 6), (5, 10), (5, 16),
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (0, 5),
+        (0, 6),
+        (0, 7),
+        (0, 8),
+        (0, 10),
+        (0, 11),
+        (0, 12),
+        (0, 13),
+        (0, 17),
+        (0, 19),
+        (0, 21),
+        (0, 31),
+        (1, 2),
+        (1, 3),
+        (1, 7),
+        (1, 13),
+        (1, 17),
+        (1, 19),
+        (1, 21),
+        (1, 30),
+        (2, 3),
+        (2, 7),
+        (2, 8),
+        (2, 9),
+        (2, 13),
+        (2, 27),
+        (2, 28),
+        (2, 32),
+        (3, 7),
+        (3, 12),
+        (3, 13),
+        (4, 6),
+        (4, 10),
+        (5, 6),
+        (5, 10),
+        (5, 16),
         (6, 16),
-        (8, 30), (8, 32), (8, 33),
+        (8, 30),
+        (8, 32),
+        (8, 33),
         (9, 33),
         (13, 33),
-        (14, 32), (14, 33),
-        (15, 32), (15, 33),
-        (18, 32), (18, 33),
+        (14, 32),
+        (14, 33),
+        (15, 32),
+        (15, 33),
+        (18, 32),
+        (18, 33),
         (19, 33),
-        (20, 32), (20, 33),
-        (22, 32), (22, 33),
-        (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
-        (24, 25), (24, 27), (24, 31),
+        (20, 32),
+        (20, 33),
+        (22, 32),
+        (22, 33),
+        (23, 25),
+        (23, 27),
+        (23, 29),
+        (23, 32),
+        (23, 33),
+        (24, 25),
+        (24, 27),
+        (24, 31),
         (25, 31),
-        (26, 29), (26, 33),
+        (26, 29),
+        (26, 33),
         (27, 33),
-        (28, 31), (28, 33),
-        (29, 32), (29, 33),
-        (30, 32), (30, 33),
-        (31, 32), (31, 33),
+        (28, 31),
+        (28, 33),
+        (29, 32),
+        (29, 33),
+        (30, 32),
+        (30, 33),
+        (31, 32),
+        (31, 33),
         (32, 33),
     ]
 }
@@ -186,13 +240,31 @@ pub fn lastfm_like(seed: u64) -> Dataset {
 /// skew). Probabilities are experimental confidences (truncated normal,
 /// mean 0.32 / std 0.21 as in Table II).
 pub fn homo_sapiens_like(seed: u64) -> Dataset {
-    scaled_bio_like("HomoSapiens-like", 3_000, 18, &[40, 32, 28], 0.6, 0.32, 0.21, seed)
+    scaled_bio_like(
+        "HomoSapiens-like",
+        3_000,
+        18,
+        &[40, 32, 28],
+        0.6,
+        0.32,
+        0.21,
+        seed,
+    )
 }
 
 /// Biomine-like integrated biological database, scaled (paper: n ≈ 1.0 M,
 /// m ≈ 6.7 M; ours: n = 10 000, m ≈ 70 000). Mean prob 0.27 / std 0.21.
 pub fn biomine_like(seed: u64) -> Dataset {
-    scaled_bio_like("Biomine-like", 10_000, 6, &[36, 30, 24, 20], 0.55, 0.27, 0.21, seed)
+    scaled_bio_like(
+        "Biomine-like",
+        10_000,
+        6,
+        &[36, 30, 24, 20],
+        0.55,
+        0.27,
+        0.21,
+        seed,
+    )
 }
 
 fn scaled_bio_like(
@@ -266,8 +338,7 @@ pub fn friendster_like(seed: u64) -> Dataset {
     let probs: Vec<f64> = g
         .edges()
         .iter()
-        .enumerate()
-        .map(|(_, &(u, v))| {
+        .map(|&(u, v)| {
             let planted =
                 labels[u as usize] != usize::MAX && labels[u as usize] == labels[v as usize];
             let t = if planted {

@@ -16,6 +16,7 @@ use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 /// Errors from edge-list parsing.
 #[derive(Debug)]
 pub enum IoError {
+    /// Underlying reader/writer failure.
     Io(std::io::Error),
     /// `(line number, message)`.
     Parse(usize, String),
@@ -42,9 +43,7 @@ impl From<std::io::Error> for IoError {
 /// the original label of every compacted node id.
 ///
 /// Duplicate edges keep the *last* probability seen; self-loops are rejected.
-pub fn read_weighted_edge_list<R: Read>(
-    reader: R,
-) -> Result<(UncertainGraph, Vec<u32>), IoError> {
+pub fn read_weighted_edge_list<R: Read>(reader: R) -> Result<(UncertainGraph, Vec<u32>), IoError> {
     let reader = BufReader::new(reader);
     let mut labels: Vec<u32> = Vec::new();
     let mut index_of = std::collections::HashMap::new();
@@ -163,10 +162,7 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_graph() {
-        let g = UncertainGraph::from_weighted_edges(
-            4,
-            &[(0, 1, 0.25), (1, 2, 0.5), (2, 3, 0.75)],
-        );
+        let g = UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.25), (1, 2, 0.5), (2, 3, 0.75)]);
         let mut buf = Vec::new();
         write_weighted_edge_list(&mut buf, &g, None).unwrap();
         let (g2, labels) = read_weighted_edge_list(buf.as_slice()).unwrap();

@@ -112,7 +112,10 @@ mod tests {
     use crate::uncertain::UncertainGraph;
 
     fn triangle_graph() -> UncertainGraph {
-        UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.5), (0, 2, 0.4), (1, 2, 0.8), (2, 3, 0.9)])
+        UncertainGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 0.5), (0, 2, 0.4), (1, 2, 0.8), (2, 3, 0.9)],
+        )
     }
 
     #[test]

@@ -96,11 +96,7 @@ pub fn set_family_similarity(a: &[NodeSet], b: &[NodeSet]) -> f64 {
     }
     let dir = |xs: &[NodeSet], ys: &[NodeSet]| -> f64 {
         xs.iter()
-            .map(|x| {
-                ys.iter()
-                    .map(|y| jaccard(x, y))
-                    .fold(0.0_f64, f64::max)
-            })
+            .map(|x| ys.iter().map(|y| jaccard(x, y)).fold(0.0_f64, f64::max))
             .sum::<f64>()
             / xs.len() as f64
     };

@@ -26,12 +26,15 @@ impl Pattern {
     /// pattern is disconnected (instances of disconnected patterns are not
     /// meaningful for density).
     pub fn new(name: impl Into<String>, k: usize, edges: &[(u8, u8)]) -> Self {
-        assert!(k >= 2 && k <= 16, "pattern must have 2..=16 nodes");
+        assert!((2..=16).contains(&k), "pattern must have 2..=16 nodes");
         let mut adj = vec![0u16; k];
         let mut canon: Vec<(u8, u8)> = Vec::with_capacity(edges.len());
         for &(u, v) in edges {
             assert!(u != v, "pattern self-loop");
-            assert!((u as usize) < k && (v as usize) < k, "pattern edge out of range");
+            assert!(
+                (u as usize) < k && (v as usize) < k,
+                "pattern edge out of range"
+            );
             let (a, b) = if u < v { (u, v) } else { (v, u) };
             assert!(adj[a as usize] & (1 << b) == 0, "duplicate pattern edge");
             adj[a as usize] |= 1 << b;
@@ -98,16 +101,19 @@ impl Pattern {
         ]
     }
 
+    /// Human-readable pattern name (e.g. `"diamond"`, `"3-clique"`).
     #[inline]
     pub fn name(&self) -> &str {
         &self.name
     }
 
+    /// Number of pattern nodes `|V_ψ|`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
         self.k
     }
 
+    /// Number of pattern edges `|E_ψ|`.
     #[inline]
     pub fn num_edges(&self) -> usize {
         self.edges.len()

@@ -60,11 +60,13 @@ impl UncertainGraph {
         &self.graph
     }
 
+    /// Number of nodes in the underlying graph.
     #[inline]
     pub fn num_nodes(&self) -> usize {
         self.graph.num_nodes()
     }
 
+    /// Number of (possible) edges in the underlying graph.
     #[inline]
     pub fn num_edges(&self) -> usize {
         self.graph.num_edges()
@@ -134,7 +136,7 @@ impl UncertainGraph {
     /// Expected edge density of the subgraph induced by `nodes`
     /// (`Σ_{e ⊆ nodes} p(e) / |nodes|`): by linearity of expectation this is
     /// the expectation over possible worlds of the induced edge density, the
-    /// quantity maximized by the EDS baseline [44].
+    /// quantity maximized by the EDS baseline \[44\].
     pub fn expected_edge_density(&self, nodes: &[NodeId]) -> f64 {
         if nodes.is_empty() {
             return 0.0;

@@ -12,7 +12,10 @@ fn main() {
     let study = karate_case_study(320, 10, 7);
 
     println!("Zachary's Karate Club as an uncertain graph (p = 1 - e^(-t/20)):\n");
-    println!("{:<8} {:>7} {:>7} {:>7}  node set", "method", "purity", "PD", "PCC");
+    println!(
+        "{:<8} {:>7} {:>7} {:>7}  node set",
+        "method", "purity", "PD", "PCC"
+    );
     for s in &study.scored {
         println!(
             "{:<8} {:>7.3} {:>7.3} {:>7.3}  {:?}",

@@ -55,9 +55,7 @@ fn estimator_f1_is_high_for_top5() {
 fn all_three_samplers_agree_on_the_mpds() {
     let g = ba7();
     let cfg = MpdsConfig::new(DensityNotion::Edge, 2500, 1);
-    let run = |mut s: Box<dyn WorldSampler>| {
-        top_k_mpds(&g, &mut s, &cfg).top_k[0].0.clone()
-    };
+    let run = |mut s: Box<dyn WorldSampler>| top_k_mpds(&g, &mut s, &cfg).top_k[0].0.clone();
     let mc = run(Box::new(MonteCarlo::new(&g, StdRng::seed_from_u64(1))));
     let lp = run(Box::new(LazyPropagation::new(&g, StdRng::seed_from_u64(2))));
     let rss = run(Box::new(RecursiveStratified::new(

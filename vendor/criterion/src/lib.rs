@@ -1,0 +1,136 @@
+//! Vendored subset of the `criterion` 0.5 API for fully-offline builds.
+//!
+//! Provides just enough surface for the workspace's benches to compile under
+//! `cargo bench --no-run` and to produce useful wall-clock numbers when run:
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a plain
+//! mean over `sample_size` timed iterations after one warm-up — no outlier
+//! analysis, HTML reports, or statistical machinery.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function that inhibits constant-folding of benchmark
+/// inputs, same contract as `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.into(), "", 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (reporting already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, samples: usize, mut f: F) {
+    let label = if id.is_empty() {
+        group.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    // One warm-up sample, then `samples` timed ones.
+    let mut warmup = Bencher::default();
+    f(&mut warmup);
+    let mut b = Bencher::default();
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    if b.iters > 0 {
+        let per_iter = b.elapsed / b.iters as u32;
+        println!(
+            "bench: {label:<50} {per_iter:>12.2?}/iter ({} iters)",
+            b.iters
+        );
+    } else {
+        println!("bench: {label:<50} (no iterations)");
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[allow(missing_docs)]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

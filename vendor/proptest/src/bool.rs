@@ -1,0 +1,20 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy type of [`ANY`]: a fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Generates `true`/`false` with equal probability.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen::<bool>()
+    }
+}

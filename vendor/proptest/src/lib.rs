@@ -1,0 +1,122 @@
+//! Vendored subset of the `proptest` API for fully-offline builds.
+//!
+//! Implements the pieces the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, uniform
+//! range strategies, [`collection::vec`], [`bool::ANY`], a
+//! [`test_runner::Config`] with `with_cases`, and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros.
+//!
+//! Semantic differences from upstream, chosen for simplicity:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via
+//!   `Debug` and the assertion message, but is not minimized.
+//! * **Deterministic seeding.** Each `proptest!` test derives its RNG seed
+//!   from the test's name, so CI failures reproduce locally by default.
+//! * `prop_assume!` skips the case without replacement rather than drawing
+//!   a fresh one.
+
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the current
+/// case fails with the stringified condition (plus optional format args).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                ::std::format!("assertion failed: {}: {}",
+                    ::core::stringify!($cond), ::std::format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok($crate::test_runner::CaseOutcome::Skipped);
+        }
+    };
+}
+
+/// Declares property tests over generated inputs, mirroring
+/// `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::rng_for(::core::stringify!($name));
+            let mut accepted: u32 = 0;
+            for case in 0..config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome: ::core::result::Result<
+                    $crate::test_runner::CaseOutcome,
+                    ::std::string::String,
+                > = (|| {
+                    $body
+                    ::core::result::Result::Ok($crate::test_runner::CaseOutcome::Passed)
+                })();
+                match outcome {
+                    Ok($crate::test_runner::CaseOutcome::Passed) => accepted += 1,
+                    Ok($crate::test_runner::CaseOutcome::Skipped) => {}
+                    Err(message) => {
+                        let mut inputs = ::std::string::String::new();
+                        $(inputs.push_str(&::std::format!(
+                            "\n    {} = {:?}", ::core::stringify!($arg), $arg));)+
+                        ::std::panic!(
+                            "proptest case {}/{} failed: {}\n  inputs:{}",
+                            case + 1, config.cases, message, inputs,
+                        );
+                    }
+                }
+            }
+            ::std::assert!(
+                accepted > 0 || config.cases == 0,
+                "proptest {}: prop_assume! rejected all {} cases — the test is vacuous",
+                ::core::stringify!($name),
+                config.cases,
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}

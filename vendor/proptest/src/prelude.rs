@@ -1,0 +1,5 @@
+//! One-stop imports for test files, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Just, Strategy};
+pub use crate::test_runner::Config as ProptestConfig;
+pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};

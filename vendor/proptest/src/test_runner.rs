@@ -1,0 +1,54 @@
+//! Per-test configuration and deterministic RNG plumbing.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// How one generated case ended (distinguishes passes from
+/// `prop_assume!` skips).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// The body ran to completion.
+    Passed,
+    /// A `prop_assume!` precondition rejected the inputs.
+    Skipped,
+}
+
+/// Mirror of `proptest::test_runner::Config` (the `cases` knob only).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Deterministic RNG for a named test: seeded from an FNV-1a hash of the
+/// test name so failures reproduce across runs and machines. Set
+/// `PROPTEST_SEED` to explore alternate streams.
+pub fn rng_for(test_name: &str) -> TestRng {
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(seed) = seed.parse::<u64>() {
+            return StdRng::seed_from_u64(seed);
+        }
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}

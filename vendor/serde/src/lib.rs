@@ -1,0 +1,17 @@
+//! Vendored shim of the `serde` facade for fully-offline builds.
+//!
+//! The MPDS crates derive `Serialize`/`Deserialize` on a few plain data
+//! types so downstream users can plug in a real serializer, but nothing in
+//! the workspace serializes through serde at runtime (wire I/O goes through
+//! `ugraph::io`'s explicit edge-list format). This shim therefore provides
+//! the two trait names as markers plus a derive macro that emits empty
+//! impls, keeping the `#[derive(Serialize, Deserialize)]` annotations
+//! compiling verbatim until the real dependency can be restored.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

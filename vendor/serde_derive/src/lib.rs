@@ -1,0 +1,64 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Emits empty `impl serde::Serialize` / `impl serde::Deserialize` blocks
+//! for the derived type. Hand-parses the item header with `proc_macro`
+//! alone (no `syn`/`quote` — this workspace builds fully offline). Supports
+//! plain (non-generic) structs and enums, which covers every derive site in
+//! the workspace; a generic type produces a compile error pointing here.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum` item, skipping attributes
+/// and visibility. Returns `(name, is_generic)`.
+fn type_name(input: TokenStream) -> Result<(String, bool), String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tok) = tokens.next() {
+        match tok {
+            // Skip `#[...]` outer attributes.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name, found {other:?}")),
+                };
+                let generic = matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                );
+                return Ok((name, generic));
+            }
+            // `pub`, `pub(crate)`, etc. — fall through.
+            _ => {}
+        }
+    }
+    Err("no struct/enum found in derive input".to_string())
+}
+
+fn emit(input: TokenStream, impl_for: &str) -> TokenStream {
+    match type_name(input) {
+        Ok((name, false)) => impl_for
+            .replace("$NAME", &name)
+            .parse()
+            .expect("generated impl parses"),
+        Ok((_, true)) => r#"compile_error!(
+            "the vendored serde shim does not support generic types; \
+             see vendor/serde_derive/src/lib.rs");"#
+            .parse()
+            .unwrap(),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl ::serde::Serialize for $NAME {}")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, "impl<'de> ::serde::Deserialize<'de> for $NAME {}")
+}
