@@ -1,0 +1,86 @@
+//! CSR graph core vs. the pre-refactor adjacency-list baseline.
+//!
+//! Interactive counterpart of the `bench_report` binary (which produces the
+//! machine-readable `BENCH_pr2.json` the CI regression gate consumes): world
+//! materialization and neighborhood iteration measured against the legacy
+//! layouts preserved in `mpds_bench::legacy`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mpds_bench::legacy::AdjListGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sampling::{MonteCarlo, WorldSampler};
+use ugraph::{generators, EdgeMask, Graph, UncertainGraph};
+
+fn workload() -> UncertainGraph {
+    let mut rng = StdRng::seed_from_u64(0xbe9c);
+    let g = generators::barabasi_albert(2000, 8, &mut rng);
+    let probs: Vec<f64> = (0..g.num_edges())
+        .map(|_| rng.gen_range(0.1..0.9))
+        .collect();
+    UncertainGraph::new(g, probs)
+}
+
+fn bench_materialization(c: &mut Criterion) {
+    let ug = workload();
+    let n = ug.num_nodes();
+    let edges = ug.graph().edges().to_vec();
+    let mut group = c.benchmark_group("csr_vs_baseline/materialization");
+    group.sample_size(40);
+
+    let mut mc = MonteCarlo::with_stream(&ug, 1, 0);
+    group.bench_function("legacy_adjlist", |b| {
+        b.iter(|| {
+            let mask = mc.next_mask();
+            black_box(AdjListGraph::world_from_mask(n, &edges, &mask).num_edges())
+        })
+    });
+
+    let mut mc = MonteCarlo::with_stream(&ug, 1, 0);
+    let mut mask = EdgeMask::new(ug.num_edges());
+    let mut world = Graph::default();
+    group.bench_function("csr_recycled", |b| {
+        b.iter(|| {
+            mc.next_mask_into(&mut mask);
+            world = ug.world_from_bitmap(&mask, std::mem::take(&mut world));
+            black_box(world.num_edges())
+        })
+    });
+    group.finish();
+}
+
+fn bench_neighborhood(c: &mut Criterion) {
+    let ug = workload();
+    let n = ug.num_nodes();
+    let legacy = AdjListGraph::from_edges(n, ug.graph().edges());
+    let csr = ug.graph();
+    let mut group = c.benchmark_group("csr_vs_baseline/neighborhood_sweep");
+    group.sample_size(60);
+
+    group.bench_function("legacy_adjlist", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..n as u32 {
+                for &w in legacy.neighbors(v) {
+                    acc += w as u64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("csr", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in 0..n as u32 {
+                for &w in csr.neighbors(v) {
+                    acc += w as u64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_materialization, bench_neighborhood);
+criterion_main!(benches);

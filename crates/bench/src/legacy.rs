@@ -1,0 +1,316 @@
+//! Pre-CSR reference implementations, kept verbatim for benchmarking.
+//!
+//! The PR that introduced the CSR graph core replaced per-vertex heap
+//! adjacency lists ([`AdjListGraph`], the old `ugraph::Graph`) and the
+//! `Vec<Vec<u32>>` flow adjacency ([`AdjListFlowNetwork`], the old
+//! `maxflow::FlowNetwork`). These replicas preserve the old data layout and
+//! algorithms so `bench_report` and the `csr_vs_baseline` criterion bench can
+//! measure the refactor's speedup *on the same machine* — the committed
+//! `BENCH_pr2.json` baselines track the CSR/legacy ratios, which are
+//! machine-relative and therefore comparable across CI runners.
+//!
+//! Do not use these types outside benchmarks.
+
+/// The pre-CSR deterministic graph: per-vertex sorted adjacency `Vec`s plus a
+/// canonical edge list, maintained by sorted insertion.
+#[derive(Debug, Clone, Default)]
+pub struct AdjListGraph {
+    adj: Vec<Vec<u32>>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl AdjListGraph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        AdjListGraph {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds from an edge list via repeated sorted insertion (the old
+    /// construction path, `O(deg)` memmove per edge).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = AdjListGraph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Sorted neighbor list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Canonical edge list (`u < v`, sorted).
+    #[inline]
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Whether the edge `(u, v)` exists (binary search on the smaller list).
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adj[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// Adds the undirected edge `(u, v)` keeping all lists sorted (the old
+    /// mutable construction path).
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let pos = self
+            .edges
+            .binary_search(&(a, b))
+            .expect_err("duplicate edge");
+        self.edges.insert(pos, (a, b));
+        let pa = self.adj[a as usize].binary_search(&b).unwrap_err();
+        self.adj[a as usize].insert(pa, b);
+        let pb = self.adj[b as usize].binary_search(&a).unwrap_err();
+        self.adj[b as usize].insert(pb, a);
+    }
+
+    /// The old possible-world materialization: rebuild a fresh adjacency-list
+    /// graph from scratch for every sampled mask.
+    pub fn world_from_mask(n: usize, edges: &[(u32, u32)], mask: &[bool]) -> AdjListGraph {
+        assert_eq!(mask.len(), edges.len());
+        let mut g = AdjListGraph::new(n);
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if mask[i] {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Triangle enumeration over adjacency lists, mirroring the old
+    /// `enumerate_cliques(g, 3)` path: per-candidate `has_edge` binary
+    /// searches instead of CSR slice merges. Returns sorted node triples.
+    pub fn triangles(&self) -> Vec<[u32; 3]> {
+        let mut out = Vec::new();
+        let mut current: Vec<u32> = Vec::with_capacity(3);
+        for v in 0..self.num_nodes() as u32 {
+            let cand: Vec<u32> = self
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| w > v)
+                .collect();
+            current.push(v);
+            self.extend_triangle(&mut current, &cand, &mut out);
+            current.pop();
+        }
+        out
+    }
+
+    fn extend_triangle(&self, current: &mut Vec<u32>, cand: &[u32], out: &mut Vec<[u32; 3]>) {
+        if current.len() == 3 {
+            out.push([current[0], current[1], current[2]]);
+            return;
+        }
+        if current.len() + cand.len() < 3 {
+            return;
+        }
+        for (i, &w) in cand.iter().enumerate() {
+            let next: Vec<u32> = cand[i + 1..]
+                .iter()
+                .copied()
+                .filter(|&x| self.has_edge(w, x))
+                .collect();
+            current.push(w);
+            self.extend_triangle(current, &next, out);
+            current.pop();
+        }
+    }
+}
+
+/// The pre-CSR Dinic network: arc ids per node in `Vec<Vec<u32>>` adjacency.
+/// Algorithmically identical to `maxflow::FlowNetwork` (same arc pairing,
+/// same BFS/DFS structure), differing only in the adjacency layout.
+#[derive(Debug, Clone)]
+pub struct AdjListFlowNetwork {
+    to: Vec<u32>,
+    cap: Vec<u64>,
+    orig: Vec<u64>,
+    adj: Vec<Vec<u32>>,
+    level: Vec<u32>,
+    iter: Vec<u32>,
+}
+
+impl AdjListFlowNetwork {
+    /// Creates a network with `n` nodes and no arcs.
+    pub fn new(n: usize) -> Self {
+        AdjListFlowNetwork {
+            to: Vec::new(),
+            cap: Vec::new(),
+            orig: Vec::new(),
+            adj: vec![Vec::new(); n],
+            level: vec![0; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Adds arc `u → v` with capacity `cap` and reverse capacity `rev_cap`.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: u64, rev_cap: u64) -> usize {
+        let e = self.to.len();
+        self.to.push(v as u32);
+        self.cap.push(cap);
+        self.orig.push(cap);
+        self.adj[u].push(e as u32);
+        self.to.push(u as u32);
+        self.cap.push(rev_cap);
+        self.orig.push(rev_cap);
+        self.adj[v].push(e as u32 + 1);
+        e
+    }
+
+    /// Restores all residual capacities (for repeated solves).
+    pub fn reset(&mut self) {
+        self.cap.copy_from_slice(&self.orig);
+    }
+
+    /// Dinic maximum flow from `s` to `t`.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        let mut total = 0u64;
+        let mut queue = std::collections::VecDeque::new();
+        loop {
+            self.level.iter_mut().for_each(|l| *l = u32::MAX);
+            self.level[s] = 0;
+            queue.clear();
+            queue.push_back(s as u32);
+            while let Some(v) = queue.pop_front() {
+                for &e in &self.adj[v as usize] {
+                    let w = self.to[e as usize];
+                    if self.cap[e as usize] > 0 && self.level[w as usize] == u32::MAX {
+                        self.level[w as usize] = self.level[v as usize] + 1;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            if self.level[t] == u32::MAX {
+                return total;
+            }
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.dfs_augment(s, t);
+                if f == 0 {
+                    break;
+                }
+                total += f;
+            }
+        }
+    }
+
+    fn dfs_augment(&mut self, s: usize, t: usize) -> u64 {
+        let mut path: Vec<u32> = Vec::new();
+        let mut v = s;
+        loop {
+            if v == t {
+                let mut f = u64::MAX;
+                for &e in &path {
+                    f = f.min(self.cap[e as usize]);
+                }
+                for &e in &path {
+                    self.cap[e as usize] -= f;
+                    self.cap[e as usize ^ 1] += f;
+                }
+                return f;
+            }
+            let mut advanced = false;
+            while (self.iter[v] as usize) < self.adj[v].len() {
+                let e = self.adj[v][self.iter[v] as usize];
+                let w = self.to[e as usize] as usize;
+                if self.cap[e as usize] > 0 && self.level[w] == self.level[v] + 1 {
+                    path.push(e);
+                    v = w;
+                    advanced = true;
+                    break;
+                }
+                self.iter[v] += 1;
+            }
+            if advanced {
+                continue;
+            }
+            self.level[v] = u32::MAX;
+            match path.pop() {
+                Some(e) => {
+                    v = self.to[e as usize ^ 1] as usize;
+                    self.iter[v] += 1;
+                }
+                None => return 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_graph_matches_csr_semantics() {
+        let edges = [(0u32, 1u32), (1, 2), (0, 2), (2, 3)];
+        let legacy = AdjListGraph::from_edges(4, &edges);
+        let csr = ugraph::Graph::from_edges(4, &edges);
+        assert_eq!(legacy.edges(), csr.edges());
+        for v in 0..4u32 {
+            assert_eq!(legacy.neighbors(v), csr.neighbors(v));
+        }
+        assert_eq!(legacy.triangles(), vec![[0, 1, 2]]);
+    }
+
+    #[test]
+    fn legacy_world_matches_csr_world() {
+        let edges = [(0u32, 1u32), (1, 2), (0, 2)];
+        let csr = ugraph::Graph::from_edges(3, &edges);
+        let ug = ugraph::UncertainGraph::new(csr, vec![0.5; 3]);
+        let mask = [true, false, true];
+        let legacy = AdjListGraph::world_from_mask(3, ug.graph().edges(), &mask);
+        let world = ug.world_from_mask(&mask);
+        assert_eq!(legacy.edges(), world.edges());
+    }
+
+    #[test]
+    fn legacy_dinic_matches_csr_dinic() {
+        let arcs = [
+            (0usize, 1usize, 10u64),
+            (0, 2, 10),
+            (1, 2, 5),
+            (1, 3, 10),
+            (2, 3, 10),
+        ];
+        let mut legacy = AdjListFlowNetwork::new(4);
+        let mut csr = maxflow::FlowNetwork::new(4);
+        for &(u, v, c) in &arcs {
+            legacy.add_edge(u, v, c, 0);
+            csr.add_edge(u, v, c, 0);
+        }
+        assert_eq!(legacy.max_flow(0, 3), csr.max_flow(0, 3));
+        legacy.reset();
+        csr.reset();
+        assert_eq!(legacy.max_flow(0, 3), 20);
+    }
+}

@@ -4,6 +4,8 @@
 //! (see DESIGN.md §3 for the full index) and prints a markdown table with
 //! the measured values next to the paper's reported ones where applicable.
 
+pub mod legacy;
+
 use std::time::{Duration, Instant};
 use ugraph::datasets::{self, Dataset};
 

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sampling::WorldSampler;
 use std::collections::HashMap;
-use ugraph::{NodeId, NodeSet, UncertainGraph};
+use ugraph::{EdgeMask, Graph, NodeId, NodeSet, UncertainGraph};
 
 /// Configuration for the top-k MPDS estimator.
 #[derive(Debug, Clone)]
@@ -93,9 +93,13 @@ pub fn top_k_mpds<S: WorldSampler>(
     let mut truncated = false;
     let mut choice_rng = StdRng::seed_from_u64(cfg.choice_seed);
 
+    // One edge-presence bitmap and one CSR world, recycled across all θ
+    // samples: the steady-state loop allocates nothing per world.
+    let mut mask = EdgeMask::new(g.num_edges());
+    let mut world = Graph::default();
     for _ in 0..cfg.theta {
-        let mask = sampler.next_mask();
-        let world = g.world_from_mask(&mask);
+        sampler.next_mask_into(&mut mask);
+        world = g.world_from_bitmap(&mask, world);
         let subgraphs: Vec<NodeSet> = if cfg.heuristic {
             match heuristic_dense_subgraphs(&world, &cfg.notion) {
                 None => Vec::new(),

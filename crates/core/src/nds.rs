@@ -13,7 +13,7 @@
 use densest::{heuristic::heuristic_dense_subgraphs, max_sized_densest, DensityNotion};
 use itemset::top_k_closed;
 use sampling::WorldSampler;
-use ugraph::{NodeId, NodeSet, UncertainGraph};
+use ugraph::{EdgeMask, Graph, NodeId, NodeSet, UncertainGraph};
 
 /// Configuration for the NDS estimator.
 #[derive(Debug, Clone)]
@@ -82,9 +82,11 @@ pub fn top_k_nds<S: WorldSampler>(
     assert!(cfg.theta > 0, "need at least one sample");
     let mut transactions: Vec<NodeSet> = Vec::with_capacity(cfg.theta);
     let mut empty_worlds = 0usize;
+    let mut mask = EdgeMask::new(g.num_edges());
+    let mut world = Graph::default();
     for _ in 0..cfg.theta {
-        let mask = sampler.next_mask();
-        let world = g.world_from_mask(&mask);
+        sampler.next_mask_into(&mut mask);
+        world = g.world_from_bitmap(&mask, world);
         let max_sized: Option<NodeSet> = if cfg.heuristic {
             // Heuristic stand-in: the densest subgraph found by core peeling
             // (its first entry is the densest candidate; ties broke toward

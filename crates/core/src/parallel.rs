@@ -6,17 +6,21 @@
 //! candidate table; tables are merged at the end. The estimator stays
 //! unbiased (the union of independent MC streams is an MC stream), and the
 //! result is deterministic for a fixed `(seed, workers)` pair.
+//!
+//! Worker streams are derived with [`sampling::stream_seed`], *not* by
+//! seeding worker `w` with `seed + w`: the additive scheme silently shares
+//! all but one stream between runs rooted at adjacent seeds, correlating
+//! experiments that are supposed to be independent replicates.
 
 use crate::estimate::{MpdsConfig, MpdsResult};
 use densest::all_densest;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sampling::{MonteCarlo, WorldSampler};
 use std::collections::HashMap;
-use ugraph::{NodeSet, UncertainGraph};
+use ugraph::{EdgeMask, Graph, NodeSet, UncertainGraph};
 
 /// Runs Algorithm 1 with `workers` scoped threads, splitting θ evenly.
-/// Worker `w` uses the Monte-Carlo stream seeded `seed + w`.
+/// Worker `w` uses Monte-Carlo sub-stream `w` of the root `seed`
+/// ([`sampling::stream_seed`]).
 pub fn parallel_top_k_mpds(
     g: &UncertainGraph,
     cfg: &MpdsConfig,
@@ -45,16 +49,18 @@ pub fn parallel_top_k_mpds(
                 let notion = cfg.notion.clone();
                 let cap = cfg.enumeration_cap;
                 scope.spawn(move || {
-                    let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(seed + w as u64));
+                    let mut mc = MonteCarlo::with_stream(g, seed, w as u64);
                     let mut p = Partial {
                         candidates: HashMap::new(),
                         empty_worlds: 0,
                         densest_counts: Vec::with_capacity(quota),
                         truncated: false,
                     };
+                    let mut mask = EdgeMask::new(g.num_edges());
+                    let mut world = Graph::default();
                     for _ in 0..quota {
-                        let mask = mc.next_mask();
-                        let world = g.world_from_mask(&mask);
+                        mc.next_mask_into(&mut mask);
+                        world = g.world_from_bitmap(&mask, world);
                         match all_densest(&world, &notion, cap) {
                             None => {
                                 p.empty_worlds += 1;
@@ -126,10 +132,27 @@ mod tests {
         let g = fig1();
         let cfg = MpdsConfig::new(DensityNotion::Edge, 500, 3);
         let par = parallel_top_k_mpds(&g, &cfg, 42, 1);
-        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(42));
+        // The single worker consumes sub-stream 0 of root 42.
+        let mut mc = MonteCarlo::with_stream(&g, 42, 0);
         let seq = top_k_mpds(&g, &mut mc, &cfg);
         assert_eq!(par.top_k, seq.top_k);
         assert_eq!(par.empty_worlds, seq.empty_worlds);
+    }
+
+    /// Regression: with the old `seed + w` worker seeding, a 2-worker run
+    /// rooted at seed 1 shared worker 1's entire world stream with a run
+    /// rooted at seed 2 (its worker 0). The decorrelated sub-streams must
+    /// make adjacent-seed runs draw genuinely different world multisets.
+    #[test]
+    fn adjacent_root_seeds_draw_different_worlds() {
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 64, 3);
+        let a = parallel_top_k_mpds(&g, &cfg, 1, 2);
+        let b = parallel_top_k_mpds(&g, &cfg, 2, 2);
+        // Identical per-world densest counts in order would mean shared
+        // streams; the halves must not line up under any worker alignment.
+        assert_ne!(a.densest_counts[..32], b.densest_counts[..32]);
+        assert_ne!(a.densest_counts[32..], b.densest_counts[..32]);
     }
 
     #[test]

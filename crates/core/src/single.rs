@@ -11,7 +11,7 @@
 use densest::solve::instances_of;
 use densest::{max_density, max_sized_densest, Density, DensityNotion};
 use sampling::WorldSampler;
-use ugraph::{nodeset, NodeId, UncertainGraph};
+use ugraph::{nodeset, EdgeMask, Graph, NodeId, UncertainGraph};
 
 /// Estimated `τ̂(U)` for each of the given node sets, from θ sampled worlds.
 pub fn estimate_tau_for<S: WorldSampler>(
@@ -23,9 +23,11 @@ pub fn estimate_tau_for<S: WorldSampler>(
 ) -> Vec<f64> {
     assert!(theta > 0);
     let mut hits = vec![0u32; sets.len()];
+    let mut mask = EdgeMask::new(g.num_edges());
+    let mut world = Graph::default();
     for _ in 0..theta {
-        let mask = sampler.next_mask();
-        let world = g.world_from_mask(&mask);
+        sampler.next_mask_into(&mut mask);
+        world = g.world_from_bitmap(&mask, world);
         let Some(rho) = max_density(&world, notion) else {
             continue;
         };
@@ -61,9 +63,11 @@ pub fn estimate_gamma_for<S: WorldSampler>(
         })
         .collect();
     let mut hits = vec![0u32; sets.len()];
+    let mut mask = EdgeMask::new(g.num_edges());
+    let mut world = Graph::default();
     for _ in 0..theta {
-        let mask = sampler.next_mask();
-        let world = g.world_from_mask(&mask);
+        sampler.next_mask_into(&mut mask);
+        world = g.world_from_bitmap(&mask, world);
         let Some((_, max_sized)) = max_sized_densest(&world, notion) else {
             continue;
         };

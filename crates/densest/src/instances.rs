@@ -9,7 +9,7 @@
 //! exactly what the grouped flow network of Algorithm 7 exploits.
 
 use std::collections::HashSet;
-use ugraph::{Graph, NodeId, Pattern};
+use ugraph::{Graph, NodeBitSet, NodeId, Pattern};
 
 /// All instances of a density notion in `G`, one entry per instance.
 #[derive(Debug, Clone)]
@@ -44,13 +44,10 @@ impl InstanceSet {
     /// (`µ(G[U])` for non-induced instances — instances are edge subsets of
     /// `G`, so an instance survives in `G[U]` iff its nodes all lie in `U`).
     pub fn count_within(&self, n: usize, nodes: &[NodeId]) -> u64 {
-        let mut mark = vec![false; n];
-        for &v in nodes {
-            mark[v as usize] = true;
-        }
+        let mark = NodeBitSet::from_members(n, nodes);
         self.instances
             .iter()
-            .filter(|inst| inst.iter().all(|&v| mark[v as usize]))
+            .filter(|inst| inst.iter().all(|&v| mark.contains(v as usize)))
             .count() as u64
     }
 
@@ -99,11 +96,16 @@ pub fn enumerate_cliques(g: &Graph, h: usize) -> InstanceSet {
         };
     }
     let mut current: Vec<NodeId> = Vec::with_capacity(h);
+    // One candidate scratch buffer per recursion depth, reused across the
+    // whole enumeration — the search allocates nothing per extension.
+    let mut pool: Vec<Vec<NodeId>> = vec![Vec::new(); h.saturating_sub(2)];
     for v in 0..g.num_nodes() as NodeId {
-        // Candidates: neighbors of v with higher id.
-        let cand: Vec<NodeId> = g.neighbors(v).iter().copied().filter(|&w| w > v).collect();
+        // Candidates: neighbors of v with higher id — the `> v` suffix of
+        // the sorted CSR row.
+        let row = g.neighbors(v);
+        let cand = &row[row.partition_point(|&w| w <= v)..];
         current.push(v);
-        extend_clique(g, h, &mut current, &cand, &mut instances);
+        extend_clique(g, h, &mut current, cand, &mut pool, &mut instances);
         current.pop();
     }
     InstanceSet {
@@ -117,26 +119,75 @@ fn extend_clique(
     h: usize,
     current: &mut Vec<NodeId>,
     cand: &[NodeId],
+    pool: &mut [Vec<NodeId>],
     out: &mut Vec<Vec<NodeId>>,
 ) {
-    if current.len() == h {
-        out.push(current.clone());
-        return;
-    }
     // Prune: not enough candidates left to finish the clique.
     if current.len() + cand.len() < h {
         return;
     }
+    // Last level: every remaining candidate completes a clique on its own —
+    // no intersection needed.
+    if current.len() + 1 == h {
+        for &w in cand {
+            current.push(w);
+            out.push(current.clone());
+            current.pop();
+        }
+        return;
+    }
+    let (buf, rest) = pool.split_first_mut().expect("pool sized to clique depth");
     for (i, &w) in cand.iter().enumerate() {
         // New candidates: members of cand after w that are adjacent to w.
-        let next: Vec<NodeId> = cand[i + 1..]
-            .iter()
-            .copied()
-            .filter(|&x| g.has_edge(w, x))
-            .collect();
+        // `cand` and the CSR neighbor row of w are both sorted ascending and
+        // every remaining candidate exceeds w, so the intersection runs over
+        // the `> w` suffix of the row only.
+        let row = g.neighbors(w);
+        let row = &row[row.partition_point(|&y| y <= w)..];
+        intersect_sorted_into(&cand[i + 1..], row, buf);
         current.push(w);
-        extend_clique(g, h, current, &next, out);
+        // `buf` is consumed immutably by the recursion while deeper levels
+        // use the remaining pool entries, so the split keeps borrows disjoint.
+        let next = std::mem::take(buf);
+        extend_clique(g, h, current, &next, rest, out);
+        *buf = next;
         current.pop();
+    }
+}
+
+/// Intersection of two sorted ascending `NodeId` slices, written into `out`
+/// (cleared first). Size-adaptive: similar lengths use a linear merge;
+/// skewed lengths gallop — each element of the smaller slice is
+/// binary-searched in the remaining suffix of the larger, so a tiny
+/// candidate set against a hub's neighbor row costs `O(small · log large)`
+/// instead of `O(large)`.
+fn intersect_sorted_into(a: &[NodeId], b: &[NodeId], out: &mut Vec<NodeId>) {
+    out.clear();
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.len() * 8 < large.len() {
+        let mut lo = 0usize;
+        for &x in small {
+            let idx = lo + large[lo..].partition_point(|&y| y < x);
+            if idx < large.len() && large[idx] == x {
+                out.push(x);
+                lo = idx + 1;
+            } else {
+                lo = idx;
+            }
+        }
+        return;
+    }
+    let (mut i, mut j) = (0, 0);
+    while i < small.len() && j < large.len() {
+        match small[i].cmp(&large[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(small[i]);
+                i += 1;
+                j += 1;
+            }
+        }
     }
 }
 

@@ -5,6 +5,13 @@
 //! (`cap[e ^ 1] += f`). Capacities are `u64`; "infinite" capacity is the
 //! sentinel [`INF`], chosen so that sums of many infinite arcs cannot
 //! overflow.
+//!
+//! Out-arcs are kept in CSR form (`start` offsets into one contiguous
+//! `order` array) rather than per-node `Vec`s, so the BFS/DFS inner loops
+//! scan cache-resident slices. The CSR index is (re)built lazily — arcs can
+//! be added at any time and [`FlowNetwork::max_flow`] freezes the adjacency
+//! before running; the counting sort is stable, preserving per-node arc
+//! insertion order.
 
 /// Effectively infinite capacity (≈ 4.6e18 / 4). Large enough to dominate any
 /// finite cut in the paper's constructions, small enough that adding a few
@@ -14,14 +21,23 @@ pub const INF: u64 = u64::MAX / 4;
 /// A flow network over nodes `0..n` with `u64` capacities.
 #[derive(Debug, Clone)]
 pub struct FlowNetwork {
+    /// Number of nodes.
+    n: usize,
     /// Head node of each arc.
     to: Vec<u32>,
+    /// Tail node of each arc (used to build the CSR index).
+    tail: Vec<u32>,
     /// Residual capacity of each arc (mutated by `max_flow`).
     cap: Vec<u64>,
     /// Original capacity of each arc.
     orig: Vec<u64>,
-    /// Arc indices leaving each node.
-    adj: Vec<Vec<u32>>,
+    /// CSR offsets: arcs leaving node `v` are `order[start[v]..start[v+1]]`.
+    /// Valid only while `frozen`.
+    start: Vec<u32>,
+    /// Arc indices grouped by tail node, insertion order within each node.
+    order: Vec<u32>,
+    /// Whether `start`/`order` reflect the current arc set.
+    frozen: bool,
     // Scratch buffers reused across BFS/DFS phases.
     level: Vec<u32>,
     iter: Vec<u32>,
@@ -31,10 +47,14 @@ impl FlowNetwork {
     /// Creates a network with `n` nodes and no arcs.
     pub fn new(n: usize) -> Self {
         FlowNetwork {
+            n,
             to: Vec::new(),
+            tail: Vec::new(),
             cap: Vec::new(),
             orig: Vec::new(),
-            adj: vec![Vec::new(); n],
+            start: vec![0; n + 1],
+            order: Vec::new(),
+            frozen: true,
             level: vec![0; n],
             iter: vec![0; n],
         }
@@ -43,7 +63,7 @@ impl FlowNetwork {
     /// Number of nodes.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.n
     }
 
     /// Number of directed arcs (including reverse arcs).
@@ -60,14 +80,50 @@ impl FlowNetwork {
         assert_ne!(u, v, "self-loop arcs are never useful in these networks");
         let e = self.to.len();
         self.to.push(v as u32);
+        self.tail.push(u as u32);
         self.cap.push(cap);
         self.orig.push(cap);
-        self.adj[u].push(e as u32);
         self.to.push(u as u32);
+        self.tail.push(v as u32);
         self.cap.push(rev_cap);
         self.orig.push(rev_cap);
-        self.adj[v].push(e as u32 + 1);
+        self.frozen = false;
         e
+    }
+
+    /// Rebuilds the CSR adjacency index. Called automatically by
+    /// [`FlowNetwork::max_flow`]; idempotent once built. A stable counting
+    /// sort of arc ids by tail node keeps the per-node arc order equal to
+    /// insertion order.
+    pub fn freeze(&mut self) {
+        if self.frozen {
+            return;
+        }
+        let n = self.n;
+        self.start.clear();
+        self.start.resize(n + 1, 0);
+        for &t in &self.tail {
+            self.start[t as usize + 1] += 1;
+        }
+        for v in 0..n {
+            self.start[v + 1] += self.start[v];
+        }
+        self.order.clear();
+        self.order.resize(self.to.len(), 0);
+        let mut cursor: Vec<u32> = self.start[..n].to_vec();
+        for (a, &t) in self.tail.iter().enumerate() {
+            let c = cursor[t as usize] as usize;
+            self.order[c] = a as u32;
+            cursor[t as usize] += 1;
+        }
+        self.frozen = true;
+    }
+
+    /// Arc ids leaving `v` (requires a frozen index).
+    #[inline]
+    fn arcs_from(&self, v: usize) -> &[u32] {
+        debug_assert!(self.frozen, "CSR index stale: call freeze()");
+        &self.order[self.start[v] as usize..self.start[v + 1] as usize]
     }
 
     /// Current flow on the forward arc `e` (original capacity minus residual).
@@ -86,6 +142,7 @@ impl FlowNetwork {
     /// value. Residual capacities are left in place for cut extraction.
     pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
         assert_ne!(s, t);
+        self.freeze();
         let mut total = 0u64;
         let mut queue = std::collections::VecDeque::new();
         loop {
@@ -95,7 +152,9 @@ impl FlowNetwork {
             queue.clear();
             queue.push_back(s as u32);
             while let Some(v) = queue.pop_front() {
-                for &e in &self.adj[v as usize] {
+                let row = self.start[v as usize] as usize..self.start[v as usize + 1] as usize;
+                for i in row {
+                    let e = self.order[i];
                     let w = self.to[e as usize];
                     if self.cap[e as usize] > 0 && self.level[w as usize] == u32::MAX {
                         self.level[w as usize] = self.level[v as usize] + 1;
@@ -139,8 +198,9 @@ impl FlowNetwork {
                 return f;
             }
             let mut advanced = false;
-            while (self.iter[v] as usize) < self.adj[v].len() {
-                let e = self.adj[v][self.iter[v] as usize];
+            let row_len = (self.start[v + 1] - self.start[v]) as usize;
+            while (self.iter[v] as usize) < row_len {
+                let e = self.order[self.start[v] as usize + self.iter[v] as usize];
                 let w = self.to[e as usize] as usize;
                 if self.cap[e as usize] > 0 && self.level[w] == self.level[v] + 1 {
                     path.push(e);
@@ -172,15 +232,32 @@ impl FlowNetwork {
         seen[s] = true;
         let mut stack = vec![s];
         while let Some(v) = stack.pop() {
-            for &e in &self.adj[v] {
-                let w = self.to[e as usize] as usize;
-                if self.cap[e as usize] > 0 && !seen[w] {
+            self.for_each_arc_from(v, |e| {
+                let w = self.to[e] as usize;
+                if self.cap[e] > 0 && !seen[w] {
                     seen[w] = true;
                     stack.push(w);
                 }
-            }
+            });
         }
         seen
+    }
+
+    /// Calls `f` with every arc id leaving `v`. Uses the CSR index when
+    /// frozen; otherwise falls back to a full arc scan (cold paths only —
+    /// every flow computation freezes the index first).
+    fn for_each_arc_from(&self, v: usize, mut f: impl FnMut(usize)) {
+        if self.frozen {
+            for &e in self.arcs_from(v) {
+                f(e as usize);
+            }
+        } else {
+            for (e, &t) in self.tail.iter().enumerate() {
+                if t as usize == v {
+                    f(e);
+                }
+            }
+        }
     }
 
     /// Nodes that can reach `t` through residual arcs. The complement is the
@@ -194,14 +271,14 @@ impl FlowNetwork {
         seen[t] = true;
         let mut stack = vec![t];
         while let Some(w) = stack.pop() {
-            for &e in &self.adj[w] {
+            self.for_each_arc_from(w, |e| {
                 // Arc e: w → v. Its pair e^1: v → w has residual cap[e^1].
-                let v = self.to[e as usize] as usize;
-                if self.cap[e as usize ^ 1] > 0 && !seen[v] {
+                let v = self.to[e] as usize;
+                if self.cap[e ^ 1] > 0 && !seen[v] {
                     seen[v] = true;
                     stack.push(v);
                 }
-            }
+            });
         }
         seen
     }
@@ -209,11 +286,12 @@ impl FlowNetwork {
     /// Residual out-neighbors of `v` (deduplicated), for building the residual
     /// graph handed to the SCC decomposition.
     pub fn residual_successors(&self, v: usize) -> Vec<u32> {
-        let mut out: Vec<u32> = self.adj[v]
-            .iter()
-            .filter(|&&e| self.cap[e as usize] > 0)
-            .map(|&e| self.to[e as usize])
-            .collect();
+        let mut out: Vec<u32> = Vec::new();
+        self.for_each_arc_from(v, |e| {
+            if self.cap[e] > 0 {
+                out.push(self.to[e]);
+            }
+        });
         out.sort_unstable();
         out.dedup();
         out

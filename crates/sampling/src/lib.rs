@@ -16,25 +16,60 @@
 //!   sample budget proportionally to stratum probability; lower variance at
 //!   the cost of recursion memory.
 //!
-//! Each sampler yields `(mask, Graph)` pairs; masks are bit-per-edge vectors
-//! aligned with [`UncertainGraph`]'s canonical edge order. Samplers report an
-//! estimate of their auxiliary memory so the Tables XIII–XIV experiment can
-//! reproduce the paper's memory comparison.
+//! Each sampler fills a preallocated [`EdgeMask`] bitmap aligned with
+//! [`UncertainGraph`]'s canonical edge order ([`WorldSampler::next_mask_into`];
+//! the bitmap is reused across samples so the steady-state per-world cost is
+//! RNG draws only). [`next_world_reusing`] pairs that with CSR world
+//! materialization that recycles the previous world's backing storage.
+//! Samplers report an estimate of their auxiliary memory so the
+//! Tables XIII–XIV experiment can reproduce the paper's memory comparison.
 
 pub mod lp;
 pub mod mc;
 pub mod rss;
 
-use ugraph::{Graph, UncertainGraph};
+use ugraph::{EdgeMask, Graph, UncertainGraph};
 
 pub use lp::LazyPropagation;
 pub use mc::MonteCarlo;
 pub use rss::RecursiveStratified;
 
+/// Derives a decorrelated RNG seed for sub-stream `stream` of `root`.
+///
+/// Callers that split their sample budget into batches (parallel workers,
+/// restartable chunks) must NOT seed batch `i` with `root + i`: two runs with
+/// roots `r` and `r + 1` would then share all but one of their streams, so
+/// "independent" experiments silently reuse the same worlds. This mixes both
+/// words through a SplitMix64-style finalizer so every `(root, stream)` pair
+/// lands in an unrelated region of the seed space.
+pub fn stream_seed(root: u64, stream: u64) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    mix(mix(root.wrapping_add(0x9e37_79b9_7f4a_7c15))
+        ^ mix(stream.wrapping_mul(0xd134_2543_de82_ef95).wrapping_add(1)))
+}
+
 /// A source of sampled possible worlds.
 pub trait WorldSampler {
-    /// Draws the next possible world as an edge-presence mask.
-    fn next_mask(&mut self) -> Vec<bool>;
+    /// Number of edges in the sampled masks (the mask universe).
+    fn num_edges(&self) -> usize;
+
+    /// Draws the next possible world into a preallocated edge-presence
+    /// bitmap. The mask is re-targeted to [`WorldSampler::num_edges`] and
+    /// fully overwritten; reusing one mask across calls avoids the per-world
+    /// `Vec<bool>` allocation of [`WorldSampler::next_mask`].
+    fn next_mask_into(&mut self, mask: &mut EdgeMask);
+
+    /// Draws the next possible world as a `bool`-per-edge vector (allocating
+    /// convenience wrapper over [`WorldSampler::next_mask_into`]).
+    fn next_mask(&mut self) -> Vec<bool> {
+        let mut mask = EdgeMask::new(self.num_edges());
+        self.next_mask_into(&mut mask);
+        mask.to_bools()
+    }
 
     /// Auxiliary memory held by the sampler, in bytes (beyond the uncertain
     /// graph itself). Used by the sampling-strategy comparison experiment.
@@ -45,6 +80,12 @@ pub trait WorldSampler {
 }
 
 impl<S: WorldSampler + ?Sized> WorldSampler for &mut S {
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+    fn next_mask_into(&mut self, mask: &mut EdgeMask) {
+        (**self).next_mask_into(mask)
+    }
     fn next_mask(&mut self) -> Vec<bool> {
         (**self).next_mask()
     }
@@ -57,6 +98,12 @@ impl<S: WorldSampler + ?Sized> WorldSampler for &mut S {
 }
 
 impl<S: WorldSampler + ?Sized> WorldSampler for Box<S> {
+    fn num_edges(&self) -> usize {
+        (**self).num_edges()
+    }
+    fn next_mask_into(&mut self, mask: &mut EdgeMask) {
+        (**self).next_mask_into(mask)
+    }
     fn next_mask(&mut self) -> Vec<bool> {
         (**self).next_mask()
     }
@@ -73,6 +120,21 @@ pub fn next_world<S: WorldSampler>(sampler: &mut S, g: &UncertainGraph) -> (Vec<
     let mask = sampler.next_mask();
     let world = g.world_from_mask(&mask);
     (mask, world)
+}
+
+/// Materializes the next world into recycled storage: the sampler fills the
+/// preallocated `mask` bitmap and the returned [`Graph`] reuses `recycle`'s
+/// CSR arrays. The steady-state loop
+/// `world = next_world_reusing(&mut s, &g, &mut mask, world)` performs no
+/// heap allocation per sample.
+pub fn next_world_reusing<S: WorldSampler>(
+    sampler: &mut S,
+    g: &UncertainGraph,
+    mask: &mut EdgeMask,
+    recycle: Graph,
+) -> Graph {
+    sampler.next_mask_into(mask);
+    g.world_from_bitmap(mask, recycle)
 }
 
 #[cfg(test)]

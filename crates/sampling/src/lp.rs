@@ -11,7 +11,7 @@
 use crate::WorldSampler;
 use rand::rngs::StdRng;
 use rand::Rng;
-use ugraph::UncertainGraph;
+use ugraph::{EdgeMask, UncertainGraph};
 
 /// Geometric skip-ahead sampler.
 pub struct LazyPropagation {
@@ -48,24 +48,21 @@ fn geometric_skip(rng: &mut StdRng, p: f64) -> u64 {
 }
 
 impl WorldSampler for LazyPropagation {
-    fn next_mask(&mut self) -> Vec<bool> {
+    fn num_edges(&self) -> usize {
+        self.probs.len()
+    }
+
+    fn next_mask_into(&mut self, mask: &mut EdgeMask) {
+        mask.reset(self.probs.len());
         let round = self.round;
-        let mask: Vec<bool> = self
-            .next_present
-            .iter_mut()
-            .zip(&self.probs)
-            .map(|(next, &p)| {
-                if *next == round {
-                    // Present now; schedule the next presence.
-                    *next = round + 1 + geometric_skip(&mut self.rng, p);
-                    true
-                } else {
-                    false
-                }
-            })
-            .collect();
+        for (i, (next, &p)) in self.next_present.iter_mut().zip(&self.probs).enumerate() {
+            if *next == round {
+                // Present now; schedule the next presence.
+                *next = round + 1 + geometric_skip(&mut self.rng, p);
+                mask.insert(i);
+            }
+        }
         self.round += 1;
-        mask
     }
 
     fn aux_memory_bytes(&self) -> usize {

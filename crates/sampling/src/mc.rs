@@ -1,10 +1,10 @@
 //! Monte Carlo sampling: one independent Bernoulli flip per edge per world.
 //! The paper's default strategy (§III-A) — no auxiliary state at all.
 
-use crate::WorldSampler;
+use crate::{stream_seed, WorldSampler};
 use rand::rngs::StdRng;
-use rand::Rng;
-use ugraph::UncertainGraph;
+use rand::{Rng, SeedableRng};
+use ugraph::{EdgeMask, UncertainGraph};
 
 /// Independent per-edge Bernoulli sampler.
 pub struct MonteCarlo {
@@ -20,11 +20,31 @@ impl MonteCarlo {
             rng,
         }
     }
+
+    /// Builds the sampler for sub-stream `stream` of the root seed — the
+    /// supported way to split a sample budget into independent batches.
+    ///
+    /// Seeding batch `i` with `root + i` looks harmless but correlates whole
+    /// experiments: runs rooted at `r` and `r + 1` share all but one of their
+    /// batch streams. [`stream_seed`] decorrelates every `(root, stream)`
+    /// pair instead.
+    pub fn with_stream(g: &UncertainGraph, root_seed: u64, stream: u64) -> Self {
+        MonteCarlo::new(g, StdRng::seed_from_u64(stream_seed(root_seed, stream)))
+    }
 }
 
 impl WorldSampler for MonteCarlo {
-    fn next_mask(&mut self) -> Vec<bool> {
-        self.probs.iter().map(|&p| self.rng.gen_bool(p)).collect()
+    fn num_edges(&self) -> usize {
+        self.probs.len()
+    }
+
+    fn next_mask_into(&mut self, mask: &mut EdgeMask) {
+        mask.reset(self.probs.len());
+        for (i, &p) in self.probs.iter().enumerate() {
+            if self.rng.gen_bool(p) {
+                mask.insert(i);
+            }
+        }
     }
 
     fn aux_memory_bytes(&self) -> usize {
@@ -41,7 +61,6 @@ impl WorldSampler for MonteCarlo {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn deterministic_per_seed() {
@@ -59,6 +78,55 @@ mod tests {
         let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(7));
         for _ in 0..100 {
             assert!(mc.next_mask()[0]);
+        }
+    }
+
+    #[test]
+    fn mask_into_matches_vec_path() {
+        let g = UncertainGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 0.3), (0, 2, 0.7), (1, 3, 0.5), (2, 3, 0.9)],
+        );
+        let mut a = MonteCarlo::new(&g, StdRng::seed_from_u64(11));
+        let mut b = MonteCarlo::new(&g, StdRng::seed_from_u64(11));
+        let mut mask = EdgeMask::new(0);
+        for _ in 0..200 {
+            a.next_mask_into(&mut mask);
+            assert_eq!(mask.to_bools(), b.next_mask());
+        }
+    }
+
+    /// Regression test for the batch-correlation bug: deriving batch `i`'s
+    /// stream as `root + i` made run(root=1)'s batch 1 identical to
+    /// run(root=2)'s batch 0. `with_stream` must keep such pairs disjoint.
+    #[test]
+    fn adjacent_roots_do_not_share_batch_streams() {
+        let edges: Vec<(u32, u32, f64)> = (0..32).map(|i| (i, i + 1, 0.5)).collect();
+        let g = UncertainGraph::from_weighted_edges(33, &edges);
+        let draw = |root: u64, stream: u64| -> Vec<Vec<bool>> {
+            let mut mc = MonteCarlo::with_stream(&g, root, stream);
+            (0..16).map(|_| mc.next_mask()).collect()
+        };
+        // The offending overlap pattern under the old scheme:
+        assert_ne!(draw(1, 1), draw(2, 0));
+        assert_ne!(draw(7, 3), draw(8, 2));
+        // And sub-streams of one root are mutually distinct...
+        assert_ne!(draw(1, 0), draw(1, 1));
+        // ...while remaining reproducible.
+        assert_eq!(draw(1, 1), draw(1, 1));
+    }
+
+    #[test]
+    fn stream_seed_has_no_additive_structure() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for root in 0..64u64 {
+            for stream in 0..64u64 {
+                assert!(
+                    seen.insert(stream_seed(root, stream)),
+                    "collision at ({root}, {stream})"
+                );
+            }
         }
     }
 }

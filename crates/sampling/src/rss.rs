@@ -15,7 +15,7 @@
 use crate::WorldSampler;
 use rand::rngs::StdRng;
 use rand::Rng;
-use ugraph::UncertainGraph;
+use ugraph::{EdgeMask, UncertainGraph};
 
 /// Batched recursive stratified sampler.
 pub struct RecursiveStratified {
@@ -132,6 +132,18 @@ impl RecursiveStratified {
 }
 
 impl WorldSampler for RecursiveStratified {
+    fn num_edges(&self) -> usize {
+        self.probs.len()
+    }
+
+    fn next_mask_into(&mut self, mask: &mut EdgeMask) {
+        if self.queue.is_empty() {
+            self.refill();
+        }
+        let next = self.queue.pop().expect("refill produced a non-empty batch");
+        mask.fill_from_bools(&next);
+    }
+
     fn next_mask(&mut self) -> Vec<bool> {
         if self.queue.is_empty() {
             self.refill();

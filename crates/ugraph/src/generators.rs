@@ -4,7 +4,7 @@
 //! Barabási–Albert graphs of §VI-H) and for the scaled stand-ins of the
 //! paper's large real datasets (see `datasets` and DESIGN.md §4).
 
-use crate::graph::{Graph, NodeId};
+use crate::graph::{Graph, GraphBuilder, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -13,7 +13,7 @@ use rand::Rng;
 pub fn erdos_renyi_nm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
     let max = n * n.saturating_sub(1) / 2;
     assert!(m <= max, "m = {m} exceeds the {max} possible edges");
-    let mut g = Graph::new(n);
+    let mut g = GraphBuilder::new(n);
     if 3 * m >= max {
         // Dense regime: shuffle all pairs and take a prefix.
         let mut pairs = Vec::with_capacity(max);
@@ -41,12 +41,12 @@ pub fn erdos_renyi_nm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
             }
         }
     }
-    g
+    g.build()
 }
 
 /// Erdős–Rényi `G(n, p)`: every pair appears independently with probability `p`.
 pub fn erdos_renyi_np<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
-    let mut g = Graph::new(n);
+    let mut g = GraphBuilder::new(n);
     for u in 0..n as NodeId {
         for v in (u + 1)..n as NodeId {
             if rng.gen_bool(p) {
@@ -54,15 +54,22 @@ pub fn erdos_renyi_np<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
             }
         }
     }
-    g
+    g.build()
 }
 
 /// Barabási–Albert preferential attachment: starts from a clique on
 /// `attach + 1` nodes, then each new node attaches to `attach` distinct
 /// existing nodes chosen proportionally to degree.
 pub fn barabasi_albert<R: Rng>(n: usize, attach: usize, rng: &mut R) -> Graph {
+    barabasi_albert_builder(n, attach, rng).build()
+}
+
+/// [`barabasi_albert`] stopped one step short of CSR assembly, so callers
+/// that keep planting extra edges (e.g. [`community_backbone`]) can extend
+/// the builder before paying for the build.
+fn barabasi_albert_builder<R: Rng>(n: usize, attach: usize, rng: &mut R) -> GraphBuilder {
     assert!(attach >= 1 && n > attach, "need n > attach >= 1");
-    let mut g = Graph::new(n);
+    let mut g = GraphBuilder::new(n);
     // Repeated-endpoint list: sampling uniformly from it is degree-proportional.
     let mut endpoints: Vec<NodeId> = Vec::new();
     for u in 0..=attach as NodeId {
@@ -104,7 +111,7 @@ pub fn planted_partition<R: Rng>(
 ) -> (Graph, Vec<usize>) {
     assert!(communities >= 1);
     let labels: Vec<usize> = (0..n).map(|i| i % communities).collect();
-    let mut g = Graph::new(n);
+    let mut g = GraphBuilder::new(n);
     for u in 0..n as NodeId {
         for v in (u + 1)..n as NodeId {
             let p = if labels[u as usize] == labels[v as usize] {
@@ -117,7 +124,7 @@ pub fn planted_partition<R: Rng>(
             }
         }
     }
-    (g, labels)
+    (g.build(), labels)
 }
 
 /// Sparse planted communities for large graphs: a BA-style sparse backbone
@@ -134,7 +141,7 @@ pub fn community_backbone<R: Rng>(
     p_in: f64,
     rng: &mut R,
 ) -> (Graph, Vec<usize>) {
-    let mut g = barabasi_albert(n, backbone_attach, rng);
+    let mut g = barabasi_albert_builder(n, backbone_attach, rng);
     let mut labels = vec![usize::MAX; n];
     let mut start = 0usize;
     for (c, &size) in community_sizes.iter().enumerate() {
@@ -149,7 +156,7 @@ pub fn community_backbone<R: Rng>(
         }
         start += size;
     }
-    (g, labels)
+    (g.build(), labels)
 }
 
 #[cfg(test)]

@@ -3,7 +3,10 @@
 //! This crate provides the deterministic and uncertain graph types that every
 //! other crate in the workspace builds on, together with:
 //!
-//! * [`Graph`] — a compact undirected, unweighted deterministic graph,
+//! * [`Graph`] — a compact undirected, unweighted deterministic graph in
+//!   cache-friendly CSR layout, built immutably via [`GraphBuilder`],
+//! * [`bitset`] — dense bitsets: [`NodeBitSet`] membership sets and the
+//!   [`EdgeMask`] possible-world bitmaps the samplers reuse across samples,
 //! * [`UncertainGraph`] — a graph whose edges exist independently with a
 //!   probability `p(e) ∈ (0, 1]` (the paper's `G = (V, E, p)`),
 //! * [`Pattern`] — small pattern graphs (`2-star`, `3-star`, `c3-star`,
@@ -16,6 +19,7 @@
 //! * the evaluation [`metrics`] of the paper's §VI (expected density,
 //!   probabilistic density, probabilistic clustering coefficient, purity, F1).
 
+pub mod bitset;
 pub mod brain;
 pub mod datasets;
 pub mod generators;
@@ -27,7 +31,8 @@ pub mod pattern;
 pub mod probability;
 pub mod uncertain;
 
-pub use graph::{Graph, NodeId};
+pub use bitset::{EdgeMask, NodeBitSet};
+pub use graph::{Graph, GraphBuilder, NodeId};
 pub use nodeset::NodeSet;
 pub use pattern::Pattern;
 pub use uncertain::UncertainGraph;

@@ -10,6 +10,7 @@
 //! Expected edge density lives on [`UncertainGraph`]; F1/Jaccard live in
 //! [`crate::nodeset`].
 
+use crate::bitset::NodeBitSet;
 use crate::graph::NodeId;
 use crate::uncertain::UncertainGraph;
 
@@ -20,13 +21,10 @@ pub fn probabilistic_density(g: &UncertainGraph, nodes: &[NodeId]) -> f64 {
     if nodes.len() < 2 {
         return 0.0;
     }
-    let mut mark = vec![false; g.num_nodes()];
-    for &v in nodes {
-        mark[v as usize] = true;
-    }
+    let mark = NodeBitSet::from_members(g.num_nodes(), nodes);
     let mut sum = 0.0;
     for (i, &(u, v)) in g.graph().edges().iter().enumerate() {
-        if mark[u as usize] && mark[v as usize] {
+        if mark.contains(u as usize) && mark.contains(v as usize) {
             sum += g.prob(i);
         }
     }
@@ -41,16 +39,13 @@ pub fn probabilistic_clustering_coefficient(g: &UncertainGraph, nodes: &[NodeId]
     if nodes.len() < 3 {
         return 0.0;
     }
-    let mut mark = vec![false; g.num_nodes()];
-    for &v in nodes {
-        mark[v as usize] = true;
-    }
+    let mark = NodeBitSet::from_members(g.num_nodes(), nodes);
     let gr = g.graph();
     // Numerator: triangles fully inside U, weighted by the product of their
     // three edge probabilities.
     let mut tri_sum = 0.0;
     for (u, v, w) in gr.triangles() {
-        if mark[u as usize] && mark[v as usize] && mark[w as usize] {
+        if mark.contains(u as usize) && mark.contains(v as usize) && mark.contains(w as usize) {
             let puv = g.prob(gr.edge_index(u, v).unwrap());
             let puw = g.prob(gr.edge_index(u, w).unwrap());
             let pvw = g.prob(gr.edge_index(v, w).unwrap());
@@ -59,20 +54,23 @@ pub fn probabilistic_clustering_coefficient(g: &UncertainGraph, nodes: &[NodeId]
     }
     // Denominator: ordered wedges centred at each u in U with both endpoints
     // in U, weighted by the product of the two edge probabilities. Each
-    // unordered neighbor pair {v, w} of u is counted once.
+    // unordered neighbor pair {v, w} of u is counted once. The neighbor and
+    // probability slices come arc-aligned from the CSR, so the inner pair
+    // loop does no edge-index lookups at all.
     let mut wedge_sum = 0.0;
+    let mut nbr_probs: Vec<f64> = Vec::new();
     for &u in nodes {
-        let nbrs: Vec<NodeId> = gr
-            .neighbors(u)
-            .iter()
-            .copied()
-            .filter(|&v| mark[v as usize])
-            .collect();
-        for i in 0..nbrs.len() {
-            let pui = g.prob(gr.edge_index(u, nbrs[i]).unwrap());
-            for &w in &nbrs[i + 1..] {
-                let puw = g.prob(gr.edge_index(u, w).unwrap());
-                wedge_sum += pui * puw;
+        let (nbrs, probs) = g.neighbors_with_probs(u);
+        nbr_probs.clear();
+        nbr_probs.extend(
+            nbrs.iter()
+                .zip(probs)
+                .filter(|(&v, _)| mark.contains(v as usize))
+                .map(|(_, &p)| p),
+        );
+        for i in 0..nbr_probs.len() {
+            for j in (i + 1)..nbr_probs.len() {
+                wedge_sum += nbr_probs[i] * nbr_probs[j];
             }
         }
     }

@@ -2,7 +2,10 @@
 //!
 //! Throughout the workspace a candidate subgraph is identified by its *node
 //! set*: a sorted, duplicate-free `Vec<NodeId>`. Sorted vectors hash and
-//! compare cheaply and keep the candidate maps of Algorithm 1 compact.
+//! compare cheaply and keep the candidate maps of Algorithm 1 compact. For
+//! hot membership tests ("is `v` in the candidate?") the dense complement is
+//! [`crate::bitset::NodeBitSet`]; the sorted-vec form stays the canonical
+//! key type.
 
 use crate::graph::NodeId;
 

@@ -6,6 +6,7 @@
 //! provides world materialization from edge masks, exhaustive world iteration
 //! for the exact solvers, and expected-density helpers.
 
+use crate::bitset::{EdgeMask, NodeBitSet};
 use crate::graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +16,10 @@ use serde::{Deserialize, Serialize};
 pub struct UncertainGraph {
     graph: Graph,
     probs: Vec<f64>,
+    /// Probability of the edge behind every CSR arc (parallel to
+    /// [`Graph::arc_targets`]), so neighborhood-with-probability scans are
+    /// one contiguous slice pair instead of per-edge binary searches.
+    arc_probs: Vec<f64>,
 }
 
 impl UncertainGraph {
@@ -35,7 +40,16 @@ impl UncertainGraph {
                 "edge {i} has probability {p} outside (0, 1]"
             );
         }
-        UncertainGraph { graph, probs }
+        let arc_probs = graph
+            .arc_edge_ids()
+            .iter()
+            .map(|&e| probs[e as usize])
+            .collect();
+        UncertainGraph {
+            graph,
+            probs,
+            arc_probs,
+        }
     }
 
     /// Builds directly from an edge list with probabilities.
@@ -89,17 +103,45 @@ impl UncertainGraph {
         self.graph.edge_index(u, v).map(|i| self.probs[i])
     }
 
+    /// Per-arc edge probabilities, parallel to [`Graph::arc_targets`].
+    #[inline]
+    pub fn arc_probs(&self) -> &[f64] {
+        &self.arc_probs
+    }
+
+    /// Neighbors of `v` paired with the probability of each incident edge —
+    /// two parallel contiguous slices, no per-edge lookups.
+    #[inline]
+    pub fn neighbors_with_probs(&self, v: NodeId) -> (&[NodeId], &[f64]) {
+        let r = self.graph.arc_range(v);
+        (&self.graph.arc_targets()[r.clone()], &self.arc_probs[r])
+    }
+
     /// Materializes the possible world selected by `mask` (`mask[i]` = edge `i`
     /// is present). The world shares the node set `V`.
     pub fn world_from_mask(&self, mask: &[bool]) -> Graph {
         assert_eq!(mask.len(), self.num_edges());
-        let mut g = Graph::new(self.num_nodes());
-        for (i, &(u, v)) in self.graph.edges().iter().enumerate() {
-            if mask[i] {
-                g.add_edge(u, v);
-            }
+        self.world_from_bitmap(&EdgeMask::from_bools(mask), Graph::default())
+    }
+
+    /// Materializes the possible world selected by an [`EdgeMask`], recycling
+    /// `recycle`'s backing storage. This is the samplers' hot path: after the
+    /// first few calls no allocation happens at all — the mask is a
+    /// preallocated bitmap and the world's CSR arrays are rebuilt in place in
+    /// `O(n + m/64 + m_world)`.
+    pub fn world_from_bitmap(&self, mask: &EdgeMask, recycle: Graph) -> Graph {
+        self.graph.filter_edges(mask, recycle)
+    }
+
+    /// Probability `Pr(G)` of the possible world selected by an [`EdgeMask`]
+    /// (paper Eq. 1).
+    pub fn world_probability_bitmap(&self, mask: &EdgeMask) -> f64 {
+        assert_eq!(mask.universe(), self.num_edges());
+        let mut pr = 1.0;
+        for (i, &p) in self.probs.iter().enumerate() {
+            pr *= if mask.contains(i) { p } else { 1.0 - p };
         }
-        g
+        pr
     }
 
     /// Probability `Pr(G)` of the possible world selected by `mask`
@@ -141,13 +183,10 @@ impl UncertainGraph {
         if nodes.is_empty() {
             return 0.0;
         }
-        let mut mark = vec![false; self.num_nodes()];
-        for &v in nodes {
-            mark[v as usize] = true;
-        }
+        let mark = NodeBitSet::from_members(self.num_nodes(), nodes);
         let mut total = 0.0;
         for (i, &(u, v)) in self.graph.edges().iter().enumerate() {
-            if mark[u as usize] && mark[v as usize] {
+            if mark.contains(u as usize) && mark.contains(v as usize) {
                 total += self.probs[i];
             }
         }
@@ -241,6 +280,37 @@ mod tests {
         assert!(w.has_edge(0, 1));
         assert!(w.has_edge(1, 3));
         assert!(!w.has_edge(0, 2));
+    }
+
+    #[test]
+    fn bitmap_worlds_match_bool_worlds() {
+        let ug = fig1_example();
+        let mut recycle = Graph::default();
+        for bits in 0..8u32 {
+            let bools: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            let mask = EdgeMask::from_bools(&bools);
+            let a = ug.world_from_mask(&bools);
+            let b = ug.world_from_bitmap(&mask, recycle);
+            assert_eq!(a.edges(), b.edges());
+            assert_eq!(a.num_nodes(), b.num_nodes());
+            assert!(
+                (ug.world_probability(&bools) - ug.world_probability_bitmap(&mask)).abs() < 1e-15
+            );
+            recycle = b;
+        }
+    }
+
+    #[test]
+    fn arc_probs_align_with_edge_probs() {
+        let ug = fig1_example();
+        assert_eq!(ug.arc_probs().len(), 2 * ug.num_edges());
+        for v in 0..ug.num_nodes() as u32 {
+            let (nbrs, probs) = ug.neighbors_with_probs(v);
+            assert_eq!(nbrs.len(), probs.len());
+            for (&w, &p) in nbrs.iter().zip(probs) {
+                assert_eq!(ug.edge_prob(v, w), Some(p));
+            }
+        }
     }
 
     #[test]

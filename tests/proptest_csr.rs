@@ -1,0 +1,166 @@
+//! Property tests: the CSR graph core is observationally identical to the
+//! adjacency-list semantics it replaced.
+//!
+//! A minimal reference model (per-vertex sorted neighbor `Vec`s plus a
+//! canonical edge set, built by insertion) is rebuilt for every generated
+//! graph; degree sequences, neighbor rows, edge lists, membership tests, and
+//! per-edge probabilities must agree exactly, and bitmap-materialized worlds
+//! must round-trip through the same model.
+
+use proptest::prelude::*;
+use ugraph::{EdgeMask, Graph, NodeId, UncertainGraph};
+
+/// Reference implementation: the old adjacency-list representation.
+struct RefGraph {
+    n: usize,
+    adj: Vec<Vec<NodeId>>,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl RefGraph {
+    fn new(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        let mut canonical: Vec<(NodeId, NodeId)> = edges
+            .iter()
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        canonical.sort_unstable();
+        canonical.dedup();
+        for &(u, v) in &canonical {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for row in &mut adj {
+            row.sort_unstable();
+        }
+        RefGraph {
+            n,
+            adj,
+            edges: canonical,
+        }
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+}
+
+/// Strategy: node count plus a duplicate-free random pair list.
+fn arb_edge_list() -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..=24).prop_flat_map(|n| {
+        let pairs: Vec<(NodeId, NodeId)> = (0..n as NodeId)
+            .flat_map(|u| ((u + 1)..n as NodeId).map(move |v| (u, v)))
+            .collect();
+        let len = pairs.len();
+        proptest::collection::vec(proptest::bool::ANY, len).prop_map(move |mask| {
+            let edges: Vec<(NodeId, NodeId)> = pairs
+                .iter()
+                .zip(&mask)
+                .filter(|(_, &b)| b)
+                .map(|(&e, _)| e)
+                .collect();
+            (n, edges)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Degree sequence, neighbor rows, canonical edge list, and membership
+    /// tests of the CSR graph equal the adjacency-list reference.
+    #[test]
+    fn csr_roundtrips_adjacency_semantics(input in arb_edge_list()) {
+        let (n, edges) = (input.0, &input.1);
+        let g = Graph::from_edges(n, edges);
+        let r = RefGraph::new(n, edges);
+        prop_assert_eq!(g.num_nodes(), r.n);
+        prop_assert_eq!(g.num_edges(), r.edges.len());
+        prop_assert_eq!(g.edges(), r.edges.as_slice());
+        for v in 0..n as NodeId {
+            prop_assert_eq!(g.degree(v), r.adj[v as usize].len());
+            prop_assert_eq!(g.neighbors(v), r.adj[v as usize].as_slice());
+        }
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                if u != v {
+                    prop_assert_eq!(g.has_edge(u, v), r.has_edge(u, v));
+                }
+            }
+        }
+        // Arc ↔ edge-index mapping is self-consistent.
+        for v in 0..n as NodeId {
+            let (nbrs, eids) = g.neighbors_with_edge_ids(v);
+            for (&w, &e) in nbrs.iter().zip(eids) {
+                let (a, b) = g.edges()[e as usize];
+                prop_assert_eq!((a, b), (v.min(w), v.max(w)));
+                prop_assert_eq!(g.edge_index(v, w), Some(e as usize));
+            }
+        }
+    }
+
+    /// Edge probabilities survive the CSR construction: `edge_prob`, the
+    /// canonical `probs()` array, and the per-arc slices all agree with the
+    /// input weights.
+    #[test]
+    fn probabilities_align_with_csr(input in arb_edge_list()) {
+        let (n, edges) = (input.0, &input.1);
+        prop_assume!(!edges.is_empty());
+        // Deterministic pseudo-probabilities derived from the endpoints.
+        let weighted: Vec<(NodeId, NodeId, f64)> = edges
+            .iter()
+            .map(|&(u, v)| (u, v, 0.05 + 0.9 * ((u * 31 + v) % 17) as f64 / 17.0))
+            .collect();
+        let ug = UncertainGraph::from_weighted_edges(n, &weighted);
+        for &(u, v, p) in &weighted {
+            prop_assert_eq!(ug.edge_prob(u, v), Some(p));
+            prop_assert_eq!(ug.edge_prob(v, u), Some(p));
+        }
+        for v in 0..n as NodeId {
+            let (nbrs, probs) = ug.neighbors_with_probs(v);
+            prop_assert_eq!(nbrs.len(), probs.len());
+            for (&w, &p) in nbrs.iter().zip(probs) {
+                prop_assert_eq!(ug.edge_prob(v, w), Some(p));
+            }
+        }
+    }
+
+    /// Bitmap-materialized worlds (with buffer recycling) equal the worlds
+    /// the adjacency-list reference builds from the same mask.
+    #[test]
+    fn bitmap_worlds_match_reference(input in arb_edge_list()) {
+        let (n, edges) = (input.0, &input.1);
+        prop_assume!(!edges.is_empty());
+        let weighted: Vec<(NodeId, NodeId, f64)> =
+            edges.iter().map(|&(u, v)| (u, v, 0.5)).collect();
+        let ug = UncertainGraph::from_weighted_edges(n, &weighted);
+        let m = ug.num_edges();
+        let mut recycle = Graph::default();
+        // Deterministic mask schedule, including all-empty and all-full.
+        for round in 0..6u32 {
+            let bools: Vec<bool> = (0..m)
+                .map(|i| match round {
+                    0 => false,
+                    1 => true,
+                    r => (i as u32).wrapping_mul(2654435761).wrapping_add(r) % 3 == 0,
+                })
+                .collect();
+            let mask = EdgeMask::from_bools(&bools);
+            let world = ug.world_from_bitmap(&mask, recycle);
+            let kept: Vec<(NodeId, NodeId)> = ug
+                .graph()
+                .edges()
+                .iter()
+                .zip(&bools)
+                .filter(|(_, &b)| b)
+                .map(|(&e, _)| e)
+                .collect();
+            let r = RefGraph::new(n, &kept);
+            prop_assert_eq!(world.edges(), r.edges.as_slice());
+            for v in 0..n as NodeId {
+                prop_assert_eq!(world.neighbors(v), r.adj[v as usize].as_slice());
+            }
+            recycle = world;
+        }
+    }
+}
