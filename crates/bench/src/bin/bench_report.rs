@@ -6,6 +6,11 @@
 //!     [--out PATH] [--check BASELINE_JSON] [--min-secs S]
 //! ```
 //!
+//! Run artifacts default to `target/BENCH_pr2.json` (build output, not
+//! checked in); the committed baseline lives at
+//! `crates/bench/baselines/BENCH_pr2.json` — the single source of truth the
+//! CI gate compares against.
+//!
 //! Each metric times the legacy implementation (see `mpds_bench::legacy`)
 //! and the CSR implementation on identical inputs and reports ops/sec for
 //! both plus their ratio (`speedup`). **The tracked quantity is the ratio**:
@@ -59,7 +64,7 @@ fn ops_per_sec(min_secs: f64, mut f: impl FnMut(usize)) -> f64 {
 }
 
 fn main() {
-    let mut out_path = "BENCH_pr2.json".to_string();
+    let mut out_path = "target/BENCH_pr2.json".to_string();
     let mut check_path: Option<String> = None;
     let mut min_secs = 0.4f64;
     let mut args = std::env::args().skip(1);
@@ -80,6 +85,11 @@ fn main() {
 
     let metrics = run_benchmarks(min_secs);
     let json = render_json(&metrics);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
     std::fs::write(&out_path, &json).expect("write report");
     println!("wrote {out_path}");
     for m in &metrics {

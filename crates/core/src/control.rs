@@ -1,0 +1,127 @@
+//! Cooperative run control for the sampling estimators: deadlines and
+//! cancellation flags checked between sampled worlds.
+//!
+//! The estimators of [`crate::estimate`] and [`crate::nds`] are long,
+//! seed-deterministic loops (θ worlds, each a full densest-subgraph solve).
+//! A serving layer needs two things a batch run does not: the ability to
+//! abandon a query whose client gave up (deadline) and the ability to drain
+//! in-flight work on shutdown (cancellation flag). Both are *cooperative*:
+//! the loop polls [`RunControl::interruption`] once per sampled world — a
+//! per-world `Instant::now()` plus one relaxed atomic load, negligible next
+//! to a world's densest-subgraph solve — and returns [`Interrupted`] instead
+//! of a partial (and therefore biased-looking) estimate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why an estimator run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptReason {
+    /// The [`RunControl`] deadline passed.
+    DeadlineExceeded,
+    /// The [`RunControl`] cancellation flag was raised.
+    Cancelled,
+}
+
+/// Error returned when a controlled estimator run stops before sampling all
+/// θ worlds. No partial estimate is returned: a truncated sample would have
+/// a different (smaller) θ than requested, and callers that want partial
+/// results should request fewer worlds instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted {
+    /// Why the run stopped.
+    pub reason: InterruptReason,
+    /// Worlds fully processed before the stop (out of the requested θ).
+    pub completed_worlds: usize,
+}
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self.reason {
+            InterruptReason::DeadlineExceeded => "deadline exceeded",
+            InterruptReason::Cancelled => "cancelled",
+        };
+        write!(f, "{what} after {} sampled worlds", self.completed_worlds)
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// Deadline + cancellation-flag pair polled by the controlled estimators.
+///
+/// The default [`RunControl::unbounded`] never interrupts, so the
+/// uncontrolled entry points (`top_k_mpds`, `top_k_nds`) are exactly the
+/// controlled ones with an unbounded control.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl RunControl {
+    /// A control that never interrupts.
+    pub fn unbounded() -> Self {
+        RunControl::default()
+    }
+
+    /// Interrupt the run once `deadline` has passed.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Interrupt the run once `flag` reads `true` (shared with the party
+    /// that may raise it, e.g. a server's shutdown path).
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Polls the control. `None` means keep going. Cancellation is checked
+    /// before the deadline so a shutdown is reported as such even when the
+    /// deadline has also passed.
+    pub fn interruption(&self) -> Option<InterruptReason> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Some(InterruptReason::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(InterruptReason::DeadlineExceeded);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_never_interrupts() {
+        assert_eq!(RunControl::unbounded().interruption(), None);
+    }
+
+    #[test]
+    fn deadline_in_the_past_interrupts() {
+        let ctrl = RunControl::unbounded().with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(ctrl.interruption(), Some(InterruptReason::DeadlineExceeded));
+        let far = RunControl::unbounded().with_deadline(Instant::now() + Duration::from_secs(600));
+        assert_eq!(far.interruption(), None);
+    }
+
+    #[test]
+    fn cancel_flag_interrupts_and_wins_over_deadline() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let ctrl = RunControl::unbounded()
+            .with_cancel_flag(Arc::clone(&flag))
+            .with_deadline(Instant::now() - Duration::from_secs(1));
+        assert_eq!(ctrl.interruption(), Some(InterruptReason::DeadlineExceeded));
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(ctrl.interruption(), Some(InterruptReason::Cancelled));
+    }
+}

@@ -5,6 +5,7 @@
 //! estimated densest subgraph probability `τ̂(U) = count(U) / θ` (an unbiased
 //! estimator — paper Lemma 1; accuracy guarantees in [`crate::theory`]).
 
+use crate::control::{Interrupted, RunControl};
 use densest::{all_densest, heuristic::heuristic_dense_subgraphs, DensityNotion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -86,6 +87,22 @@ pub fn top_k_mpds<S: WorldSampler>(
     sampler: &mut S,
     cfg: &MpdsConfig,
 ) -> MpdsResult {
+    match top_k_mpds_with_control(g, sampler, cfg, &RunControl::unbounded()) {
+        Ok(r) => r,
+        Err(_) => unreachable!("an unbounded RunControl never interrupts"),
+    }
+}
+
+/// Runs Algorithm 1 under a [`RunControl`]: the control is polled once per
+/// sampled world, and a raised deadline/cancellation stops the run with
+/// [`Interrupted`] instead of returning a truncated estimate. This is the
+/// serving-layer entry point; `top_k_mpds` is this with an unbounded control.
+pub fn top_k_mpds_with_control<S: WorldSampler>(
+    g: &UncertainGraph,
+    sampler: &mut S,
+    cfg: &MpdsConfig,
+    ctrl: &RunControl,
+) -> Result<MpdsResult, Interrupted> {
     assert!(cfg.theta > 0, "need at least one sample");
     let mut candidates: HashMap<NodeSet, u32> = HashMap::new();
     let mut empty_worlds = 0usize;
@@ -97,7 +114,13 @@ pub fn top_k_mpds<S: WorldSampler>(
     // samples: the steady-state loop allocates nothing per world.
     let mut mask = EdgeMask::new(g.num_edges());
     let mut world = Graph::default();
-    for _ in 0..cfg.theta {
+    for completed in 0..cfg.theta {
+        if let Some(reason) = ctrl.interruption() {
+            return Err(Interrupted {
+                reason,
+                completed_worlds: completed,
+            });
+        }
         sampler.next_mask_into(&mut mask);
         world = g.world_from_bitmap(&mask, world);
         let subgraphs: Vec<NodeSet> = if cfg.heuristic {
@@ -132,14 +155,14 @@ pub fn top_k_mpds<S: WorldSampler>(
     }
 
     let top_k = select_top_k(&candidates, cfg.k, cfg.theta);
-    MpdsResult {
+    Ok(MpdsResult {
         top_k,
         candidates,
         theta: cfg.theta,
         empty_worlds,
         densest_counts,
         truncated,
-    }
+    })
 }
 
 /// Deterministically selects the k best candidates.
@@ -293,5 +316,45 @@ mod tests {
         let a = run(&g, &cfg, 99);
         let b = run(&g, &cfg, 99);
         assert_eq!(a.top_k, b.top_k);
+    }
+
+    #[test]
+    fn unbounded_control_matches_uncontrolled_run() {
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 300, 3);
+        let a = run(&g, &cfg, 17);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(17));
+        let b = top_k_mpds_with_control(&g, &mut mc, &cfg, &RunControl::unbounded()).unwrap();
+        assert_eq!(a.top_k, b.top_k);
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_before_first_world() {
+        use std::time::{Duration, Instant};
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 10_000, 1);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(1));
+        let ctrl = RunControl::unbounded().with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = top_k_mpds_with_control(&g, &mut mc, &cfg, &ctrl).unwrap_err();
+        assert_eq!(
+            err.reason,
+            crate::control::InterruptReason::DeadlineExceeded
+        );
+        assert_eq!(err.completed_worlds, 0);
+    }
+
+    #[test]
+    fn raised_cancel_flag_interrupts() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 10_000, 1);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(1));
+        let flag = Arc::new(AtomicBool::new(true));
+        flag.store(true, Ordering::Relaxed);
+        let ctrl = RunControl::unbounded().with_cancel_flag(flag);
+        let err = top_k_mpds_with_control(&g, &mut mc, &cfg, &ctrl).unwrap_err();
+        assert_eq!(err.reason, crate::control::InterruptReason::Cancelled);
     }
 }

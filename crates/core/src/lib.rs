@@ -12,6 +12,8 @@
 //!   via reduction to top-k closed frequent itemset mining;
 //! * [`exact`] — exact `τ(U)`/`γ(U)` and exact top-k by exhaustive
 //!   possible-world enumeration (small graphs; §VI-H);
+//! * [`control`] — cooperative deadlines and cancellation flags polled by
+//!   the estimator sampling loops (the serving layer's admission hooks);
 //! * [`theory`] — the end-to-end accuracy guarantees (Theorems 2, 3, 5, 6);
 //! * [`baselines`] — the notions MPDS is compared against in §VI: the
 //!   expected densest subgraph (EDS \[44\], extended to clique/pattern density
@@ -45,6 +47,7 @@
 
 pub mod baselines;
 pub mod case_studies;
+pub mod control;
 pub mod convergence;
 pub mod estimate;
 pub mod exact;
@@ -53,5 +56,6 @@ pub mod parallel;
 pub mod single;
 pub mod theory;
 
-pub use estimate::{top_k_mpds, MpdsConfig, MpdsResult};
-pub use nds::{top_k_nds, NdsConfig, NdsResult};
+pub use control::{InterruptReason, Interrupted, RunControl};
+pub use estimate::{top_k_mpds, top_k_mpds_with_control, MpdsConfig, MpdsResult};
+pub use nds::{top_k_nds, top_k_nds_with_control, NdsConfig, NdsResult};

@@ -10,6 +10,7 @@
 //! a transaction, and mines the top-k *closed* node sets of size ≥ `l_m` by
 //! support with TFP \[47\] — here, [`itemset::top_k_closed`].
 
+use crate::control::{Interrupted, RunControl};
 use densest::{heuristic::heuristic_dense_subgraphs, max_sized_densest, DensityNotion};
 use itemset::top_k_closed;
 use sampling::WorldSampler;
@@ -79,12 +80,34 @@ pub fn top_k_nds<S: WorldSampler>(
     sampler: &mut S,
     cfg: &NdsConfig,
 ) -> NdsResult {
+    match top_k_nds_with_control(g, sampler, cfg, &RunControl::unbounded()) {
+        Ok(r) => r,
+        Err(_) => unreachable!("an unbounded RunControl never interrupts"),
+    }
+}
+
+/// Runs Algorithm 5 under a [`RunControl`]: polled once per sampled world;
+/// a raised deadline/cancellation stops the run with [`Interrupted`] before
+/// the closed-itemset mining phase. `top_k_nds` is this with an unbounded
+/// control.
+pub fn top_k_nds_with_control<S: WorldSampler>(
+    g: &UncertainGraph,
+    sampler: &mut S,
+    cfg: &NdsConfig,
+    ctrl: &RunControl,
+) -> Result<NdsResult, Interrupted> {
     assert!(cfg.theta > 0, "need at least one sample");
     let mut transactions: Vec<NodeSet> = Vec::with_capacity(cfg.theta);
     let mut empty_worlds = 0usize;
     let mut mask = EdgeMask::new(g.num_edges());
     let mut world = Graph::default();
-    for _ in 0..cfg.theta {
+    for completed in 0..cfg.theta {
+        if let Some(reason) = ctrl.interruption() {
+            return Err(Interrupted {
+                reason,
+                completed_worlds: completed,
+            });
+        }
         sampler.next_mask_into(&mut mask);
         world = g.world_from_bitmap(&mask, world);
         let max_sized: Option<NodeSet> = if cfg.heuristic {
@@ -106,13 +129,13 @@ pub fn top_k_nds<S: WorldSampler>(
         .into_iter()
         .map(|c| (c.items, c.support as f64 / cfg.theta as f64))
         .collect();
-    NdsResult {
+    Ok(NdsResult {
         top_k,
         transactions,
         theta: cfg.theta,
         empty_worlds,
         miner_capped,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -228,5 +251,24 @@ mod tests {
         let r = run(&g, &cfg, 4);
         assert_eq!(r.gamma_hat(&[2, 3]), 0.0);
         assert_eq!(r.gamma_hat(&[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn controlled_run_matches_and_interrupts() {
+        use crate::control::InterruptReason;
+        use std::time::{Duration, Instant};
+        let g = UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)]);
+        let cfg = NdsConfig::new(DensityNotion::Edge, 200, 3, 2);
+        let plain = run(&g, &cfg, 8);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(8));
+        let ctrl = top_k_nds_with_control(&g, &mut mc, &cfg, &RunControl::unbounded()).unwrap();
+        assert_eq!(plain.top_k, ctrl.top_k);
+
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(8));
+        let expired =
+            RunControl::unbounded().with_deadline(Instant::now() - Duration::from_millis(1));
+        let err = top_k_nds_with_control(&g, &mut mc, &cfg, &expired).unwrap_err();
+        assert_eq!(err.reason, InterruptReason::DeadlineExceeded);
+        assert_eq!(err.completed_worlds, 0);
     }
 }

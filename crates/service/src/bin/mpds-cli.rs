@@ -1,0 +1,465 @@
+//! Command-line front end: run top-k MPDS or NDS on a weighted edge list,
+//! or serve the query API over HTTP.
+//!
+//! ```text
+//! mpds-cli <command> ...
+//!
+//! commands:
+//!   mpds <edge-list> [opts]   top-k most probable densest subgraphs (Alg. 1)
+//!   nds <edge-list> [opts]    top-k nucleus densest subgraphs (Alg. 5)
+//!   stats <edge-list> [--json]  dataset summary
+//!   serve [serve-opts]        start the HTTP query server
+//!
+//! mpds/nds options:
+//!   --theta N       number of sampled worlds        [default 320]
+//!   --k N           result count                    [default 5]
+//!   --lm N          minimum NDS size                [default 2]
+//!   --density D     edge | Nclique | 2star | 3star | c3star | diamond
+//!                                                   [default edge]
+//!   --seed N        sampler seed                    [default 42]
+//!   --heuristic     use the core-based heuristic per world
+//!   --json          emit the server's JSON response body instead of text
+//!
+//! serve options:
+//!   --bind ADDR           listen address            [default 127.0.0.1:7878]
+//!   --threads N           worker threads            [default 4]
+//!   --cache-capacity N    result-cache entries      [default 256]
+//!   --queue N             admission queue bound     [default 64]
+//!   --dataset NAME=PATH   register an edge-list file (repeatable)
+//! ```
+//!
+//! The edge-list format is one `u v p` triple per line (`#` comments
+//! allowed); node labels are arbitrary u32s. Unknown or duplicate flags are
+//! rejected with a usage message. `--json` and the server share one
+//! serialization path ([`mpds_service::engine`]), so a CLI run and a served
+//! query with equal parameters produce identical bytes.
+
+use mpds::control::RunControl;
+use mpds_service::engine::{
+    parse_notion, render_query_response, render_stats, run_query, Algo, QueryRequest,
+};
+use mpds_service::registry::{GraphRegistry, LoadedGraph};
+use mpds_service::{EngineConfig, QueryEngine, Server, ServerConfig};
+use std::collections::HashSet;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+/// A parsed invocation.
+#[derive(Debug)]
+enum Command {
+    /// `mpds` / `nds` / `stats` over an edge-list file.
+    Run(RunOptions),
+    /// `serve`.
+    Serve(ServeOptions),
+}
+
+#[derive(Debug)]
+struct RunOptions {
+    command: String,
+    path: String,
+    theta: usize,
+    k: usize,
+    lm: usize,
+    density: String,
+    seed: u64,
+    heuristic: bool,
+    json: bool,
+}
+
+#[derive(Debug)]
+struct ServeOptions {
+    bind: String,
+    threads: usize,
+    cache_capacity: usize,
+    queue: usize,
+    datasets: Vec<(String, String)>,
+}
+
+const USAGE: &str = "usage: mpds-cli <mpds|nds|stats> <edge-list> \\
+  [--theta N] [--k N] [--lm N] [--density D] [--seed N] [--heuristic] [--json]
+   or: mpds-cli serve [--bind ADDR] [--threads N] [--cache-capacity N] \\
+  [--queue N] [--dataset NAME=PATH]...";
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Command, String> {
+    let command = args.next().ok_or("missing command")?;
+    match command.as_str() {
+        "mpds" | "nds" | "stats" => parse_run_args(command, args).map(Command::Run),
+        "serve" => parse_serve_args(args).map(Command::Serve),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Tracks flags already seen so repeats are rejected instead of silently
+/// last-one-wins (repeatable flags like `--dataset` skip the check and
+/// enforce their own uniqueness rule).
+struct SeenFlags(HashSet<String>);
+
+impl SeenFlags {
+    fn new() -> Self {
+        SeenFlags(HashSet::new())
+    }
+
+    fn check(&mut self, flag: &str) -> Result<(), String> {
+        if !self.0.insert(flag.to_string()) {
+            return Err(format!("duplicate option {flag:?}"));
+        }
+        Ok(())
+    }
+}
+
+fn parse_run_args(
+    command: String,
+    mut args: impl Iterator<Item = String>,
+) -> Result<RunOptions, String> {
+    let path = args.next().ok_or("missing edge-list path")?;
+    if path.starts_with("--") {
+        return Err(format!("missing edge-list path (found option {path:?})"));
+    }
+    let mut o = RunOptions {
+        command,
+        path,
+        theta: 320,
+        k: 5,
+        lm: 2,
+        density: "edge".to_string(),
+        seed: 42,
+        heuristic: false,
+        json: false,
+    };
+    let mut seen = SeenFlags::new();
+    while let Some(flag) = args.next() {
+        seen.check(&flag)?;
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--theta" => {
+                o.theta = val("--theta")?
+                    .parse()
+                    .map_err(|e| format!("--theta: {e}"))?
+            }
+            "--k" => o.k = val("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--lm" => o.lm = val("--lm")?.parse().map_err(|e| format!("--lm: {e}"))?,
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--density" => {
+                let d = val("--density")?;
+                parse_notion(&d)?; // fail fast, before any file I/O
+                o.density = d;
+            }
+            "--heuristic" => o.heuristic = true,
+            "--json" => o.json = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(o)
+}
+
+fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptions, String> {
+    let mut o = ServeOptions {
+        bind: "127.0.0.1:7878".to_string(),
+        threads: 4,
+        cache_capacity: 256,
+        queue: 64,
+        datasets: Vec::new(),
+    };
+    let mut seen = SeenFlags::new();
+    while let Some(flag) = args.next() {
+        if flag != "--dataset" {
+            seen.check(&flag)?;
+        }
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--bind" => o.bind = val("--bind")?,
+            "--threads" => {
+                o.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if o.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
+            "--cache-capacity" => {
+                o.cache_capacity = val("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?
+            }
+            "--queue" => {
+                o.queue = val("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?;
+                if o.queue == 0 {
+                    return Err("--queue must be at least 1".to_string());
+                }
+            }
+            "--dataset" => {
+                let spec = val("--dataset")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--dataset wants NAME=PATH, got {spec:?}"))?;
+                if name.is_empty() || path.is_empty() {
+                    return Err(format!("--dataset wants NAME=PATH, got {spec:?}"));
+                }
+                if o.datasets.iter().any(|(n, _)| n == name) {
+                    return Err(format!("duplicate dataset name {name:?}"));
+                }
+                o.datasets.push((name.to_string(), path.to_string()));
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(o)
+}
+
+fn load_file(path: &str) -> Result<LoadedGraph, String> {
+    mpds_service::registry::load_edge_list_file(path, std::path::Path::new(path))
+}
+
+fn run_command(o: &RunOptions) -> Result<(), String> {
+    let loaded = load_file(&o.path)?;
+    if o.command == "stats" {
+        if o.json {
+            println!("{}", render_stats(&o.path, &loaded.graph));
+        } else {
+            let (mean, std, q) = ugraph::probability::prob_stats(loaded.graph.probs());
+            println!("nodes: {}", loaded.graph.num_nodes());
+            println!("edges: {}", loaded.graph.num_edges());
+            println!("probabilities: mean {mean:.4}, std {std:.4}, quartiles {q:?}");
+        }
+        return Ok(());
+    }
+
+    let req = QueryRequest {
+        dataset: o.path.clone(),
+        algo: Algo::parse(&o.command)?,
+        notion: o.density.clone(),
+        theta: o.theta,
+        k: o.k,
+        lm: o.lm,
+        seed: o.seed,
+        heuristic: o.heuristic,
+        timeout_ms: None,
+    };
+    let payload = run_query(&loaded, &req, &RunControl::unbounded()).map_err(|e| e.to_string())?;
+    if o.json {
+        println!("{}", render_query_response(&req, &payload));
+        return Ok(());
+    }
+
+    let show = |set: &[u32]| -> String {
+        let named: Vec<String> = set.iter().map(|v| v.to_string()).collect();
+        format!("{{{}}}", named.join(", "))
+    };
+    let notion = parse_notion(&o.density).expect("validated in parse_args");
+    match req.algo {
+        Algo::Mpds => {
+            println!(
+                "top-{} MPDS ({} density, theta = {}):",
+                o.k,
+                notion.label(),
+                o.theta
+            );
+            for (i, (set, tau)) in payload.rows.iter().enumerate() {
+                println!("  #{:<2} tau_hat = {:.4}  {}", i + 1, tau, show(set));
+            }
+            if payload.rows.is_empty() {
+                println!("  (no sampled world contained an instance)");
+            }
+        }
+        Algo::Nds => {
+            println!(
+                "top-{} NDS ({} density, theta = {}, lm = {}):",
+                o.k,
+                notion.label(),
+                o.theta,
+                o.lm
+            );
+            for (i, (set, gamma)) in payload.rows.iter().enumerate() {
+                println!("  #{:<2} gamma_hat = {:.4}  {}", i + 1, gamma, show(set));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn serve_command(o: &ServeOptions) -> Result<(), String> {
+    let mut registry = GraphRegistry::with_builtins();
+    for (name, path) in &o.datasets {
+        registry.register_file(name, path);
+    }
+    let engine = Arc::new(QueryEngine::new(
+        registry,
+        &EngineConfig {
+            cache_capacity: o.cache_capacity,
+            cache_shards: 8,
+        },
+    ));
+    let cfg = ServerConfig {
+        threads: o.threads,
+        queue_capacity: o.queue,
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind(o.bind.as_str(), engine, &cfg).map_err(|e| format!("bind {}: {e}", o.bind))?;
+    println!(
+        "mpds-service listening on http://{} ({} workers, queue {}, cache {})",
+        server.local_addr(),
+        o.threads,
+        o.queue,
+        o.cache_capacity
+    );
+    // Serve until killed; the Server's own threads do all the work.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn main() -> ExitCode {
+    let cmd = match parse_args(std::env::args().skip(1)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &cmd {
+        Command::Run(o) => run_command(o),
+        Command::Serve(o) => serve_command(o),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        parse_args(args.iter().map(|s| s.to_string()))
+    }
+
+    fn parse_run(args: &[&str]) -> Result<RunOptions, String> {
+        match parse(args)? {
+            Command::Run(o) => Ok(o),
+            Command::Serve(_) => panic!("expected run command"),
+        }
+    }
+
+    fn parse_serve(args: &[&str]) -> Result<ServeOptions, String> {
+        match parse(args)? {
+            Command::Serve(o) => Ok(o),
+            Command::Run(_) => panic!("expected serve command"),
+        }
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let o = parse_run(&["mpds", "g.txt"]).unwrap();
+        assert_eq!((o.theta, o.k, o.lm, o.seed), (320, 5, 2, 42));
+        assert!(!o.heuristic && !o.json);
+        let o = parse_run(&[
+            "nds",
+            "g.txt",
+            "--theta",
+            "99",
+            "--k",
+            "2",
+            "--lm",
+            "3",
+            "--seed",
+            "7",
+            "--heuristic",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!((o.theta, o.k, o.lm, o.seed), (99, 2, 3, 7));
+        assert!(o.heuristic && o.json);
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let e = parse_run(&["mpds", "g.txt", "--bogus"]).unwrap_err();
+        assert!(e.contains("unknown option"), "{e}");
+        let e = parse_run(&["mpds", "g.txt", "--theta", "5", "--verbose"]).unwrap_err();
+        assert!(e.contains("unknown option \"--verbose\""), "{e}");
+        let e = parse_serve(&["serve", "--bogus"]).unwrap_err();
+        assert!(e.contains("unknown option"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        let e = parse_run(&["mpds", "g.txt", "--theta", "5", "--theta", "6"]).unwrap_err();
+        assert!(e.contains("duplicate option \"--theta\""), "{e}");
+        let e = parse_run(&["mpds", "g.txt", "--heuristic", "--heuristic"]).unwrap_err();
+        assert!(e.contains("duplicate option"), "{e}");
+        let e = parse_serve(&["serve", "--threads", "2", "--threads", "4"]).unwrap_err();
+        assert!(e.contains("duplicate option"), "{e}");
+    }
+
+    #[test]
+    fn missing_values_and_paths_are_rejected() {
+        assert!(parse_run(&["mpds", "g.txt", "--theta"])
+            .unwrap_err()
+            .contains("missing value"));
+        assert!(parse_run(&["mpds"])
+            .unwrap_err()
+            .contains("missing edge-list path"));
+        assert!(parse_run(&["mpds", "--theta"])
+            .unwrap_err()
+            .contains("missing edge-list path"));
+        assert!(parse(&["bogus", "x"])
+            .unwrap_err()
+            .contains("unknown command"));
+    }
+
+    #[test]
+    fn bad_density_fails_in_parse() {
+        assert!(parse_run(&["mpds", "g.txt", "--density", "tesseract"])
+            .unwrap_err()
+            .contains("unknown density"));
+        assert!(parse_run(&["mpds", "g.txt", "--density", "9clique"])
+            .unwrap_err()
+            .contains("outside 2..=8"));
+        assert!(parse_run(&["mpds", "g.txt", "--density", "3clique"]).is_ok());
+    }
+
+    #[test]
+    fn serve_defaults_and_datasets() {
+        let o = parse_serve(&["serve"]).unwrap();
+        assert_eq!(o.bind, "127.0.0.1:7878");
+        assert_eq!((o.threads, o.cache_capacity, o.queue), (4, 256, 64));
+        let o = parse_serve(&[
+            "serve",
+            "--bind",
+            "0.0.0.0:0",
+            "--threads",
+            "2",
+            "--dataset",
+            "a=/tmp/a.txt",
+            "--dataset",
+            "b=/tmp/b.txt",
+        ])
+        .unwrap();
+        assert_eq!(o.datasets.len(), 2);
+        // --dataset is repeatable, but names must be unique and well-formed.
+        assert!(
+            parse_serve(&["serve", "--dataset", "a=/x", "--dataset", "a=/y"])
+                .unwrap_err()
+                .contains("duplicate dataset name")
+        );
+        assert!(parse_serve(&["serve", "--dataset", "nopath"])
+            .unwrap_err()
+            .contains("NAME=PATH"));
+        assert!(parse_serve(&["serve", "--threads", "0"])
+            .unwrap_err()
+            .contains("at least 1"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Loopback load harness for `mpds-cli serve` — emits `BENCH_pr3.json`.
+//!
+//! ```text
+//! mpds-load [--addr HOST:PORT] [--clients N] [--requests N]
+//!           [--server-threads N] [--dataset D] [--theta N] [--k N]
+//!           [--out PATH] [--wait-secs S] [--check]
+//! ```
+//!
+//! Drives `--clients` concurrent clients, each issuing `--requests`
+//! requests split into a cold phase (distinct seeds; every request is a
+//! real estimator run) and a repeat phase (one identical query; the cache
+//! and in-flight coalescing must absorb it). Writes the JSON report to
+//! `--out` (default `target/BENCH_pr3.json`).
+//!
+//! `--check` turns the report's invariants into an exit code (the CI
+//! `service-smoke` gate): zero non-2xx responses, bytewise-identical
+//! repeat-phase bodies, and a repeat-phase cache hit rate above 0.9.
+
+use mpds_service::harness::{self, HarnessConfig};
+use std::net::ToSocketAddrs;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let mut cfg = HarnessConfig::default();
+    let mut addr_spec = "127.0.0.1:7878".to_string();
+    let mut out_path = "target/BENCH_pr3.json".to_string();
+    let mut wait_secs = 30u64;
+    let mut check = false;
+
+    let mut args = std::env::args().skip(1);
+    let fail = |msg: String| -> ExitCode {
+        eprintln!("error: {msg}");
+        eprintln!(
+            "usage: mpds-load [--addr HOST:PORT] [--clients N] [--requests N] \
+             [--server-threads N] [--dataset D] [--theta N] [--k N] [--out PATH] \
+             [--wait-secs S] [--check]"
+        );
+        ExitCode::FAILURE
+    };
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let parsed = (|| -> Result<(), String> {
+            match flag.as_str() {
+                "--addr" => addr_spec = val("--addr")?,
+                "--clients" => {
+                    cfg.clients = val("--clients")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--requests" => {
+                    cfg.requests_per_client =
+                        val("--requests")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--server-threads" => {
+                    cfg.server_threads = val("--server-threads")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?
+                }
+                "--dataset" => cfg.dataset = val("--dataset")?,
+                "--theta" => cfg.theta = val("--theta")?.parse().map_err(|e| format!("{e}"))?,
+                "--k" => cfg.k = val("--k")?.parse().map_err(|e| format!("{e}"))?,
+                "--out" => out_path = val("--out")?,
+                "--wait-secs" => {
+                    wait_secs = val("--wait-secs")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--check" => check = true,
+                other => return Err(format!("unknown option {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            return fail(e);
+        }
+    }
+
+    cfg.addr = match addr_spec.to_socket_addrs().ok().and_then(|mut a| a.next()) {
+        Some(a) => a,
+        None => return fail(format!("cannot resolve --addr {addr_spec:?}")),
+    };
+
+    if let Err(e) = harness::wait_until_healthy(cfg.addr, Duration::from_secs(wait_secs)) {
+        return fail(e);
+    }
+
+    println!(
+        "load: {} clients x {} requests ({} cold + {} repeat) against http://{} (dataset {}, theta {}, k {})",
+        cfg.clients,
+        cfg.requests_per_client,
+        cfg.requests_per_client / 2,
+        cfg.requests_per_client - cfg.requests_per_client / 2,
+        cfg.addr,
+        cfg.dataset,
+        cfg.theta,
+        cfg.k
+    );
+    let report = harness::run(&cfg);
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let json = harness::render_report(&report);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        return fail(format!("write {out_path}: {e}"));
+    }
+    println!("wrote {out_path}");
+    for (name, p) in [("cold", &report.cold), ("repeat", &report.repeat)] {
+        println!(
+            "  {name:<7} {:>5} reqs, {:>3} errors, {:>9.1} req/s, p50 {:>8.3} ms, p99 {:>8.3} ms",
+            p.requests, p.errors, p.throughput_rps, p.p50_ms, p.p99_ms
+        );
+    }
+    println!(
+        "  repeat-phase cache hit rate: {:.3}",
+        report.repeat_cache_hit_rate
+    );
+
+    if report.violations.is_empty() {
+        if check {
+            println!("check: OK");
+        }
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            eprintln!("violation: {v}");
+        }
+        if check {
+            eprintln!("check: FAILED");
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,776 @@
+//! Query engine: typed requests, deterministic responses, result caching,
+//! and in-flight coalescing over the [`GraphRegistry`].
+//!
+//! The contract that makes serving these estimators worthwhile is
+//! **determinism**: a query is fully described by
+//! `(dataset, algo, notion, θ, k, l_m, seed, heuristic)`, and two
+//! evaluations of the same key produce bytewise-identical JSON. The engine
+//! exploits that twice — a sharded LRU keyed on the tuple serves repeats
+//! from memory, and an in-flight table coalesces concurrent identical
+//! queries so N simultaneous arrivals cost one computation, all N receiving
+//! the same `Arc`'d bytes.
+
+use crate::cache::{CacheStats, ShardedLru};
+use crate::json::JsonWriter;
+use crate::registry::{GraphRegistry, LoadedGraph};
+use densest::DensityNotion;
+use mpds::control::{InterruptReason, RunControl};
+use mpds::{top_k_mpds_with_control, top_k_nds_with_control, MpdsConfig, NdsConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::MonteCarlo;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use ugraph::Pattern;
+
+/// Which estimator a query runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Top-k most probable densest subgraphs (Algorithm 1).
+    Mpds,
+    /// Top-k nucleus densest subgraphs (Algorithm 5).
+    Nds,
+}
+
+impl Algo {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Algo::Mpds => "mpds",
+            Algo::Nds => "nds",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "mpds" => Ok(Algo::Mpds),
+            "nds" => Ok(Algo::Nds),
+            other => Err(format!("unknown algo {other:?} (expected mpds|nds)")),
+        }
+    }
+}
+
+/// Parses a density-notion name (`edge`, `Nclique`, `2star`, `3star`,
+/// `c3star`, `diamond`) — the one grammar shared by the CLI `--density`
+/// flag and the HTTP `notion` parameter.
+pub fn parse_notion(s: &str) -> Result<DensityNotion, String> {
+    match s {
+        "edge" => Ok(DensityNotion::Edge),
+        "2star" => Ok(DensityNotion::Pattern(Pattern::two_star())),
+        "3star" => Ok(DensityNotion::Pattern(Pattern::three_star())),
+        "c3star" => Ok(DensityNotion::Pattern(Pattern::c3_star())),
+        "diamond" => Ok(DensityNotion::Pattern(Pattern::diamond())),
+        other => {
+            if let Some(h) = other.strip_suffix("clique") {
+                let h: usize = h
+                    .parse()
+                    .map_err(|_| format!("bad clique size in {other:?}"))?;
+                if !(2..=8).contains(&h) {
+                    return Err(format!("clique size {h} outside 2..=8"));
+                }
+                Ok(DensityNotion::Clique(h))
+            } else {
+                Err(format!("unknown density {other:?}"))
+            }
+        }
+    }
+}
+
+/// A fully-parameterized query. Everything that affects the response bytes
+/// is in here (and in the dataset's content, which is fixed per name);
+/// `timeout_ms` only affects *whether* the query completes, so it is not
+/// part of the cache key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Registry dataset name.
+    pub dataset: String,
+    /// Estimator to run.
+    pub algo: Algo,
+    /// Density notion name (see [`parse_notion`]).
+    pub notion: String,
+    /// Number of sampled possible worlds θ.
+    pub theta: usize,
+    /// Result count.
+    pub k: usize,
+    /// Minimum NDS size `l_m` (ignored by MPDS).
+    pub lm: usize,
+    /// Sampler seed — equal seeds mean equal worlds mean equal bytes.
+    pub seed: u64,
+    /// Use the §III-C heuristic per world.
+    pub heuristic: bool,
+    /// Per-request deadline, if any.
+    pub timeout_ms: Option<u64>,
+}
+
+impl QueryRequest {
+    /// Paper-default parameters for `dataset`.
+    pub fn new(dataset: &str) -> Self {
+        QueryRequest {
+            dataset: dataset.to_string(),
+            algo: Algo::Mpds,
+            notion: "edge".to_string(),
+            theta: 320,
+            k: 5,
+            lm: 2,
+            seed: 42,
+            heuristic: false,
+            timeout_ms: None,
+        }
+    }
+
+    /// Validates bounds and parses the notion. Returns the parsed notion so
+    /// callers validate and parse in one step.
+    pub fn validate(&self) -> Result<DensityNotion, String> {
+        if self.theta == 0 || self.theta > 1_000_000 {
+            return Err(format!("theta {} outside 1..=1000000", self.theta));
+        }
+        if self.k == 0 || self.k > 10_000 {
+            return Err(format!("k {} outside 1..=10000", self.k));
+        }
+        if self.lm == 0 {
+            return Err("lm must be at least 1".to_string());
+        }
+        parse_notion(&self.notion)
+    }
+
+    /// The cache key: every response-affecting field. `lm` is normalized
+    /// out of MPDS keys (it does not enter Algorithm 1), so `mpds` queries
+    /// differing only in `lm` share a cache line.
+    pub fn key(&self) -> QueryKey {
+        QueryKey {
+            dataset: self.dataset.clone(),
+            algo: self.algo,
+            notion: self.notion.clone(),
+            theta: self.theta,
+            k: self.k,
+            lm: match self.algo {
+                Algo::Mpds => 0,
+                Algo::Nds => self.lm,
+            },
+            seed: self.seed,
+            heuristic: self.heuristic,
+        }
+    }
+}
+
+/// The deterministic identity of a query (see [`QueryRequest::key`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    dataset: String,
+    algo: Algo,
+    notion: String,
+    theta: usize,
+    k: usize,
+    lm: usize,
+    seed: u64,
+    heuristic: bool,
+}
+
+/// The computed answer of a query, before serialization: node sets are
+/// already mapped back to the dataset's original labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponsePayload {
+    /// `"tau_hat"` for MPDS, `"gamma_hat"` for NDS.
+    pub score_name: &'static str,
+    /// Ranked `(labeled node set, score)` rows.
+    pub rows: Vec<(Vec<u32>, f64)>,
+    /// Sampled worlds without an instance of the notion.
+    pub empty_worlds: usize,
+    /// MPDS: some world hit the enumeration cap. NDS: the miner hit its
+    /// node cap.
+    pub truncated: bool,
+}
+
+/// Why a query failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Invalid parameters or unknown dataset.
+    BadRequest(String),
+    /// The per-request deadline passed mid-run.
+    DeadlineExceeded {
+        /// Worlds sampled before the deadline hit.
+        completed_worlds: usize,
+    },
+    /// The server is shutting down.
+    Cancelled,
+    /// The computing thread died (never expected; reported, not cached).
+    Internal(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::BadRequest(m) => write!(f, "{m}"),
+            QueryError::DeadlineExceeded { completed_worlds } => {
+                write!(
+                    f,
+                    "deadline exceeded after {completed_worlds} sampled worlds"
+                )
+            }
+            QueryError::Cancelled => write!(f, "cancelled: server shutting down"),
+            QueryError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+/// How [`QueryEngine::execute`] obtained its response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseSource {
+    /// Served from the result cache.
+    Hit,
+    /// Computed by this request.
+    Miss,
+    /// Joined an identical in-flight computation.
+    Coalesced,
+}
+
+impl ResponseSource {
+    /// Value of the `X-Cache` response header.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResponseSource::Hit => "HIT",
+            ResponseSource::Miss => "MISS",
+            ResponseSource::Coalesced => "COALESCED",
+        }
+    }
+}
+
+/// Runs a query against an already-loaded graph — the single computation
+/// path shared by the CLI (`--json` or human output) and the server.
+pub fn run_query(
+    g: &LoadedGraph,
+    req: &QueryRequest,
+    ctrl: &RunControl,
+) -> Result<ResponsePayload, QueryError> {
+    let notion = req.validate().map_err(QueryError::BadRequest)?;
+    let map_interrupt = |e: mpds::Interrupted| match e.reason {
+        InterruptReason::DeadlineExceeded => QueryError::DeadlineExceeded {
+            completed_worlds: e.completed_worlds,
+        },
+        InterruptReason::Cancelled => QueryError::Cancelled,
+    };
+    let mut mc = MonteCarlo::new(&g.graph, StdRng::seed_from_u64(req.seed));
+    let label_rows = |rows: Vec<(Vec<u32>, f64)>| -> Vec<(Vec<u32>, f64)> {
+        rows.into_iter()
+            .map(|(set, score)| (set.iter().map(|&v| g.label_of(v)).collect(), score))
+            .collect()
+    };
+    match req.algo {
+        Algo::Mpds => {
+            let mut cfg = MpdsConfig::new(notion, req.theta, req.k);
+            cfg.heuristic = req.heuristic;
+            let r =
+                top_k_mpds_with_control(&g.graph, &mut mc, &cfg, ctrl).map_err(map_interrupt)?;
+            Ok(ResponsePayload {
+                score_name: "tau_hat",
+                rows: label_rows(r.top_k),
+                empty_worlds: r.empty_worlds,
+                truncated: r.truncated,
+            })
+        }
+        Algo::Nds => {
+            let mut cfg = NdsConfig::new(notion, req.theta, req.k, req.lm);
+            cfg.heuristic = req.heuristic;
+            let r = top_k_nds_with_control(&g.graph, &mut mc, &cfg, ctrl).map_err(map_interrupt)?;
+            Ok(ResponsePayload {
+                score_name: "gamma_hat",
+                rows: label_rows(r.top_k),
+                empty_worlds: r.empty_worlds,
+                truncated: r.miner_capped,
+            })
+        }
+    }
+}
+
+/// Serializes a query response. Field order is fixed; see [`crate::json`]
+/// for why (bytewise determinism is asserted end to end).
+pub fn render_query_response(req: &QueryRequest, payload: &ResponsePayload) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("dataset", &req.dataset)
+        .field_str("algo", req.algo.as_str())
+        .field_str("notion", &req.notion)
+        .field_uint("theta", req.theta as u64)
+        .field_uint("k", req.k as u64);
+    if req.algo == Algo::Nds {
+        w.field_uint("lm", req.lm as u64);
+    }
+    w.field_uint("seed", req.seed)
+        .field_bool("heuristic", req.heuristic)
+        .field_str("score", payload.score_name)
+        .key("results")
+        .begin_array();
+    for (nodes, score) in &payload.rows {
+        w.begin_object().key("nodes").begin_array();
+        for &v in nodes {
+            w.uint(v as u64);
+        }
+        w.end_array().field_float("score", *score).end_object();
+    }
+    w.end_array()
+        .field_uint("empty_worlds", payload.empty_worlds as u64)
+        .field_bool("truncated", payload.truncated)
+        .end_object();
+    w.finish()
+}
+
+/// Serializes dataset statistics (the CLI `stats --json` output and the
+/// server's `/dataset` endpoint).
+pub fn render_stats(name: &str, g: &ugraph::UncertainGraph) -> String {
+    let (mean, std, q) = ugraph::probability::prob_stats(g.probs());
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("dataset", name)
+        .field_uint("nodes", g.num_nodes() as u64)
+        .field_uint("edges", g.num_edges() as u64)
+        .field_float("prob_mean", mean)
+        .field_float("prob_std", std)
+        .key("prob_quartiles")
+        .begin_array();
+    for v in q {
+        w.float(v);
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+/// One in-flight computation: followers block on the condvar until the
+/// leader fills `done`.
+struct InFlight {
+    done: Mutex<Option<Result<Arc<Vec<u8>>, QueryError>>>,
+    cv: Condvar,
+}
+
+/// What a follower's wait produced.
+enum WaitOutcome {
+    /// The leader finished with this result.
+    Done(Result<Arc<Vec<u8>>, QueryError>),
+    /// The *follower's own* deadline passed first.
+    TimedOut,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, result: Result<Arc<Vec<u8>>, QueryError>) {
+        let mut done = self.done.lock().unwrap();
+        if done.is_none() {
+            *done = Some(result);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Waits for the leader, but no longer than the follower's own
+    /// deadline (`None` waits indefinitely).
+    fn wait_until(&self, deadline: Option<Instant>) -> WaitOutcome {
+        let mut done = self.done.lock().unwrap();
+        loop {
+            if let Some(result) = done.as_ref() {
+                return WaitOutcome::Done(result.clone());
+            }
+            match deadline {
+                None => done = self.cv.wait(done).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return WaitOutcome::TimedOut;
+                    }
+                    (done, _) = self.cv.wait_timeout(done, d - now).unwrap();
+                }
+            }
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Total result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Cache shard count (clamped internally).
+    pub cache_shards: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_capacity: 256,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// Counter snapshot for `/metrics`.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineStats {
+    /// Result-cache counters.
+    pub cache: CacheStats,
+    /// Queries actually computed (cache misses that ran an estimator).
+    pub computed: u64,
+    /// Queries that joined an in-flight identical computation.
+    pub coalesced: u64,
+}
+
+/// The concurrent query engine: registry + cache + in-flight coalescing.
+pub struct QueryEngine {
+    registry: GraphRegistry,
+    cache: ShardedLru<QueryKey, Arc<Vec<u8>>>,
+    inflight: Mutex<HashMap<QueryKey, Arc<InFlight>>>,
+    cancel: Arc<AtomicBool>,
+    computed: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl QueryEngine {
+    /// Builds an engine over `registry`.
+    pub fn new(registry: GraphRegistry, cfg: &EngineConfig) -> Self {
+        QueryEngine {
+            registry,
+            cache: ShardedLru::new(cfg.cache_capacity, cfg.cache_shards),
+            inflight: Mutex::new(HashMap::new()),
+            cancel: Arc::new(AtomicBool::new(false)),
+            computed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// The dataset registry.
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// The shutdown flag shared with every in-flight [`RunControl`]; raising
+    /// it cancels running queries cooperatively.
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.cancel)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            cache: self.cache.stats(),
+            computed: self.computed.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes `req`: cache hit, coalesced join, or fresh computation.
+    /// The returned bytes are the JSON response body — identical `Arc`s for
+    /// coalesced requests, identical bytes for cached repeats.
+    ///
+    /// `timeout_ms` is deliberately not part of the cache key, so a
+    /// follower may join a leader with *different* deadline semantics. Two
+    /// rules keep each request's own deadline authoritative: a follower
+    /// waits no longer than its own deadline (then reports its own 504),
+    /// and a leader's `DeadlineExceeded` is never inherited — the follower
+    /// retries under its own control instead.
+    pub fn execute(
+        &self,
+        req: &QueryRequest,
+    ) -> Result<(Arc<Vec<u8>>, ResponseSource), QueryError> {
+        req.validate().map_err(QueryError::BadRequest)?;
+        let key = req.key();
+        let own_deadline = req
+            .timeout_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        // Bounded retries: each iteration either serves the request or
+        // observes a *leader* deadline failure (not cached, entry removed),
+        // after which this thread re-runs and typically becomes the leader.
+        let mut last_err = None;
+        for _ in 0..3 {
+            if let Some(body) = self.cache.get(&key) {
+                return Ok((body, ResponseSource::Hit));
+            }
+            let flight = {
+                let mut map = self.inflight.lock().unwrap();
+                if let Some(existing) = map.get(&key) {
+                    let existing = Arc::clone(existing);
+                    drop(map);
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    match existing.wait_until(own_deadline) {
+                        WaitOutcome::Done(Ok(body)) => {
+                            return Ok((body, ResponseSource::Coalesced))
+                        }
+                        WaitOutcome::Done(Err(e @ QueryError::DeadlineExceeded { .. })) => {
+                            // The leader's deadline, not ours — retry.
+                            last_err = Some(e);
+                            continue;
+                        }
+                        WaitOutcome::Done(Err(e)) => return Err(e),
+                        WaitOutcome::TimedOut => {
+                            return Err(QueryError::DeadlineExceeded {
+                                completed_worlds: 0,
+                            })
+                        }
+                    }
+                }
+                let flight = Arc::new(InFlight::new());
+                map.insert(key.clone(), Arc::clone(&flight));
+                flight
+            };
+            // This thread is the leader. The guard guarantees followers are
+            // released and the in-flight entry is removed on every exit path.
+            let guard = LeaderGuard {
+                engine: self,
+                key: &key,
+                flight: &flight,
+                completed: false,
+            };
+            let result = self.compute(req, own_deadline);
+            guard.finish(result.clone());
+            return result.map(|b| (b, ResponseSource::Miss));
+        }
+        Err(last_err
+            .unwrap_or_else(|| QueryError::Internal("coalescing retries exhausted".to_string())))
+    }
+
+    fn compute(
+        &self,
+        req: &QueryRequest,
+        deadline: Option<Instant>,
+    ) -> Result<Arc<Vec<u8>>, QueryError> {
+        let graph = self
+            .registry
+            .get(&req.dataset)
+            .map_err(QueryError::BadRequest)?;
+        let mut ctrl = RunControl::unbounded().with_cancel_flag(self.cancel_flag());
+        if let Some(d) = deadline {
+            ctrl = ctrl.with_deadline(d);
+        }
+        let payload = run_query(&graph, req, &ctrl)?;
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(render_query_response(req, &payload).into_bytes()))
+    }
+}
+
+/// Completes an in-flight computation on every exit path (including leader
+/// panic, where the drop handler reports an internal error so followers are
+/// not stranded on the condvar).
+struct LeaderGuard<'a> {
+    engine: &'a QueryEngine,
+    key: &'a QueryKey,
+    flight: &'a Arc<InFlight>,
+    completed: bool,
+}
+
+impl LeaderGuard<'_> {
+    fn finish(mut self, result: Result<Arc<Vec<u8>>, QueryError>) {
+        // Publish to the cache before releasing followers / unregistering,
+        // so a request arriving between those steps still finds the result.
+        if let Ok(body) = &result {
+            self.engine.cache.insert(self.key.clone(), Arc::clone(body));
+        }
+        self.flight.complete(result);
+        self.engine.inflight.lock().unwrap().remove(self.key);
+        self.completed = true;
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.flight.complete(Err(QueryError::Internal(
+                "query computation panicked".to_string(),
+            )));
+            self.engine.inflight.lock().unwrap().remove(self.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::GraphRegistry;
+
+    fn engine() -> QueryEngine {
+        QueryEngine::new(GraphRegistry::with_builtins(), &EngineConfig::default())
+    }
+
+    fn karate_req() -> QueryRequest {
+        let mut r = QueryRequest::new("karate");
+        r.theta = 64;
+        r.k = 3;
+        r
+    }
+
+    #[test]
+    fn miss_then_hit_with_identical_bytes() {
+        let e = engine();
+        let req = karate_req();
+        let (a, src_a) = e.execute(&req).unwrap();
+        let (b, src_b) = e.execute(&req).unwrap();
+        assert_eq!(src_a, ResponseSource::Miss);
+        assert_eq!(src_b, ResponseSource::Hit);
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(&a, &b), "hit must share the cached Arc");
+        let s = e.stats();
+        assert_eq!(s.computed, 1);
+        assert_eq!(s.cache.hits, 1);
+        assert_eq!(s.cache.misses, 1);
+    }
+
+    #[test]
+    fn different_seeds_are_different_entries() {
+        let e = engine();
+        let mut a = karate_req();
+        let mut b = karate_req();
+        a.seed = 1;
+        b.seed = 2;
+        let (ra, _) = e.execute(&a).unwrap();
+        let (rb, _) = e.execute(&b).unwrap();
+        assert_ne!(ra, rb, "different seeds must not alias in the cache");
+        assert_eq!(e.stats().computed, 2);
+    }
+
+    #[test]
+    fn mpds_cache_key_ignores_lm() {
+        let e = engine();
+        let mut a = karate_req();
+        let mut b = karate_req();
+        a.lm = 2;
+        b.lm = 5;
+        e.execute(&a).unwrap();
+        let (_, src) = e.execute(&b).unwrap();
+        assert_eq!(src, ResponseSource::Hit);
+    }
+
+    #[test]
+    fn concurrent_identical_queries_compute_once() {
+        let e = engine();
+        let mut req = karate_req();
+        req.theta = 400; // long enough that the 8 racers overlap
+        let bodies: Vec<(Arc<Vec<u8>>, ResponseSource)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| e.execute(&req).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(e.stats().computed, 1, "exactly one computation");
+        let first = &bodies[0].0;
+        for (body, _) in &bodies {
+            assert_eq!(body, first, "coalesced bodies must be identical bytes");
+        }
+        let misses = bodies
+            .iter()
+            .filter(|(_, s)| *s == ResponseSource::Miss)
+            .count();
+        assert_eq!(misses, 1, "exactly one leader");
+    }
+
+    #[test]
+    fn bad_requests_do_not_reach_the_cache() {
+        let e = engine();
+        let mut req = karate_req();
+        req.theta = 0;
+        assert!(matches!(e.execute(&req), Err(QueryError::BadRequest(_))));
+        req.theta = 64;
+        req.dataset = "missing".into();
+        assert!(matches!(e.execute(&req), Err(QueryError::BadRequest(_))));
+        req.dataset = "karate".into();
+        req.notion = "tesseract".into();
+        assert!(matches!(e.execute(&req), Err(QueryError::BadRequest(_))));
+        assert_eq!(e.stats().computed, 0);
+        assert_eq!(e.stats().cache.entries, 0);
+    }
+
+    #[test]
+    fn deadline_zero_times_out_and_is_not_cached() {
+        let e = engine();
+        let mut req = karate_req();
+        req.theta = 100_000;
+        req.timeout_ms = Some(0);
+        match e.execute(&req) {
+            Err(QueryError::DeadlineExceeded { completed_worlds }) => {
+                assert_eq!(completed_worlds, 0)
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        assert_eq!(e.stats().cache.entries, 0);
+        // The same key without the timeout computes normally.
+        req.timeout_ms = None;
+        req.theta = 32;
+        assert!(e.execute(&req).is_ok());
+    }
+
+    #[test]
+    fn follower_deadline_is_its_own_not_the_leaders() {
+        // A follower with a short timeout joining a long unbounded leader
+        // must time out on its *own* deadline instead of blocking for the
+        // leader's full computation.
+        let e = engine();
+        let mut leader_req = karate_req();
+        leader_req.theta = 600; // several seconds of work in a debug build
+        let mut follower_req = leader_req.clone();
+        follower_req.timeout_ms = Some(100);
+        std::thread::scope(|s| {
+            let leader = s.spawn(|| e.execute(&leader_req));
+            // Let the leader register as in-flight.
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            let started = std::time::Instant::now();
+            let got = e.execute(&follower_req);
+            assert!(
+                matches!(got, Err(QueryError::DeadlineExceeded { .. })),
+                "follower must 504 on its own deadline, got {got:?}"
+            );
+            assert!(
+                started.elapsed() < std::time::Duration::from_secs(5),
+                "follower must not wait out the leader"
+            );
+            let (_, src) = leader.join().unwrap().unwrap();
+            assert_eq!(src, ResponseSource::Miss);
+        });
+        assert_eq!(e.stats().computed, 1);
+    }
+
+    #[test]
+    fn nds_and_mpds_render_distinct_shapes() {
+        let e = engine();
+        let mut req = karate_req();
+        let (mpds_body, _) = e.execute(&req).unwrap();
+        req.algo = Algo::Nds;
+        let (nds_body, _) = e.execute(&req).unwrap();
+        let mpds_text = String::from_utf8(mpds_body.to_vec()).unwrap();
+        let nds_text = String::from_utf8(nds_body.to_vec()).unwrap();
+        assert!(mpds_text.contains("\"score\":\"tau_hat\""));
+        assert!(!mpds_text.contains("\"lm\""));
+        assert!(nds_text.contains("\"score\":\"gamma_hat\""));
+        assert!(nds_text.contains("\"lm\":2"));
+    }
+
+    #[test]
+    fn render_is_stable_across_processes_in_shape() {
+        // Pin the exact serialization of a tiny deterministic payload: the
+        // cache, the loopback harness, and external clients all rely on
+        // this byte layout never drifting silently.
+        let req = QueryRequest::new("karate");
+        let payload = ResponsePayload {
+            score_name: "tau_hat",
+            rows: vec![(vec![1, 3], 0.421875)],
+            empty_worlds: 7,
+            truncated: false,
+        };
+        assert_eq!(
+            render_query_response(&req, &payload),
+            "{\"dataset\":\"karate\",\"algo\":\"mpds\",\"notion\":\"edge\",\
+             \"theta\":320,\"k\":5,\"seed\":42,\"heuristic\":false,\
+             \"score\":\"tau_hat\",\"results\":[{\"nodes\":[1,3],\
+             \"score\":0.421875}],\"empty_worlds\":7,\"truncated\":false}"
+        );
+    }
+
+    #[test]
+    fn stats_render_contains_shape() {
+        let g = ugraph::UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5), (1, 2, 0.5)]);
+        let s = render_stats("demo", &g);
+        assert!(s.starts_with("{\"dataset\":\"demo\",\"nodes\":3,\"edges\":2,"));
+        assert!(s.contains("\"prob_quartiles\":[0.5,0.5,0.5]"));
+    }
+}

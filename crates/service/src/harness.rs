@@ -1,0 +1,408 @@
+//! Loopback load harness: drives a running server with concurrent clients
+//! and emits a `BENCH_pr3.json`-style report.
+//!
+//! Two phases, mirroring the serving claim being benchmarked:
+//!
+//! 1. **cold** — every client issues queries with distinct seeds, so each
+//!    request is a genuine estimator run (measures compute throughput under
+//!    concurrency);
+//! 2. **repeat** — every client issues the *same* query, so after one
+//!    computation the cache and in-flight coalescing must serve the rest
+//!    (measures cached latency, verifies bytewise-identical bodies, and
+//!    reads the cache hit rate off `/metrics`).
+//!
+//! The harness is a plain blocking TCP client — no shared state with the
+//! server beyond the socket — so it can drive an in-process loopback
+//! server (tests) or an external `mpds-cli serve` (the CI smoke job)
+//! identically.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Harness parameters.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests per client (split evenly between the two phases).
+    pub requests_per_client: usize,
+    /// Reported in the JSON (the harness cannot observe it remotely).
+    pub server_threads: usize,
+    /// Dataset queried.
+    pub dataset: String,
+    /// Worlds per query.
+    pub theta: usize,
+    /// Result count per query.
+    pub k: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7878)),
+            clients: 32,
+            requests_per_client: 50,
+            server_threads: 4,
+            dataset: "karate".to_string(),
+            theta: 64,
+            k: 3,
+        }
+    }
+}
+
+/// One HTTP exchange as seen by a harness client.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Wall-clock latency.
+    pub latency: Duration,
+}
+
+/// Latency/throughput summary of one phase.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Requests issued.
+    pub requests: usize,
+    /// Responses with a non-2xx status.
+    pub errors: usize,
+    /// Requests per second over the phase wall clock.
+    pub throughput_rps: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Full harness outcome.
+#[derive(Debug, Clone)]
+pub struct HarnessReport {
+    /// Configuration echo.
+    pub config: HarnessConfig,
+    /// Cold-phase (distinct seeds) stats.
+    pub cold: PhaseStats,
+    /// Repeat-phase (identical query) stats.
+    pub repeat: PhaseStats,
+    /// Cache hit rate over the repeat phase's lookups (hits / lookups,
+    /// where coalesced joins count as hits — they did not recompute).
+    pub repeat_cache_hit_rate: f64,
+    /// Hard failures: non-2xx responses, divergent repeat bodies, low hit
+    /// rate. Empty means the `--check` contract holds.
+    pub violations: Vec<String>,
+}
+
+/// Issues one blocking HTTP/1.1 GET and reads the full response.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<Exchange> {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let req = format!("GET {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\r\n");
+    stream.write_all(req.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let latency = start.elapsed();
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header end"))?;
+    let head = String::from_utf8_lossy(&raw[..header_end]);
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok(Exchange {
+        status,
+        body: raw[header_end + 4..].to_vec(),
+        latency,
+    })
+}
+
+/// Polls `/healthz` until the server answers (used by the CI smoke job to
+/// wait out the server's startup).
+pub fn wait_until_healthy(addr: SocketAddr, budget: Duration) -> Result<(), String> {
+    let deadline = Instant::now() + budget;
+    loop {
+        match http_get(addr, "/healthz", Duration::from_secs(2)) {
+            Ok(e) if e.status == 200 => return Ok(()),
+            _ if Instant::now() >= deadline => {
+                return Err(format!("server at {addr} not healthy within {budget:?}"))
+            }
+            _ => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// Reads a named unsigned counter out of a flat JSON body (the harness has
+/// no JSON parser; `/metrics` keys are unique, so a scan suffices).
+fn scan_counter(body: &str, key: &str) -> Option<u64> {
+    let at = body.find(&format!("\"{key}\":"))?;
+    let rest = &body[at + key.len() + 3..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Runs one phase: `clients` threads, each issuing `per_client` requests
+/// produced by `path_of(client, i)`. Returns per-request exchanges plus the
+/// phase wall clock.
+fn run_phase(
+    cfg: &HarnessConfig,
+    per_client: usize,
+    path_of: impl Fn(usize, usize) -> String + Sync,
+) -> (Vec<Exchange>, Duration) {
+    let all: Mutex<Vec<Exchange>> = Mutex::new(Vec::with_capacity(cfg.clients * per_client));
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..cfg.clients {
+            let all = &all;
+            let errors = &errors;
+            let path_of = &path_of;
+            scope.spawn(move || {
+                for i in 0..per_client {
+                    match http_get(cfg.addr, &path_of(c, i), Duration::from_secs(120)) {
+                        Ok(ex) => all.lock().unwrap().push(ex),
+                        Err(e) => errors
+                            .lock()
+                            .unwrap()
+                            .push(format!("client {c} request {i}: {e}")),
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let mut all = all.into_inner().unwrap();
+    // Transport-level failures surface as synthetic status-0 exchanges so
+    // they are counted as errors rather than silently dropped.
+    for e in errors.into_inner().unwrap() {
+        all.push(Exchange {
+            status: 0,
+            body: e.into_bytes(),
+            latency: elapsed,
+        });
+    }
+    (all, elapsed)
+}
+
+fn phase_stats(exchanges: &[Exchange], elapsed: Duration) -> PhaseStats {
+    // Transport failures (synthetic status 0) carry no meaningful latency;
+    // they count as errors but must not poison the percentiles.
+    let mut lat_ms: Vec<f64> = exchanges
+        .iter()
+        .filter(|e| e.status != 0)
+        .map(|e| e.latency.as_secs_f64() * 1e3)
+        .collect();
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    PhaseStats {
+        requests: exchanges.len(),
+        errors: exchanges
+            .iter()
+            .filter(|e| !(200..300).contains(&e.status))
+            .count(),
+        throughput_rps: exchanges.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&lat_ms, 0.50),
+        p99_ms: percentile(&lat_ms, 0.99),
+    }
+}
+
+/// Runs the full two-phase load harness against `cfg.addr`.
+pub fn run(cfg: &HarnessConfig) -> HarnessReport {
+    let mut violations = Vec::new();
+    let per_phase = (cfg.requests_per_client / 2).max(1);
+    let query_base = format!(
+        "/query?dataset={}&theta={}&k={}",
+        cfg.dataset, cfg.theta, cfg.k
+    );
+
+    // Phase 1 — cold: distinct seeds, every request computes.
+    let (cold_ex, cold_elapsed) = run_phase(cfg, per_phase, |c, i| {
+        format!("{query_base}&seed={}", 10_000 + (c * per_phase + i) as u64)
+    });
+    let cold = phase_stats(&cold_ex, cold_elapsed);
+
+    // Snapshot cache counters between phases.
+    let before = http_get(cfg.addr, "/metrics", Duration::from_secs(10)).ok();
+
+    // Phase 2 — repeat: one identical query from every client.
+    let (repeat_ex, repeat_elapsed) =
+        run_phase(cfg, per_phase, |_, _| format!("{query_base}&seed=42"));
+    let repeat = phase_stats(&repeat_ex, repeat_elapsed);
+
+    let after = http_get(cfg.addr, "/metrics", Duration::from_secs(10)).ok();
+
+    // Violation 1: any non-2xx anywhere (the harness never overloads an
+    // adequately provisioned queue, so a 503 here is a real failure).
+    for (phase, stats) in [("cold", &cold), ("repeat", &repeat)] {
+        if stats.errors > 0 {
+            violations.push(format!("{phase} phase: {} non-2xx responses", stats.errors));
+        }
+    }
+
+    // Violation 2: repeat-phase bodies must be bytewise identical.
+    let bodies: Vec<&Vec<u8>> = repeat_ex
+        .iter()
+        .filter(|e| (200..300).contains(&e.status))
+        .map(|e| &e.body)
+        .collect();
+    if let Some(first) = bodies.first() {
+        let divergent = bodies.iter().filter(|b| *b != first).count();
+        if divergent > 0 {
+            violations.push(format!(
+                "repeat phase: {divergent} of {} bodies differ from the first",
+                bodies.len()
+            ));
+        }
+    } else {
+        violations.push("repeat phase: no successful responses".to_string());
+    }
+
+    // Violation 3: cache hit rate over the repeat phase (from /metrics
+    // deltas; coalesced joins count as hits — they did not recompute).
+    let repeat_cache_hit_rate = match (&before, &after) {
+        (Some(b), Some(a)) => {
+            let bt = String::from_utf8_lossy(&b.body).into_owned();
+            let at = String::from_utf8_lossy(&a.body).into_owned();
+            let delta = |key: &str| -> u64 {
+                scan_counter(&at, key)
+                    .unwrap_or(0)
+                    .saturating_sub(scan_counter(&bt, key).unwrap_or(0))
+            };
+            let (hits, misses, coalesced) = (delta("hits"), delta("misses"), delta("coalesced"));
+            // Every request performs exactly one cache lookup (coalesced
+            // requests miss first, then join), so lookups = requests and
+            // requests served without recomputation = hits + coalesced.
+            let lookups = hits + misses;
+            if lookups == 0 {
+                0.0
+            } else {
+                (hits + coalesced) as f64 / lookups as f64
+            }
+        }
+        _ => {
+            violations.push("could not read /metrics".to_string());
+            0.0
+        }
+    };
+    if repeat_cache_hit_rate <= 0.9 {
+        violations.push(format!(
+            "repeat-phase cache hit rate {repeat_cache_hit_rate:.3} not above 0.9"
+        ));
+    }
+
+    HarnessReport {
+        config: cfg.clone(),
+        cold,
+        repeat,
+        repeat_cache_hit_rate,
+        violations,
+    }
+}
+
+/// Serializes a report in the `BENCH_pr3.json` schema.
+pub fn render_report(r: &HarnessReport) -> String {
+    use crate::json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("schema", "mpds-service/load_harness/v1")
+        .field_str(
+            "note",
+            "loopback load harness; latencies are machine-dependent, the checked \
+             invariants are zero non-2xx, bytewise-identical repeat bodies, and \
+             repeat cache hit rate > 0.9",
+        )
+        .key("config")
+        .begin_object()
+        .field_str("dataset", &r.config.dataset)
+        .field_uint("clients", r.config.clients as u64)
+        .field_uint("requests_per_client", r.config.requests_per_client as u64)
+        .field_uint("server_threads", r.config.server_threads as u64)
+        .field_uint("theta", r.config.theta as u64)
+        .field_uint("k", r.config.k as u64)
+        .end_object()
+        .key("phases")
+        .begin_array();
+    for (name, p) in [("cold", &r.cold), ("repeat", &r.repeat)] {
+        w.begin_object()
+            .field_str("name", name)
+            .field_uint("requests", p.requests as u64)
+            .field_uint("errors", p.errors as u64)
+            .field_float("throughput_rps", round3(p.throughput_rps))
+            .field_float("p50_ms", round3(p.p50_ms))
+            .field_float("p99_ms", round3(p.p99_ms))
+            .end_object();
+    }
+    w.end_array()
+        .field_float("repeat_cache_hit_rate", round3(r.repeat_cache_hit_rate))
+        .key("violations")
+        .begin_array();
+    for v in &r.violations {
+        w.string(v);
+    }
+    w.end_array().end_object();
+    let mut s = w.finish();
+    s.push('\n');
+    s
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_scan_and_percentiles() {
+        let body = "{\"cache\":{\"hits\":12,\"misses\":3},\"coalesced\":4}";
+        assert_eq!(scan_counter(body, "hits"), Some(12));
+        assert_eq!(scan_counter(body, "misses"), Some(3));
+        assert_eq!(scan_counter(body, "coalesced"), Some(4));
+        assert_eq!(scan_counter(body, "absent"), None);
+
+        let ms = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(percentile(&ms, 0.5), 3.0);
+        assert_eq!(percentile(&ms, 0.99), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn report_renders_with_schema() {
+        let cfg = HarnessConfig::default();
+        let stats = PhaseStats {
+            requests: 10,
+            errors: 0,
+            throughput_rps: 123.4567,
+            p50_ms: 1.5,
+            p99_ms: 9.25,
+        };
+        let r = HarnessReport {
+            config: cfg,
+            cold: stats.clone(),
+            repeat: stats,
+            repeat_cache_hit_rate: 0.99,
+            violations: vec![],
+        };
+        let s = render_report(&r);
+        assert!(s.contains("\"schema\":\"mpds-service/load_harness/v1\""));
+        assert!(s.contains("\"throughput_rps\":123.457"));
+        assert!(s.contains("\"repeat_cache_hit_rate\":0.99"));
+        assert!(s.ends_with("}\n"));
+    }
+}

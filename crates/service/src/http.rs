@@ -1,0 +1,611 @@
+//! Thread-pool HTTP/1.1 front end over `std::net::TcpListener`.
+//!
+//! Hand-rolled on purpose: the workspace vendors no HTTP or async stack,
+//! and the protocol surface a deterministic query API needs is tiny — GET
+//! with a query string in, JSON out, `Connection: close`. What matters is
+//! the concurrency shape:
+//!
+//! * one acceptor thread + N worker threads over a **bounded** connection
+//!   queue — the admission-control point. A full queue is answered `503`
+//!   immediately from the acceptor instead of queueing unbounded work;
+//! * graceful shutdown: the shutdown flag doubles as the engine's
+//!   cancellation flag, so in-flight estimator loops stop cooperatively at
+//!   their next sampled world.
+//!
+//! ## Endpoints
+//!
+//! | Path | Reply |
+//! |---|---|
+//! | `GET /healthz` | `{"status":"ok"}` |
+//! | `GET /datasets` | registry listing (name, loaded, shape) |
+//! | `GET /dataset?name=D` | dataset stats (forces construction) |
+//! | `GET /query?dataset=D&…` | MPDS/NDS query (see [`crate::engine`]) |
+//! | `GET /metrics` | cache/engine/server counters |
+
+use crate::engine::{Algo, QueryEngine, QueryError, QueryRequest};
+use crate::json::{error_body, JsonWriter};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling requests.
+    pub threads: usize,
+    /// Bounded accepted-connection queue; a full queue answers `503`.
+    pub queue_capacity: usize,
+    /// Per-connection read timeout (slowloris guard).
+    pub read_timeout: Duration,
+    /// Deadline applied to queries that supply no `timeout_ms` of their
+    /// own. Without a ceiling, a handful of `theta=1000000` requests could
+    /// pin every worker indefinitely and 503 all later traffic — the
+    /// compute-side counterpart of the bounded queue. `None` disables it.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(10),
+            default_timeout: Some(Duration::from_secs(120)),
+        }
+    }
+}
+
+struct ServerState {
+    engine: Arc<QueryEngine>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_capacity: usize,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+    read_timeout: Duration,
+    default_timeout: Option<Duration>,
+    /// Connections answered 503 at the admission gate.
+    rejected: AtomicU64,
+    /// Requests fully served (any status).
+    served: AtomicU64,
+    /// Live rejection-drain threads (bounded; see `acceptor_loop`).
+    rejecters: AtomicU64,
+}
+
+/// A running server; dropping it (or calling [`Server::shutdown`]) stops the
+/// acceptor, drains the workers, and cancels in-flight estimator loops.
+pub struct Server {
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor + worker threads.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        engine: Arc<QueryEngine>,
+        cfg: &ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            engine,
+            queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity)),
+            queue_capacity: cfg.queue_capacity.max(1),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            read_timeout: cfg.read_timeout,
+            default_timeout: cfg.default_timeout,
+            rejected: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            rejecters: AtomicU64::new(0),
+        });
+        let workers = (0..cfg.threads.max(1))
+            .map(|i| {
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("mpds-worker-{i}"))
+                    .spawn(move || worker_loop(&state))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("mpds-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &state))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            local_addr,
+            state,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting, cancels in-flight queries, drains and joins all
+    /// threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.state.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Cancel running estimator loops cooperatively.
+        self.state
+            .engine
+            .cancel_flag()
+            .store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking accept() with a loopback connect.
+        // An unspecified bind address (0.0.0.0 / ::) is not connectable on
+        // every platform, so target the loopback interface on our port.
+        let mut wake_addr = self.local_addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(match wake_addr.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(1));
+        // Notify while holding the queue mutex: a worker that just checked
+        // the shutdown flag under this lock is either still before its
+        // wait() (blocked on the mutex we hold, so it will re-check) or
+        // already waiting (so it receives this notification). Notifying
+        // without the lock could fire in that check-to-wait window and be
+        // lost, leaving the worker asleep forever.
+        {
+            let _queue = self.state.queue.lock().unwrap();
+            self.state.work_ready.notify_all();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (e.g. EMFILE under a connection
+                // flood) would otherwise hard-spin the acceptor at 100%
+                // CPU; back off briefly and let descriptors free up.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut queue = state.queue.lock().unwrap();
+        if queue.len() >= state.queue_capacity {
+            drop(queue);
+            state.rejected.fetch_add(1, Ordering::Relaxed);
+            // Answer the rejection off-thread: draining the request head
+            // does blocking reads, and a stalled acceptor at exactly the
+            // overload moment would turn load-shedding into a slowloris
+            // amplifier. The drain threads are themselves bounded — past
+            // the cap (or on spawn failure) the connection is dropped
+            // without a body, which is the right overload behavior: a
+            // flood must not buy one 2s-lived thread per connection.
+            const MAX_REJECTERS: u64 = 32;
+            if state.rejecters.fetch_add(1, Ordering::AcqRel) >= MAX_REJECTERS {
+                state.rejecters.fetch_sub(1, Ordering::AcqRel);
+                continue;
+            }
+            let drain_timeout = state.read_timeout.min(Duration::from_secs(2));
+            let thread_state = Arc::clone(state);
+            let spawned = std::thread::Builder::new()
+                .name("mpds-reject".to_string())
+                .spawn(move || {
+                    respond_overloaded(stream, drain_timeout);
+                    thread_state.rejecters.fetch_sub(1, Ordering::AcqRel);
+                });
+            if spawned.is_err() {
+                state.rejecters.fetch_sub(1, Ordering::AcqRel);
+            }
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        state.work_ready.notify_one();
+    }
+}
+
+/// Answers a connection rejected at the admission gate. The request head is
+/// drained first (bounded by a short timeout): closing a socket with unread
+/// received data sends RST, which would destroy the 503 before the client
+/// reads it.
+fn respond_overloaded(mut stream: TcpStream, drain_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(drain_timeout));
+    let _ = stream.set_write_timeout(Some(drain_timeout));
+    let _ = read_request_target(&mut stream);
+    let body = error_body("server overloaded: connection queue full");
+    let _ = write_response(
+        &mut stream,
+        503,
+        "Service Unavailable",
+        body.as_bytes(),
+        None,
+    );
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    loop {
+        let stream = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = state.work_ready.wait(queue).unwrap();
+            }
+        };
+        handle_connection(stream, state);
+        state.served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A response body: owned text for small/metadata replies, or the engine's
+/// shared cache bytes written without copying.
+enum Body {
+    Text(String),
+    Shared(std::sync::Arc<Vec<u8>>),
+}
+
+impl Body {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Body::Text(s) => s.as_bytes(),
+            Body::Shared(b) => b,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(state.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.read_timeout));
+    let target = match read_request_target(&mut stream) {
+        Ok(t) => t,
+        Err(msg) => {
+            let _ = write_response(
+                &mut stream,
+                400,
+                "Bad Request",
+                error_body(&msg).as_bytes(),
+                None,
+            );
+            return;
+        }
+    };
+    let (status, reason, body, cache_header) = route(&target, state);
+    let _ = write_response(&mut stream, status, reason, body.as_bytes(), cache_header);
+}
+
+/// Reads the request head and returns the request target (path + query).
+/// Only `GET` is served; the body, if any, is ignored.
+fn read_request_target(stream: &mut TcpStream) -> Result<String, String> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+        if buf.len() > 64 * 1024 {
+            return Err("request head too large".to_string());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request")?;
+    let target = parts.next().ok_or("missing request target")?;
+    if method != "GET" {
+        return Err(format!("method {method} not supported (GET only)"));
+    }
+    Ok(target.to_string())
+}
+
+/// Dispatches one request target to a `(status, reason, body, x_cache)`.
+fn route(target: &str, state: &ServerState) -> (u16, &'static str, Body, Option<&'static str>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let bad = |msg: String| (400, "Bad Request", Body::Text(error_body(&msg)), None);
+    match path {
+        "/" | "/healthz" => {
+            let mut w = JsonWriter::new();
+            w.begin_object().field_str("status", "ok").end_object();
+            (200, "OK", Body::Text(w.finish()), None)
+        }
+        "/datasets" => (200, "OK", Body::Text(render_datasets(state)), None),
+        "/dataset" => match single_param(query, "name") {
+            Err(msg) => bad(msg),
+            Ok(name) => match state.engine.registry().get(&name) {
+                Err(msg) => bad(msg),
+                Ok(g) => (
+                    200,
+                    "OK",
+                    Body::Text(crate::engine::render_stats(&name, &g.graph)),
+                    None,
+                ),
+            },
+        },
+        "/query" => match parse_query_request(query) {
+            Err(msg) => bad(msg),
+            Ok(mut req) => {
+                // Server-side compute ceiling: queries without their own
+                // deadline get the configured default so no request can
+                // pin a worker indefinitely.
+                if req.timeout_ms.is_none() {
+                    req.timeout_ms = state.default_timeout.map(|d| d.as_millis() as u64);
+                }
+                match state.engine.execute(&req) {
+                    Ok((body, source)) => (200, "OK", Body::Shared(body), Some(source.as_str())),
+                    Err(e) => query_error_response(&e),
+                }
+            }
+        },
+        "/metrics" => (200, "OK", Body::Text(render_metrics(state)), None),
+        _ => (
+            404,
+            "Not Found",
+            Body::Text(error_body("no such endpoint")),
+            None,
+        ),
+    }
+}
+
+fn query_error_response(e: &QueryError) -> (u16, &'static str, Body, Option<&'static str>) {
+    let (status, reason) = match e {
+        QueryError::BadRequest(_) => (400, "Bad Request"),
+        QueryError::DeadlineExceeded { .. } => (504, "Gateway Timeout"),
+        QueryError::Cancelled => (503, "Service Unavailable"),
+        QueryError::Internal(_) => (500, "Internal Server Error"),
+    };
+    (status, reason, Body::Text(error_body(&e.to_string())), None)
+}
+
+fn render_datasets(state: &ServerState) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object().key("datasets").begin_array();
+    for d in state.engine.registry().list() {
+        w.begin_object()
+            .field_str("name", &d.name)
+            .field_bool("loaded", d.loaded);
+        if let Some((n, m)) = d.shape {
+            w.field_uint("nodes", n as u64)
+                .field_uint("edges", m as u64);
+        }
+        w.end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+fn render_metrics(state: &ServerState) -> String {
+    let s = state.engine.stats();
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .key("cache")
+        .begin_object()
+        .field_uint("hits", s.cache.hits)
+        .field_uint("misses", s.cache.misses)
+        .field_uint("entries", s.cache.entries as u64)
+        .field_uint("capacity", s.cache.capacity as u64)
+        .end_object()
+        .field_uint("computed", s.computed)
+        .field_uint("coalesced", s.coalesced)
+        .field_uint("rejected", state.rejected.load(Ordering::Relaxed))
+        .field_uint("served", state.served.load(Ordering::Relaxed))
+        .end_object();
+    w.finish()
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &[u8],
+    x_cache: Option<&str>,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    if let Some(v) = x_cache {
+        head.push_str(&format!("X-Cache: {v}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Extracts the single parameter `want` from a query string.
+fn single_param(query: &str, want: &str) -> Result<String, String> {
+    for (k, v) in query_pairs(query)? {
+        if k == want {
+            return Ok(v);
+        }
+    }
+    Err(format!("missing parameter {want:?}"))
+}
+
+/// Splits and percent-decodes `k=v&k=v` pairs.
+fn query_pairs(query: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for pair in query.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        out.push((percent_decode(k)?, percent_decode(v)?));
+    }
+    Ok(out)
+}
+
+/// Minimal percent-decoding (`%XX` and `+` for space).
+fn percent_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| format!("truncated percent escape in {s:?}"))?;
+                let hex = std::str::from_utf8(hex).map_err(|_| "bad escape".to_string())?;
+                let byte = u8::from_str_radix(hex, 16)
+                    .map_err(|_| format!("bad percent escape %{hex}"))?;
+                out.push(byte);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("query parameter {s:?} is not UTF-8"))
+}
+
+/// Parses `/query` parameters into a [`QueryRequest`]. Unknown and
+/// duplicate parameters are rejected — same contract as the CLI flags.
+fn parse_query_request(query: &str) -> Result<QueryRequest, String> {
+    let pairs = query_pairs(query)?;
+    let dataset = pairs
+        .iter()
+        .find(|(k, _)| k == "dataset")
+        .map(|(_, v)| v.clone())
+        .ok_or("missing parameter \"dataset\"")?;
+    let mut req = QueryRequest::new(&dataset);
+    let mut seen = std::collections::HashSet::new();
+    for (k, v) in &pairs {
+        // `density` is an alias of `notion`; canonicalize before the
+        // duplicate check so `notion=…&density=…` cannot sneak past it.
+        let canonical = if k == "density" { "notion" } else { k.as_str() };
+        if !seen.insert(canonical.to_string()) {
+            return Err(format!("duplicate parameter {canonical:?}"));
+        }
+        let parse_usize = || v.parse::<usize>().map_err(|e| format!("{k}: {e}"));
+        match k.as_str() {
+            "dataset" => {}
+            "algo" => req.algo = Algo::parse(v)?,
+            "notion" | "density" => req.notion = v.clone(),
+            "theta" => req.theta = parse_usize()?,
+            "k" => req.k = parse_usize()?,
+            "lm" => req.lm = parse_usize()?,
+            "seed" => req.seed = v.parse().map_err(|e| format!("seed: {e}"))?,
+            "heuristic" => {
+                req.heuristic = match v.as_str() {
+                    "true" | "1" | "" => true,
+                    "false" | "0" => false,
+                    other => return Err(format!("heuristic: bad boolean {other:?}")),
+                }
+            }
+            "timeout_ms" => {
+                req.timeout_ms = Some(v.parse().map_err(|e| format!("timeout_ms: {e}"))?)
+            }
+            other => return Err(format!("unknown parameter {other:?}")),
+        }
+    }
+    Ok(req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c").unwrap(), "a b c");
+        assert_eq!(percent_decode("plain").unwrap(), "plain");
+        assert!(percent_decode("bad%2").is_err());
+        assert!(percent_decode("bad%zz").is_err());
+    }
+
+    #[test]
+    fn query_request_parsing() {
+        let req = parse_query_request("dataset=karate&theta=100&k=2&seed=7&algo=nds&lm=3").unwrap();
+        assert_eq!(req.dataset, "karate");
+        assert_eq!(req.theta, 100);
+        assert_eq!(req.k, 2);
+        assert_eq!(req.seed, 7);
+        assert_eq!(req.algo, Algo::Nds);
+        assert_eq!(req.lm, 3);
+        assert!(!req.heuristic);
+    }
+
+    #[test]
+    fn query_request_rejects_unknown_and_duplicates() {
+        assert!(parse_query_request("theta=5")
+            .unwrap_err()
+            .contains("dataset"));
+        assert!(parse_query_request("dataset=karate&bogus=1")
+            .unwrap_err()
+            .contains("unknown parameter"));
+        assert!(parse_query_request("dataset=karate&theta=1&theta=2")
+            .unwrap_err()
+            .contains("duplicate parameter"));
+        // `density` aliases `notion`: mixing them is a duplicate too.
+        assert!(
+            parse_query_request("dataset=karate&notion=edge&density=2star")
+                .unwrap_err()
+                .contains("duplicate parameter \"notion\"")
+        );
+    }
+
+    #[test]
+    fn heuristic_flag_forms() {
+        assert!(
+            parse_query_request("dataset=karate&heuristic=true")
+                .unwrap()
+                .heuristic
+        );
+        assert!(
+            parse_query_request("dataset=karate&heuristic=1")
+                .unwrap()
+                .heuristic
+        );
+        assert!(
+            !parse_query_request("dataset=karate&heuristic=false")
+                .unwrap()
+                .heuristic
+        );
+        assert!(parse_query_request("dataset=karate&heuristic=maybe").is_err());
+    }
+}

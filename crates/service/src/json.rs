@@ -1,0 +1,215 @@
+//! Minimal deterministic JSON writer.
+//!
+//! The vendored `serde` is a marker-trait shim (see `vendor/README.md`), so
+//! the service serializes by hand. Determinism is the point, not a
+//! limitation: the cache and the load harness both assert that identical
+//! queries produce **bytewise-identical** response bodies, so every field is
+//! emitted in a fixed order with a fixed float formatting (Rust's shortest
+//! round-trip `{}`), no maps with nondeterministic iteration order anywhere.
+
+/// Incremental writer for one JSON document.
+///
+/// Objects and arrays are driven by the caller (`begin_object` / `key` /
+/// `end_object`, …); commas are inserted automatically. The writer does not
+/// validate nesting — it is an internal tool for fixed response shapes, and
+/// the unit tests pin those shapes.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// Whether the next value at each nesting level needs a leading comma.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Finishes the document and returns the bytes.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    fn before_value(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Opens an object (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.before_value();
+        self.buf.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.buf.push('}');
+        self
+    }
+
+    /// Opens an array (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.before_value();
+        self.buf.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.buf.push(']');
+        self
+    }
+
+    /// Emits an object key. The following call must emit its value.
+    pub fn key(&mut self, name: &str) -> &mut Self {
+        self.before_value();
+        write_escaped(&mut self.buf, name);
+        self.buf.push(':');
+        // The value that follows the key must not get a comma of its own.
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = false;
+        }
+        self
+    }
+
+    /// Emits a string value.
+    pub fn string(&mut self, value: &str) -> &mut Self {
+        self.before_value();
+        write_escaped(&mut self.buf, value);
+        self
+    }
+
+    /// Emits an unsigned integer value.
+    pub fn uint(&mut self, value: u64) -> &mut Self {
+        self.before_value();
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Emits a float value with Rust's shortest round-trip formatting
+    /// (non-finite values, which valid responses never contain, become
+    /// `null`).
+    pub fn float(&mut self, value: f64) -> &mut Self {
+        self.before_value();
+        if value.is_finite() {
+            let s = format!("{value}");
+            // `{}` prints integral floats without a dot; keep them floats.
+            self.buf.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                self.buf.push_str(".0");
+            }
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Emits a boolean value.
+    pub fn boolean(&mut self, value: bool) -> &mut Self {
+        self.before_value();
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Convenience: `key` + `string`.
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name).string(value)
+    }
+
+    /// Convenience: `key` + `uint`.
+    pub fn field_uint(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name).uint(value)
+    }
+
+    /// Convenience: `key` + `float`.
+    pub fn field_float(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name).float(value)
+    }
+
+    /// Convenience: `key` + `boolean`.
+    pub fn field_bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name).boolean(value)
+    }
+}
+
+/// Writes `s` as a JSON string literal (quotes + escapes) into `out`.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a one-field error document: `{"error":"..."}`.
+pub fn error_body(message: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object().field_str("error", message).end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_shape() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("name", "a\"b")
+            .field_uint("n", 3)
+            .key("results")
+            .begin_array();
+        for (nodes, score) in [(vec![1u64, 3], 0.42), (vec![2], 0.5)] {
+            w.begin_object().key("nodes").begin_array();
+            for v in nodes {
+                w.uint(v);
+            }
+            w.end_array().field_float("score", score).end_object();
+        }
+        w.end_array().field_bool("ok", true).end_object();
+        assert_eq!(
+            w.finish(),
+            "{\"name\":\"a\\\"b\",\"n\":3,\"results\":[{\"nodes\":[1,3],\"score\":0.42},{\"nodes\":[2],\"score\":0.5}],\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn floats_stay_floats_and_escapes_cover_controls() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_float("one", 1.0)
+            .field_float("nan", f64::NAN)
+            .field_str("ctl", "a\u{1}\tb")
+            .end_object();
+        assert_eq!(
+            w.finish(),
+            "{\"one\":1.0,\"nan\":null,\"ctl\":\"a\\u0001\\tb\"}"
+        );
+    }
+
+    #[test]
+    fn error_body_shape() {
+        assert_eq!(error_body("bad"), "{\"error\":\"bad\"}");
+    }
+}

@@ -1,0 +1,35 @@
+//! `mpds-service`: a concurrent query-serving subsystem for the MPDS/NDS
+//! estimators.
+//!
+//! The batch pipeline (`mpds-cli mpds …`) pays dataset construction plus a
+//! full θ-world estimator run per invocation. This crate turns that into a
+//! serving layer exploiting the estimators' central operational property:
+//! **results are deterministic given `(dataset, algo, notion, θ, k, l_m,
+//! seed, heuristic)`** — so repeats are cacheable forever and identical
+//! concurrent queries are coalesceable into one computation.
+//!
+//! Layers (each usable on its own):
+//!
+//! * [`registry`] — named datasets (built-ins + weighted-edge-list files)
+//!   constructed once, shared as `Arc`s, build-coalesced;
+//! * [`engine`] — typed [`engine::QueryRequest`]/deterministic JSON
+//!   responses, per-request deadlines via [`mpds::control`], a sharded LRU
+//!   result [`cache`], and in-flight request coalescing;
+//! * [`http`] — a std-only thread-pool HTTP/1.1 front end with a bounded
+//!   admission queue (503 on overload) and cooperative-cancel shutdown;
+//! * [`harness`] — the loopback load harness behind `BENCH_pr3.json` and
+//!   the CI `service-smoke` job;
+//! * [`json`] — the byte-stable JSON writer everything serializes through
+//!   (the vendored serde is a no-op shim; determinism is asserted, not
+//!   hoped for).
+
+pub mod cache;
+pub mod engine;
+pub mod harness;
+pub mod http;
+pub mod json;
+pub mod registry;
+
+pub use engine::{Algo, EngineConfig, QueryEngine, QueryError, QueryRequest, ResponseSource};
+pub use http::{Server, ServerConfig};
+pub use registry::GraphRegistry;

@@ -1,0 +1,289 @@
+//! Graph registry: named datasets loaded once, shared immutably.
+//!
+//! The serving layer must never pay dataset construction per query — the
+//! registry maps names to lazily-built, `Arc`-shared [`UncertainGraph`]s.
+//! Built-ins cover the embedded Karate Club and the deterministic synthetic
+//! stand-ins of `ugraph::datasets`; arbitrary weighted-edge-list files can
+//! be registered alongside them (the CLI's `serve --dataset NAME=PATH`).
+//!
+//! Construction is coalesced: each entry holds a [`OnceLock`], so N
+//! concurrent first-queries on the same dataset build it exactly once while
+//! the others block on that build — the same discipline the result cache
+//! applies to query computation.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+use ugraph::{datasets, io, NodeId, UncertainGraph};
+
+/// A loaded dataset: the shared graph plus the label of every compact node
+/// id (file-backed datasets keep their original labels; built-ins are
+/// identity-labeled).
+#[derive(Debug)]
+pub struct LoadedGraph {
+    /// Registry name.
+    pub name: String,
+    /// The uncertain graph (CSR; immutable).
+    pub graph: UncertainGraph,
+    /// Original node label per compact id, when the source had its own
+    /// labels (`None` means identity).
+    pub labels: Option<Vec<u32>>,
+}
+
+impl LoadedGraph {
+    /// The display label of compact node id `v`.
+    pub fn label_of(&self, v: NodeId) -> u32 {
+        match &self.labels {
+            Some(l) => l[v as usize],
+            None => v,
+        }
+    }
+}
+
+/// Where a registry entry's graph comes from.
+enum Source {
+    /// A named constructor over `ugraph::datasets` (deterministic per seed).
+    Builtin(fn() -> datasets::Dataset),
+    /// A weighted edge-list file (`u v p` per line).
+    File(PathBuf),
+}
+
+struct Entry {
+    source: Source,
+    /// Build-once cell; errors are cached too (a bad file stays bad).
+    cell: OnceLock<Result<Arc<LoadedGraph>, String>>,
+}
+
+/// Immutable-after-construction name → dataset table.
+///
+/// All registration happens before serving starts, so lookups need no lock;
+/// only the per-entry [`OnceLock`] synchronizes lazy construction.
+pub struct GraphRegistry {
+    entries: BTreeMap<String, Entry>,
+}
+
+/// Metadata row returned by [`GraphRegistry::list`]. Stats are only present
+/// for datasets that have already been built — listing must stay cheap.
+#[derive(Debug, Clone)]
+pub struct DatasetInfo {
+    /// Registry name.
+    pub name: String,
+    /// Whether the graph has been constructed in this process.
+    pub loaded: bool,
+    /// `(nodes, edges)` when loaded.
+    pub shape: Option<(usize, usize)>,
+}
+
+impl GraphRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        GraphRegistry {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// A registry preloaded with every built-in dataset.
+    ///
+    /// Names follow the paper's Table II (lower-case, `-like` dropped):
+    /// `karate`, `intel-lab`, `lastfm`, `homo-sapiens`, `biomine`,
+    /// `twitter`, `friendster`, and the §VI-H accuracy graphs `ba7`/`ba9`/
+    /// `er7`/`er9`. All are deterministic: fixed construction seeds, so two
+    /// servers hold identical graphs and identical queries return identical
+    /// bytes across processes.
+    pub fn with_builtins() -> Self {
+        let mut r = GraphRegistry::new();
+        r.register_builtin("karate", datasets::karate_club);
+        r.register_builtin("intel-lab", || datasets::intel_lab_like(1));
+        r.register_builtin("lastfm", || datasets::lastfm_like(1));
+        r.register_builtin("homo-sapiens", || datasets::homo_sapiens_like(1));
+        r.register_builtin("biomine", || datasets::biomine_like(1));
+        r.register_builtin("twitter", || datasets::twitter_like(1));
+        r.register_builtin("friendster", || datasets::friendster_like(1));
+        r.register_builtin("ba7", || datasets::synthetic_accuracy_graph("BA7", 42));
+        r.register_builtin("ba9", || datasets::synthetic_accuracy_graph("BA9", 42));
+        r.register_builtin("er7", || datasets::synthetic_accuracy_graph("ER7", 42));
+        r.register_builtin("er9", || datasets::synthetic_accuracy_graph("ER9", 42));
+        r
+    }
+
+    /// Registers a built-in constructor under `name` (replacing any previous
+    /// entry of that name).
+    pub fn register_builtin(&mut self, name: &str, build: fn() -> datasets::Dataset) {
+        self.entries.insert(
+            name.to_string(),
+            Entry {
+                source: Source::Builtin(build),
+                cell: OnceLock::new(),
+            },
+        );
+    }
+
+    /// Registers a weighted edge-list file under `name`. The file is read
+    /// on first query, not here; a missing/corrupt file surfaces as a query
+    /// error (and is cached as such).
+    pub fn register_file(&mut self, name: &str, path: impl Into<PathBuf>) {
+        self.entries.insert(
+            name.to_string(),
+            Entry {
+                source: Source::File(path.into()),
+                cell: OnceLock::new(),
+            },
+        );
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Cheap metadata for every entry (never triggers construction).
+    pub fn list(&self) -> Vec<DatasetInfo> {
+        self.entries
+            .iter()
+            .map(|(name, e)| {
+                let loaded = matches!(e.cell.get(), Some(Ok(_)));
+                let shape = match e.cell.get() {
+                    Some(Ok(g)) => Some((g.graph.num_nodes(), g.graph.num_edges())),
+                    _ => None,
+                };
+                DatasetInfo {
+                    name: name.clone(),
+                    loaded,
+                    shape,
+                }
+            })
+            .collect()
+    }
+
+    /// Fetches (building on first use) the dataset named `name`.
+    ///
+    /// Concurrent first calls coalesce on the entry's `OnceLock`: one
+    /// caller builds, the rest block until the build finishes and share the
+    /// same `Arc`.
+    pub fn get(&self, name: &str) -> Result<Arc<LoadedGraph>, String> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| format!("unknown dataset {name:?} (try /datasets)"))?;
+        entry
+            .cell
+            .get_or_init(|| build(name, &entry.source))
+            .clone()
+    }
+}
+
+impl Default for GraphRegistry {
+    fn default() -> Self {
+        GraphRegistry::with_builtins()
+    }
+}
+
+/// Loads a weighted edge-list file (`u v p` per line) as a [`LoadedGraph`]
+/// with the file's original node labels preserved — the single file-loading
+/// path shared by [`GraphRegistry`] entries and the CLI.
+pub fn load_edge_list_file(name: &str, path: &std::path::Path) -> Result<LoadedGraph, String> {
+    let file =
+        std::fs::File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let (graph, labels) = io::read_weighted_edge_list(file).map_err(|e| e.to_string())?;
+    Ok(LoadedGraph {
+        name: name.to_string(),
+        graph,
+        labels: Some(labels),
+    })
+}
+
+fn build(name: &str, source: &Source) -> Result<Arc<LoadedGraph>, String> {
+    match source {
+        Source::Builtin(f) => {
+            let d = f();
+            Ok(Arc::new(LoadedGraph {
+                name: name.to_string(),
+                graph: d.graph,
+                labels: None,
+            }))
+        }
+        Source::File(path) => load_edge_list_file(name, path)
+            .map(Arc::new)
+            .map_err(|e| format!("dataset {name:?}: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn builtin_karate_loads_and_lists() {
+        let r = GraphRegistry::with_builtins();
+        assert!(r.names().contains(&"karate".to_string()));
+        let before = r.list();
+        let karate_row = before.iter().find(|d| d.name == "karate").unwrap();
+        assert!(!karate_row.loaded, "listing must not trigger construction");
+
+        let g = r.get("karate").unwrap();
+        assert_eq!(g.graph.num_nodes(), 34);
+        assert_eq!(g.graph.num_edges(), 78);
+        assert_eq!(g.label_of(5), 5);
+
+        let after = r.list();
+        let karate_row = after.iter().find(|d| d.name == "karate").unwrap();
+        assert!(karate_row.loaded);
+        assert_eq!(karate_row.shape, Some((34, 78)));
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let r = GraphRegistry::with_builtins();
+        assert!(r.get("nope").unwrap_err().contains("unknown dataset"));
+    }
+
+    #[test]
+    fn repeated_gets_share_one_arc() {
+        let r = GraphRegistry::with_builtins();
+        let a = r.get("ba7").unwrap();
+        let b = r.get("ba7").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn concurrent_first_gets_build_once() {
+        static BUILDS: AtomicUsize = AtomicUsize::new(0);
+        fn counting_build() -> datasets::Dataset {
+            BUILDS.fetch_add(1, Ordering::SeqCst);
+            // Slow the build down so racers genuinely overlap.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            datasets::karate_club()
+        }
+        let mut r = GraphRegistry::new();
+        r.register_builtin("slow", counting_build);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| r.get("slow").unwrap());
+            }
+        });
+        assert_eq!(BUILDS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn file_dataset_roundtrip_and_error_caching() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mpds-registry-test-{}.txt", std::process::id()));
+        std::fs::write(&path, "10 20 0.5\n20 30 0.25\n").unwrap();
+        let mut r = GraphRegistry::new();
+        r.register_file("mine", &path);
+        r.register_file("missing", dir.join("definitely-not-here-xyz.txt"));
+
+        let g = r.get("mine").unwrap();
+        assert_eq!(g.graph.num_nodes(), 3);
+        assert_eq!(g.label_of(0), 10);
+        std::fs::remove_file(&path).unwrap();
+        // Already built: the deleted file does not matter.
+        assert!(r.get("mine").is_ok());
+
+        let e1 = r.get("missing").unwrap_err();
+        let e2 = r.get("missing").unwrap_err();
+        assert_eq!(e1, e2);
+        assert!(e1.contains("cannot open"));
+    }
+}

@@ -21,6 +21,9 @@ fn demo_file() -> tempfile::TempPath {
 /// temp file deleted on drop.
 mod tempfile {
     use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
 
     pub struct NamedTempFile {
         pub file: std::fs::File,
@@ -32,9 +35,9 @@ mod tempfile {
     impl NamedTempFile {
         pub fn new() -> Self {
             let path = std::env::temp_dir().join(format!(
-                "mpds-cli-test-{}-{:?}",
+                "mpds-cli-test-{}-{}",
                 std::process::id(),
-                std::thread::current().id()
+                COUNTER.fetch_add(1, Ordering::Relaxed),
             ));
             let file = std::fs::File::create(&path).unwrap();
             NamedTempFile { file, path }
@@ -69,6 +72,19 @@ fn stats_command() {
 }
 
 #[test]
+fn stats_json_flag() {
+    let path = demo_file();
+    let out = cli()
+        .args(["stats", path.as_str(), "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"nodes\":4"), "{text}");
+    assert!(text.contains("\"edges\":3"), "{text}");
+}
+
+#[test]
 fn mpds_command_finds_bd() {
     let path = demo_file();
     let out = cli()
@@ -79,6 +95,37 @@ fn mpds_command_finds_bd() {
     let text = String::from_utf8(out.stdout).unwrap();
     // The MPDS is {B, D} = labels {2, 4}.
     assert!(text.contains("{2, 4}"), "{text}");
+}
+
+#[test]
+fn mpds_json_flag_is_deterministic() {
+    let path = demo_file();
+    let run = || {
+        let out = cli()
+            .args([
+                "mpds",
+                path.as_str(),
+                "--theta",
+                "500",
+                "--k",
+                "2",
+                "--seed",
+                "7",
+                "--json",
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        out.stdout
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "same seed must give identical JSON bytes");
+    let text = String::from_utf8(a).unwrap();
+    assert!(text.contains("\"algo\":\"mpds\""), "{text}");
+    assert!(text.contains("\"score\":\"tau_hat\""), "{text}");
+    // Results use the file's original labels (2 and 4 are B and D).
+    assert!(text.contains("\"nodes\":[2,4]"), "{text}");
 }
 
 #[test]
@@ -100,6 +147,19 @@ fn nds_command_runs() {
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("gamma_hat"));
+}
+
+#[test]
+fn nds_json_flag() {
+    let path = demo_file();
+    let out = cli()
+        .args(["nds", path.as_str(), "--theta", "200", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("\"score\":\"gamma_hat\""), "{text}");
+    assert!(text.contains("\"lm\":2"), "{text}");
 }
 
 #[test]
@@ -141,4 +201,25 @@ fn bad_arguments_fail_gracefully() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+}
+
+#[test]
+fn unknown_and_duplicate_flags_fail_with_usage() {
+    let path = demo_file();
+    let out = cli()
+        .args(["mpds", path.as_str(), "--bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown option"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+
+    let out = cli()
+        .args(["mpds", path.as_str(), "--theta", "5", "--theta", "6"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("duplicate option"), "{err}");
 }

@@ -1,0 +1,202 @@
+//! End-to-end loopback tests: a real server on an ephemeral port, real HTTP
+//! requests from client threads.
+
+use mpds_service::harness::{http_get, wait_until_healthy, Exchange};
+use mpds_service::{EngineConfig, GraphRegistry, QueryEngine, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server(engine_cfg: &EngineConfig, server_cfg: &ServerConfig) -> Server {
+    let engine = Arc::new(QueryEngine::new(GraphRegistry::with_builtins(), engine_cfg));
+    Server::bind("127.0.0.1:0", engine, server_cfg).expect("bind ephemeral port")
+}
+
+fn get(server: &Server, path: &str) -> Exchange {
+    http_get(server.local_addr(), path, Duration::from_secs(60)).expect("http_get")
+}
+
+#[test]
+fn health_datasets_and_errors() {
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    wait_until_healthy(server.local_addr(), Duration::from_secs(5)).unwrap();
+
+    let e = get(&server, "/healthz");
+    assert_eq!(e.status, 200);
+    assert_eq!(e.body, b"{\"status\":\"ok\"}");
+
+    let e = get(&server, "/datasets");
+    assert_eq!(e.status, 200);
+    let text = String::from_utf8(e.body).unwrap();
+    assert!(text.contains("\"name\":\"karate\""), "{text}");
+    assert!(text.contains("\"name\":\"intel-lab\""), "{text}");
+
+    // Forcing stats loads the dataset.
+    let e = get(&server, "/dataset?name=karate");
+    assert_eq!(e.status, 200);
+    let text = String::from_utf8(e.body).unwrap();
+    assert!(text.contains("\"nodes\":34"), "{text}");
+    assert!(text.contains("\"edges\":78"), "{text}");
+
+    assert_eq!(get(&server, "/nope").status, 404);
+    assert_eq!(get(&server, "/dataset?name=ghost").status, 400);
+    assert_eq!(get(&server, "/query?dataset=ghost").status, 400);
+    assert_eq!(get(&server, "/query?dataset=karate&theta=0").status, 400);
+    assert_eq!(get(&server, "/query?dataset=karate&bogus=1").status, 400);
+    assert_eq!(
+        get(&server, "/query?dataset=karate&theta=1&theta=2").status,
+        400
+    );
+}
+
+#[test]
+fn identical_queries_return_identical_bytes_from_concurrent_clients() {
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let path = "/query?dataset=karate&theta=200&k=3&seed=9";
+
+    let clients = 12;
+    let bodies: Vec<Vec<u8>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                s.spawn(|| {
+                    let e = get(&server, path);
+                    assert_eq!(e.status, 200, "{}", String::from_utf8_lossy(&e.body));
+                    e.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for b in &bodies {
+        assert_eq!(b, &bodies[0], "all responses must be bytewise identical");
+    }
+    // Sequential repeat is also identical (served from cache).
+    let again = get(&server, path);
+    assert_eq!(again.body, bodies[0]);
+
+    // /metrics shows exactly one computation for the whole burst.
+    let metrics = String::from_utf8(get(&server, "/metrics").body).unwrap();
+    assert!(metrics.contains("\"computed\":1"), "{metrics}");
+}
+
+#[test]
+fn timeout_parameter_maps_to_504() {
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let e = get(
+        &server,
+        "/query?dataset=karate&theta=1000000&seed=123456&timeout_ms=0",
+    );
+    assert_eq!(e.status, 504, "{}", String::from_utf8_lossy(&e.body));
+    let text = String::from_utf8(e.body).unwrap();
+    assert!(text.contains("deadline exceeded"), "{text}");
+}
+
+#[test]
+fn saturated_bounded_queue_answers_503() {
+    // 1 worker + queue bound 1: with one slow query computing and one
+    // queued, every further concurrent connection must be turned away with
+    // 503 at the admission gate.
+    let server = start_server(
+        &EngineConfig::default(),
+        &ServerConfig {
+            threads: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        },
+    );
+    // Distinct seeds (and distinct thetas) so nothing coalesces: each
+    // accepted request is a real multi-second-ish computation.
+    let flood = 8;
+    let server_ref = &server;
+    let results: Vec<u16> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..flood)
+            .map(|i| {
+                s.spawn(move || {
+                    let path = format!("/query?dataset=lastfm&theta=40&k=3&seed={}", 500 + i);
+                    get(server_ref, &path).status
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let ok = results.iter().filter(|&&s| s == 200).count();
+    let rejected = results.iter().filter(|&&s| s == 503).count();
+    assert_eq!(
+        ok + rejected,
+        flood,
+        "only 200 or 503 expected: {results:?}"
+    );
+    assert!(ok >= 1, "at least the first request must be served");
+    assert!(
+        rejected >= 1,
+        "a saturated 1-worker/1-slot server must shed load: {results:?}"
+    );
+    let metrics = String::from_utf8(get(&server, "/metrics").body).unwrap();
+    assert!(
+        metrics.contains(&format!("\"rejected\":{rejected}")),
+        "{metrics}"
+    );
+}
+
+#[test]
+fn harness_runs_clean_against_adequately_provisioned_server() {
+    // A miniature version of the CI smoke run: enough queue for the client
+    // burst, 4 workers, cold + repeat phases, all invariants checked.
+    let server = start_server(
+        &EngineConfig {
+            cache_capacity: 512,
+            cache_shards: 8,
+        },
+        &ServerConfig {
+            threads: 4,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    );
+    let cfg = mpds_service::harness::HarnessConfig {
+        addr: server.local_addr(),
+        clients: 8,
+        requests_per_client: 10,
+        server_threads: 4,
+        dataset: "karate".to_string(),
+        theta: 32,
+        k: 3,
+    };
+    let report = mpds_service::harness::run(&cfg);
+    assert!(
+        report.violations.is_empty(),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(report.cold.requests, 8 * 5);
+    assert_eq!(report.repeat.requests, 8 * 5);
+    assert!(report.repeat_cache_hit_rate > 0.9);
+    let rendered = mpds_service::harness::render_report(&report);
+    assert!(rendered.contains("\"schema\":\"mpds-service/load_harness/v1\""));
+}
+
+#[test]
+fn shutdown_cancels_inflight_queries() {
+    let mut server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let addr = server.local_addr();
+    // Launch a long query, give it a moment to start, then shut down: the
+    // cooperative cancel must terminate it promptly with a 503 (not hang).
+    let handle = std::thread::spawn(move || {
+        http_get(
+            addr,
+            "/query?dataset=lastfm&theta=100000&seed=77",
+            Duration::from_secs(60),
+        )
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    let start = std::time::Instant::now();
+    server.shutdown();
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "shutdown must not wait for the full 100k-world query"
+    );
+    // A transport error is also acceptable: the worker may tear the
+    // connection down mid-exchange.
+    if let Ok(e) = handle.join().unwrap() {
+        assert_eq!(e.status, 503, "{}", String::from_utf8_lossy(&e.body));
+    }
+}

@@ -8,5 +8,6 @@ pub use densest;
 pub use itemset;
 pub use maxflow;
 pub use mpds;
+pub use mpds_service;
 pub use sampling;
 pub use ugraph;
