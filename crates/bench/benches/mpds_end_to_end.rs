@@ -1,12 +1,9 @@
-//! End-to-end Algorithm 1 and Algorithm 5 costs at fixed θ.
+//! End-to-end Algorithm 1 and Algorithm 5 costs at fixed θ, driven through
+//! the `mpds::api` builder (the crate's single entry point).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use densest::DensityNotion;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
-use mpds::nds::{top_k_nds, NdsConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds::api::Query;
 use ugraph::datasets;
 
 fn bench_end_to_end(c: &mut Criterion) {
@@ -16,25 +13,20 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end");
     group.sample_size(10);
     group.bench_function("mpds/karate/theta64", |b| {
-        let cfg = MpdsConfig::new(DensityNotion::Edge, 64, 5);
-        b.iter(|| {
-            let mut mc = MonteCarlo::new(&karate.graph, StdRng::seed_from_u64(7));
-            top_k_mpds(&karate.graph, &mut mc, &cfg)
-        })
+        let query = Query::mpds(DensityNotion::Edge).theta(64).k(5).seed(7);
+        b.iter(|| query.run(&karate.graph).unwrap())
     });
     group.bench_function("mpds/intellab/theta16", |b| {
-        let cfg = MpdsConfig::new(DensityNotion::Edge, 16, 5);
-        b.iter(|| {
-            let mut mc = MonteCarlo::new(&intel.graph, StdRng::seed_from_u64(7));
-            top_k_mpds(&intel.graph, &mut mc, &cfg)
-        })
+        let query = Query::mpds(DensityNotion::Edge).theta(16).k(5).seed(7);
+        b.iter(|| query.run(&intel.graph).unwrap())
     });
     group.bench_function("nds/karate/theta64", |b| {
-        let cfg = NdsConfig::new(DensityNotion::Edge, 64, 5, 2);
-        b.iter(|| {
-            let mut mc = MonteCarlo::new(&karate.graph, StdRng::seed_from_u64(7));
-            top_k_nds(&karate.graph, &mut mc, &cfg)
-        })
+        let query = Query::nds(DensityNotion::Edge)
+            .theta(64)
+            .k(5)
+            .min_size(2)
+            .seed(7);
+        b.iter(|| query.run(&karate.graph).unwrap())
     });
     group.finish();
 }

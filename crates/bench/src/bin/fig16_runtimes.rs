@@ -3,12 +3,9 @@
 //! ones (c: edge + cliques, d: heuristic patterns).
 
 use densest::DensityNotion;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
-use mpds::nds::{top_k_nds, NdsConfig};
-use mpds_bench::{default_theta, fmt_secs, large_datasets, quick_mode, small_datasets, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{
+    default_theta, fmt_secs, large_datasets, quick_mode, setup, small_datasets, Table,
+};
 use ugraph::Pattern;
 
 fn main() {
@@ -39,18 +36,15 @@ fn main() {
         let g = &data.graph;
         let theta = default_theta(&data.name);
         for (label, notion) in clique_notions.iter() {
-            let cfg = MpdsConfig::new(notion.clone(), theta, 1);
-            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-            let (_, el) = mpds_bench::time(|| top_k_mpds(g, &mut mc, &cfg));
-            ta.row(&[data.name.clone(), label.clone(), fmt_secs(el)]);
+            let run = setup::run(&setup::mpds_query(notion.clone(), theta, 1), g);
+            ta.row(&[data.name.clone(), label.clone(), fmt_secs(run.stats.wall)]);
         }
         for (label, notion) in pattern_notions.iter() {
             // Patterns on LastFM-like use the heuristic (paper §III-C remark).
-            let mut cfg = MpdsConfig::new(notion.clone(), theta, 1);
-            cfg.heuristic = data.name == "LastFM-like";
-            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-            let (_, el) = mpds_bench::time(|| top_k_mpds(g, &mut mc, &cfg));
-            tb.row(&[data.name.clone(), label.clone(), fmt_secs(el)]);
+            let query =
+                setup::mpds_query(notion.clone(), theta, 1).heuristic(data.name == "LastFM-like");
+            let run = setup::run(&query, g);
+            tb.row(&[data.name.clone(), label.clone(), fmt_secs(run.stats.wall)]);
         }
     }
     ta.print();
@@ -69,17 +63,13 @@ fn main() {
         let g = &data.graph;
         let theta = default_theta(&data.name);
         for (label, notion) in clique_notions.iter() {
-            let cfg = NdsConfig::new(notion.clone(), theta, 5, 4);
-            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-            let (_, el) = mpds_bench::time(|| top_k_nds(g, &mut mc, &cfg));
-            tc.row(&[data.name.clone(), label.clone(), fmt_secs(el)]);
+            let run = setup::run(&setup::nds_query(notion.clone(), theta, 5, 4), g);
+            tc.row(&[data.name.clone(), label.clone(), fmt_secs(run.stats.wall)]);
         }
         for (label, notion) in pattern_notions.iter() {
-            let mut cfg = NdsConfig::new(notion.clone(), theta, 5, 4);
-            cfg.heuristic = true;
-            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-            let (_, el) = mpds_bench::time(|| top_k_nds(g, &mut mc, &cfg));
-            td.row(&[data.name.clone(), label.clone(), fmt_secs(el)]);
+            let query = setup::nds_query(notion.clone(), theta, 5, 4).heuristic(true);
+            let run = setup::run(&query, g);
+            td.row(&[data.name.clone(), label.clone(), fmt_secs(run.stats.wall)]);
         }
     }
     tc.print();

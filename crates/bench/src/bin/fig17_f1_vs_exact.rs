@@ -3,12 +3,8 @@
 //! synthetic graphs, for k ∈ {5, 10} and edge/3-clique/diamond densities.
 
 use densest::DensityNotion;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
 use mpds::exact::{average_f1_across_ranks, exact_all_tau, exact_top_k_from};
-use mpds_bench::{fmt, quick_mode, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{fmt, quick_mode, setup, Table};
 use ugraph::{datasets, Pattern};
 
 fn main() {
@@ -34,9 +30,10 @@ fn main() {
         for (_, notion) in &notions {
             // One exhaustive sweep per (graph, notion), shared across ks.
             let tau = exact_all_tau(g, notion);
-            let cfg = MpdsConfig::new(notion.clone(), theta, *ks.last().unwrap());
-            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-            let approx = top_k_mpds(g, &mut mc, &cfg);
+            let approx = setup::run(
+                &setup::mpds_query(notion.clone(), theta, *ks.last().unwrap()),
+                g,
+            );
             for (ki, &k) in ks.iter().enumerate() {
                 let exact = exact_top_k_from(&tau, k);
                 let approx_k: Vec<_> = approx.top_k.iter().take(k).cloned().collect();

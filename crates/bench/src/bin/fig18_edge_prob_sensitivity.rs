@@ -3,12 +3,10 @@
 //! estimator and average F1 vs exact for k ∈ {1, 5, 10}.
 
 use densest::DensityNotion;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
 use mpds::exact::{average_f1_across_ranks, exact_all_tau, exact_top_k_from};
-use mpds_bench::{fmt, fmt_secs, Table};
+use mpds_bench::{fmt, fmt_secs, setup, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sampling::MonteCarlo;
 use ugraph::{generators, probability, UncertainGraph};
 
 fn main() {
@@ -24,11 +22,9 @@ fn main() {
             probability::truncated_normal_probs(graph.num_edges(), mean, 0.1, 0.01, 1.0, &mut rng);
         let g = UncertainGraph::new(graph, probs);
 
-        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 10);
-        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(7));
-        let (approx, elapsed) = mpds_bench::time(|| top_k_mpds(&g, &mut mc, &cfg));
+        let approx = setup::run(&setup::mpds_query(DensityNotion::Edge, theta, 10), &g);
 
-        let mut cells = vec![fmt(mean), fmt_secs(elapsed)];
+        let mut cells = vec![fmt(mean), fmt_secs(approx.stats.wall)];
         // One exhaustive 2^m sweep per graph, shared across the three ks.
         let tau = exact_all_tau(&g, &DensityNotion::Edge);
         for k in [1usize, 5, 10] {

@@ -3,12 +3,7 @@
 //! NDS on Biomine-like.
 
 use densest::DensityNotion;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
-use mpds::nds::{top_k_nds, NdsConfig};
-use mpds_bench::{fmt, fmt_secs, quick_mode, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{fmt, fmt_secs, quick_mode, setup, Table};
 use ugraph::datasets;
 use ugraph::nodeset::set_family_similarity;
 
@@ -26,9 +21,9 @@ fn main() {
     );
     let mut prev: Option<Vec<Vec<u32>>> = None;
     for &theta in &thetas {
-        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 5);
-        let mut mc = MonteCarlo::new(&intel.graph, StdRng::seed_from_u64(9));
-        let (res, elapsed) = mpds_bench::time(|| top_k_mpds(&intel.graph, &mut mc, &cfg));
+        let query = setup::mpds_query(DensityNotion::Edge, theta, 5).seed(9);
+        let res = setup::run(&query, &intel.graph);
+        let elapsed = res.stats.wall;
         let sets: Vec<Vec<u32>> = res.top_k.into_iter().map(|(s, _)| s).collect();
         let sim = prev
             .as_ref()
@@ -56,9 +51,9 @@ fn main() {
     );
     let mut prev: Option<Vec<Vec<u32>>> = None;
     for &theta in &thetas {
-        let cfg = NdsConfig::new(DensityNotion::Edge, theta, 5, 4);
-        let mut mc = MonteCarlo::new(&biomine.graph, StdRng::seed_from_u64(9));
-        let (res, elapsed) = mpds_bench::time(|| top_k_nds(&biomine.graph, &mut mc, &cfg));
+        let query = setup::nds_query(DensityNotion::Edge, theta, 5, 4).seed(9);
+        let res = setup::run(&query, &biomine.graph);
+        let elapsed = res.stats.wall;
         let sets: Vec<Vec<u32>> = res.top_k.into_iter().map(|(s, _)| s).collect();
         let sim = prev
             .as_ref()

@@ -3,11 +3,7 @@
 //! varying the minimum size l_m (HomoSapiens-like).
 
 use densest::DensityNotion;
-use mpds::nds::{top_k_nds, NdsConfig};
-use mpds_bench::{default_theta, fmt, large_datasets, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{default_theta, fmt, large_datasets, setup, Table};
 use ugraph::datasets;
 
 fn main() {
@@ -21,13 +17,13 @@ fn main() {
         let theta = default_theta(&data.name);
         let mut cells = vec![data.name.clone()];
         for k in [1usize, 5, 10, 50, 100] {
-            let mut cfg = NdsConfig::new(DensityNotion::Edge, theta, k, 2);
             // Large k with tiny l_m can explode the closed-set search on
             // near-identical transactions; bound the miner's work (the
             // top results are found long before the cap).
-            cfg.miner_node_cap = 200_000;
-            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(9));
-            let res = top_k_nds(g, &mut mc, &cfg);
+            let query = setup::nds_query(DensityNotion::Edge, theta, k, 2)
+                .miner_node_cap(200_000)
+                .seed(9);
+            let res = setup::run(&query, g);
             let avg = if res.top_k.is_empty() {
                 0.0
             } else {
@@ -48,10 +44,10 @@ fn main() {
         &["l_m", "avg containment prob", "#returned"],
     );
     for lm in [1usize, 5, 10, 20, 30, 40, 50, 60] {
-        let mut cfg = NdsConfig::new(DensityNotion::Edge, theta, 10, lm);
-        cfg.miner_node_cap = 200_000;
-        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(9));
-        let res = top_k_nds(g, &mut mc, &cfg);
+        let query = setup::nds_query(DensityNotion::Edge, theta, 10, lm)
+            .miner_node_cap(200_000)
+            .seed(9);
+        let res = setup::run(&query, g);
         let avg = if res.top_k.is_empty() {
             0.0
         } else {

@@ -7,11 +7,7 @@
 
 use densest::DensityNotion;
 use mpds::baselines::{eds, ucore, utruss};
-use mpds::nds::{top_k_nds, NdsConfig};
-use mpds_bench::{default_theta, fmt, large_datasets, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{default_theta, fmt, large_datasets, setup, Table};
 
 fn main() {
     let mut t = Table::new(
@@ -29,9 +25,7 @@ fn main() {
     for data in large_datasets() {
         let g = &data.graph;
         let theta = default_theta(&data.name);
-        let cfg = NdsConfig::new(DensityNotion::Edge, theta, 1, 4);
-        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-        let res = top_k_nds(g, &mut mc, &cfg);
+        let res = setup::run(&setup::nds_query(DensityNotion::Edge, theta, 1, 4), g);
         let (nds_set, nds_gamma) = res.top_k.first().cloned().unwrap_or((vec![], 0.0));
 
         let eds_res =
@@ -42,9 +36,9 @@ fn main() {
         t.row(&[
             data.name.clone(),
             fmt(nds_gamma),
-            fmt(res.gamma_hat(&eds_res.node_set)),
-            fmt(res.gamma_hat(&core)),
-            fmt(res.gamma_hat(&truss)),
+            fmt(res.score_of(&eds_res.node_set)),
+            fmt(res.score_of(&core)),
+            fmt(res.score_of(&truss)),
             fmt(g.expected_edge_density(&nds_set)),
             fmt(eds_res.expected_density),
         ]);

@@ -8,11 +8,7 @@
 
 use densest::DensityNotion;
 use mpds::baselines::{eds, ucore, utruss};
-use mpds::estimate::{top_k_mpds, MpdsConfig};
-use mpds_bench::{default_theta, fmt, small_datasets, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{default_theta, fmt, setup, small_datasets, Table};
 
 fn main() {
     let mut t = Table::new(
@@ -30,9 +26,7 @@ fn main() {
     for data in small_datasets() {
         let g = &data.graph;
         let theta = default_theta(&data.name);
-        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 1);
-        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-        let res = top_k_mpds(g, &mut mc, &cfg);
+        let res = setup::run(&setup::mpds_query(DensityNotion::Edge, theta, 1), g);
         let (mpds_set, mpds_tau) = res.top_k.first().cloned().unwrap_or((vec![], 0.0));
 
         let eds_res =
@@ -41,9 +35,9 @@ fn main() {
         let truss = utruss::innermost_gamma_truss(g, 0.1);
 
         // DSP of baseline sets, estimated from the same sampled candidates.
-        let dsp_eds = res.tau_hat(&eds_res.node_set);
-        let dsp_core = res.tau_hat(&core);
-        let dsp_truss = res.tau_hat(&truss);
+        let dsp_eds = res.score_of(&eds_res.node_set);
+        let dsp_core = res.score_of(&core);
+        let dsp_truss = res.score_of(&truss);
 
         let exp_mpds = g.expected_edge_density(&mpds_set);
         t.row(&[

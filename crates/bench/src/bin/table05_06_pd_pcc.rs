@@ -4,34 +4,22 @@
 
 use densest::DensityNotion;
 use mpds::baselines::{eds, ucore, utruss};
-use mpds::estimate::{top_k_mpds, MpdsConfig};
-use mpds::nds::{top_k_nds, NdsConfig};
-use mpds_bench::{default_theta, fmt, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{default_theta, fmt, setup, Table};
 use ugraph::metrics::{probabilistic_clustering_coefficient, probabilistic_density};
 use ugraph::{datasets, NodeSet, UncertainGraph};
 
 fn our_subgraph(g: &UncertainGraph, name: &str, large: bool) -> NodeSet {
     let theta = default_theta(name);
-    if large {
-        let cfg = NdsConfig::new(DensityNotion::Edge, theta, 1, 4);
-        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-        top_k_nds(g, &mut mc, &cfg)
-            .top_k
-            .first()
-            .map(|(s, _)| s.clone())
-            .unwrap_or_default()
+    let query = if large {
+        setup::nds_query(DensityNotion::Edge, theta, 1, 4)
     } else {
-        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 1);
-        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-        top_k_mpds(g, &mut mc, &cfg)
-            .top_k
-            .first()
-            .map(|(s, _)| s.clone())
-            .unwrap_or_default()
-    }
+        setup::mpds_query(DensityNotion::Edge, theta, 1)
+    };
+    setup::run(&query, g)
+        .top_k
+        .first()
+        .map(|(s, _)| s.clone())
+        .unwrap_or_default()
 }
 
 fn main() {

@@ -3,11 +3,7 @@
 
 use densest::DensityNotion;
 use mpds::baselines::dds;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
-use mpds_bench::{default_theta, fmt, small_datasets, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{default_theta, fmt, setup, small_datasets, Table};
 
 fn main() {
     let mut t = Table::new(
@@ -17,15 +13,13 @@ fn main() {
     for data in small_datasets() {
         let g = &data.graph;
         let theta = default_theta(&data.name);
-        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 1);
-        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-        let res = top_k_mpds(g, &mut mc, &cfg);
+        let res = setup::run(&setup::mpds_query(DensityNotion::Edge, theta, 1), g);
         let (mpds_set, mpds_tau) = res.top_k.first().cloned().unwrap_or((vec![], 0.0));
         let (_, dds_set) = dds::deterministic_densest(g, &DensityNotion::Edge).unwrap();
         t.row(&[
             data.name.clone(),
             fmt(mpds_tau),
-            fmt(res.tau_hat(&dds_set)),
+            fmt(res.score_of(&dds_set)),
             mpds_set.len().to_string(),
             dds_set.len().to_string(),
         ]);

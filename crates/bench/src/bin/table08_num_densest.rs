@@ -3,11 +3,7 @@
 //! densities on Karate Club and LastFM-like.
 
 use densest::DensityNotion;
-use mpds::estimate::{densest_count_stats, top_k_mpds, MpdsConfig};
-use mpds_bench::{default_theta, fmt, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{default_theta, fmt, setup, Table};
 use ugraph::{datasets, Pattern};
 
 fn main() {
@@ -24,10 +20,11 @@ fn main() {
         let g = &data.graph;
         let theta = default_theta(&data.name);
         for (label, notion) in &notions {
-            let cfg = MpdsConfig::new(notion.clone(), theta, 1);
-            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-            let res = top_k_mpds(g, &mut mc, &cfg);
-            let (mean, std, q) = densest_count_stats(&res.densest_counts);
+            let res = setup::run(&setup::mpds_query(notion.clone(), theta, 1), g);
+            let (mean, std, q) = res
+                .stats
+                .densest_count_summary
+                .expect("MPDS runs always report the Table VIII summary");
             t.row(&[
                 data.name.clone(),
                 label.to_string(),

@@ -3,11 +3,7 @@
 //! randomly chosen densest subgraph.
 
 use densest::DensityNotion;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
-use mpds_bench::{default_theta, fmt, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{default_theta, fmt, setup, Table};
 use ugraph::{datasets, Pattern};
 
 fn main() {
@@ -25,10 +21,8 @@ fn main() {
         let theta = default_theta(&data.name);
         for (label, notion) in &notions {
             let avg = |all_mode: bool| -> f64 {
-                let mut cfg = MpdsConfig::new(notion.clone(), theta, 10);
-                cfg.all_densest = all_mode;
-                let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-                let res = top_k_mpds(g, &mut mc, &cfg);
+                let query = setup::mpds_query(notion.clone(), theta, 10).all_densest(all_mode);
+                let res = setup::run(&query, g);
                 if res.top_k.is_empty() {
                     return 0.0;
                 }

@@ -3,11 +3,7 @@
 
 use densest::DensityNotion;
 use mpds::baselines::{eds, ucore, utruss};
-use mpds::estimate::{top_k_mpds, MpdsConfig};
-use mpds_bench::{default_theta, fmt, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{default_theta, fmt, setup, Table};
 use ugraph::datasets;
 use ugraph::metrics::{average_purity, purity};
 
@@ -30,9 +26,7 @@ fn main() {
         &["k", "MPDS", "EDS", "Core", "Truss"],
     );
     for k in [1usize, 2, 5, 10] {
-        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, k);
-        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-        let res = top_k_mpds(g, &mut mc, &cfg);
+        let res = setup::run(&setup::mpds_query(DensityNotion::Edge, theta, k), g);
         let sets: Vec<Vec<u32>> = res.top_k.iter().map(|(s, _)| s.clone()).collect();
         t.row(&[
             k.to_string(),

@@ -3,11 +3,7 @@
 //! time, for the four patterns of Fig. 5.
 
 use densest::DensityNotion;
-use mpds::nds::{top_k_nds, NdsConfig};
-use mpds_bench::{default_theta, fmt, fmt_secs, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{default_theta, fmt, fmt_secs, setup, Table};
 use ugraph::{datasets, Pattern};
 
 fn main() {
@@ -29,15 +25,14 @@ fn main() {
     for pattern in Pattern::paper_patterns() {
         let notion = DensityNotion::Pattern(pattern.clone());
         let run = |heuristic: bool| {
-            let mut cfg = NdsConfig::new(notion.clone(), theta, 1, 2);
-            cfg.heuristic = heuristic;
-            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-            mpds_bench::time(|| top_k_nds(g, &mut mc, &cfg))
+            let query = setup::nds_query(notion.clone(), theta, 1, 2).heuristic(heuristic);
+            setup::run(&query, g)
         };
-        let (approx, t_a) = run(false);
-        let (heur, t_h) = run(true);
+        let approx = run(false);
+        let heur = run(true);
         let ga = approx.top_k.first().map(|(_, g)| *g).unwrap_or(0.0);
         let gh = heur.top_k.first().map(|(_, g)| *g).unwrap_or(0.0);
+        let (t_a, t_h) = (approx.stats.wall, heur.stats.wall);
         t.row(&[
             pattern.name().to_string(),
             fmt(ga),

@@ -3,11 +3,7 @@
 //! running time.
 
 use densest::DensityNotion;
-use mpds::nds::{top_k_nds, NdsConfig};
-use mpds_bench::{default_theta, fmt, fmt_secs, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{default_theta, fmt, fmt_secs, setup, Table};
 use ugraph::datasets;
 
 fn main() {
@@ -25,12 +21,10 @@ fn main() {
         &["method", "containment probability", "time (s)"],
     );
     for (label, heuristic) in [("Approximate", false), ("Heuristic", true)] {
-        let mut cfg = NdsConfig::new(DensityNotion::Edge, theta, 1, 4);
-        cfg.heuristic = heuristic;
-        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-        let (res, elapsed) = mpds_bench::time(|| top_k_nds(g, &mut mc, &cfg));
+        let query = setup::nds_query(DensityNotion::Edge, theta, 1, 4).heuristic(heuristic);
+        let res = setup::run(&query, g);
         let gamma = res.top_k.first().map(|(_, g)| *g).unwrap_or(0.0);
-        t.row(&[label.to_string(), fmt(gamma), fmt_secs(elapsed)]);
+        t.row(&[label.to_string(), fmt(gamma), fmt_secs(res.stats.wall)]);
     }
     t.print();
     println!("\nPaper shape (Table XII): the heuristic's containment probability is");

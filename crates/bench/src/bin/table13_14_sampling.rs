@@ -4,44 +4,33 @@
 //! and NDS on Biomine-like.
 
 use densest::DensityNotion;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
-use mpds::nds::{top_k_nds, NdsConfig};
-use mpds_bench::{default_theta, fmt_secs, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::{LazyPropagation, MonteCarlo, RecursiveStratified, WorldSampler};
+use mpds::api::{Query, SamplerKind};
+use mpds_bench::{default_theta, fmt_secs, setup, Table};
+use sampling::WorldSampler as _;
 use ugraph::datasets;
 use ugraph::nodeset::set_family_similarity;
 use ugraph::UncertainGraph;
 
+/// The two compared estimators at a given θ, with the bench seed.
+fn query(nds: bool, theta: usize) -> Query {
+    if nds {
+        setup::nds_query(DensityNotion::Edge, theta, 5, 4)
+    } else {
+        setup::mpds_query(DensityNotion::Edge, theta, 5)
+    }
+}
+
 /// Converged θ: smallest θ in the doubling schedule whose top-k sets are
 /// ≥ 99% similar to the previous θ's (the paper's Fig. 19 convergence rule).
-fn converged_theta(
-    g: &UncertainGraph,
-    make: &dyn Fn(u64) -> Box<dyn WorldSampler>,
-    nds: bool,
-    max_theta: usize,
-) -> usize {
+fn converged_theta(g: &UncertainGraph, kind: SamplerKind, nds: bool, max_theta: usize) -> usize {
     let mut prev: Option<Vec<Vec<u32>>> = None;
     let mut theta = 20;
     while theta <= max_theta {
-        let sets: Vec<Vec<u32>> = if nds {
-            let cfg = NdsConfig::new(DensityNotion::Edge, theta, 5, 4);
-            let mut s = make(9);
-            top_k_nds(g, &mut s, &cfg)
-                .top_k
-                .into_iter()
-                .map(|(s, _)| s)
-                .collect()
-        } else {
-            let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 5);
-            let mut s = make(9);
-            top_k_mpds(g, &mut s, &cfg)
-                .top_k
-                .into_iter()
-                .map(|(s, _)| s)
-                .collect()
-        };
+        let sets: Vec<Vec<u32>> = setup::run(&query(nds, theta).sampler(kind).seed(9), g)
+            .top_k
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
         if let Some(p) = &prev {
             if set_family_similarity(p, &sets) >= 0.99 {
                 return theta;
@@ -58,48 +47,20 @@ fn run_strategies(title: &str, g: &UncertainGraph, nds: bool, theta_cap: usize) 
         title,
         &["method", "theta", "time (s)", "sampler memory (KB)"],
     );
-    type Maker<'a> = (&'static str, Box<dyn Fn(u64) -> Box<dyn WorldSampler> + 'a>);
-    let makers: Vec<Maker> = vec![
-        (
-            "MC",
-            Box::new(|seed| {
-                Box::new(MonteCarlo::new(g, StdRng::seed_from_u64(seed))) as Box<dyn WorldSampler>
-            }),
-        ),
-        (
-            "LP",
-            Box::new(|seed| {
-                Box::new(LazyPropagation::new(g, StdRng::seed_from_u64(seed)))
-                    as Box<dyn WorldSampler>
-            }),
-        ),
-        (
-            "RSS",
-            Box::new(|seed| {
-                Box::new(RecursiveStratified::new(g, 3, StdRng::seed_from_u64(seed)))
-                    as Box<dyn WorldSampler>
-            }),
-        ),
-    ];
-    for (name, make) in &makers {
-        let theta = converged_theta(g, make.as_ref(), nds, theta_cap);
-        let mut sampler = make(7);
-        let (_, elapsed) = mpds_bench::time(|| {
-            if nds {
-                let cfg = NdsConfig::new(DensityNotion::Edge, theta, 5, 4);
-                let _ = top_k_nds(g, &mut sampler, &cfg);
-            } else {
-                let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 5);
-                let _ = top_k_mpds(g, &mut sampler, &cfg);
-            }
-        });
-        // Exercise the sampler once more so RSS reports its recursion
-        // high-water mark.
+    for kind in [SamplerKind::MonteCarlo, SamplerKind::Lp, SamplerKind::Rss] {
+        let theta = converged_theta(g, kind, nds, theta_cap);
+        // Build the sampler externally (rather than letting the query
+        // resolve it) so its auxiliary memory is measurable after the run —
+        // RSS reports its recursion high-water mark.
+        let mut sampler = kind.build(g, setup::BENCH_SEED);
+        let run = query(nds, theta)
+            .run_with_sampler(g, &mut *sampler)
+            .expect("valid bench query");
         let mem_kb = sampler.aux_memory_bytes() / 1024;
         t.row(&[
-            name.to_string(),
+            kind.name().to_string(),
             theta.to_string(),
-            fmt_secs(elapsed),
+            fmt_secs(run.stats.wall),
             mem_kb.to_string(),
         ]);
     }

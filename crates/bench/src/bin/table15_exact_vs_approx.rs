@@ -7,12 +7,8 @@
 //! paper reports is preserved.
 
 use densest::DensityNotion;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
 use mpds::exact::exact_top_k_mpds;
-use mpds_bench::{fmt, fmt_secs, quick_mode, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
+use mpds_bench::{fmt, fmt_secs, quick_mode, setup, Table};
 use ugraph::{datasets, Pattern};
 
 fn main() {
@@ -45,9 +41,8 @@ fn main() {
         let g = &data.graph;
         for (label, notion) in &notions {
             let (exact, t_exact) = mpds_bench::time(|| exact_top_k_mpds(g, notion, 1));
-            let cfg = MpdsConfig::new(notion.clone(), theta, 1);
-            let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(7));
-            let (approx, t_ours) = mpds_bench::time(|| top_k_mpds(g, &mut mc, &cfg));
+            let approx = setup::run(&setup::mpds_query(notion.clone(), theta, 1), g);
+            let t_ours = approx.stats.wall;
             let matched = match (exact.first(), approx.top_k.first()) {
                 (Some((e, _)), Some((a, _))) => e == a,
                 (None, None) => true,

@@ -5,6 +5,7 @@
 //! the measured values next to the paper's reported ones where applicable.
 
 pub mod legacy;
+pub mod setup;
 
 use std::time::{Duration, Instant};
 use ugraph::datasets::{self, Dataset};

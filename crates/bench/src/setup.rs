@@ -1,0 +1,55 @@
+//! Shared estimator setup for the experiment binaries.
+//!
+//! Every table/figure binary used to hand-roll the same three lines —
+//! construct a `MonteCarlo` over the graph, seed it with the experiments'
+//! fixed seed, call the free estimator function. With the [`mpds::api`]
+//! builder that boilerplate collapses into one pre-seeded [`Query`] per
+//! estimator; binaries chain the knobs they vary (`.heuristic(true)`,
+//! `.seed(9)`, `.miner_node_cap(..)`, …) and call `.run(g)`.
+
+use densest::DensityNotion;
+use mpds::api::{Query, Run};
+use ugraph::UncertainGraph;
+
+/// The experiment binaries' fixed RNG seed (the paper reports single runs).
+pub const BENCH_SEED: u64 = 7;
+
+/// An MPDS query with the bench defaults: Monte-Carlo sampling, serial
+/// execution, seed [`BENCH_SEED`].
+pub fn mpds_query(notion: DensityNotion, theta: usize, k: usize) -> Query {
+    Query::mpds(notion).theta(theta).k(k).seed(BENCH_SEED)
+}
+
+/// An NDS query with the bench defaults (see [`mpds_query`]).
+pub fn nds_query(notion: DensityNotion, theta: usize, k: usize, min_size: usize) -> Query {
+    Query::nds(notion)
+        .theta(theta)
+        .k(k)
+        .min_size(min_size)
+        .seed(BENCH_SEED)
+}
+
+/// Runs a bench query, panicking with context on invalid parameters — the
+/// binaries' parameters are static, so a failure here is a programming
+/// error, not an input error.
+pub fn run(query: &Query, g: &UncertainGraph) -> Run {
+    query
+        .run(g)
+        .unwrap_or_else(|e| panic!("bench query rejected: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_queries_carry_the_shared_seed() {
+        let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 0.2)]);
+        let a = run(&mpds_query(DensityNotion::Edge, 32, 1), &g);
+        let b = run(&mpds_query(DensityNotion::Edge, 32, 1), &g);
+        assert_eq!(a.top_k, b.top_k);
+        assert_eq!(a.top_k[0].0, vec![0, 1]);
+        let n = run(&nds_query(DensityNotion::Edge, 32, 2, 2), &g);
+        assert_eq!(n.stats.worlds_sampled, 32);
+    }
+}

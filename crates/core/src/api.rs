@@ -1,0 +1,1522 @@
+//! One typed entry point for every estimator, sampler, and execution mode.
+//!
+//! The paper's experimental surface is a single parameter space — density
+//! notion ρ, sample count θ, result count k, minimum nucleus size `l_m`,
+//! sampling strategy, heuristic mode, seed, parallelism — but the historical
+//! entry points exposed it as six free functions that every consumer wired
+//! up by hand. [`Query`] collapses them: build a query once, validate once,
+//! and run any combination through one code path.
+//!
+//! | Builder knob | Paper symbol / section |
+//! |---|---|
+//! | [`Query::mpds`] / [`Query::nds`] | Algorithm 1 (τ) / Algorithm 5 (γ) |
+//! | constructor argument | density notion ρ: edge, h-clique, pattern ψ (§II) |
+//! | [`Query::theta`] (alias [`Query::worlds`]) | θ, the number of sampled possible worlds |
+//! | [`Query::k`] | k, how many top node sets to return |
+//! | [`Query::min_size`] | `l_m` (a.k.a. Λ), minimum nucleus size (§IV) |
+//! | [`Query::sampler`] | MC / LP / RSS sampling strategies (§V, §VI-G) |
+//! | [`Query::seed`] | the run's RNG seed — equal seeds mean equal results |
+//! | [`Query::heuristic`] | the core-based heuristic of §III-C |
+//! | [`Query::all_densest`] | the "all vs one densest per world" ablation (§VI-D) |
+//! | [`Query::exec`] | serial, or θ split across worker threads |
+//! | [`Query::control`] | cooperative deadline / cancellation ([`crate::control`]) |
+//! | [`Query::progress`] | per-world progress callback ([`ProgressSink`]) |
+//!
+//! # Example
+//!
+//! The paper's running example (Fig. 1): `{B, D}` is the most probable
+//! densest subgraph with τ ≈ 0.42.
+//!
+//! ```
+//! use densest::DensityNotion;
+//! use mpds::api::Query;
+//! use ugraph::UncertainGraph;
+//!
+//! // A = 0, B = 1, C = 2, D = 3.
+//! let g = UncertainGraph::from_weighted_edges(
+//!     4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)]);
+//! let run = Query::mpds(DensityNotion::Edge)
+//!     .theta(2000)
+//!     .k(1)
+//!     .seed(42)
+//!     .run(&g)
+//!     .expect("valid query");
+//! assert_eq!(run.top_k[0].0, vec![1, 3]); // {B, D}
+//! assert!((run.top_k[0].1 - 0.42).abs() < 0.04);
+//! ```
+//!
+//! # Determinism contract
+//!
+//! * `Exec::Serial` with sampler kind `K` and seed `s` draws exactly the
+//!   worlds of `K` seeded with `s` — bit-identical to the historical
+//!   `top_k_mpds(g, &mut K::new(g, StdRng::seed_from_u64(s)), &cfg)`.
+//! * `Exec::Threads(n)` gives worker `w` sub-stream `w` of the root seed
+//!   ([`sampling::stream_seed`]) — bit-identical to the historical
+//!   `parallel_top_k_mpds(g, &cfg, s, n)`. A serial run and a 1-thread run
+//!   therefore draw *different* (both deterministic) world streams, exactly
+//!   as the legacy entry points did.
+
+use crate::control::{InterruptReason, Interrupted, RunControl};
+use crate::estimate::{densest_count_stats, select_top_k, MpdsConfig, MpdsResult};
+use crate::nds::{NdsConfig, NdsResult};
+use densest::{
+    all_densest, heuristic::heuristic_dense_subgraphs, max_sized_densest, DensityNotion,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sampling::{stream_seed, LazyPropagation, MonteCarlo, RecursiveStratified, WorldSampler};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use ugraph::{EdgeMask, Graph, NodeId, NodeSet, UncertainGraph};
+
+/// Which possible-world sampling strategy a [`Query`] uses (paper §V and the
+/// §VI-G comparison).
+///
+/// ```
+/// use mpds::api::SamplerKind;
+/// assert_ne!(SamplerKind::MonteCarlo, SamplerKind::Rss);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SamplerKind {
+    /// Monte Carlo: one independent Bernoulli flip per edge per world — the
+    /// paper's default, no auxiliary state.
+    MonteCarlo,
+    /// Lazy Propagation \[54\]: per-edge geometric skip counters.
+    Lp,
+    /// Recursive Stratified Sampling \[55\] with the paper's pivot arity
+    /// `r = 3`.
+    Rss,
+}
+
+impl SamplerKind {
+    /// Builds the sampler seeded directly with `seed` — the serial-execution
+    /// seeding (see the module-level determinism contract).
+    ///
+    /// ```
+    /// use mpds::api::SamplerKind;
+    /// use sampling::WorldSampler;
+    /// use ugraph::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5), (1, 2, 0.5)]);
+    /// let mut s = SamplerKind::MonteCarlo.build(&g, 7);
+    /// assert_eq!(s.num_edges(), 2);
+    /// assert_eq!(s.next_mask().len(), 2);
+    /// ```
+    pub fn build(self, g: &UncertainGraph, seed: u64) -> Box<dyn WorldSampler> {
+        match self {
+            SamplerKind::MonteCarlo => Box::new(MonteCarlo::new(g, StdRng::seed_from_u64(seed))),
+            SamplerKind::Lp => Box::new(LazyPropagation::new(g, StdRng::seed_from_u64(seed))),
+            SamplerKind::Rss => {
+                Box::new(RecursiveStratified::new(g, 3, StdRng::seed_from_u64(seed)))
+            }
+        }
+    }
+
+    /// Builds the sampler for sub-stream `stream` of `root_seed` — the
+    /// per-worker seeding of `Exec::Threads` ([`sampling::stream_seed`]
+    /// decorrelates every `(root, stream)` pair).
+    ///
+    /// ```
+    /// use mpds::api::SamplerKind;
+    /// use sampling::WorldSampler;
+    /// use ugraph::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5), (1, 2, 0.5)]);
+    /// let a = SamplerKind::MonteCarlo.build_stream(&g, 1, 0).next_mask();
+    /// let b = SamplerKind::MonteCarlo.build_stream(&g, 1, 0).next_mask();
+    /// assert_eq!(a, b); // reproducible per (root, stream)
+    /// ```
+    pub fn build_stream(
+        self,
+        g: &UncertainGraph,
+        root_seed: u64,
+        stream: u64,
+    ) -> Box<dyn WorldSampler> {
+        self.build(g, stream_seed(root_seed, stream))
+    }
+
+    /// Human-readable strategy name (`"MC"`, `"LP"`, `"RSS"`).
+    ///
+    /// ```
+    /// assert_eq!(mpds::api::SamplerKind::Lp.name(), "LP");
+    /// ```
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplerKind::MonteCarlo => "MC",
+            SamplerKind::Lp => "LP",
+            SamplerKind::Rss => "RSS",
+        }
+    }
+}
+
+/// How a [`Query`] executes its θ world samples.
+///
+/// ```
+/// use mpds::api::Exec;
+/// assert_eq!(Exec::default(), Exec::Serial);
+/// assert_ne!(Exec::Threads(4), Exec::Serial);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Exec {
+    /// One thread samples all θ worlds (the paper's setup).
+    #[default]
+    Serial,
+    /// θ split across this many scoped worker threads, each drawing an
+    /// independent sub-stream of the root seed. Deterministic for a fixed
+    /// `(seed, thread count)` pair.
+    Threads(usize),
+}
+
+/// Observer polled once per sampled world, alongside [`RunControl`] — the
+/// hook a serving layer uses for live progress and a harness for reporting,
+/// without forking the sampling loop.
+///
+/// Implementations must be `Send + Sync`: under [`Exec::Threads`] all
+/// workers share one sink.
+///
+/// ```
+/// use mpds::api::ProgressSink;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// struct Count(AtomicUsize);
+/// impl ProgressSink for Count {
+///     fn world_done(&self) {
+///         self.0.fetch_add(1, Ordering::Relaxed);
+///     }
+/// }
+/// let c = Count(AtomicUsize::new(0));
+/// c.world_done();
+/// assert_eq!(c.0.load(Ordering::Relaxed), 1);
+/// ```
+pub trait ProgressSink: Send + Sync {
+    /// Called once when a run starts, with its total world budget θ.
+    fn begin(&self, total_worlds: usize) {
+        let _ = total_worlds;
+    }
+
+    /// Called after each sampled world has been fully processed.
+    fn world_done(&self);
+}
+
+/// The default [`ProgressSink`]: ignores every notification.
+///
+/// ```
+/// use mpds::api::{NoProgress, ProgressSink};
+/// NoProgress.begin(100);
+/// NoProgress.world_done(); // no-op
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProgress;
+
+impl ProgressSink for NoProgress {
+    fn world_done(&self) {}
+}
+
+/// A ready-made atomic [`ProgressSink`]: counts requested and completed
+/// worlds across every run it is attached to (so one shared counter can
+/// report engine-wide totals).
+///
+/// ```
+/// use densest::DensityNotion;
+/// use mpds::api::{ProgressCounter, Query};
+/// use ugraph::UncertainGraph;
+///
+/// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.9), (1, 2, 0.9)]);
+/// let counter = ProgressCounter::new();
+/// Query::mpds(DensityNotion::Edge)
+///     .theta(50)
+///     .progress(counter.clone())
+///     .run(&g)
+///     .unwrap();
+/// assert_eq!(counter.done(), 50);
+/// assert_eq!(counter.requested(), 50);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgressCounter {
+    requested: AtomicUsize,
+    done: AtomicUsize,
+}
+
+impl ProgressCounter {
+    /// Creates a counter behind an [`Arc`], ready for [`Query::progress`].
+    ///
+    /// ```
+    /// let c = mpds::api::ProgressCounter::new();
+    /// assert_eq!(c.done(), 0);
+    /// ```
+    pub fn new() -> Arc<Self> {
+        Arc::new(ProgressCounter::default())
+    }
+
+    /// Total worlds requested by runs attached to this counter.
+    ///
+    /// ```
+    /// use mpds::api::{ProgressCounter, ProgressSink};
+    /// let c = ProgressCounter::new();
+    /// c.begin(32);
+    /// assert_eq!(c.requested(), 32);
+    /// ```
+    pub fn requested(&self) -> usize {
+        self.requested.load(Ordering::Relaxed)
+    }
+
+    /// Total worlds fully processed so far.
+    ///
+    /// ```
+    /// use mpds::api::{ProgressCounter, ProgressSink};
+    /// let c = ProgressCounter::new();
+    /// c.world_done();
+    /// assert_eq!(c.done(), 1);
+    /// ```
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
+impl ProgressSink for ProgressCounter {
+    fn begin(&self, total_worlds: usize) {
+        self.requested.fetch_add(total_worlds, Ordering::Relaxed);
+    }
+
+    fn world_done(&self) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Why a [`Query`] failed. Marked `#[non_exhaustive]`: new failure modes may
+/// be added without a breaking change, so match with a wildcard arm.
+///
+/// ```
+/// use densest::DensityNotion;
+/// use mpds::api::{ApiError, Query};
+/// use ugraph::UncertainGraph;
+///
+/// let g = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+/// let err = Query::mpds(DensityNotion::Edge).theta(0).run(&g).unwrap_err();
+/// assert!(matches!(err, ApiError::InvalidParameter { param: "theta", .. }));
+/// assert!(err.to_string().contains("theta"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ApiError {
+    /// A builder knob holds an out-of-range or contradictory value.
+    InvalidParameter {
+        /// The offending builder knob.
+        param: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The requested combination is not supported (e.g. the one-densest
+    /// ablation under `Exec::Threads`, whose tie-breaking RNG is a single
+    /// serial stream).
+    Unsupported {
+        /// Human-readable description of the unsupported combination.
+        message: String,
+    },
+    /// The run's [`RunControl`] deadline passed or its cancellation flag was
+    /// raised before all θ worlds were sampled.
+    Interrupted(Interrupted),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::InvalidParameter { param, message } => {
+                write!(f, "invalid {param}: {message}")
+            }
+            ApiError::Unsupported { message } => write!(f, "unsupported: {message}"),
+            ApiError::Interrupted(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApiError::Interrupted(i) => Some(i),
+            _ => None,
+        }
+    }
+}
+
+impl From<Interrupted> for ApiError {
+    fn from(i: Interrupted) -> Self {
+        ApiError::Interrupted(i)
+    }
+}
+
+/// Which probability estimate a [`Run`]'s scores are.
+///
+/// ```
+/// use mpds::api::Score;
+/// assert_eq!(Score::TauHat.as_str(), "tau_hat");
+/// assert_eq!(Score::GammaHat.as_str(), "gamma_hat");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Score {
+    /// Estimated densest subgraph probability `τ̂` (Algorithm 1).
+    TauHat,
+    /// Estimated containment probability `γ̂` (Algorithm 5).
+    GammaHat,
+}
+
+impl Score {
+    /// Wire/display name — the same strings the serving layer emits.
+    ///
+    /// ```
+    /// assert_eq!(mpds::api::Score::TauHat.as_str(), "tau_hat");
+    /// ```
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Score::TauHat => "tau_hat",
+            Score::GammaHat => "gamma_hat",
+        }
+    }
+}
+
+/// Per-run measurements shared by every estimator.
+///
+/// ```
+/// use densest::DensityNotion;
+/// use mpds::api::Query;
+/// use ugraph::UncertainGraph;
+///
+/// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 0.5)]);
+/// let run = Query::mpds(DensityNotion::Edge).theta(40).run(&g).unwrap();
+/// assert_eq!(run.stats.worlds_sampled, 40);
+/// assert_eq!(run.stats.empty_worlds, 0); // edge (0,1) is certain
+/// assert!(!run.stats.truncated);
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RunStats {
+    /// Worlds sampled (the requested θ — interrupted runs return
+    /// [`ApiError::Interrupted`] instead of partial stats).
+    pub worlds_sampled: usize,
+    /// Sampled worlds containing no instance of the density notion.
+    pub empty_worlds: usize,
+    /// Wall-clock time of the run (sampling + aggregation).
+    pub wall: Duration,
+    /// MPDS: some world's densest-subgraph enumeration hit the cap.
+    /// NDS: the closed-itemset miner hit its node cap.
+    pub truncated: bool,
+    /// Convergence diagnostic — per-world densest-subgraph counts summarized
+    /// as `(mean, std, [q1, median, q3])`, the paper's Table VIII statistic.
+    /// `None` for NDS runs (they keep one transaction per world instead).
+    pub densest_count_summary: Option<(f64, f64, [usize; 3])>,
+}
+
+/// Estimator-specific raw output carried inside a [`Run`].
+///
+/// ```
+/// use densest::DensityNotion;
+/// use mpds::api::{Query, RunDetails};
+/// use ugraph::UncertainGraph;
+///
+/// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.8), (1, 2, 0.8)]);
+/// let run = Query::nds(DensityNotion::Edge).theta(30).run(&g).unwrap();
+/// match &run.details {
+///     RunDetails::Nds(r) => assert_eq!(r.theta, 30),
+///     RunDetails::Mpds(_) => unreachable!("built with Query::nds"),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub enum RunDetails {
+    /// Full Algorithm 1 output (candidate table, per-world counts).
+    Mpds(MpdsResult),
+    /// Full Algorithm 5 output (transaction multiset, miner state).
+    Nds(NdsResult),
+}
+
+/// The unified result of a [`Query`]: ranked patterns with scores, plus
+/// per-run statistics and the estimator-specific details.
+///
+/// ```
+/// use densest::DensityNotion;
+/// use mpds::api::{Query, Score};
+/// use ugraph::UncertainGraph;
+///
+/// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 0.2)]);
+/// let run = Query::mpds(DensityNotion::Edge).theta(100).k(2).run(&g).unwrap();
+/// assert_eq!(run.score, Score::TauHat);
+/// assert_eq!(run.top_k[0].0, vec![0, 1]); // the certain edge
+/// assert!(run.stats.wall.as_nanos() > 0);
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Run {
+    /// Top-k node sets with their estimated probability (`τ̂` or `γ̂` per
+    /// [`Run::score`]), sorted by score descending with deterministic
+    /// tie-breaking (smaller set first, then lexicographic).
+    pub top_k: Vec<(NodeSet, f64)>,
+    /// Which estimate the scores are.
+    pub score: Score,
+    /// Per-run measurements.
+    pub stats: RunStats,
+    /// Estimator-specific raw output.
+    pub details: RunDetails,
+}
+
+impl Run {
+    /// Estimated score of an arbitrary node set: `τ̂(U)` for MPDS runs
+    /// (frequency of inducing a densest subgraph), `γ̂(U)` for NDS runs
+    /// (fraction of transactions containing `U`).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// use ugraph::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 1.0)]);
+    /// let run = Query::mpds(DensityNotion::Edge).theta(50).run(&g).unwrap();
+    /// assert_eq!(run.score_of(&[0, 1]), 1.0);
+    /// assert_eq!(run.score_of(&[1, 2]), 0.0);
+    /// ```
+    pub fn score_of(&self, nodes: &[NodeId]) -> f64 {
+        match &self.details {
+            RunDetails::Mpds(r) => r.tau_hat(nodes),
+            RunDetails::Nds(r) => r.gamma_hat(nodes),
+        }
+    }
+}
+
+/// Which estimator a [`Query`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Mpds,
+    Nds,
+}
+
+/// A fully-parameterized estimator invocation: the builder.
+///
+/// Start from [`Query::mpds`] or [`Query::nds`], chain the knobs you need
+/// (defaults are the paper's), then [`Query::run`]. See the
+/// [module docs](self) for the knob ↔ paper-symbol map.
+///
+/// ```
+/// use densest::DensityNotion;
+/// use mpds::api::{Exec, Query, SamplerKind};
+/// use ugraph::UncertainGraph;
+///
+/// let g = UncertainGraph::from_weighted_edges(
+///     4, &[(0, 1, 0.9), (0, 2, 0.9), (1, 2, 0.9), (2, 3, 0.2)]);
+/// let run = Query::nds(DensityNotion::Edge)
+///     .theta(64)
+///     .k(3)
+///     .min_size(2)
+///     .sampler(SamplerKind::MonteCarlo)
+///     .seed(7)
+///     .exec(Exec::Threads(2))
+///     .run(&g)
+///     .expect("valid query");
+/// assert!(run.top_k.len() <= 3);
+/// ```
+#[derive(Clone)]
+pub struct Query {
+    kind: Kind,
+    notion: DensityNotion,
+    theta: usize,
+    k: usize,
+    min_size: usize,
+    sampler: SamplerKind,
+    seed: u64,
+    heuristic: bool,
+    all_densest: bool,
+    enumeration_cap: usize,
+    choice_seed: u64,
+    miner_node_cap: usize,
+    exec: Exec,
+    control: RunControl,
+    progress: Option<Arc<dyn ProgressSink>>,
+}
+
+impl std::fmt::Debug for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Query")
+            .field("kind", &self.kind)
+            .field("notion", &self.notion)
+            .field("theta", &self.theta)
+            .field("k", &self.k)
+            .field("min_size", &self.min_size)
+            .field("sampler", &self.sampler)
+            .field("seed", &self.seed)
+            .field("heuristic", &self.heuristic)
+            .field("all_densest", &self.all_densest)
+            .field("enumeration_cap", &self.enumeration_cap)
+            .field("choice_seed", &self.choice_seed)
+            .field("miner_node_cap", &self.miner_node_cap)
+            .field("exec", &self.exec)
+            .field("control", &self.control)
+            .field("progress", &self.progress.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
+}
+
+impl Query {
+    fn new(kind: Kind, notion: DensityNotion) -> Self {
+        Query {
+            kind,
+            notion,
+            theta: 320,
+            k: 5,
+            min_size: 2,
+            sampler: SamplerKind::MonteCarlo,
+            seed: 42,
+            heuristic: false,
+            all_densest: true,
+            enumeration_cap: 100_000,
+            choice_seed: 0x5eed,
+            miner_node_cap: 5_000_000,
+            exec: Exec::Serial,
+            control: RunControl::unbounded(),
+            progress: None,
+        }
+    }
+
+    /// A top-k **MPDS** query (Algorithm 1): rank node sets by estimated
+    /// densest subgraph probability `τ̂` under density notion ρ.
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::mpds(DensityNotion::Clique(3)).theta(100).k(2);
+    /// assert!(format!("{q:?}").contains("Mpds"));
+    /// ```
+    pub fn mpds(notion: DensityNotion) -> Self {
+        Query::new(Kind::Mpds, notion)
+    }
+
+    /// A top-k **NDS** query (Algorithm 5): rank closed node sets of size ≥
+    /// `l_m` by estimated containment probability `γ̂`.
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::nds(DensityNotion::Edge).min_size(4);
+    /// assert!(format!("{q:?}").contains("Nds"));
+    /// ```
+    pub fn nds(notion: DensityNotion) -> Self {
+        Query::new(Kind::Nds, notion)
+    }
+
+    /// Sets θ, the number of sampled possible worlds (default 320).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::mpds(DensityNotion::Edge).theta(640);
+    /// assert!(format!("{q:?}").contains("theta: 640"));
+    /// ```
+    pub fn theta(mut self, theta: usize) -> Self {
+        self.theta = theta;
+        self
+    }
+
+    /// Alias of [`Query::theta`] for readers who think in "#worlds".
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::mpds(DensityNotion::Edge).worlds(64);
+    /// assert!(format!("{q:?}").contains("theta: 64"));
+    /// ```
+    pub fn worlds(self, worlds: usize) -> Self {
+        self.theta(worlds)
+    }
+
+    /// Sets k, how many top node sets to return (default 5; `k = 0` is the
+    /// degenerate "rank nothing" query and yields an empty `top_k`, exactly
+    /// as the legacy entry points did).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::mpds(DensityNotion::Edge).k(10);
+    /// assert!(format!("{q:?}").contains("k: 10"));
+    /// ```
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets `l_m`, the minimum size of a returned nucleus (default 2;
+    /// `0` imposes no size floor, exactly as the legacy entry point did).
+    /// NDS only; MPDS queries ignore it, exactly as Algorithm 1 does.
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::nds(DensityNotion::Edge).min_size(4);
+    /// assert!(format!("{q:?}").contains("min_size: 4"));
+    /// ```
+    pub fn min_size(mut self, min_size: usize) -> Self {
+        self.min_size = min_size;
+        self
+    }
+
+    /// Chooses the sampling strategy (default [`SamplerKind::MonteCarlo`]).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::{Query, SamplerKind};
+    /// let q = Query::mpds(DensityNotion::Edge).sampler(SamplerKind::Rss);
+    /// assert!(format!("{q:?}").contains("Rss"));
+    /// ```
+    pub fn sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Sets the run's RNG seed (default 42). Equal seeds ⇒ equal worlds ⇒
+    /// equal results, per execution mode (see the module docs).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::mpds(DensityNotion::Edge).seed(7);
+    /// assert!(format!("{q:?}").contains("seed: 7"));
+    /// ```
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses the §III-C heuristic (innermost core + denser peeling suffixes)
+    /// per world instead of the exact enumeration (default `false`).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::mpds(DensityNotion::Edge).heuristic(true);
+    /// assert!(format!("{q:?}").contains("heuristic: true"));
+    /// ```
+    pub fn heuristic(mut self, heuristic: bool) -> Self {
+        self.heuristic = heuristic;
+        self
+    }
+
+    /// MPDS only: `true` (default, the paper's method) counts **all**
+    /// densest subgraphs per world; `false` counts one uniformly random one
+    /// — the §VI-D ablation.
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::mpds(DensityNotion::Edge).all_densest(false);
+    /// assert!(format!("{q:?}").contains("all_densest: false"));
+    /// ```
+    pub fn all_densest(mut self, all_densest: bool) -> Self {
+        self.all_densest = all_densest;
+        self
+    }
+
+    /// MPDS only: cap on densest subgraphs enumerated per world (default
+    /// 100 000 — they can explode, paper Table VIII).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::mpds(DensityNotion::Edge).enumeration_cap(1000);
+    /// assert!(format!("{q:?}").contains("enumeration_cap: 1000"));
+    /// ```
+    pub fn enumeration_cap(mut self, cap: usize) -> Self {
+        self.enumeration_cap = cap;
+        self
+    }
+
+    /// MPDS only: seed of the tie-breaking RNG used by the
+    /// `all_densest(false)` ablation (default `0x5eed`).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::mpds(DensityNotion::Edge).choice_seed(1);
+    /// assert!(format!("{q:?}").contains("choice_seed: 1"));
+    /// ```
+    pub fn choice_seed(mut self, choice_seed: u64) -> Self {
+        self.choice_seed = choice_seed;
+        self
+    }
+
+    /// NDS only: cap on closed-itemset search nodes (default 5 000 000).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// let q = Query::nds(DensityNotion::Edge).miner_node_cap(200_000);
+    /// assert!(format!("{q:?}").contains("miner_node_cap: 200000"));
+    /// ```
+    pub fn miner_node_cap(mut self, cap: usize) -> Self {
+        self.miner_node_cap = cap;
+        self
+    }
+
+    /// Chooses serial or multi-threaded execution (default
+    /// [`Exec::Serial`]).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::{Exec, Query};
+    /// let q = Query::mpds(DensityNotion::Edge).exec(Exec::Threads(4));
+    /// assert!(format!("{q:?}").contains("Threads(4)"));
+    /// ```
+    pub fn exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Attaches a cooperative deadline / cancellation control, polled once
+    /// per sampled world (default: unbounded).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::{ApiError, Query};
+    /// use mpds::control::RunControl;
+    /// use std::time::{Duration, Instant};
+    /// use ugraph::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// let expired = RunControl::unbounded()
+    ///     .with_deadline(Instant::now() - Duration::from_millis(1));
+    /// let err = Query::mpds(DensityNotion::Edge).control(expired).run(&g);
+    /// assert!(matches!(err, Err(ApiError::Interrupted(_))));
+    /// ```
+    pub fn control(mut self, control: RunControl) -> Self {
+        self.control = control;
+        self
+    }
+
+    /// Attaches a [`ProgressSink`], notified once per sampled world
+    /// (default: none). Under [`Exec::Threads`] all workers share the sink.
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::{ProgressCounter, Query};
+    /// use ugraph::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// let c = ProgressCounter::new();
+    /// Query::mpds(DensityNotion::Edge).theta(10).progress(c.clone()).run(&g).unwrap();
+    /// assert_eq!(c.done(), 10);
+    /// ```
+    pub fn progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.progress = Some(sink);
+        self
+    }
+
+    /// Builds a query from a legacy [`MpdsConfig`] (used by the deprecated
+    /// wrappers; sampler/seed/exec stay at their defaults).
+    pub(crate) fn from_mpds_config(cfg: &MpdsConfig) -> Self {
+        Query::mpds(cfg.notion.clone())
+            .theta(cfg.theta)
+            .k(cfg.k)
+            .enumeration_cap(cfg.enumeration_cap)
+            .all_densest(cfg.all_densest)
+            .heuristic(cfg.heuristic)
+            .choice_seed(cfg.choice_seed)
+    }
+
+    /// Builds a query from a legacy [`NdsConfig`] (used by the deprecated
+    /// wrappers).
+    pub(crate) fn from_nds_config(cfg: &NdsConfig) -> Self {
+        Query::nds(cfg.notion.clone())
+            .theta(cfg.theta)
+            .k(cfg.k)
+            .min_size(cfg.min_size)
+            .heuristic(cfg.heuristic)
+            .miner_node_cap(cfg.miner_node_cap)
+    }
+
+    /// Validates every knob once; the single checkpoint before execution.
+    fn validate(&self) -> Result<(), ApiError> {
+        let invalid = |param: &'static str, message: String| {
+            Err(ApiError::InvalidParameter { param, message })
+        };
+        if self.theta == 0 {
+            return invalid("theta", "need at least one sampled world".to_string());
+        }
+        if let Exec::Threads(workers) = self.exec {
+            if workers == 0 {
+                return invalid("exec", "Threads(0) has no workers".to_string());
+            }
+            if self.theta < workers {
+                return invalid(
+                    "exec",
+                    format!("theta {} < {workers} worker threads", self.theta),
+                );
+            }
+            if self.kind == Kind::Mpds && !self.all_densest {
+                return Err(ApiError::Unsupported {
+                    message: "the one-densest-per-world ablation draws from a single \
+                              serial tie-breaking RNG stream; run it with Exec::Serial"
+                        .to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates, resolves the execution plan, and runs the query, building
+    /// the sampler internally from [`Query::sampler`] + [`Query::seed`].
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// use ugraph::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 0.3)]);
+    /// let run = Query::mpds(DensityNotion::Edge).theta(64).k(1).run(&g).unwrap();
+    /// assert_eq!(run.top_k[0].0, vec![0, 1]);
+    /// ```
+    pub fn run(&self, g: &UncertainGraph) -> Result<Run, ApiError> {
+        self.validate()?;
+        let started = Instant::now();
+        match self.exec {
+            Exec::Serial => {
+                let mut sampler = self.sampler.build(g, self.seed);
+                self.run_serial(g, &mut *sampler, started)
+            }
+            Exec::Threads(workers) => self.run_threads(g, workers, started),
+        }
+    }
+
+    /// Runs the query with a caller-supplied sampler instead of resolving
+    /// one from [`Query::sampler`] + [`Query::seed`]. Serial only: an
+    /// external sampler is a single mutable stream, so [`Exec::Threads`]
+    /// returns [`ApiError::Unsupported`].
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use sampling::MonteCarlo;
+    /// use ugraph::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 0.3)]);
+    /// let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(9));
+    /// let run = Query::mpds(DensityNotion::Edge)
+    ///     .theta(64)
+    ///     .run_with_sampler(&g, &mut mc)
+    ///     .unwrap();
+    /// assert_eq!(run.top_k[0].0, vec![0, 1]);
+    /// ```
+    pub fn run_with_sampler<S: WorldSampler + ?Sized>(
+        &self,
+        g: &UncertainGraph,
+        sampler: &mut S,
+    ) -> Result<Run, ApiError> {
+        self.validate()?;
+        if let Exec::Threads(_) = self.exec {
+            return Err(ApiError::Unsupported {
+                message: "an external sampler is a single mutable stream; \
+                          Exec::Threads needs per-worker sub-streams (use Query::run)"
+                    .to_string(),
+            });
+        }
+        self.run_serial(g, sampler, Instant::now())
+    }
+
+    fn progress_sink(&self) -> &dyn ProgressSink {
+        match &self.progress {
+            Some(sink) => sink.as_ref(),
+            None => &NoProgress,
+        }
+    }
+
+    fn run_serial<S: WorldSampler + ?Sized>(
+        &self,
+        g: &UncertainGraph,
+        sampler: &mut S,
+        started: Instant,
+    ) -> Result<Run, ApiError> {
+        let progress = self.progress_sink();
+        progress.begin(self.theta);
+        match self.kind {
+            Kind::Mpds => {
+                let mut acc = MpdsAccum::new(self);
+                sample_worlds(g, sampler, self.theta, &self.control, progress, |world| {
+                    acc.consume(world, self)
+                })?;
+                Ok(self.finish_mpds(acc, started))
+            }
+            Kind::Nds => {
+                let mut acc = NdsAccum::new(self);
+                sample_worlds(g, sampler, self.theta, &self.control, progress, |world| {
+                    acc.consume(world, self)
+                })?;
+                Ok(self.finish_nds(acc, started))
+            }
+        }
+    }
+
+    fn run_threads(
+        &self,
+        g: &UncertainGraph,
+        workers: usize,
+        started: Instant,
+    ) -> Result<Run, ApiError> {
+        let progress = self.progress_sink();
+        progress.begin(self.theta);
+        match self.kind {
+            Kind::Mpds => {
+                let acc = self.run_workers(g, workers, progress, MpdsAccum::new(self))?;
+                Ok(self.finish_mpds(acc, started))
+            }
+            Kind::Nds => {
+                let acc = self.run_workers(g, workers, progress, NdsAccum::new(self))?;
+                Ok(self.finish_nds(acc, started))
+            }
+        }
+    }
+
+    /// Splits θ across `workers` scoped threads (worker `w` gets sub-stream
+    /// `w` of the root seed and an even share of θ, the first `θ mod n`
+    /// workers one extra), then merges the partial accumulators in worker
+    /// order — so the merged state is position-for-position the state one
+    /// worker would have produced from the concatenated streams.
+    fn run_workers<A: Accum>(
+        &self,
+        g: &UncertainGraph,
+        workers: usize,
+        progress: &dyn ProgressSink,
+        seed_acc: A,
+    ) -> Result<A, ApiError> {
+        let per = self.theta / workers;
+        let extra = self.theta % workers;
+        let results: Vec<(A, usize, Option<InterruptReason>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let quota = per + usize::from(w < extra);
+                    let mut acc = seed_acc.fresh();
+                    scope.spawn(move || {
+                        let mut sampler = self.sampler.build_stream(g, self.seed, w as u64);
+                        let outcome = sample_worlds(
+                            g,
+                            &mut *sampler,
+                            quota,
+                            &self.control,
+                            progress,
+                            |world| acc.consume(world, self),
+                        );
+                        match outcome {
+                            Ok(done) => (acc, done, None),
+                            Err(i) => (acc, i.completed_worlds, Some(i.reason)),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("estimator worker panicked"))
+                .collect()
+        });
+        let completed: usize = results.iter().map(|(_, done, _)| done).sum();
+        if let Some(reason) = results.iter().find_map(|(_, _, r)| *r) {
+            return Err(ApiError::Interrupted(Interrupted {
+                reason,
+                completed_worlds: completed,
+            }));
+        }
+        let mut merged = seed_acc;
+        for (partial, _, _) in results {
+            merged.merge(partial);
+        }
+        Ok(merged)
+    }
+
+    fn finish_mpds(&self, acc: MpdsAccum, started: Instant) -> Run {
+        let top_k = select_top_k(&acc.candidates, self.k, self.theta);
+        let summary = if acc.densest_counts.is_empty() {
+            None
+        } else {
+            Some(densest_count_stats(&acc.densest_counts))
+        };
+        let result = MpdsResult {
+            top_k: top_k.clone(),
+            candidates: acc.candidates,
+            theta: self.theta,
+            empty_worlds: acc.empty_worlds,
+            densest_counts: acc.densest_counts,
+            truncated: acc.truncated,
+        };
+        Run {
+            top_k,
+            score: Score::TauHat,
+            stats: RunStats {
+                worlds_sampled: self.theta,
+                empty_worlds: result.empty_worlds,
+                wall: started.elapsed(),
+                truncated: result.truncated,
+                densest_count_summary: summary,
+            },
+            details: RunDetails::Mpds(result),
+        }
+    }
+
+    fn finish_nds(&self, acc: NdsAccum, started: Instant) -> Run {
+        let (mined, miner_capped) = itemset::top_k_closed(
+            &acc.transactions,
+            self.k,
+            self.min_size,
+            self.miner_node_cap,
+        );
+        let top_k: Vec<(NodeSet, f64)> = mined
+            .into_iter()
+            .map(|c| (c.items, c.support as f64 / self.theta as f64))
+            .collect();
+        let result = NdsResult {
+            top_k: top_k.clone(),
+            transactions: acc.transactions,
+            theta: self.theta,
+            empty_worlds: acc.empty_worlds,
+            miner_capped,
+        };
+        Run {
+            top_k,
+            score: Score::GammaHat,
+            stats: RunStats {
+                worlds_sampled: self.theta,
+                empty_worlds: result.empty_worlds,
+                wall: started.elapsed(),
+                truncated: miner_capped,
+                densest_count_summary: None,
+            },
+            details: RunDetails::Nds(result),
+        }
+    }
+}
+
+/// THE sampling loop: every estimator, sampler, and execution mode runs
+/// through this one function (serial runs call it once, `Exec::Threads`
+/// workers once each). Per iteration: poll the [`RunControl`], draw a world
+/// into the recycled mask + CSR storage (zero steady-state allocation),
+/// hand it to the accumulator, notify the [`ProgressSink`].
+pub(crate) fn sample_worlds<S: WorldSampler + ?Sized>(
+    g: &UncertainGraph,
+    sampler: &mut S,
+    theta: usize,
+    ctrl: &RunControl,
+    progress: &dyn ProgressSink,
+    mut per_world: impl FnMut(&Graph),
+) -> Result<usize, Interrupted> {
+    let mut mask = EdgeMask::new(g.num_edges());
+    let mut world = Graph::default();
+    for completed in 0..theta {
+        if let Some(reason) = ctrl.interruption() {
+            return Err(Interrupted {
+                reason,
+                completed_worlds: completed,
+            });
+        }
+        sampler.next_mask_into(&mut mask);
+        world = g.world_from_bitmap(&mask, world);
+        per_world(&world);
+        progress.world_done();
+    }
+    Ok(theta)
+}
+
+/// A per-worker partial result: consumes worlds, merges in worker order.
+trait Accum: Send + Sized {
+    /// An empty accumulator with the same configuration.
+    fn fresh(&self) -> Self;
+    /// Processes one sampled world.
+    fn consume(&mut self, world: &Graph, q: &Query);
+    /// Appends another worker's partial state (worker order!).
+    fn merge(&mut self, other: Self);
+}
+
+struct MpdsAccum {
+    candidates: HashMap<NodeSet, u32>,
+    empty_worlds: usize,
+    densest_counts: Vec<usize>,
+    truncated: bool,
+    choice_rng: StdRng,
+}
+
+impl MpdsAccum {
+    fn new(q: &Query) -> Self {
+        MpdsAccum {
+            candidates: HashMap::new(),
+            empty_worlds: 0,
+            densest_counts: Vec::with_capacity(q.theta),
+            truncated: false,
+            choice_rng: StdRng::seed_from_u64(q.choice_seed),
+        }
+    }
+}
+
+impl Accum for MpdsAccum {
+    fn fresh(&self) -> Self {
+        MpdsAccum {
+            candidates: HashMap::new(),
+            empty_worlds: 0,
+            densest_counts: Vec::new(),
+            truncated: false,
+            choice_rng: self.choice_rng.clone(),
+        }
+    }
+
+    fn consume(&mut self, world: &Graph, q: &Query) {
+        let subgraphs: Vec<NodeSet> = if q.heuristic {
+            match heuristic_dense_subgraphs(world, &q.notion) {
+                None => Vec::new(),
+                Some(h) => h.subgraphs,
+            }
+        } else {
+            match all_densest(world, &q.notion, q.enumeration_cap) {
+                None => Vec::new(),
+                Some(r) => {
+                    self.truncated |= r.truncated;
+                    r.subgraphs
+                }
+            }
+        };
+        if subgraphs.is_empty() {
+            self.empty_worlds += 1;
+            self.densest_counts.push(0);
+            return;
+        }
+        self.densest_counts.push(subgraphs.len());
+        if q.all_densest {
+            for sg in subgraphs {
+                *self.candidates.entry(sg).or_insert(0) += 1;
+            }
+        } else {
+            // §VI-D ablation: one uniformly random densest subgraph.
+            let pick = self.choice_rng.gen_range(0..subgraphs.len());
+            *self.candidates.entry(subgraphs[pick].clone()).or_insert(0) += 1;
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (set, c) in other.candidates {
+            *self.candidates.entry(set).or_insert(0) += c;
+        }
+        self.empty_worlds += other.empty_worlds;
+        self.densest_counts.extend(other.densest_counts);
+        self.truncated |= other.truncated;
+    }
+}
+
+struct NdsAccum {
+    transactions: Vec<NodeSet>,
+    empty_worlds: usize,
+}
+
+impl NdsAccum {
+    fn new(q: &Query) -> Self {
+        NdsAccum {
+            transactions: Vec::with_capacity(q.theta),
+            empty_worlds: 0,
+        }
+    }
+}
+
+impl Accum for NdsAccum {
+    fn fresh(&self) -> Self {
+        NdsAccum {
+            transactions: Vec::new(),
+            empty_worlds: 0,
+        }
+    }
+
+    fn consume(&mut self, world: &Graph, q: &Query) {
+        let max_sized: Option<NodeSet> = if q.heuristic {
+            // Heuristic stand-in: the densest subgraph found by core peeling.
+            heuristic_dense_subgraphs(world, &q.notion).map(|h| h.subgraphs[0].clone())
+        } else {
+            max_sized_densest(world, &q.notion).map(|(_, ms)| ms)
+        };
+        match max_sized {
+            Some(ms) => self.transactions.push(ms),
+            None => self.empty_worlds += 1,
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.transactions.extend(other.transactions);
+        self.empty_worlds += other.empty_worlds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(deprecated)]
+
+    use super::*;
+    use crate::estimate::top_k_mpds;
+    use crate::nds::top_k_nds;
+    use crate::parallel::parallel_top_k_mpds;
+
+    fn fig1() -> UncertainGraph {
+        UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)])
+    }
+
+    /// The compile-time snapshot of the exported `mpds::api` surface: if a
+    /// public item is renamed or removed, this use-list stops compiling and
+    /// tier-1 fails. Extend it when the surface grows.
+    #[test]
+    fn public_api_surface_snapshot() {
+        #[allow(unused_imports)]
+        use crate::api::{
+            ApiError, Exec, NoProgress, ProgressCounter, ProgressSink, Query, Run, RunDetails,
+            RunStats, SamplerKind, Score,
+        };
+        // Constructor and terminal signatures are part of the contract.
+        let _mpds: fn(DensityNotion) -> Query = Query::mpds;
+        let _nds: fn(DensityNotion) -> Query = Query::nds;
+        let _run: fn(&Query, &UncertainGraph) -> Result<Run, ApiError> = Query::run;
+        let _build: fn(SamplerKind, &UncertainGraph, u64) -> Box<dyn WorldSampler> =
+            SamplerKind::build;
+        let _variants = [SamplerKind::MonteCarlo, SamplerKind::Lp, SamplerKind::Rss];
+        let _modes = [Exec::Serial, Exec::Threads(2)];
+        let _scores = [Score::TauHat, Score::GammaHat];
+    }
+
+    #[test]
+    fn serial_mpds_is_bit_identical_to_legacy() {
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 300, 3);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(17));
+        let legacy = top_k_mpds(&g, &mut mc, &cfg);
+        let run = Query::mpds(DensityNotion::Edge)
+            .theta(300)
+            .k(3)
+            .seed(17)
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.top_k, legacy.top_k);
+        match run.details {
+            RunDetails::Mpds(r) => {
+                assert_eq!(r.candidates, legacy.candidates);
+                assert_eq!(r.densest_counts, legacy.densest_counts);
+                assert_eq!(r.empty_worlds, legacy.empty_worlds);
+            }
+            RunDetails::Nds(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn threads_mpds_is_bit_identical_to_legacy_parallel() {
+        let g = fig1();
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 500, 3);
+        let legacy = parallel_top_k_mpds(&g, &cfg, 42, 3);
+        let run = Query::mpds(DensityNotion::Edge)
+            .theta(500)
+            .k(3)
+            .seed(42)
+            .exec(Exec::Threads(3))
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.top_k, legacy.top_k);
+        match run.details {
+            RunDetails::Mpds(r) => {
+                assert_eq!(r.candidates, legacy.candidates);
+                assert_eq!(r.densest_counts, legacy.densest_counts);
+            }
+            RunDetails::Nds(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn serial_nds_is_bit_identical_to_legacy() {
+        let g = fig1();
+        let cfg = NdsConfig::new(DensityNotion::Edge, 200, 4, 2);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(8));
+        let legacy = top_k_nds(&g, &mut mc, &cfg);
+        let run = Query::nds(DensityNotion::Edge)
+            .theta(200)
+            .k(4)
+            .min_size(2)
+            .seed(8)
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.top_k, legacy.top_k);
+        match run.details {
+            RunDetails::Nds(r) => {
+                assert_eq!(r.transactions, legacy.transactions);
+                assert_eq!(r.empty_worlds, legacy.empty_worlds);
+            }
+            RunDetails::Mpds(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn threads_nds_concatenates_worker_streams_in_order() {
+        let g = fig1();
+        let (seed, theta, workers) = (9u64, 90usize, 4usize);
+        // Expected: worker w's transactions are a legacy serial run over
+        // MC sub-stream w with its quota.
+        let per = theta / workers;
+        let extra = theta % workers;
+        let mut expected: Vec<NodeSet> = Vec::new();
+        for w in 0..workers {
+            let quota = per + usize::from(w < extra);
+            let cfg = NdsConfig::new(DensityNotion::Edge, quota, 4, 2);
+            let mut mc = MonteCarlo::with_stream(&g, seed, w as u64);
+            expected.extend(top_k_nds(&g, &mut mc, &cfg).transactions);
+        }
+        let run = Query::nds(DensityNotion::Edge)
+            .theta(theta)
+            .k(4)
+            .seed(seed)
+            .exec(Exec::Threads(workers))
+            .run(&g)
+            .unwrap();
+        match run.details {
+            RunDetails::Nds(r) => assert_eq!(r.transactions, expected),
+            RunDetails::Mpds(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs_once() {
+        let g = fig1();
+        let bad = |q: Query, param: &str| match q.run(&g) {
+            Err(ApiError::InvalidParameter { param: p, .. }) => assert_eq!(p, param),
+            other => panic!("expected invalid {param}, got {other:?}"),
+        };
+        bad(Query::mpds(DensityNotion::Edge).theta(0), "theta");
+        bad(
+            Query::mpds(DensityNotion::Edge).exec(Exec::Threads(0)),
+            "exec",
+        );
+        bad(
+            Query::mpds(DensityNotion::Edge)
+                .theta(2)
+                .exec(Exec::Threads(3)),
+            "exec",
+        );
+        let unsupported = Query::mpds(DensityNotion::Edge)
+            .theta(10)
+            .all_densest(false)
+            .exec(Exec::Threads(2))
+            .run(&g);
+        assert!(matches!(unsupported, Err(ApiError::Unsupported { .. })));
+    }
+
+    /// The legacy entry points accepted degenerate `k = 0` ("rank nothing")
+    /// and NDS `min_size = 0` (no size floor); the builder — and therefore
+    /// the deprecated wrappers routed through it — must keep doing so
+    /// instead of panicking on an "unreachable" validation error.
+    #[test]
+    fn degenerate_k_and_min_size_stay_legal() {
+        let g = fig1();
+        let run = Query::mpds(DensityNotion::Edge)
+            .theta(20)
+            .k(0)
+            .run(&g)
+            .unwrap();
+        assert!(run.top_k.is_empty());
+        let run = Query::nds(DensityNotion::Edge)
+            .theta(20)
+            .k(2)
+            .min_size(0)
+            .run(&g)
+            .unwrap();
+        assert!(run.top_k.len() <= 2);
+        // And through the deprecated wrappers (the reported regression).
+        let cfg = MpdsConfig::new(DensityNotion::Edge, 20, 0);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(1));
+        assert!(top_k_mpds(&g, &mut mc, &cfg).top_k.is_empty());
+        let cfg = NdsConfig::new(DensityNotion::Edge, 20, 2, 0);
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(1));
+        let _ = top_k_nds(&g, &mut mc, &cfg);
+    }
+
+    #[test]
+    fn external_sampler_rejects_threads() {
+        let g = fig1();
+        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(1));
+        let err = Query::mpds(DensityNotion::Edge)
+            .theta(10)
+            .exec(Exec::Threads(2))
+            .run_with_sampler(&g, &mut mc)
+            .unwrap_err();
+        assert!(matches!(err, ApiError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn interrupted_run_reports_reason_serial_and_threads() {
+        use std::time::Duration;
+        let g = fig1();
+        let expired =
+            RunControl::unbounded().with_deadline(Instant::now() - Duration::from_millis(1));
+        for exec in [Exec::Serial, Exec::Threads(2)] {
+            let err = Query::mpds(DensityNotion::Edge)
+                .theta(1000)
+                .control(expired.clone())
+                .exec(exec)
+                .run(&g)
+                .unwrap_err();
+            match err {
+                ApiError::Interrupted(i) => {
+                    assert_eq!(i.reason, InterruptReason::DeadlineExceeded);
+                    assert_eq!(i.completed_worlds, 0);
+                }
+                other => panic!("expected interruption, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn progress_counts_worlds_under_both_exec_modes() {
+        let g = fig1();
+        for exec in [Exec::Serial, Exec::Threads(3)] {
+            let counter = ProgressCounter::new();
+            Query::mpds(DensityNotion::Edge)
+                .theta(60)
+                .progress(counter.clone())
+                .exec(exec)
+                .run(&g)
+                .unwrap();
+            assert_eq!(counter.done(), 60, "{exec:?}");
+            assert_eq!(counter.requested(), 60, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn samplers_are_selectable_and_deterministic() {
+        let g = fig1();
+        for kind in [SamplerKind::MonteCarlo, SamplerKind::Lp, SamplerKind::Rss] {
+            let q = Query::mpds(DensityNotion::Edge)
+                .theta(400)
+                .k(1)
+                .sampler(kind)
+                .seed(5);
+            let a = q.run(&g).unwrap();
+            let b = q.run(&g).unwrap();
+            assert_eq!(a.top_k, b.top_k, "{}", kind.name());
+            // All strategies find the true MPDS {B, D} at this θ.
+            assert_eq!(a.top_k[0].0, vec![1, 3], "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn heuristic_parallel_is_deterministic() {
+        let g = fig1();
+        let q = Query::mpds(DensityNotion::Edge)
+            .theta(200)
+            .k(2)
+            .heuristic(true)
+            .exec(Exec::Threads(2));
+        let a = q.run(&g).unwrap();
+        let b = q.run(&g).unwrap();
+        assert_eq!(a.top_k, b.top_k);
+        assert!(!a.top_k.is_empty());
+    }
+
+    #[test]
+    fn stats_carry_convergence_diagnostics() {
+        let g = fig1();
+        let run = Query::mpds(DensityNotion::Edge).theta(100).run(&g).unwrap();
+        let (mean, _std, q) = run.stats.densest_count_summary.unwrap();
+        assert!(mean >= 0.0 && q[0] <= q[1] && q[1] <= q[2]);
+        let nds = Query::nds(DensityNotion::Edge).theta(50).run(&g).unwrap();
+        assert!(nds.stats.densest_count_summary.is_none());
+        assert_eq!(nds.stats.worlds_sampled, 50);
+    }
+}

@@ -7,12 +7,9 @@
 //! * §VI-F (Figs. 8–15): brain networks — 3-clique MPDS on simulated TD and
 //!   ASD group graphs, measured by lobes spanned and hemispheric symmetry.
 
+use crate::api::Query;
 use crate::baselines::{dds, eds, ucore, utruss};
-use crate::estimate::{top_k_mpds, MpdsConfig};
 use densest::DensityNotion;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
 use ugraph::brain::{Atlas, Cohort, Lobe};
 use ugraph::{datasets, metrics, NodeSet};
 
@@ -48,9 +45,12 @@ pub fn karate_case_study(theta: usize, k: usize, seed: u64) -> KarateCaseStudy {
     let g = &data.graph;
     let comms = data.communities.as_ref().expect("karate has ground truth");
 
-    let cfg = MpdsConfig::new(DensityNotion::Edge, theta, k);
-    let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(seed));
-    let mpds = top_k_mpds(g, &mut mc, &cfg);
+    let mpds = Query::mpds(DensityNotion::Edge)
+        .theta(theta)
+        .k(k)
+        .seed(seed)
+        .run(g)
+        .expect("valid case-study parameters");
 
     let score = |method: &'static str, set: NodeSet| ScoredSubgraph {
         method,
@@ -129,9 +129,12 @@ pub fn brain_case_study(cohort: Cohort, theta: usize, seed: u64) -> BrainCaseStu
     };
 
     let mut subgraphs = Vec::new();
-    let cfg = MpdsConfig::new(notion.clone(), theta, 1);
-    let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(seed ^ 0xb12a));
-    let mpds = top_k_mpds(&g, &mut mc, &cfg);
+    let mpds = Query::mpds(notion.clone())
+        .theta(theta)
+        .k(1)
+        .seed(seed ^ 0xb12a)
+        .run(&g)
+        .expect("valid case-study parameters");
     if let Some((set, _)) = mpds.top_k.first() {
         subgraphs.push(measure("MPDS", set.clone()));
     }

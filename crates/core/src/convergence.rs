@@ -6,8 +6,7 @@
 //! previous value of θ till a certain point, after which it converges". This
 //! module packages that schedule for both MPDS and NDS.
 
-use crate::estimate::{top_k_mpds, MpdsConfig};
-use crate::nds::{top_k_nds, NdsConfig};
+use crate::api::Query;
 use densest::DensityNotion;
 use sampling::WorldSampler;
 use ugraph::nodeset::set_family_similarity;
@@ -51,9 +50,12 @@ pub fn mpds_convergence<S: WorldSampler>(
     mut make_sampler: impl FnMut() -> S,
 ) -> ConvergenceTrace {
     run_schedule(theta0, theta_cap, threshold, |theta| {
-        let cfg = MpdsConfig::new(notion.clone(), theta, k);
         let mut sampler = make_sampler();
-        top_k_mpds(g, &mut sampler, &cfg)
+        Query::mpds(notion.clone())
+            .theta(theta)
+            .k(k)
+            .run_with_sampler(g, &mut sampler)
+            .expect("an unbounded convergence step cannot fail")
             .top_k
             .into_iter()
             .map(|(s, _)| s)
@@ -73,9 +75,13 @@ pub fn nds_convergence<S: WorldSampler>(
     mut make_sampler: impl FnMut() -> S,
 ) -> ConvergenceTrace {
     run_schedule(theta0, theta_cap, threshold, |theta| {
-        let cfg = NdsConfig::new(notion.clone(), theta, k, min_size);
         let mut sampler = make_sampler();
-        top_k_nds(g, &mut sampler, &cfg)
+        Query::nds(notion.clone())
+            .theta(theta)
+            .k(k)
+            .min_size(min_size)
+            .run_with_sampler(g, &mut sampler)
+            .expect("an unbounded convergence step cannot fail")
             .top_k
             .into_iter()
             .map(|(s, _)| s)

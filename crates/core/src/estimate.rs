@@ -5,13 +5,12 @@
 //! estimated densest subgraph probability `τ̂(U) = count(U) / θ` (an unbiased
 //! estimator — paper Lemma 1; accuracy guarantees in [`crate::theory`]).
 
+use crate::api::{ApiError, Query, RunDetails};
 use crate::control::{Interrupted, RunControl};
-use densest::{all_densest, heuristic::heuristic_dense_subgraphs, DensityNotion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use densest::DensityNotion;
 use sampling::WorldSampler;
 use std::collections::HashMap;
-use ugraph::{EdgeMask, Graph, NodeId, NodeSet, UncertainGraph};
+use ugraph::{NodeId, NodeSet, UncertainGraph};
 
 /// Configuration for the top-k MPDS estimator.
 #[derive(Debug, Clone)]
@@ -82,11 +81,17 @@ impl MpdsResult {
 
 /// Runs Algorithm 1 with the given sampler (Monte Carlo in the paper's
 /// default setup; LP and RSS are drop-in alternatives compared in §VI-G).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `mpds::api::Query::mpds(..).run_with_sampler(..)` — one builder \
+            for every estimator, sampler, and execution mode"
+)]
 pub fn top_k_mpds<S: WorldSampler>(
     g: &UncertainGraph,
     sampler: &mut S,
     cfg: &MpdsConfig,
 ) -> MpdsResult {
+    #[allow(deprecated)]
     match top_k_mpds_with_control(g, sampler, cfg, &RunControl::unbounded()) {
         Ok(r) => r,
         Err(_) => unreachable!("an unbounded RunControl never interrupts"),
@@ -95,8 +100,11 @@ pub fn top_k_mpds<S: WorldSampler>(
 
 /// Runs Algorithm 1 under a [`RunControl`]: the control is polled once per
 /// sampled world, and a raised deadline/cancellation stops the run with
-/// [`Interrupted`] instead of returning a truncated estimate. This is the
-/// serving-layer entry point; `top_k_mpds` is this with an unbounded control.
+/// [`Interrupted`] instead of returning a truncated estimate.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `mpds::api::Query::mpds(..).control(..).run_with_sampler(..)`"
+)]
 pub fn top_k_mpds_with_control<S: WorldSampler>(
     g: &UncertainGraph,
     sampler: &mut S,
@@ -104,69 +112,26 @@ pub fn top_k_mpds_with_control<S: WorldSampler>(
     ctrl: &RunControl,
 ) -> Result<MpdsResult, Interrupted> {
     assert!(cfg.theta > 0, "need at least one sample");
-    let mut candidates: HashMap<NodeSet, u32> = HashMap::new();
-    let mut empty_worlds = 0usize;
-    let mut densest_counts = Vec::with_capacity(cfg.theta);
-    let mut truncated = false;
-    let mut choice_rng = StdRng::seed_from_u64(cfg.choice_seed);
-
-    // One edge-presence bitmap and one CSR world, recycled across all θ
-    // samples: the steady-state loop allocates nothing per world.
-    let mut mask = EdgeMask::new(g.num_edges());
-    let mut world = Graph::default();
-    for completed in 0..cfg.theta {
-        if let Some(reason) = ctrl.interruption() {
-            return Err(Interrupted {
-                reason,
-                completed_worlds: completed,
-            });
-        }
-        sampler.next_mask_into(&mut mask);
-        world = g.world_from_bitmap(&mask, world);
-        let subgraphs: Vec<NodeSet> = if cfg.heuristic {
-            match heuristic_dense_subgraphs(&world, &cfg.notion) {
-                None => Vec::new(),
-                Some(h) => h.subgraphs,
-            }
-        } else {
-            match all_densest(&world, &cfg.notion, cfg.enumeration_cap) {
-                None => Vec::new(),
-                Some(r) => {
-                    truncated |= r.truncated;
-                    r.subgraphs
-                }
-            }
-        };
-        if subgraphs.is_empty() {
-            empty_worlds += 1;
-            densest_counts.push(0);
-            continue;
-        }
-        densest_counts.push(subgraphs.len());
-        if cfg.all_densest {
-            for sg in subgraphs {
-                *candidates.entry(sg).or_insert(0) += 1;
-            }
-        } else {
-            // §VI-D ablation: one uniformly random densest subgraph.
-            let pick = choice_rng.gen_range(0..subgraphs.len());
-            *candidates.entry(subgraphs[pick].clone()).or_insert(0) += 1;
-        }
+    let run = Query::from_mpds_config(cfg)
+        .control(ctrl.clone())
+        .run_with_sampler(g, sampler);
+    match run {
+        Ok(r) => match r.details {
+            RunDetails::Mpds(result) => Ok(result),
+            RunDetails::Nds(_) => unreachable!("Query::mpds produces MPDS details"),
+        },
+        Err(ApiError::Interrupted(i)) => Err(i),
+        Err(e) => unreachable!("legacy wrapper pre-validated the config: {e}"),
     }
-
-    let top_k = select_top_k(&candidates, cfg.k, cfg.theta);
-    Ok(MpdsResult {
-        top_k,
-        candidates,
-        theta: cfg.theta,
-        empty_worlds,
-        densest_counts,
-        truncated,
-    })
 }
 
-/// Deterministically selects the k best candidates.
-fn select_top_k(candidates: &HashMap<NodeSet, u32>, k: usize, theta: usize) -> Vec<(NodeSet, f64)> {
+/// Deterministically selects the k best candidates (shared by the builder
+/// API's serial and parallel execution paths).
+pub(crate) fn select_top_k(
+    candidates: &HashMap<NodeSet, u32>,
+    k: usize,
+    theta: usize,
+) -> Vec<(NodeSet, f64)> {
     let mut all: Vec<(&NodeSet, u32)> = candidates.iter().map(|(s, &c)| (s, c)).collect();
     all.sort_by(|a, b| {
         b.1.cmp(&a.1)
@@ -198,7 +163,13 @@ pub fn densest_count_stats(counts: &[usize]) -> (f64, f64, [usize; 3]) {
 
 #[cfg(test)]
 mod tests {
+    // These tests pin the behavior of the deprecated wrappers (the
+    // equivalence contract the builder API is held to).
+    #![allow(deprecated)]
+
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use sampling::MonteCarlo;
     use ugraph::UncertainGraph;
 

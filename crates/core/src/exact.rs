@@ -113,6 +113,8 @@ pub fn average_f1_across_ranks(approx: &[(NodeSet, f64)], exact: &[(NodeSet, f64
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // cross-checks against the legacy Algorithm 1 entry point
+
     use super::*;
     use crate::estimate::{top_k_mpds, MpdsConfig};
     use rand::rngs::StdRng;

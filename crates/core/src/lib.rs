@@ -5,6 +5,9 @@
 //! a densest subgraph in a possible world of `G` (paper Def. 4); computing it
 //! is #P-hard (Theorem 1). This crate implements:
 //!
+//! * [`api`] — **the crate's front door**: the typed [`api::Query`] builder
+//!   that validates once and runs any estimator / sampler / execution-mode
+//!   combination through one code path;
 //! * [`estimate`] — the sampling estimator for top-k MPDS (paper
 //!   Algorithm 1) for edge, clique, and pattern densities, including the
 //!   one-densest-subgraph ablation of §VI-D and the heuristic mode of §III-C;
@@ -30,21 +33,23 @@
 //!
 //! ```
 //! use densest::DensityNotion;
-//! use mpds::estimate::{top_k_mpds, MpdsConfig};
-//! use rand::{rngs::StdRng, SeedableRng};
-//! use sampling::MonteCarlo;
+//! use mpds::api::Query;
 //! use ugraph::UncertainGraph;
 //!
 //! // A = 0, B = 1, C = 2, D = 3.
 //! let g = UncertainGraph::from_weighted_edges(
 //!     4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)]);
-//! let cfg = MpdsConfig::new(DensityNotion::Edge, 2000, 1);
-//! let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(42));
-//! let result = top_k_mpds(&g, &mut mc, &cfg);
-//! assert_eq!(result.top_k[0].0, vec![1, 3]); // {B, D}
-//! assert!((result.top_k[0].1 - 0.42).abs() < 0.04);
+//! let run = Query::mpds(DensityNotion::Edge)
+//!     .theta(2000)
+//!     .k(1)
+//!     .seed(42)
+//!     .run(&g)
+//!     .expect("valid query");
+//! assert_eq!(run.top_k[0].0, vec![1, 3]); // {B, D}
+//! assert!((run.top_k[0].1 - 0.42).abs() < 0.04);
 //! ```
 
+pub mod api;
 pub mod baselines;
 pub mod case_studies;
 pub mod control;
@@ -56,6 +61,13 @@ pub mod parallel;
 pub mod single;
 pub mod theory;
 
+pub use api::{ApiError, Exec, ProgressSink, Query, Run, SamplerKind};
 pub use control::{InterruptReason, Interrupted, RunControl};
-pub use estimate::{top_k_mpds, top_k_mpds_with_control, MpdsConfig, MpdsResult};
-pub use nds::{top_k_nds, top_k_nds_with_control, NdsConfig, NdsResult};
+pub use estimate::{MpdsConfig, MpdsResult};
+pub use nds::{NdsConfig, NdsResult};
+// The legacy free functions stay re-exported (deprecated) so downstream
+// diffs remain reviewable while consumers migrate to `mpds::api`.
+#[allow(deprecated)]
+pub use estimate::{top_k_mpds, top_k_mpds_with_control};
+#[allow(deprecated)]
+pub use nds::{top_k_nds, top_k_nds_with_control};

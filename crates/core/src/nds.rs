@@ -10,11 +10,11 @@
 //! a transaction, and mines the top-k *closed* node sets of size ≥ `l_m` by
 //! support with TFP \[47\] — here, [`itemset::top_k_closed`].
 
+use crate::api::{ApiError, Query, RunDetails};
 use crate::control::{Interrupted, RunControl};
-use densest::{heuristic::heuristic_dense_subgraphs, max_sized_densest, DensityNotion};
-use itemset::top_k_closed;
+use densest::DensityNotion;
 use sampling::WorldSampler;
-use ugraph::{EdgeMask, Graph, NodeId, NodeSet, UncertainGraph};
+use ugraph::{NodeId, NodeSet, UncertainGraph};
 
 /// Configuration for the NDS estimator.
 #[derive(Debug, Clone)]
@@ -75,11 +75,17 @@ impl NdsResult {
 }
 
 /// Runs Algorithm 5: sample → maximum-sized densest subgraph → TFP.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `mpds::api::Query::nds(..).run_with_sampler(..)` — one builder \
+            for every estimator, sampler, and execution mode"
+)]
 pub fn top_k_nds<S: WorldSampler>(
     g: &UncertainGraph,
     sampler: &mut S,
     cfg: &NdsConfig,
 ) -> NdsResult {
+    #[allow(deprecated)]
     match top_k_nds_with_control(g, sampler, cfg, &RunControl::unbounded()) {
         Ok(r) => r,
         Err(_) => unreachable!("an unbounded RunControl never interrupts"),
@@ -88,8 +94,11 @@ pub fn top_k_nds<S: WorldSampler>(
 
 /// Runs Algorithm 5 under a [`RunControl`]: polled once per sampled world;
 /// a raised deadline/cancellation stops the run with [`Interrupted`] before
-/// the closed-itemset mining phase. `top_k_nds` is this with an unbounded
-/// control.
+/// the closed-itemset mining phase.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `mpds::api::Query::nds(..).control(..).run_with_sampler(..)`"
+)]
 pub fn top_k_nds_with_control<S: WorldSampler>(
     g: &UncertainGraph,
     sampler: &mut S,
@@ -97,49 +106,25 @@ pub fn top_k_nds_with_control<S: WorldSampler>(
     ctrl: &RunControl,
 ) -> Result<NdsResult, Interrupted> {
     assert!(cfg.theta > 0, "need at least one sample");
-    let mut transactions: Vec<NodeSet> = Vec::with_capacity(cfg.theta);
-    let mut empty_worlds = 0usize;
-    let mut mask = EdgeMask::new(g.num_edges());
-    let mut world = Graph::default();
-    for completed in 0..cfg.theta {
-        if let Some(reason) = ctrl.interruption() {
-            return Err(Interrupted {
-                reason,
-                completed_worlds: completed,
-            });
-        }
-        sampler.next_mask_into(&mut mask);
-        world = g.world_from_bitmap(&mask, world);
-        let max_sized: Option<NodeSet> = if cfg.heuristic {
-            // Heuristic stand-in: the densest subgraph found by core peeling
-            // (its first entry is the densest candidate; ties broke toward
-            // larger sets inside the heuristic).
-            heuristic_dense_subgraphs(&world, &cfg.notion).map(|h| h.subgraphs[0].clone())
-        } else {
-            max_sized_densest(&world, &cfg.notion).map(|(_, ms)| ms)
-        };
-        match max_sized {
-            Some(ms) => transactions.push(ms),
-            None => empty_worlds += 1,
-        }
+    let run = Query::from_nds_config(cfg)
+        .control(ctrl.clone())
+        .run_with_sampler(g, sampler);
+    match run {
+        Ok(r) => match r.details {
+            RunDetails::Nds(result) => Ok(result),
+            RunDetails::Mpds(_) => unreachable!("Query::nds produces NDS details"),
+        },
+        Err(ApiError::Interrupted(i)) => Err(i),
+        Err(e) => unreachable!("legacy wrapper pre-validated the config: {e}"),
     }
-    let (mined, miner_capped) =
-        top_k_closed(&transactions, cfg.k, cfg.min_size, cfg.miner_node_cap);
-    let top_k = mined
-        .into_iter()
-        .map(|c| (c.items, c.support as f64 / cfg.theta as f64))
-        .collect();
-    Ok(NdsResult {
-        top_k,
-        transactions,
-        theta: cfg.theta,
-        empty_worlds,
-        miner_capped,
-    })
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests pin the behavior of the deprecated wrappers (the
+    // equivalence contract the builder API is held to).
+    #![allow(deprecated)]
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -11,16 +11,22 @@
 //! seeding worker `w` with `seed + w`: the additive scheme silently shares
 //! all but one stream between runs rooted at adjacent seeds, correlating
 //! experiments that are supposed to be independent replicates.
+//!
+//! This module is now a thin compatibility shim: the actual fan-out lives in
+//! [`crate::api`] behind `Query::..().exec(Exec::Threads(n))`, which extends
+//! it to NDS, the heuristic mode, and every sampler kind.
 
+use crate::api::{Exec, Query, RunDetails};
 use crate::estimate::{MpdsConfig, MpdsResult};
-use densest::all_densest;
-use sampling::{MonteCarlo, WorldSampler};
-use std::collections::HashMap;
-use ugraph::{EdgeMask, Graph, NodeSet, UncertainGraph};
+use ugraph::UncertainGraph;
 
 /// Runs Algorithm 1 with `workers` scoped threads, splitting θ evenly.
 /// Worker `w` uses Monte-Carlo sub-stream `w` of the root `seed`
 /// ([`sampling::stream_seed`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `mpds::api::Query::mpds(..).exec(Exec::Threads(n)).run(..)`"
+)]
 pub fn parallel_top_k_mpds(
     g: &UncertainGraph,
     cfg: &MpdsConfig,
@@ -32,96 +38,27 @@ pub fn parallel_top_k_mpds(
         cfg.all_densest && !cfg.heuristic,
         "parallel ablation covers the default configuration only"
     );
-    let per = cfg.theta / workers;
-    let extra = cfg.theta % workers; // first `extra` workers take one more
-
-    struct Partial {
-        candidates: HashMap<NodeSet, u32>,
-        empty_worlds: usize,
-        densest_counts: Vec<usize>,
-        truncated: bool,
-    }
-
-    let partials: Vec<Partial> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let quota = per + usize::from(w < extra);
-                let notion = cfg.notion.clone();
-                let cap = cfg.enumeration_cap;
-                scope.spawn(move || {
-                    let mut mc = MonteCarlo::with_stream(g, seed, w as u64);
-                    let mut p = Partial {
-                        candidates: HashMap::new(),
-                        empty_worlds: 0,
-                        densest_counts: Vec::with_capacity(quota),
-                        truncated: false,
-                    };
-                    let mut mask = EdgeMask::new(g.num_edges());
-                    let mut world = Graph::default();
-                    for _ in 0..quota {
-                        mc.next_mask_into(&mut mask);
-                        world = g.world_from_bitmap(&mask, world);
-                        match all_densest(&world, &notion, cap) {
-                            None => {
-                                p.empty_worlds += 1;
-                                p.densest_counts.push(0);
-                            }
-                            Some(r) => {
-                                p.truncated |= r.truncated;
-                                p.densest_counts.push(r.subgraphs.len());
-                                for sg in r.subgraphs {
-                                    *p.candidates.entry(sg).or_insert(0) += 1;
-                                }
-                            }
-                        }
-                    }
-                    p
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
-
-    let mut candidates: HashMap<NodeSet, u32> = HashMap::new();
-    let mut empty_worlds = 0;
-    let mut densest_counts = Vec::with_capacity(cfg.theta);
-    let mut truncated = false;
-    for p in partials {
-        for (set, c) in p.candidates {
-            *candidates.entry(set).or_insert(0) += c;
-        }
-        empty_worlds += p.empty_worlds;
-        densest_counts.extend(p.densest_counts);
-        truncated |= p.truncated;
-    }
-
-    // Same deterministic selection as the sequential estimator.
-    let mut all: Vec<(&NodeSet, u32)> = candidates.iter().map(|(s, &c)| (s, c)).collect();
-    all.sort_by(|a, b| {
-        b.1.cmp(&a.1)
-            .then(a.0.len().cmp(&b.0.len()))
-            .then(a.0.cmp(b.0))
-    });
-    let top_k = all
-        .into_iter()
-        .take(cfg.k)
-        .map(|(s, c)| (s.clone(), c as f64 / cfg.theta as f64))
-        .collect();
-    MpdsResult {
-        top_k,
-        candidates,
-        theta: cfg.theta,
-        empty_worlds,
-        densest_counts,
-        truncated,
+    let run = Query::from_mpds_config(cfg)
+        .seed(seed)
+        .exec(Exec::Threads(workers))
+        .run(g)
+        .expect("asserted preconditions satisfy the builder's validation");
+    match run.details {
+        RunDetails::Mpds(result) => result,
+        RunDetails::Nds(_) => unreachable!("Query::mpds produces MPDS details"),
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // These tests pin the behavior of the deprecated wrapper (the
+    // equivalence contract the builder API is held to).
+    #![allow(deprecated)]
+
     use super::*;
     use crate::estimate::top_k_mpds;
     use densest::DensityNotion;
+    use sampling::MonteCarlo;
 
     fn fig1() -> UncertainGraph {
         UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)])

@@ -8,10 +8,12 @@
 //! `U` is contained in a densest subgraph iff it is contained in the
 //! maximum-sized one (footnote 5).
 
+use crate::api::{sample_worlds, NoProgress};
+use crate::control::RunControl;
 use densest::solve::instances_of;
 use densest::{max_density, max_sized_densest, Density, DensityNotion};
 use sampling::WorldSampler;
-use ugraph::{nodeset, EdgeMask, Graph, NodeId, UncertainGraph};
+use ugraph::{nodeset, NodeId, UncertainGraph};
 
 /// Estimated `τ̂(U)` for each of the given node sets, from θ sampled worlds.
 pub fn estimate_tau_for<S: WorldSampler>(
@@ -23,25 +25,29 @@ pub fn estimate_tau_for<S: WorldSampler>(
 ) -> Vec<f64> {
     assert!(theta > 0);
     let mut hits = vec![0u32; sets.len()];
-    let mut mask = EdgeMask::new(g.num_edges());
-    let mut world = Graph::default();
-    for _ in 0..theta {
-        sampler.next_mask_into(&mut mask);
-        world = g.world_from_bitmap(&mask, world);
-        let Some(rho) = max_density(&world, notion) else {
-            continue;
-        };
-        let inst = instances_of(&world, notion);
-        for (i, set) in sets.iter().enumerate() {
-            if set.is_empty() {
-                continue;
+    sample_worlds(
+        g,
+        sampler,
+        theta,
+        &RunControl::unbounded(),
+        &NoProgress,
+        |world| {
+            let Some(rho) = max_density(world, notion) else {
+                return;
+            };
+            let inst = instances_of(world, notion);
+            for (i, set) in sets.iter().enumerate() {
+                if set.is_empty() {
+                    continue;
+                }
+                let cnt = inst.count_within(world.num_nodes(), set);
+                if cnt > 0 && Density::new(cnt, set.len() as u64) == rho {
+                    hits[i] += 1;
+                }
             }
-            let cnt = inst.count_within(world.num_nodes(), set);
-            if cnt > 0 && Density::new(cnt, set.len() as u64) == rho {
-                hits[i] += 1;
-            }
-        }
-    }
+        },
+    )
+    .expect("an unbounded RunControl never interrupts");
     hits.iter().map(|&h| h as f64 / theta as f64).collect()
 }
 
@@ -63,25 +69,31 @@ pub fn estimate_gamma_for<S: WorldSampler>(
         })
         .collect();
     let mut hits = vec![0u32; sets.len()];
-    let mut mask = EdgeMask::new(g.num_edges());
-    let mut world = Graph::default();
-    for _ in 0..theta {
-        sampler.next_mask_into(&mut mask);
-        world = g.world_from_bitmap(&mask, world);
-        let Some((_, max_sized)) = max_sized_densest(&world, notion) else {
-            continue;
-        };
-        for (i, set) in sorted.iter().enumerate() {
-            if !set.is_empty() && nodeset::is_subset(set, &max_sized) {
-                hits[i] += 1;
+    sample_worlds(
+        g,
+        sampler,
+        theta,
+        &RunControl::unbounded(),
+        &NoProgress,
+        |world| {
+            let Some((_, max_sized)) = max_sized_densest(world, notion) else {
+                return;
+            };
+            for (i, set) in sorted.iter().enumerate() {
+                if !set.is_empty() && nodeset::is_subset(set, &max_sized) {
+                    hits[i] += 1;
+                }
             }
-        }
-    }
+        },
+    )
+    .expect("an unbounded RunControl never interrupts");
     hits.iter().map(|&h| h as f64 / theta as f64).collect()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // cross-checks against the legacy Algorithm 1 entry point
+
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -17,6 +17,7 @@
 //!   --density D     edge | Nclique | 2star | 3star | c3star | diamond
 //!                                                   [default edge]
 //!   --seed N        sampler seed                    [default 42]
+//!   --threads N     estimator worker threads        [default 1 = serial]
 //!   --heuristic     use the core-based heuristic per world
 //!   --json          emit the server's JSON response body instead of text
 //!
@@ -62,6 +63,7 @@ struct RunOptions {
     lm: usize,
     density: String,
     seed: u64,
+    threads: usize,
     heuristic: bool,
     json: bool,
 }
@@ -76,7 +78,8 @@ struct ServeOptions {
 }
 
 const USAGE: &str = "usage: mpds-cli <mpds|nds|stats> <edge-list> \\
-  [--theta N] [--k N] [--lm N] [--density D] [--seed N] [--heuristic] [--json]
+  [--theta N] [--k N] [--lm N] [--density D] [--seed N] [--threads N] \\
+  [--heuristic] [--json]
    or: mpds-cli serve [--bind ADDR] [--threads N] [--cache-capacity N] \\
   [--queue N] [--dataset NAME=PATH]...";
 
@@ -123,6 +126,7 @@ fn parse_run_args(
         lm: 2,
         density: "edge".to_string(),
         seed: 42,
+        threads: 1,
         heuristic: false,
         json: false,
     };
@@ -142,6 +146,14 @@ fn parse_run_args(
             "--k" => o.k = val("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--lm" => o.lm = val("--lm")?.parse().map_err(|e| format!("--lm: {e}"))?,
             "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => {
+                o.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if o.threads == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+            }
             "--density" => {
                 let d = val("--density")?;
                 parse_notion(&d)?; // fail fast, before any file I/O
@@ -241,6 +253,7 @@ fn run_command(o: &RunOptions) -> Result<(), String> {
         lm: o.lm,
         seed: o.seed,
         heuristic: o.heuristic,
+        threads: o.threads,
         timeout_ms: None,
     };
     let payload = run_query(&loaded, &req, &RunControl::unbounded()).map_err(|e| e.to_string())?;
@@ -364,6 +377,7 @@ mod tests {
     fn defaults_and_overrides() {
         let o = parse_run(&["mpds", "g.txt"]).unwrap();
         assert_eq!((o.theta, o.k, o.lm, o.seed), (320, 5, 2, 42));
+        assert_eq!(o.threads, 1);
         assert!(!o.heuristic && !o.json);
         let o = parse_run(&[
             "nds",
@@ -392,6 +406,20 @@ mod tests {
         assert!(e.contains("unknown option \"--verbose\""), "{e}");
         let e = parse_serve(&["serve", "--bogus"]).unwrap_err();
         assert!(e.contains("unknown option"), "{e}");
+    }
+
+    #[test]
+    fn run_threads_flag_is_parsed_and_validated() {
+        // Previously parallel execution was unreachable from the CLI;
+        // --threads wires Exec::Threads through the query engine.
+        let o = parse_run(&["mpds", "g.txt", "--threads", "4"]).unwrap();
+        assert_eq!(o.threads, 4);
+        let e = parse_run(&["mpds", "g.txt", "--threads", "0"]).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        let e = parse_run(&["nds", "g.txt", "--threads", "x"]).unwrap_err();
+        assert!(e.contains("--threads"), "{e}");
+        let e = parse_run(&["mpds", "g.txt", "--threads", "2", "--threads", "3"]).unwrap_err();
+        assert!(e.contains("duplicate option \"--threads\""), "{e}");
     }
 
     #[test]

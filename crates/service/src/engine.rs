@@ -3,7 +3,7 @@
 //!
 //! The contract that makes serving these estimators worthwhile is
 //! **determinism**: a query is fully described by
-//! `(dataset, algo, notion, θ, k, l_m, seed, heuristic)`, and two
+//! `(dataset, algo, notion, θ, k, l_m, seed, heuristic, threads)`, and two
 //! evaluations of the same key produce bytewise-identical JSON. The engine
 //! exploits that twice — a sharded LRU keyed on the tuple serves repeats
 //! from memory, and an in-flight table coalesces concurrent identical
@@ -14,11 +14,8 @@ use crate::cache::{CacheStats, ShardedLru};
 use crate::json::JsonWriter;
 use crate::registry::{GraphRegistry, LoadedGraph};
 use densest::DensityNotion;
+use mpds::api::{ApiError, Exec, ProgressCounter, ProgressSink, Query};
 use mpds::control::{InterruptReason, RunControl};
-use mpds::{top_k_mpds_with_control, top_k_nds_with_control, MpdsConfig, NdsConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -101,6 +98,10 @@ pub struct QueryRequest {
     pub seed: u64,
     /// Use the §III-C heuristic per world.
     pub heuristic: bool,
+    /// Worker threads for this query's sampling loop (1 = serial, the
+    /// default). Parallel runs draw per-worker sub-streams of `seed`, so
+    /// the thread count is response-affecting and part of the cache key.
+    pub threads: usize,
     /// Per-request deadline, if any.
     pub timeout_ms: Option<u64>,
 }
@@ -117,6 +118,7 @@ impl QueryRequest {
             lm: 2,
             seed: 42,
             heuristic: false,
+            threads: 1,
             timeout_ms: None,
         }
     }
@@ -132,6 +134,15 @@ impl QueryRequest {
         }
         if self.lm == 0 {
             return Err("lm must be at least 1".to_string());
+        }
+        if self.threads == 0 || self.threads > 64 {
+            return Err(format!("threads {} outside 1..=64", self.threads));
+        }
+        if self.threads > self.theta {
+            return Err(format!(
+                "threads {} exceeds theta {}",
+                self.threads, self.theta
+            ));
         }
         parse_notion(&self.notion)
     }
@@ -152,6 +163,7 @@ impl QueryRequest {
             },
             seed: self.seed,
             heuristic: self.heuristic,
+            threads: self.threads,
         }
     }
 }
@@ -167,6 +179,7 @@ pub struct QueryKey {
     lm: usize,
     seed: u64,
     heuristic: bool,
+    threads: usize,
 }
 
 /// The computed answer of a query, before serialization: node sets are
@@ -238,6 +251,25 @@ impl ResponseSource {
     }
 }
 
+/// Maps a validated [`QueryRequest`] onto the one typed entry point of the
+/// core crate, [`mpds::api::Query`].
+fn build_query(req: &QueryRequest, notion: DensityNotion, ctrl: &RunControl) -> Query {
+    let q = match req.algo {
+        Algo::Mpds => Query::mpds(notion),
+        Algo::Nds => Query::nds(notion).min_size(req.lm),
+    };
+    q.theta(req.theta)
+        .k(req.k)
+        .seed(req.seed)
+        .heuristic(req.heuristic)
+        .exec(if req.threads > 1 {
+            Exec::Threads(req.threads)
+        } else {
+            Exec::Serial
+        })
+        .control(ctrl.clone())
+}
+
 /// Runs a query against an already-loaded graph — the single computation
 /// path shared by the CLI (`--json` or human output) and the server.
 pub fn run_query(
@@ -245,44 +277,49 @@ pub fn run_query(
     req: &QueryRequest,
     ctrl: &RunControl,
 ) -> Result<ResponsePayload, QueryError> {
+    run_query_with_progress(g, req, ctrl, None)
+}
+
+/// [`run_query`] with an optional [`ProgressSink`] notified per sampled
+/// world — the hook behind the server's live `worlds_sampled` metric.
+pub fn run_query_with_progress(
+    g: &LoadedGraph,
+    req: &QueryRequest,
+    ctrl: &RunControl,
+    progress: Option<Arc<dyn ProgressSink>>,
+) -> Result<ResponsePayload, QueryError> {
     let notion = req.validate().map_err(QueryError::BadRequest)?;
-    let map_interrupt = |e: mpds::Interrupted| match e.reason {
-        InterruptReason::DeadlineExceeded => QueryError::DeadlineExceeded {
-            completed_worlds: e.completed_worlds,
-        },
-        InterruptReason::Cancelled => QueryError::Cancelled,
-    };
-    let mut mc = MonteCarlo::new(&g.graph, StdRng::seed_from_u64(req.seed));
-    let label_rows = |rows: Vec<(Vec<u32>, f64)>| -> Vec<(Vec<u32>, f64)> {
-        rows.into_iter()
-            .map(|(set, score)| (set.iter().map(|&v| g.label_of(v)).collect(), score))
-            .collect()
-    };
-    match req.algo {
-        Algo::Mpds => {
-            let mut cfg = MpdsConfig::new(notion, req.theta, req.k);
-            cfg.heuristic = req.heuristic;
-            let r =
-                top_k_mpds_with_control(&g.graph, &mut mc, &cfg, ctrl).map_err(map_interrupt)?;
-            Ok(ResponsePayload {
-                score_name: "tau_hat",
-                rows: label_rows(r.top_k),
-                empty_worlds: r.empty_worlds,
-                truncated: r.truncated,
-            })
-        }
-        Algo::Nds => {
-            let mut cfg = NdsConfig::new(notion, req.theta, req.k, req.lm);
-            cfg.heuristic = req.heuristic;
-            let r = top_k_nds_with_control(&g.graph, &mut mc, &cfg, ctrl).map_err(map_interrupt)?;
-            Ok(ResponsePayload {
-                score_name: "gamma_hat",
-                rows: label_rows(r.top_k),
-                empty_worlds: r.empty_worlds,
-                truncated: r.miner_capped,
-            })
-        }
+    let mut query = build_query(req, notion, ctrl);
+    if let Some(sink) = progress {
+        query = query.progress(sink);
     }
+    let run = query.run(&g.graph).map_err(|e| match e {
+        ApiError::Interrupted(i) => match i.reason {
+            InterruptReason::DeadlineExceeded => QueryError::DeadlineExceeded {
+                completed_worlds: i.completed_worlds,
+            },
+            InterruptReason::Cancelled => QueryError::Cancelled,
+        },
+        // Bounds the engine can't pre-check (e.g. threads > theta interplay)
+        // surface as client errors, never as panics.
+        other => QueryError::BadRequest(other.to_string()),
+    })?;
+    let rows = run
+        .top_k
+        .into_iter()
+        .map(|(set, score)| {
+            (
+                set.iter().map(|&v| g.label_of(v)).collect::<Vec<u32>>(),
+                score,
+            )
+        })
+        .collect();
+    Ok(ResponsePayload {
+        score_name: run.score.as_str(),
+        rows,
+        empty_worlds: run.stats.empty_worlds,
+        truncated: run.stats.truncated,
+    })
 }
 
 /// Serializes a query response. Field order is fixed; see [`crate::json`]
@@ -299,8 +336,13 @@ pub fn render_query_response(req: &QueryRequest, payload: &ResponsePayload) -> S
         w.field_uint("lm", req.lm as u64);
     }
     w.field_uint("seed", req.seed)
-        .field_bool("heuristic", req.heuristic)
-        .field_str("score", payload.score_name)
+        .field_bool("heuristic", req.heuristic);
+    // Serial responses keep the historical byte layout; parallel runs draw
+    // different worlds, so the thread count is surfaced in the body.
+    if req.threads > 1 {
+        w.field_uint("threads", req.threads as u64);
+    }
+    w.field_str("score", payload.score_name)
         .key("results")
         .begin_array();
     for (nodes, score) in &payload.rows {
@@ -417,6 +459,11 @@ pub struct EngineStats {
     pub computed: u64,
     /// Queries that joined an in-flight identical computation.
     pub coalesced: u64,
+    /// Possible worlds fully sampled across all computed queries — the live
+    /// progress feed from the estimators' [`ProgressSink`].
+    pub worlds_sampled: u64,
+    /// Possible worlds requested (θ summed) across all computed queries.
+    pub worlds_requested: u64,
 }
 
 /// The concurrent query engine: registry + cache + in-flight coalescing.
@@ -427,6 +474,8 @@ pub struct QueryEngine {
     cancel: Arc<AtomicBool>,
     computed: AtomicU64,
     coalesced: AtomicU64,
+    /// Shared per-world progress sink attached to every computed query.
+    worlds: Arc<ProgressCounter>,
 }
 
 impl QueryEngine {
@@ -439,6 +488,7 @@ impl QueryEngine {
             cancel: Arc::new(AtomicBool::new(false)),
             computed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            worlds: ProgressCounter::new(),
         }
     }
 
@@ -459,6 +509,8 @@ impl QueryEngine {
             cache: self.cache.stats(),
             computed: self.computed.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            worlds_sampled: self.worlds.done() as u64,
+            worlds_requested: self.worlds.requested() as u64,
         }
     }
 
@@ -545,7 +597,8 @@ impl QueryEngine {
         if let Some(d) = deadline {
             ctrl = ctrl.with_deadline(d);
         }
-        let payload = run_query(&graph, req, &ctrl)?;
+        let payload =
+            run_query_with_progress(&graph, req, &ctrl, Some(Arc::clone(&self.worlds) as _))?;
         self.computed.fetch_add(1, Ordering::Relaxed);
         Ok(Arc::new(render_query_response(req, &payload).into_bytes()))
     }
@@ -628,6 +681,41 @@ mod tests {
         let (rb, _) = e.execute(&b).unwrap();
         assert_ne!(ra, rb, "different seeds must not alias in the cache");
         assert_eq!(e.stats().computed, 2);
+    }
+
+    #[test]
+    fn threads_affect_the_cache_key_and_compute() {
+        // Parallel runs draw different worlds (per-worker sub-streams), so a
+        // threads=2 request must not alias the serial entry — and it must
+        // actually run (previously parallel execution was unreachable here).
+        let e = engine();
+        let serial = karate_req();
+        let mut par = karate_req();
+        par.threads = 2;
+        let (a, _) = e.execute(&serial).unwrap();
+        let (b, src) = e.execute(&par).unwrap();
+        assert_eq!(src, ResponseSource::Miss);
+        assert_ne!(a, b, "parallel body must differ (worlds + threads field)");
+        assert!(String::from_utf8(b.to_vec())
+            .unwrap()
+            .contains("\"threads\":2"));
+        assert_eq!(e.stats().computed, 2);
+        // And the engine's live progress fed by the ProgressSink advanced.
+        assert_eq!(e.stats().worlds_sampled, 128);
+        assert_eq!(e.stats().worlds_requested, 128);
+    }
+
+    #[test]
+    fn invalid_threads_is_a_bad_request() {
+        let e = engine();
+        let mut req = karate_req();
+        req.threads = 0;
+        assert!(matches!(e.execute(&req), Err(QueryError::BadRequest(_))));
+        req.threads = 65;
+        assert!(matches!(e.execute(&req), Err(QueryError::BadRequest(_))));
+        req.threads = 100; // > theta (64) as well
+        assert!(matches!(e.execute(&req), Err(QueryError::BadRequest(_))));
+        assert_eq!(e.stats().computed, 0);
     }
 
     #[test]

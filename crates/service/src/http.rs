@@ -424,6 +424,8 @@ fn render_metrics(state: &ServerState) -> String {
         .end_object()
         .field_uint("computed", s.computed)
         .field_uint("coalesced", s.coalesced)
+        .field_uint("worlds_sampled", s.worlds_sampled)
+        .field_uint("worlds_requested", s.worlds_requested)
         .field_uint("rejected", state.rejected.load(Ordering::Relaxed))
         .field_uint("served", state.served.load(Ordering::Relaxed))
         .end_object();
@@ -537,6 +539,7 @@ fn parse_query_request(query: &str) -> Result<QueryRequest, String> {
                     other => return Err(format!("heuristic: bad boolean {other:?}")),
                 }
             }
+            "threads" => req.threads = parse_usize()?,
             "timeout_ms" => {
                 req.timeout_ms = Some(v.parse().map_err(|e| format!("timeout_ms: {e}"))?)
             }
@@ -568,6 +571,20 @@ mod tests {
         assert_eq!(req.algo, Algo::Nds);
         assert_eq!(req.lm, 3);
         assert!(!req.heuristic);
+        assert_eq!(req.threads, 1);
+    }
+
+    #[test]
+    fn threads_parameter_is_parsed_and_bounded() {
+        let req = parse_query_request("dataset=karate&threads=4").unwrap();
+        assert_eq!(req.threads, 4);
+        assert!(req.validate().is_ok());
+        let req = parse_query_request("dataset=karate&threads=0").unwrap();
+        assert!(req.validate().unwrap_err().contains("threads"));
+        assert!(parse_query_request("dataset=karate&threads=x").is_err());
+        assert!(parse_query_request("dataset=karate&threads=2&threads=3")
+            .unwrap_err()
+            .contains("duplicate parameter"));
     }
 
     #[test]

@@ -3,16 +3,14 @@
 //! On large graphs every node set's densest subgraph probability collapses,
 //! so we rank node sets by *containment* probability instead, mining the
 //! top-k closed nuclei via TFP — and use the paper's Theorems 2/3 to pick a
-//! sample size with an end-to-end guarantee.
+//! sample size with an end-to-end guarantee. The whole pipeline is one
+//! `mpds::api::Query`, with a progress counter watching the sampling loop.
 //!
 //! Run with: `cargo run --release --example nucleus_exploration`
 
 use densest::DensityNotion;
-use mpds::nds::{top_k_nds, NdsConfig};
+use mpds::api::{ProgressCounter, Query};
 use mpds::theory;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
 use ugraph::datasets;
 
 fn main() {
@@ -31,14 +29,18 @@ fn main() {
         .expect("separable probabilities");
     println!("Theorem-3 sample size for 99% confidence: theta = {theta}");
 
-    let cfg = NdsConfig::new(DensityNotion::Edge, theta.max(200), 10, 4);
-    let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(11));
-    let res = top_k_nds(g, &mut mc, &cfg);
+    let (k, min_size) = (10, 4);
+    let progress = ProgressCounter::new();
+    let res = Query::nds(DensityNotion::Edge)
+        .theta(theta.max(200))
+        .k(k)
+        .min_size(min_size)
+        .seed(11)
+        .progress(progress.clone())
+        .run(g)
+        .expect("valid query");
 
-    println!(
-        "\nTop-{} nuclei (closed node sets, size >= {}):",
-        cfg.k, cfg.min_size
-    );
+    println!("\nTop-{k} nuclei (closed node sets, size >= {min_size}):");
     for (rank, (set, gamma)) in res.top_k.iter().enumerate() {
         println!(
             "  #{:<2} gamma_hat = {:.3}  |U| = {:<3}  {:?}...",
@@ -49,9 +51,11 @@ fn main() {
         );
     }
     println!(
-        "\n{} of {} sampled worlds had a densest subgraph; the nuclei are the",
-        res.theta - res.empty_worlds,
-        res.theta
+        "\n{} of {} sampled worlds had a densest subgraph ({} polled by the",
+        res.stats.worlds_sampled - res.stats.empty_worlds,
+        res.stats.worlds_sampled,
+        progress.done()
     );
-    println!("node sets most likely to sit inside one (paper Def. 5 / Algorithm 5).");
+    println!("progress sink); the nuclei are the node sets most likely to sit inside");
+    println!("one (paper Def. 5 / Algorithm 5).");
 }

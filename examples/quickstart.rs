@@ -1,14 +1,12 @@
 //! Quickstart: build an uncertain graph, estimate its top-k most probable
-//! densest subgraphs, and compare with the exact answer.
+//! densest subgraphs through the `mpds::api` builder, and compare with the
+//! exact answer.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use densest::DensityNotion;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
+use mpds::api::Query;
 use mpds::exact::exact_top_k_mpds;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::MonteCarlo;
 use ugraph::UncertainGraph;
 
 fn main() {
@@ -21,13 +19,21 @@ fn main() {
         g.num_edges()
     );
 
-    // Algorithm 1: sample theta possible worlds, enumerate ALL densest
-    // subgraphs in each, rank node sets by how often they were densest.
-    let cfg = MpdsConfig::new(DensityNotion::Edge, 4000, 3);
-    let mut sampler = MonteCarlo::new(&g, StdRng::seed_from_u64(42));
-    let estimated = top_k_mpds(&g, &mut sampler, &cfg);
+    // Algorithm 1 through the one typed entry point: sample theta possible
+    // worlds, enumerate ALL densest subgraphs in each, rank node sets by how
+    // often they were densest. Every knob is a builder method.
+    let estimated = Query::mpds(DensityNotion::Edge)
+        .theta(4000)
+        .k(3)
+        .seed(42)
+        .run(&g)
+        .expect("valid query");
 
-    println!("\nTop-3 MPDS estimates (theta = {}):", cfg.theta);
+    println!(
+        "\nTop-3 MPDS estimates (theta = {}, {:.1} ms):",
+        estimated.stats.worlds_sampled,
+        estimated.stats.wall.as_secs_f64() * 1e3
+    );
     for (rank, (set, tau)) in estimated.top_k.iter().enumerate() {
         println!("  #{} {:?}  tau_hat = {:.3}", rank + 1, set, tau);
     }

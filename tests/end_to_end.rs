@@ -1,14 +1,11 @@
 //! Cross-crate integration tests: the full Algorithm 1 / Algorithm 5
 //! pipelines against exact ground truth on small uncertain graphs, across
-//! density notions and sampling strategies.
+//! density notions, sampling strategies, and execution modes — all driven
+//! through the `mpds::api` builder.
 
 use densest::DensityNotion;
-use mpds::estimate::{top_k_mpds, MpdsConfig};
+use mpds::api::{Exec, Query, SamplerKind};
 use mpds::exact::{average_f1_across_ranks, exact_gamma, exact_top_k_mpds};
-use mpds::nds::{top_k_nds, NdsConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sampling::{LazyPropagation, MonteCarlo, RecursiveStratified, WorldSampler};
 use ugraph::{datasets, Pattern, UncertainGraph};
 
 fn ba7() -> UncertainGraph {
@@ -28,9 +25,12 @@ fn estimator_matches_exact_top1_on_ba7_all_notions() {
     ];
     for notion in notions {
         let exact = exact_top_k_mpds(&g, &notion, 1);
-        let cfg = MpdsConfig::new(notion.clone(), 3000, 1);
-        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(7));
-        let approx = top_k_mpds(&g, &mut mc, &cfg);
+        let approx = Query::mpds(notion.clone())
+            .theta(3000)
+            .k(1)
+            .seed(7)
+            .run(&g)
+            .unwrap();
         assert_eq!(
             approx.top_k.first().map(|(s, _)| s.clone()),
             exact.first().map(|(s, _)| s.clone()),
@@ -44,9 +44,12 @@ fn estimator_matches_exact_top1_on_ba7_all_notions() {
 fn estimator_f1_is_high_for_top5() {
     let g = ba7();
     let exact = exact_top_k_mpds(&g, &DensityNotion::Edge, 5);
-    let cfg = MpdsConfig::new(DensityNotion::Edge, 5000, 5);
-    let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(9));
-    let approx = top_k_mpds(&g, &mut mc, &cfg);
+    let approx = Query::mpds(DensityNotion::Edge)
+        .theta(5000)
+        .k(5)
+        .seed(9)
+        .run(&g)
+        .unwrap();
     let f1 = average_f1_across_ranks(&approx.top_k, &exact);
     assert!(f1 > 0.7, "avg F1 {f1}");
 }
@@ -54,25 +57,56 @@ fn estimator_f1_is_high_for_top5() {
 #[test]
 fn all_three_samplers_agree_on_the_mpds() {
     let g = ba7();
-    let cfg = MpdsConfig::new(DensityNotion::Edge, 2500, 1);
-    let run = |mut s: Box<dyn WorldSampler>| top_k_mpds(&g, &mut s, &cfg).top_k[0].0.clone();
-    let mc = run(Box::new(MonteCarlo::new(&g, StdRng::seed_from_u64(1))));
-    let lp = run(Box::new(LazyPropagation::new(&g, StdRng::seed_from_u64(2))));
-    let rss = run(Box::new(RecursiveStratified::new(
-        &g,
-        3,
-        StdRng::seed_from_u64(3),
-    )));
+    let run = |kind: SamplerKind, seed: u64| {
+        Query::mpds(DensityNotion::Edge)
+            .theta(2500)
+            .k(1)
+            .sampler(kind)
+            .seed(seed)
+            .run(&g)
+            .unwrap()
+            .top_k[0]
+            .0
+            .clone()
+    };
+    let mc = run(SamplerKind::MonteCarlo, 1);
+    let lp = run(SamplerKind::Lp, 2);
+    let rss = run(SamplerKind::Rss, 3);
     assert_eq!(mc, lp);
     assert_eq!(mc, rss);
 }
 
 #[test]
+fn parallel_execution_agrees_on_the_mpds() {
+    // Exec::Threads draws different (per-worker) world streams but must
+    // converge to the same top-1 as the serial run at this θ.
+    let g = ba7();
+    let serial = Query::mpds(DensityNotion::Edge)
+        .theta(2500)
+        .k(1)
+        .seed(5)
+        .run(&g)
+        .unwrap();
+    let parallel = Query::mpds(DensityNotion::Edge)
+        .theta(2500)
+        .k(1)
+        .seed(5)
+        .exec(Exec::Threads(4))
+        .run(&g)
+        .unwrap();
+    assert_eq!(serial.top_k[0].0, parallel.top_k[0].0);
+}
+
+#[test]
 fn nds_gamma_estimates_match_exact() {
     let g = ba7();
-    let cfg = NdsConfig::new(DensityNotion::Edge, 4000, 5, 2);
-    let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(5));
-    let res = top_k_nds(&g, &mut mc, &cfg);
+    let res = Query::nds(DensityNotion::Edge)
+        .theta(4000)
+        .k(5)
+        .min_size(2)
+        .seed(5)
+        .run(&g)
+        .unwrap();
     assert!(!res.top_k.is_empty());
     for (set, gamma_hat) in res.top_k.iter().take(3) {
         let gamma = exact_gamma(&g, &DensityNotion::Edge, set);
@@ -88,11 +122,14 @@ fn tau_hat_is_unbiased_on_er7() {
     // Lemma 1: E[tau_hat] = tau. Check the top sets' estimates converge.
     let g = datasets::synthetic_accuracy_graph("ER7", 42).graph;
     let exact = exact_top_k_mpds(&g, &DensityNotion::Edge, 3);
-    let cfg = MpdsConfig::new(DensityNotion::Edge, 8000, 3);
-    let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(31));
-    let approx = top_k_mpds(&g, &mut mc, &cfg);
+    let approx = Query::mpds(DensityNotion::Edge)
+        .theta(8000)
+        .k(3)
+        .seed(31)
+        .run(&g)
+        .unwrap();
     for (set, tau) in &exact {
-        let hat = approx.tau_hat(set);
+        let hat = approx.score_of(set);
         assert!((hat - tau).abs() < 0.03, "{set:?}: {hat} vs {tau}");
     }
 }
@@ -105,13 +142,9 @@ fn heuristic_mpds_stays_close_on_karate() {
     // non-trivial estimated probability — rather than set identity.
     let data = datasets::karate_club();
     let comms = data.communities.as_ref().unwrap();
-    let exact_cfg = MpdsConfig::new(DensityNotion::Edge, 400, 1);
-    let mut mc = MonteCarlo::new(&data.graph, StdRng::seed_from_u64(7));
-    let exact_mode = top_k_mpds(&data.graph, &mut mc, &exact_cfg);
-    let mut heur_cfg = MpdsConfig::new(DensityNotion::Edge, 400, 1);
-    heur_cfg.heuristic = true;
-    let mut mc = MonteCarlo::new(&data.graph, StdRng::seed_from_u64(7));
-    let heur_mode = top_k_mpds(&data.graph, &mut mc, &heur_cfg);
+    let base = Query::mpds(DensityNotion::Edge).theta(400).k(1).seed(7);
+    let exact_mode = base.clone().run(&data.graph).unwrap();
+    let heur_mode = base.heuristic(true).run(&data.graph).unwrap();
     for res in [&exact_mode, &heur_mode] {
         let (set, tau) = &res.top_k[0];
         assert!(set.len() >= 2, "trivial top-1 {set:?}");

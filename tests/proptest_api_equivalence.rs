@@ -1,0 +1,180 @@
+//! Property-based equivalence: for random graphs and parameter draws, the
+//! `mpds::api` builder produces **bit-identical** results to the legacy
+//! free-function entry points at the same seed — MPDS and NDS, serial and
+//! `Exec::Threads(n)`. This is the contract that makes the deprecated
+//! wrappers safe to delete later.
+
+#![allow(deprecated)] // the whole point is to compare against the legacy API
+
+use densest::DensityNotion;
+use mpds::api::{Exec, Query};
+use mpds::estimate::{top_k_mpds, MpdsConfig};
+use mpds::nds::{top_k_nds, NdsConfig};
+use mpds::parallel::parallel_top_k_mpds;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sampling::MonteCarlo;
+use ugraph::{Graph, NodeId, NodeSet, UncertainGraph};
+
+/// Strategy: a random uncertain graph on up to 6 nodes with edge
+/// probabilities in (0, 1].
+fn arb_uncertain() -> impl Strategy<Value = UncertainGraph> {
+    (3usize..=6).prop_flat_map(|n| {
+        let pairs: Vec<(NodeId, NodeId)> = (0..n as NodeId)
+            .flat_map(|u| ((u + 1)..n as NodeId).map(move |v| (u, v)))
+            .collect();
+        let len = pairs.len();
+        proptest::collection::vec(proptest::bool::ANY, len).prop_flat_map(move |mask| {
+            let edges: Vec<(NodeId, NodeId)> = pairs
+                .iter()
+                .zip(&mask)
+                .filter(|(_, &b)| b)
+                .map(|(&e, _)| e)
+                .collect();
+            let g = Graph::from_edges(n, &edges);
+            let m = g.num_edges();
+            proptest::collection::vec(0.1f64..=1.0, m)
+                .prop_map(move |probs| UncertainGraph::new(g.clone(), probs))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Serial MPDS: builder ≡ `top_k_mpds` with an equally-seeded MC
+    /// sampler, across both the all-densest default and the §VI-D one-mode
+    /// ablation.
+    #[test]
+    fn builder_serial_mpds_equals_legacy(
+        ug in arb_uncertain(),
+        seed in 0u64..512,
+        theta in 1usize..40,
+        k in 0usize..4, // k = 0 is the legal degenerate "rank nothing" query
+        all_mode in proptest::bool::ANY,
+    ) {
+        let mut cfg = MpdsConfig::new(DensityNotion::Edge, theta, k);
+        cfg.all_densest = all_mode;
+        let mut mc = MonteCarlo::new(&ug, StdRng::seed_from_u64(seed));
+        let legacy = top_k_mpds(&ug, &mut mc, &cfg);
+        let run = Query::mpds(DensityNotion::Edge)
+            .theta(theta)
+            .k(k)
+            .seed(seed)
+            .all_densest(all_mode)
+            .run(&ug)
+            .unwrap();
+        prop_assert_eq!(&run.top_k, &legacy.top_k);
+        let details = match run.details {
+            mpds::api::RunDetails::Mpds(r) => r,
+            mpds::api::RunDetails::Nds(_) => unreachable!(),
+        };
+        prop_assert_eq!(details.candidates, legacy.candidates);
+        prop_assert_eq!(details.densest_counts, legacy.densest_counts);
+        prop_assert_eq!(details.empty_worlds, legacy.empty_worlds);
+        prop_assert_eq!(details.truncated, legacy.truncated);
+    }
+
+    /// Threaded MPDS: builder ≡ `parallel_top_k_mpds` at the same
+    /// `(seed, workers)` — including the worker-order densest-count
+    /// concatenation.
+    #[test]
+    fn builder_threads_mpds_equals_legacy_parallel(
+        ug in arb_uncertain(),
+        seed in 0u64..512,
+        theta in 3usize..40,
+        workers in 1usize..4,
+    ) {
+        prop_assume!(theta >= workers);
+        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 3);
+        let legacy = parallel_top_k_mpds(&ug, &cfg, seed, workers);
+        let run = Query::mpds(DensityNotion::Edge)
+            .theta(theta)
+            .k(3)
+            .seed(seed)
+            .exec(Exec::Threads(workers))
+            .run(&ug)
+            .unwrap();
+        prop_assert_eq!(&run.top_k, &legacy.top_k);
+        let details = match run.details {
+            mpds::api::RunDetails::Mpds(r) => r,
+            mpds::api::RunDetails::Nds(_) => unreachable!(),
+        };
+        prop_assert_eq!(details.candidates, legacy.candidates);
+        prop_assert_eq!(details.densest_counts, legacy.densest_counts);
+    }
+
+    /// Serial NDS: builder ≡ `top_k_nds` with an equally-seeded MC sampler.
+    #[test]
+    fn builder_serial_nds_equals_legacy(
+        ug in arb_uncertain(),
+        seed in 0u64..512,
+        theta in 1usize..40,
+        min_size in 0usize..4, // 0 imposes no size floor (legacy-legal)
+    ) {
+        let cfg = NdsConfig::new(DensityNotion::Edge, theta, 4, min_size);
+        let mut mc = MonteCarlo::new(&ug, StdRng::seed_from_u64(seed));
+        let legacy = top_k_nds(&ug, &mut mc, &cfg);
+        let run = Query::nds(DensityNotion::Edge)
+            .theta(theta)
+            .k(4)
+            .min_size(min_size)
+            .seed(seed)
+            .run(&ug)
+            .unwrap();
+        prop_assert_eq!(&run.top_k, &legacy.top_k);
+        let details = match run.details {
+            mpds::api::RunDetails::Nds(r) => r,
+            mpds::api::RunDetails::Mpds(_) => unreachable!(),
+        };
+        prop_assert_eq!(details.transactions, legacy.transactions);
+        prop_assert_eq!(details.empty_worlds, legacy.empty_worlds);
+    }
+
+    /// Threaded NDS (no legacy parallel NDS existed): worker `w` must behave
+    /// exactly like a legacy serial run over MC sub-stream `w` with its
+    /// quota, transactions concatenated in worker order and mined once.
+    #[test]
+    fn builder_threads_nds_equals_composed_legacy_streams(
+        ug in arb_uncertain(),
+        seed in 0u64..512,
+        theta in 3usize..40,
+        workers in 1usize..4,
+    ) {
+        prop_assume!(theta >= workers);
+        let per = theta / workers;
+        let extra = theta % workers;
+        let mut expected_transactions: Vec<NodeSet> = Vec::new();
+        let mut expected_empty = 0usize;
+        for w in 0..workers {
+            // theta >= workers, so every quota is at least 1.
+            let quota = per + usize::from(w < extra);
+            let cfg = NdsConfig::new(DensityNotion::Edge, quota, 4, 2);
+            let mut mc = MonteCarlo::with_stream(&ug, seed, w as u64);
+            let r = top_k_nds(&ug, &mut mc, &cfg);
+            expected_transactions.extend(r.transactions);
+            expected_empty += r.empty_worlds;
+        }
+        let (mined, _) = itemset::top_k_closed(&expected_transactions, 4, 2, 5_000_000);
+        let expected_top_k: Vec<(NodeSet, f64)> = mined
+            .into_iter()
+            .map(|c| (c.items, c.support as f64 / theta as f64))
+            .collect();
+        let run = Query::nds(DensityNotion::Edge)
+            .theta(theta)
+            .k(4)
+            .min_size(2)
+            .seed(seed)
+            .exec(Exec::Threads(workers))
+            .run(&ug)
+            .unwrap();
+        prop_assert_eq!(&run.top_k, &expected_top_k);
+        let details = match run.details {
+            mpds::api::RunDetails::Nds(r) => r,
+            mpds::api::RunDetails::Mpds(_) => unreachable!(),
+        };
+        prop_assert_eq!(details.transactions, expected_transactions);
+        prop_assert_eq!(details.empty_worlds, expected_empty);
+    }
+}
