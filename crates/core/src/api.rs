@@ -683,6 +683,19 @@ impl Query {
         self
     }
 
+    /// The configured RNG seed (read-only counterpart of [`Query::seed`] —
+    /// used by [`crate::recompute`] to build common-random-number samplers
+    /// that share the query's seed).
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::Query;
+    /// assert_eq!(Query::mpds(DensityNotion::Edge).seed(9).seed_value(), 9);
+    /// ```
+    pub fn seed_value(&self) -> u64 {
+        self.seed
+    }
+
     /// Uses the §III-C heuristic (innermost core + denser peeling suffixes)
     /// per world instead of the exact enumeration (default `false`).
     ///

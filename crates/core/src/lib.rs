@@ -17,6 +17,9 @@
 //!   possible-world enumeration (small graphs; §VI-H);
 //! * [`control`] — cooperative deadlines and cancellation flags polled by
 //!   the estimator sampling loops (the serving layer's admission hooks);
+//! * [`recompute`] — delta-aware re-estimation: one query over two graph
+//!   versions under common random numbers, diffed into a structured
+//!   [`recompute::TopKDiff`] (the dynamic-graph serving path);
 //! * [`theory`] — the end-to-end accuracy guarantees (Theorems 2, 3, 5, 6);
 //! * [`baselines`] — the notions MPDS is compared against in §VI: the
 //!   expected densest subgraph (EDS \[44\], extended to clique/pattern density
@@ -58,6 +61,7 @@ pub mod estimate;
 pub mod exact;
 pub mod nds;
 pub mod parallel;
+pub mod recompute;
 pub mod single;
 pub mod theory;
 
@@ -65,6 +69,7 @@ pub use api::{ApiError, Exec, ProgressSink, Query, Run, SamplerKind};
 pub use control::{InterruptReason, Interrupted, RunControl};
 pub use estimate::{MpdsConfig, MpdsResult};
 pub use nds::{NdsConfig, NdsResult};
+pub use recompute::{CommonRandomNumbers, Recompute, RecomputeReport, TopKDiff};
 // The legacy free functions stay re-exported (deprecated) so downstream
 // diffs remain reviewable while consumers migrate to `mpds::api`.
 #[allow(deprecated)]

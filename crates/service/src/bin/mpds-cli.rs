@@ -9,6 +9,7 @@
 //!   nds <edge-list> [opts]    top-k nucleus densest subgraphs (Alg. 5)
 //!   stats <edge-list> [--json]  dataset summary
 //!   serve [serve-opts]        start the HTTP query server
+//!   update [update-opts]      POST a mutation batch to a running server
 //!
 //! mpds/nds options:
 //!   --theta N       number of sampled worlds        [default 320]
@@ -27,6 +28,13 @@
 //!   --cache-capacity N    result-cache entries      [default 256]
 //!   --queue N             admission queue bound     [default 64]
 //!   --dataset NAME=PATH   register an edge-list file (repeatable)
+//!   --mutable             serve POST /update (off by default)
+//!
+//! update options:
+//!   --dataset NAME        target dataset            (required)
+//!   --file PATH           mutation file: `u v p` upserts the edge,
+//!                         `u v -` deletes it        (required)
+//!   --addr HOST:PORT      server address            [default 127.0.0.1:7878]
 //! ```
 //!
 //! The edge-list format is one `u v p` triple per line (`#` comments
@@ -52,6 +60,8 @@ enum Command {
     Run(RunOptions),
     /// `serve`.
     Serve(ServeOptions),
+    /// `update` against a running server.
+    Update(UpdateOptions),
 }
 
 #[derive(Debug)]
@@ -75,19 +85,29 @@ struct ServeOptions {
     cache_capacity: usize,
     queue: usize,
     datasets: Vec<(String, String)>,
+    mutable: bool,
+}
+
+#[derive(Debug)]
+struct UpdateOptions {
+    dataset: String,
+    file: String,
+    addr: String,
 }
 
 const USAGE: &str = "usage: mpds-cli <mpds|nds|stats> <edge-list> \\
   [--theta N] [--k N] [--lm N] [--density D] [--seed N] [--threads N] \\
   [--heuristic] [--json]
    or: mpds-cli serve [--bind ADDR] [--threads N] [--cache-capacity N] \\
-  [--queue N] [--dataset NAME=PATH]...";
+  [--queue N] [--dataset NAME=PATH]... [--mutable]
+   or: mpds-cli update --dataset NAME --file delta.txt [--addr HOST:PORT]";
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Command, String> {
     let command = args.next().ok_or("missing command")?;
     match command.as_str() {
         "mpds" | "nds" | "stats" => parse_run_args(command, args).map(Command::Run),
         "serve" => parse_serve_args(args).map(Command::Serve),
+        "update" => parse_update_args(args).map(Command::Update),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -174,6 +194,7 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
         cache_capacity: 256,
         queue: 64,
         datasets: Vec::new(),
+        mutable: false,
     };
     let mut seen = SeenFlags::new();
     while let Some(flag) = args.next() {
@@ -220,10 +241,36 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
                 }
                 o.datasets.push((name.to_string(), path.to_string()));
             }
+            "--mutable" => o.mutable = true,
             other => return Err(format!("unknown option {other:?}")),
         }
     }
     Ok(o)
+}
+
+fn parse_update_args(mut args: impl Iterator<Item = String>) -> Result<UpdateOptions, String> {
+    let mut dataset: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut seen = SeenFlags::new();
+    while let Some(flag) = args.next() {
+        seen.check(&flag)?;
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--dataset" => dataset = Some(val("--dataset")?),
+            "--file" => file = Some(val("--file")?),
+            "--addr" => addr = val("--addr")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(UpdateOptions {
+        dataset: dataset.ok_or("update requires --dataset NAME")?,
+        file: file.ok_or("update requires --file PATH")?,
+        addr,
+    })
 }
 
 fn load_file(path: &str) -> Result<LoadedGraph, String> {
@@ -313,21 +360,44 @@ fn serve_command(o: &ServeOptions) -> Result<(), String> {
     let cfg = ServerConfig {
         threads: o.threads,
         queue_capacity: o.queue,
+        mutable: o.mutable,
         ..ServerConfig::default()
     };
     let server =
         Server::bind(o.bind.as_str(), engine, &cfg).map_err(|e| format!("bind {}: {e}", o.bind))?;
     println!(
-        "mpds-service listening on http://{} ({} workers, queue {}, cache {})",
+        "mpds-service listening on http://{} ({} workers, queue {}, cache {}{})",
         server.local_addr(),
         o.threads,
         o.queue,
-        o.cache_capacity
+        o.cache_capacity,
+        if o.mutable { ", mutable" } else { "" }
     );
     // Serve until killed; the Server's own threads do all the work.
     loop {
         std::thread::park();
     }
+}
+
+fn update_command(o: &UpdateOptions) -> Result<(), String> {
+    use std::net::ToSocketAddrs;
+    let addr = o
+        .addr
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut a| a.next())
+        .ok_or_else(|| format!("cannot resolve --addr {:?}", o.addr))?;
+    let body = std::fs::read(&o.file).map_err(|e| format!("read {}: {e}", o.file))?;
+    let path = format!("/update?dataset={}", o.dataset);
+    let ex =
+        mpds_service::harness::http_post(addr, &path, &body, std::time::Duration::from_secs(120))
+            .map_err(|e| format!("POST {path} to {addr}: {e}"))?;
+    let text = String::from_utf8_lossy(&ex.body);
+    if ex.status != 200 {
+        return Err(format!("server answered {}: {text}", ex.status));
+    }
+    println!("{text}");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -341,6 +411,7 @@ fn main() -> ExitCode {
     let result = match &cmd {
         Command::Run(o) => run_command(o),
         Command::Serve(o) => serve_command(o),
+        Command::Update(o) => update_command(o),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -362,14 +433,21 @@ mod tests {
     fn parse_run(args: &[&str]) -> Result<RunOptions, String> {
         match parse(args)? {
             Command::Run(o) => Ok(o),
-            Command::Serve(_) => panic!("expected run command"),
+            _ => panic!("expected run command"),
         }
     }
 
     fn parse_serve(args: &[&str]) -> Result<ServeOptions, String> {
         match parse(args)? {
             Command::Serve(o) => Ok(o),
-            Command::Run(_) => panic!("expected serve command"),
+            _ => panic!("expected serve command"),
+        }
+    }
+
+    fn parse_update(args: &[&str]) -> Result<UpdateOptions, String> {
+        match parse(args)? {
+            Command::Update(o) => Ok(o),
+            _ => panic!("expected update command"),
         }
     }
 
@@ -489,5 +567,55 @@ mod tests {
         assert!(parse_serve(&["serve", "--threads", "0"])
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn serve_mutable_flag() {
+        assert!(!parse_serve(&["serve"]).unwrap().mutable);
+        assert!(parse_serve(&["serve", "--mutable"]).unwrap().mutable);
+        // Duplicate and unknown rejection apply to the new flag too.
+        assert!(parse_serve(&["serve", "--mutable", "--mutable"])
+            .unwrap_err()
+            .contains("duplicate option \"--mutable\""));
+        assert!(parse_serve(&["serve", "--immutable"])
+            .unwrap_err()
+            .contains("unknown option"));
+    }
+
+    #[test]
+    fn update_args_parse_and_validate() {
+        let o = parse_update(&["update", "--dataset", "karate", "--file", "d.txt"]).unwrap();
+        assert_eq!(o.dataset, "karate");
+        assert_eq!(o.file, "d.txt");
+        assert_eq!(o.addr, "127.0.0.1:7878");
+        let o = parse_update(&[
+            "update",
+            "--addr",
+            "10.0.0.1:80",
+            "--dataset",
+            "x",
+            "--file",
+            "f",
+        ])
+        .unwrap();
+        assert_eq!(o.addr, "10.0.0.1:80");
+        // Required flags, duplicates, unknowns, missing values.
+        assert!(parse_update(&["update", "--file", "d.txt"])
+            .unwrap_err()
+            .contains("requires --dataset"));
+        assert!(parse_update(&["update", "--dataset", "karate"])
+            .unwrap_err()
+            .contains("requires --file"));
+        assert!(
+            parse_update(&["update", "--dataset", "a", "--dataset", "b", "--file", "f"])
+                .unwrap_err()
+                .contains("duplicate option \"--dataset\"")
+        );
+        assert!(parse_update(&["update", "--bogus", "1"])
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_update(&["update", "--dataset"])
+            .unwrap_err()
+            .contains("missing value"));
     }
 }

@@ -1,22 +1,30 @@
-//! Loopback load harness for `mpds-cli serve` — emits `BENCH_pr3.json`.
+//! Loopback load harness for `mpds-cli serve` — emits `BENCH_pr3.json`
+//! (read workload) or, with `--churn`, `BENCH_pr5.json` (update/read mix).
 //!
 //! ```text
 //! mpds-load [--addr HOST:PORT] [--clients N] [--requests N]
 //!           [--server-threads N] [--dataset D] [--theta N] [--k N]
 //!           [--out PATH] [--wait-secs S] [--check]
+//!           [--churn] [--updates N] [--batch-edges N] [--reads-per-round N]
 //! ```
 //!
-//! Drives `--clients` concurrent clients, each issuing `--requests`
-//! requests split into a cold phase (distinct seeds; every request is a
-//! real estimator run) and a repeat phase (one identical query; the cache
-//! and in-flight coalescing must absorb it). Writes the JSON report to
-//! `--out` (default `target/BENCH_pr3.json`).
+//! Default mode drives `--clients` concurrent clients, each issuing
+//! `--requests` requests split into a cold phase (distinct seeds; every
+//! request is a real estimator run) and a repeat phase (one identical
+//! query; the cache and in-flight coalescing must absorb it). Writes the
+//! JSON report to `--out` (default `target/BENCH_pr3.json`).
+//!
+//! `--churn` instead interleaves `--updates` mutation batches (POSTed to
+//! `/update`, so the server must run `serve --mutable`) with concurrent
+//! read bursts, measuring read p50/p99, update latency, and post-update
+//! cache-hit recovery; default `--out` becomes `target/BENCH_pr5.json`.
 //!
 //! `--check` turns the report's invariants into an exit code (the CI
-//! `service-smoke` gate): zero non-2xx responses, bytewise-identical
-//! repeat-phase bodies, and a repeat-phase cache hit rate above 0.9.
+//! `service-smoke` / `churn-smoke` gates): zero non-2xx responses plus, in
+//! read mode, bytewise-identical repeat bodies and a repeat-phase cache hit
+//! rate above 0.9 — or, in churn mode, strictly monotone generations.
 
-use mpds_service::harness::{self, HarnessConfig};
+use mpds_service::harness::{self, ChurnConfig, HarnessConfig};
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -24,9 +32,13 @@ use std::time::Duration;
 fn main() -> ExitCode {
     let mut cfg = HarnessConfig::default();
     let mut addr_spec = "127.0.0.1:7878".to_string();
-    let mut out_path = "target/BENCH_pr3.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut wait_secs = 30u64;
     let mut check = false;
+    let mut churn = false;
+    let mut updates = 8usize;
+    let mut batch_edges = 16usize;
+    let mut reads_per_round = 4usize;
 
     let mut args = std::env::args().skip(1);
     let fail = |msg: String| -> ExitCode {
@@ -34,7 +46,8 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: mpds-load [--addr HOST:PORT] [--clients N] [--requests N] \
              [--server-threads N] [--dataset D] [--theta N] [--k N] [--out PATH] \
-             [--wait-secs S] [--check]"
+             [--wait-secs S] [--check] [--churn] [--updates N] [--batch-edges N] \
+             [--reads-per-round N]"
         );
         ExitCode::FAILURE
     };
@@ -61,11 +74,21 @@ fn main() -> ExitCode {
                 "--dataset" => cfg.dataset = val("--dataset")?,
                 "--theta" => cfg.theta = val("--theta")?.parse().map_err(|e| format!("{e}"))?,
                 "--k" => cfg.k = val("--k")?.parse().map_err(|e| format!("{e}"))?,
-                "--out" => out_path = val("--out")?,
+                "--out" => out_path = Some(val("--out")?),
                 "--wait-secs" => {
                     wait_secs = val("--wait-secs")?.parse().map_err(|e| format!("{e}"))?
                 }
                 "--check" => check = true,
+                "--churn" => churn = true,
+                "--updates" => updates = val("--updates")?.parse().map_err(|e| format!("{e}"))?,
+                "--batch-edges" => {
+                    batch_edges = val("--batch-edges")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--reads-per-round" => {
+                    reads_per_round = val("--reads-per-round")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?
+                }
                 other => return Err(format!("unknown option {other:?}")),
             }
             Ok(())
@@ -79,52 +102,111 @@ fn main() -> ExitCode {
         Some(a) => a,
         None => return fail(format!("cannot resolve --addr {addr_spec:?}")),
     };
+    let out_path = out_path.unwrap_or_else(|| {
+        if churn {
+            "target/BENCH_pr5.json".to_string()
+        } else {
+            "target/BENCH_pr3.json".to_string()
+        }
+    });
 
     if let Err(e) = harness::wait_until_healthy(cfg.addr, Duration::from_secs(wait_secs)) {
         return fail(e);
     }
 
-    println!(
-        "load: {} clients x {} requests ({} cold + {} repeat) against http://{} (dataset {}, theta {}, k {})",
-        cfg.clients,
-        cfg.requests_per_client,
-        cfg.requests_per_client / 2,
-        cfg.requests_per_client - cfg.requests_per_client / 2,
-        cfg.addr,
-        cfg.dataset,
-        cfg.theta,
-        cfg.k
-    );
-    let report = harness::run(&cfg);
+    let (json, violations) = if churn {
+        let ccfg = ChurnConfig {
+            addr: cfg.addr,
+            clients: cfg.clients,
+            update_batches: updates,
+            batch_edges,
+            reads_per_round,
+            server_threads: cfg.server_threads,
+            dataset: cfg.dataset.clone(),
+            theta: cfg.theta,
+            k: cfg.k,
+        };
+        println!(
+            "churn: {} update batches x {} edges, {} clients x {} reads/round against http://{} (dataset {}, theta {}, k {})",
+            ccfg.update_batches,
+            ccfg.batch_edges,
+            ccfg.clients,
+            ccfg.reads_per_round,
+            ccfg.addr,
+            ccfg.dataset,
+            ccfg.theta,
+            ccfg.k
+        );
+        let report = harness::run_churn(&ccfg);
+        println!(
+            "  reads   {:>5} reqs, {:>3} errors, p50 {:>8.3} ms, p99 {:>8.3} ms",
+            report.reads.requests, report.reads.errors, report.reads.p50_ms, report.reads.p99_ms
+        );
+        println!(
+            "  updates {:>5} reqs, {:>3} errors, p50 {:>8.3} ms, p99 {:>8.3} ms, generations {}..{} ({})",
+            report.updates,
+            report.update_errors,
+            report.update_p50_ms,
+            report.update_p99_ms,
+            report.first_generation,
+            report.last_generation,
+            if report.generations_monotone {
+                "monotone"
+            } else {
+                "NOT MONOTONE"
+            }
+        );
+        println!(
+            "  post-update cache-hit recovery: {:.3}",
+            report.post_update_hit_recovery
+        );
+        (
+            harness::render_churn_report(&report),
+            report.violations.clone(),
+        )
+    } else {
+        println!(
+            "load: {} clients x {} requests ({} cold + {} repeat) against http://{} (dataset {}, theta {}, k {})",
+            cfg.clients,
+            cfg.requests_per_client,
+            cfg.requests_per_client / 2,
+            cfg.requests_per_client - cfg.requests_per_client / 2,
+            cfg.addr,
+            cfg.dataset,
+            cfg.theta,
+            cfg.k
+        );
+        let report = harness::run(&cfg);
+        for (name, p) in [("cold", &report.cold), ("repeat", &report.repeat)] {
+            println!(
+                "  {name:<7} {:>5} reqs, {:>3} errors, {:>9.1} req/s, p50 {:>8.3} ms, p99 {:>8.3} ms",
+                p.requests, p.errors, p.throughput_rps, p.p50_ms, p.p99_ms
+            );
+        }
+        println!(
+            "  repeat-phase cache hit rate: {:.3}",
+            report.repeat_cache_hit_rate
+        );
+        (harness::render_report(&report), report.violations.clone())
+    };
 
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         if !dir.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(dir);
         }
     }
-    let json = harness::render_report(&report);
     if let Err(e) = std::fs::write(&out_path, &json) {
         return fail(format!("write {out_path}: {e}"));
     }
     println!("wrote {out_path}");
-    for (name, p) in [("cold", &report.cold), ("repeat", &report.repeat)] {
-        println!(
-            "  {name:<7} {:>5} reqs, {:>3} errors, {:>9.1} req/s, p50 {:>8.3} ms, p99 {:>8.3} ms",
-            p.requests, p.errors, p.throughput_rps, p.p50_ms, p.p99_ms
-        );
-    }
-    println!(
-        "  repeat-phase cache hit rate: {:.3}",
-        report.repeat_cache_hit_rate
-    );
 
-    if report.violations.is_empty() {
+    if violations.is_empty() {
         if check {
             println!("check: OK");
         }
         ExitCode::SUCCESS
     } else {
-        for v in &report.violations {
+        for v in &violations {
             eprintln!("violation: {v}");
         }
         if check {

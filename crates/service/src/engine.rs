@@ -3,12 +3,19 @@
 //!
 //! The contract that makes serving these estimators worthwhile is
 //! **determinism**: a query is fully described by
-//! `(dataset, algo, notion, θ, k, l_m, seed, heuristic, threads)`, and two
-//! evaluations of the same key produce bytewise-identical JSON. The engine
-//! exploits that twice — a sharded LRU keyed on the tuple serves repeats
-//! from memory, and an in-flight table coalesces concurrent identical
-//! queries so N simultaneous arrivals cost one computation, all N receiving
-//! the same `Arc`'d bytes.
+//! `(dataset, generation, algo, notion, θ, k, l_m, seed, heuristic,
+//! threads)`, and two evaluations of the same key produce bytewise-identical
+//! JSON. The engine exploits that twice — a sharded LRU keyed on the tuple
+//! serves repeats from memory, and an in-flight table coalesces concurrent
+//! identical queries so N simultaneous arrivals cost one computation, all N
+//! receiving the same `Arc`'d bytes.
+//!
+//! The dataset **generation** entered the key with the dynamic-graph
+//! subsystem: each request resolves the dataset's current snapshot first and
+//! computes against exactly that snapshot, so an update never invalidates
+//! anything — responses for old generations simply stop being requested and
+//! age out of the LRU naturally, while in-flight queries keyed to an old
+//! generation finish against the snapshot they resolved.
 
 use crate::cache::{CacheStats, ShardedLru};
 use crate::json::JsonWriter;
@@ -147,12 +154,17 @@ impl QueryRequest {
         parse_notion(&self.notion)
     }
 
-    /// The cache key: every response-affecting field. `lm` is normalized
-    /// out of MPDS keys (it does not enter Algorithm 1), so `mpds` queries
-    /// differing only in `lm` share a cache line.
-    pub fn key(&self) -> QueryKey {
+    /// The cache key: every response-affecting field, including the
+    /// `generation` of the dataset snapshot the query resolved (so cached
+    /// responses from before an update can never be served after it — the
+    /// new generation is a different key and the old entries age out of the
+    /// LRU). `lm` is normalized out of MPDS keys (it does not enter
+    /// Algorithm 1), so `mpds` queries differing only in `lm` share a cache
+    /// line.
+    pub fn key(&self, generation: u64) -> QueryKey {
         QueryKey {
             dataset: self.dataset.clone(),
+            generation,
             algo: self.algo,
             notion: self.notion.clone(),
             theta: self.theta,
@@ -172,6 +184,7 @@ impl QueryRequest {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     dataset: String,
+    generation: u64,
     algo: Algo,
     notion: String,
     theta: usize,
@@ -359,6 +372,25 @@ pub fn render_query_response(req: &QueryRequest, payload: &ResponsePayload) -> S
     w.finish()
 }
 
+/// Serializes an applied update (the server's `POST /update` response and
+/// the CLI `update` output). Field order is fixed, like every response.
+pub fn render_update_response(dataset: &str, o: &crate::registry::UpdateOutcome) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("dataset", dataset)
+        .field_uint("generation", o.generation)
+        .field_uint("inserted", o.inserted as u64)
+        .field_uint("reweighted", o.reweighted as u64)
+        .field_uint("deleted", o.deleted as u64)
+        .field_uint("nodes_added", o.nodes_added as u64)
+        .field_uint("nodes", o.shape.0 as u64)
+        .field_uint("edges", o.shape.1 as u64)
+        .field_uint("overlay", o.overlay as u64)
+        .field_uint("compactions", o.compactions)
+        .end_object();
+    w.finish()
+}
+
 /// Serializes dataset statistics (the CLI `stats --json` output and the
 /// server's `/dataset` endpoint).
 pub fn render_stats(name: &str, g: &ugraph::UncertainGraph) -> String {
@@ -529,7 +561,15 @@ impl QueryEngine {
         req: &QueryRequest,
     ) -> Result<(Arc<Vec<u8>>, ResponseSource), QueryError> {
         req.validate().map_err(QueryError::BadRequest)?;
-        let key = req.key();
+        // Resolve the dataset snapshot up front: its generation is part of
+        // the cache key, and the computation below runs against exactly
+        // this snapshot even if a writer swaps in a newer generation
+        // mid-flight.
+        let graph = self
+            .registry
+            .get(&req.dataset)
+            .map_err(QueryError::BadRequest)?;
+        let key = req.key(graph.generation);
         let own_deadline = req
             .timeout_ms
             .map(|ms| Instant::now() + Duration::from_millis(ms));
@@ -576,7 +616,7 @@ impl QueryEngine {
                 flight: &flight,
                 completed: false,
             };
-            let result = self.compute(req, own_deadline);
+            let result = self.compute(req, &graph, own_deadline);
             guard.finish(result.clone());
             return result.map(|b| (b, ResponseSource::Miss));
         }
@@ -587,20 +627,31 @@ impl QueryEngine {
     fn compute(
         &self,
         req: &QueryRequest,
+        graph: &LoadedGraph,
         deadline: Option<Instant>,
     ) -> Result<Arc<Vec<u8>>, QueryError> {
-        let graph = self
-            .registry
-            .get(&req.dataset)
-            .map_err(QueryError::BadRequest)?;
         let mut ctrl = RunControl::unbounded().with_cancel_flag(self.cancel_flag());
         if let Some(d) = deadline {
             ctrl = ctrl.with_deadline(d);
         }
         let payload =
-            run_query_with_progress(&graph, req, &ctrl, Some(Arc::clone(&self.worlds) as _))?;
+            run_query_with_progress(graph, req, &ctrl, Some(Arc::clone(&self.worlds) as _))?;
         self.computed.fetch_add(1, Ordering::Relaxed);
         Ok(Arc::new(render_query_response(req, &payload).into_bytes()))
+    }
+
+    /// Applies one mutation batch to `dataset` (see
+    /// [`crate::registry::GraphRegistry::apply_update`]): the dataset moves
+    /// to its next generation and subsequent queries compute — and cache —
+    /// under the new generation's key.
+    pub fn apply_update(
+        &self,
+        dataset: &str,
+        mutations: impl std::io::Read,
+    ) -> Result<crate::registry::UpdateOutcome, QueryError> {
+        self.registry
+            .apply_update(dataset, mutations)
+            .map_err(QueryError::BadRequest)
     }
 }
 
@@ -816,6 +867,74 @@ mod tests {
             assert_eq!(src, ResponseSource::Miss);
         });
         assert_eq!(e.stats().computed, 1);
+    }
+
+    #[test]
+    fn update_bumps_generation_and_misses_the_cache() {
+        let e = engine();
+        let req = karate_req();
+        let (gen0_body, src) = e.execute(&req).unwrap();
+        assert_eq!(src, ResponseSource::Miss);
+        assert_eq!(e.execute(&req).unwrap().1, ResponseSource::Hit);
+
+        // Insert a certain 12-clique (edge density 5.5, present in every
+        // world — denser than anything in karate): the next identical
+        // request must be a MISS computed against generation 1 and rank the
+        // clique first, never the stale cached bytes.
+        let mut batch = String::new();
+        for a in 100..112 {
+            for b in (a + 1)..112 {
+                batch.push_str(&format!("{a} {b} 1.0\n"));
+            }
+        }
+        let out = e.apply_update("karate", batch.as_bytes()).unwrap();
+        assert_eq!(out.generation, 1);
+        assert_eq!(out.inserted, 66);
+        assert_eq!(out.nodes_added, 12);
+        let (gen1_body, src) = e.execute(&req).unwrap();
+        assert_eq!(src, ResponseSource::Miss, "generation changed the key");
+        assert_ne!(gen1_body, gen0_body, "different graph, different answer");
+        let text = String::from_utf8(gen1_body.to_vec()).unwrap();
+        assert!(
+            text.contains("\"score\":1.0") && text.contains("100,101,102"),
+            "the certain clique must rank first: {text}"
+        );
+        // And the new generation caches under its own key.
+        let (again, src) = e.execute(&req).unwrap();
+        assert_eq!(src, ResponseSource::Hit);
+        assert_eq!(again, gen1_body);
+        assert_eq!(e.stats().computed, 2);
+    }
+
+    #[test]
+    fn update_render_shape_is_pinned() {
+        let o = crate::registry::UpdateOutcome {
+            generation: 3,
+            inserted: 1,
+            reweighted: 2,
+            deleted: 0,
+            nodes_added: 0,
+            shape: (34, 79),
+            overlay: 5,
+            compactions: 1,
+        };
+        assert_eq!(
+            render_update_response("karate", &o),
+            "{\"dataset\":\"karate\",\"generation\":3,\"inserted\":1,\
+             \"reweighted\":2,\"deleted\":0,\"nodes_added\":0,\"nodes\":34,\
+             \"edges\":79,\"overlay\":5,\"compactions\":1}"
+        );
+    }
+
+    #[test]
+    fn bad_update_is_a_bad_request_and_changes_nothing() {
+        let e = engine();
+        let req = karate_req();
+        e.execute(&req).unwrap();
+        let err = e.apply_update("karate", "0 0 0.5\n".as_bytes());
+        assert!(matches!(err, Err(QueryError::BadRequest(_))), "{err:?}");
+        // Same generation, so the cached entry still serves.
+        assert_eq!(e.execute(&req).unwrap().1, ResponseSource::Hit);
     }
 
     #[test]

@@ -11,6 +11,15 @@
 //!    (measures cached latency, verifies bytewise-identical bodies, and
 //!    reads the cache hit rate off `/metrics`).
 //!
+//! The **churn** harness ([`run_churn`], `mpds-load --churn`, emits
+//! `BENCH_pr5.json`) interleaves `POST /update` mutation batches with that
+//! read workload against a `serve --mutable` server: per round it applies
+//! one batch (insert fresh edges, re-weight half of the previous round's,
+//! delete the other half), asserts the canonical read is recomputed under
+//! the new generation (`X-Cache: MISS` then `HIT`), and fires a concurrent
+//! read burst. Its `--check` gate demands zero non-2xx anywhere and
+//! strictly monotone generations across the update responses.
+//!
 //! The harness is a plain blocking TCP client — no shared state with the
 //! server beyond the socket — so it can drive an in-process loopback
 //! server (tests) or an external `mpds-cli serve` (the CI smoke job)
@@ -63,6 +72,9 @@ pub struct Exchange {
     pub body: Vec<u8>,
     /// Wall-clock latency.
     pub latency: Duration,
+    /// The `X-Cache` response header (`HIT` / `MISS` / `COALESCED`), when
+    /// the server sent one.
+    pub x_cache: Option<String>,
 }
 
 /// Latency/throughput summary of one phase.
@@ -97,14 +109,14 @@ pub struct HarnessReport {
     pub violations: Vec<String>,
 }
 
-/// Issues one blocking HTTP/1.1 GET and reads the full response.
-pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<Exchange> {
+/// Issues one blocking request (the head and optional body are passed
+/// pre-serialized) and reads the full response.
+fn http_exchange(addr: SocketAddr, request: &[u8], timeout: Duration) -> std::io::Result<Exchange> {
     let start = Instant::now();
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    let req = format!("GET {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\r\n");
-    stream.write_all(req.as_bytes())?;
+    stream.write_all(request)?;
     let mut raw = Vec::new();
     stream.read_to_end(&mut raw)?;
     let latency = start.elapsed();
@@ -118,11 +130,41 @@ pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Res
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let x_cache = head.lines().skip(1).find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        k.trim()
+            .eq_ignore_ascii_case("x-cache")
+            .then(|| v.trim().to_string())
+    });
     Ok(Exchange {
         status,
         body: raw[header_end + 4..].to_vec(),
         latency,
+        x_cache,
     })
+}
+
+/// Issues one blocking HTTP/1.1 GET and reads the full response.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<Exchange> {
+    let req = format!("GET {path} HTTP/1.1\r\nHost: loopback\r\nConnection: close\r\n\r\n");
+    http_exchange(addr, req.as_bytes(), timeout)
+}
+
+/// Issues one blocking HTTP/1.1 POST with `body` and reads the full
+/// response (the client half of `POST /update`).
+pub fn http_post(
+    addr: SocketAddr,
+    path: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> std::io::Result<Exchange> {
+    let mut req = format!(
+        "POST {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    http_exchange(addr, &req, timeout)
 }
 
 /// Polls `/healthz` until the server answers (used by the CI smoke job to
@@ -195,6 +237,7 @@ fn run_phase(
             status: 0,
             body: e.into_bytes(),
             latency: elapsed,
+            x_cache: None,
         });
     }
     (all, elapsed)
@@ -364,6 +407,293 @@ fn round3(v: f64) -> f64 {
     (v * 1000.0).round() / 1000.0
 }
 
+/// Churn-harness parameters (see [`run_churn`]).
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// Server address (must be a `serve --mutable` server).
+    pub addr: SocketAddr,
+    /// Concurrent reader threads per read burst.
+    pub clients: usize,
+    /// Update rounds.
+    pub update_batches: usize,
+    /// Edges inserted per round (each round also re-weights half of the
+    /// previous round's insertions and deletes the other half).
+    pub batch_edges: usize,
+    /// Reads per client per round.
+    pub reads_per_round: usize,
+    /// Reported in the JSON (the harness cannot observe it remotely).
+    pub server_threads: usize,
+    /// Dataset updated and queried.
+    pub dataset: String,
+    /// Worlds per query.
+    pub theta: usize,
+    /// Result count per query.
+    pub k: usize,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7878)),
+            clients: 8,
+            update_batches: 8,
+            batch_edges: 16,
+            reads_per_round: 4,
+            server_threads: 4,
+            dataset: "karate".to_string(),
+            theta: 64,
+            k: 3,
+        }
+    }
+}
+
+/// Full churn-harness outcome (`BENCH_pr5.json`).
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Configuration echo.
+    pub config: ChurnConfig,
+    /// All interleaved reads (bursts + the per-round recovery probes).
+    pub reads: PhaseStats,
+    /// Update batches applied.
+    pub updates: usize,
+    /// Update responses with a non-2xx status.
+    pub update_errors: usize,
+    /// Median update latency, milliseconds.
+    pub update_p50_ms: f64,
+    /// 99th-percentile update latency, milliseconds.
+    pub update_p99_ms: f64,
+    /// Generation reported by the first update response.
+    pub first_generation: u64,
+    /// Generation reported by the last update response.
+    pub last_generation: u64,
+    /// Whether the update-response generations were strictly increasing.
+    pub generations_monotone: bool,
+    /// Fraction of rounds whose canonical read was `X-Cache: MISS` right
+    /// after the update and `HIT` on the immediate repeat — the cache
+    /// recovering at the new generation.
+    pub post_update_hit_recovery: f64,
+    /// Hard failures: non-2xx anywhere or non-monotone generations. Empty
+    /// means the `--check` contract holds.
+    pub violations: Vec<String>,
+}
+
+/// The deterministic mutation batch of churn round `round`: inserts
+/// `batch_edges` fresh label-pair edges, and from round 1 on re-weights the
+/// first half of the previous round's pairs and deletes the second half —
+/// all three mutation kinds per round, bounded graph growth, and entirely
+/// dataset-agnostic (fresh labels start at 1 000 000).
+pub fn churn_batch(round: usize, batch_edges: usize) -> String {
+    let pair = |r: usize, j: usize| {
+        let u = 1_000_000u64 + ((r * batch_edges + j) as u64) * 2;
+        (u, u + 1)
+    };
+    let mut out = String::new();
+    for j in 0..batch_edges {
+        let (u, v) = pair(round, j);
+        let p = 0.2 + 0.1 * (j % 6) as f64;
+        out.push_str(&format!("{u} {v} {p:.1}\n"));
+    }
+    if round > 0 {
+        for j in 0..batch_edges {
+            let (u, v) = pair(round - 1, j);
+            if j < batch_edges / 2 {
+                out.push_str(&format!("{u} {v} 0.9\n"));
+            } else {
+                out.push_str(&format!("{u} {v} -\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the churn harness against `cfg.addr` (which must serve `/update`,
+/// i.e. `mpds-cli serve --mutable`).
+pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
+    let mut violations = Vec::new();
+    let query_path = format!(
+        "/query?dataset={}&theta={}&k={}&seed=42",
+        cfg.dataset, cfg.theta, cfg.k
+    );
+    let timeout = Duration::from_secs(120);
+
+    // Warm the cache at the starting generation so round 0's MISS is
+    // attributable to the generation bump, not to a cold cache.
+    let mut all_reads: Vec<Exchange> = Vec::new();
+    let mut read_elapsed = Duration::ZERO;
+    match http_get(cfg.addr, &query_path, timeout) {
+        Ok(e) => {
+            read_elapsed += e.latency;
+            all_reads.push(e);
+        }
+        Err(e) => violations.push(format!("warm read failed: {e}")),
+    }
+
+    let mut update_latencies_ms: Vec<f64> = Vec::new();
+    let mut update_errors = 0usize;
+    let mut generations: Vec<u64> = Vec::new();
+    let mut recovered_rounds = 0usize;
+
+    for round in 0..cfg.update_batches {
+        // 1. Apply the round's mutation batch.
+        let batch = churn_batch(round, cfg.batch_edges);
+        let path = format!("/update?dataset={}", cfg.dataset);
+        match http_post(cfg.addr, &path, batch.as_bytes(), timeout) {
+            Ok(e) => {
+                update_latencies_ms.push(e.latency.as_secs_f64() * 1e3);
+                if (200..300).contains(&e.status) {
+                    let body = String::from_utf8_lossy(&e.body).into_owned();
+                    match scan_counter(&body, "generation") {
+                        Some(g) => generations.push(g),
+                        None => violations
+                            .push(format!("round {round}: no generation in update response")),
+                    }
+                } else {
+                    update_errors += 1;
+                    violations.push(format!(
+                        "round {round}: update answered {}: {}",
+                        e.status,
+                        String::from_utf8_lossy(&e.body)
+                    ));
+                }
+            }
+            Err(e) => {
+                update_errors += 1;
+                violations.push(format!("round {round}: update failed: {e}"));
+            }
+        }
+
+        // 2. Recovery probe: the canonical read must recompute under the
+        //    new generation (MISS), then serve from cache (HIT).
+        let mut probe =
+            |label: &str, reads: &mut Vec<Exchange>, elapsed: &mut Duration| match http_get(
+                cfg.addr,
+                &query_path,
+                timeout,
+            ) {
+                Ok(e) => {
+                    *elapsed += e.latency;
+                    let x = e.x_cache.clone();
+                    reads.push(e);
+                    x
+                }
+                Err(err) => {
+                    violations.push(format!("round {round}: {label} probe failed: {err}"));
+                    None
+                }
+            };
+        let first = probe("post-update", &mut all_reads, &mut read_elapsed);
+        let second = probe("repeat", &mut all_reads, &mut read_elapsed);
+        if first.as_deref() == Some("MISS") && second.as_deref() == Some("HIT") {
+            recovered_rounds += 1;
+        }
+
+        // 3. Concurrent read burst at the new generation.
+        let burst_cfg = HarnessConfig {
+            addr: cfg.addr,
+            clients: cfg.clients,
+            requests_per_client: cfg.reads_per_round,
+            server_threads: cfg.server_threads,
+            dataset: cfg.dataset.clone(),
+            theta: cfg.theta,
+            k: cfg.k,
+        };
+        let (burst, burst_elapsed) =
+            run_phase(&burst_cfg, cfg.reads_per_round, |_, _| query_path.clone());
+        read_elapsed += burst_elapsed;
+        all_reads.extend(burst);
+    }
+
+    let reads = phase_stats(&all_reads, read_elapsed);
+    if reads.errors > 0 {
+        violations.push(format!("reads: {} non-2xx responses", reads.errors));
+    }
+    let generations_monotone = generations.windows(2).all(|w| w[0] < w[1]);
+    if !generations_monotone {
+        violations.push(format!("generations not monotone: {generations:?}"));
+    }
+    if generations.len() != cfg.update_batches {
+        violations.push(format!(
+            "expected {} update generations, observed {}",
+            cfg.update_batches,
+            generations.len()
+        ));
+    }
+    update_latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ChurnReport {
+        config: cfg.clone(),
+        reads,
+        updates: cfg.update_batches,
+        update_errors,
+        update_p50_ms: percentile(&update_latencies_ms, 0.50),
+        update_p99_ms: percentile(&update_latencies_ms, 0.99),
+        first_generation: generations.first().copied().unwrap_or(0),
+        last_generation: generations.last().copied().unwrap_or(0),
+        generations_monotone,
+        post_update_hit_recovery: if cfg.update_batches == 0 {
+            1.0
+        } else {
+            recovered_rounds as f64 / cfg.update_batches as f64
+        },
+        violations,
+    }
+}
+
+/// Serializes a churn report in the `BENCH_pr5.json` schema.
+pub fn render_churn_report(r: &ChurnReport) -> String {
+    use crate::json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("schema", "mpds-service/churn_harness/v1")
+        .field_str(
+            "note",
+            "update/read churn harness; latencies are machine-dependent, the checked \
+             invariants are zero non-2xx anywhere and strictly monotone generations \
+             across update responses",
+        )
+        .key("config")
+        .begin_object()
+        .field_str("dataset", &r.config.dataset)
+        .field_uint("clients", r.config.clients as u64)
+        .field_uint("update_batches", r.config.update_batches as u64)
+        .field_uint("batch_edges", r.config.batch_edges as u64)
+        .field_uint("reads_per_round", r.config.reads_per_round as u64)
+        .field_uint("server_threads", r.config.server_threads as u64)
+        .field_uint("theta", r.config.theta as u64)
+        .field_uint("k", r.config.k as u64)
+        .end_object()
+        .key("reads")
+        .begin_object()
+        .field_uint("requests", r.reads.requests as u64)
+        .field_uint("errors", r.reads.errors as u64)
+        .field_float("throughput_rps", round3(r.reads.throughput_rps))
+        .field_float("p50_ms", round3(r.reads.p50_ms))
+        .field_float("p99_ms", round3(r.reads.p99_ms))
+        .end_object()
+        .key("updates")
+        .begin_object()
+        .field_uint("applied", r.updates as u64)
+        .field_uint("errors", r.update_errors as u64)
+        .field_float("p50_ms", round3(r.update_p50_ms))
+        .field_float("p99_ms", round3(r.update_p99_ms))
+        .field_uint("first_generation", r.first_generation)
+        .field_uint("last_generation", r.last_generation)
+        .field_bool("generations_monotone", r.generations_monotone)
+        .end_object()
+        .field_float(
+            "post_update_hit_recovery",
+            round3(r.post_update_hit_recovery),
+        )
+        .key("violations")
+        .begin_array();
+    for v in &r.violations {
+        w.string(v);
+    }
+    w.end_array().end_object();
+    let mut s = w.finish();
+    s.push('\n');
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,6 +710,53 @@ mod tests {
         assert_eq!(percentile(&ms, 0.5), 3.0);
         assert_eq!(percentile(&ms, 0.99), 100.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn churn_batches_are_deterministic_and_disjoint() {
+        let b0 = churn_batch(0, 4);
+        assert_eq!(b0, churn_batch(0, 4));
+        // Round 0: inserts only.
+        assert_eq!(b0.lines().count(), 4);
+        assert!(!b0.contains(" -"));
+        // Round 1: 4 inserts + 2 re-weights + 2 deletes of round 0's pairs.
+        let b1 = churn_batch(1, 4);
+        assert_eq!(b1.lines().count(), 8);
+        assert_eq!(b1.matches(" -").count(), 2);
+        assert_eq!(b1.matches(" 0.9").count(), 2);
+        // No line may repeat an edge key within one batch (the server
+        // rejects duplicates): all first-two-token pairs distinct.
+        let keys: Vec<&str> = b1.lines().map(|l| l.rsplit_once(' ').unwrap().0).collect();
+        let unique: std::collections::HashSet<&&str> = keys.iter().collect();
+        assert_eq!(unique.len(), keys.len(), "{b1}");
+    }
+
+    #[test]
+    fn churn_report_renders_with_schema() {
+        let r = ChurnReport {
+            config: ChurnConfig::default(),
+            reads: PhaseStats {
+                requests: 10,
+                errors: 0,
+                throughput_rps: 50.0,
+                p50_ms: 1.0,
+                p99_ms: 2.0,
+            },
+            updates: 8,
+            update_errors: 0,
+            update_p50_ms: 3.5,
+            update_p99_ms: 4.25,
+            first_generation: 1,
+            last_generation: 8,
+            generations_monotone: true,
+            post_update_hit_recovery: 1.0,
+            violations: vec![],
+        };
+        let s = render_churn_report(&r);
+        assert!(s.contains("\"schema\":\"mpds-service/churn_harness/v1\""));
+        assert!(s.contains("\"generations_monotone\":true"));
+        assert!(s.contains("\"post_update_hit_recovery\":1.0"));
+        assert!(s.ends_with("}\n"));
     }
 
     #[test]

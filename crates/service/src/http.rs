@@ -17,10 +17,11 @@
 //! | Path | Reply |
 //! |---|---|
 //! | `GET /healthz` | `{"status":"ok"}` |
-//! | `GET /datasets` | registry listing (name, loaded, shape) |
+//! | `GET /datasets` | registry listing (name, loaded, shape, generation) |
 //! | `GET /dataset?name=D` | dataset stats (forces construction) |
 //! | `GET /query?dataset=D&…` | MPDS/NDS query (see [`crate::engine`]) |
-//! | `GET /metrics` | cache/engine/server counters |
+//! | `POST /update?dataset=D` | apply a mutation batch (body: `u v p` / `u v -` lines); gated by [`ServerConfig::mutable`] |
+//! | `GET /metrics` | cache/engine/server counters + per-dataset generation/overlay/compactions |
 
 use crate::engine::{Algo, QueryEngine, QueryError, QueryRequest};
 use crate::json::{error_body, JsonWriter};
@@ -45,6 +46,10 @@ pub struct ServerConfig {
     /// pin every worker indefinitely and 503 all later traffic — the
     /// compute-side counterpart of the bounded queue. `None` disables it.
     pub default_timeout: Option<Duration>,
+    /// Whether `POST /update` is served (the CLI's `serve --mutable`).
+    /// Immutable servers (the default) answer it `403` without touching the
+    /// registry, so a fleet can expose read-only replicas safely.
+    pub mutable: bool,
 }
 
 impl Default for ServerConfig {
@@ -54,6 +59,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             read_timeout: Duration::from_secs(10),
             default_timeout: Some(Duration::from_secs(120)),
+            mutable: false,
         }
     }
 }
@@ -66,6 +72,9 @@ struct ServerState {
     shutdown: AtomicBool,
     read_timeout: Duration,
     default_timeout: Option<Duration>,
+    mutable: bool,
+    /// Mutation batches applied through `/update`.
+    updates: AtomicU64,
     /// Connections answered 503 at the admission gate.
     rejected: AtomicU64,
     /// Requests fully served (any status).
@@ -101,6 +110,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             read_timeout: cfg.read_timeout,
             default_timeout: cfg.default_timeout,
+            mutable: cfg.mutable,
+            updates: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             served: AtomicU64::new(0),
             rejecters: AtomicU64::new(0),
@@ -241,7 +252,7 @@ fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
 fn respond_overloaded(mut stream: TcpStream, drain_timeout: Duration) {
     let _ = stream.set_read_timeout(Some(drain_timeout));
     let _ = stream.set_write_timeout(Some(drain_timeout));
-    let _ = read_request_target(&mut stream);
+    let _ = read_request(&mut stream, |_, _| false);
     let body = error_body("server overloaded: connection queue full");
     let _ = write_response(
         &mut stream,
@@ -290,8 +301,13 @@ impl Body {
 fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     let _ = stream.set_read_timeout(Some(state.read_timeout));
     let _ = stream.set_write_timeout(Some(state.read_timeout));
-    let target = match read_request_target(&mut stream) {
-        Ok(t) => t,
+    // Buffer a request body only for POSTs this server will actually route
+    // to /update: everything else gets its rejection without the server
+    // reading (and holding) up to MAX_BODY attacker-supplied bytes first.
+    let accept_body =
+        |method: &str, path: &str| method == "POST" && path == "/update" && state.mutable;
+    let request = match read_request(&mut stream, accept_body) {
+        Ok(r) => r,
         Err(msg) => {
             let _ = write_response(
                 &mut stream,
@@ -303,51 +319,163 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
             return;
         }
     };
-    let (status, reason, body, cache_header) = route(&target, state);
+    let (status, reason, body, cache_header) = route(&request, state);
     let _ = write_response(&mut stream, status, reason, body.as_bytes(), cache_header);
 }
 
-/// Reads the request head and returns the request target (path + query).
-/// Only `GET` is served; the body, if any, is ignored.
-fn read_request_target(stream: &mut TcpStream) -> Result<String, String> {
+/// One parsed HTTP request: method, target (path + query), and — for POST —
+/// the `Content-Length`-delimited body.
+struct Request {
+    method: String,
+    target: String,
+    body: Vec<u8>,
+}
+
+/// Largest accepted `/update` body; mutation batches beyond this are
+/// overload, not traffic.
+const MAX_BODY: usize = 8 * 1024 * 1024;
+
+/// How much of a *rejected* request's body gets drained (discarded, never
+/// buffered) so the error response survives the close — closing a socket
+/// with substantial unread data RSTs the reply away. Abuse-sized bodies
+/// past this simply are not read.
+const MAX_REJECTED_DRAIN: usize = 64 * 1024;
+
+/// Reads one request head and, when `accept_body(method, path)` approves
+/// the route, its `Content-Length`-delimited body. Rejected routes get the
+/// body drained (bounded) but never buffered.
+fn read_request(
+    stream: &mut TcpStream,
+    accept_body: impl Fn(&str, &str) -> bool,
+) -> Result<Request, String> {
     let mut buf = Vec::with_capacity(1024);
     let mut chunk = [0u8; 1024];
-    while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+    let header_end = loop {
+        if let Some(at) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break at;
+        }
         if buf.len() > 64 * 1024 {
             return Err("request head too large".to_string());
         }
         let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
         if n == 0 {
-            break;
+            // EOF with no terminator: the whole buffer is the head.
+            break buf.len();
         }
         buf.extend_from_slice(&chunk[..n]);
-    }
-    let head = String::from_utf8_lossy(&buf);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).into_owned();
     let request_line = head.lines().next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or("empty request")?;
-    let target = parts.next().ok_or("missing request target")?;
-    if method != "GET" {
-        return Err(format!("method {method} not supported (GET only)"));
+    let method = parts.next().ok_or("empty request")?.to_string();
+    let target = parts.next().ok_or("missing request target")?.to_string();
+    let mut content_length = 0usize;
+    for line in head.lines().skip(1) {
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {:?}", v.trim()))?;
+            }
+        }
     }
-    Ok(target.to_string())
+    let already = buf.len().saturating_sub((header_end + 4).min(buf.len()));
+    let path = target.split('?').next().unwrap_or("");
+    if !accept_body(&method, path) {
+        // Drain (bounded, discarded) so the rejection response survives.
+        let mut remaining = content_length
+            .saturating_sub(already)
+            .min(MAX_REJECTED_DRAIN);
+        while remaining > 0 {
+            let want = remaining.min(chunk.len());
+            match stream.read(&mut chunk[..want]) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => remaining -= n,
+            }
+        }
+        return Ok(Request {
+            method,
+            target,
+            body: Vec::new(),
+        });
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("request body too large ({content_length} bytes)"));
+    }
+    let mut body = buf[(header_end + 4).min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("request body truncated".to_string());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        target,
+        body,
+    })
 }
 
-/// Dispatches one request target to a `(status, reason, body, x_cache)`.
-fn route(target: &str, state: &ServerState) -> (u16, &'static str, Body, Option<&'static str>) {
-    let (path, query) = match target.split_once('?') {
+/// Dispatches one request to a `(status, reason, body, x_cache)`.
+fn route(
+    request: &Request,
+    state: &ServerState,
+) -> (u16, &'static str, Body, Option<&'static str>) {
+    let (path, query) = match request.target.split_once('?') {
         Some((p, q)) => (p, q),
-        None => (target, ""),
+        None => (request.target.as_str(), ""),
     };
     let bad = |msg: String| (400, "Bad Request", Body::Text(error_body(&msg)), None);
-    match path {
-        "/" | "/healthz" => {
+    match (request.method.as_str(), path) {
+        ("GET", "/update") => (
+            405,
+            "Method Not Allowed",
+            Body::Text(error_body("POST a mutation batch to /update")),
+            None,
+        ),
+        ("POST", "/update") => {
+            if !state.mutable {
+                return (
+                    403,
+                    "Forbidden",
+                    Body::Text(error_body(
+                        "server is immutable (start it with serve --mutable)",
+                    )),
+                    None,
+                );
+            }
+            match single_param(query, "dataset") {
+                Err(msg) => bad(msg),
+                Ok(dataset) => match state.engine.apply_update(&dataset, request.body.as_slice()) {
+                    Ok(outcome) => {
+                        state.updates.fetch_add(1, Ordering::Relaxed);
+                        (
+                            200,
+                            "OK",
+                            Body::Text(crate::engine::render_update_response(&dataset, &outcome)),
+                            None,
+                        )
+                    }
+                    Err(e) => query_error_response(&e),
+                },
+            }
+        }
+        ("POST", _) => (
+            405,
+            "Method Not Allowed",
+            Body::Text(error_body("POST is only accepted on /update")),
+            None,
+        ),
+        ("GET", "/") | ("GET", "/healthz") => {
             let mut w = JsonWriter::new();
             w.begin_object().field_str("status", "ok").end_object();
             (200, "OK", Body::Text(w.finish()), None)
         }
-        "/datasets" => (200, "OK", Body::Text(render_datasets(state)), None),
-        "/dataset" => match single_param(query, "name") {
+        ("GET", "/datasets") => (200, "OK", Body::Text(render_datasets(state)), None),
+        ("GET", "/dataset") => match single_param(query, "name") {
             Err(msg) => bad(msg),
             Ok(name) => match state.engine.registry().get(&name) {
                 Err(msg) => bad(msg),
@@ -359,7 +487,7 @@ fn route(target: &str, state: &ServerState) -> (u16, &'static str, Body, Option<
                 ),
             },
         },
-        "/query" => match parse_query_request(query) {
+        ("GET", "/query") => match parse_query_request(query) {
             Err(msg) => bad(msg),
             Ok(mut req) => {
                 // Server-side compute ceiling: queries without their own
@@ -374,13 +502,14 @@ fn route(target: &str, state: &ServerState) -> (u16, &'static str, Body, Option<
                 }
             }
         },
-        "/metrics" => (200, "OK", Body::Text(render_metrics(state)), None),
-        _ => (
+        ("GET", "/metrics") => (200, "OK", Body::Text(render_metrics(state)), None),
+        ("GET", _) => (
             404,
             "Not Found",
             Body::Text(error_body("no such endpoint")),
             None,
         ),
+        (method, _) => bad(format!("method {method} not supported (GET or POST)")),
     }
 }
 
@@ -405,6 +534,9 @@ fn render_datasets(state: &ServerState) -> String {
             w.field_uint("nodes", n as u64)
                 .field_uint("edges", m as u64);
         }
+        if let Some(g) = d.generation {
+            w.field_uint("generation", g);
+        }
         w.end_object();
     }
     w.end_array().end_object();
@@ -428,7 +560,27 @@ fn render_metrics(state: &ServerState) -> String {
         .field_uint("worlds_requested", s.worlds_requested)
         .field_uint("rejected", state.rejected.load(Ordering::Relaxed))
         .field_uint("served", state.served.load(Ordering::Relaxed))
-        .end_object();
+        .field_uint("updates", state.updates.load(Ordering::Relaxed));
+    // Per-dataset dynamic-graph state (loaded datasets only — listing must
+    // never force construction).
+    w.key("datasets").begin_array();
+    for d in state.engine.registry().list() {
+        if !d.loaded {
+            continue;
+        }
+        w.begin_object().field_str("name", &d.name);
+        if let Some(g) = d.generation {
+            w.field_uint("generation", g);
+        }
+        if let Some(o) = d.overlay {
+            w.field_uint("overlay", o as u64);
+        }
+        if let Some(c) = d.compactions {
+            w.field_uint("compactions", c);
+        }
+        w.end_object();
+    }
+    w.end_array().end_object();
     w.finish()
 }
 

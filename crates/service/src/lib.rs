@@ -11,14 +11,19 @@
 //! Layers (each usable on its own):
 //!
 //! * [`registry`] — named datasets (built-ins + weighted-edge-list files)
-//!   constructed once, shared as `Arc`s, build-coalesced;
+//!   constructed once, build-coalesced, served as generation-stamped
+//!   `Arc` snapshots and mutable through atomic `/update` batches
+//!   ([`ugraph::dynamic`]);
 //! * [`engine`] — typed [`engine::QueryRequest`]/deterministic JSON
 //!   responses, per-request deadlines via [`mpds::control`], a sharded LRU
-//!   result [`cache`], and in-flight request coalescing;
+//!   result [`cache`] keyed on the dataset generation (stale entries age
+//!   out, never get served), and in-flight request coalescing;
 //! * [`http`] — a std-only thread-pool HTTP/1.1 front end with a bounded
-//!   admission queue (503 on overload) and cooperative-cancel shutdown;
-//! * [`harness`] — the loopback load harness behind `BENCH_pr3.json` and
-//!   the CI `service-smoke` job;
+//!   admission queue (503 on overload), a gated `POST /update` endpoint,
+//!   and cooperative-cancel shutdown;
+//! * [`harness`] — the loopback load + churn harnesses behind
+//!   `BENCH_pr3.json` / `BENCH_pr5.json` and the CI `service-smoke` /
+//!   `churn-smoke` jobs;
 //! * [`json`] — the byte-stable JSON writer everything serializes through
 //!   (the vendored serde is a no-op shim; determinism is asserted, not
 //!   hoped for).

@@ -1,33 +1,52 @@
-//! Graph registry: named datasets loaded once, shared immutably.
+//! Graph registry: named datasets loaded once, served as generation-stamped
+//! immutable snapshots, mutable through batched updates.
 //!
 //! The serving layer must never pay dataset construction per query — the
-//! registry maps names to lazily-built, `Arc`-shared [`UncertainGraph`]s.
-//! Built-ins cover the embedded Karate Club and the deterministic synthetic
-//! stand-ins of `ugraph::datasets`; arbitrary weighted-edge-list files can
-//! be registered alongside them (the CLI's `serve --dataset NAME=PATH`).
+//! registry maps names to lazily-built datasets. Built-ins cover the
+//! embedded Karate Club and the deterministic synthetic stand-ins of
+//! `ugraph::datasets`; arbitrary weighted-edge-list files can be registered
+//! alongside them (the CLI's `serve --dataset NAME=PATH`).
 //!
-//! Construction is coalesced: each entry holds a [`OnceLock`], so N
+//! Since PR 5 every entry is **dynamic**: behind the one-time build sits a
+//! [`ugraph::dynamic::DeltaGraph`] writer plus an `ArcSwap`-style
+//! `RwLock<Arc<LoadedGraph>>` holding the current immutable snapshot.
+//! Readers share the read lock and clone the `Arc` (no torn reads — a
+//! query computes against exactly the generation it resolved, and the
+//! cache-HIT fast path never serializes on other readers); writers
+//! serialize on the per-entry writer lock, apply one atomic mutation
+//! batch, take the next snapshot, and swap it in under a brief write lock.
+//! Generations observed through [`GraphRegistry::get`] are therefore
+//! monotone per dataset.
+//!
+//! Construction is still coalesced: each entry holds a [`OnceLock`], so N
 //! concurrent first-queries on the same dataset build it exactly once while
 //! the others block on that build — the same discipline the result cache
 //! applies to query computation.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use ugraph::dynamic::DeltaGraph;
 use ugraph::{datasets, io, NodeId, UncertainGraph};
 
-/// A loaded dataset: the shared graph plus the label of every compact node
-/// id (file-backed datasets keep their original labels; built-ins are
-/// identity-labeled).
+/// A loaded dataset snapshot: the shared graph at one generation plus the
+/// label of every compact node id (file-backed datasets keep their original
+/// labels; built-ins are identity-labeled until an update adds nodes).
 #[derive(Debug)]
 pub struct LoadedGraph {
     /// Registry name.
     pub name: String,
-    /// The uncertain graph (CSR; immutable).
-    pub graph: UncertainGraph,
+    /// The uncertain graph (CSR; immutable — updates produce a *new*
+    /// `LoadedGraph` at the next generation).
+    pub graph: Arc<UncertainGraph>,
     /// Original node label per compact id, when the source had its own
     /// labels (`None` means identity).
     pub labels: Option<Vec<u32>>,
+    /// The dataset generation this snapshot belongs to (0 = as loaded;
+    /// bumped by every applied update batch). Part of every cache key, so
+    /// stale cached responses age out of the LRU naturally.
+    pub generation: u64,
 }
 
 impl LoadedGraph {
@@ -48,16 +67,40 @@ enum Source {
     File(PathBuf),
 }
 
+/// Writer-side state of a dynamic entry, serialized by its mutex.
+struct Writer {
+    delta: DeltaGraph,
+    /// Compact id → original label (identity-seeded for built-ins; grows
+    /// when updates reference unseen labels).
+    labels: Vec<u32>,
+}
+
+/// One built dataset: the current snapshot (swapped atomically under a
+/// short-lived lock) plus the writer and metric mirrors.
+struct LiveDataset {
+    /// Generation-stamped current snapshot. Readers share the read lock —
+    /// every query (including the cache-HIT fast path) resolves through
+    /// here, so readers must never serialize on each other; only the
+    /// writer's swap takes the write lock, briefly.
+    current: RwLock<Arc<LoadedGraph>>,
+    writer: Mutex<Writer>,
+    /// Metric mirrors updated after each batch, readable without touching
+    /// the writer lock.
+    overlay: AtomicUsize,
+    compactions: AtomicU64,
+}
+
 struct Entry {
     source: Source,
     /// Build-once cell; errors are cached too (a bad file stays bad).
-    cell: OnceLock<Result<Arc<LoadedGraph>, String>>,
+    cell: OnceLock<Result<Arc<LiveDataset>, String>>,
 }
 
 /// Immutable-after-construction name → dataset table.
 ///
 /// All registration happens before serving starts, so lookups need no lock;
-/// only the per-entry [`OnceLock`] synchronizes lazy construction.
+/// the per-entry [`OnceLock`] synchronizes lazy construction and the
+/// per-entry snapshot/writer locks synchronize updates.
 pub struct GraphRegistry {
     entries: BTreeMap<String, Entry>,
 }
@@ -70,8 +113,35 @@ pub struct DatasetInfo {
     pub name: String,
     /// Whether the graph has been constructed in this process.
     pub loaded: bool,
-    /// `(nodes, edges)` when loaded.
+    /// `(nodes, edges)` of the current snapshot, when loaded.
     pub shape: Option<(usize, usize)>,
+    /// Current generation, when loaded.
+    pub generation: Option<u64>,
+    /// Live mutation-overlay entry count, when loaded.
+    pub overlay: Option<usize>,
+    /// Overlay compactions performed so far, when loaded.
+    pub compactions: Option<u64>,
+}
+
+/// What one applied `/update` batch did (see [`GraphRegistry::apply_update`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// The dataset generation after the batch.
+    pub generation: u64,
+    /// Edges inserted.
+    pub inserted: usize,
+    /// Edges re-weighted.
+    pub reweighted: usize,
+    /// Edges deleted.
+    pub deleted: usize,
+    /// Nodes appended (unseen labels).
+    pub nodes_added: usize,
+    /// `(nodes, edges)` of the new snapshot.
+    pub shape: (usize, usize),
+    /// Overlay entries alive after the batch (0 right after a compaction).
+    pub overlay: usize,
+    /// Total compactions performed on this dataset so far.
+    pub compactions: u64,
 }
 
 impl GraphRegistry {
@@ -89,7 +159,7 @@ impl GraphRegistry {
     /// `twitter`, `friendster`, and the §VI-H accuracy graphs `ba7`/`ba9`/
     /// `er7`/`er9`. All are deterministic: fixed construction seeds, so two
     /// servers hold identical graphs and identical queries return identical
-    /// bytes across processes.
+    /// bytes across processes — until updates diverge their generations.
     pub fn with_builtins() -> Self {
         let mut r = GraphRegistry::new();
         r.register_builtin("karate", datasets::karate_club);
@@ -141,26 +211,26 @@ impl GraphRegistry {
         self.entries
             .iter()
             .map(|(name, e)| {
-                let loaded = matches!(e.cell.get(), Some(Ok(_)));
-                let shape = match e.cell.get() {
-                    Some(Ok(g)) => Some((g.graph.num_nodes(), g.graph.num_edges())),
+                let live = match e.cell.get() {
+                    Some(Ok(live)) => Some(live),
                     _ => None,
                 };
+                let snapshot = live.map(|l| Arc::clone(&*l.current.read().unwrap()));
                 DatasetInfo {
                     name: name.clone(),
-                    loaded,
-                    shape,
+                    loaded: live.is_some(),
+                    shape: snapshot
+                        .as_ref()
+                        .map(|g| (g.graph.num_nodes(), g.graph.num_edges())),
+                    generation: snapshot.as_ref().map(|g| g.generation),
+                    overlay: live.map(|l| l.overlay.load(Ordering::Relaxed)),
+                    compactions: live.map(|l| l.compactions.load(Ordering::Relaxed)),
                 }
             })
             .collect()
     }
 
-    /// Fetches (building on first use) the dataset named `name`.
-    ///
-    /// Concurrent first calls coalesce on the entry's `OnceLock`: one
-    /// caller builds, the rest block until the build finishes and share the
-    /// same `Arc`.
-    pub fn get(&self, name: &str) -> Result<Arc<LoadedGraph>, String> {
+    fn live(&self, name: &str) -> Result<Arc<LiveDataset>, String> {
         let entry = self
             .entries
             .get(name)
@@ -169,6 +239,67 @@ impl GraphRegistry {
             .cell
             .get_or_init(|| build(name, &entry.source))
             .clone()
+    }
+
+    /// Fetches (building on first use) the current snapshot of the dataset
+    /// named `name`.
+    ///
+    /// Concurrent first calls coalesce on the entry's `OnceLock`: one
+    /// caller builds, the rest block until the build finishes. Afterwards
+    /// every call is one short lock + `Arc` clone, and the generations
+    /// returned for one dataset are monotone.
+    pub fn get(&self, name: &str) -> Result<Arc<LoadedGraph>, String> {
+        let live = self.live(name)?;
+        let current = live.current.read().unwrap();
+        Ok(Arc::clone(&current))
+    }
+
+    /// Applies one mutation batch (the `u v p` / `u v -` grammar of
+    /// [`ugraph::io::apply_edge_list_delta`], node ids in the dataset's
+    /// original label space) atomically: on success the dataset moves to
+    /// the next generation and subsequent [`GraphRegistry::get`] calls see
+    /// the new snapshot; on error nothing changes.
+    ///
+    /// Writers for one dataset serialize on its writer lock; readers are
+    /// never blocked for longer than the final snapshot swap.
+    pub fn apply_update(
+        &self,
+        name: &str,
+        mutations: impl std::io::Read,
+    ) -> Result<UpdateOutcome, String> {
+        let live = self.live(name)?;
+        let mut writer = live.writer.lock().unwrap();
+        let Writer { delta, labels } = &mut *writer;
+        let applied = io::apply_edge_list_delta(delta, labels, mutations)
+            .map_err(|e| format!("dataset {name:?}: {e}"))?;
+        let snapshot = writer.delta.snapshot();
+        // Updated snapshots always carry explicit labels: identity built-ins
+        // may have gained non-identity labels through appended nodes, and an
+        // identity label vector resolves identically either way.
+        let labels = Some(writer.labels.clone());
+        let outcome = UpdateOutcome {
+            generation: snapshot.generation(),
+            inserted: applied.stats.inserted,
+            reweighted: applied.stats.reweighted,
+            deleted: applied.stats.deleted,
+            nodes_added: applied.stats.nodes_added,
+            shape: (snapshot.graph().num_nodes(), snapshot.graph().num_edges()),
+            overlay: writer.delta.overlay_len(),
+            compactions: writer.delta.compactions(),
+        };
+        let next = Arc::new(LoadedGraph {
+            name: name.to_string(),
+            graph: snapshot.shared_graph(),
+            labels,
+            generation: snapshot.generation(),
+        });
+        live.overlay.store(outcome.overlay, Ordering::Relaxed);
+        live.compactions
+            .store(outcome.compactions, Ordering::Relaxed);
+        // Swap the published snapshot while still holding the writer lock,
+        // so generations published through `current` are monotone.
+        *live.current.write().unwrap() = next;
+        Ok(outcome)
     }
 }
 
@@ -187,25 +318,39 @@ pub fn load_edge_list_file(name: &str, path: &std::path::Path) -> Result<LoadedG
     let (graph, labels) = io::read_weighted_edge_list(file).map_err(|e| e.to_string())?;
     Ok(LoadedGraph {
         name: name.to_string(),
-        graph,
+        graph: Arc::new(graph),
         labels: Some(labels),
+        generation: 0,
     })
 }
 
-fn build(name: &str, source: &Source) -> Result<Arc<LoadedGraph>, String> {
-    match source {
-        Source::Builtin(f) => {
-            let d = f();
-            Ok(Arc::new(LoadedGraph {
-                name: name.to_string(),
-                graph: d.graph,
-                labels: None,
-            }))
+fn build(name: &str, source: &Source) -> Result<Arc<LiveDataset>, String> {
+    let (graph, labels) = match source {
+        Source::Builtin(f) => (Arc::new(f().graph), None),
+        Source::File(path) => {
+            let loaded =
+                load_edge_list_file(name, path).map_err(|e| format!("dataset {name:?}: {e}"))?;
+            (loaded.graph, loaded.labels)
         }
-        Source::File(path) => load_edge_list_file(name, path)
-            .map(Arc::new)
-            .map_err(|e| format!("dataset {name:?}: {e}")),
-    }
+    };
+    let writer_labels = labels
+        .clone()
+        .unwrap_or_else(|| (0..graph.num_nodes() as u32).collect());
+    let snapshot = Arc::new(LoadedGraph {
+        name: name.to_string(),
+        graph: Arc::clone(&graph),
+        labels,
+        generation: 0,
+    });
+    Ok(Arc::new(LiveDataset {
+        current: RwLock::new(snapshot),
+        writer: Mutex::new(Writer {
+            delta: DeltaGraph::new(graph),
+            labels: writer_labels,
+        }),
+        overlay: AtomicUsize::new(0),
+        compactions: AtomicU64::new(0),
+    }))
 }
 
 #[cfg(test)]
@@ -220,22 +365,31 @@ mod tests {
         let before = r.list();
         let karate_row = before.iter().find(|d| d.name == "karate").unwrap();
         assert!(!karate_row.loaded, "listing must not trigger construction");
+        assert_eq!(karate_row.generation, None);
 
         let g = r.get("karate").unwrap();
         assert_eq!(g.graph.num_nodes(), 34);
         assert_eq!(g.graph.num_edges(), 78);
         assert_eq!(g.label_of(5), 5);
+        assert_eq!(g.generation, 0);
 
         let after = r.list();
         let karate_row = after.iter().find(|d| d.name == "karate").unwrap();
         assert!(karate_row.loaded);
         assert_eq!(karate_row.shape, Some((34, 78)));
+        assert_eq!(karate_row.generation, Some(0));
+        assert_eq!(karate_row.overlay, Some(0));
+        assert_eq!(karate_row.compactions, Some(0));
     }
 
     #[test]
     fn unknown_name_is_an_error() {
         let r = GraphRegistry::with_builtins();
         assert!(r.get("nope").unwrap_err().contains("unknown dataset"));
+        assert!(r
+            .apply_update("nope", "1 2 0.5\n".as_bytes())
+            .unwrap_err()
+            .contains("unknown dataset"));
     }
 
     #[test]
@@ -285,5 +439,75 @@ mod tests {
         let e2 = r.get("missing").unwrap_err();
         assert_eq!(e1, e2);
         assert!(e1.contains("cannot open"));
+    }
+
+    #[test]
+    fn apply_update_bumps_generation_and_swaps_snapshot() {
+        let r = GraphRegistry::with_builtins();
+        let g0 = r.get("karate").unwrap();
+        assert_eq!(g0.generation, 0);
+        let edges0 = g0.graph.num_edges();
+
+        // Re-weight one edge, insert one edge, delete one edge. Karate is
+        // identity-labeled: labels == compact ids.
+        let out = r
+            .apply_update("karate", "0 1 0.99\n0 9 0.5\n0 2 -\n".as_bytes())
+            .unwrap();
+        assert_eq!(out.generation, 1);
+        assert_eq!((out.inserted, out.reweighted, out.deleted), (1, 1, 1));
+        assert_eq!(out.shape.1, edges0);
+
+        let g1 = r.get("karate").unwrap();
+        assert_eq!(g1.generation, 1);
+        assert_eq!(g1.graph.edge_prob(0, 1), Some(0.99));
+        assert_eq!(g1.graph.edge_prob(0, 9), Some(0.5));
+        assert_eq!(g1.graph.edge_prob(0, 2), None);
+        // The old snapshot is untouched — readers holding it keep serving
+        // generation 0.
+        assert_eq!(g0.generation, 0);
+        assert_ne!(g0.graph.edge_prob(0, 1), Some(0.99));
+
+        // Bad batches change nothing, not even the generation.
+        let err = r
+            .apply_update("karate", "5 5 0.4\n".as_bytes())
+            .unwrap_err();
+        assert!(err.contains("self-loop"), "{err}");
+        assert_eq!(r.get("karate").unwrap().generation, 1);
+
+        let info = r.list();
+        let row = info.iter().find(|d| d.name == "karate").unwrap();
+        assert_eq!(row.generation, Some(1));
+        assert_eq!(row.overlay, Some(3));
+    }
+
+    #[test]
+    fn empty_update_batch_keeps_the_generation() {
+        let r = GraphRegistry::with_builtins();
+        r.apply_update("karate", "0 1 0.5\n".as_bytes()).unwrap();
+        let g1 = r.get("karate").unwrap();
+        // Comments-only body: zero mutations, zero version churn.
+        let out = r
+            .apply_update("karate", "# nothing\n\n".as_bytes())
+            .unwrap();
+        assert_eq!(out.generation, 1);
+        assert_eq!((out.inserted, out.reweighted, out.deleted), (0, 0, 0));
+        assert_eq!(r.get("karate").unwrap().generation, g1.generation);
+    }
+
+    #[test]
+    fn update_can_add_nodes_with_fresh_labels() {
+        let r = GraphRegistry::with_builtins();
+        let before = r.get("karate").unwrap();
+        let n0 = before.graph.num_nodes();
+        let out = r.apply_update("karate", "0 1000 0.5\n".as_bytes()).unwrap();
+        assert_eq!(out.nodes_added, 1);
+        assert_eq!(out.shape.0, n0 + 1);
+        let after = r.get("karate").unwrap();
+        assert_eq!(after.label_of(n0 as NodeId), 1000);
+        assert_eq!(
+            after.graph.edge_prob(0, n0 as NodeId),
+            Some(0.5),
+            "new-label edge lands on the appended node"
+        );
     }
 }

@@ -1,0 +1,1075 @@
+//! Versioned dynamic uncertain graphs: a mutation overlay over an immutable
+//! CSR base.
+//!
+//! The estimators and the serving layer are built around immutable
+//! [`UncertainGraph`]s — construction is a batch operation and every
+//! downstream structure (CSR rows, arc-aligned probabilities, edge masks)
+//! assumes a frozen canonical edge list. Real deployments mutate: edges
+//! appear, disappear, and get re-scored while queries are running.
+//! [`DeltaGraph`] reconciles the two worlds:
+//!
+//! * **writes** go to a small sorted overlay (insert / delete / re-weight
+//!   edges, add nodes) layered over an immutable `Arc`-shared base;
+//! * **reads** see the merged view either through the
+//!   [`DeltaGraph::neighbors_with_probs`]-style iteration contract (a
+//!   two-pointer merge of the base CSR row with the overlay row — no
+//!   materialization), or through cheap immutable [`Snapshot`]s tagged with
+//!   a monotonically increasing generation;
+//! * once the overlay exceeds a configurable fraction of the base edge
+//!   count, the merged view is **compacted** into a fresh CSR base (via
+//!   [`GraphBuilder`]) and the overlay drains to empty.
+//!
+//! Mutations are applied in transactional batches ([`MutationBatch`]): the
+//! whole batch is validated against the pre-batch state first, so a rejected
+//! batch leaves the graph untouched and the generation unchanged.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::uncertain::UncertainGraph;
+use std::collections::btree_map;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One edge mutation inside a [`MutationBatch`].
+///
+/// ```
+/// use ugraph::dynamic::EdgeMutation;
+/// let m = EdgeMutation::Upsert(0, 1, 0.5);
+/// assert_ne!(m, EdgeMutation::Delete(0, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeMutation {
+    /// Insert the edge `(u, v)` with probability `p`, or re-weight it to `p`
+    /// if it already exists.
+    Upsert(NodeId, NodeId, f64),
+    /// Delete the edge `(u, v)`; the edge must exist in the merged view.
+    Delete(NodeId, NodeId),
+}
+
+impl EdgeMutation {
+    /// The canonical `(min, max)` endpoint pair of this mutation.
+    ///
+    /// ```
+    /// use ugraph::dynamic::EdgeMutation;
+    /// assert_eq!(EdgeMutation::Delete(5, 2).key(), (2, 5));
+    /// ```
+    pub fn key(&self) -> (NodeId, NodeId) {
+        let (u, v) = match *self {
+            EdgeMutation::Upsert(u, v, _) => (u, v),
+            EdgeMutation::Delete(u, v) => (u, v),
+        };
+        if u < v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+}
+
+/// A transactional group of mutations applied (and generation-stamped)
+/// atomically by [`DeltaGraph::apply`].
+///
+/// ```
+/// use ugraph::dynamic::{EdgeMutation, MutationBatch};
+/// let batch = MutationBatch {
+///     add_nodes: 1,
+///     edges: vec![EdgeMutation::Upsert(0, 1, 0.9)],
+/// };
+/// assert_eq!(batch.add_nodes, 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MutationBatch {
+    /// Nodes appended before the edge mutations run; the new ids are
+    /// `n..n + add_nodes` and the edge mutations may reference them.
+    pub add_nodes: usize,
+    /// Edge mutations; canonical endpoint pairs must be unique within one
+    /// batch ([`DeltaError::DuplicateInBatch`] otherwise).
+    pub edges: Vec<EdgeMutation>,
+}
+
+/// What a successful [`DeltaGraph::apply`] did.
+///
+/// ```
+/// use ugraph::dynamic::ApplyStats;
+/// let s = ApplyStats::default();
+/// assert_eq!((s.inserted, s.reweighted, s.deleted, s.nodes_added), (0, 0, 0, 0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    /// Edges that did not exist in the merged view before.
+    pub inserted: usize,
+    /// Existing edges whose probability was replaced.
+    pub reweighted: usize,
+    /// Edges removed from the merged view.
+    pub deleted: usize,
+    /// Nodes appended by the batch.
+    pub nodes_added: usize,
+}
+
+/// Why a mutation batch was rejected. The graph is left untouched.
+///
+/// ```
+/// use ugraph::dynamic::DeltaError;
+/// let e = DeltaError::SelfLoop(3);
+/// assert!(e.to_string().contains("self-loop"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaError {
+    /// A mutation references the edge `(v, v)`.
+    SelfLoop(NodeId),
+    /// An endpoint is `>= num_nodes()` (after the batch's `add_nodes`).
+    OutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// The node count the batch would have produced.
+        n: usize,
+    },
+    /// An upsert probability lies outside `(0, 1]`.
+    BadProbability {
+        /// Smaller endpoint.
+        u: NodeId,
+        /// Larger endpoint.
+        v: NodeId,
+        /// The rejected probability.
+        p: f64,
+    },
+    /// A delete references an edge absent from the merged view.
+    MissingEdge {
+        /// Smaller endpoint.
+        u: NodeId,
+        /// Larger endpoint.
+        v: NodeId,
+    },
+    /// Two mutations in one batch share a canonical endpoint pair.
+    DuplicateInBatch {
+        /// Smaller endpoint.
+        u: NodeId,
+        /// Larger endpoint.
+        v: NodeId,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DeltaError::SelfLoop(v) => write!(f, "self-loop on node {v}"),
+            DeltaError::OutOfRange { node, n } => {
+                write!(f, "node {node} out of range for n = {n}")
+            }
+            DeltaError::BadProbability { u, v, p } => {
+                write!(f, "edge ({u}, {v}) probability {p} outside (0, 1]")
+            }
+            DeltaError::MissingEdge { u, v } => {
+                write!(f, "cannot delete absent edge ({u}, {v})")
+            }
+            DeltaError::DuplicateInBatch { u, v } => {
+                write!(f, "duplicate mutation for edge ({u}, {v}) in one batch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// An immutable, `Arc`-shared view of a [`DeltaGraph`] at one generation.
+///
+/// Snapshots are what readers (estimator queries, the serving layer) hold:
+/// they never change after creation, so a long-running query keyed to
+/// generation `g` keeps computing against exactly generation `g` while the
+/// writer moves on.
+///
+/// ```
+/// use std::sync::Arc;
+/// use ugraph::dynamic::DeltaGraph;
+/// use ugraph::UncertainGraph;
+///
+/// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+/// let mut d = DeltaGraph::new(Arc::new(base));
+/// let snap = d.snapshot();
+/// assert_eq!(snap.generation(), 0);
+/// assert_eq!(snap.graph().num_edges(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Snapshot {
+    generation: u64,
+    graph: Arc<UncertainGraph>,
+}
+
+impl Snapshot {
+    /// The generation this snapshot was taken at.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let g = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// assert_eq!(DeltaGraph::new(Arc::new(g)).snapshot().generation(), 0);
+    /// ```
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The materialized CSR uncertain graph of this generation.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5), (1, 2, 0.25)]);
+    /// let snap = DeltaGraph::new(Arc::new(g)).snapshot();
+    /// assert_eq!(snap.graph().edge_prob(1, 2), Some(0.25));
+    /// ```
+    #[inline]
+    pub fn graph(&self) -> &UncertainGraph {
+        &self.graph
+    }
+
+    /// The snapshot's graph as a shareable `Arc` (generation-0 snapshots and
+    /// snapshots taken right after a compaction share the base allocation).
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = Arc::new(UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]));
+    /// let mut d = DeltaGraph::new(Arc::clone(&base));
+    /// assert!(Arc::ptr_eq(&d.snapshot().shared_graph(), &base));
+    /// ```
+    #[inline]
+    pub fn shared_graph(&self) -> Arc<UncertainGraph> {
+        Arc::clone(&self.graph)
+    }
+}
+
+/// A mutable uncertain graph: an immutable CSR base plus a sorted mutation
+/// overlay, versioned by a monotonically increasing generation.
+///
+/// See the [module docs](self) for the read/write/compaction contract.
+///
+/// ```
+/// use std::sync::Arc;
+/// use ugraph::dynamic::DeltaGraph;
+/// use ugraph::UncertainGraph;
+///
+/// let base = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.4), (1, 2, 0.7)]);
+/// let mut d = DeltaGraph::new(Arc::new(base));
+/// d.upsert_edge(0, 2, 0.9).unwrap(); // insert
+/// d.upsert_edge(0, 1, 0.5).unwrap(); // re-weight
+/// d.delete_edge(1, 2).unwrap();
+/// assert_eq!(d.num_edges(), 2);
+/// assert_eq!(d.generation(), 3);
+/// assert_eq!(d.edge_prob(0, 1), Some(0.5));
+/// assert_eq!(d.edge_prob(1, 2), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaGraph {
+    base: Arc<UncertainGraph>,
+    /// Canonical `(u < v)` → `Some(p)` (insert / re-weight) or `None`
+    /// (delete of a base edge). Entries that would be no-ops against the
+    /// base (delete of an overlay-only insert) are removed outright.
+    overlay: BTreeMap<(NodeId, NodeId), Option<f64>>,
+    /// Per-node mirror of `overlay` with **both** orientations, so one
+    /// `range((v, 0)..)` scan yields node `v`'s overlay row in sorted order.
+    overlay_adj: BTreeMap<(NodeId, NodeId), Option<f64>>,
+    n: usize,
+    m: usize,
+    generation: u64,
+    compactions: u64,
+    compact_fraction: f64,
+    cached: Option<Arc<Snapshot>>,
+}
+
+/// Overlay size floor below which auto-compaction never triggers: tiny
+/// graphs would otherwise compact on every batch, defeating the overlay.
+const COMPACT_MIN_OVERLAY: usize = 16;
+
+impl DeltaGraph {
+    /// Wraps an immutable base graph at generation 0 with an empty overlay.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 1.0)]);
+    /// let d = DeltaGraph::new(Arc::new(base));
+    /// assert_eq!((d.num_nodes(), d.num_edges(), d.generation()), (2, 1, 0));
+    /// ```
+    pub fn new(base: Arc<UncertainGraph>) -> Self {
+        let n = base.num_nodes();
+        let m = base.num_edges();
+        DeltaGraph {
+            base,
+            overlay: BTreeMap::new(),
+            overlay_adj: BTreeMap::new(),
+            n,
+            m,
+            generation: 0,
+            compactions: 0,
+            compact_fraction: 0.25,
+            cached: None,
+        }
+    }
+
+    /// Convenience constructor taking the base by value.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 1.0)]);
+    /// assert_eq!(DeltaGraph::from_graph(base).num_edges(), 1);
+    /// ```
+    pub fn from_graph(base: UncertainGraph) -> Self {
+        DeltaGraph::new(Arc::new(base))
+    }
+
+    /// Sets the auto-compaction threshold: after a batch, if the overlay
+    /// holds more than `fraction * base_edges` entries (and at least a small
+    /// fixed floor), the overlay is compacted into a fresh base CSR.
+    /// Default 0.25.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 1.0)]);
+    /// let d = DeltaGraph::from_graph(base).with_compact_fraction(0.5);
+    /// assert_eq!(d.compactions(), 0);
+    /// ```
+    pub fn with_compact_fraction(mut self, fraction: f64) -> Self {
+        self.compact_fraction = fraction.max(0.0);
+        self
+    }
+
+    /// Node count of the merged view.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5)]);
+    /// assert_eq!(DeltaGraph::from_graph(base).num_nodes(), 3);
+    /// ```
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Edge count of the merged view.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// d.upsert_edge(1, 2, 0.5).unwrap();
+    /// assert_eq!(d.num_edges(), 2);
+    /// ```
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.m
+    }
+
+    /// The current generation: bumped by every successful mutation batch,
+    /// never by reads or compaction.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// d.upsert_edge(0, 1, 0.6).unwrap();
+    /// assert_eq!(d.generation(), 1);
+    /// ```
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of live overlay entries (0 right after a compaction).
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// d.upsert_edge(1, 2, 0.5).unwrap();
+    /// assert_eq!(d.overlay_len(), 1);
+    /// d.compact();
+    /// assert_eq!(d.overlay_len(), 0);
+    /// ```
+    #[inline]
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    /// How many times the overlay has been compacted into a fresh base.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// d.compact(); // empty overlay: a no-op
+    /// assert_eq!(d.compactions(), 0);
+    /// ```
+    #[inline]
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The immutable base the overlay is layered over (changes only on
+    /// compaction).
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// let d = DeltaGraph::from_graph(base);
+    /// assert_eq!(d.base().num_edges(), 1);
+    /// ```
+    #[inline]
+    pub fn base(&self) -> &Arc<UncertainGraph> {
+        &self.base
+    }
+
+    /// Probability of edge `(u, v)` in the merged view, if present.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// d.upsert_edge(1, 2, 0.75).unwrap();
+    /// assert_eq!(d.edge_prob(2, 1), Some(0.75));
+    /// assert_eq!(d.edge_prob(0, 2), None);
+    /// ```
+    pub fn edge_prob(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        match self.overlay.get(&key) {
+            Some(&Some(p)) => Some(p),
+            Some(&None) => None,
+            None => self.base.edge_prob(key.0, key.1),
+        }
+    }
+
+    /// Whether edge `(u, v)` exists in the merged view.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// assert!(d.has_edge(0, 1));
+    /// d.delete_edge(0, 1).unwrap();
+    /// assert!(!d.has_edge(0, 1));
+    /// ```
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_prob(u, v).is_some()
+    }
+
+    /// Degree of `v` in the merged view (counts the merged row).
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5), (0, 2, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// d.delete_edge(0, 2).unwrap();
+    /// assert_eq!(d.degree(0), 1);
+    /// ```
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors_with_probs(v).count()
+    }
+
+    /// Iterates node `v`'s merged row as sorted `(neighbor, probability)`
+    /// pairs — the same contract as
+    /// [`UncertainGraph::neighbors_with_probs`], computed as a two-pointer
+    /// merge of the base CSR row with the overlay row (no materialization).
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5), (0, 2, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// d.upsert_edge(0, 1, 0.9).unwrap(); // re-weight
+    /// d.delete_edge(0, 2).unwrap();
+    /// let row: Vec<(u32, f64)> = d.neighbors_with_probs(0).collect();
+    /// assert_eq!(row, vec![(1, 0.9)]);
+    /// ```
+    pub fn neighbors_with_probs(&self, v: NodeId) -> MergedNeighbors<'_> {
+        let (base_nbrs, base_probs) = if (v as usize) < self.base.num_nodes() {
+            self.base.neighbors_with_probs(v)
+        } else {
+            (&[][..], &[][..])
+        };
+        MergedNeighbors {
+            base_nbrs,
+            base_probs,
+            i: 0,
+            overlay: self.overlay_adj.range((v, 0)..=(v, NodeId::MAX)).peekable(),
+        }
+    }
+
+    /// Applies one transactional mutation batch: everything is validated
+    /// against the pre-batch state first, then committed and stamped with
+    /// the next generation. On error nothing changes — not even the
+    /// generation. An **empty** batch (no nodes, no edges) is a no-op and
+    /// does not bump the generation. Auto-compacts afterwards if the
+    /// overlay outgrew the configured base fraction.
+    ///
+    /// ```
+    /// use ugraph::dynamic::{DeltaGraph, EdgeMutation, MutationBatch};
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// let stats = d
+    ///     .apply(&MutationBatch {
+    ///         add_nodes: 1,
+    ///         edges: vec![EdgeMutation::Upsert(1, 2, 0.8), EdgeMutation::Delete(0, 1)],
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!((stats.inserted, stats.deleted, stats.nodes_added), (1, 1, 1));
+    /// assert_eq!((d.num_nodes(), d.num_edges(), d.generation()), (3, 1, 1));
+    /// ```
+    pub fn apply(&mut self, batch: &MutationBatch) -> Result<ApplyStats, DeltaError> {
+        // An empty batch is a no-op, not a new version: bumping the
+        // generation here would invalidate every cached answer for the
+        // dataset without changing a single byte of it.
+        if batch.add_nodes == 0 && batch.edges.is_empty() {
+            return Ok(ApplyStats::default());
+        }
+        let n_after = self.n + batch.add_nodes;
+        // Validate the full batch against the pre-batch merged state. Keys
+        // are unique within a batch, so per-mutation validation against the
+        // unmodified state is exact.
+        let mut keys = std::collections::HashSet::with_capacity(batch.edges.len());
+        let mut stats = ApplyStats {
+            nodes_added: batch.add_nodes,
+            ..ApplyStats::default()
+        };
+        for mutation in &batch.edges {
+            let (u, v) = mutation.key();
+            if u == v {
+                return Err(DeltaError::SelfLoop(u));
+            }
+            if (v as usize) >= n_after {
+                return Err(DeltaError::OutOfRange {
+                    node: v,
+                    n: n_after,
+                });
+            }
+            if !keys.insert((u, v)) {
+                return Err(DeltaError::DuplicateInBatch { u, v });
+            }
+            match *mutation {
+                EdgeMutation::Upsert(_, _, p) => {
+                    if !(p > 0.0 && p <= 1.0) {
+                        return Err(DeltaError::BadProbability { u, v, p });
+                    }
+                    if self.has_edge(u, v) {
+                        stats.reweighted += 1;
+                    } else {
+                        stats.inserted += 1;
+                    }
+                }
+                EdgeMutation::Delete(_, _) => {
+                    if !self.has_edge(u, v) {
+                        return Err(DeltaError::MissingEdge { u, v });
+                    }
+                    stats.deleted += 1;
+                }
+            }
+        }
+        // Commit.
+        self.n = n_after;
+        for mutation in &batch.edges {
+            let (u, v) = mutation.key();
+            let in_base = self.base.edge_prob(u, v).is_some();
+            match *mutation {
+                EdgeMutation::Upsert(_, _, p) => self.set_overlay(u, v, Some(p)),
+                EdgeMutation::Delete(_, _) => {
+                    if in_base {
+                        self.set_overlay(u, v, None);
+                    } else {
+                        // Deleting an overlay-only insert reverts to absent,
+                        // which is what no entry already means.
+                        self.remove_overlay(u, v);
+                    }
+                }
+            }
+        }
+        self.m = self.m + stats.inserted - stats.deleted;
+        self.generation += 1;
+        self.cached = None;
+        if self.overlay.len() > self.compact_limit() {
+            self.compact();
+        }
+        Ok(stats)
+    }
+
+    /// Single-edge convenience over [`DeltaGraph::apply`]: insert or
+    /// re-weight `(u, v)` to `p` (one generation bump).
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// assert!(d.upsert_edge(0, 1, 2.0).is_err()); // bad probability
+    /// assert_eq!(d.generation(), 0); // rejected batches do not bump
+    /// ```
+    pub fn upsert_edge(&mut self, u: NodeId, v: NodeId, p: f64) -> Result<ApplyStats, DeltaError> {
+        self.apply(&MutationBatch {
+            add_nodes: 0,
+            edges: vec![EdgeMutation::Upsert(u, v, p)],
+        })
+    }
+
+    /// Single-edge convenience over [`DeltaGraph::apply`]: delete `(u, v)`
+    /// (one generation bump).
+    ///
+    /// ```
+    /// use ugraph::dynamic::{DeltaError, DeltaGraph};
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// assert_eq!(
+    ///     d.delete_edge(0, 1).map(|s| s.deleted),
+    ///     Ok(1)
+    /// );
+    /// assert_eq!(d.delete_edge(0, 1), Err(DeltaError::MissingEdge { u: 0, v: 1 }));
+    /// ```
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> Result<ApplyStats, DeltaError> {
+        self.apply(&MutationBatch {
+            add_nodes: 0,
+            edges: vec![EdgeMutation::Delete(u, v)],
+        })
+    }
+
+    /// Appends `count` isolated nodes (one generation bump); returns the id
+    /// of the first new node.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// assert_eq!(d.add_nodes(3).unwrap(), 2);
+    /// assert_eq!(d.num_nodes(), 5);
+    /// ```
+    pub fn add_nodes(&mut self, count: usize) -> Result<NodeId, DeltaError> {
+        let first = self.n as NodeId;
+        self.apply(&MutationBatch {
+            add_nodes: count,
+            edges: Vec::new(),
+        })?;
+        Ok(first)
+    }
+
+    /// The current immutable snapshot: materialized (merged base + overlay,
+    /// assembled into a fresh CSR) on the first call after a mutation batch,
+    /// then shared by `Arc` — repeated calls at the same generation are one
+    /// `Arc::clone`.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.4)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// let a = d.snapshot();
+    /// let b = d.snapshot();
+    /// assert!(Arc::ptr_eq(&a, &b)); // same generation, same allocation
+    /// d.upsert_edge(1, 2, 0.5).unwrap();
+    /// let c = d.snapshot();
+    /// assert_eq!(c.generation(), 1);
+    /// assert_eq!(c.graph().num_edges(), 2);
+    /// assert_eq!(a.graph().num_edges(), 1); // old snapshot untouched
+    /// ```
+    pub fn snapshot(&mut self) -> Arc<Snapshot> {
+        if let Some(cached) = &self.cached {
+            return Arc::clone(cached);
+        }
+        // An overlay-free view at the base node count IS the base: share the
+        // allocation instead of rebuilding it (generation 0, post-compaction).
+        let graph = if self.overlay.is_empty() && self.n == self.base.num_nodes() {
+            Arc::clone(&self.base)
+        } else {
+            let (edges, probs) = self.merged_edges();
+            let graph = Graph::assemble(self.n, edges, Vec::new(), Vec::new(), Vec::new());
+            Arc::new(UncertainGraph::new(graph, probs))
+        };
+        let snap = Arc::new(Snapshot {
+            generation: self.generation,
+            graph,
+        });
+        self.cached = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// Compacts the overlay into a fresh immutable base CSR (rebuilt through
+    /// [`GraphBuilder`], re-validating every merged edge) and drains the
+    /// overlay. The merged view — and the generation — are unchanged; only
+    /// the representation moves. No-op on an empty overlay unless nodes were
+    /// added.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.4), (1, 2, 0.6)]);
+    /// let mut d = DeltaGraph::from_graph(base);
+    /// d.delete_edge(0, 1).unwrap();
+    /// d.upsert_edge(0, 2, 0.9).unwrap();
+    /// let before: Vec<(u32, f64)> = d.neighbors_with_probs(2).collect();
+    /// d.compact();
+    /// assert_eq!(d.overlay_len(), 0);
+    /// assert_eq!(d.compactions(), 1);
+    /// let after: Vec<(u32, f64)> = d.neighbors_with_probs(2).collect();
+    /// assert_eq!(before, after);
+    /// ```
+    pub fn compact(&mut self) {
+        if self.overlay.is_empty() && self.n == self.base.num_nodes() {
+            return;
+        }
+        let (edges, probs) = self.merged_edges();
+        let mut b = GraphBuilder::new(self.n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        // GraphBuilder sorts into the same canonical order the merge
+        // produced, so `probs` stays parallel to the built edge list.
+        self.base = Arc::new(UncertainGraph::new(b.build(), probs));
+        self.overlay.clear();
+        self.overlay_adj.clear();
+        self.compactions += 1;
+    }
+
+    /// Overlay entry count above which [`DeltaGraph::apply`] auto-compacts.
+    fn compact_limit(&self) -> usize {
+        let scaled = (self.compact_fraction * self.base.num_edges() as f64).ceil() as usize;
+        scaled.max(COMPACT_MIN_OVERLAY)
+    }
+
+    /// The merged canonical edge list + parallel probabilities, sorted —
+    /// a linear merge of the (sorted) base edge list with the (sorted)
+    /// overlay: `O(m + Δ)`, no re-sort.
+    fn merged_edges(&self) -> (Vec<(NodeId, NodeId)>, Vec<f64>) {
+        let base_edges = self.base.graph().edges();
+        let base_probs = self.base.probs();
+        let mut edges = Vec::with_capacity(self.m);
+        let mut probs = Vec::with_capacity(self.m);
+        let mut ov = self.overlay.iter().peekable();
+        let mut i = 0;
+        loop {
+            match (base_edges.get(i), ov.peek()) {
+                (Some(&be), Some(&(&oe, &op))) => {
+                    if be < oe {
+                        edges.push(be);
+                        probs.push(base_probs[i]);
+                        i += 1;
+                    } else if be == oe {
+                        if let Some(p) = op {
+                            edges.push(oe);
+                            probs.push(p);
+                        }
+                        i += 1;
+                        ov.next();
+                    } else {
+                        if let Some(p) = op {
+                            edges.push(oe);
+                            probs.push(p);
+                        }
+                        ov.next();
+                    }
+                }
+                (Some(&be), None) => {
+                    edges.push(be);
+                    probs.push(base_probs[i]);
+                    i += 1;
+                }
+                (None, Some(&(&oe, &op))) => {
+                    if let Some(p) = op {
+                        edges.push(oe);
+                        probs.push(p);
+                    }
+                    ov.next();
+                }
+                (None, None) => break,
+            }
+        }
+        (edges, probs)
+    }
+
+    fn set_overlay(&mut self, u: NodeId, v: NodeId, p: Option<f64>) {
+        self.overlay.insert((u, v), p);
+        self.overlay_adj.insert((u, v), p);
+        self.overlay_adj.insert((v, u), p);
+    }
+
+    fn remove_overlay(&mut self, u: NodeId, v: NodeId) {
+        self.overlay.remove(&(u, v));
+        self.overlay_adj.remove(&(u, v));
+        self.overlay_adj.remove(&(v, u));
+    }
+}
+
+/// Sorted `(neighbor, probability)` iterator over one merged row of a
+/// [`DeltaGraph`] (see [`DeltaGraph::neighbors_with_probs`]).
+#[derive(Debug)]
+pub struct MergedNeighbors<'a> {
+    base_nbrs: &'a [NodeId],
+    base_probs: &'a [f64],
+    i: usize,
+    overlay: std::iter::Peekable<btree_map::Range<'a, (NodeId, NodeId), Option<f64>>>,
+}
+
+impl Iterator for MergedNeighbors<'_> {
+    type Item = (NodeId, f64);
+
+    fn next(&mut self) -> Option<(NodeId, f64)> {
+        loop {
+            match (self.base_nbrs.get(self.i), self.overlay.peek()) {
+                (Some(&w), Some(&(&(_, ow), &op))) => {
+                    if w < ow {
+                        self.i += 1;
+                        return Some((w, self.base_probs[self.i - 1]));
+                    }
+                    self.overlay.next();
+                    if w == ow {
+                        self.i += 1;
+                    }
+                    if let Some(p) = op {
+                        return Some((ow, p));
+                    }
+                    // Deleted base edge: skip and keep merging.
+                }
+                (Some(&w), None) => {
+                    self.i += 1;
+                    return Some((w, self.base_probs[self.i - 1]));
+                }
+                (None, Some(&(&(_, ow), &op))) => {
+                    self.overlay.next();
+                    if let Some(p) = op {
+                        return Some((ow, p));
+                    }
+                }
+                (None, None) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base3() -> Arc<UncertainGraph> {
+        Arc::new(UncertainGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)],
+        ))
+    }
+
+    /// Rebuild-from-scratch reference for the merged view.
+    fn reference(d: &DeltaGraph) -> UncertainGraph {
+        let mut weighted = Vec::new();
+        for v in 0..d.num_nodes() as NodeId {
+            for (w, p) in d.neighbors_with_probs(v) {
+                if v < w {
+                    weighted.push((v, w, p));
+                }
+            }
+        }
+        UncertainGraph::from_weighted_edges(d.num_nodes(), &weighted)
+    }
+
+    fn assert_matches_snapshot(d: &mut DeltaGraph) {
+        let reference = reference(d);
+        let snap = d.snapshot();
+        assert_eq!(snap.graph().graph().edges(), reference.graph().edges());
+        assert_eq!(snap.graph().probs(), reference.probs());
+        assert_eq!(snap.graph().num_nodes(), reference.num_nodes());
+        assert_eq!(d.num_edges(), snap.graph().num_edges());
+        for v in 0..d.num_nodes() as NodeId {
+            assert_eq!(d.degree(v), snap.graph().graph().degree(v), "node {v}");
+        }
+    }
+
+    #[test]
+    fn upsert_delete_reweight_roundtrip() {
+        let mut d = DeltaGraph::new(base3());
+        d.upsert_edge(2, 3, 0.9).unwrap();
+        d.upsert_edge(0, 1, 0.5).unwrap();
+        d.delete_edge(0, 2).unwrap();
+        assert_eq!(d.num_edges(), 3);
+        assert_eq!(d.generation(), 3);
+        assert_eq!(d.edge_prob(0, 1), Some(0.5));
+        assert_eq!(d.edge_prob(0, 2), None);
+        assert_eq!(d.edge_prob(2, 3), Some(0.9));
+        assert_matches_snapshot(&mut d);
+    }
+
+    #[test]
+    fn insert_then_delete_leaves_no_overlay_residue() {
+        let mut d = DeltaGraph::new(base3());
+        d.upsert_edge(2, 3, 0.9).unwrap();
+        assert_eq!(d.overlay_len(), 1);
+        d.delete_edge(2, 3).unwrap();
+        assert_eq!(d.overlay_len(), 0, "overlay-only insert + delete cancels");
+        assert_eq!(d.num_edges(), 3);
+        assert_eq!(d.generation(), 2, "both batches still bump");
+        assert_matches_snapshot(&mut d);
+    }
+
+    #[test]
+    fn delete_then_reinsert_base_edge() {
+        let mut d = DeltaGraph::new(base3());
+        d.delete_edge(0, 1).unwrap();
+        assert!(!d.has_edge(0, 1));
+        d.upsert_edge(0, 1, 0.2).unwrap();
+        assert_eq!(d.edge_prob(0, 1), Some(0.2));
+        assert_eq!(d.num_edges(), 3);
+        assert_matches_snapshot(&mut d);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op_and_does_not_bump() {
+        let mut d = DeltaGraph::new(base3());
+        let s0 = d.snapshot();
+        let stats = d.apply(&MutationBatch::default()).unwrap();
+        assert_eq!(stats, ApplyStats::default());
+        assert_eq!(d.generation(), 0, "a no-op must not invalidate caches");
+        assert!(Arc::ptr_eq(&s0, &d.snapshot()));
+    }
+
+    #[test]
+    fn batch_is_transactional() {
+        let mut d = DeltaGraph::new(base3());
+        let err = d
+            .apply(&MutationBatch {
+                add_nodes: 0,
+                edges: vec![
+                    EdgeMutation::Upsert(2, 3, 0.5),
+                    EdgeMutation::Delete(1, 2), // absent: whole batch must fail
+                ],
+            })
+            .unwrap_err();
+        assert_eq!(err, DeltaError::MissingEdge { u: 1, v: 2 });
+        assert_eq!(d.generation(), 0);
+        assert_eq!(d.overlay_len(), 0);
+        assert!(!d.has_edge(2, 3));
+    }
+
+    #[test]
+    fn batch_rejects_duplicates_self_loops_and_ranges() {
+        let mut d = DeltaGraph::new(base3());
+        let dup = d.apply(&MutationBatch {
+            add_nodes: 0,
+            edges: vec![EdgeMutation::Upsert(2, 3, 0.5), EdgeMutation::Delete(3, 2)],
+        });
+        assert_eq!(dup, Err(DeltaError::DuplicateInBatch { u: 2, v: 3 }));
+        assert_eq!(d.upsert_edge(1, 1, 0.5), Err(DeltaError::SelfLoop(1)),);
+        assert_eq!(
+            d.upsert_edge(0, 9, 0.5),
+            Err(DeltaError::OutOfRange { node: 9, n: 4 }),
+        );
+        assert_eq!(
+            d.upsert_edge(0, 3, 0.0),
+            Err(DeltaError::BadProbability { u: 0, v: 3, p: 0.0 }),
+        );
+        assert_eq!(d.generation(), 0);
+    }
+
+    #[test]
+    fn add_nodes_and_edges_to_them() {
+        let mut d = DeltaGraph::new(base3());
+        let stats = d
+            .apply(&MutationBatch {
+                add_nodes: 2,
+                edges: vec![
+                    EdgeMutation::Upsert(3, 4, 0.6),
+                    EdgeMutation::Upsert(4, 5, 0.3),
+                ],
+            })
+            .unwrap();
+        assert_eq!(stats.inserted, 2);
+        assert_eq!(stats.nodes_added, 2);
+        assert_eq!(d.num_nodes(), 6);
+        assert_eq!(d.num_edges(), 5);
+        let row: Vec<(NodeId, f64)> = d.neighbors_with_probs(4).collect();
+        assert_eq!(row, vec![(3, 0.6), (5, 0.3)]);
+        assert_matches_snapshot(&mut d);
+    }
+
+    #[test]
+    fn merged_rows_are_sorted_under_interleaving() {
+        // Base row of node 0 is [1, 2]; overlay inserts 3 and 5, deletes 2,
+        // re-weights 1: merged row must come out sorted with correct probs.
+        let mut d = DeltaGraph::new(Arc::new(UncertainGraph::from_weighted_edges(
+            6,
+            &[(0, 1, 0.1), (0, 2, 0.2)],
+        )));
+        d.apply(&MutationBatch {
+            add_nodes: 0,
+            edges: vec![
+                EdgeMutation::Upsert(0, 5, 0.5),
+                EdgeMutation::Upsert(0, 3, 0.3),
+                EdgeMutation::Delete(0, 2),
+                EdgeMutation::Upsert(0, 1, 0.9),
+            ],
+        })
+        .unwrap();
+        let row: Vec<(NodeId, f64)> = d.neighbors_with_probs(0).collect();
+        assert_eq!(row, vec![(1, 0.9), (3, 0.3), (5, 0.5)]);
+        assert_matches_snapshot(&mut d);
+    }
+
+    #[test]
+    fn compaction_preserves_view_and_drains_overlay() {
+        let mut d = DeltaGraph::new(base3());
+        d.upsert_edge(2, 3, 0.9).unwrap();
+        d.delete_edge(0, 1).unwrap();
+        let before = reference(&d);
+        let gen = d.generation();
+        d.compact();
+        assert_eq!(d.overlay_len(), 0);
+        assert_eq!(d.compactions(), 1);
+        assert_eq!(d.generation(), gen, "compaction is not a mutation");
+        let after = reference(&d);
+        assert_eq!(before.graph().edges(), after.graph().edges());
+        assert_eq!(before.probs(), after.probs());
+        assert_eq!(d.base().num_edges(), d.num_edges());
+        assert_matches_snapshot(&mut d);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_past_the_fraction() {
+        // 20-edge path base, fraction 0.5 → limit max(16, 10) = 16: the 17th
+        // overlay entry triggers compaction.
+        let edges: Vec<(NodeId, NodeId, f64)> = (0..20)
+            .map(|i| (i as NodeId, i as NodeId + 1, 0.5))
+            .collect();
+        let base = UncertainGraph::from_weighted_edges(21, &edges);
+        let mut d = DeltaGraph::from_graph(base).with_compact_fraction(0.5);
+        for i in 0..17u32 {
+            d.upsert_edge(i, i + 1, 0.25).unwrap();
+        }
+        assert_eq!(d.compactions(), 1);
+        assert_eq!(d.overlay_len(), 0);
+        assert_eq!(d.generation(), 17);
+        assert_eq!(d.edge_prob(3, 4), Some(0.25));
+        assert_matches_snapshot(&mut d);
+    }
+
+    #[test]
+    fn snapshots_are_immutable_and_generation_stamped() {
+        let mut d = DeltaGraph::new(base3());
+        let s0 = d.snapshot();
+        d.upsert_edge(2, 3, 0.9).unwrap();
+        let s1 = d.snapshot();
+        assert_eq!(s0.generation(), 0);
+        assert_eq!(s1.generation(), 1);
+        assert_eq!(s0.graph().num_edges(), 3);
+        assert_eq!(s1.graph().num_edges(), 4);
+        // Old snapshot keeps serving its generation.
+        assert_eq!(s0.graph().edge_prob(2, 3), None);
+    }
+}

@@ -8,7 +8,14 @@
 //!   mapping returned to the caller.
 //! * **Serde JSON** — lossless round-trip of [`UncertainGraph`] (the type
 //!   derives `Serialize`/`Deserialize`), used for experiment checkpoints.
+//! * **Mutation files** — one mutation per line against a live
+//!   [`DeltaGraph`]: `u v p` inserts or re-weights the edge, `u v -`
+//!   deletes it ([`read_edge_list_delta`] / [`apply_edge_list_delta`]).
+//!   Same comment/whitespace/probability rules as weighted edge lists;
+//!   duplicate edge keys within one batch are rejected with the offending
+//!   line number.
 
+use crate::dynamic::{ApplyStats, DeltaGraph, EdgeMutation, MutationBatch};
 use crate::graph::NodeId;
 use crate::uncertain::UncertainGraph;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -39,6 +46,45 @@ impl From<std::io::Error> for IoError {
     }
 }
 
+/// One parsed line shared by both the edge-list and the mutation grammar:
+/// endpoints (validated against self-loops) plus the action field —
+/// `Some(p)` for a probability (validated against `(0, 1]`), `None` for the
+/// delete marker `-` (only legal when `allow_delete`).
+fn parse_edge_line(
+    lineno: usize,
+    line: &str,
+    allow_delete: bool,
+) -> Result<(u32, u32, Option<f64>), IoError> {
+    let mut it = line.split_whitespace();
+    let mut field = |name: &str| {
+        it.next()
+            .ok_or_else(|| IoError::Parse(lineno, format!("missing {name}")))
+    };
+    let u: u32 = field("source")?
+        .parse()
+        .map_err(|e| IoError::Parse(lineno, format!("bad source: {e}")))?;
+    let v: u32 = field("target")?
+        .parse()
+        .map_err(|e| IoError::Parse(lineno, format!("bad target: {e}")))?;
+    if u == v {
+        return Err(IoError::Parse(lineno, format!("self-loop on node {u}")));
+    }
+    let raw = field("probability")?;
+    if allow_delete && raw == "-" {
+        return Ok((u, v, None));
+    }
+    let p: f64 = raw
+        .parse()
+        .map_err(|e| IoError::Parse(lineno, format!("bad probability: {e}")))?;
+    if !(p > 0.0 && p <= 1.0) {
+        return Err(IoError::Parse(
+            lineno,
+            format!("probability {p} outside (0, 1]"),
+        ));
+    }
+    Ok((u, v, Some(p)))
+}
+
 /// Parses a weighted edge list (`u v p` per line). Returns the graph plus
 /// the original label of every compacted node id.
 ///
@@ -56,29 +102,8 @@ pub fn read_weighted_edge_list<R: Read>(reader: R) -> Result<(UncertainGraph, Ve
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut it = line.split_whitespace();
-        let mut field = |name: &str| {
-            it.next()
-                .ok_or_else(|| IoError::Parse(lineno, format!("missing {name}")))
-        };
-        let u: u32 = field("source")?
-            .parse()
-            .map_err(|e| IoError::Parse(lineno, format!("bad source: {e}")))?;
-        let v: u32 = field("target")?
-            .parse()
-            .map_err(|e| IoError::Parse(lineno, format!("bad target: {e}")))?;
-        let p: f64 = field("probability")?
-            .parse()
-            .map_err(|e| IoError::Parse(lineno, format!("bad probability: {e}")))?;
-        if u == v {
-            return Err(IoError::Parse(lineno, format!("self-loop on node {u}")));
-        }
-        if !(p > 0.0 && p <= 1.0) {
-            return Err(IoError::Parse(
-                lineno,
-                format!("probability {p} outside (0, 1]"),
-            ));
-        }
+        let (u, v, p) = parse_edge_line(lineno, line, false)?;
+        let p = p.expect("allow_delete = false always yields a probability");
         let mut id = |label: u32| -> NodeId {
             *index_of.entry(label).or_insert_with(|| {
                 labels.push(label);
@@ -93,6 +118,158 @@ pub fn read_weighted_edge_list<R: Read>(reader: R) -> Result<(UncertainGraph, Ve
         edges.into_iter().map(|((u, v), p)| (u, v, p)).collect();
     let g = UncertainGraph::from_weighted_edges(labels.len(), &weighted);
     Ok((g, labels))
+}
+
+/// A mutation in original-label space: `(u, v, Some(p))` inserts or
+/// re-weights the edge, `(u, v, None)` deletes it.
+pub type LabeledMutation = (u32, u32, Option<f64>);
+
+/// Parses a mutation file (`u v p` upsert / `u v -` delete per line) with
+/// line numbers attached — the shared path behind [`read_edge_list_delta`]
+/// and [`apply_edge_list_delta`].
+fn parse_delta_lines<R: Read>(reader: R) -> Result<Vec<(usize, LabeledMutation)>, IoError> {
+    let reader = BufReader::new(reader);
+    let mut out: Vec<(usize, LabeledMutation)> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (u, v, action) = parse_edge_line(lineno, line, true)?;
+        let key = if u < v { (u, v) } else { (v, u) };
+        if !seen.insert(key) {
+            return Err(IoError::Parse(
+                lineno,
+                format!("duplicate edge ({u}, {v}) in one mutation batch"),
+            ));
+        }
+        out.push((lineno, (u, v, action)));
+    }
+    Ok(out)
+}
+
+/// Reads a mutation file: one `u v p` (insert / re-weight) or `u v -`
+/// (delete) per line, `#`-comments and blank lines ignored, node ids in
+/// original-label space. Self-loops, out-of-range probabilities, and
+/// duplicate edge keys within the batch are rejected with the offending
+/// line number.
+///
+/// ```
+/// use ugraph::io::read_edge_list_delta;
+/// let muts = read_edge_list_delta("# delta\n1 2 0.5\n3 1 -\n".as_bytes()).unwrap();
+/// assert_eq!(muts, vec![(1, 2, Some(0.5)), (3, 1, None)]);
+/// assert!(read_edge_list_delta("1 2 0.5\n2 1 -\n".as_bytes()).is_err()); // dup key
+/// ```
+pub fn read_edge_list_delta<R: Read>(reader: R) -> Result<Vec<LabeledMutation>, IoError> {
+    Ok(parse_delta_lines(reader)?
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect())
+}
+
+/// What [`apply_edge_list_delta`] changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaApplied {
+    /// Per-kind mutation counts.
+    pub stats: ApplyStats,
+    /// The generation the graph is at after the batch.
+    pub generation: u64,
+}
+
+/// Applies a mutation file to a live [`DeltaGraph`] as **one atomic batch**:
+/// the whole file is parsed and label-resolved first, so any error (bad
+/// line, duplicate key, unknown label on a delete, delete of an absent
+/// edge) leaves the graph — and its generation — untouched.
+///
+/// `labels` maps compact node ids to original labels (one entry per node;
+/// identity-labeled graphs pass `(0..n).collect()`); labels never seen
+/// before allocate new nodes and are appended on success.
+///
+/// ```
+/// use ugraph::dynamic::DeltaGraph;
+/// use ugraph::io::apply_edge_list_delta;
+/// use ugraph::UncertainGraph;
+///
+/// // Labels 10 and 20 are nodes 0 and 1.
+/// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+/// let mut d = DeltaGraph::from_graph(base);
+/// let mut labels = vec![10, 20];
+/// let done = apply_edge_list_delta(&mut d, &mut labels, "10 20 0.9\n20 30 0.4\n".as_bytes())
+///     .unwrap();
+/// assert_eq!((done.stats.reweighted, done.stats.inserted), (1, 1));
+/// assert_eq!(done.generation, 1);
+/// assert_eq!(labels, vec![10, 20, 30]); // label 30 became node 2
+/// assert_eq!(d.edge_prob(1, 2), Some(0.4));
+/// ```
+pub fn apply_edge_list_delta<R: Read>(
+    delta: &mut DeltaGraph,
+    labels: &mut Vec<u32>,
+    reader: R,
+) -> Result<DeltaApplied, IoError> {
+    assert_eq!(
+        labels.len(),
+        delta.num_nodes(),
+        "labels must carry one entry per node"
+    );
+    let parsed = parse_delta_lines(reader)?;
+    let mut index_of: std::collections::HashMap<u32, NodeId> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, i as NodeId))
+        .collect();
+    let mut new_labels: Vec<u32> = Vec::new();
+    let mut edges = Vec::with_capacity(parsed.len());
+    let n0 = delta.num_nodes();
+    for (lineno, (lu, lv, action)) in parsed {
+        let mut resolve = |label: u32, deleting: bool| -> Result<NodeId, IoError> {
+            if let Some(&id) = index_of.get(&label) {
+                return Ok(id);
+            }
+            if deleting {
+                return Err(IoError::Parse(
+                    lineno,
+                    format!("unknown node label {label} in delete"),
+                ));
+            }
+            let id = (n0 + new_labels.len()) as NodeId;
+            new_labels.push(label);
+            index_of.insert(label, id);
+            Ok(id)
+        };
+        let deleting = action.is_none();
+        let u = resolve(lu, deleting)?;
+        let v = resolve(lv, deleting)?;
+        match action {
+            Some(p) => edges.push(EdgeMutation::Upsert(u, v, p)),
+            None => {
+                if !delta.has_edge(u, v) {
+                    return Err(IoError::Parse(
+                        lineno,
+                        format!("cannot delete absent edge ({lu}, {lv})"),
+                    ));
+                }
+                edges.push(EdgeMutation::Delete(u, v));
+            }
+        }
+    }
+    let batch = MutationBatch {
+        add_nodes: new_labels.len(),
+        edges,
+    };
+    // Everything above validated against the pre-batch state (keys are
+    // unique within the batch, so that is exact); `apply` re-checks and can
+    // only fail on an internal inconsistency.
+    let stats = delta
+        .apply(&batch)
+        .map_err(|e| IoError::Parse(0, e.to_string()))?;
+    labels.extend(new_labels);
+    Ok(DeltaApplied {
+        stats,
+        generation: delta.generation(),
+    })
 }
 
 /// Writes a weighted edge list (`u v p` per line), using `labels` to map
@@ -183,6 +360,82 @@ mod tests {
         write_weighted_edge_list(&mut buf, &g, Some(&[100, 200])).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(text.contains("100 200 0.5"));
+    }
+
+    #[test]
+    fn delta_parse_grammar_and_duplicates() {
+        let muts = read_edge_list_delta("# batch\n1 2 0.5\n\n2 3 -\n4 1 1.0\n".as_bytes()).unwrap();
+        assert_eq!(
+            muts,
+            vec![(1, 2, Some(0.5)), (2, 3, None), (4, 1, Some(1.0))]
+        );
+        // Duplicate canonical keys are rejected with the offending line.
+        let err = read_edge_list_delta("1 2 0.5\n# ok\n2 1 -\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 3"), "{err}");
+        assert!(err.to_string().contains("duplicate edge"), "{err}");
+        // Shared validation path: same rules as weighted edge lists.
+        assert!(matches!(
+            read_edge_list_delta("1 1 0.5".as_bytes()),
+            Err(IoError::Parse(1, _))
+        ));
+        assert!(matches!(
+            read_edge_list_delta("1 2 1.5".as_bytes()),
+            Err(IoError::Parse(1, _))
+        ));
+        assert!(matches!(
+            read_edge_list_delta("1 2".as_bytes()),
+            Err(IoError::Parse(1, _))
+        ));
+        // `-` is only a delete marker in the probability position.
+        assert!(read_edge_list_delta("- 2 0.5".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn delta_apply_maps_labels_and_allocates_nodes() {
+        let (g, mut labels) =
+            read_weighted_edge_list("10 20 0.5\n20 30 0.25\n".as_bytes()).unwrap();
+        let mut d = crate::dynamic::DeltaGraph::from_graph(g);
+        let done = apply_edge_list_delta(
+            &mut d,
+            &mut labels,
+            "10 20 0.9\n10 30 0.3\n30 40 0.8\n20 30 -\n".as_bytes(),
+        )
+        .unwrap();
+        assert_eq!(done.stats.reweighted, 1);
+        assert_eq!(done.stats.inserted, 2);
+        assert_eq!(done.stats.deleted, 1);
+        assert_eq!(done.stats.nodes_added, 1);
+        assert_eq!(done.generation, 1);
+        assert_eq!(labels, vec![10, 20, 30, 40]);
+        assert_eq!(d.edge_prob(0, 1), Some(0.9));
+        assert_eq!(d.edge_prob(0, 2), Some(0.3));
+        assert_eq!(d.edge_prob(2, 3), Some(0.8));
+        assert_eq!(d.edge_prob(1, 2), None);
+    }
+
+    #[test]
+    fn delta_apply_is_atomic_on_error() {
+        let (g, mut labels) = read_weighted_edge_list("10 20 0.5\n".as_bytes()).unwrap();
+        let mut d = crate::dynamic::DeltaGraph::from_graph(g);
+        // Line 2 deletes an unknown label: nothing may change.
+        let err = apply_edge_list_delta(&mut d, &mut labels, "10 20 0.9\n10 99 -\n".as_bytes())
+            .unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("unknown node label 99"), "{err}");
+        assert_eq!(d.generation(), 0);
+        assert_eq!(d.edge_prob(0, 1), Some(0.5));
+        assert_eq!(labels, vec![10, 20]);
+        // Deleting a known-label but absent edge is also line-attributed.
+        let mut more = labels.clone();
+        let err =
+            apply_edge_list_delta(&mut d, &mut more, "# no-op\n20 10 -\n10 20 -\n".as_bytes())
+                .unwrap_err();
+        // (duplicate key check fires first here, on line 3)
+        assert!(err.to_string().contains("line 3"), "{err}");
+        let err = apply_edge_list_delta(&mut d, &mut more, "30 40 0.5\n10 20 -\n".as_bytes());
+        assert!(err.is_ok(), "independent delete after inserts is fine");
+        assert_eq!(d.generation(), 1);
+        assert!(!d.has_edge(0, 1));
     }
 
     #[test]

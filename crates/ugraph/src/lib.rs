@@ -9,6 +9,9 @@
 //!   [`EdgeMask`] possible-world bitmaps the samplers reuse across samples,
 //! * [`UncertainGraph`] — a graph whose edges exist independently with a
 //!   probability `p(e) ∈ (0, 1]` (the paper's `G = (V, E, p)`),
+//! * [`DeltaGraph`] — a mutable, versioned uncertain graph: a mutation
+//!   overlay over an immutable base with generation-stamped [`Snapshot`]s
+//!   and overlay compaction (the [`dynamic`] subsystem),
 //! * [`Pattern`] — small pattern graphs (`2-star`, `3-star`, `c3-star`,
 //!   `diamond`, cliques, …) used for pattern-density,
 //! * random-graph [`generators`] and the paper's edge-[`probability`] models,
@@ -22,6 +25,7 @@
 pub mod bitset;
 pub mod brain;
 pub mod datasets;
+pub mod dynamic;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -32,6 +36,7 @@ pub mod probability;
 pub mod uncertain;
 
 pub use bitset::{EdgeMask, NodeBitSet};
+pub use dynamic::{DeltaGraph, EdgeMutation, MutationBatch, Snapshot};
 pub use graph::{Graph, GraphBuilder, NodeId};
 pub use nodeset::NodeSet;
 pub use pattern::Pattern;

@@ -1,0 +1,245 @@
+//! Property tests: any mutation sequence applied through `DeltaGraph` —
+//! with or without (forced or automatic) compaction — yields exactly the
+//! graph a from-scratch `GraphBuilder` rebuild produces.
+//!
+//! The reference model is a sorted `(u, v) → p` map mutated alongside the
+//! `DeltaGraph`; after every operation the merged view (degrees, rows with
+//! probabilities, canonical edge list) and a materialized snapshot must
+//! equal `UncertainGraph::from_weighted_edges` (which assembles through
+//! `GraphBuilder`) over the reference's edges.
+//!
+//! The mutation script is derived from a generated seed with a local
+//! SplitMix64 PRNG: the vendored proptest supports numeric-range strategies
+//! and plain-ident macro args, so the seed *is* the shrinkable input.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use ugraph::dynamic::{DeltaGraph, EdgeMutation, MutationBatch};
+use ugraph::{NodeId, UncertainGraph};
+
+/// Local deterministic PRNG for deriving scripts from one seed.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound.max(1) as u64) as usize
+    }
+
+    fn prob(&mut self) -> f64 {
+        // (0, 1] in coarse steps so equality checks are exact.
+        (1 + self.below(20)) as f64 / 20.0
+    }
+}
+
+/// Reference model: node count + canonical sorted edge map.
+struct RefModel {
+    n: usize,
+    edges: BTreeMap<(NodeId, NodeId), f64>,
+}
+
+impl RefModel {
+    /// From-scratch rebuild through `GraphBuilder`
+    /// (`from_weighted_edges` → `Graph::from_edges` → `GraphBuilder`).
+    fn rebuild(&self) -> UncertainGraph {
+        let weighted: Vec<(NodeId, NodeId, f64)> =
+            self.edges.iter().map(|(&(u, v), &p)| (u, v, p)).collect();
+        UncertainGraph::from_weighted_edges(self.n, &weighted)
+    }
+}
+
+fn assert_equivalent(d: &mut DeltaGraph, model: &RefModel) -> Result<(), String> {
+    let rebuilt = model.rebuild();
+    if d.num_nodes() != rebuilt.num_nodes() {
+        return Err(format!(
+            "node count {} != rebuilt {}",
+            d.num_nodes(),
+            rebuilt.num_nodes()
+        ));
+    }
+    if d.num_edges() != rebuilt.num_edges() {
+        return Err(format!(
+            "edge count {} != rebuilt {}",
+            d.num_edges(),
+            rebuilt.num_edges()
+        ));
+    }
+    // Merged-view iteration contract: rows and probabilities.
+    for v in 0..d.num_nodes() as NodeId {
+        let merged: Vec<(NodeId, f64)> = d.neighbors_with_probs(v).collect();
+        let (nbrs, probs) = rebuilt.neighbors_with_probs(v);
+        let expect: Vec<(NodeId, f64)> = nbrs.iter().copied().zip(probs.iter().copied()).collect();
+        if merged != expect {
+            return Err(format!("row {v}: merged {merged:?} != rebuilt {expect:?}"));
+        }
+        if d.degree(v) != rebuilt.graph().degree(v) {
+            return Err(format!("degree mismatch at {v}"));
+        }
+    }
+    // Snapshot: canonical edge list + probs + generation tag.
+    let snap = d.snapshot();
+    if snap.graph().graph().edges() != rebuilt.graph().edges() {
+        return Err("snapshot edge list != rebuilt edge list".to_string());
+    }
+    if snap.graph().probs() != rebuilt.probs() {
+        return Err("snapshot probs != rebuilt probs".to_string());
+    }
+    if snap.generation() != d.generation() {
+        return Err("snapshot generation != delta generation".to_string());
+    }
+    Ok(())
+}
+
+/// Builds the base graph + model from the seed.
+fn base_from_seed(n: usize, rng: &mut Mix) -> (DeltaGraph, RefModel) {
+    let mut edges = BTreeMap::new();
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if rng.below(3) == 0 {
+                edges.insert((u, v), rng.prob());
+            }
+        }
+    }
+    let model = RefModel { n, edges };
+    let delta = DeltaGraph::new(Arc::new(model.rebuild()));
+    (delta, model)
+}
+
+/// Applies one scripted operation to both the delta and the model; returns
+/// whether a mutation batch was actually applied (the delete arm skips on
+/// an empty edge set).
+fn step(d: &mut DeltaGraph, model: &mut RefModel, rng: &mut Mix) -> Result<bool, String> {
+    let pick_pair = |model: &RefModel, rng: &mut Mix| {
+        let n = model.n as NodeId;
+        let u = rng.below(n as usize) as NodeId;
+        let mut v = rng.below(n as usize) as NodeId;
+        if u == v {
+            v = (v + 1) % n;
+        }
+        if u < v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    };
+    match rng.below(5) {
+        // Upsert (insert or re-weight).
+        0 | 1 => {
+            let (u, v) = pick_pair(model, rng);
+            let p = rng.prob();
+            d.upsert_edge(u, v, p).map_err(|e| e.to_string())?;
+            model.edges.insert((u, v), p);
+        }
+        // Delete an existing edge (skip when empty); also verify that
+        // deleting a missing edge is rejected *without* state change.
+        2 => {
+            if model.edges.is_empty() {
+                return Ok(false);
+            }
+            let idx = rng.below(model.edges.len());
+            let (&(u, v), _) = model.edges.iter().nth(idx).unwrap();
+            d.delete_edge(u, v).map_err(|e| e.to_string())?;
+            model.edges.remove(&(u, v));
+        }
+        // Add nodes.
+        3 => {
+            let count = 1 + rng.below(2);
+            d.add_nodes(count).map_err(|e| e.to_string())?;
+            model.n += count;
+        }
+        // Atomic multi-mutation batch (distinct keys by construction).
+        _ => {
+            let mut batch = MutationBatch::default();
+            let mut keys = std::collections::HashSet::new();
+            let mut staged: Vec<(NodeId, NodeId, Option<f64>)> = Vec::new();
+            for _ in 0..(1 + rng.below(4)) {
+                let (u, v) = pick_pair(model, rng);
+                if !keys.insert((u, v)) {
+                    continue;
+                }
+                if model.edges.contains_key(&(u, v)) && rng.below(2) == 0 {
+                    batch.edges.push(EdgeMutation::Delete(u, v));
+                    staged.push((u, v, None));
+                } else {
+                    let p = rng.prob();
+                    batch.edges.push(EdgeMutation::Upsert(u, v, p));
+                    staged.push((u, v, Some(p)));
+                }
+            }
+            d.apply(&batch).map_err(|e| e.to_string())?;
+            for (u, v, action) in staged {
+                match action {
+                    Some(p) => {
+                        model.edges.insert((u, v), p);
+                    }
+                    None => {
+                        model.edges.remove(&(u, v));
+                    }
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No compaction (threshold pushed out of reach): pure overlay reads.
+    #[test]
+    fn overlay_view_equals_rebuild(seed in 0u64..1_000_000_000, n in 3usize..=14) {
+        let mut rng = Mix(seed);
+        let (d, mut model) = base_from_seed(n, &mut rng);
+        let mut d = d.with_compact_fraction(1e12);
+        for _ in 0..24 {
+            if let Err(e) = step(&mut d, &mut model, &mut rng) {
+                return Err(format!("mutation failed: {e}"));
+            }
+            assert_equivalent(&mut d, &model)?;
+        }
+        prop_assert_eq!(d.compactions(), 0);
+    }
+
+    /// Forced compaction after every mutation: the base is rebuilt through
+    /// `GraphBuilder` each time and must stay equivalent.
+    #[test]
+    fn forced_compaction_equals_rebuild(seed in 0u64..1_000_000_000, n in 3usize..=14) {
+        let mut rng = Mix(seed);
+        let (mut d, mut model) = base_from_seed(n, &mut rng);
+        for _ in 0..16 {
+            if let Err(e) = step(&mut d, &mut model, &mut rng) {
+                return Err(format!("mutation failed: {e}"));
+            }
+            d.compact();
+            prop_assert_eq!(d.overlay_len(), 0);
+            assert_equivalent(&mut d, &model)?;
+        }
+    }
+
+    /// Default auto-compaction: equivalence holds across the threshold
+    /// crossings, and the generation counts successful batches exactly.
+    #[test]
+    fn auto_compaction_equals_rebuild(seed in 0u64..1_000_000_000, n in 6usize..=14) {
+        let mut rng = Mix(seed);
+        let (d, mut model) = base_from_seed(n, &mut rng);
+        let mut d = d.with_compact_fraction(0.1);
+        let gen0 = d.generation();
+        let mut batches = 0u64;
+        for _ in 0..40 {
+            match step(&mut d, &mut model, &mut rng) {
+                Err(e) => return Err(format!("mutation failed: {e}")),
+                Ok(applied) => batches += u64::from(applied),
+            }
+            assert_equivalent(&mut d, &model)?;
+        }
+        prop_assert_eq!(d.generation(), gen0 + batches);
+    }
+}
