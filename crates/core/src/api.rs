@@ -48,17 +48,23 @@
 //! # Determinism contract
 //!
 //! * `Exec::Serial` with sampler kind `K` and seed `s` draws exactly the
-//!   worlds of `K` seeded with `s` — bit-identical to the historical
-//!   `top_k_mpds(g, &mut K::new(g, StdRng::seed_from_u64(s)), &cfg)`.
+//!   worlds of `K` seeded with `s` — bit-identical to
+//!   [`Query::run_with_sampler`] over `K::new(g, StdRng::seed_from_u64(s))`.
 //! * `Exec::Threads(n)` gives worker `w` sub-stream `w` of the root seed
-//!   ([`sampling::stream_seed`]) — bit-identical to the historical
-//!   `parallel_top_k_mpds(g, &cfg, s, n)`. A serial run and a 1-thread run
-//!   therefore draw *different* (both deterministic) world streams, exactly
-//!   as the legacy entry points did.
+//!   ([`sampling::stream_seed`]), partial results merged in worker order. A
+//!   serial run and a 1-thread run therefore draw *different* (both
+//!   deterministic) world streams.
+//!
+//! Because the world stream depends only on `(sampler kind, seed)` — never
+//! on the estimator — many queries can share one stream: see
+//! [`queryset::QuerySet`] for batch evaluation that materializes each world
+//! once while staying bit-identical to standalone runs.
+
+pub mod queryset;
 
 use crate::control::{InterruptReason, Interrupted, RunControl};
-use crate::estimate::{densest_count_stats, select_top_k, MpdsConfig, MpdsResult};
-use crate::nds::{NdsConfig, NdsResult};
+use crate::estimate::{densest_count_stats, select_top_k, MpdsResult};
+use crate::nds::NdsResult;
 use densest::{
     all_densest, heuristic::heuristic_dense_subgraphs, max_sized_densest, DensityNotion,
 };
@@ -819,29 +825,6 @@ impl Query {
         self
     }
 
-    /// Builds a query from a legacy [`MpdsConfig`] (used by the deprecated
-    /// wrappers; sampler/seed/exec stay at their defaults).
-    pub(crate) fn from_mpds_config(cfg: &MpdsConfig) -> Self {
-        Query::mpds(cfg.notion.clone())
-            .theta(cfg.theta)
-            .k(cfg.k)
-            .enumeration_cap(cfg.enumeration_cap)
-            .all_densest(cfg.all_densest)
-            .heuristic(cfg.heuristic)
-            .choice_seed(cfg.choice_seed)
-    }
-
-    /// Builds a query from a legacy [`NdsConfig`] (used by the deprecated
-    /// wrappers).
-    pub(crate) fn from_nds_config(cfg: &NdsConfig) -> Self {
-        Query::nds(cfg.notion.clone())
-            .theta(cfg.theta)
-            .k(cfg.k)
-            .min_size(cfg.min_size)
-            .heuristic(cfg.heuristic)
-            .miner_node_cap(cfg.miner_node_cap)
-    }
-
     /// Validates every knob once; the single checkpoint before execution.
     fn validate(&self) -> Result<(), ApiError> {
         let invalid = |param: &'static str, message: String| {
@@ -1257,15 +1240,26 @@ impl Accum for NdsAccum {
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)]
-
     use super::*;
-    use crate::estimate::top_k_mpds;
-    use crate::nds::top_k_nds;
-    use crate::parallel::parallel_top_k_mpds;
 
     fn fig1() -> UncertainGraph {
         UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)])
+    }
+
+    /// Unwraps a run's MPDS details.
+    fn mpds_details(run: Run) -> MpdsResult {
+        match run.details {
+            RunDetails::Mpds(r) => r,
+            RunDetails::Nds(_) => unreachable!("built with Query::mpds"),
+        }
+    }
+
+    /// Unwraps a run's NDS details.
+    fn nds_details(run: Run) -> NdsResult {
+        match run.details {
+            RunDetails::Nds(r) => r,
+            RunDetails::Mpds(_) => unreachable!("built with Query::nds"),
+        }
     }
 
     /// The compile-time snapshot of the exported `mpds::api` surface: if a
@@ -1275,6 +1269,7 @@ mod tests {
     fn public_api_surface_snapshot() {
         #[allow(unused_imports)]
         use crate::api::{
+            queryset::{BatchRun, BatchStats, QuerySet},
             ApiError, Exec, NoProgress, ProgressCounter, ProgressSink, Query, Run, RunDetails,
             RunStats, SamplerKind, Score,
         };
@@ -1284,93 +1279,109 @@ mod tests {
         let _run: fn(&Query, &UncertainGraph) -> Result<Run, ApiError> = Query::run;
         let _build: fn(SamplerKind, &UncertainGraph, u64) -> Box<dyn WorldSampler> =
             SamplerKind::build;
+        let _set: fn() -> QuerySet = QuerySet::new;
+        let _push: fn(QuerySet, Query) -> QuerySet = QuerySet::push;
+        let _batch: fn(&QuerySet, &UncertainGraph) -> Result<BatchRun, ApiError> = QuerySet::run;
+        let _amortized: fn(&BatchStats) -> f64 = BatchStats::worlds_per_member;
         let _variants = [SamplerKind::MonteCarlo, SamplerKind::Lp, SamplerKind::Rss];
         let _modes = [Exec::Serial, Exec::Threads(2)];
         let _scores = [Score::TauHat, Score::GammaHat];
     }
 
+    /// The serial seeding contract: `run()` with seed `s` is bit-identical
+    /// to `run_with_sampler` over an equally-seeded external sampler — the
+    /// behavior the deleted `top_k_mpds` free function pinned.
     #[test]
-    fn serial_mpds_is_bit_identical_to_legacy() {
+    fn serial_mpds_matches_equally_seeded_external_sampler() {
         let g = fig1();
-        let cfg = MpdsConfig::new(DensityNotion::Edge, 300, 3);
+        let q = Query::mpds(DensityNotion::Edge).theta(300).k(3);
         let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(17));
-        let legacy = top_k_mpds(&g, &mut mc, &cfg);
-        let run = Query::mpds(DensityNotion::Edge)
-            .theta(300)
-            .k(3)
-            .seed(17)
-            .run(&g)
-            .unwrap();
-        assert_eq!(run.top_k, legacy.top_k);
-        match run.details {
-            RunDetails::Mpds(r) => {
-                assert_eq!(r.candidates, legacy.candidates);
-                assert_eq!(r.densest_counts, legacy.densest_counts);
-                assert_eq!(r.empty_worlds, legacy.empty_worlds);
-            }
-            RunDetails::Nds(_) => unreachable!(),
-        }
+        let external = mpds_details(q.clone().run_with_sampler(&g, &mut mc).unwrap());
+        let run = q.seed(17).run(&g).unwrap();
+        let internal = mpds_details(run);
+        assert_eq!(internal.top_k, external.top_k);
+        assert_eq!(internal.candidates, external.candidates);
+        assert_eq!(internal.densest_counts, external.densest_counts);
+        assert_eq!(internal.empty_worlds, external.empty_worlds);
     }
 
+    /// `Exec::Threads(n)` merges worker sub-streams in worker order: worker
+    /// `w`'s contribution equals a serial run over MC sub-stream `w` with
+    /// its quota, and the merged top-k is `select_top_k` of the summed
+    /// candidate tables.
     #[test]
-    fn threads_mpds_is_bit_identical_to_legacy_parallel() {
+    fn threads_mpds_merges_worker_substreams_in_order() {
         let g = fig1();
-        let cfg = MpdsConfig::new(DensityNotion::Edge, 500, 3);
-        let legacy = parallel_top_k_mpds(&g, &cfg, 42, 3);
+        let (seed, theta, workers) = (42u64, 500usize, 3usize);
+        let per = theta / workers;
+        let extra = theta % workers;
+        let mut expected_candidates: HashMap<NodeSet, u32> = HashMap::new();
+        let mut expected_counts: Vec<usize> = Vec::new();
+        for w in 0..workers {
+            let quota = per + usize::from(w < extra);
+            let mut mc = MonteCarlo::with_stream(&g, seed, w as u64);
+            let part = mpds_details(
+                Query::mpds(DensityNotion::Edge)
+                    .theta(quota)
+                    .k(3)
+                    .run_with_sampler(&g, &mut mc)
+                    .unwrap(),
+            );
+            for (set, c) in part.candidates {
+                *expected_candidates.entry(set).or_insert(0) += c;
+            }
+            expected_counts.extend(part.densest_counts);
+        }
+        let expected_top_k = select_top_k(&expected_candidates, 3, theta);
         let run = Query::mpds(DensityNotion::Edge)
-            .theta(500)
+            .theta(theta)
             .k(3)
-            .seed(42)
-            .exec(Exec::Threads(3))
+            .seed(seed)
+            .exec(Exec::Threads(workers))
             .run(&g)
             .unwrap();
-        assert_eq!(run.top_k, legacy.top_k);
-        match run.details {
-            RunDetails::Mpds(r) => {
-                assert_eq!(r.candidates, legacy.candidates);
-                assert_eq!(r.densest_counts, legacy.densest_counts);
-            }
-            RunDetails::Nds(_) => unreachable!(),
-        }
+        assert_eq!(run.top_k, expected_top_k);
+        let details = mpds_details(run);
+        assert_eq!(details.candidates, expected_candidates);
+        assert_eq!(details.densest_counts, expected_counts);
     }
 
+    /// The serial seeding contract for NDS (the behavior the deleted
+    /// `top_k_nds` free function pinned).
     #[test]
-    fn serial_nds_is_bit_identical_to_legacy() {
+    fn serial_nds_matches_equally_seeded_external_sampler() {
         let g = fig1();
-        let cfg = NdsConfig::new(DensityNotion::Edge, 200, 4, 2);
+        let q = Query::nds(DensityNotion::Edge).theta(200).k(4).min_size(2);
         let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(8));
-        let legacy = top_k_nds(&g, &mut mc, &cfg);
-        let run = Query::nds(DensityNotion::Edge)
-            .theta(200)
-            .k(4)
-            .min_size(2)
-            .seed(8)
-            .run(&g)
-            .unwrap();
-        assert_eq!(run.top_k, legacy.top_k);
-        match run.details {
-            RunDetails::Nds(r) => {
-                assert_eq!(r.transactions, legacy.transactions);
-                assert_eq!(r.empty_worlds, legacy.empty_worlds);
-            }
-            RunDetails::Mpds(_) => unreachable!(),
-        }
+        let external = nds_details(q.clone().run_with_sampler(&g, &mut mc).unwrap());
+        let run = q.seed(8).run(&g).unwrap();
+        let internal = nds_details(run);
+        assert_eq!(internal.top_k, external.top_k);
+        assert_eq!(internal.transactions, external.transactions);
+        assert_eq!(internal.empty_worlds, external.empty_worlds);
     }
 
     #[test]
     fn threads_nds_concatenates_worker_streams_in_order() {
         let g = fig1();
         let (seed, theta, workers) = (9u64, 90usize, 4usize);
-        // Expected: worker w's transactions are a legacy serial run over
-        // MC sub-stream w with its quota.
+        // Expected: worker w's transactions are a serial run over MC
+        // sub-stream w with its quota.
         let per = theta / workers;
         let extra = theta % workers;
         let mut expected: Vec<NodeSet> = Vec::new();
         for w in 0..workers {
             let quota = per + usize::from(w < extra);
-            let cfg = NdsConfig::new(DensityNotion::Edge, quota, 4, 2);
             let mut mc = MonteCarlo::with_stream(&g, seed, w as u64);
-            expected.extend(top_k_nds(&g, &mut mc, &cfg).transactions);
+            let part = nds_details(
+                Query::nds(DensityNotion::Edge)
+                    .theta(quota)
+                    .k(4)
+                    .min_size(2)
+                    .run_with_sampler(&g, &mut mc)
+                    .unwrap(),
+            );
+            expected.extend(part.transactions);
         }
         let run = Query::nds(DensityNotion::Edge)
             .theta(theta)
@@ -1379,10 +1390,44 @@ mod tests {
             .exec(Exec::Threads(workers))
             .run(&g)
             .unwrap();
-        match run.details {
-            RunDetails::Nds(r) => assert_eq!(r.transactions, expected),
-            RunDetails::Mpds(_) => unreachable!(),
-        }
+        assert_eq!(nds_details(run).transactions, expected);
+    }
+
+    /// Regression carried over from the deleted `parallel` module: with the
+    /// old `seed + w` worker seeding, a 2-worker run rooted at seed 1 shared
+    /// worker 1's entire world stream with a run rooted at seed 2 (its
+    /// worker 0). The decorrelated sub-streams must make adjacent-seed runs
+    /// draw genuinely different world multisets.
+    #[test]
+    fn adjacent_root_seeds_draw_different_worlds() {
+        let g = fig1();
+        let q = Query::mpds(DensityNotion::Edge)
+            .theta(64)
+            .k(3)
+            .exec(Exec::Threads(2));
+        let a = mpds_details(q.clone().seed(1).run(&g).unwrap());
+        let b = mpds_details(q.seed(2).run(&g).unwrap());
+        // Identical per-world densest counts in order would mean shared
+        // streams; the halves must not line up under any worker alignment.
+        assert_ne!(a.densest_counts[..32], b.densest_counts[..32]);
+        assert_ne!(a.densest_counts[32..], b.densest_counts[..32]);
+    }
+
+    /// Carried over from the deleted `parallel` module: the threaded
+    /// estimator stays unbiased — it converges to the exact MPDS.
+    #[test]
+    fn threads_converge_to_exact() {
+        let g = fig1();
+        let run = Query::mpds(DensityNotion::Edge)
+            .theta(8000)
+            .k(1)
+            .seed(3)
+            .exec(Exec::Threads(4))
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.top_k[0].0, vec![1, 3]);
+        assert!((run.top_k[0].1 - 0.42).abs() < 0.03);
+        assert_eq!(mpds_details(run).densest_counts.len(), 8000);
     }
 
     #[test]
@@ -1411,10 +1456,10 @@ mod tests {
         assert!(matches!(unsupported, Err(ApiError::Unsupported { .. })));
     }
 
-    /// The legacy entry points accepted degenerate `k = 0` ("rank nothing")
-    /// and NDS `min_size = 0` (no size floor); the builder — and therefore
-    /// the deprecated wrappers routed through it — must keep doing so
-    /// instead of panicking on an "unreachable" validation error.
+    /// The builder accepts degenerate `k = 0` ("rank nothing") and NDS
+    /// `min_size = 0` (no size floor) instead of panicking on an
+    /// "unreachable" validation error — behavior inherited from the deleted
+    /// legacy entry points.
     #[test]
     fn degenerate_k_and_min_size_stay_legal() {
         let g = fig1();
@@ -1431,13 +1476,6 @@ mod tests {
             .run(&g)
             .unwrap();
         assert!(run.top_k.len() <= 2);
-        // And through the deprecated wrappers (the reported regression).
-        let cfg = MpdsConfig::new(DensityNotion::Edge, 20, 0);
-        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(1));
-        assert!(top_k_mpds(&g, &mut mc, &cfg).top_k.is_empty());
-        let cfg = NdsConfig::new(DensityNotion::Edge, 20, 2, 0);
-        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(1));
-        let _ = top_k_nds(&g, &mut mc, &cfg);
     }
 
     #[test]

@@ -50,9 +50,9 @@ impl std::error::Error for Interrupted {}
 
 /// Deadline + cancellation-flag pair polled by the controlled estimators.
 ///
-/// The default [`RunControl::unbounded`] never interrupts, so the
-/// uncontrolled entry points (`top_k_mpds`, `top_k_nds`) are exactly the
-/// controlled ones with an unbounded control.
+/// The default [`RunControl::unbounded`] never interrupts, so an
+/// uncontrolled [`crate::api::Query`] run is exactly a controlled one with
+/// an unbounded control.
 #[derive(Debug, Clone, Default)]
 pub struct RunControl {
     deadline: Option<Instant>,

@@ -4,13 +4,14 @@
 //! increment their counters; return the k node sets with the highest
 //! estimated densest subgraph probability `τ̂(U) = count(U) / θ` (an unbiased
 //! estimator — paper Lemma 1; accuracy guarantees in [`crate::theory`]).
+//!
+//! The runnable entry point is [`crate::api::Query::mpds`] (single queries)
+//! and [`crate::api::queryset::QuerySet`] (batches over one shared world
+//! stream); this module keeps the result type and the ranking helpers.
 
-use crate::api::{ApiError, Query, RunDetails};
-use crate::control::{Interrupted, RunControl};
 use densest::DensityNotion;
-use sampling::WorldSampler;
 use std::collections::HashMap;
-use ugraph::{NodeId, NodeSet, UncertainGraph};
+use ugraph::{NodeId, NodeSet};
 
 /// Configuration for the top-k MPDS estimator.
 #[derive(Debug, Clone)]
@@ -79,52 +80,6 @@ impl MpdsResult {
     }
 }
 
-/// Runs Algorithm 1 with the given sampler (Monte Carlo in the paper's
-/// default setup; LP and RSS are drop-in alternatives compared in §VI-G).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `mpds::api::Query::mpds(..).run_with_sampler(..)` — one builder \
-            for every estimator, sampler, and execution mode"
-)]
-pub fn top_k_mpds<S: WorldSampler>(
-    g: &UncertainGraph,
-    sampler: &mut S,
-    cfg: &MpdsConfig,
-) -> MpdsResult {
-    #[allow(deprecated)]
-    match top_k_mpds_with_control(g, sampler, cfg, &RunControl::unbounded()) {
-        Ok(r) => r,
-        Err(_) => unreachable!("an unbounded RunControl never interrupts"),
-    }
-}
-
-/// Runs Algorithm 1 under a [`RunControl`]: the control is polled once per
-/// sampled world, and a raised deadline/cancellation stops the run with
-/// [`Interrupted`] instead of returning a truncated estimate.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `mpds::api::Query::mpds(..).control(..).run_with_sampler(..)`"
-)]
-pub fn top_k_mpds_with_control<S: WorldSampler>(
-    g: &UncertainGraph,
-    sampler: &mut S,
-    cfg: &MpdsConfig,
-    ctrl: &RunControl,
-) -> Result<MpdsResult, Interrupted> {
-    assert!(cfg.theta > 0, "need at least one sample");
-    let run = Query::from_mpds_config(cfg)
-        .control(ctrl.clone())
-        .run_with_sampler(g, sampler);
-    match run {
-        Ok(r) => match r.details {
-            RunDetails::Mpds(result) => Ok(result),
-            RunDetails::Nds(_) => unreachable!("Query::mpds produces MPDS details"),
-        },
-        Err(ApiError::Interrupted(i)) => Err(i),
-        Err(e) => unreachable!("legacy wrapper pre-validated the config: {e}"),
-    }
-}
-
 /// Deterministically selects the k best candidates (shared by the builder
 /// API's serial and parallel execution paths).
 pub(crate) fn select_top_k(
@@ -163,11 +118,8 @@ pub fn densest_count_stats(counts: &[usize]) -> (f64, f64, [usize; 3]) {
 
 #[cfg(test)]
 mod tests {
-    // These tests pin the behavior of the deprecated wrappers (the
-    // equivalence contract the builder API is held to).
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::api::{Query, RunDetails};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sampling::MonteCarlo;
@@ -178,9 +130,22 @@ mod tests {
         UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)])
     }
 
+    /// The builder query equivalent to a legacy `MpdsConfig` invocation.
+    fn query_for(cfg: &MpdsConfig) -> Query {
+        Query::mpds(cfg.notion.clone())
+            .theta(cfg.theta)
+            .k(cfg.k)
+            .enumeration_cap(cfg.enumeration_cap)
+            .all_densest(cfg.all_densest)
+            .heuristic(cfg.heuristic)
+            .choice_seed(cfg.choice_seed)
+    }
+
     fn run(g: &UncertainGraph, cfg: &MpdsConfig, seed: u64) -> MpdsResult {
-        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(seed));
-        top_k_mpds(g, &mut mc, cfg)
+        match query_for(cfg).seed(seed).run(g).unwrap().details {
+            RunDetails::Mpds(r) => r,
+            RunDetails::Nds(_) => unreachable!("Query::mpds produces MPDS details"),
+        }
     }
 
     #[test]
@@ -291,32 +256,50 @@ mod tests {
 
     #[test]
     fn unbounded_control_matches_uncontrolled_run() {
+        use crate::control::RunControl;
         let g = fig1();
         let cfg = MpdsConfig::new(DensityNotion::Edge, 300, 3);
         let a = run(&g, &cfg, 17);
         let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(17));
-        let b = top_k_mpds_with_control(&g, &mut mc, &cfg, &RunControl::unbounded()).unwrap();
+        let b = match query_for(&cfg)
+            .control(RunControl::unbounded())
+            .run_with_sampler(&g, &mut mc)
+            .unwrap()
+            .details
+        {
+            RunDetails::Mpds(r) => r,
+            RunDetails::Nds(_) => unreachable!(),
+        };
         assert_eq!(a.top_k, b.top_k);
         assert_eq!(a.candidates, b.candidates);
     }
 
     #[test]
     fn expired_deadline_interrupts_before_first_world() {
+        use crate::api::ApiError;
+        use crate::control::RunControl;
         use std::time::{Duration, Instant};
         let g = fig1();
         let cfg = MpdsConfig::new(DensityNotion::Edge, 10_000, 1);
         let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(1));
         let ctrl = RunControl::unbounded().with_deadline(Instant::now() - Duration::from_millis(1));
-        let err = top_k_mpds_with_control(&g, &mut mc, &cfg, &ctrl).unwrap_err();
-        assert_eq!(
-            err.reason,
-            crate::control::InterruptReason::DeadlineExceeded
-        );
-        assert_eq!(err.completed_worlds, 0);
+        let err = query_for(&cfg)
+            .control(ctrl)
+            .run_with_sampler(&g, &mut mc)
+            .unwrap_err();
+        match err {
+            ApiError::Interrupted(i) => {
+                assert_eq!(i.reason, crate::control::InterruptReason::DeadlineExceeded);
+                assert_eq!(i.completed_worlds, 0);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
     }
 
     #[test]
     fn raised_cancel_flag_interrupts() {
+        use crate::api::ApiError;
+        use crate::control::RunControl;
         use std::sync::atomic::{AtomicBool, Ordering};
         use std::sync::Arc;
         let g = fig1();
@@ -325,7 +308,15 @@ mod tests {
         let flag = Arc::new(AtomicBool::new(true));
         flag.store(true, Ordering::Relaxed);
         let ctrl = RunControl::unbounded().with_cancel_flag(flag);
-        let err = top_k_mpds_with_control(&g, &mut mc, &cfg, &ctrl).unwrap_err();
-        assert_eq!(err.reason, crate::control::InterruptReason::Cancelled);
+        let err = query_for(&cfg)
+            .control(ctrl)
+            .run_with_sampler(&g, &mut mc)
+            .unwrap_err();
+        match err {
+            ApiError::Interrupted(i) => {
+                assert_eq!(i.reason, crate::control::InterruptReason::Cancelled);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
     }
 }

@@ -113,13 +113,7 @@ pub fn average_f1_across_ranks(approx: &[(NodeSet, f64)], exact: &[(NodeSet, f64
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // cross-checks against the legacy Algorithm 1 entry point
-
     use super::*;
-    use crate::estimate::{top_k_mpds, MpdsConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use sampling::MonteCarlo;
 
     fn fig1() -> UncertainGraph {
         UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)])
@@ -178,9 +172,12 @@ mod tests {
         // End-to-end: Algorithm 1 estimates must approach the exact taus.
         let g = fig1();
         let exact = exact_top_k_mpds(&g, &DensityNotion::Edge, 3);
-        let cfg = MpdsConfig::new(DensityNotion::Edge, 20_000, 3);
-        let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(123));
-        let est = top_k_mpds(&g, &mut mc, &cfg);
+        let est = crate::api::Query::mpds(DensityNotion::Edge)
+            .theta(20_000)
+            .k(3)
+            .seed(123)
+            .run(&g)
+            .unwrap();
         assert_eq!(est.top_k[0].0, exact[0].0);
         for (i, (set, tau)) in exact.iter().enumerate() {
             let got = est.top_k[i].1;

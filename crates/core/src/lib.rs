@@ -7,7 +7,8 @@
 //!
 //! * [`api`] — **the crate's front door**: the typed [`api::Query`] builder
 //!   that validates once and runs any estimator / sampler / execution-mode
-//!   combination through one code path;
+//!   combination through one code path, and [`api::queryset::QuerySet`],
+//!   which evaluates many queries over one shared world stream;
 //! * [`estimate`] — the sampling estimator for top-k MPDS (paper
 //!   Algorithm 1) for edge, clique, and pattern densities, including the
 //!   one-densest-subgraph ablation of §VI-D and the heuristic mode of §III-C;
@@ -60,19 +61,13 @@ pub mod convergence;
 pub mod estimate;
 pub mod exact;
 pub mod nds;
-pub mod parallel;
 pub mod recompute;
 pub mod single;
 pub mod theory;
 
+pub use api::queryset::{BatchRun, BatchStats, QuerySet};
 pub use api::{ApiError, Exec, ProgressSink, Query, Run, SamplerKind};
 pub use control::{InterruptReason, Interrupted, RunControl};
 pub use estimate::{MpdsConfig, MpdsResult};
 pub use nds::{NdsConfig, NdsResult};
 pub use recompute::{CommonRandomNumbers, Recompute, RecomputeReport, TopKDiff};
-// The legacy free functions stay re-exported (deprecated) so downstream
-// diffs remain reviewable while consumers migrate to `mpds::api`.
-#[allow(deprecated)]
-pub use estimate::{top_k_mpds, top_k_mpds_with_control};
-#[allow(deprecated)]
-pub use nds::{top_k_nds, top_k_nds_with_control};

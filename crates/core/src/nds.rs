@@ -9,12 +9,13 @@
 //! samples θ worlds, collects each world's maximum-sized densest subgraph as
 //! a transaction, and mines the top-k *closed* node sets of size ≥ `l_m` by
 //! support with TFP \[47\] — here, [`itemset::top_k_closed`].
+//!
+//! The runnable entry point is [`crate::api::Query::nds`] (single queries)
+//! and [`crate::api::queryset::QuerySet`] (batches over one shared world
+//! stream); this module keeps the result type.
 
-use crate::api::{ApiError, Query, RunDetails};
-use crate::control::{Interrupted, RunControl};
 use densest::DensityNotion;
-use sampling::WorldSampler;
-use ugraph::{NodeId, NodeSet, UncertainGraph};
+use ugraph::{NodeId, NodeSet};
 
 /// Configuration for the NDS estimator.
 #[derive(Debug, Clone)]
@@ -74,65 +75,27 @@ impl NdsResult {
     }
 }
 
-/// Runs Algorithm 5: sample → maximum-sized densest subgraph → TFP.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `mpds::api::Query::nds(..).run_with_sampler(..)` — one builder \
-            for every estimator, sampler, and execution mode"
-)]
-pub fn top_k_nds<S: WorldSampler>(
-    g: &UncertainGraph,
-    sampler: &mut S,
-    cfg: &NdsConfig,
-) -> NdsResult {
-    #[allow(deprecated)]
-    match top_k_nds_with_control(g, sampler, cfg, &RunControl::unbounded()) {
-        Ok(r) => r,
-        Err(_) => unreachable!("an unbounded RunControl never interrupts"),
-    }
-}
-
-/// Runs Algorithm 5 under a [`RunControl`]: polled once per sampled world;
-/// a raised deadline/cancellation stops the run with [`Interrupted`] before
-/// the closed-itemset mining phase.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `mpds::api::Query::nds(..).control(..).run_with_sampler(..)`"
-)]
-pub fn top_k_nds_with_control<S: WorldSampler>(
-    g: &UncertainGraph,
-    sampler: &mut S,
-    cfg: &NdsConfig,
-    ctrl: &RunControl,
-) -> Result<NdsResult, Interrupted> {
-    assert!(cfg.theta > 0, "need at least one sample");
-    let run = Query::from_nds_config(cfg)
-        .control(ctrl.clone())
-        .run_with_sampler(g, sampler);
-    match run {
-        Ok(r) => match r.details {
-            RunDetails::Nds(result) => Ok(result),
-            RunDetails::Mpds(_) => unreachable!("Query::nds produces NDS details"),
-        },
-        Err(ApiError::Interrupted(i)) => Err(i),
-        Err(e) => unreachable!("legacy wrapper pre-validated the config: {e}"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    // These tests pin the behavior of the deprecated wrappers (the
-    // equivalence contract the builder API is held to).
-    #![allow(deprecated)]
-
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    use sampling::MonteCarlo;
+    use crate::api::{Query, RunDetails};
+    use ugraph::UncertainGraph;
+
+    /// The builder query equivalent to a legacy `NdsConfig` invocation.
+    fn query_for(cfg: &NdsConfig) -> Query {
+        Query::nds(cfg.notion.clone())
+            .theta(cfg.theta)
+            .k(cfg.k)
+            .min_size(cfg.min_size)
+            .heuristic(cfg.heuristic)
+            .miner_node_cap(cfg.miner_node_cap)
+    }
 
     fn run(g: &UncertainGraph, cfg: &NdsConfig, seed: u64) -> NdsResult {
-        let mut mc = MonteCarlo::new(g, StdRng::seed_from_u64(seed));
-        top_k_nds(g, &mut mc, cfg)
+        match query_for(cfg).seed(seed).run(g).unwrap().details {
+            RunDetails::Nds(r) => r,
+            RunDetails::Mpds(_) => unreachable!("Query::nds produces NDS details"),
+        }
     }
 
     /// Fig. 1 example: Example 3 of the paper says γ({B,D}) = 0.7.
@@ -240,20 +203,35 @@ mod tests {
 
     #[test]
     fn controlled_run_matches_and_interrupts() {
-        use crate::control::InterruptReason;
+        use crate::api::ApiError;
+        use crate::control::{InterruptReason, RunControl};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        use sampling::MonteCarlo;
         use std::time::{Duration, Instant};
         let g = UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)]);
         let cfg = NdsConfig::new(DensityNotion::Edge, 200, 3, 2);
         let plain = run(&g, &cfg, 8);
         let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(8));
-        let ctrl = top_k_nds_with_control(&g, &mut mc, &cfg, &RunControl::unbounded()).unwrap();
+        let ctrl = query_for(&cfg)
+            .control(RunControl::unbounded())
+            .run_with_sampler(&g, &mut mc)
+            .unwrap();
         assert_eq!(plain.top_k, ctrl.top_k);
 
         let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(8));
         let expired =
             RunControl::unbounded().with_deadline(Instant::now() - Duration::from_millis(1));
-        let err = top_k_nds_with_control(&g, &mut mc, &cfg, &expired).unwrap_err();
-        assert_eq!(err.reason, InterruptReason::DeadlineExceeded);
-        assert_eq!(err.completed_worlds, 0);
+        let err = query_for(&cfg)
+            .control(expired)
+            .run_with_sampler(&g, &mut mc)
+            .unwrap_err();
+        match err {
+            ApiError::Interrupted(i) => {
+                assert_eq!(i.reason, InterruptReason::DeadlineExceeded);
+                assert_eq!(i.completed_worlds, 0);
+            }
+            other => panic!("expected interruption, got {other:?}"),
+        }
     }
 }

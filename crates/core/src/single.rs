@@ -92,8 +92,6 @@ pub fn estimate_gamma_for<S: WorldSampler>(
 
 #[cfg(test)]
 mod tests {
-    #![allow(deprecated)] // cross-checks against the legacy Algorithm 1 entry point
-
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -128,9 +126,17 @@ mod tests {
         let sets = vec![vec![0, 1], vec![0, 1, 3]];
         let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(9));
         let direct = estimate_tau_for(&g, &mut mc, &DensityNotion::Edge, &sets, 6000);
-        let cfg = crate::estimate::MpdsConfig::new(DensityNotion::Edge, 6000, 10);
         let mut mc = MonteCarlo::new(&g, StdRng::seed_from_u64(9));
-        let alg1 = crate::estimate::top_k_mpds(&g, &mut mc, &cfg);
+        let alg1 = match crate::api::Query::mpds(DensityNotion::Edge)
+            .theta(6000)
+            .k(10)
+            .run_with_sampler(&g, &mut mc)
+            .unwrap()
+            .details
+        {
+            crate::api::RunDetails::Mpds(r) => r,
+            crate::api::RunDetails::Nds(_) => unreachable!("Query::mpds yields MPDS details"),
+        };
         for (i, set) in sets.iter().enumerate() {
             // Same seed, same worlds: the two estimators must agree exactly.
             assert!((direct[i] - alg1.tau_hat(set)).abs() < 1e-12);

@@ -10,6 +10,8 @@
 //!   stats <edge-list> [--json]  dataset summary
 //!   serve [serve-opts]        start the HTTP query server
 //!   update [update-opts]      POST a mutation batch to a running server
+//!   batch [batch-opts]        POST a multi-query spec to a running server
+//!   diff [diff-opts]          diff one query across two datasets (CRN)
 //!
 //! mpds/nds options:
 //!   --theta N       number of sampled worlds        [default 320]
@@ -35,6 +37,23 @@
 //!   --file PATH           mutation file: `u v p` upserts the edge,
 //!                         `u v -` deletes it        (required)
 //!   --addr HOST:PORT      server address            [default 127.0.0.1:7878]
+//!
+//! batch options:
+//!   --file PATH           JSON spec file — the `POST /batch` body: one
+//!                         object with `dataset`, shared `theta`/`seed`,
+//!                         and a `members` array of per-query
+//!                         `{algo, notion, k, lm, heuristic}` objects
+//!                                                   (required)
+//!   --addr HOST:PORT      server address            [default 127.0.0.1:7878]
+//!   --json                emit the raw batch envelope instead of text
+//!
+//! diff options:
+//!   --dataset NAME        the *after* dataset       (required)
+//!   --against NAME        the baseline dataset      (required)
+//!   --algo A, --theta N, --k N, --lm N, --density D, --seed N,
+//!   --heuristic           as for mpds/nds
+//!   --addr HOST:PORT      server address            [default 127.0.0.1:7878]
+//!   --json                emit the raw diff response instead of text
 //! ```
 //!
 //! The edge-list format is one `u v p` triple per line (`#` comments
@@ -47,6 +66,7 @@ use mpds::control::RunControl;
 use mpds_service::engine::{
     parse_notion, render_query_response, render_stats, run_query, Algo, QueryRequest,
 };
+use mpds_service::json::JsonValue;
 use mpds_service::registry::{GraphRegistry, LoadedGraph};
 use mpds_service::{EngineConfig, QueryEngine, Server, ServerConfig};
 use std::collections::HashSet;
@@ -62,6 +82,10 @@ enum Command {
     Serve(ServeOptions),
     /// `update` against a running server.
     Update(UpdateOptions),
+    /// `batch` against a running server.
+    Batch(BatchOptions),
+    /// `diff` against a running server.
+    Diff(DiffOptions),
 }
 
 #[derive(Debug)]
@@ -95,12 +119,38 @@ struct UpdateOptions {
     addr: String,
 }
 
+#[derive(Debug)]
+struct BatchOptions {
+    file: String,
+    addr: String,
+    json: bool,
+}
+
+#[derive(Debug)]
+struct DiffOptions {
+    dataset: String,
+    against: String,
+    algo: String,
+    theta: usize,
+    k: usize,
+    lm: usize,
+    density: String,
+    seed: u64,
+    heuristic: bool,
+    addr: String,
+    json: bool,
+}
+
 const USAGE: &str = "usage: mpds-cli <mpds|nds|stats> <edge-list> \\
   [--theta N] [--k N] [--lm N] [--density D] [--seed N] [--threads N] \\
   [--heuristic] [--json]
    or: mpds-cli serve [--bind ADDR] [--threads N] [--cache-capacity N] \\
   [--queue N] [--dataset NAME=PATH]... [--mutable]
-   or: mpds-cli update --dataset NAME --file delta.txt [--addr HOST:PORT]";
+   or: mpds-cli update --dataset NAME --file delta.txt [--addr HOST:PORT]
+   or: mpds-cli batch --file spec.json [--addr HOST:PORT] [--json]
+   or: mpds-cli diff --dataset AFTER --against BEFORE [--algo A] [--theta N] \\
+  [--k N] [--lm N] [--density D] [--seed N] [--heuristic] [--addr HOST:PORT] \\
+  [--json]";
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Command, String> {
     let command = args.next().ok_or("missing command")?;
@@ -108,6 +158,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Command, String>
         "mpds" | "nds" | "stats" => parse_run_args(command, args).map(Command::Run),
         "serve" => parse_serve_args(args).map(Command::Serve),
         "update" => parse_update_args(args).map(Command::Update),
+        "batch" => parse_batch_args(args).map(Command::Batch),
+        "diff" => parse_diff_args(args).map(Command::Diff),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -273,6 +325,88 @@ fn parse_update_args(mut args: impl Iterator<Item = String>) -> Result<UpdateOpt
     })
 }
 
+fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<BatchOptions, String> {
+    let mut file: Option<String> = None;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut json = false;
+    let mut seen = SeenFlags::new();
+    while let Some(flag) = args.next() {
+        seen.check(&flag)?;
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--file" => file = Some(val("--file")?),
+            "--addr" => addr = val("--addr")?,
+            "--json" => json = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(BatchOptions {
+        file: file.ok_or("batch requires --file SPEC.json")?,
+        addr,
+        json,
+    })
+}
+
+fn parse_diff_args(mut args: impl Iterator<Item = String>) -> Result<DiffOptions, String> {
+    let mut o = DiffOptions {
+        dataset: String::new(),
+        against: String::new(),
+        algo: "mpds".to_string(),
+        theta: 320,
+        k: 5,
+        lm: 2,
+        density: "edge".to_string(),
+        seed: 42,
+        heuristic: false,
+        addr: "127.0.0.1:7878".to_string(),
+        json: false,
+    };
+    let mut seen = SeenFlags::new();
+    while let Some(flag) = args.next() {
+        seen.check(&flag)?;
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--dataset" => o.dataset = val("--dataset")?,
+            "--against" => o.against = val("--against")?,
+            "--algo" => {
+                let a = val("--algo")?;
+                Algo::parse(&a)?; // fail fast, before the request
+                o.algo = a;
+            }
+            "--theta" => {
+                o.theta = val("--theta")?
+                    .parse()
+                    .map_err(|e| format!("--theta: {e}"))?
+            }
+            "--k" => o.k = val("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
+            "--lm" => o.lm = val("--lm")?.parse().map_err(|e| format!("--lm: {e}"))?,
+            "--density" => {
+                let d = val("--density")?;
+                parse_notion(&d)?;
+                o.density = d;
+            }
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--heuristic" => o.heuristic = true,
+            "--addr" => o.addr = val("--addr")?,
+            "--json" => o.json = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if o.dataset.is_empty() {
+        return Err("diff requires --dataset NAME (the after side)".to_string());
+    }
+    if o.against.is_empty() {
+        return Err("diff requires --against NAME (the baseline)".to_string());
+    }
+    Ok(o)
+}
+
 fn load_file(path: &str) -> Result<LoadedGraph, String> {
     mpds_service::registry::load_edge_list_file(path, std::path::Path::new(path))
 }
@@ -379,14 +513,16 @@ fn serve_command(o: &ServeOptions) -> Result<(), String> {
     }
 }
 
-fn update_command(o: &UpdateOptions) -> Result<(), String> {
+fn resolve_addr(addr: &str) -> Result<std::net::SocketAddr, String> {
     use std::net::ToSocketAddrs;
-    let addr = o
-        .addr
-        .to_socket_addrs()
+    addr.to_socket_addrs()
         .ok()
         .and_then(|mut a| a.next())
-        .ok_or_else(|| format!("cannot resolve --addr {:?}", o.addr))?;
+        .ok_or_else(|| format!("cannot resolve --addr {addr:?}"))
+}
+
+fn update_command(o: &UpdateOptions) -> Result<(), String> {
+    let addr = resolve_addr(&o.addr)?;
     let body = std::fs::read(&o.file).map_err(|e| format!("read {}: {e}", o.file))?;
     let path = format!("/update?dataset={}", o.dataset);
     let ex =
@@ -397,6 +533,190 @@ fn update_command(o: &UpdateOptions) -> Result<(), String> {
         return Err(format!("server answered {}: {text}", ex.status));
     }
     println!("{text}");
+    Ok(())
+}
+
+/// Renders a JSON `[1,3,7]` nodes array as `{1, 3, 7}`.
+fn show_nodes(v: &JsonValue) -> String {
+    let items = match v {
+        JsonValue::Array(items) => items
+            .iter()
+            .map(|n| match n {
+                JsonValue::Number(raw) => raw.clone(),
+                other => format!("{other:?}"),
+            })
+            .collect::<Vec<_>>(),
+        other => vec![format!("{other:?}")],
+    };
+    format!("{{{}}}", items.join(", "))
+}
+
+/// The raw text of a JSON number field (scores are displayed verbatim —
+/// the server already rendered them deterministically).
+fn raw_number(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Number(raw) => raw.clone(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn batch_command(o: &BatchOptions) -> Result<(), String> {
+    let addr = resolve_addr(&o.addr)?;
+    let body = std::fs::read(&o.file).map_err(|e| format!("read {}: {e}", o.file))?;
+    let ex = mpds_service::harness::http_post(
+        addr,
+        "/batch",
+        &body,
+        std::time::Duration::from_secs(120),
+    )
+    .map_err(|e| format!("POST /batch to {addr}: {e}"))?;
+    let text = String::from_utf8_lossy(&ex.body).into_owned();
+    if ex.status != 200 {
+        return Err(format!("server answered {}: {text}", ex.status));
+    }
+    if o.json {
+        println!("{text}");
+        return Ok(());
+    }
+    let doc = JsonValue::parse(&text).map_err(|e| format!("batch response: {e}"))?;
+    let field = |key: &str| -> Result<&JsonValue, String> {
+        doc.get(key)?
+            .ok_or_else(|| format!("batch response has no {key:?}"))
+    };
+    println!(
+        "batch over {}: {} members (theta {}, seed {}), {} computed on one shared world stream",
+        field("dataset")?.as_str("dataset")?,
+        field("members")?.as_usize("members")?,
+        raw_number(field("theta")?),
+        raw_number(field("seed")?),
+        field("computed")?.as_usize("computed")?,
+    );
+    let results = field("results")?.as_array("results")?;
+    let sources = field("sources")?.as_array("sources")?;
+    for (i, member) in results.iter().enumerate() {
+        let mfield = |key: &str| -> Result<&JsonValue, String> {
+            member
+                .get(key)
+                .map_err(|e| format!("member {i}: {e}"))?
+                .ok_or_else(|| format!("member {i} has no {key:?}"))
+        };
+        let source = sources
+            .get(i)
+            .and_then(|s| s.as_str("source").ok())
+            .unwrap_or("?");
+        let rows = mfield("results")?.as_array("rows")?;
+        let top = match rows.first() {
+            Some(row) => {
+                let rfield = |key: &str| -> Result<&JsonValue, String> {
+                    row.get(key)
+                        .map_err(|e| format!("member {i} row: {e}"))?
+                        .ok_or_else(|| format!("member {i} row has no {key:?}"))
+                };
+                format!(
+                    "top {} = {}",
+                    show_nodes(rfield("nodes")?),
+                    raw_number(rfield("score")?)
+                )
+            }
+            None => "no instance in any sampled world".to_string(),
+        };
+        println!(
+            "  #{:<2} {} k={} [{source}]: {} rows, {top}",
+            i + 1,
+            mfield("algo")?.as_str("algo")?,
+            mfield("k")?.as_usize("k")?,
+            rows.len(),
+        );
+    }
+    Ok(())
+}
+
+fn diff_command(o: &DiffOptions) -> Result<(), String> {
+    let addr = resolve_addr(&o.addr)?;
+    let path = format!(
+        "/diff?dataset={}&against={}&algo={}&notion={}&theta={}&k={}&lm={}&seed={}{}",
+        o.dataset,
+        o.against,
+        o.algo,
+        o.density,
+        o.theta,
+        o.k,
+        o.lm,
+        o.seed,
+        if o.heuristic { "&heuristic=true" } else { "" }
+    );
+    let ex = mpds_service::harness::http_get(addr, &path, std::time::Duration::from_secs(120))
+        .map_err(|e| format!("GET {path} from {addr}: {e}"))?;
+    let text = String::from_utf8_lossy(&ex.body).into_owned();
+    if ex.status != 200 {
+        return Err(format!("server answered {}: {text}", ex.status));
+    }
+    if o.json {
+        println!("{text}");
+        return Ok(());
+    }
+    let doc = JsonValue::parse(&text).map_err(|e| format!("diff response: {e}"))?;
+    let field = |key: &str| -> Result<&JsonValue, String> {
+        doc.get(key)?
+            .ok_or_else(|| format!("diff response has no {key:?}"))
+    };
+    println!(
+        "diff {} vs {} ({}, theta {}, k {}, seed {}, common random numbers):",
+        o.dataset,
+        o.against,
+        o.algo,
+        raw_number(field("theta")?),
+        raw_number(field("k")?),
+        raw_number(field("seed")?),
+    );
+    let rows = |key: &str, sign: &str| -> Result<usize, String> {
+        let rows = field(key)?.as_array(key)?;
+        for row in rows {
+            let rfield = |k: &str| -> Result<&JsonValue, String> {
+                row.get(k)
+                    .map_err(|e| format!("{key} row: {e}"))?
+                    .ok_or_else(|| format!("{key} row has no {k:?}"))
+            };
+            println!(
+                "  {sign} {}  score {}",
+                show_nodes(rfield("nodes")?),
+                raw_number(rfield("score")?)
+            );
+        }
+        Ok(rows.len())
+    };
+    let entered = rows("entered", "+")?;
+    let left = rows("left", "-")?;
+    let mut reranked = 0usize;
+    for row in field("common")?.as_array("common")? {
+        let rfield = |k: &str| -> Result<&JsonValue, String> {
+            row.get(k)
+                .map_err(|e| format!("common row: {e}"))?
+                .ok_or_else(|| format!("common row has no {k:?}"))
+        };
+        let before = rfield("rank_before")?.as_usize("rank_before")?;
+        let after = rfield("rank_after")?.as_usize("rank_after")?;
+        if before != after {
+            reranked += 1;
+            println!(
+                "  ~ {}  rank {} -> {}, score {} -> {}",
+                show_nodes(rfield("nodes")?),
+                before + 1,
+                after + 1,
+                raw_number(rfield("score_before")?),
+                raw_number(rfield("score_after")?)
+            );
+        }
+    }
+    if field("unchanged")?.as_bool("unchanged")? {
+        println!("  top-k unchanged");
+    } else {
+        println!("  {entered} entered, {left} left, {reranked} re-ranked");
+    }
+    println!(
+        "  max |score delta| over common sets: {}",
+        raw_number(field("max_abs_score_delta")?)
+    );
     Ok(())
 }
 
@@ -412,6 +732,8 @@ fn main() -> ExitCode {
         Command::Run(o) => run_command(o),
         Command::Serve(o) => serve_command(o),
         Command::Update(o) => update_command(o),
+        Command::Batch(o) => batch_command(o),
+        Command::Diff(o) => diff_command(o),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -580,6 +902,115 @@ mod tests {
         assert!(parse_serve(&["serve", "--immutable"])
             .unwrap_err()
             .contains("unknown option"));
+    }
+
+    fn parse_batch(args: &[&str]) -> Result<BatchOptions, String> {
+        match parse(args)? {
+            Command::Batch(o) => Ok(o),
+            _ => panic!("expected batch command"),
+        }
+    }
+
+    fn parse_diff(args: &[&str]) -> Result<DiffOptions, String> {
+        match parse(args)? {
+            Command::Diff(o) => Ok(o),
+            _ => panic!("expected diff command"),
+        }
+    }
+
+    #[test]
+    fn batch_args_parse_and_validate() {
+        let o = parse_batch(&["batch", "--file", "spec.json"]).unwrap();
+        assert_eq!(o.file, "spec.json");
+        assert_eq!(o.addr, "127.0.0.1:7878");
+        assert!(!o.json);
+        let o = parse_batch(&["batch", "--file", "s", "--addr", "h:1", "--json"]).unwrap();
+        assert_eq!(o.addr, "h:1");
+        assert!(o.json);
+        assert!(parse_batch(&["batch"])
+            .unwrap_err()
+            .contains("requires --file"));
+        assert!(parse_batch(&["batch", "--file", "a", "--file", "b"])
+            .unwrap_err()
+            .contains("duplicate option \"--file\""));
+        assert!(parse_batch(&["batch", "--file", "a", "--bogus"])
+            .unwrap_err()
+            .contains("unknown option"));
+        assert!(parse_batch(&["batch", "--file"])
+            .unwrap_err()
+            .contains("missing value"));
+    }
+
+    #[test]
+    fn diff_args_parse_and_validate() {
+        let o = parse_diff(&["diff", "--dataset", "after", "--against", "before"]).unwrap();
+        assert_eq!(o.dataset, "after");
+        assert_eq!(o.against, "before");
+        assert_eq!((o.theta, o.k, o.lm, o.seed), (320, 5, 2, 42));
+        assert_eq!(o.algo, "mpds");
+        assert!(!o.heuristic && !o.json);
+        let o = parse_diff(&[
+            "diff",
+            "--dataset",
+            "a",
+            "--against",
+            "b",
+            "--algo",
+            "nds",
+            "--theta",
+            "99",
+            "--k",
+            "2",
+            "--density",
+            "3clique",
+            "--heuristic",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(o.algo, "nds");
+        assert_eq!((o.theta, o.k), (99, 2));
+        assert!(o.heuristic && o.json);
+        assert!(parse_diff(&["diff", "--against", "b"])
+            .unwrap_err()
+            .contains("requires --dataset"));
+        assert!(parse_diff(&["diff", "--dataset", "a"])
+            .unwrap_err()
+            .contains("requires --against"));
+        assert!(
+            parse_diff(&["diff", "--dataset", "a", "--against", "b", "--threads", "2"])
+                .unwrap_err()
+                .contains("unknown option \"--threads\""),
+            "diffs are serial; the flag must not exist"
+        );
+        assert!(parse_diff(&[
+            "diff",
+            "--dataset",
+            "a",
+            "--against",
+            "b",
+            "--k",
+            "1",
+            "--k",
+            "2"
+        ])
+        .unwrap_err()
+        .contains("duplicate option \"--k\""));
+        assert!(
+            parse_diff(&["diff", "--dataset", "a", "--against", "b", "--algo", "x"])
+                .unwrap_err()
+                .contains("algo"),
+        );
+        assert!(parse_diff(&[
+            "diff",
+            "--dataset",
+            "a",
+            "--against",
+            "b",
+            "--density",
+            "tesseract"
+        ])
+        .unwrap_err()
+        .contains("unknown density"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!           [--server-threads N] [--dataset D] [--theta N] [--k N]
 //!           [--out PATH] [--wait-secs S] [--check]
 //!           [--churn] [--updates N] [--batch-edges N] [--reads-per-round N]
+//!           [--batch] [--members N] [--rounds N]
 //! ```
 //!
 //! Default mode drives `--clients` concurrent clients, each issuing
@@ -19,12 +20,21 @@
 //! read bursts, measuring read p50/p99, update latency, and post-update
 //! cache-hit recovery; default `--out` becomes `target/BENCH_pr5.json`.
 //!
+//! `--batch` instead measures `POST /batch` amortization against sequential
+//! `/query` calls (emits `BENCH_pr6.json`): per round it issues `--members`
+//! member queries standalone under one seed, then the same member set as a
+//! single batch under another, comparing worlds-materialized-per-member off
+//! `/metrics`, and re-issues every member as a point query that must HIT the
+//! batch-filled cache with bytes embedded verbatim in the batch envelope.
+//!
 //! `--check` turns the report's invariants into an exit code (the CI
-//! `service-smoke` / `churn-smoke` gates): zero non-2xx responses plus, in
-//! read mode, bytewise-identical repeat bodies and a repeat-phase cache hit
-//! rate above 0.9 — or, in churn mode, strictly monotone generations.
+//! `service-smoke` / `churn-smoke` / `batch-smoke` gates): zero non-2xx
+//! responses plus, in read mode, bytewise-identical repeat bodies and a
+//! repeat-phase cache hit rate above 0.9 — in churn mode, strictly monotone
+//! generations — in batch mode, an amortization ratio of at least 2 and all
+//! follow-up point queries served from cache.
 
-use mpds_service::harness::{self, ChurnConfig, HarnessConfig};
+use mpds_service::harness::{self, BatchConfig, ChurnConfig, HarnessConfig};
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -39,6 +49,10 @@ fn main() -> ExitCode {
     let mut updates = 8usize;
     let mut batch_edges = 16usize;
     let mut reads_per_round = 4usize;
+    let mut batch = false;
+    let mut members = 8usize;
+    let mut rounds = 4usize;
+    let mut theta_set = false;
 
     let mut args = std::env::args().skip(1);
     let fail = |msg: String| -> ExitCode {
@@ -47,7 +61,7 @@ fn main() -> ExitCode {
             "usage: mpds-load [--addr HOST:PORT] [--clients N] [--requests N] \
              [--server-threads N] [--dataset D] [--theta N] [--k N] [--out PATH] \
              [--wait-secs S] [--check] [--churn] [--updates N] [--batch-edges N] \
-             [--reads-per-round N]"
+             [--reads-per-round N] [--batch] [--members N] [--rounds N]"
         );
         ExitCode::FAILURE
     };
@@ -72,7 +86,10 @@ fn main() -> ExitCode {
                         .map_err(|e| format!("{e}"))?
                 }
                 "--dataset" => cfg.dataset = val("--dataset")?,
-                "--theta" => cfg.theta = val("--theta")?.parse().map_err(|e| format!("{e}"))?,
+                "--theta" => {
+                    cfg.theta = val("--theta")?.parse().map_err(|e| format!("{e}"))?;
+                    theta_set = true;
+                }
                 "--k" => cfg.k = val("--k")?.parse().map_err(|e| format!("{e}"))?,
                 "--out" => out_path = Some(val("--out")?),
                 "--wait-secs" => {
@@ -89,6 +106,9 @@ fn main() -> ExitCode {
                         .parse()
                         .map_err(|e| format!("{e}"))?
                 }
+                "--batch" => batch = true,
+                "--members" => members = val("--members")?.parse().map_err(|e| format!("{e}"))?,
+                "--rounds" => rounds = val("--rounds")?.parse().map_err(|e| format!("{e}"))?,
                 other => return Err(format!("unknown option {other:?}")),
             }
             Ok(())
@@ -102,8 +122,13 @@ fn main() -> ExitCode {
         Some(a) => a,
         None => return fail(format!("cannot resolve --addr {addr_spec:?}")),
     };
+    if batch && churn {
+        return fail("--batch and --churn are mutually exclusive".to_string());
+    }
     let out_path = out_path.unwrap_or_else(|| {
-        if churn {
+        if batch {
+            "target/BENCH_pr6.json".to_string()
+        } else if churn {
             "target/BENCH_pr5.json".to_string()
         } else {
             "target/BENCH_pr3.json".to_string()
@@ -114,7 +139,45 @@ fn main() -> ExitCode {
         return fail(e);
     }
 
-    let (json, violations) = if churn {
+    let (json, violations) = if batch {
+        let bcfg = BatchConfig {
+            addr: cfg.addr,
+            members,
+            rounds,
+            server_threads: cfg.server_threads,
+            dataset: cfg.dataset.clone(),
+            theta: if theta_set {
+                cfg.theta
+            } else {
+                BatchConfig::default().theta
+            },
+        };
+        println!(
+            "batch: {} rounds x {} members against http://{} (dataset {}, theta {})",
+            bcfg.rounds, bcfg.members, bcfg.addr, bcfg.dataset, bcfg.theta
+        );
+        let report = harness::run_batch(&bcfg);
+        for (name, p) in [("standalone", &report.standalone), ("batch", &report.batch)] {
+            println!(
+                "  {name:<10} {:>5} reqs, {:>3} errors, p50 {:>8.3} ms, p99 {:>8.3} ms",
+                p.requests, p.errors, p.p50_ms, p.p99_ms
+            );
+        }
+        println!(
+            "  worlds/member: standalone {:.1}, batch {:.1} — amortization {:.2}x",
+            report.standalone_worlds_per_member,
+            report.batch_worlds_per_member,
+            report.amortization_ratio
+        );
+        println!(
+            "  follow-up cache hit rate: {:.3}",
+            report.followup_hit_rate
+        );
+        (
+            harness::render_batch_report(&report),
+            report.violations.clone(),
+        )
+    } else if churn {
         let ccfg = ChurnConfig {
             addr: cfg.addr,
             clients: cfg.clients,

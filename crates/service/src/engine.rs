@@ -21,8 +21,10 @@ use crate::cache::{CacheStats, ShardedLru};
 use crate::json::JsonWriter;
 use crate::registry::{GraphRegistry, LoadedGraph};
 use densest::DensityNotion;
-use mpds::api::{ApiError, Exec, ProgressCounter, ProgressSink, Query};
+use mpds::api::queryset::QuerySet;
+use mpds::api::{ApiError, Exec, ProgressCounter, ProgressSink, Query, Run};
 use mpds::control::{InterruptReason, RunControl};
+use mpds::recompute::Recompute;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -195,6 +197,108 @@ pub struct QueryKey {
     threads: usize,
 }
 
+/// One member of a [`BatchRequest`]: the estimator-side knobs. The world
+/// stream (`dataset`, `theta`, `seed`) is shared batch-wide, and batch
+/// members always run serially (the shared stream is one serial stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchMember {
+    /// Estimator to run.
+    pub algo: Algo,
+    /// Density notion name (see [`parse_notion`]).
+    pub notion: String,
+    /// Result count.
+    pub k: usize,
+    /// Minimum NDS size `l_m` (ignored by MPDS).
+    pub lm: usize,
+    /// Use the §III-C heuristic per world.
+    pub heuristic: bool,
+}
+
+impl Default for BatchMember {
+    fn default() -> Self {
+        BatchMember {
+            algo: Algo::Mpds,
+            notion: "edge".to_string(),
+            k: 5,
+            lm: 2,
+            heuristic: false,
+        }
+    }
+}
+
+/// Largest member count one `POST /batch` may carry. Past this a batch is
+/// overload, not amortization.
+pub const MAX_BATCH_MEMBERS: usize = 64;
+
+/// A batch of queries over one shared world stream (the service transport
+/// of [`mpds::QuerySet`]): many `(algo, notion, k, lm, heuristic)` members,
+/// one `(dataset, theta, seed)` stream. Each member is keyed and cached
+/// exactly like the equivalent `GET /query`, so members that were already
+/// computed HIT the cache and only the misses share one sampling pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// Registry dataset name, shared by every member.
+    pub dataset: String,
+    /// Number of sampled possible worlds θ, shared by every member.
+    pub theta: usize,
+    /// Sampler seed, shared by every member.
+    pub seed: u64,
+    /// Per-batch deadline covering the whole shared sampling pass.
+    pub timeout_ms: Option<u64>,
+    /// The query members, answered in order.
+    pub members: Vec<BatchMember>,
+}
+
+impl BatchRequest {
+    /// Paper-default stream parameters for `dataset` with no members.
+    pub fn new(dataset: &str) -> Self {
+        BatchRequest {
+            dataset: dataset.to_string(),
+            theta: 320,
+            seed: 42,
+            timeout_ms: None,
+            members: Vec::new(),
+        }
+    }
+
+    /// The full standalone [`QueryRequest`] a member is equivalent to —
+    /// the request whose cache key and response bytes the member shares.
+    pub fn member_request(&self, m: &BatchMember) -> QueryRequest {
+        QueryRequest {
+            dataset: self.dataset.clone(),
+            algo: m.algo,
+            notion: m.notion.clone(),
+            theta: self.theta,
+            k: m.k,
+            lm: m.lm,
+            seed: self.seed,
+            heuristic: m.heuristic,
+            threads: 1,
+            timeout_ms: self.timeout_ms,
+        }
+    }
+
+    /// Validates the batch shape and every member (bounds shared with
+    /// [`QueryRequest::validate`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.members.is_empty() {
+            return Err("batch has no members".to_string());
+        }
+        if self.members.len() > MAX_BATCH_MEMBERS {
+            return Err(format!(
+                "batch has {} members (limit {MAX_BATCH_MEMBERS})",
+                self.members.len()
+            ));
+        }
+        for (i, m) in self.members.iter().enumerate() {
+            self.member_request(m)
+                .validate()
+                .map_err(|e| format!("member {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
 /// The computed answer of a query, before serialization: node sets are
 /// already mapped back to the dataset's original labels.
 #[derive(Debug, Clone, PartialEq)]
@@ -306,17 +410,31 @@ pub fn run_query_with_progress(
     if let Some(sink) = progress {
         query = query.progress(sink);
     }
-    let run = query.run(&g.graph).map_err(|e| match e {
+    let run = query.run(&g.graph).map_err(api_error_to_query_error)?;
+    Ok(payload_of(g, run))
+}
+
+/// Maps a core-API failure onto the service's error vocabulary: cooperative
+/// interruptions become deadline/cancellation errors, and bounds the engine
+/// can't pre-check (e.g. threads > theta interplay) surface as client
+/// errors, never as panics.
+fn api_error_to_query_error(e: ApiError) -> QueryError {
+    match e {
         ApiError::Interrupted(i) => match i.reason {
             InterruptReason::DeadlineExceeded => QueryError::DeadlineExceeded {
                 completed_worlds: i.completed_worlds,
             },
             InterruptReason::Cancelled => QueryError::Cancelled,
         },
-        // Bounds the engine can't pre-check (e.g. threads > theta interplay)
-        // surface as client errors, never as panics.
         other => QueryError::BadRequest(other.to_string()),
-    })?;
+    }
+}
+
+/// Maps a finished [`Run`] back to the dataset's original labels — the one
+/// payload construction shared by `/query`, `/batch` members, and `/diff`
+/// sides, which is what keeps batch member bytes identical to standalone
+/// query bytes.
+fn payload_of(g: &LoadedGraph, run: Run) -> ResponsePayload {
     let rows = run
         .top_k
         .into_iter()
@@ -327,12 +445,12 @@ pub fn run_query_with_progress(
             )
         })
         .collect();
-    Ok(ResponsePayload {
+    ResponsePayload {
         score_name: run.score.as_str(),
         rows,
         empty_worlds: run.stats.empty_worlds,
         truncated: run.stats.truncated,
-    })
+    }
 }
 
 /// Serializes a query response. Field order is fixed; see [`crate::json`]
@@ -573,17 +691,31 @@ impl QueryEngine {
         let own_deadline = req
             .timeout_ms
             .map(|ms| Instant::now() + Duration::from_millis(ms));
+        self.serve_key(req, &graph, &key, own_deadline)
+    }
+
+    /// The cache → in-flight → compute path for an already-resolved
+    /// `(request, snapshot, key)` triple — shared by [`Self::execute`] and
+    /// the joiner side of [`Self::execute_batch`] (which must serve against
+    /// the generation its batch resolved, not a fresh lookup).
+    fn serve_key(
+        &self,
+        req: &QueryRequest,
+        graph: &LoadedGraph,
+        key: &QueryKey,
+        own_deadline: Option<Instant>,
+    ) -> Result<(Arc<Vec<u8>>, ResponseSource), QueryError> {
         // Bounded retries: each iteration either serves the request or
         // observes a *leader* deadline failure (not cached, entry removed),
         // after which this thread re-runs and typically becomes the leader.
         let mut last_err = None;
         for _ in 0..3 {
-            if let Some(body) = self.cache.get(&key) {
+            if let Some(body) = self.cache.get(key) {
                 return Ok((body, ResponseSource::Hit));
             }
             let flight = {
                 let mut map = self.inflight.lock().unwrap();
-                if let Some(existing) = map.get(&key) {
+                if let Some(existing) = map.get(key) {
                     let existing = Arc::clone(existing);
                     drop(map);
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -612,11 +744,11 @@ impl QueryEngine {
             // released and the in-flight entry is removed on every exit path.
             let guard = LeaderGuard {
                 engine: self,
-                key: &key,
+                key,
                 flight: &flight,
                 completed: false,
             };
-            let result = self.compute(req, &graph, own_deadline);
+            let result = self.compute(req, graph, own_deadline);
             guard.finish(result.clone());
             return result.map(|b| (b, ResponseSource::Miss));
         }
@@ -638,6 +770,167 @@ impl QueryEngine {
             run_query_with_progress(graph, req, &ctrl, Some(Arc::clone(&self.worlds) as _))?;
         self.computed.fetch_add(1, Ordering::Relaxed);
         Ok(Arc::new(render_query_response(req, &payload).into_bytes()))
+    }
+
+    /// Executes a batch: every member is keyed and cached exactly like the
+    /// equivalent standalone query, so cached members are served as HITs,
+    /// members already being computed elsewhere are joined (coalesced), and
+    /// only the remaining misses run — all of them over **one** shared world
+    /// stream via [`mpds::QuerySet`], materializing θ worlds once instead of
+    /// once per member. Member responses are bit-identical to standalone
+    /// `execute` responses (the `QuerySet` contract), which is what lets
+    /// them share the cache.
+    ///
+    /// Results come back in member order with each member's
+    /// [`ResponseSource`].
+    pub fn execute_batch(&self, req: &BatchRequest) -> Result<BatchOutcome, QueryError> {
+        req.validate().map_err(QueryError::BadRequest)?;
+        let graph = self
+            .registry
+            .get(&req.dataset)
+            .map_err(QueryError::BadRequest)?;
+        let own_deadline = req
+            .timeout_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms));
+        let requests: Vec<QueryRequest> =
+            req.members.iter().map(|m| req.member_request(m)).collect();
+        let keys: Vec<QueryKey> = requests.iter().map(|r| r.key(graph.generation)).collect();
+        // Classify every member under one in-flight lock: cached members
+        // are done, members someone else is computing will be joined, and
+        // the rest are registered as led flights right here — so concurrent
+        // identical queries (or duplicate members in this very batch)
+        // coalesce onto this batch's single sampling pass.
+        let mut results: Vec<Option<(Arc<Vec<u8>>, ResponseSource)>> = vec![None; keys.len()];
+        let mut joined: Vec<usize> = Vec::new();
+        let mut led: Vec<usize> = Vec::new();
+        let mut flights: Vec<Arc<InFlight>> = Vec::new();
+        {
+            let mut map = self.inflight.lock().unwrap();
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(body) = self.cache.get(key) {
+                    results[i] = Some((body, ResponseSource::Hit));
+                } else if map.contains_key(key) {
+                    joined.push(i);
+                } else {
+                    let flight = Arc::new(InFlight::new());
+                    map.insert(key.clone(), Arc::clone(&flight));
+                    flights.push(flight);
+                    led.push(i);
+                }
+            }
+        }
+        // Compute every led member in one QuerySet pass. The guard releases
+        // followers and unregisters the flights on every exit path,
+        // including a panic in the estimator.
+        if !led.is_empty() {
+            let guard = BatchLeaderGuard {
+                engine: self,
+                keys: led.iter().map(|&i| keys[i].clone()).collect(),
+                flights: &flights,
+                completed: false,
+            };
+            let outcome = self.compute_batch(req, &graph, &led, &requests, own_deadline);
+            match outcome {
+                Ok(bodies) => {
+                    guard.finish(&bodies.iter().map(|b| Ok(Arc::clone(b))).collect::<Vec<_>>());
+                    for (j, &i) in led.iter().enumerate() {
+                        results[i] = Some((Arc::clone(&bodies[j]), ResponseSource::Miss));
+                    }
+                }
+                Err(e) => {
+                    let errs: Vec<Result<Arc<Vec<u8>>, QueryError>> =
+                        led.iter().map(|_| Err(e.clone())).collect();
+                    guard.finish(&errs);
+                    return Err(e);
+                }
+            }
+        }
+        // Joined members wait on their existing flights (or HIT the cache,
+        // e.g. duplicate members of this batch that the pass above already
+        // published). This runs after the led computation, so a duplicate
+        // never deadlocks on its own batch.
+        for i in joined {
+            let (body, source) = self.serve_key(&requests[i], &graph, &keys[i], own_deadline)?;
+            let source = match source {
+                // The member joined someone's in-flight computation or hit
+                // bytes published after classification — both are coalesced
+                // from the batch's point of view (it did not compute them).
+                ResponseSource::Hit | ResponseSource::Coalesced => ResponseSource::Coalesced,
+                ResponseSource::Miss => ResponseSource::Miss,
+            };
+            results[i] = Some((body, source));
+        }
+        Ok(BatchOutcome {
+            results: results.into_iter().map(|r| r.unwrap()).collect(),
+        })
+    }
+
+    /// Runs the led members of a batch over one shared world stream and
+    /// renders each member's standalone-identical response body.
+    fn compute_batch(
+        &self,
+        req: &BatchRequest,
+        graph: &LoadedGraph,
+        led: &[usize],
+        requests: &[QueryRequest],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<Arc<Vec<u8>>>, QueryError> {
+        let mut ctrl = RunControl::unbounded().with_cancel_flag(self.cancel_flag());
+        if let Some(d) = deadline {
+            ctrl = ctrl.with_deadline(d);
+        }
+        let mut set = QuerySet::new()
+            .theta(req.theta)
+            .seed(req.seed)
+            .control(ctrl)
+            .progress(Arc::clone(&self.worlds) as _);
+        for &i in led {
+            let r = &requests[i];
+            let notion = r.validate().map_err(QueryError::BadRequest)?;
+            // Batch members are serial by construction (threads = 1), so
+            // this never trips the QuerySet Exec::Threads rejection.
+            set = set.push(build_query(r, notion, &RunControl::unbounded()));
+        }
+        let batch_run = set.run(&graph.graph).map_err(api_error_to_query_error)?;
+        self.computed.fetch_add(led.len() as u64, Ordering::Relaxed);
+        Ok(batch_run
+            .runs
+            .into_iter()
+            .zip(led)
+            .map(|(run, &i)| {
+                let payload = payload_of(graph, run);
+                Arc::new(render_query_response(&requests[i], &payload).into_bytes())
+            })
+            .collect())
+    }
+
+    /// Runs one query over two datasets under common random numbers and
+    /// returns the rendered diff (see [`mpds::recompute::Recompute`]).
+    /// `req.dataset` is the *after* side; `against` is the *before*
+    /// baseline. Serial only (CRN is one per-snapshot stream), uncached
+    /// (the two-dataset key space is unbounded and diffs are rare).
+    pub fn execute_diff(&self, req: &QueryRequest, against: &str) -> Result<Vec<u8>, QueryError> {
+        let notion = req.validate().map_err(QueryError::BadRequest)?;
+        if req.threads > 1 {
+            return Err(QueryError::BadRequest(
+                "diff runs serially (CRN is one per-snapshot stream); drop threads".to_string(),
+            ));
+        }
+        let after = self
+            .registry
+            .get(&req.dataset)
+            .map_err(QueryError::BadRequest)?;
+        let before = self.registry.get(against).map_err(QueryError::BadRequest)?;
+        let mut ctrl = RunControl::unbounded().with_cancel_flag(self.cancel_flag());
+        if let Some(ms) = req.timeout_ms {
+            ctrl = ctrl.with_deadline(Instant::now() + Duration::from_millis(ms));
+        }
+        let query = build_query(req, notion, &ctrl)
+            .progress(Arc::clone(&self.worlds) as Arc<dyn ProgressSink>);
+        let report = Recompute::new(query)
+            .run(&before.graph, &after.graph)
+            .map_err(api_error_to_query_error)?;
+        Ok(render_diff_response(req, against, &before, &after, &report).into_bytes())
     }
 
     /// Applies one mutation batch to `dataset` (see
@@ -687,6 +980,156 @@ impl Drop for LeaderGuard<'_> {
             self.engine.inflight.lock().unwrap().remove(self.key);
         }
     }
+}
+
+/// The per-member bodies and sources of one [`QueryEngine::execute_batch`],
+/// in member order.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Per-member `(response bytes, how they were obtained)`.
+    pub results: Vec<(Arc<Vec<u8>>, ResponseSource)>,
+}
+
+impl BatchOutcome {
+    /// How many members this batch actually computed (MISS members — the
+    /// ones that shared the single sampling pass).
+    pub fn computed(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|(_, s)| *s == ResponseSource::Miss)
+            .count()
+    }
+}
+
+/// [`LeaderGuard`] for a whole batch: completes every led flight (caching
+/// successes first) and unregisters them, with a drop handler that reports
+/// an internal error so followers are never stranded if the batch panics.
+struct BatchLeaderGuard<'a> {
+    engine: &'a QueryEngine,
+    keys: Vec<QueryKey>,
+    flights: &'a [Arc<InFlight>],
+    completed: bool,
+}
+
+impl BatchLeaderGuard<'_> {
+    fn finish(mut self, results: &[Result<Arc<Vec<u8>>, QueryError>]) {
+        for ((key, flight), result) in self.keys.iter().zip(self.flights).zip(results) {
+            if let Ok(body) = result {
+                self.engine.cache.insert(key.clone(), Arc::clone(body));
+            }
+            flight.complete(result.clone());
+        }
+        let mut map = self.engine.inflight.lock().unwrap();
+        for key in &self.keys {
+            map.remove(key);
+        }
+        drop(map);
+        self.completed = true;
+    }
+}
+
+impl Drop for BatchLeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            for flight in self.flights {
+                flight.complete(Err(QueryError::Internal(
+                    "batch computation panicked".to_string(),
+                )));
+            }
+            let mut map = self.engine.inflight.lock().unwrap();
+            for key in &self.keys {
+                map.remove(key);
+            }
+        }
+    }
+}
+
+/// Serializes a batch response: the shared stream parameters, each member's
+/// body **verbatim** (byte-identical to the equivalent `GET /query` body —
+/// the e2e contract), and the per-member cache sources in member order.
+pub fn render_batch_response(req: &BatchRequest, outcome: &BatchOutcome) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("dataset", &req.dataset)
+        .field_uint("theta", req.theta as u64)
+        .field_uint("seed", req.seed)
+        .field_uint("members", req.members.len() as u64)
+        .field_uint("computed", outcome.computed() as u64)
+        .key("results")
+        .begin_array();
+    for (body, _) in &outcome.results {
+        w.raw(std::str::from_utf8(body).expect("response bodies are UTF-8 JSON"));
+    }
+    w.end_array().key("sources").begin_array();
+    for (_, source) in &outcome.results {
+        w.string(source.as_str());
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+/// Serializes a diff response: the echoed query parameters, both labeled
+/// rankings, and the structured [`mpds::recompute::TopKDiff`]. Node sets on
+/// the *before* side are labeled through `before`'s table, the *after* side
+/// (including `common`) through `after`'s.
+pub fn render_diff_response(
+    req: &QueryRequest,
+    against: &str,
+    before: &LoadedGraph,
+    after: &LoadedGraph,
+    report: &mpds::recompute::RecomputeReport,
+) -> String {
+    let label_rows = |w: &mut JsonWriter, g: &LoadedGraph, rows: &[(Vec<u32>, f64)]| {
+        w.begin_array();
+        for (set, score) in rows {
+            w.begin_object().key("nodes").begin_array();
+            for &v in set {
+                w.uint(g.label_of(v) as u64);
+            }
+            w.end_array().field_float("score", *score).end_object();
+        }
+        w.end_array();
+    };
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("dataset", &req.dataset)
+        .field_str("against", against)
+        .field_str("algo", req.algo.as_str())
+        .field_str("notion", &req.notion)
+        .field_uint("theta", req.theta as u64)
+        .field_uint("k", req.k as u64);
+    if req.algo == Algo::Nds {
+        w.field_uint("lm", req.lm as u64);
+    }
+    w.field_uint("seed", req.seed)
+        .field_bool("heuristic", req.heuristic)
+        .field_str("score", report.after.score.as_str());
+    w.key("before");
+    label_rows(&mut w, before, &report.before.top_k);
+    w.key("after");
+    label_rows(&mut w, after, &report.after.top_k);
+    w.key("entered");
+    label_rows(&mut w, after, &report.diff.entered);
+    w.key("left");
+    label_rows(&mut w, before, &report.diff.left);
+    w.key("common").begin_array();
+    for shift in &report.diff.common {
+        w.begin_object().key("nodes").begin_array();
+        for &v in &shift.set {
+            w.uint(after.label_of(v) as u64);
+        }
+        w.end_array()
+            .field_uint("rank_before", shift.rank_before as u64)
+            .field_uint("rank_after", shift.rank_after as u64)
+            .field_float("score_before", shift.score_before)
+            .field_float("score_after", shift.score_after)
+            .end_object();
+    }
+    w.end_array()
+        .field_bool("unchanged", report.diff.is_unchanged())
+        .field_float("max_abs_score_delta", report.diff.max_abs_score_delta())
+        .end_object();
+    w.finish()
 }
 
 #[cfg(test)]
@@ -979,5 +1422,132 @@ mod tests {
         let s = render_stats("demo", &g);
         assert!(s.starts_with("{\"dataset\":\"demo\",\"nodes\":3,\"edges\":2,"));
         assert!(s.contains("\"prob_quartiles\":[0.5,0.5,0.5]"));
+    }
+
+    /// A karate batch whose members vary only in `k` (theta 64, defaults
+    /// otherwise), plus one NDS member to cross estimators.
+    fn karate_batch(ks: &[usize]) -> BatchRequest {
+        let mut b = BatchRequest::new("karate");
+        b.theta = 64;
+        b.members = ks
+            .iter()
+            .map(|&k| BatchMember {
+                k,
+                ..BatchMember::default()
+            })
+            .collect();
+        b
+    }
+
+    #[test]
+    fn batch_members_are_bit_identical_to_standalone_queries() {
+        // The whole point of QuerySet: one shared world stream must yield
+        // exactly the bytes each member would have produced standalone.
+        let batch_engine = engine();
+        let standalone_engine = engine();
+        let mut req = karate_batch(&[2, 3]);
+        req.members.push(BatchMember {
+            algo: Algo::Nds,
+            k: 4,
+            ..BatchMember::default()
+        });
+        let outcome = batch_engine.execute_batch(&req).unwrap();
+        assert_eq!(outcome.results.len(), 3);
+        assert_eq!(outcome.computed(), 3);
+        for (i, m) in req.members.iter().enumerate() {
+            let (body, source) = &outcome.results[i];
+            assert_eq!(*source, ResponseSource::Miss);
+            let (standalone, _) = standalone_engine.execute(&req.member_request(m)).unwrap();
+            assert_eq!(**body, *standalone, "member {i} bytes diverged");
+        }
+        assert_eq!(batch_engine.stats().computed, 3);
+    }
+
+    #[test]
+    fn batch_populates_the_cache_for_point_queries() {
+        let e = engine();
+        let req = karate_batch(&[2, 3, 4]);
+        let outcome = e.execute_batch(&req).unwrap();
+        for (i, m) in req.members.iter().enumerate() {
+            let (body, source) = e.execute(&req.member_request(m)).unwrap();
+            assert_eq!(source, ResponseSource::Hit, "member {i} should be cached");
+            assert!(Arc::ptr_eq(&body, &outcome.results[i].0));
+        }
+        assert_eq!(e.stats().computed, 3, "point queries recomputed nothing");
+    }
+
+    #[test]
+    fn batch_serves_already_cached_members_from_the_cache() {
+        let e = engine();
+        let req = karate_batch(&[2, 3, 4]);
+        let (cached, _) = e.execute(&req.member_request(&req.members[1])).unwrap();
+        let outcome = e.execute_batch(&req).unwrap();
+        assert_eq!(outcome.results[1].1, ResponseSource::Hit);
+        assert!(Arc::ptr_eq(&outcome.results[1].0, &cached));
+        assert_eq!(outcome.results[0].1, ResponseSource::Miss);
+        assert_eq!(outcome.results[2].1, ResponseSource::Miss);
+        assert_eq!(outcome.computed(), 2, "only the misses were computed");
+    }
+
+    #[test]
+    fn batch_duplicate_members_compute_once() {
+        let e = engine();
+        let req = karate_batch(&[3, 3]);
+        let outcome = e.execute_batch(&req).unwrap();
+        assert_eq!(outcome.results[0].1, ResponseSource::Miss);
+        assert_eq!(outcome.results[1].1, ResponseSource::Coalesced);
+        assert_eq!(outcome.results[0].0, outcome.results[1].0);
+        assert_eq!(e.stats().computed, 1);
+    }
+
+    #[test]
+    fn batch_samples_theta_worlds_once_not_per_member() {
+        // The amortization claim, measured where the harness measures it:
+        // a 4-member batch advances worlds_sampled by θ, not 4θ.
+        let e = engine();
+        let req = karate_batch(&[2, 3, 4, 5]);
+        e.execute_batch(&req).unwrap();
+        assert_eq!(e.stats().worlds_sampled, 64);
+        assert_eq!(e.stats().worlds_requested, 64);
+    }
+
+    #[test]
+    fn batch_validation_errors_name_the_member() {
+        let e = engine();
+        let empty = karate_batch(&[]);
+        let err = e.execute_batch(&empty).unwrap_err();
+        assert!(matches!(&err, QueryError::BadRequest(m) if m.contains("no members")));
+        let mut bad = karate_batch(&[2, 0]);
+        bad.members[1].k = 0;
+        let err = e.execute_batch(&bad).unwrap_err();
+        assert!(matches!(&err, QueryError::BadRequest(m) if m.contains("member 1")));
+        assert_eq!(e.stats().computed, 0);
+    }
+
+    #[test]
+    fn diff_of_a_dataset_against_itself_is_unchanged() {
+        // Same dataset on both sides of the CRN stream: every world is
+        // identical, so the report must be a perfect no-op.
+        let e = engine();
+        let req = karate_req();
+        let body = String::from_utf8(e.execute_diff(&req, "karate").unwrap()).unwrap();
+        assert!(body.contains("\"dataset\":\"karate\",\"against\":\"karate\""));
+        assert!(body.contains("\"entered\":[]"));
+        assert!(body.contains("\"left\":[]"));
+        assert!(body.contains("\"unchanged\":true"));
+        assert!(body.contains("\"max_abs_score_delta\":0"));
+    }
+
+    #[test]
+    fn diff_rejects_threads_and_unknown_baselines() {
+        let e = engine();
+        let mut req = karate_req();
+        req.threads = 2;
+        let err = e.execute_diff(&req, "karate").unwrap_err();
+        assert!(matches!(&err, QueryError::BadRequest(m) if m.contains("serially")));
+        let err = e
+            .execute_diff(&karate_req(), "no-such-dataset")
+            .unwrap_err();
+        assert!(matches!(err, QueryError::BadRequest(_)));
     }
 }

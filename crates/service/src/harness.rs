@@ -694,6 +694,291 @@ pub fn render_churn_report(r: &ChurnReport) -> String {
     s
 }
 
+/// Batch-harness parameters (see [`run_batch`]).
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Members per batch (distinct `(algo, k)` combinations).
+    pub members: usize,
+    /// Measurement rounds (each round uses fresh seeds on both sides).
+    pub rounds: usize,
+    /// Reported in the JSON (the harness cannot observe it remotely).
+    pub server_threads: usize,
+    /// Dataset queried.
+    pub dataset: String,
+    /// Worlds per world stream.
+    pub theta: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7878)),
+            members: 8,
+            rounds: 4,
+            server_threads: 4,
+            dataset: "karate".to_string(),
+            theta: 256,
+        }
+    }
+}
+
+/// Full batch-harness outcome (`BENCH_pr6.json`).
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Configuration echo.
+    pub config: BatchConfig,
+    /// The sequential per-member `/query` side.
+    pub standalone: PhaseStats,
+    /// The `POST /batch` side (one request per round).
+    pub batch: PhaseStats,
+    /// Worlds materialized per member answer, standalone side (θ each).
+    pub standalone_worlds_per_member: f64,
+    /// Worlds materialized per member answer, batch side (θ / members).
+    pub batch_worlds_per_member: f64,
+    /// `standalone_worlds_per_member / batch_worlds_per_member` — the
+    /// amortization factor of the shared world stream.
+    pub amortization_ratio: f64,
+    /// Fraction of post-batch point queries answered `X-Cache: HIT` with
+    /// bytes embedded verbatim in the batch envelope.
+    pub followup_hit_rate: f64,
+    /// Hard failures: non-2xx anywhere, ratio below 2, follow-up misses,
+    /// or unexpected `computed` counts. Empty means `--check` holds.
+    pub violations: Vec<String>,
+}
+
+/// The `(algo, k)` of batch member `j`: k climbs from 2, every fourth
+/// member is NDS — distinct cache keys throughout, both estimators fed by
+/// the one stream.
+pub fn batch_member_spec(j: usize) -> (&'static str, usize) {
+    (if j % 4 == 3 { "nds" } else { "mpds" }, j + 2)
+}
+
+/// Renders the `POST /batch` body for one harness round.
+pub fn batch_body(cfg: &BatchConfig, seed: u64) -> String {
+    use crate::json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("dataset", &cfg.dataset)
+        .field_uint("theta", cfg.theta as u64)
+        .field_uint("seed", seed)
+        .key("members")
+        .begin_array();
+    for j in 0..cfg.members {
+        let (algo, k) = batch_member_spec(j);
+        w.begin_object()
+            .field_str("algo", algo)
+            .field_uint("k", k as u64)
+            .end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+/// Runs the batch-amortization harness against `cfg.addr`.
+///
+/// Per round: (1) issue every member as a sequential standalone `/query`
+/// under one fresh seed and read the `worlds_sampled` delta off `/metrics`
+/// — that is the unamortized cost, θ worlds per member; (2) issue the same
+/// member set as one `POST /batch` under a different fresh seed — the
+/// shared stream must materialize θ worlds total; (3) re-issue every
+/// member as a point `/query` at the batch seed, which must be served
+/// `X-Cache: HIT` with bytes the batch envelope embeds verbatim.
+pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
+    let mut violations = Vec::new();
+    let timeout = Duration::from_secs(120);
+    let worlds_now = |violations: &mut Vec<String>| -> u64 {
+        match http_get(cfg.addr, "/metrics", Duration::from_secs(10)) {
+            Ok(e) => scan_counter(&String::from_utf8_lossy(&e.body), "worlds_sampled")
+                .unwrap_or_else(|| {
+                    violations.push("no worlds_sampled in /metrics".to_string());
+                    0
+                }),
+            Err(e) => {
+                violations.push(format!("could not read /metrics: {e}"));
+                0
+            }
+        }
+    };
+    let member_path = |j: usize, seed: u64| {
+        let (algo, k) = batch_member_spec(j);
+        format!(
+            "/query?dataset={}&theta={}&algo={algo}&k={k}&seed={seed}",
+            cfg.dataset, cfg.theta
+        )
+    };
+
+    let mut standalone_ex: Vec<Exchange> = Vec::new();
+    let mut batch_ex: Vec<Exchange> = Vec::new();
+    let mut standalone_elapsed = Duration::ZERO;
+    let mut batch_elapsed = Duration::ZERO;
+    let mut standalone_worlds = 0u64;
+    let mut batch_worlds = 0u64;
+    let mut followups = 0usize;
+    let mut followup_hits = 0usize;
+
+    for round in 0..cfg.rounds {
+        // Side 1 — standalone: every member its own full estimator run.
+        let seed = 30_000 + round as u64;
+        let w0 = worlds_now(&mut violations);
+        for j in 0..cfg.members {
+            match http_get(cfg.addr, &member_path(j, seed), timeout) {
+                Ok(e) => {
+                    standalone_elapsed += e.latency;
+                    standalone_ex.push(e);
+                }
+                Err(e) => violations.push(format!("round {round} member {j} standalone: {e}")),
+            }
+        }
+        let w1 = worlds_now(&mut violations);
+        standalone_worlds += w1.saturating_sub(w0);
+
+        // Side 2 — batch: the same member set over one shared stream.
+        let seed = 60_000 + round as u64;
+        let body = batch_body(cfg, seed);
+        let envelope = match http_post(cfg.addr, "/batch", body.as_bytes(), timeout) {
+            Ok(e) => {
+                batch_elapsed += e.latency;
+                batch_ex.push(e.clone());
+                if !(200..300).contains(&e.status) {
+                    violations.push(format!(
+                        "round {round}: batch answered {}: {}",
+                        e.status,
+                        String::from_utf8_lossy(&e.body)
+                    ));
+                    continue;
+                }
+                String::from_utf8_lossy(&e.body).into_owned()
+            }
+            Err(e) => {
+                violations.push(format!("round {round}: batch failed: {e}"));
+                continue;
+            }
+        };
+        let w2 = worlds_now(&mut violations);
+        batch_worlds += w2.saturating_sub(w1);
+        if scan_counter(&envelope, "computed") != Some(cfg.members as u64) {
+            violations.push(format!(
+                "round {round}: batch at a fresh seed should compute all {} members",
+                cfg.members
+            ));
+        }
+
+        // Side 3 — follow-up point queries must hit the batch-filled cache
+        // and return exactly the bytes the envelope embeds.
+        for j in 0..cfg.members {
+            match http_get(cfg.addr, &member_path(j, seed), timeout) {
+                Ok(e) => {
+                    followups += 1;
+                    let body = String::from_utf8_lossy(&e.body).into_owned();
+                    if e.x_cache.as_deref() == Some("HIT") && envelope.contains(&body) {
+                        followup_hits += 1;
+                    } else {
+                        violations.push(format!(
+                            "round {round} member {j}: follow-up was {:?}, embedded={}",
+                            e.x_cache,
+                            envelope.contains(&body)
+                        ));
+                    }
+                }
+                Err(e) => violations.push(format!("round {round} member {j} follow-up: {e}")),
+            }
+        }
+    }
+
+    let standalone = phase_stats(&standalone_ex, standalone_elapsed);
+    let batch = phase_stats(&batch_ex, batch_elapsed);
+    for (side, stats) in [("standalone", &standalone), ("batch", &batch)] {
+        if stats.errors > 0 {
+            violations.push(format!("{side}: {} non-2xx responses", stats.errors));
+        }
+    }
+
+    let answers = (cfg.rounds * cfg.members).max(1) as f64;
+    let standalone_worlds_per_member = standalone_worlds as f64 / answers;
+    let batch_worlds_per_member = batch_worlds as f64 / answers;
+    let amortization_ratio = if batch_worlds_per_member > 0.0 {
+        standalone_worlds_per_member / batch_worlds_per_member
+    } else {
+        0.0
+    };
+    if amortization_ratio < 2.0 {
+        violations.push(format!(
+            "amortization ratio {amortization_ratio:.3} below 2 \
+             ({standalone_worlds_per_member:.1} vs {batch_worlds_per_member:.1} worlds/member)"
+        ));
+    }
+    let followup_hit_rate = if followups == 0 {
+        violations.push("no follow-up point queries completed".to_string());
+        0.0
+    } else {
+        followup_hits as f64 / followups as f64
+    };
+
+    BatchReport {
+        config: cfg.clone(),
+        standalone,
+        batch,
+        standalone_worlds_per_member,
+        batch_worlds_per_member,
+        amortization_ratio,
+        followup_hit_rate,
+        violations,
+    }
+}
+
+/// Serializes a batch report in the `BENCH_pr6.json` schema.
+pub fn render_batch_report(r: &BatchReport) -> String {
+    use crate::json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("schema", "mpds-service/batch_harness/v1")
+        .field_str(
+            "note",
+            "batch amortization harness; latencies are machine-dependent, the checked \
+             invariants are zero non-2xx, worlds-per-member amortization ratio >= 2, \
+             and every post-batch point query a cache HIT embedded verbatim in the \
+             batch envelope",
+        )
+        .key("config")
+        .begin_object()
+        .field_str("dataset", &r.config.dataset)
+        .field_uint("members", r.config.members as u64)
+        .field_uint("rounds", r.config.rounds as u64)
+        .field_uint("server_threads", r.config.server_threads as u64)
+        .field_uint("theta", r.config.theta as u64)
+        .end_object()
+        .key("sides")
+        .begin_array();
+    for (name, p) in [("standalone", &r.standalone), ("batch", &r.batch)] {
+        w.begin_object()
+            .field_str("name", name)
+            .field_uint("requests", p.requests as u64)
+            .field_uint("errors", p.errors as u64)
+            .field_float("p50_ms", round3(p.p50_ms))
+            .field_float("p99_ms", round3(p.p99_ms))
+            .end_object();
+    }
+    w.end_array()
+        .field_float(
+            "standalone_worlds_per_member",
+            round3(r.standalone_worlds_per_member),
+        )
+        .field_float("batch_worlds_per_member", round3(r.batch_worlds_per_member))
+        .field_float("amortization_ratio", round3(r.amortization_ratio))
+        .field_float("followup_hit_rate", round3(r.followup_hit_rate))
+        .key("violations")
+        .begin_array();
+    for v in &r.violations {
+        w.string(v);
+    }
+    w.end_array().end_object();
+    let mut s = w.finish();
+    s.push('\n');
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -756,6 +1041,63 @@ mod tests {
         assert!(s.contains("\"schema\":\"mpds-service/churn_harness/v1\""));
         assert!(s.contains("\"generations_monotone\":true"));
         assert!(s.contains("\"post_update_hit_recovery\":1.0"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn batch_member_specs_are_distinct_cache_keys() {
+        let specs: Vec<(&str, usize)> = (0..8).map(batch_member_spec).collect();
+        let unique: std::collections::HashSet<&(&str, usize)> = specs.iter().collect();
+        assert_eq!(unique.len(), specs.len(), "{specs:?}");
+        assert!(specs.iter().any(|(a, _)| *a == "nds"));
+        assert!(specs.iter().any(|(a, _)| *a == "mpds"));
+    }
+
+    #[test]
+    fn batch_body_is_deterministic_and_parseable() {
+        let cfg = BatchConfig {
+            members: 3,
+            ..Default::default()
+        };
+        let body = batch_body(&cfg, 7);
+        assert_eq!(body, batch_body(&cfg, 7));
+        assert!(body.starts_with("{\"dataset\":\"karate\",\"theta\":256,\"seed\":7,"));
+        // The body must round-trip through the server's own parser.
+        let doc = crate::json::JsonValue::parse(&body).unwrap();
+        assert_eq!(
+            doc.get("members")
+                .unwrap()
+                .unwrap()
+                .as_array("m")
+                .unwrap()
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn batch_report_renders_with_schema() {
+        let stats = PhaseStats {
+            requests: 32,
+            errors: 0,
+            throughput_rps: 10.0,
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+        };
+        let r = BatchReport {
+            config: BatchConfig::default(),
+            standalone: stats.clone(),
+            batch: stats,
+            standalone_worlds_per_member: 256.0,
+            batch_worlds_per_member: 32.0,
+            amortization_ratio: 8.0,
+            followup_hit_rate: 1.0,
+            violations: vec![],
+        };
+        let s = render_batch_report(&r);
+        assert!(s.contains("\"schema\":\"mpds-service/batch_harness/v1\""));
+        assert!(s.contains("\"amortization_ratio\":8.0"));
+        assert!(s.contains("\"followup_hit_rate\":1.0"));
         assert!(s.ends_with("}\n"));
     }
 

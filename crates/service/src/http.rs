@@ -20,10 +20,15 @@
 //! | `GET /datasets` | registry listing (name, loaded, shape, generation) |
 //! | `GET /dataset?name=D` | dataset stats (forces construction) |
 //! | `GET /query?dataset=D&…` | MPDS/NDS query (see [`crate::engine`]) |
+//! | `POST /batch` | many queries over one shared world stream (JSON body of member specs; per-member cache keys, misses computed in a single [`mpds::QuerySet`] pass) |
+//! | `GET /diff?dataset=A&against=B&…` | one query over two datasets under common random numbers, diffed (A is the *after* side, B the baseline) |
 //! | `POST /update?dataset=D` | apply a mutation batch (body: `u v p` / `u v -` lines); gated by [`ServerConfig::mutable`] |
 //! | `GET /metrics` | cache/engine/server counters + per-dataset generation/overlay/compactions |
 
-use crate::engine::{Algo, QueryEngine, QueryError, QueryRequest};
+use crate::engine::{
+    Algo, BatchMember, BatchRequest, QueryEngine, QueryError, QueryRequest, MAX_BATCH_MEMBERS,
+};
+use crate::json::JsonValue;
 use crate::json::{error_body, JsonWriter};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -75,6 +80,10 @@ struct ServerState {
     mutable: bool,
     /// Mutation batches applied through `/update`.
     updates: AtomicU64,
+    /// Query batches served through `/batch`.
+    batches: AtomicU64,
+    /// Diffs served through `/diff`.
+    diffs: AtomicU64,
     /// Connections answered 503 at the admission gate.
     rejected: AtomicU64,
     /// Requests fully served (any status).
@@ -112,6 +121,8 @@ impl Server {
             default_timeout: cfg.default_timeout,
             mutable: cfg.mutable,
             updates: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            diffs: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             served: AtomicU64::new(0),
             rejecters: AtomicU64::new(0),
@@ -301,11 +312,13 @@ impl Body {
 fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     let _ = stream.set_read_timeout(Some(state.read_timeout));
     let _ = stream.set_write_timeout(Some(state.read_timeout));
-    // Buffer a request body only for POSTs this server will actually route
-    // to /update: everything else gets its rejection without the server
-    // reading (and holding) up to MAX_BODY attacker-supplied bytes first.
-    let accept_body =
-        |method: &str, path: &str| method == "POST" && path == "/update" && state.mutable;
+    // Buffer a request body only for POSTs this server will actually route:
+    // /update (when mutable) and /batch. Everything else gets its rejection
+    // without the server reading (and holding) up to MAX_BODY
+    // attacker-supplied bytes first.
+    let accept_body = |method: &str, path: &str| {
+        method == "POST" && (path == "/batch" || (path == "/update" && state.mutable))
+    };
     let request = match read_request(&mut stream, accept_body) {
         Ok(r) => r,
         Err(msg) => {
@@ -463,10 +476,55 @@ fn route(
                 },
             }
         }
+        ("GET", "/batch") => (
+            405,
+            "Method Not Allowed",
+            Body::Text(error_body("POST a JSON body of query specs to /batch")),
+            None,
+        ),
+        ("POST", "/batch") => match parse_batch_request(&request.body) {
+            Err(msg) => bad(msg),
+            Ok(mut req) => {
+                // Same compute ceiling as /query: a batch without its own
+                // deadline gets the configured default.
+                if req.timeout_ms.is_none() {
+                    req.timeout_ms = state.default_timeout.map(|d| d.as_millis() as u64);
+                }
+                match state.engine.execute_batch(&req) {
+                    Ok(outcome) => {
+                        state.batches.fetch_add(1, Ordering::Relaxed);
+                        (
+                            200,
+                            "OK",
+                            Body::Text(crate::engine::render_batch_response(&req, &outcome)),
+                            None,
+                        )
+                    }
+                    Err(e) => query_error_response(&e),
+                }
+            }
+        },
+        ("GET", "/diff") => match parse_diff_request(query) {
+            Err(msg) => bad(msg),
+            Ok((mut req, against)) => {
+                // A diff runs the query twice (before + after), so it gets
+                // the same default ceiling as any other computation.
+                if req.timeout_ms.is_none() {
+                    req.timeout_ms = state.default_timeout.map(|d| d.as_millis() as u64);
+                }
+                match state.engine.execute_diff(&req, &against) {
+                    Ok(body) => {
+                        state.diffs.fetch_add(1, Ordering::Relaxed);
+                        (200, "OK", Body::Shared(Arc::new(body)), None)
+                    }
+                    Err(e) => query_error_response(&e),
+                }
+            }
+        },
         ("POST", _) => (
             405,
             "Method Not Allowed",
-            Body::Text(error_body("POST is only accepted on /update")),
+            Body::Text(error_body("POST is only accepted on /update and /batch")),
             None,
         ),
         ("GET", "/") | ("GET", "/healthz") => {
@@ -560,7 +618,9 @@ fn render_metrics(state: &ServerState) -> String {
         .field_uint("worlds_requested", s.worlds_requested)
         .field_uint("rejected", state.rejected.load(Ordering::Relaxed))
         .field_uint("served", state.served.load(Ordering::Relaxed))
-        .field_uint("updates", state.updates.load(Ordering::Relaxed));
+        .field_uint("updates", state.updates.load(Ordering::Relaxed))
+        .field_uint("batches", state.batches.load(Ordering::Relaxed))
+        .field_uint("diffs", state.diffs.load(Ordering::Relaxed));
     // Per-dataset dynamic-graph state (loaded datasets only — listing must
     // never force construction).
     w.key("datasets").begin_array();
@@ -660,7 +720,12 @@ fn percent_decode(s: &str) -> Result<String, String> {
 /// Parses `/query` parameters into a [`QueryRequest`]. Unknown and
 /// duplicate parameters are rejected — same contract as the CLI flags.
 fn parse_query_request(query: &str) -> Result<QueryRequest, String> {
-    let pairs = query_pairs(query)?;
+    parse_query_pairs(&query_pairs(query)?)
+}
+
+/// The pairs-based core of [`parse_query_request`], shared with `/diff`
+/// (which strips its own parameters off the pair list first).
+fn parse_query_pairs(pairs: &[(String, String)]) -> Result<QueryRequest, String> {
     let dataset = pairs
         .iter()
         .find(|(k, _)| k == "dataset")
@@ -668,7 +733,7 @@ fn parse_query_request(query: &str) -> Result<QueryRequest, String> {
         .ok_or("missing parameter \"dataset\"")?;
     let mut req = QueryRequest::new(&dataset);
     let mut seen = std::collections::HashSet::new();
-    for (k, v) in &pairs {
+    for (k, v) in pairs {
         // `density` is an alias of `notion`; canonicalize before the
         // duplicate check so `notion=…&density=…` cannot sneak past it.
         let canonical = if k == "density" { "notion" } else { k.as_str() };
@@ -699,6 +764,103 @@ fn parse_query_request(query: &str) -> Result<QueryRequest, String> {
         }
     }
     Ok(req)
+}
+
+/// Parses `/diff` parameters: the `/query` grammar plus a required
+/// `against` (the baseline dataset), minus `threads` (diffs are serial —
+/// common random numbers are one per-snapshot stream).
+fn parse_diff_request(query: &str) -> Result<(QueryRequest, String), String> {
+    let mut against = None;
+    let mut rest = Vec::new();
+    for (k, v) in query_pairs(query)? {
+        match k.as_str() {
+            "against" => {
+                if against.replace(v).is_some() {
+                    return Err("duplicate parameter \"against\"".to_string());
+                }
+            }
+            "threads" => {
+                return Err(
+                    "diff runs serially (CRN is one per-snapshot stream); drop threads".to_string(),
+                )
+            }
+            _ => rest.push((k, v)),
+        }
+    }
+    let req = parse_query_pairs(&rest)?;
+    let against = against.ok_or("missing parameter \"against\"")?;
+    Ok((req, against))
+}
+
+/// Parses a `POST /batch` JSON body. Shared stream fields live at the top
+/// level; members carry only estimator-side knobs. Unknown and duplicate
+/// keys are rejected — same contract as the query-string grammar.
+fn parse_batch_request(body: &[u8]) -> Result<BatchRequest, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "batch body is not UTF-8".to_string())?;
+    let doc = JsonValue::parse(text).map_err(|e| format!("batch body: {e}"))?;
+    let JsonValue::Object(fields) = &doc else {
+        return Err("batch body must be a JSON object".to_string());
+    };
+    let dataset = doc
+        .get("dataset")?
+        .ok_or("missing field \"dataset\"")?
+        .as_str("dataset")?
+        .to_string();
+    let mut req = BatchRequest::new(&dataset);
+    for (key, value) in fields {
+        match key.as_str() {
+            "dataset" => {}
+            "theta" => req.theta = value.as_usize("theta")?,
+            "seed" => req.seed = value.as_u64("seed")?,
+            "timeout_ms" => req.timeout_ms = Some(value.as_u64("timeout_ms")?),
+            "members" => {
+                for (i, m) in value.as_array("members")?.iter().enumerate() {
+                    req.members.push(parse_batch_member(m, i)?);
+                }
+            }
+            other => return Err(format!("unknown field {other:?}")),
+        }
+    }
+    // Trip the duplicate-key check for every known top-level field.
+    for key in ["dataset", "theta", "seed", "timeout_ms", "members"] {
+        doc.get(key)?;
+    }
+    if req.members.is_empty() {
+        return Err("batch has no members (provide a non-empty \"members\" array)".to_string());
+    }
+    if req.members.len() > MAX_BATCH_MEMBERS {
+        return Err(format!(
+            "batch has {} members (limit {MAX_BATCH_MEMBERS})",
+            req.members.len()
+        ));
+    }
+    Ok(req)
+}
+
+fn parse_batch_member(value: &JsonValue, index: usize) -> Result<BatchMember, String> {
+    let JsonValue::Object(fields) = value else {
+        return Err(format!("member {index}: expected a JSON object"));
+    };
+    let mut m = BatchMember::default();
+    for (key, v) in fields {
+        let what = |name: &str| format!("member {index}: {name}");
+        match key.as_str() {
+            "algo" => m.algo = Algo::parse(v.as_str(&what("algo"))?)?,
+            "notion" | "density" => m.notion = v.as_str(&what("notion"))?.to_string(),
+            "k" => m.k = v.as_usize(&what("k"))?,
+            "lm" => m.lm = v.as_usize(&what("lm"))?,
+            "heuristic" => m.heuristic = v.as_bool(&what("heuristic"))?,
+            other => return Err(format!("member {index}: unknown field {other:?}")),
+        }
+    }
+    for key in ["algo", "notion", "k", "lm", "heuristic"] {
+        value.get(key).map_err(|e| format!("member {index}: {e}"))?;
+    }
+    // `notion`/`density` aliasing cannot slip a duplicate past `get`.
+    if value.get("notion")?.is_some() && value.get("density")?.is_some() {
+        return Err(format!("member {index}: duplicate key \"notion\""));
+    }
+    Ok(m)
 }
 
 #[cfg(test)]
@@ -756,6 +918,82 @@ mod tests {
                 .unwrap_err()
                 .contains("duplicate parameter \"notion\"")
         );
+    }
+
+    #[test]
+    fn diff_request_parsing() {
+        let (req, against) =
+            parse_diff_request("dataset=after&against=before&theta=200&k=3&seed=9").unwrap();
+        assert_eq!(req.dataset, "after");
+        assert_eq!(against, "before");
+        assert_eq!(req.theta, 200);
+        assert_eq!(req.k, 3);
+        assert_eq!(req.seed, 9);
+        assert!(parse_diff_request("dataset=a&theta=5")
+            .unwrap_err()
+            .contains("against"));
+        assert!(parse_diff_request("dataset=a&against=b&against=c")
+            .unwrap_err()
+            .contains("duplicate parameter \"against\""));
+        assert!(parse_diff_request("dataset=a&against=b&threads=2")
+            .unwrap_err()
+            .contains("serially"));
+        assert!(parse_diff_request("dataset=a&against=b&bogus=1")
+            .unwrap_err()
+            .contains("unknown parameter"));
+    }
+
+    #[test]
+    fn batch_request_parsing() {
+        let body = br#"{"dataset":"karate","theta":150,"seed":11,
+            "members":[{"algo":"mpds","notion":"edge","k":2},
+                       {"algo":"nds","k":3,"lm":2,"heuristic":true}]}"#;
+        let req = parse_batch_request(body).unwrap();
+        assert_eq!(req.dataset, "karate");
+        assert_eq!(req.theta, 150);
+        assert_eq!(req.seed, 11);
+        assert_eq!(req.timeout_ms, None);
+        assert_eq!(req.members.len(), 2);
+        assert_eq!(req.members[0].algo, Algo::Mpds);
+        assert_eq!(req.members[0].k, 2);
+        assert_eq!(req.members[1].algo, Algo::Nds);
+        assert_eq!(req.members[1].lm, 2);
+        assert!(req.members[1].heuristic);
+    }
+
+    #[test]
+    fn batch_request_defaults_and_validation() {
+        // Members fall back to the same defaults as /query parameters.
+        let req = parse_batch_request(br#"{"dataset":"d","members":[{}]}"#).unwrap();
+        assert_eq!(req.theta, 320);
+        assert_eq!(req.seed, 42);
+        assert_eq!(req.members[0].algo, Algo::Mpds);
+        assert_eq!(req.members[0].notion, "edge");
+        assert_eq!(req.members[0].k, 5);
+    }
+
+    #[test]
+    fn batch_request_rejections() {
+        let err = |body: &str| parse_batch_request(body.as_bytes()).unwrap_err();
+        assert!(err(r#"{"members":[{}]}"#).contains("dataset"));
+        assert!(err(r#"{"dataset":"d"}"#).contains("members"));
+        assert!(err(r#"{"dataset":"d","members":[]}"#).contains("no members"));
+        assert!(err(r#"{"dataset":"d","members":[{}],"bogus":1}"#).contains("unknown field"));
+        assert!(
+            err(r#"{"dataset":"d","members":[{"bogus":1}]}"#).contains("member 0: unknown field")
+        );
+        assert!(err(r#"{"dataset":"d","theta":1,"theta":2,"members":[{}]}"#).contains("duplicate"));
+        assert!(err(r#"{"dataset":"d","members":[{"k":1},{"k":2,"k":3}]}"#).contains("member 1:"));
+        assert!(
+            err(r#"{"dataset":"d","members":[{"notion":"edge","density":"edge"}]}"#)
+                .contains("duplicate key \"notion\"")
+        );
+        assert!(err("not json").contains("batch body"));
+        let too_many = format!(
+            r#"{{"dataset":"d","members":[{}]}}"#,
+            vec!["{}"; MAX_BATCH_MEMBERS + 1].join(",")
+        );
+        assert!(err(&too_many).contains("limit"));
     }
 
     #[test]

@@ -17,13 +17,16 @@
 //! * [`engine`] — typed [`engine::QueryRequest`]/deterministic JSON
 //!   responses, per-request deadlines via [`mpds::control`], a sharded LRU
 //!   result [`cache`] keyed on the dataset generation (stale entries age
-//!   out, never get served), and in-flight request coalescing;
+//!   out, never get served), in-flight request coalescing, batch
+//!   evaluation ([`engine::BatchRequest`] → one [`mpds::QuerySet`] world
+//!   stream shared across every cache-missing member), and common-random-
+//!   number diffs between two datasets ([`engine::QueryEngine::execute_diff`]);
 //! * [`http`] — a std-only thread-pool HTTP/1.1 front end with a bounded
-//!   admission queue (503 on overload), a gated `POST /update` endpoint,
-//!   and cooperative-cancel shutdown;
-//! * [`harness`] — the loopback load + churn harnesses behind
-//!   `BENCH_pr3.json` / `BENCH_pr5.json` and the CI `service-smoke` /
-//!   `churn-smoke` jobs;
+//!   admission queue (503 on overload), gated `POST /update`, `POST
+//!   /batch` + `GET /diff` endpoints, and cooperative-cancel shutdown;
+//! * [`harness`] — the loopback load + churn + batch harnesses behind
+//!   `BENCH_pr3.json` / `BENCH_pr5.json` / `BENCH_pr6.json` and the CI
+//!   `service-smoke` / `churn-smoke` / `batch-smoke` jobs;
 //! * [`json`] — the byte-stable JSON writer everything serializes through
 //!   (the vendored serde is a no-op shim; determinism is asserted, not
 //!   hoped for).
@@ -35,6 +38,9 @@ pub mod http;
 pub mod json;
 pub mod registry;
 
-pub use engine::{Algo, EngineConfig, QueryEngine, QueryError, QueryRequest, ResponseSource};
+pub use engine::{
+    Algo, BatchMember, BatchOutcome, BatchRequest, EngineConfig, QueryEngine, QueryError,
+    QueryRequest, ResponseSource,
+};
 pub use http::{Server, ServerConfig};
 pub use registry::GraphRegistry;

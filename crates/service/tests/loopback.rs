@@ -1,7 +1,7 @@
 //! End-to-end loopback tests: a real server on an ephemeral port, real HTTP
 //! requests from client threads.
 
-use mpds_service::harness::{http_get, wait_until_healthy, Exchange};
+use mpds_service::harness::{http_get, http_post, wait_until_healthy, Exchange};
 use mpds_service::{EngineConfig, GraphRegistry, QueryEngine, Server, ServerConfig};
 use std::sync::Arc;
 use std::time::Duration;
@@ -172,6 +172,132 @@ fn harness_runs_clean_against_adequately_provisioned_server() {
     assert!(report.repeat_cache_hit_rate > 0.9);
     let rendered = mpds_service::harness::render_report(&report);
     assert!(rendered.contains("\"schema\":\"mpds-service/load_harness/v1\""));
+}
+
+#[test]
+fn batch_bytes_match_sequential_queries_and_fill_the_cache() {
+    // Two independent servers: `standalone` answers each member as its own
+    // /query (its own full estimator run per member); `batched` answers the
+    // same member set as one POST /batch over a shared world stream. The
+    // member bodies must agree byte for byte across the two processes'
+    // worth of state — the QuerySet determinism contract over real HTTP.
+    let standalone = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let batched = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let member_path = |k: usize| format!("/query?dataset=karate&theta=100&k={k}&seed=31");
+
+    let body = br#"{"dataset":"karate","theta":100,"seed":31,
+        "members":[{"k":2},{"k":3},{"k":4}]}"#;
+    let e = http_post(
+        batched.local_addr(),
+        "/batch",
+        body,
+        Duration::from_secs(60),
+    )
+    .unwrap();
+    assert_eq!(e.status, 200, "{}", String::from_utf8_lossy(&e.body));
+    let envelope = String::from_utf8(e.body).unwrap();
+    assert!(envelope.contains("\"members\":3"), "{envelope}");
+    assert!(envelope.contains("\"computed\":3"), "{envelope}");
+    assert!(
+        envelope.contains("\"sources\":[\"MISS\",\"MISS\",\"MISS\"]"),
+        "{envelope}"
+    );
+
+    for k in [2, 3, 4] {
+        let seq = get(&standalone, &member_path(k));
+        assert_eq!(seq.status, 200);
+        let seq_body = String::from_utf8(seq.body).unwrap();
+        assert!(
+            envelope.contains(&seq_body),
+            "batch member k={k} bytes differ from the standalone /query bytes:\n\
+             standalone: {seq_body}\nenvelope: {envelope}"
+        );
+        // The batch populated the cache: the point query is a HIT with the
+        // same bytes.
+        let followup = get(&batched, &member_path(k));
+        assert_eq!(followup.status, 200);
+        assert_eq!(followup.x_cache.as_deref(), Some("HIT"), "k={k}");
+        assert_eq!(String::from_utf8(followup.body).unwrap(), seq_body);
+    }
+
+    // One shared stream: the batch sampled theta worlds once, not three
+    // times (the standalone server's counter shows the unamortized cost).
+    let metrics = String::from_utf8(get(&batched, "/metrics").body).unwrap();
+    assert!(metrics.contains("\"worlds_sampled\":100"), "{metrics}");
+    assert!(metrics.contains("\"batches\":1"), "{metrics}");
+    let metrics = String::from_utf8(get(&standalone, "/metrics").body).unwrap();
+    assert!(metrics.contains("\"worlds_sampled\":300"), "{metrics}");
+
+    // Protocol edges: GET /batch is 405, malformed bodies are 400.
+    assert_eq!(get(&batched, "/batch").status, 405);
+    let e = http_post(
+        batched.local_addr(),
+        "/batch",
+        b"not json",
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    assert_eq!(e.status, 400);
+}
+
+#[test]
+fn diff_endpoint_reports_no_change_against_itself() {
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let e = get(&server, "/diff?dataset=karate&against=karate&theta=64&k=3");
+    assert_eq!(e.status, 200, "{}", String::from_utf8_lossy(&e.body));
+    let text = String::from_utf8(e.body).unwrap();
+    assert!(text.contains("\"dataset\":\"karate\",\"against\":\"karate\""));
+    assert!(text.contains("\"unchanged\":true"), "{text}");
+    let metrics = String::from_utf8(get(&server, "/metrics").body).unwrap();
+    assert!(metrics.contains("\"diffs\":1"), "{metrics}");
+
+    assert_eq!(get(&server, "/diff?dataset=karate").status, 400);
+    assert_eq!(
+        get(&server, "/diff?dataset=karate&against=ghost").status,
+        400
+    );
+    assert_eq!(
+        get(&server, "/diff?dataset=karate&against=karate&threads=2").status,
+        400
+    );
+}
+
+#[test]
+fn batch_harness_runs_clean_and_measures_amortization() {
+    // Miniature of the CI batch-smoke run: the --check invariants must hold
+    // (zero non-2xx, ratio >= 2, follow-up HITs embedded in the envelope).
+    let server = start_server(
+        &EngineConfig {
+            cache_capacity: 512,
+            cache_shards: 8,
+        },
+        &ServerConfig {
+            threads: 4,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    );
+    let cfg = mpds_service::harness::BatchConfig {
+        addr: server.local_addr(),
+        members: 6,
+        rounds: 2,
+        server_threads: 4,
+        dataset: "karate".to_string(),
+        theta: 64,
+    };
+    let report = mpds_service::harness::run_batch(&cfg);
+    assert!(
+        report.violations.is_empty(),
+        "violations: {:?}",
+        report.violations
+    );
+    // Loopback is exact: 6 members standalone = 6 theta, batched = theta.
+    assert_eq!(report.standalone_worlds_per_member, 64.0);
+    assert!((report.batch_worlds_per_member - 64.0 / 6.0).abs() < 1e-9);
+    assert!((report.amortization_ratio - 6.0).abs() < 1e-9);
+    assert_eq!(report.followup_hit_rate, 1.0);
+    let rendered = mpds_service::harness::render_batch_report(&report);
+    assert!(rendered.contains("\"schema\":\"mpds-service/batch_harness/v1\""));
 }
 
 #[test]

@@ -1,20 +1,26 @@
-//! Property-based equivalence: for random graphs and parameter draws, the
-//! `mpds::api` builder produces **bit-identical** results to the legacy
-//! free-function entry points at the same seed — MPDS and NDS, serial and
-//! `Exec::Threads(n)`. This is the contract that makes the deprecated
-//! wrappers safe to delete later.
-
-#![allow(deprecated)] // the whole point is to compare against the legacy API
+//! Property-based pins for the `mpds::api` determinism contract, now that
+//! the legacy free functions (`top_k_mpds`, `top_k_nds`, …) are gone:
+//!
+//! * `.run()` at seed `s` is bit-identical to `.run_with_sampler` over an
+//!   externally-constructed sampler seeded with `s` — the contract the
+//!   legacy wrappers used to witness;
+//! * `Exec::Threads(n)` is bit-identical to composing the per-worker
+//!   sub-streams by hand (worker `w` draws from sub-stream `w`, partial
+//!   results merged in worker order);
+//! * a single-member [`mpds::QuerySet`] is bit-identical to the equivalent
+//!   standalone [`Query`] run, for MPDS and NDS under all three samplers;
+//! * recorded-baseline values (bit-exact `f64`s captured from the legacy
+//!   implementation before its deletion) stay reproducible, so the suite
+//!   guards the historical behaviour without calling the deleted code.
 
 use densest::DensityNotion;
-use mpds::api::{Exec, Query};
-use mpds::estimate::{top_k_mpds, MpdsConfig};
-use mpds::nds::{top_k_nds, NdsConfig};
-use mpds::parallel::parallel_top_k_mpds;
+use mpds::api::{Exec, Query, RunDetails, SamplerKind};
+use mpds::{MpdsResult, NdsResult, QuerySet};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sampling::MonteCarlo;
+use std::collections::HashMap;
 use ugraph::{Graph, NodeId, NodeSet, UncertainGraph};
 
 /// Strategy: a random uncertain graph on up to 6 nodes with edge
@@ -40,55 +46,84 @@ fn arb_uncertain() -> impl Strategy<Value = UncertainGraph> {
     })
 }
 
+fn mpds_details(details: RunDetails) -> MpdsResult {
+    match details {
+        RunDetails::Mpds(r) => r,
+        RunDetails::Nds(_) => unreachable!("MPDS query yields MPDS details"),
+    }
+}
+
+fn nds_details(details: RunDetails) -> NdsResult {
+    match details {
+        RunDetails::Nds(r) => r,
+        RunDetails::Mpds(_) => unreachable!("NDS query yields NDS details"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Serial MPDS: builder ≡ `top_k_mpds` with an equally-seeded MC
-    /// sampler, across both the all-densest default and the §VI-D one-mode
-    /// ablation.
+    /// Serial MPDS: `.run()` at seed `s` ≡ `.run_with_sampler` over an
+    /// equally-seeded MC sampler, across both the all-densest default and
+    /// the §VI-D one-mode ablation.
     #[test]
-    fn builder_serial_mpds_equals_legacy(
+    fn serial_mpds_run_equals_external_sampler(
         ug in arb_uncertain(),
         seed in 0u64..512,
         theta in 1usize..40,
         k in 0usize..4, // k = 0 is the legal degenerate "rank nothing" query
         all_mode in proptest::bool::ANY,
     ) {
-        let mut cfg = MpdsConfig::new(DensityNotion::Edge, theta, k);
-        cfg.all_densest = all_mode;
-        let mut mc = MonteCarlo::new(&ug, StdRng::seed_from_u64(seed));
-        let legacy = top_k_mpds(&ug, &mut mc, &cfg);
-        let run = Query::mpds(DensityNotion::Edge)
+        let query = || Query::mpds(DensityNotion::Edge)
             .theta(theta)
             .k(k)
-            .seed(seed)
-            .all_densest(all_mode)
-            .run(&ug)
-            .unwrap();
-        prop_assert_eq!(&run.top_k, &legacy.top_k);
-        let details = match run.details {
-            mpds::api::RunDetails::Mpds(r) => r,
-            mpds::api::RunDetails::Nds(_) => unreachable!(),
-        };
-        prop_assert_eq!(details.candidates, legacy.candidates);
-        prop_assert_eq!(details.densest_counts, legacy.densest_counts);
-        prop_assert_eq!(details.empty_worlds, legacy.empty_worlds);
-        prop_assert_eq!(details.truncated, legacy.truncated);
+            .all_densest(all_mode);
+        let mut mc = MonteCarlo::new(&ug, StdRng::seed_from_u64(seed));
+        let external = mpds_details(query().run_with_sampler(&ug, &mut mc).unwrap().details);
+        let run = query().seed(seed).run(&ug).unwrap();
+        prop_assert_eq!(&run.top_k, &external.top_k);
+        let details = mpds_details(run.details);
+        prop_assert_eq!(details.candidates, external.candidates);
+        prop_assert_eq!(details.densest_counts, external.densest_counts);
+        prop_assert_eq!(details.empty_worlds, external.empty_worlds);
+        prop_assert_eq!(details.truncated, external.truncated);
     }
 
-    /// Threaded MPDS: builder ≡ `parallel_top_k_mpds` at the same
-    /// `(seed, workers)` — including the worker-order densest-count
-    /// concatenation.
+    /// Threaded MPDS: `Exec::Threads(n)` ≡ composing the per-worker MC
+    /// sub-streams by hand — worker `w` samples its quota from sub-stream
+    /// `w`, candidate counts summed and densest counts concatenated in
+    /// worker order, ranks re-derivable from the merged table.
     #[test]
-    fn builder_threads_mpds_equals_legacy_parallel(
+    fn threads_mpds_equals_composed_worker_streams(
         ug in arb_uncertain(),
         seed in 0u64..512,
         theta in 3usize..40,
         workers in 1usize..4,
     ) {
         prop_assume!(theta >= workers);
-        let cfg = MpdsConfig::new(DensityNotion::Edge, theta, 3);
-        let legacy = parallel_top_k_mpds(&ug, &cfg, seed, workers);
+        let per = theta / workers;
+        let extra = theta % workers;
+        let mut expected_candidates: HashMap<NodeSet, u32> = HashMap::new();
+        let mut expected_counts: Vec<usize> = Vec::new();
+        let mut expected_empty = 0usize;
+        for w in 0..workers {
+            // theta >= workers, so every quota is at least 1.
+            let quota = per + usize::from(w < extra);
+            let mut mc = MonteCarlo::with_stream(&ug, seed, w as u64);
+            let r = mpds_details(
+                Query::mpds(DensityNotion::Edge)
+                    .theta(quota)
+                    .k(3)
+                    .run_with_sampler(&ug, &mut mc)
+                    .unwrap()
+                    .details,
+            );
+            for (set, count) in r.candidates {
+                *expected_candidates.entry(set).or_insert(0) += count;
+            }
+            expected_counts.extend(r.densest_counts);
+            expected_empty += r.empty_worlds;
+        }
         let run = Query::mpds(DensityNotion::Edge)
             .theta(theta)
             .k(3)
@@ -96,47 +131,44 @@ proptest! {
             .exec(Exec::Threads(workers))
             .run(&ug)
             .unwrap();
-        prop_assert_eq!(&run.top_k, &legacy.top_k);
-        let details = match run.details {
-            mpds::api::RunDetails::Mpds(r) => r,
-            mpds::api::RunDetails::Nds(_) => unreachable!(),
-        };
-        prop_assert_eq!(details.candidates, legacy.candidates);
-        prop_assert_eq!(details.densest_counts, legacy.densest_counts);
+        // Every ranked entry's tau must be the merged count over theta.
+        for (set, tau) in &run.top_k {
+            let count = *expected_candidates.get(set).unwrap_or(&0);
+            prop_assert_eq!(*tau, count as f64 / theta as f64);
+        }
+        let details = mpds_details(run.details);
+        prop_assert_eq!(details.candidates, expected_candidates);
+        prop_assert_eq!(details.densest_counts, expected_counts);
+        prop_assert_eq!(details.empty_worlds, expected_empty);
     }
 
-    /// Serial NDS: builder ≡ `top_k_nds` with an equally-seeded MC sampler.
+    /// Serial NDS: `.run()` at seed `s` ≡ `.run_with_sampler` over an
+    /// equally-seeded MC sampler.
     #[test]
-    fn builder_serial_nds_equals_legacy(
+    fn serial_nds_run_equals_external_sampler(
         ug in arb_uncertain(),
         seed in 0u64..512,
         theta in 1usize..40,
-        min_size in 0usize..4, // 0 imposes no size floor (legacy-legal)
+        min_size in 0usize..4, // 0 imposes no size floor
     ) {
-        let cfg = NdsConfig::new(DensityNotion::Edge, theta, 4, min_size);
-        let mut mc = MonteCarlo::new(&ug, StdRng::seed_from_u64(seed));
-        let legacy = top_k_nds(&ug, &mut mc, &cfg);
-        let run = Query::nds(DensityNotion::Edge)
+        let query = || Query::nds(DensityNotion::Edge)
             .theta(theta)
             .k(4)
-            .min_size(min_size)
-            .seed(seed)
-            .run(&ug)
-            .unwrap();
-        prop_assert_eq!(&run.top_k, &legacy.top_k);
-        let details = match run.details {
-            mpds::api::RunDetails::Nds(r) => r,
-            mpds::api::RunDetails::Mpds(_) => unreachable!(),
-        };
-        prop_assert_eq!(details.transactions, legacy.transactions);
-        prop_assert_eq!(details.empty_worlds, legacy.empty_worlds);
+            .min_size(min_size);
+        let mut mc = MonteCarlo::new(&ug, StdRng::seed_from_u64(seed));
+        let external = nds_details(query().run_with_sampler(&ug, &mut mc).unwrap().details);
+        let run = query().seed(seed).run(&ug).unwrap();
+        prop_assert_eq!(&run.top_k, &external.top_k);
+        let details = nds_details(run.details);
+        prop_assert_eq!(details.transactions, external.transactions);
+        prop_assert_eq!(details.empty_worlds, external.empty_worlds);
     }
 
-    /// Threaded NDS (no legacy parallel NDS existed): worker `w` must behave
-    /// exactly like a legacy serial run over MC sub-stream `w` with its
-    /// quota, transactions concatenated in worker order and mined once.
+    /// Threaded NDS: worker `w` must behave exactly like a serial run over
+    /// MC sub-stream `w` with its quota, transactions concatenated in worker
+    /// order and mined once.
     #[test]
-    fn builder_threads_nds_equals_composed_legacy_streams(
+    fn threads_nds_equals_composed_worker_streams(
         ug in arb_uncertain(),
         seed in 0u64..512,
         theta in 3usize..40,
@@ -150,9 +182,16 @@ proptest! {
         for w in 0..workers {
             // theta >= workers, so every quota is at least 1.
             let quota = per + usize::from(w < extra);
-            let cfg = NdsConfig::new(DensityNotion::Edge, quota, 4, 2);
             let mut mc = MonteCarlo::with_stream(&ug, seed, w as u64);
-            let r = top_k_nds(&ug, &mut mc, &cfg);
+            let r = nds_details(
+                Query::nds(DensityNotion::Edge)
+                    .theta(quota)
+                    .k(4)
+                    .min_size(2)
+                    .run_with_sampler(&ug, &mut mc)
+                    .unwrap()
+                    .details,
+            );
             expected_transactions.extend(r.transactions);
             expected_empty += r.empty_worlds;
         }
@@ -170,11 +209,137 @@ proptest! {
             .run(&ug)
             .unwrap();
         prop_assert_eq!(&run.top_k, &expected_top_k);
-        let details = match run.details {
-            mpds::api::RunDetails::Nds(r) => r,
-            mpds::api::RunDetails::Mpds(_) => unreachable!(),
-        };
+        let details = nds_details(run.details);
         prop_assert_eq!(details.transactions, expected_transactions);
         prop_assert_eq!(details.empty_worlds, expected_empty);
     }
+
+    /// A single-member `QuerySet` is bit-identical to the equivalent
+    /// standalone MPDS `Query` run under every sampler.
+    #[test]
+    fn single_member_queryset_equals_standalone_mpds(
+        ug in arb_uncertain(),
+        seed in 0u64..512,
+        theta in 1usize..30,
+        k in 0usize..4,
+    ) {
+        for kind in [SamplerKind::MonteCarlo, SamplerKind::Lp, SamplerKind::Rss] {
+            let member = Query::mpds(DensityNotion::Edge).k(k);
+            let standalone = member
+                .clone()
+                .sampler(kind)
+                .theta(theta)
+                .seed(seed)
+                .run(&ug)
+                .unwrap();
+            let batch = QuerySet::new()
+                .sampler(kind)
+                .theta(theta)
+                .seed(seed)
+                .push(member)
+                .run(&ug)
+                .unwrap();
+            prop_assert_eq!(batch.runs.len(), 1);
+            prop_assert_eq!(batch.stats.worlds_sampled, theta);
+            let run = &batch.runs[0];
+            prop_assert_eq!(&run.top_k, &standalone.top_k);
+            let b = mpds_details(run.details.clone());
+            let s = mpds_details(standalone.details);
+            prop_assert_eq!(b.candidates, s.candidates);
+            prop_assert_eq!(b.densest_counts, s.densest_counts);
+            prop_assert_eq!(b.empty_worlds, s.empty_worlds);
+            prop_assert_eq!(b.truncated, s.truncated);
+        }
+    }
+
+    /// A single-member `QuerySet` is bit-identical to the equivalent
+    /// standalone NDS `Query` run under every sampler.
+    #[test]
+    fn single_member_queryset_equals_standalone_nds(
+        ug in arb_uncertain(),
+        seed in 0u64..512,
+        theta in 1usize..30,
+        min_size in 0usize..4,
+    ) {
+        for kind in [SamplerKind::MonteCarlo, SamplerKind::Lp, SamplerKind::Rss] {
+            let member = Query::nds(DensityNotion::Edge).k(4).min_size(min_size);
+            let standalone = member
+                .clone()
+                .sampler(kind)
+                .theta(theta)
+                .seed(seed)
+                .run(&ug)
+                .unwrap();
+            let batch = QuerySet::new()
+                .sampler(kind)
+                .theta(theta)
+                .seed(seed)
+                .push(member)
+                .run(&ug)
+                .unwrap();
+            prop_assert_eq!(batch.runs.len(), 1);
+            let run = &batch.runs[0];
+            prop_assert_eq!(&run.top_k, &standalone.top_k);
+            let b = nds_details(run.details.clone());
+            let s = nds_details(standalone.details);
+            prop_assert_eq!(b.transactions, s.transactions);
+            prop_assert_eq!(b.empty_worlds, s.empty_worlds);
+        }
+    }
+}
+
+/// Recorded baseline: bit-exact outputs of the Fig. 1 graph at a pinned
+/// `(seed, theta)`, captured from the implementation while the legacy entry
+/// points still existed (they were bit-identical to the builder, witnessed
+/// by the pre-deletion version of this suite). Any drift in sampling order,
+/// candidate aggregation, or tie-breaking shows up here as a bit mismatch.
+#[test]
+fn recorded_baseline_mpds_fig1() {
+    let g = UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)]);
+    let run = Query::mpds(DensityNotion::Edge)
+        .theta(400)
+        .k(4)
+        .seed(1234)
+        .run(&g)
+        .unwrap();
+    let recorded: Vec<(NodeSet, u64)> = vec![
+        (vec![1, 3], 0x3fdc000000000000),
+        (vec![0, 1, 2, 3], 0x3fd0f5c28f5c28f6),
+        (vec![0, 2], 0x3fceb851eb851eb8),
+        (vec![0, 1, 3], 0x3fc47ae147ae147b),
+    ];
+    let got: Vec<(NodeSet, u64)> = run
+        .top_k
+        .iter()
+        .map(|(set, tau)| (set.clone(), tau.to_bits()))
+        .collect();
+    assert_eq!(got, recorded);
+    assert_eq!(run.stats.empty_worlds, 54);
+}
+
+/// Recorded baseline for the NDS path (same graph, seed, and θ — the world
+/// stream is estimator-independent, so `empty_worlds` matches the MPDS run).
+#[test]
+fn recorded_baseline_nds_fig1() {
+    let g = UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)]);
+    let run = Query::nds(DensityNotion::Edge)
+        .theta(400)
+        .k(4)
+        .min_size(2)
+        .seed(1234)
+        .run(&g)
+        .unwrap();
+    let recorded: Vec<(NodeSet, u64)> = vec![
+        (vec![1, 3], 0x3fe651eb851eb852),
+        (vec![0, 1], 0x3fe08f5c28f5c28f),
+        (vec![0, 1, 3], 0x3fdb333333333333),
+        (vec![0, 2], 0x3fd7ae147ae147ae),
+    ];
+    let got: Vec<(NodeSet, u64)> = run
+        .top_k
+        .iter()
+        .map(|(set, gamma)| (set.clone(), gamma.to_bits()))
+        .collect();
+    assert_eq!(got, recorded);
+    assert_eq!(run.stats.empty_worlds, 54);
 }
