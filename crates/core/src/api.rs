@@ -19,7 +19,8 @@
 //! | [`Query::heuristic`] | the core-based heuristic of §III-C |
 //! | [`Query::all_densest`] | the "all vs one densest per world" ablation (§VI-D) |
 //! | [`Query::exec`] | serial, or θ split across worker threads |
-//! | [`Query::control`] | cooperative deadline / cancellation ([`crate::control`]) |
+//! | [`Query::stop`] | termination policy: fixed θ, or the §VI-I "sample until the top-k stops changing" rule ([`Stop::Stable`]) |
+//! | [`Query::control`] | cooperative deadline / cancellation / graceful time budget ([`crate::control`]) |
 //! | [`Query::progress`] | per-world progress callback ([`ProgressSink`]) |
 //!
 //! # Example
@@ -62,8 +63,8 @@
 
 pub mod queryset;
 
-use crate::control::{InterruptReason, Interrupted, RunControl};
-use crate::estimate::{densest_count_stats, select_top_k, MpdsResult};
+use crate::control::{Interrupted, RunControl};
+use crate::estimate::{densest_count_stats, select_top_k, top_k_sets, MpdsResult};
 use crate::nds::NdsResult;
 use densest::{
     all_densest, heuristic::heuristic_dense_subgraphs, max_sized_densest, DensityNotion,
@@ -173,6 +174,69 @@ pub enum Exec {
     /// independent sub-stream of the root seed. Deterministic for a fixed
     /// `(seed, thread count)` pair.
     Threads(usize),
+}
+
+/// When a [`Query`] stops sampling worlds (the paper's §VI-I: θ is picked
+/// empirically by sampling until the returned top-k stops changing —
+/// [`Stop::Stable`] folds that rule into the run itself).
+///
+/// ```
+/// use mpds::api::Stop;
+/// assert_eq!(Stop::default(), Stop::FixedTheta);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stop {
+    /// Sample exactly θ worlds ([`Query::theta`]) — the historical behavior,
+    /// bit-identical to every run before stop policies existed.
+    #[default]
+    FixedTheta,
+    /// Early-stop once the current top-k node sets are unchanged for
+    /// `window` consecutive worlds (compared with
+    /// [`ugraph::nodeset::set_family_similarity`] == 1.0), after at least
+    /// `min_theta` worlds; give up and finish at `theta_cap` worlds if the
+    /// ranking never settles. [`Query::theta`] is ignored. Serial only: the
+    /// rule watches one ordered world stream.
+    Stable {
+        /// Consecutive unchanged-top-k worlds required to stop.
+        window: usize,
+        /// Never stop before this many worlds (guards tiny-sample flukes).
+        min_theta: usize,
+        /// Hard ceiling on sampled worlds.
+        theta_cap: usize,
+    },
+}
+
+/// Why a run stopped sampling, carried in [`RunStats::stop_reason`].
+///
+/// ```
+/// use mpds::api::StopReason;
+/// assert_eq!(StopReason::Completed.as_str(), "completed");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The full world limit was sampled (fixed θ, or a [`Stop::Stable`] run
+    /// that hit `theta_cap` without settling).
+    Completed,
+    /// [`Stop::Stable`] fired: the top-k was unchanged for `window` worlds.
+    Stable,
+    /// The [`RunControl::with_budget`] time budget expired; the estimate
+    /// covers the worlds sampled up to that point.
+    Budget,
+}
+
+impl StopReason {
+    /// Wire/display name — the same strings the serving layer emits.
+    ///
+    /// ```
+    /// assert_eq!(mpds::api::StopReason::Budget.as_str(), "budget");
+    /// ```
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Completed => "completed",
+            StopReason::Stable => "stable",
+            StopReason::Budget => "budget",
+        }
+    }
 }
 
 /// Observer polled once per sampled world, alongside [`RunControl`] — the
@@ -398,9 +462,19 @@ impl Score {
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct RunStats {
-    /// Worlds sampled (the requested θ — interrupted runs return
-    /// [`ApiError::Interrupted`] instead of partial stats).
+    /// Worlds actually sampled — and the divisor of every score in the run.
+    /// Equals the requested θ under [`Stop::FixedTheta`] with no budget;
+    /// smaller when [`Stop::Stable`] fired or a
+    /// [`RunControl::with_budget`] budget expired (see
+    /// [`RunStats::stop_reason`]). Hard-deadline / cancelled runs still
+    /// return [`ApiError::Interrupted`] instead of partial stats.
     pub worlds_sampled: usize,
+    /// Why sampling stopped: the full limit, top-k stability, or an
+    /// exhausted time budget.
+    pub stop_reason: StopReason,
+    /// For [`StopReason::Stable`]: the world count after which the top-k
+    /// never changed again (`worlds_sampled - window`). `None` otherwise.
+    pub converged_at: Option<usize>,
     /// Sampled worlds containing no instance of the density notion.
     pub empty_worlds: usize,
     /// Wall-clock time of the run (sampling + aggregation).
@@ -534,6 +608,7 @@ pub struct Query {
     choice_seed: u64,
     miner_node_cap: usize,
     exec: Exec,
+    stop: Stop,
     control: RunControl,
     progress: Option<Arc<dyn ProgressSink>>,
 }
@@ -554,6 +629,7 @@ impl std::fmt::Debug for Query {
             .field("choice_seed", &self.choice_seed)
             .field("miner_node_cap", &self.miner_node_cap)
             .field("exec", &self.exec)
+            .field("stop", &self.stop)
             .field("control", &self.control)
             .field("progress", &self.progress.as_ref().map(|_| "<sink>"))
             .finish()
@@ -576,6 +652,7 @@ impl Query {
             choice_seed: 0x5eed,
             miner_node_cap: 5_000_000,
             exec: Exec::Serial,
+            stop: Stop::FixedTheta,
             control: RunControl::unbounded(),
             progress: None,
         }
@@ -786,8 +863,36 @@ impl Query {
         self
     }
 
+    /// Chooses the termination policy (default [`Stop::FixedTheta`]).
+    /// [`Stop::Stable`] samples until the top-k ranking is unchanged for a
+    /// window of consecutive worlds — the paper's §VI-I convergence rule,
+    /// folded into the run. A run that stops at `t` worlds is bit-identical
+    /// to a [`Stop::FixedTheta`] run with `theta(t)` and the same seed.
+    ///
+    /// ```
+    /// use densest::DensityNotion;
+    /// use mpds::api::{Query, Stop, StopReason};
+    /// use ugraph::UncertainGraph;
+    ///
+    /// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 0.2)]);
+    /// let run = Query::mpds(DensityNotion::Edge)
+    ///     .k(1)
+    ///     .stop(Stop::Stable { window: 16, min_theta: 16, theta_cap: 4000 })
+    ///     .run(&g)
+    ///     .unwrap();
+    /// assert_eq!(run.stats.stop_reason, StopReason::Stable);
+    /// assert!(run.stats.worlds_sampled < 4000);
+    /// ```
+    pub fn stop(mut self, stop: Stop) -> Self {
+        self.stop = stop;
+        self
+    }
+
     /// Attaches a cooperative deadline / cancellation control, polled once
-    /// per sampled world (default: unbounded).
+    /// per sampled world (default: unbounded). [`RunControl::with_deadline`]
+    /// aborts with [`ApiError::Interrupted`]; [`RunControl::with_budget`]
+    /// instead finishes gracefully with the worlds sampled so far and
+    /// [`StopReason::Budget`] in the stats.
     ///
     /// ```
     /// use densest::DensityNotion;
@@ -832,6 +937,32 @@ impl Query {
         };
         if self.theta == 0 {
             return invalid("theta", "need at least one sampled world".to_string());
+        }
+        if let Stop::Stable {
+            window,
+            min_theta,
+            theta_cap,
+        } = self.stop
+        {
+            if window == 0 {
+                return invalid("stop", "Stable window must be at least 1".to_string());
+            }
+            if theta_cap == 0 {
+                return invalid("stop", "Stable theta_cap must be at least 1".to_string());
+            }
+            if min_theta > theta_cap {
+                return invalid(
+                    "stop",
+                    format!("Stable min_theta {min_theta} exceeds theta_cap {theta_cap}"),
+                );
+            }
+            if let Exec::Threads(_) = self.exec {
+                return Err(ApiError::Unsupported {
+                    message: "Stop::Stable watches one ordered world stream; \
+                              run it with Exec::Serial"
+                        .to_string(),
+                });
+            }
         }
         if let Exec::Threads(workers) = self.exec {
             if workers == 0 {
@@ -921,6 +1052,35 @@ impl Query {
         }
     }
 
+    /// The sampling loop's iteration ceiling: θ under [`Stop::FixedTheta`],
+    /// `theta_cap` under [`Stop::Stable`].
+    fn world_limit(&self) -> usize {
+        match self.stop {
+            Stop::FixedTheta => self.theta,
+            Stop::Stable { theta_cap, .. } => theta_cap,
+        }
+    }
+
+    /// A fresh [`StableTracker`] when this query early-stops on stability.
+    fn stable_tracker(&self) -> Option<StableTracker> {
+        match self.stop {
+            Stop::FixedTheta => None,
+            Stop::Stable {
+                window, min_theta, ..
+            } => Some(StableTracker::new(window, min_theta)),
+        }
+    }
+
+    /// Stamps `converged_at` once the outcome is known: a stable stop at
+    /// `worlds` means the top-k last changed at `worlds - window`.
+    fn note_convergence(&self, outcome: &mut WorldsOutcome) {
+        if outcome.reason == StopReason::Stable {
+            if let Stop::Stable { window, .. } = self.stop {
+                outcome.converged_at = Some(outcome.worlds.saturating_sub(window));
+            }
+        }
+    }
+
     fn run_serial<S: WorldSampler + ?Sized>(
         &self,
         g: &UncertainGraph,
@@ -928,21 +1088,45 @@ impl Query {
         started: Instant,
     ) -> Result<Run, ApiError> {
         let progress = self.progress_sink();
-        progress.begin(self.theta);
+        let limit = self.world_limit();
+        progress.begin(limit);
+        let mut tracker = self.stable_tracker();
         match self.kind {
             Kind::Mpds => {
                 let mut acc = MpdsAccum::new(self);
-                sample_worlds(g, sampler, self.theta, &self.control, progress, |world| {
-                    acc.consume(world, self)
-                })?;
-                Ok(self.finish_mpds(acc, started))
+                let mut outcome =
+                    sample_worlds(g, sampler, limit, &self.control, progress, |world| {
+                        acc.consume(world, self);
+                        match &mut tracker {
+                            None => true,
+                            Some(t) => !t.observe(top_k_sets(&acc.candidates, self.k)),
+                        }
+                    })?;
+                self.note_convergence(&mut outcome);
+                Ok(self.finish_mpds(acc, outcome, started))
             }
             Kind::Nds => {
                 let mut acc = NdsAccum::new(self);
-                sample_worlds(g, sampler, self.theta, &self.control, progress, |world| {
-                    acc.consume(world, self)
-                })?;
-                Ok(self.finish_nds(acc, started))
+                let mut outcome =
+                    sample_worlds(g, sampler, limit, &self.control, progress, |world| {
+                        acc.consume(world, self);
+                        match &mut tracker {
+                            None => true,
+                            Some(t) => {
+                                let (mined, _) = itemset::top_k_closed(
+                                    &acc.transactions,
+                                    self.k,
+                                    self.min_size,
+                                    self.miner_node_cap,
+                                );
+                                let current: Vec<NodeSet> =
+                                    mined.into_iter().map(|c| c.items).collect();
+                                !t.observe(current)
+                            }
+                        }
+                    })?;
+                self.note_convergence(&mut outcome);
+                Ok(self.finish_nds(acc, outcome, started))
             }
         }
     }
@@ -957,12 +1141,13 @@ impl Query {
         progress.begin(self.theta);
         match self.kind {
             Kind::Mpds => {
-                let acc = self.run_workers(g, workers, progress, MpdsAccum::new(self))?;
-                Ok(self.finish_mpds(acc, started))
+                let (acc, outcome) =
+                    self.run_workers(g, workers, progress, MpdsAccum::new(self))?;
+                Ok(self.finish_mpds(acc, outcome, started))
             }
             Kind::Nds => {
-                let acc = self.run_workers(g, workers, progress, NdsAccum::new(self))?;
-                Ok(self.finish_nds(acc, started))
+                let (acc, outcome) = self.run_workers(g, workers, progress, NdsAccum::new(self))?;
+                Ok(self.finish_nds(acc, outcome, started))
             }
         }
     }
@@ -978,10 +1163,10 @@ impl Query {
         workers: usize,
         progress: &dyn ProgressSink,
         seed_acc: A,
-    ) -> Result<A, ApiError> {
+    ) -> Result<(A, WorldsOutcome), ApiError> {
         let per = self.theta / workers;
         let extra = self.theta % workers;
-        let results: Vec<(A, usize, Option<InterruptReason>)> = std::thread::scope(|scope| {
+        let results: Vec<(A, Result<WorldsOutcome, Interrupted>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let quota = per + usize::from(w < extra);
@@ -994,12 +1179,12 @@ impl Query {
                             quota,
                             &self.control,
                             progress,
-                            |world| acc.consume(world, self),
+                            |world| {
+                                acc.consume(world, self);
+                                true
+                            },
                         );
-                        match outcome {
-                            Ok(done) => (acc, done, None),
-                            Err(i) => (acc, i.completed_worlds, Some(i.reason)),
-                        }
+                        (acc, outcome)
                     })
                 })
                 .collect();
@@ -1008,22 +1193,51 @@ impl Query {
                 .map(|h| h.join().expect("estimator worker panicked"))
                 .collect()
         });
-        let completed: usize = results.iter().map(|(_, done, _)| done).sum();
-        if let Some(reason) = results.iter().find_map(|(_, _, r)| *r) {
+        let completed: usize = results
+            .iter()
+            .map(|(_, r)| match r {
+                Ok(o) => o.worlds,
+                Err(i) => i.completed_worlds,
+            })
+            .sum();
+        if let Some(reason) = results
+            .iter()
+            .find_map(|(_, r)| r.as_ref().err().map(|i| i.reason))
+        {
             return Err(ApiError::Interrupted(Interrupted {
                 reason,
                 completed_worlds: completed,
             }));
         }
+        // Workers stop gracefully at different counts when a shared budget
+        // expires; the merged run is Budget if any worker was.
+        let reason = if results
+            .iter()
+            .any(|(_, r)| matches!(r, Ok(o) if o.reason == StopReason::Budget))
+        {
+            StopReason::Budget
+        } else {
+            StopReason::Completed
+        };
         let mut merged = seed_acc;
-        for (partial, _, _) in results {
+        for (partial, _) in results {
             merged.merge(partial);
         }
-        Ok(merged)
+        Ok((
+            merged,
+            WorldsOutcome {
+                worlds: completed,
+                reason,
+                converged_at: None,
+            },
+        ))
     }
 
-    fn finish_mpds(&self, acc: MpdsAccum, started: Instant) -> Run {
-        let top_k = select_top_k(&acc.candidates, self.k, self.theta);
+    fn finish_mpds(&self, acc: MpdsAccum, outcome: WorldsOutcome, started: Instant) -> Run {
+        // The divisor is the achieved world count, so an early-stopped run
+        // is exactly the fixed-θ run at that θ (same stream prefix).
+        let worlds = outcome.worlds;
+        let top_k = select_top_k(&acc.candidates, self.k, worlds);
         let summary = if acc.densest_counts.is_empty() {
             None
         } else {
@@ -1032,7 +1246,7 @@ impl Query {
         let result = MpdsResult {
             top_k: top_k.clone(),
             candidates: acc.candidates,
-            theta: self.theta,
+            theta: worlds,
             empty_worlds: acc.empty_worlds,
             densest_counts: acc.densest_counts,
             truncated: acc.truncated,
@@ -1041,7 +1255,9 @@ impl Query {
             top_k,
             score: Score::TauHat,
             stats: RunStats {
-                worlds_sampled: self.theta,
+                worlds_sampled: worlds,
+                stop_reason: outcome.reason,
+                converged_at: outcome.converged_at,
                 empty_worlds: result.empty_worlds,
                 wall: started.elapsed(),
                 truncated: result.truncated,
@@ -1051,7 +1267,8 @@ impl Query {
         }
     }
 
-    fn finish_nds(&self, acc: NdsAccum, started: Instant) -> Run {
+    fn finish_nds(&self, acc: NdsAccum, outcome: WorldsOutcome, started: Instant) -> Run {
+        let worlds = outcome.worlds;
         let (mined, miner_capped) = itemset::top_k_closed(
             &acc.transactions,
             self.k,
@@ -1060,12 +1277,12 @@ impl Query {
         );
         let top_k: Vec<(NodeSet, f64)> = mined
             .into_iter()
-            .map(|c| (c.items, c.support as f64 / self.theta as f64))
+            .map(|c| (c.items, c.support as f64 / worlds as f64))
             .collect();
         let result = NdsResult {
             top_k: top_k.clone(),
             transactions: acc.transactions,
-            theta: self.theta,
+            theta: worlds,
             empty_worlds: acc.empty_worlds,
             miner_capped,
         };
@@ -1073,7 +1290,9 @@ impl Query {
             top_k,
             score: Score::GammaHat,
             stats: RunStats {
-                worlds_sampled: self.theta,
+                worlds_sampled: worlds,
+                stop_reason: outcome.reason,
+                converged_at: outcome.converged_at,
                 empty_worlds: result.empty_worlds,
                 wall: started.elapsed(),
                 truncated: miner_capped,
@@ -1084,34 +1303,106 @@ impl Query {
     }
 }
 
+/// How a [`sample_worlds`] loop ended: how many worlds it drew and why it
+/// stopped. `converged_at` is stamped by the caller (only it knows the
+/// stable window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct WorldsOutcome {
+    /// Worlds fully sampled and consumed.
+    pub worlds: usize,
+    /// Why the loop stopped.
+    pub reason: StopReason,
+    /// For stable stops: the world count after which the top-k was frozen.
+    pub converged_at: Option<usize>,
+}
+
 /// THE sampling loop: every estimator, sampler, and execution mode runs
 /// through this one function (serial runs call it once, `Exec::Threads`
-/// workers once each). Per iteration: poll the [`RunControl`], draw a world
+/// workers once each). Per iteration: poll the [`RunControl`] (abortive
+/// deadline / cancellation), check the graceful time budget, draw a world
 /// into the recycled mask + CSR storage (zero steady-state allocation),
-/// hand it to the accumulator, notify the [`ProgressSink`].
+/// hand it to the accumulator, notify the [`ProgressSink`]. The
+/// accumulator's `per_world` return steers early stopping: `false` ends the
+/// loop with [`StopReason::Stable`]. An exhausted budget ends it with
+/// [`StopReason::Budget`] — but never before the first world, so a budgeted
+/// run always returns a (minimal) estimate.
 pub(crate) fn sample_worlds<S: WorldSampler + ?Sized>(
     g: &UncertainGraph,
     sampler: &mut S,
-    theta: usize,
+    limit: usize,
     ctrl: &RunControl,
     progress: &dyn ProgressSink,
-    mut per_world: impl FnMut(&Graph),
-) -> Result<usize, Interrupted> {
+    mut per_world: impl FnMut(&Graph) -> bool,
+) -> Result<WorldsOutcome, Interrupted> {
     let mut mask = EdgeMask::new(g.num_edges());
     let mut world = Graph::default();
-    for completed in 0..theta {
+    for completed in 0..limit {
         if let Some(reason) = ctrl.interruption() {
             return Err(Interrupted {
                 reason,
                 completed_worlds: completed,
             });
         }
+        if completed > 0 && ctrl.budget_exhausted() {
+            return Ok(WorldsOutcome {
+                worlds: completed,
+                reason: StopReason::Budget,
+                converged_at: None,
+            });
+        }
         sampler.next_mask_into(&mut mask);
         world = g.world_from_bitmap(&mask, world);
-        per_world(&world);
+        let keep_going = per_world(&world);
         progress.world_done();
+        if !keep_going {
+            return Ok(WorldsOutcome {
+                worlds: completed + 1,
+                reason: StopReason::Stable,
+                converged_at: None,
+            });
+        }
     }
-    Ok(theta)
+    Ok(WorldsOutcome {
+        worlds: limit,
+        reason: StopReason::Completed,
+        converged_at: None,
+    })
+}
+
+/// Watches the per-world top-k under [`Stop::Stable`]: counts how many
+/// consecutive worlds left the ranking unchanged (family similarity 1.0)
+/// and says stop once the streak reaches the window past `min_theta`.
+struct StableTracker {
+    window: usize,
+    min_theta: usize,
+    worlds: usize,
+    streak: usize,
+    prev: Option<Vec<NodeSet>>,
+}
+
+impl StableTracker {
+    fn new(window: usize, min_theta: usize) -> Self {
+        StableTracker {
+            window,
+            min_theta,
+            worlds: 0,
+            streak: 0,
+            prev: None,
+        }
+    }
+
+    /// Feeds the top-k after one more world; `true` means stop now.
+    fn observe(&mut self, current: Vec<NodeSet>) -> bool {
+        self.worlds += 1;
+        match &self.prev {
+            Some(prev) if ugraph::nodeset::set_family_similarity(prev, &current) >= 1.0 => {
+                self.streak += 1;
+            }
+            _ => self.streak = 0,
+        }
+        self.prev = Some(current);
+        self.worlds >= self.min_theta && self.streak >= self.window
+    }
 }
 
 /// A per-worker partial result: consumes worlds, merges in worker order.
@@ -1241,6 +1532,7 @@ impl Accum for NdsAccum {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::control::InterruptReason;
 
     fn fig1() -> UncertainGraph {
         UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)])
@@ -1271,7 +1563,7 @@ mod tests {
         use crate::api::{
             queryset::{BatchRun, BatchStats, QuerySet},
             ApiError, Exec, NoProgress, ProgressCounter, ProgressSink, Query, Run, RunDetails,
-            RunStats, SamplerKind, Score,
+            RunStats, SamplerKind, Score, Stop, StopReason,
         };
         // Constructor and terminal signatures are part of the contract.
         let _mpds: fn(DensityNotion) -> Query = Query::mpds;
@@ -1286,6 +1578,19 @@ mod tests {
         let _variants = [SamplerKind::MonteCarlo, SamplerKind::Lp, SamplerKind::Rss];
         let _modes = [Exec::Serial, Exec::Threads(2)];
         let _scores = [Score::TauHat, Score::GammaHat];
+        let _stops = [
+            Stop::FixedTheta,
+            Stop::Stable {
+                window: 8,
+                min_theta: 8,
+                theta_cap: 100,
+            },
+        ];
+        let _reasons = [
+            StopReason::Completed,
+            StopReason::Stable,
+            StopReason::Budget,
+        ];
     }
 
     /// The serial seeding contract: `run()` with seed `s` is bit-identical
@@ -1558,6 +1863,208 @@ mod tests {
         let b = q.run(&g).unwrap();
         assert_eq!(a.top_k, b.top_k);
         assert!(!a.top_k.is_empty());
+    }
+
+    /// An already-expired budget still samples exactly one world and the
+    /// result is bit-identical to a fixed-θ run with θ = 1 — the graceful
+    /// counterpart of the abortive expired-deadline test above.
+    #[test]
+    fn expired_budget_returns_a_one_world_estimate() {
+        use std::time::Duration;
+        let g = fig1();
+        let spent = RunControl::unbounded().with_budget(Instant::now() - Duration::from_millis(1));
+        let run = Query::mpds(DensityNotion::Edge)
+            .theta(10_000)
+            .k(3)
+            .seed(7)
+            .control(spent)
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.stats.stop_reason, StopReason::Budget);
+        assert_eq!(run.stats.worlds_sampled, 1);
+        assert_eq!(run.stats.converged_at, None);
+        let one = Query::mpds(DensityNotion::Edge)
+            .theta(1)
+            .k(3)
+            .seed(7)
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.top_k, one.top_k);
+        assert_eq!(mpds_details(run).candidates, mpds_details(one).candidates);
+    }
+
+    /// A threaded run under an expired budget still merges one world per
+    /// worker instead of aborting.
+    #[test]
+    fn expired_budget_under_threads_is_graceful() {
+        use std::time::Duration;
+        let g = fig1();
+        let spent = RunControl::unbounded().with_budget(Instant::now() - Duration::from_millis(1));
+        let run = Query::mpds(DensityNotion::Edge)
+            .theta(1000)
+            .k(3)
+            .control(spent)
+            .exec(Exec::Threads(2))
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.stats.stop_reason, StopReason::Budget);
+        assert_eq!(run.stats.worlds_sampled, 2); // one world per worker
+    }
+
+    /// The tentpole guarantee: a `Stop::Stable` run that stops at `t`
+    /// worlds is bit-identical to `Stop::FixedTheta` with `theta(t)` under
+    /// the same seed (same stream prefix, same divisor).
+    #[test]
+    fn stable_stop_is_bit_identical_to_fixed_theta_at_the_stop_point() {
+        let g = fig1();
+        let stable = Query::mpds(DensityNotion::Edge)
+            .k(2)
+            .seed(11)
+            .stop(Stop::Stable {
+                window: 24,
+                min_theta: 24,
+                theta_cap: 6000,
+            })
+            .run(&g)
+            .unwrap();
+        assert_eq!(stable.stats.stop_reason, StopReason::Stable);
+        let t = stable.stats.worlds_sampled;
+        assert!(t < 6000, "expected an early stop, sampled {t}");
+        assert_eq!(stable.stats.converged_at, Some(t - 24));
+        let fixed = Query::mpds(DensityNotion::Edge)
+            .k(2)
+            .seed(11)
+            .theta(t)
+            .run(&g)
+            .unwrap();
+        assert_eq!(stable.top_k, fixed.top_k);
+        assert_eq!(
+            mpds_details(stable).candidates,
+            mpds_details(fixed).candidates
+        );
+    }
+
+    /// `min_theta` floors the stop even when the top-k is stable from the
+    /// first world (a certain graph never changes its ranking).
+    #[test]
+    fn stable_respects_the_min_theta_floor() {
+        let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let run = Query::mpds(DensityNotion::Edge)
+            .k(1)
+            .stop(Stop::Stable {
+                window: 4,
+                min_theta: 50,
+                theta_cap: 500,
+            })
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.stats.stop_reason, StopReason::Stable);
+        assert!(run.stats.worlds_sampled >= 50);
+    }
+
+    /// A ranking that never settles runs to `theta_cap` and reports
+    /// `Completed`, exactly like a fixed-θ run at the cap.
+    #[test]
+    fn stable_that_never_settles_completes_at_the_cap() {
+        let g = fig1();
+        let run = Query::mpds(DensityNotion::Edge)
+            .k(4)
+            .seed(5)
+            .stop(Stop::Stable {
+                window: 1000,
+                min_theta: 1,
+                theta_cap: 20,
+            })
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.stats.stop_reason, StopReason::Completed);
+        assert_eq!(run.stats.worlds_sampled, 20);
+        assert_eq!(run.stats.converged_at, None);
+        let fixed = Query::mpds(DensityNotion::Edge)
+            .k(4)
+            .seed(5)
+            .theta(20)
+            .run(&g)
+            .unwrap();
+        assert_eq!(run.top_k, fixed.top_k);
+    }
+
+    /// NDS supports `Stop::Stable` too, with the same fixed-θ equivalence.
+    #[test]
+    fn stable_nds_matches_fixed_theta_at_the_stop_point() {
+        let g = fig1();
+        let stable = Query::nds(DensityNotion::Edge)
+            .k(2)
+            .min_size(2)
+            .seed(3)
+            .stop(Stop::Stable {
+                window: 24,
+                min_theta: 24,
+                theta_cap: 4000,
+            })
+            .run(&g)
+            .unwrap();
+        assert_eq!(stable.stats.stop_reason, StopReason::Stable);
+        let t = stable.stats.worlds_sampled;
+        let fixed = Query::nds(DensityNotion::Edge)
+            .k(2)
+            .min_size(2)
+            .seed(3)
+            .theta(t)
+            .run(&g)
+            .unwrap();
+        assert_eq!(stable.top_k, fixed.top_k);
+        assert_eq!(
+            nds_details(stable).transactions,
+            nds_details(fixed).transactions
+        );
+    }
+
+    #[test]
+    fn stable_stop_validation_and_threads_rejection() {
+        let g = fig1();
+        let bad = |stop: Stop| {
+            let err = Query::mpds(DensityNotion::Edge).stop(stop).run(&g);
+            assert!(
+                matches!(err, Err(ApiError::InvalidParameter { param: "stop", .. })),
+                "{stop:?}"
+            );
+        };
+        bad(Stop::Stable {
+            window: 0,
+            min_theta: 1,
+            theta_cap: 10,
+        });
+        bad(Stop::Stable {
+            window: 1,
+            min_theta: 1,
+            theta_cap: 0,
+        });
+        bad(Stop::Stable {
+            window: 1,
+            min_theta: 20,
+            theta_cap: 10,
+        });
+        let err = Query::mpds(DensityNotion::Edge)
+            .stop(Stop::Stable {
+                window: 8,
+                min_theta: 8,
+                theta_cap: 100,
+            })
+            .exec(Exec::Threads(2))
+            .run(&g);
+        assert!(matches!(err, Err(ApiError::Unsupported { .. })));
+    }
+
+    /// Fixed-θ runs report `Completed` and the full θ — the default stats
+    /// shape every pre-existing caller relies on.
+    #[test]
+    fn fixed_theta_stats_report_completed() {
+        let g = fig1();
+        let run = Query::mpds(DensityNotion::Edge).theta(30).run(&g).unwrap();
+        assert_eq!(run.stats.stop_reason, StopReason::Completed);
+        assert_eq!(run.stats.worlds_sampled, 30);
+        assert_eq!(run.stats.converged_at, None);
     }
 
     #[test]

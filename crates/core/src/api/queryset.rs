@@ -65,9 +65,10 @@
 
 use super::{
     sample_worlds, Accum, ApiError, Exec, Kind, MpdsAccum, NdsAccum, NoProgress, ProgressSink,
-    Query, Run, SamplerKind,
+    Query, Run, SamplerKind, StableTracker, Stop, StopReason,
 };
 use crate::control::RunControl;
+use crate::estimate::top_k_sets;
 use sampling::WorldSampler;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -99,6 +100,7 @@ pub struct QuerySet {
     sampler: SamplerKind,
     theta: usize,
     seed: u64,
+    stop: Stop,
     control: RunControl,
     progress: Option<Arc<dyn ProgressSink>>,
     members: Vec<Query>,
@@ -110,6 +112,7 @@ impl std::fmt::Debug for QuerySet {
             .field("sampler", &self.sampler)
             .field("theta", &self.theta)
             .field("seed", &self.seed)
+            .field("stop", &self.stop)
             .field("control", &self.control)
             .field("progress", &self.progress.as_ref().map(|_| "<sink>"))
             .field("members", &self.members)
@@ -144,6 +147,7 @@ impl QuerySet {
             sampler: SamplerKind::MonteCarlo,
             theta: 320,
             seed: 42,
+            stop: Stop::FixedTheta,
             control: RunControl::unbounded(),
             progress: None,
             members: Vec::new(),
@@ -202,9 +206,34 @@ impl QuerySet {
         self
     }
 
+    /// Chooses the shared termination policy (default
+    /// [`Stop::FixedTheta`]), superseding whatever the members carry — like
+    /// every stream knob. Under [`Stop::Stable`] the batch stops at the
+    /// first world where **every** member's top-k has been unchanged for
+    /// the window; each member's result is then bit-identical to its
+    /// standalone fixed-θ run at that joint stop point.
+    ///
+    /// ```
+    /// use mpds::api::queryset::QuerySet;
+    /// use mpds::api::Stop;
+    /// let set = QuerySet::new().stop(Stop::Stable {
+    ///     window: 16,
+    ///     min_theta: 16,
+    ///     theta_cap: 4000,
+    /// });
+    /// assert!(format!("{set:?}").contains("Stable"));
+    /// ```
+    pub fn stop(mut self, stop: Stop) -> Self {
+        self.stop = stop;
+        self
+    }
+
     /// Attaches a cooperative deadline / cancellation control, polled once
     /// per sampled world (default: unbounded). One interruption aborts the
-    /// whole batch — members never return partial results.
+    /// whole batch — members never return partial results. A graceful
+    /// [`RunControl::with_budget`] budget instead stops the shared stream
+    /// and every member reports [`StopReason::Budget`] over the same
+    /// (shorter) world prefix.
     ///
     /// ```
     /// use densest::DensityNotion;
@@ -308,6 +337,30 @@ impl QuerySet {
                 message: "need at least one sampled world".to_string(),
             });
         }
+        if let Stop::Stable {
+            window,
+            min_theta,
+            theta_cap,
+        } = self.stop
+        {
+            let invalid = |message: String| {
+                Err(ApiError::InvalidParameter {
+                    param: "stop",
+                    message,
+                })
+            };
+            if window == 0 {
+                return invalid("Stable window must be at least 1".to_string());
+            }
+            if theta_cap == 0 {
+                return invalid("Stable theta_cap must be at least 1".to_string());
+            }
+            if min_theta > theta_cap {
+                return invalid(format!(
+                    "Stable min_theta {min_theta} exceeds theta_cap {theta_cap}"
+                ));
+            }
+        }
         let mut members = Vec::with_capacity(self.members.len());
         for member in &self.members {
             if let Exec::Threads(_) = member.exec {
@@ -323,6 +376,10 @@ impl QuerySet {
             q.sampler = self.sampler;
             q.theta = self.theta;
             q.seed = self.seed;
+            // Stability is decided jointly by the set (see run_serial), so
+            // members run as plain fixed-θ estimators over the shared
+            // stream.
+            q.stop = Stop::FixedTheta;
             q.control = self.control.clone();
             q.progress = None;
             q.validate()?;
@@ -409,7 +466,11 @@ impl QuerySet {
             Some(sink) => sink.as_ref(),
             None => &NoProgress,
         };
-        progress.begin(self.theta);
+        let limit = match self.stop {
+            Stop::FixedTheta => self.theta,
+            Stop::Stable { theta_cap, .. } => theta_cap,
+        };
+        progress.begin(limit);
         enum MemberAccum {
             Mpds(MpdsAccum),
             Nds(NdsAccum),
@@ -421,25 +482,68 @@ impl QuerySet {
                 Kind::Nds => MemberAccum::Nds(NdsAccum::new(q)),
             })
             .collect();
-        sample_worlds(g, sampler, self.theta, &self.control, progress, |world| {
+        // One tracker per member under Stop::Stable: the batch stops at the
+        // first world where every member is simultaneously stable.
+        let mut trackers: Option<Vec<StableTracker>> = match self.stop {
+            Stop::FixedTheta => None,
+            Stop::Stable {
+                window, min_theta, ..
+            } => Some(
+                members
+                    .iter()
+                    .map(|_| StableTracker::new(window, min_theta))
+                    .collect(),
+            ),
+        };
+        let mut outcome = sample_worlds(g, sampler, limit, &self.control, progress, |world| {
             for (accum, q) in accums.iter_mut().zip(&members) {
                 match accum {
                     MemberAccum::Mpds(a) => a.consume(world, q),
                     MemberAccum::Nds(a) => a.consume(world, q),
                 }
             }
+            match &mut trackers {
+                None => true,
+                Some(ts) => {
+                    let mut all_stable = true;
+                    for ((t, accum), q) in ts.iter_mut().zip(&accums).zip(&members) {
+                        let current = match accum {
+                            MemberAccum::Mpds(a) => top_k_sets(&a.candidates, q.k),
+                            MemberAccum::Nds(a) => itemset::top_k_closed(
+                                &a.transactions,
+                                q.k,
+                                q.min_size,
+                                q.miner_node_cap,
+                            )
+                            .0
+                            .into_iter()
+                            .map(|c| c.items)
+                            .collect(),
+                        };
+                        all_stable &= t.observe(current);
+                    }
+                    !all_stable
+                }
+            }
         })?;
+        if outcome.reason == StopReason::Stable {
+            if let Stop::Stable { window, .. } = self.stop {
+                outcome.converged_at = Some(outcome.worlds.saturating_sub(window));
+            }
+        }
         let runs: Vec<Run> = accums
             .into_iter()
             .zip(&members)
             .map(|(accum, q)| match accum {
-                MemberAccum::Mpds(a) => q.finish_mpds(a, started),
-                MemberAccum::Nds(a) => q.finish_nds(a, started),
+                MemberAccum::Mpds(a) => q.finish_mpds(a, outcome, started),
+                MemberAccum::Nds(a) => q.finish_nds(a, outcome, started),
             })
             .collect();
         Ok(BatchRun {
             stats: BatchStats {
-                worlds_sampled: self.theta,
+                worlds_sampled: outcome.worlds,
+                stop_reason: outcome.reason,
+                converged_at: outcome.converged_at,
                 members: runs.len(),
                 wall: started.elapsed(),
             },
@@ -472,9 +576,16 @@ impl QuerySet {
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct BatchStats {
-    /// Worlds materialized for the whole batch — θ, independent of the
-    /// member count (standalone runs would pay `members × θ`).
+    /// Worlds materialized for the whole batch — independent of the member
+    /// count (standalone runs would pay `members × worlds`). Equals θ under
+    /// [`Stop::FixedTheta`] with no budget; smaller when [`Stop::Stable`]
+    /// fired or the shared budget expired.
     pub worlds_sampled: usize,
+    /// Why the shared stream stopped (every member shares it).
+    pub stop_reason: StopReason,
+    /// For stable stops: the world count after which no member's top-k
+    /// changed again. `None` otherwise.
+    pub converged_at: Option<usize>,
     /// Number of member queries evaluated.
     pub members: usize,
     /// Wall-clock time of the batch (sampling + every member's
@@ -671,6 +782,79 @@ mod tests {
             }
             other => panic!("expected interruption, got {other:?}"),
         }
+    }
+
+    /// Under `Stop::Stable` the batch stops at the first world where every
+    /// member is simultaneously stable, and each member equals its
+    /// standalone fixed-θ run at that joint stop point.
+    #[test]
+    fn stable_batch_stops_jointly_and_members_match_fixed_theta() {
+        use crate::api::Stop;
+        let g = fig1();
+        let members = [
+            Query::mpds(DensityNotion::Edge).k(2),
+            Query::nds(DensityNotion::Edge).k(2).min_size(2),
+        ];
+        let mut set = QuerySet::new().seed(19).stop(Stop::Stable {
+            window: 24,
+            min_theta: 24,
+            theta_cap: 6000,
+        });
+        for m in &members {
+            set = set.push(m.clone());
+        }
+        let batch = set.run(&g).unwrap();
+        assert_eq!(batch.stats.stop_reason, StopReason::Stable);
+        let t = batch.stats.worlds_sampled;
+        assert!(t < 6000, "expected an early stop, sampled {t}");
+        assert_eq!(batch.stats.converged_at, Some(t - 24));
+        for (run, member) in batch.runs.iter().zip(&members) {
+            assert_eq!(run.stats.worlds_sampled, t);
+            assert_eq!(run.stats.stop_reason, StopReason::Stable);
+            let alone = member.clone().theta(t).seed(19).run(&g).unwrap();
+            assert_eq!(run.top_k, alone.top_k);
+        }
+    }
+
+    /// An expired shared budget stops the batch gracefully after one world;
+    /// every member reports Budget over the same prefix.
+    #[test]
+    fn expired_budget_stops_the_batch_after_one_world() {
+        use std::time::Duration;
+        let g = fig1();
+        let spent = RunControl::unbounded().with_budget(Instant::now() - Duration::from_millis(1));
+        let batch = QuerySet::new()
+            .theta(5000)
+            .control(spent)
+            .push(Query::mpds(DensityNotion::Edge))
+            .push(Query::nds(DensityNotion::Edge))
+            .run(&g)
+            .unwrap();
+        assert_eq!(batch.stats.stop_reason, StopReason::Budget);
+        assert_eq!(batch.stats.worlds_sampled, 1);
+        for run in &batch.runs {
+            assert_eq!(run.stats.stop_reason, StopReason::Budget);
+            assert_eq!(run.stats.worlds_sampled, 1);
+        }
+    }
+
+    #[test]
+    fn invalid_set_stop_is_rejected() {
+        use crate::api::Stop;
+        let g = fig1();
+        let err = QuerySet::new()
+            .stop(Stop::Stable {
+                window: 0,
+                min_theta: 1,
+                theta_cap: 10,
+            })
+            .push(Query::mpds(DensityNotion::Edge))
+            .run(&g)
+            .unwrap_err();
+        assert!(
+            matches!(err, ApiError::InvalidParameter { param: "stop", .. }),
+            "{err}"
+        );
     }
 
     #[test]

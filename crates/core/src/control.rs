@@ -10,6 +10,16 @@
 //! per-world `Instant::now()` plus one relaxed atomic load, negligible next
 //! to a world's densest-subgraph solve — and returns [`Interrupted`] instead
 //! of a partial (and therefore biased-looking) estimate.
+//!
+//! Deadlines come in two flavors. [`RunControl::with_deadline`] is the hard,
+//! *abortive* one above: the run returns [`Interrupted`] and no estimate.
+//! [`RunControl::with_budget`] is the graceful, *anytime* one: once the
+//! budget instant passes, the sampling loop finishes the current world and
+//! returns the best-so-far estimate over the worlds actually sampled (the
+//! divisor shrinks with it, so the estimate stays unbiased for the achieved
+//! world count) with [`crate::api::StopReason::Budget`] in its stats. A run
+//! with both stops at whichever fires first — cancellation, then hard
+//! deadline, then budget.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -57,6 +67,7 @@ impl std::error::Error for Interrupted {}
 pub struct RunControl {
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
+    budget: Option<Instant>,
 }
 
 impl RunControl {
@@ -76,6 +87,23 @@ impl RunControl {
     pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
         self.cancel = Some(flag);
         self
+    }
+
+    /// Stop the run *gracefully* once `budget` has passed: instead of
+    /// aborting with [`Interrupted`], the sampling loop returns the
+    /// best-so-far estimate over the worlds sampled up to that point. At
+    /// least one world is always sampled, even when the budget is already
+    /// in the past, so the estimate is never empty.
+    pub fn with_budget(mut self, budget: Instant) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// `true` once the graceful budget (if any) has passed. Unlike
+    /// [`RunControl::interruption`] this never aborts a run; the sampling
+    /// loop reads it between worlds and wraps up with whatever it has.
+    pub fn budget_exhausted(&self) -> bool {
+        self.budget.is_some_and(|b| Instant::now() >= b)
     }
 
     /// Polls the control. `None` means keep going. Cancellation is checked
@@ -112,6 +140,16 @@ mod tests {
         assert_eq!(ctrl.interruption(), Some(InterruptReason::DeadlineExceeded));
         let far = RunControl::unbounded().with_deadline(Instant::now() + Duration::from_secs(600));
         assert_eq!(far.interruption(), None);
+    }
+
+    #[test]
+    fn budget_is_graceful_not_an_interruption() {
+        let ctrl = RunControl::unbounded().with_budget(Instant::now() - Duration::from_secs(1));
+        assert!(ctrl.budget_exhausted());
+        assert_eq!(ctrl.interruption(), None);
+        let far = RunControl::unbounded().with_budget(Instant::now() + Duration::from_secs(600));
+        assert!(!far.budget_exhausted());
+        assert!(!RunControl::unbounded().budget_exhausted());
     }
 
     #[test]

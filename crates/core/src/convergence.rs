@@ -5,8 +5,14 @@
 //! increases the similarity of the returned node sets to those for the
 //! previous value of θ till a certain point, after which it converges". This
 //! module packages that schedule for both MPDS and NDS.
+//!
+//! The schedule's per-step runs honor whatever [`crate::control::RunControl`]
+//! semantics the query layer has (deadlines, cancellation), so each entry
+//! point returns `Result` instead of assuming a step cannot fail. For the
+//! *online* version of this rule — early-stopping a single run once its
+//! top-k settles — see [`crate::api::Stop::Stable`].
 
-use crate::api::Query;
+use crate::api::{ApiError, Query};
 use densest::DensityNotion;
 use sampling::WorldSampler;
 use ugraph::nodeset::set_family_similarity;
@@ -48,18 +54,17 @@ pub fn mpds_convergence<S: WorldSampler>(
     theta_cap: usize,
     threshold: f64,
     mut make_sampler: impl FnMut() -> S,
-) -> ConvergenceTrace {
+) -> Result<ConvergenceTrace, ApiError> {
     run_schedule(theta0, theta_cap, threshold, |theta| {
         let mut sampler = make_sampler();
-        Query::mpds(notion.clone())
+        Ok(Query::mpds(notion.clone())
             .theta(theta)
             .k(k)
-            .run_with_sampler(g, &mut sampler)
-            .expect("an unbounded convergence step cannot fail")
+            .run_with_sampler(g, &mut sampler)?
             .top_k
             .into_iter()
             .map(|(s, _)| s)
-            .collect()
+            .collect())
     })
 }
 
@@ -73,19 +78,18 @@ pub fn nds_convergence<S: WorldSampler>(
     theta_cap: usize,
     threshold: f64,
     mut make_sampler: impl FnMut() -> S,
-) -> ConvergenceTrace {
+) -> Result<ConvergenceTrace, ApiError> {
     run_schedule(theta0, theta_cap, threshold, |theta| {
         let mut sampler = make_sampler();
-        Query::nds(notion.clone())
+        Ok(Query::nds(notion.clone())
             .theta(theta)
             .k(k)
             .min_size(min_size)
-            .run_with_sampler(g, &mut sampler)
-            .expect("an unbounded convergence step cannot fail")
+            .run_with_sampler(g, &mut sampler)?
             .top_k
             .into_iter()
             .map(|(s, _)| s)
-            .collect()
+            .collect())
     })
 }
 
@@ -93,8 +97,8 @@ fn run_schedule(
     theta0: usize,
     theta_cap: usize,
     threshold: f64,
-    mut run: impl FnMut(usize) -> Vec<NodeSet>,
-) -> ConvergenceTrace {
+    mut run: impl FnMut(usize) -> Result<Vec<NodeSet>, ApiError>,
+) -> Result<ConvergenceTrace, ApiError> {
     assert!(theta0 > 0 && theta0 <= theta_cap);
     assert!((0.0..=1.0).contains(&threshold));
     let mut steps: Vec<ConvergenceStep> = Vec::new();
@@ -102,7 +106,7 @@ fn run_schedule(
     let mut theta = theta0;
     loop {
         let start = std::time::Instant::now();
-        let top_k = run(theta);
+        let top_k = run(theta)?;
         let seconds = start.elapsed().as_secs_f64();
         let similarity = steps
             .last()
@@ -122,10 +126,10 @@ fn run_schedule(
         }
         theta = (theta * 2).min(theta_cap);
     }
-    ConvergenceTrace {
+    Ok(ConvergenceTrace {
         steps,
         converged_theta: converged,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -146,7 +150,8 @@ mod tests {
         let trace = mpds_convergence(&g, &DensityNotion::Edge, 1, 50, 6400, 0.99, || {
             seed += 1;
             MonteCarlo::new(&g, StdRng::seed_from_u64(seed))
-        });
+        })
+        .unwrap();
         assert!(trace.converged_theta.is_some());
         // Once converged, the last two steps return the same top-1.
         let n = trace.steps.len();
@@ -164,8 +169,9 @@ mod tests {
         let trace = run_schedule(10, 80, 1.1_f64.min(1.0), |theta| {
             calls += 1;
             // Alternate answers so similarity < 1 except by luck.
-            vec![vec![theta as u32]]
-        });
+            Ok(vec![vec![theta as u32]])
+        })
+        .unwrap();
         assert!(trace.converged_theta.is_none());
         assert_eq!(trace.steps.last().unwrap().theta, 80);
         assert_eq!(calls, trace.steps.len());
@@ -184,7 +190,21 @@ mod tests {
         let trace = nds_convergence(&g, &DensityNotion::Edge, 2, 2, 40, 2560, 0.95, || {
             seed += 1;
             MonteCarlo::new(&g, StdRng::seed_from_u64(seed))
-        });
+        })
+        .unwrap();
         assert!(trace.converged_theta.is_some());
+    }
+
+    /// A step that fails (here: a schedule-level error) propagates instead
+    /// of panicking — the old code `expect`ed steps could never fail.
+    #[test]
+    fn step_errors_propagate_instead_of_panicking() {
+        let err = run_schedule(10, 80, 0.9, |_| {
+            Err(ApiError::Unsupported {
+                message: "injected".to_string(),
+            })
+        })
+        .unwrap_err();
+        assert!(matches!(err, ApiError::Unsupported { .. }));
     }
 }

@@ -99,6 +99,34 @@ pub(crate) fn select_top_k(
         .collect()
 }
 
+/// The k best candidate *sets* under exactly [`select_top_k`]'s order, by
+/// bounded insertion instead of a full sort — O(n·k) with no intermediate
+/// allocation, cheap enough to call once per sampled world (the
+/// `Stop::Stable` tracker does).
+pub(crate) fn top_k_sets(candidates: &HashMap<NodeSet, u32>, k: usize) -> Vec<NodeSet> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let before = |(xs, xc): (&NodeSet, u32), (ys, yc): (&NodeSet, u32)| -> bool {
+        yc.cmp(&xc)
+            .then(xs.len().cmp(&ys.len()))
+            .then(xs.cmp(ys))
+            .is_lt()
+    };
+    let mut top: Vec<(&NodeSet, u32)> = Vec::with_capacity(k + 1);
+    for (s, &c) in candidates {
+        if let Some(&last) = top.last() {
+            if top.len() == k && !before((s, c), last) {
+                continue;
+            }
+        }
+        let pos = top.partition_point(|&entry| before(entry, (s, c)));
+        top.insert(pos, (s, c));
+        top.truncate(k);
+    }
+    top.into_iter().map(|(s, _)| s.clone()).collect()
+}
+
 /// Summary statistics of the per-world densest-subgraph counts, as reported
 /// in the paper's Table VIII: `(mean, std, [q1, median, q3])`.
 pub fn densest_count_stats(counts: &[usize]) -> (f64, f64, [usize; 3]) {
@@ -128,6 +156,31 @@ mod tests {
     /// The paper's Fig. 1 running example (matches Table I's probabilities).
     fn fig1() -> UncertainGraph {
         UncertainGraph::from_weighted_edges(4, &[(0, 1, 0.4), (0, 2, 0.4), (1, 3, 0.7)])
+    }
+
+    #[test]
+    fn top_k_sets_matches_the_full_sort() {
+        // Pseudo-random counts with heavy ties exercise every tie-break
+        // (count, then length, then lexicographic).
+        let mut candidates: HashMap<NodeSet, u32> = HashMap::new();
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for i in 0..200u32 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let len = 1 + (x % 4) as u32;
+            let set: NodeSet = (0..len).map(|j| (i + j * 7) % 50).collect();
+            let set = ugraph::nodeset::canonicalize(set);
+            candidates.insert(set, (x >> 32) as u32 % 5);
+        }
+        for k in [0, 1, 3, 7, candidates.len(), candidates.len() + 5] {
+            let fast = top_k_sets(&candidates, k);
+            let slow: Vec<NodeSet> = select_top_k(&candidates, k, 1)
+                .into_iter()
+                .map(|(s, _)| s)
+                .collect();
+            assert_eq!(fast, slow, "k = {k}");
+        }
     }
 
     /// The builder query equivalent to a legacy `MpdsConfig` invocation.

@@ -33,7 +33,7 @@ pub fn estimate_tau_for<S: WorldSampler>(
         &NoProgress,
         |world| {
             let Some(rho) = max_density(world, notion) else {
-                return;
+                return true;
             };
             let inst = instances_of(world, notion);
             for (i, set) in sets.iter().enumerate() {
@@ -45,6 +45,7 @@ pub fn estimate_tau_for<S: WorldSampler>(
                     hits[i] += 1;
                 }
             }
+            true
         },
     )
     .expect("an unbounded RunControl never interrupts");
@@ -77,13 +78,14 @@ pub fn estimate_gamma_for<S: WorldSampler>(
         &NoProgress,
         |world| {
             let Some((_, max_sized)) = max_sized_densest(world, notion) else {
-                return;
+                return true;
             };
             for (i, set) in sorted.iter().enumerate() {
                 if !set.is_empty() && nodeset::is_subset(set, &max_sized) {
                     hits[i] += 1;
                 }
             }
+            true
         },
     )
     .expect("an unbounded RunControl never interrupts");

@@ -22,7 +22,11 @@
 //!   --seed N        sampler seed                    [default 42]
 //!   --threads N     estimator worker threads        [default 1 = serial]
 //!   --heuristic     use the core-based heuristic per world
+//!   --stop P        termination policy: fixed | stable    [default fixed]
+//!   --window N      stable-stop window (requires --stop stable) [default 32]
+//!   --budget-ms N   wall-clock budget; returns best-so-far on expiry
 //!   --json          emit the server's JSON response body instead of text
+//!                   (plus a `wall_ms` entry in its `stats` block)
 //!
 //! serve options:
 //!   --bind ADDR           listen address            [default 127.0.0.1:7878]
@@ -64,7 +68,8 @@
 
 use mpds::control::RunControl;
 use mpds_service::engine::{
-    parse_notion, render_query_response, render_stats, run_query, Algo, QueryRequest,
+    parse_notion, render_query_response_with_wall, render_stats, run_query, Algo, QueryRequest,
+    StopSpec, DEFAULT_STABLE_WINDOW,
 };
 use mpds_service::json::JsonValue;
 use mpds_service::registry::{GraphRegistry, LoadedGraph};
@@ -99,6 +104,8 @@ struct RunOptions {
     seed: u64,
     threads: usize,
     heuristic: bool,
+    stop: StopSpec,
+    budget_ms: Option<u64>,
     json: bool,
 }
 
@@ -143,7 +150,7 @@ struct DiffOptions {
 
 const USAGE: &str = "usage: mpds-cli <mpds|nds|stats> <edge-list> \\
   [--theta N] [--k N] [--lm N] [--density D] [--seed N] [--threads N] \\
-  [--heuristic] [--json]
+  [--heuristic] [--stop fixed|stable] [--window N] [--budget-ms N] [--json]
    or: mpds-cli serve [--bind ADDR] [--threads N] [--cache-capacity N] \\
   [--queue N] [--dataset NAME=PATH]... [--mutable]
    or: mpds-cli update --dataset NAME --file delta.txt [--addr HOST:PORT]
@@ -200,8 +207,12 @@ fn parse_run_args(
         seed: 42,
         threads: 1,
         heuristic: false,
+        stop: StopSpec::Fixed,
+        budget_ms: None,
         json: false,
     };
+    let mut stop: Option<String> = None;
+    let mut window: Option<u32> = None;
     let mut seen = SeenFlags::new();
     while let Some(flag) = args.next() {
         seen.check(&flag)?;
@@ -232,11 +243,44 @@ fn parse_run_args(
                 o.density = d;
             }
             "--heuristic" => o.heuristic = true,
+            "--stop" => stop = Some(val("--stop")?),
+            "--window" => {
+                window = Some(
+                    val("--window")?
+                        .parse()
+                        .map_err(|e| format!("--window: {e}"))?,
+                )
+            }
+            "--budget-ms" => {
+                o.budget_ms = Some(
+                    val("--budget-ms")?
+                        .parse()
+                        .map_err(|e| format!("--budget-ms: {e}"))?,
+                )
+            }
             "--json" => o.json = true,
             other => return Err(format!("unknown option {other:?}")),
         }
     }
+    o.stop = stop_spec(stop.as_deref(), window)?;
     Ok(o)
+}
+
+/// Combines `--stop` and `--window` into a [`StopSpec`] — the same rules
+/// the server applies to its `stop`/`window` query parameters.
+fn stop_spec(stop: Option<&str>, window: Option<u32>) -> Result<StopSpec, String> {
+    match (stop, window) {
+        (None, None) | (Some("fixed"), None) => Ok(StopSpec::Fixed),
+        (Some("stable"), w) => Ok(StopSpec::Stable {
+            window: w.unwrap_or(DEFAULT_STABLE_WINDOW),
+        }),
+        (None, Some(_)) | (Some("fixed"), Some(_)) => {
+            Err("--window requires --stop stable".to_string())
+        }
+        (Some(other), _) => Err(format!(
+            "--stop: unknown policy {other:?} (expected fixed|stable)"
+        )),
+    }
 }
 
 fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptions, String> {
@@ -435,11 +479,18 @@ fn run_command(o: &RunOptions) -> Result<(), String> {
         seed: o.seed,
         heuristic: o.heuristic,
         threads: o.threads,
+        stop: o.stop,
         timeout_ms: None,
+        budget_ms: o.budget_ms,
     };
+    let started = std::time::Instant::now();
     let payload = run_query(&loaded, &req, &RunControl::unbounded()).map_err(|e| e.to_string())?;
+    let wall_ms = started.elapsed().as_millis() as u64;
     if o.json {
-        println!("{}", render_query_response(&req, &payload));
+        println!(
+            "{}",
+            render_query_response_with_wall(&req, &payload, wall_ms)
+        );
         return Ok(());
     }
 
@@ -476,6 +527,14 @@ fn run_command(o: &RunOptions) -> Result<(), String> {
             }
         }
     }
+    let converged = match payload.converged_at {
+        Some(w) => format!(", converged at world {w}"),
+        None => String::new(),
+    };
+    println!(
+        "sampled {} worlds in {} ms (stop: {}{converged})",
+        payload.worlds_sampled, wall_ms, payload.stop_reason
+    );
     Ok(())
 }
 
@@ -846,6 +905,42 @@ mod tests {
         assert!(parse(&["bogus", "x"])
             .unwrap_err()
             .contains("unknown command"));
+    }
+
+    #[test]
+    fn stop_budget_and_window_flags() {
+        let o = parse_run(&["mpds", "g.txt"]).unwrap();
+        assert_eq!(o.stop, StopSpec::Fixed);
+        assert_eq!(o.budget_ms, None);
+        let o = parse_run(&["mpds", "g.txt", "--stop", "stable"]).unwrap();
+        assert_eq!(
+            o.stop,
+            StopSpec::Stable {
+                window: DEFAULT_STABLE_WINDOW
+            }
+        );
+        let o = parse_run(&[
+            "nds",
+            "g.txt",
+            "--stop",
+            "stable",
+            "--window",
+            "8",
+            "--budget-ms",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(o.stop, StopSpec::Stable { window: 8 });
+        assert_eq!(o.budget_ms, Some(250));
+        // --window without --stop stable is an error, as on the server.
+        let e = parse_run(&["mpds", "g.txt", "--window", "8"]).unwrap_err();
+        assert!(e.contains("requires --stop stable"), "{e}");
+        let e = parse_run(&["mpds", "g.txt", "--stop", "fixed", "--window", "8"]).unwrap_err();
+        assert!(e.contains("requires --stop stable"), "{e}");
+        let e = parse_run(&["mpds", "g.txt", "--stop", "eventually"]).unwrap_err();
+        assert!(e.contains("expected fixed|stable"), "{e}");
+        let e = parse_run(&["mpds", "g.txt", "--budget-ms", "x"]).unwrap_err();
+        assert!(e.contains("--budget-ms"), "{e}");
     }
 
     #[test]

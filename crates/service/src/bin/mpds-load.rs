@@ -7,6 +7,7 @@
 //!           [--out PATH] [--wait-secs S] [--check]
 //!           [--churn] [--updates N] [--batch-edges N] [--reads-per-round N]
 //!           [--batch] [--members N] [--rounds N]
+//!           [--anytime] [--window N] [--budget-ms N]
 //! ```
 //!
 //! Default mode drives `--clients` concurrent clients, each issuing
@@ -27,14 +28,23 @@
 //! `/metrics`, and re-issues every member as a point query that must HIT the
 //! batch-filled cache with bytes embedded verbatim in the batch envelope.
 //!
+//! `--anytime` instead exercises the anytime stop-policy API (emits
+//! `BENCH_pr7.json`): a cold fixed-θ phase, a cold `stop=stable` phase that
+//! must beat it at the median, a tight-`--budget-ms` phase where every
+//! response must be a 200 best-so-far body (zero 504s), and a follow-up
+//! phase polling each budget query until the server's background refinement
+//! tier republishes a converged body under the same cache key.
+//!
 //! `--check` turns the report's invariants into an exit code (the CI
-//! `service-smoke` / `churn-smoke` / `batch-smoke` gates): zero non-2xx
-//! responses plus, in read mode, bytewise-identical repeat bodies and a
-//! repeat-phase cache hit rate above 0.9 — in churn mode, strictly monotone
-//! generations — in batch mode, an amortization ratio of at least 2 and all
-//! follow-up point queries served from cache.
+//! `service-smoke` / `churn-smoke` / `batch-smoke` / `anytime-smoke`
+//! gates): zero non-2xx responses plus, in read mode, bytewise-identical
+//! repeat bodies and a repeat-phase cache hit rate above 0.9 — in churn
+//! mode, strictly monotone generations — in batch mode, an amortization
+//! ratio of at least 2 and all follow-up point queries served from cache —
+//! in anytime mode, zero 504s, a stable-phase median speedup, real budget
+//! truncation, and every budget query eventually refined.
 
-use mpds_service::harness::{self, BatchConfig, ChurnConfig, HarnessConfig};
+use mpds_service::harness::{self, AnytimeConfig, BatchConfig, ChurnConfig, HarnessConfig};
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -52,6 +62,9 @@ fn main() -> ExitCode {
     let mut batch = false;
     let mut members = 8usize;
     let mut rounds = 4usize;
+    let mut anytime = false;
+    let mut window = AnytimeConfig::default().window;
+    let mut budget_ms = AnytimeConfig::default().budget_ms;
     let mut theta_set = false;
 
     let mut args = std::env::args().skip(1);
@@ -61,7 +74,8 @@ fn main() -> ExitCode {
             "usage: mpds-load [--addr HOST:PORT] [--clients N] [--requests N] \
              [--server-threads N] [--dataset D] [--theta N] [--k N] [--out PATH] \
              [--wait-secs S] [--check] [--churn] [--updates N] [--batch-edges N] \
-             [--reads-per-round N] [--batch] [--members N] [--rounds N]"
+             [--reads-per-round N] [--batch] [--members N] [--rounds N] \
+             [--anytime] [--window N] [--budget-ms N]"
         );
         ExitCode::FAILURE
     };
@@ -109,6 +123,11 @@ fn main() -> ExitCode {
                 "--batch" => batch = true,
                 "--members" => members = val("--members")?.parse().map_err(|e| format!("{e}"))?,
                 "--rounds" => rounds = val("--rounds")?.parse().map_err(|e| format!("{e}"))?,
+                "--anytime" => anytime = true,
+                "--window" => window = val("--window")?.parse().map_err(|e| format!("{e}"))?,
+                "--budget-ms" => {
+                    budget_ms = val("--budget-ms")?.parse().map_err(|e| format!("{e}"))?
+                }
                 other => return Err(format!("unknown option {other:?}")),
             }
             Ok(())
@@ -122,11 +141,13 @@ fn main() -> ExitCode {
         Some(a) => a,
         None => return fail(format!("cannot resolve --addr {addr_spec:?}")),
     };
-    if batch && churn {
-        return fail("--batch and --churn are mutually exclusive".to_string());
+    if [batch, churn, anytime].iter().filter(|&&m| m).count() > 1 {
+        return fail("--batch, --churn, and --anytime are mutually exclusive".to_string());
     }
     let out_path = out_path.unwrap_or_else(|| {
-        if batch {
+        if anytime {
+            "target/BENCH_pr7.json".to_string()
+        } else if batch {
             "target/BENCH_pr6.json".to_string()
         } else if churn {
             "target/BENCH_pr5.json".to_string()
@@ -139,7 +160,58 @@ fn main() -> ExitCode {
         return fail(e);
     }
 
-    let (json, violations) = if batch {
+    let (json, violations) = if anytime {
+        let acfg = AnytimeConfig {
+            addr: cfg.addr,
+            clients: cfg.clients,
+            queries_per_client: rounds,
+            server_threads: cfg.server_threads,
+            dataset: cfg.dataset.clone(),
+            theta: if theta_set {
+                cfg.theta
+            } else {
+                AnytimeConfig::default().theta
+            },
+            k: cfg.k,
+            window,
+            budget_ms,
+        };
+        println!(
+            "anytime: {} clients x {} queries/phase against http://{} (dataset {}, theta {}, k {}, window {}, budget {} ms)",
+            acfg.clients,
+            acfg.queries_per_client,
+            acfg.addr,
+            acfg.dataset,
+            acfg.theta,
+            acfg.k,
+            acfg.window,
+            acfg.budget_ms
+        );
+        let report = harness::run_anytime(&acfg);
+        for (name, p) in [
+            ("fixed", &report.fixed),
+            ("stable", &report.stable),
+            ("budget", &report.budget),
+        ] {
+            println!(
+                "  {name:<7} {:>5} reqs, {:>3} errors, p50 {:>8.3} ms, p99 {:>8.3} ms",
+                p.requests, p.errors, p.p50_ms, p.p99_ms
+            );
+        }
+        println!(
+            "  stable speedup {:.2}x, {} budget-truncated, {} 504s, refined {}/{} (wait p50 {:.1} ms)",
+            report.stable_speedup,
+            report.budget_truncated,
+            report.budget_504s,
+            report.refined_hits,
+            report.refined_followups,
+            report.refined_wait_p50_ms
+        );
+        (
+            harness::render_anytime_report(&report),
+            report.violations.clone(),
+        )
+    } else if batch {
         let bcfg = BatchConfig {
             addr: cfg.addr,
             members,

@@ -22,10 +22,10 @@ use crate::json::JsonWriter;
 use crate::registry::{GraphRegistry, LoadedGraph};
 use densest::DensityNotion;
 use mpds::api::queryset::QuerySet;
-use mpds::api::{ApiError, Exec, ProgressCounter, ProgressSink, Query, Run};
+use mpds::api::{ApiError, Exec, ProgressCounter, ProgressSink, Query, Run, Stop};
 use mpds::control::{InterruptReason, RunControl};
 use mpds::recompute::Recompute;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -85,10 +85,34 @@ pub fn parse_notion(s: &str) -> Result<DensityNotion, String> {
     }
 }
 
+/// Stable-stop window used when a request says `stop=stable` without its
+/// own `window`: wide enough that agreement is unlikely to be luck, small
+/// enough to actually stop early on settled datasets.
+pub const DEFAULT_STABLE_WINDOW: u32 = 32;
+
+/// How a query decides it has sampled enough worlds — the service
+/// transport of [`mpds::Stop`]. Response-affecting (a stable stop samples a
+/// different world count), so it is part of the cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StopSpec {
+    /// Sample exactly θ worlds (the historical behavior, and the default).
+    #[default]
+    Fixed,
+    /// Stop early once the top-k has been unchanged for `window`
+    /// consecutive worlds, with θ as the hard cap (maps onto
+    /// [`mpds::Stop::Stable`]). Serial only.
+    Stable {
+        /// Consecutive unchanged-top-k worlds required before stopping.
+        window: u32,
+    },
+}
+
 /// A fully-parameterized query. Everything that affects the response bytes
 /// is in here (and in the dataset's content, which is fixed per name);
-/// `timeout_ms` only affects *whether* the query completes, so it is not
-/// part of the cache key.
+/// `timeout_ms` and `budget_ms` only affect *whether / how far* the query
+/// runs this time, so they are not part of the cache key — which is what
+/// lets background refinement republish a converged answer under the same
+/// key a budget-truncated response was cached under.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRequest {
     /// Registry dataset name.
@@ -111,8 +135,16 @@ pub struct QueryRequest {
     /// default). Parallel runs draw per-worker sub-streams of `seed`, so
     /// the thread count is response-affecting and part of the cache key.
     pub threads: usize,
-    /// Per-request deadline, if any.
+    /// Stop policy (see [`StopSpec`]).
+    pub stop: StopSpec,
+    /// Per-request *hard* deadline, if any: exceeding it aborts the query
+    /// (HTTP 504).
     pub timeout_ms: Option<u64>,
+    /// Per-request *graceful* time budget, if any: when it runs out the
+    /// query returns its best estimate so far (HTTP 200 with
+    /// `stop_reason:"budget"`) and the engine refines it to convergence in
+    /// the background.
+    pub budget_ms: Option<u64>,
 }
 
 impl QueryRequest {
@@ -128,7 +160,9 @@ impl QueryRequest {
             seed: 42,
             heuristic: false,
             threads: 1,
+            stop: StopSpec::Fixed,
             timeout_ms: None,
+            budget_ms: None,
         }
     }
 
@@ -152,6 +186,19 @@ impl QueryRequest {
                 "threads {} exceeds theta {}",
                 self.threads, self.theta
             ));
+        }
+        if let StopSpec::Stable { window } = self.stop {
+            if window == 0 || window > 10_000 {
+                return Err(format!("window {window} outside 1..=10000"));
+            }
+            if window as usize > self.theta {
+                return Err(format!("window {window} exceeds theta {}", self.theta));
+            }
+            if self.threads > 1 {
+                return Err(
+                    "stop=stable watches one ordered world stream; drop threads".to_string()
+                );
+            }
         }
         parse_notion(&self.notion)
     }
@@ -178,6 +225,7 @@ impl QueryRequest {
             seed: self.seed,
             heuristic: self.heuristic,
             threads: self.threads,
+            stop: self.stop,
         }
     }
 }
@@ -195,6 +243,7 @@ pub struct QueryKey {
     seed: u64,
     heuristic: bool,
     threads: usize,
+    stop: StopSpec,
 }
 
 /// One member of a [`BatchRequest`]: the estimator-side knobs. The world
@@ -243,8 +292,19 @@ pub struct BatchRequest {
     pub theta: usize,
     /// Sampler seed, shared by every member.
     pub seed: u64,
-    /// Per-batch deadline covering the whole shared sampling pass.
+    /// Stop policy, shared by every member. `Stable` stops the shared pass
+    /// at the first world where **all** members' top-k have been
+    /// simultaneously unchanged for `window` worlds (joint stability, the
+    /// [`mpds::QuerySet`] contract). Because that joint stop point differs
+    /// from each member's standalone stable stop point, stable batches run
+    /// **uncached** — their bodies must not alias standalone `stop=stable`
+    /// cache entries.
+    pub stop: StopSpec,
+    /// Per-batch *hard* deadline covering the whole shared sampling pass.
     pub timeout_ms: Option<u64>,
+    /// Per-batch *graceful* time budget: when it runs out the shared pass
+    /// stops and every member returns its best estimate so far.
+    pub budget_ms: Option<u64>,
     /// The query members, answered in order.
     pub members: Vec<BatchMember>,
 }
@@ -256,7 +316,9 @@ impl BatchRequest {
             dataset: dataset.to_string(),
             theta: 320,
             seed: 42,
+            stop: StopSpec::Fixed,
             timeout_ms: None,
+            budget_ms: None,
             members: Vec::new(),
         }
     }
@@ -274,7 +336,9 @@ impl BatchRequest {
             seed: self.seed,
             heuristic: m.heuristic,
             threads: 1,
+            stop: self.stop,
             timeout_ms: self.timeout_ms,
+            budget_ms: self.budget_ms,
         }
     }
 
@@ -312,6 +376,13 @@ pub struct ResponsePayload {
     /// MPDS: some world hit the enumeration cap. NDS: the miner hit its
     /// node cap.
     pub truncated: bool,
+    /// Worlds actually sampled — the divisor of every score above, which
+    /// is what keeps early-stopped estimates unbiased.
+    pub worlds_sampled: usize,
+    /// Why sampling stopped: `"completed"`, `"stable"`, or `"budget"`.
+    pub stop_reason: &'static str,
+    /// World index at which the top-k settled (stable stops only).
+    pub converged_at: Option<usize>,
 }
 
 /// Why a query failed.
@@ -375,6 +446,10 @@ fn build_query(req: &QueryRequest, notion: DensityNotion, ctrl: &RunControl) -> 
         Algo::Mpds => Query::mpds(notion),
         Algo::Nds => Query::nds(notion).min_size(req.lm),
     };
+    let mut ctrl = ctrl.clone();
+    if let Some(ms) = req.budget_ms {
+        ctrl = ctrl.with_budget(Instant::now() + Duration::from_millis(ms));
+    }
     q.theta(req.theta)
         .k(req.k)
         .seed(req.seed)
@@ -384,7 +459,23 @@ fn build_query(req: &QueryRequest, notion: DensityNotion, ctrl: &RunControl) -> 
         } else {
             Exec::Serial
         })
-        .control(ctrl.clone())
+        .stop(stop_of(req.stop, req.theta))
+        .control(ctrl)
+}
+
+/// Maps the wire-level [`StopSpec`] onto the core [`mpds::Stop`]: θ becomes
+/// the stable cap, and `window` doubles as the minimum world count (a run
+/// can never stop before it could possibly have seen `window` stable
+/// worlds).
+fn stop_of(spec: StopSpec, theta: usize) -> Stop {
+    match spec {
+        StopSpec::Fixed => Stop::FixedTheta,
+        StopSpec::Stable { window } => Stop::Stable {
+            window: window as usize,
+            min_theta: window as usize,
+            theta_cap: theta,
+        },
+    }
 }
 
 /// Runs a query against an already-loaded graph — the single computation
@@ -450,12 +541,36 @@ fn payload_of(g: &LoadedGraph, run: Run) -> ResponsePayload {
         rows,
         empty_worlds: run.stats.empty_worlds,
         truncated: run.stats.truncated,
+        worlds_sampled: run.stats.worlds_sampled,
+        stop_reason: run.stats.stop_reason.as_str(),
+        converged_at: run.stats.converged_at,
     }
 }
 
 /// Serializes a query response. Field order is fixed; see [`crate::json`]
-/// for why (bytewise determinism is asserted end to end).
+/// for why (bytewise determinism is asserted end to end). Deliberately
+/// carries no wall-clock field — identical keys must render identical
+/// bytes; wall time goes through
+/// [`render_query_response_with_wall`] for the CLI only.
 pub fn render_query_response(req: &QueryRequest, payload: &ResponsePayload) -> String {
+    render_query_body(req, payload, None)
+}
+
+/// [`render_query_response`] plus a `wall_ms` entry inside the `stats`
+/// block — the CLI `--json` variant, never served or cached.
+pub fn render_query_response_with_wall(
+    req: &QueryRequest,
+    payload: &ResponsePayload,
+    wall_ms: u64,
+) -> String {
+    render_query_body(req, payload, Some(wall_ms))
+}
+
+fn render_query_body(
+    req: &QueryRequest,
+    payload: &ResponsePayload,
+    wall_ms: Option<u64>,
+) -> String {
     let mut w = JsonWriter::new();
     w.begin_object()
         .field_str("dataset", &req.dataset)
@@ -473,6 +588,12 @@ pub fn render_query_response(req: &QueryRequest, payload: &ResponsePayload) -> S
     if req.threads > 1 {
         w.field_uint("threads", req.threads as u64);
     }
+    // Same rule for the stop policy: fixed-θ responses keep the historical
+    // layout, stable stops are echoed.
+    if let StopSpec::Stable { window } = req.stop {
+        w.field_str("stop", "stable")
+            .field_uint("window", window as u64);
+    }
     w.field_str("score", payload.score_name)
         .key("results")
         .begin_array();
@@ -486,7 +607,17 @@ pub fn render_query_response(req: &QueryRequest, payload: &ResponsePayload) -> S
     w.end_array()
         .field_uint("empty_worlds", payload.empty_worlds as u64)
         .field_bool("truncated", payload.truncated)
-        .end_object();
+        .key("stats")
+        .begin_object()
+        .field_uint("worlds_sampled", payload.worlds_sampled as u64)
+        .field_str("stop_reason", payload.stop_reason);
+    if let Some(at) = payload.converged_at {
+        w.field_uint("converged_at", at as u64);
+    }
+    if let Some(ms) = wall_ms {
+        w.field_uint("wall_ms", ms);
+    }
+    w.end_object().end_object();
     w.finish()
 }
 
@@ -614,16 +745,38 @@ pub struct EngineStats {
     pub worlds_sampled: u64,
     /// Possible worlds requested (θ summed) across all computed queries.
     pub worlds_requested: u64,
+    /// Budget-truncated answers refined to convergence in the background
+    /// and republished under their original key.
+    pub refined: u64,
 }
 
-/// The concurrent query engine: registry + cache + in-flight coalescing.
+/// One queued unit of background refinement: a budget-truncated query to
+/// re-run to convergence against the exact snapshot it was answered from.
+struct RefineJob {
+    key: QueryKey,
+    /// The original request with `budget_ms`/`timeout_ms` cleared.
+    req: QueryRequest,
+    graph: LoadedGraph,
+}
+
+/// The concurrent query engine: registry + cache + in-flight coalescing +
+/// background refinement of budget-truncated answers.
 pub struct QueryEngine {
     registry: GraphRegistry,
-    cache: ShardedLru<QueryKey, Arc<Vec<u8>>>,
+    cache: Arc<ShardedLru<QueryKey, Arc<Vec<u8>>>>,
     inflight: Mutex<HashMap<QueryKey, Arc<InFlight>>>,
     cancel: Arc<AtomicBool>,
     computed: AtomicU64,
     coalesced: AtomicU64,
+    refined: Arc<AtomicU64>,
+    /// Keys queued for or undergoing refinement — the dedup gate that keeps
+    /// repeated budget-truncated queries from re-enqueueing the same key.
+    refining: Arc<Mutex<HashSet<QueryKey>>>,
+    /// Feed to the single background refinement worker. One worker, not a
+    /// thread per key: refinement is deliberately serialized so a burst of
+    /// budget-truncated queries cannot starve foreground serving of CPU.
+    /// The worker exits when the engine (the only sender) is dropped.
+    refine_tx: Mutex<std::sync::mpsc::Sender<RefineJob>>,
     /// Shared per-world progress sink attached to every computed query.
     worlds: Arc<ProgressCounter>,
 }
@@ -631,14 +784,44 @@ pub struct QueryEngine {
 impl QueryEngine {
     /// Builds an engine over `registry`.
     pub fn new(registry: GraphRegistry, cfg: &EngineConfig) -> Self {
+        let cache = Arc::new(ShardedLru::new(cfg.cache_capacity, cfg.cache_shards));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let refined = Arc::new(AtomicU64::new(0));
+        let refining = Arc::new(Mutex::new(HashSet::new()));
+        let worlds = ProgressCounter::new();
+        let (refine_tx, refine_rx) = std::sync::mpsc::channel::<RefineJob>();
+        {
+            let cache = Arc::clone(&cache);
+            let cancel = Arc::clone(&cancel);
+            let refined = Arc::clone(&refined);
+            let refining = Arc::clone(&refining);
+            let worlds = Arc::clone(&worlds);
+            std::thread::spawn(move || {
+                while let Ok(job) = refine_rx.recv() {
+                    let ctrl = RunControl::unbounded().with_cancel_flag(Arc::clone(&cancel));
+                    let sink = Arc::clone(&worlds);
+                    if let Ok(payload) =
+                        run_query_with_progress(&job.graph, &job.req, &ctrl, Some(sink as _))
+                    {
+                        let body = Arc::new(render_query_response(&job.req, &payload).into_bytes());
+                        cache.insert(job.key.clone(), body);
+                        refined.fetch_add(1, Ordering::Relaxed);
+                    }
+                    refining.lock().unwrap().remove(&job.key);
+                }
+            });
+        }
         QueryEngine {
             registry,
-            cache: ShardedLru::new(cfg.cache_capacity, cfg.cache_shards),
+            cache,
             inflight: Mutex::new(HashMap::new()),
-            cancel: Arc::new(AtomicBool::new(false)),
+            cancel,
             computed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
-            worlds: ProgressCounter::new(),
+            refined,
+            refining,
+            refine_tx: Mutex::new(refine_tx),
+            worlds,
         }
     }
 
@@ -661,6 +844,7 @@ impl QueryEngine {
             coalesced: self.coalesced.load(Ordering::Relaxed),
             worlds_sampled: self.worlds.done() as u64,
             worlds_requested: self.worlds.requested() as u64,
+            refined: self.refined.load(Ordering::Relaxed),
         }
     }
 
@@ -769,7 +953,36 @@ impl QueryEngine {
         let payload =
             run_query_with_progress(graph, req, &ctrl, Some(Arc::clone(&self.worlds) as _))?;
         self.computed.fetch_add(1, Ordering::Relaxed);
+        if payload.stop_reason == "budget" {
+            self.spawn_refinement(req, graph);
+        }
         Ok(Arc::new(render_query_response(req, &payload).into_bytes()))
+    }
+
+    /// Queues a budget-truncated query for the background worker, which
+    /// re-runs it to convergence and republishes the refined bytes under
+    /// the **same** [`QueryKey`] (budgets are not part of the key), so a
+    /// later identical request HITs the converged answer instead of the
+    /// truncated one. One refinement per key at a time; failures (e.g.
+    /// shutdown cancellation) are dropped silently — the truncated answer
+    /// simply keeps serving.
+    fn spawn_refinement(&self, req: &QueryRequest, graph: &LoadedGraph) {
+        let key = req.key(graph.generation);
+        if !self.refining.lock().unwrap().insert(key.clone()) {
+            return; // this key is already queued or being refined
+        }
+        let mut full = req.clone();
+        full.budget_ms = None;
+        full.timeout_ms = None;
+        let job = RefineJob {
+            key: key.clone(),
+            req: full,
+            graph: graph.clone(),
+        };
+        if self.refine_tx.lock().unwrap().send(job).is_err() {
+            // Worker gone (only possible mid-teardown): undo the claim.
+            self.refining.lock().unwrap().remove(&key);
+        }
     }
 
     /// Executes a batch: every member is keyed and cached exactly like the
@@ -794,6 +1007,23 @@ impl QueryEngine {
             .map(|ms| Instant::now() + Duration::from_millis(ms));
         let requests: Vec<QueryRequest> =
             req.members.iter().map(|m| req.member_request(m)).collect();
+        // Joint stability stops the shared pass at a world count no
+        // standalone run would pick, so a stable batch's bodies must not
+        // alias standalone `stop=stable` cache entries: the whole batch
+        // computes in one uncached, uncoalesced pass.
+        if matches!(req.stop, StopSpec::Stable { .. }) {
+            let led: Vec<usize> = (0..requests.len()).collect();
+            let (bodies, stats) = self.compute_batch(req, &graph, &led, &requests, own_deadline)?;
+            return Ok(BatchOutcome {
+                results: bodies
+                    .into_iter()
+                    .map(|b| (b, ResponseSource::Miss))
+                    .collect(),
+                worlds_sampled: stats.worlds_sampled,
+                stop_reason: stats.stop_reason.as_str(),
+                converged_at: stats.converged_at,
+            });
+        }
         let keys: Vec<QueryKey> = requests.iter().map(|r| r.key(graph.generation)).collect();
         // Classify every member under one in-flight lock: cached members
         // are done, members someone else is computing will be joined, and
@@ -822,6 +1052,9 @@ impl QueryEngine {
         // Compute every led member in one QuerySet pass. The guard releases
         // followers and unregisters the flights on every exit path,
         // including a panic in the estimator.
+        let mut pass_worlds = 0usize;
+        let mut pass_reason = "completed";
+        let mut pass_converged = None;
         if !led.is_empty() {
             let guard = BatchLeaderGuard {
                 engine: self,
@@ -831,10 +1064,20 @@ impl QueryEngine {
             };
             let outcome = self.compute_batch(req, &graph, &led, &requests, own_deadline);
             match outcome {
-                Ok(bodies) => {
+                Ok((bodies, stats)) => {
                     guard.finish(&bodies.iter().map(|b| Ok(Arc::clone(b))).collect::<Vec<_>>());
                     for (j, &i) in led.iter().enumerate() {
                         results[i] = Some((Arc::clone(&bodies[j]), ResponseSource::Miss));
+                    }
+                    pass_worlds = stats.worlds_sampled;
+                    pass_reason = stats.stop_reason.as_str();
+                    pass_converged = stats.converged_at;
+                    // A budget-truncated pass published truncated bodies
+                    // under every led key; refine each to convergence.
+                    if pass_reason == "budget" {
+                        for &i in &led {
+                            self.spawn_refinement(&requests[i], &graph);
+                        }
                     }
                 }
                 Err(e) => {
@@ -862,6 +1105,9 @@ impl QueryEngine {
         }
         Ok(BatchOutcome {
             results: results.into_iter().map(|r| r.unwrap()).collect(),
+            worlds_sampled: pass_worlds,
+            stop_reason: pass_reason,
+            converged_at: pass_converged,
         })
     }
 
@@ -874,26 +1120,33 @@ impl QueryEngine {
         led: &[usize],
         requests: &[QueryRequest],
         deadline: Option<Instant>,
-    ) -> Result<Vec<Arc<Vec<u8>>>, QueryError> {
+    ) -> Result<ComputedBatch, QueryError> {
         let mut ctrl = RunControl::unbounded().with_cancel_flag(self.cancel_flag());
         if let Some(d) = deadline {
             ctrl = ctrl.with_deadline(d);
         }
+        if let Some(ms) = req.budget_ms {
+            ctrl = ctrl.with_budget(Instant::now() + Duration::from_millis(ms));
+        }
         let mut set = QuerySet::new()
             .theta(req.theta)
             .seed(req.seed)
+            .stop(stop_of(req.stop, req.theta))
             .control(ctrl)
             .progress(Arc::clone(&self.worlds) as _);
         for &i in led {
             let r = &requests[i];
             let notion = r.validate().map_err(QueryError::BadRequest)?;
             // Batch members are serial by construction (threads = 1), so
-            // this never trips the QuerySet Exec::Threads rejection.
+            // this never trips the QuerySet Exec::Threads rejection. The
+            // stop policy and budget are set-owned; whatever the member
+            // query carries is normalized away by the QuerySet.
             set = set.push(build_query(r, notion, &RunControl::unbounded()));
         }
         let batch_run = set.run(&graph.graph).map_err(api_error_to_query_error)?;
         self.computed.fetch_add(led.len() as u64, Ordering::Relaxed);
-        Ok(batch_run
+        let stats = batch_run.stats;
+        let bodies = batch_run
             .runs
             .into_iter()
             .zip(led)
@@ -901,7 +1154,8 @@ impl QueryEngine {
                 let payload = payload_of(graph, run);
                 Arc::new(render_query_response(&requests[i], &payload).into_bytes())
             })
-            .collect())
+            .collect();
+        Ok((bodies, stats))
     }
 
     /// Runs one query over two datasets under common random numbers and
@@ -914,6 +1168,13 @@ impl QueryEngine {
         if req.threads > 1 {
             return Err(QueryError::BadRequest(
                 "diff runs serially (CRN is one per-snapshot stream); drop threads".to_string(),
+            ));
+        }
+        if req.stop != StopSpec::Fixed || req.budget_ms.is_some() {
+            return Err(QueryError::BadRequest(
+                "diff supports neither stop=stable nor budget_ms: common random numbers \
+                 need the same fixed-θ stream on both snapshots"
+                    .to_string(),
             ));
         }
         let after = self
@@ -982,12 +1243,23 @@ impl Drop for LeaderGuard<'_> {
     }
 }
 
+/// Rendered bodies for a batch's led members plus the shared pass's stats.
+type ComputedBatch = (Vec<Arc<Vec<u8>>>, mpds::BatchStats);
+
 /// The per-member bodies and sources of one [`QueryEngine::execute_batch`],
 /// in member order.
 #[derive(Debug, Clone)]
 pub struct BatchOutcome {
     /// Per-member `(response bytes, how they were obtained)`.
     pub results: Vec<(Arc<Vec<u8>>, ResponseSource)>,
+    /// Worlds sampled by this batch's shared pass (0 when every member was
+    /// served without sampling).
+    pub worlds_sampled: usize,
+    /// Why the shared pass stopped (`"completed"` when there was no pass).
+    pub stop_reason: &'static str,
+    /// For stable stops: the world count after which no member's top-k
+    /// changed again.
+    pub converged_at: Option<usize>,
 }
 
 impl BatchOutcome {
@@ -1052,8 +1324,12 @@ pub fn render_batch_response(req: &BatchRequest, outcome: &BatchOutcome) -> Stri
     w.begin_object()
         .field_str("dataset", &req.dataset)
         .field_uint("theta", req.theta as u64)
-        .field_uint("seed", req.seed)
-        .field_uint("members", req.members.len() as u64)
+        .field_uint("seed", req.seed);
+    if let StopSpec::Stable { window } = req.stop {
+        w.field_str("stop", "stable")
+            .field_uint("window", window as u64);
+    }
+    w.field_uint("members", req.members.len() as u64)
         .field_uint("computed", outcome.computed() as u64)
         .key("results")
         .begin_array();
@@ -1064,7 +1340,15 @@ pub fn render_batch_response(req: &BatchRequest, outcome: &BatchOutcome) -> Stri
     for (_, source) in &outcome.results {
         w.string(source.as_str());
     }
-    w.end_array().end_object();
+    w.end_array()
+        .key("stats")
+        .begin_object()
+        .field_uint("worlds_sampled", outcome.worlds_sampled as u64)
+        .field_str("stop_reason", outcome.stop_reason);
+    if let Some(at) = outcome.converged_at {
+        w.field_uint("converged_at", at as u64);
+    }
+    w.end_object().end_object();
     w.finish()
 }
 
@@ -1128,6 +1412,14 @@ pub fn render_diff_response(
     w.end_array()
         .field_bool("unchanged", report.diff.is_unchanged())
         .field_float("max_abs_score_delta", report.diff.max_abs_score_delta())
+        .key("stats")
+        .begin_object()
+        .field_uint(
+            "worlds_sampled",
+            (report.before.stats.worlds_sampled + report.after.stats.worlds_sampled) as u64,
+        )
+        .field_str("stop_reason", report.after.stats.stop_reason.as_str())
+        .end_object()
         .end_object();
     w.finish()
 }
@@ -1406,14 +1698,40 @@ mod tests {
             rows: vec![(vec![1, 3], 0.421875)],
             empty_worlds: 7,
             truncated: false,
+            worlds_sampled: 320,
+            stop_reason: "completed",
+            converged_at: None,
         };
         assert_eq!(
             render_query_response(&req, &payload),
             "{\"dataset\":\"karate\",\"algo\":\"mpds\",\"notion\":\"edge\",\
              \"theta\":320,\"k\":5,\"seed\":42,\"heuristic\":false,\
              \"score\":\"tau_hat\",\"results\":[{\"nodes\":[1,3],\
-             \"score\":0.421875}],\"empty_worlds\":7,\"truncated\":false}"
+             \"score\":0.421875}],\"empty_worlds\":7,\"truncated\":false,\
+             \"stats\":{\"worlds_sampled\":320,\"stop_reason\":\"completed\"}}"
         );
+        // The stable echo and stats extras: stop/window before score,
+        // converged_at inside stats, wall_ms only in the CLI variant.
+        let mut stable_req = req.clone();
+        stable_req.stop = StopSpec::Stable { window: 16 };
+        let stable_payload = ResponsePayload {
+            worlds_sampled: 112,
+            stop_reason: "stable",
+            converged_at: Some(96),
+            ..payload.clone()
+        };
+        assert_eq!(
+            render_query_response(&stable_req, &stable_payload),
+            "{\"dataset\":\"karate\",\"algo\":\"mpds\",\"notion\":\"edge\",\
+             \"theta\":320,\"k\":5,\"seed\":42,\"heuristic\":false,\
+             \"stop\":\"stable\",\"window\":16,\
+             \"score\":\"tau_hat\",\"results\":[{\"nodes\":[1,3],\
+             \"score\":0.421875}],\"empty_worlds\":7,\"truncated\":false,\
+             \"stats\":{\"worlds_sampled\":112,\"stop_reason\":\"stable\",\
+             \"converged_at\":96}}"
+        );
+        assert!(render_query_response_with_wall(&req, &payload, 12)
+            .ends_with("\"stop_reason\":\"completed\",\"wall_ms\":12}}"));
     }
 
     #[test]
@@ -1522,6 +1840,82 @@ mod tests {
         let err = e.execute_batch(&bad).unwrap_err();
         assert!(matches!(&err, QueryError::BadRequest(m) if m.contains("member 1")));
         assert_eq!(e.stats().computed, 0);
+    }
+
+    #[test]
+    fn stop_policy_is_part_of_the_cache_key() {
+        // A stable-stopped answer is a different answer than the fixed-θ
+        // one (different divisor, possibly different sets) — the two must
+        // never alias.
+        let e = engine();
+        let fixed = karate_req();
+        let mut stable = karate_req();
+        stable.stop = StopSpec::Stable { window: 8 };
+        let (a, _) = e.execute(&fixed).unwrap();
+        let (b, src) = e.execute(&stable).unwrap();
+        assert_eq!(src, ResponseSource::Miss);
+        assert_ne!(a, b);
+        let text = String::from_utf8(b.to_vec()).unwrap();
+        assert!(text.contains("\"stop\":\"stable\",\"window\":8"), "{text}");
+        assert!(
+            text.contains("\"stop_reason\":\"stable\"")
+                || text.contains("\"stop_reason\":\"completed\""),
+            "{text}"
+        );
+        assert_eq!(e.stats().computed, 2);
+        // And the stable entry itself is cached.
+        assert_eq!(e.execute(&stable).unwrap().1, ResponseSource::Hit);
+    }
+
+    #[test]
+    fn stable_with_threads_or_bad_window_is_a_bad_request() {
+        let e = engine();
+        let mut req = karate_req();
+        req.stop = StopSpec::Stable { window: 0 };
+        assert!(matches!(e.execute(&req), Err(QueryError::BadRequest(_))));
+        req.stop = StopSpec::Stable { window: 8 };
+        req.threads = 2;
+        assert!(matches!(e.execute(&req), Err(QueryError::BadRequest(_))));
+        req.threads = 1;
+        req.stop = StopSpec::Stable { window: 100 }; // > theta (64)
+        assert!(matches!(e.execute(&req), Err(QueryError::BadRequest(_))));
+        assert_eq!(e.stats().computed, 0);
+    }
+
+    #[test]
+    fn expired_budget_returns_200_bytes_then_refines_to_convergence() {
+        // The anytime contract end to end: a hopeless budget still returns
+        // a best-so-far body (never an error), the truncated bytes are
+        // cached, and the background refinement soon republishes the
+        // converged fixed-θ answer under the *same* key.
+        let e = engine();
+        let mut req = karate_req();
+        req.budget_ms = Some(0);
+        let (body, src) = e.execute(&req).unwrap();
+        assert_eq!(src, ResponseSource::Miss);
+        let text = String::from_utf8(body.to_vec()).unwrap();
+        assert!(text.contains("\"stop_reason\":\"budget\""), "{text}");
+        // The converged body the refinement must converge to.
+        let full_engine = engine();
+        let mut full = req.clone();
+        full.budget_ms = None;
+        let (want, _) = full_engine.execute(&full).unwrap();
+        // Poll the cache: a repeat of the *budgeted* request must flip to a
+        // HIT of the refined (converged) bytes.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let (got, src) = e.execute(&req).unwrap();
+            if src == ResponseSource::Hit && *got == *want {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "refinement did not land; last body: {}",
+                String::from_utf8_lossy(&got)
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(e.stats().refined >= 1);
     }
 
     #[test]

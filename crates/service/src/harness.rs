@@ -20,6 +20,14 @@
 //! read burst. Its `--check` gate demands zero non-2xx anywhere and
 //! strictly monotone generations across the update responses.
 //!
+//! The **anytime** harness ([`run_anytime`], `mpds-load --anytime`, emits
+//! `BENCH_pr7.json`) exercises the stop-policy API end to end: a cold
+//! fixed-θ phase, a cold `stop=stable` phase that must beat it at the
+//! median, a tight-`budget_ms` phase where every response must be a 200
+//! (zero 504s) with at least one genuinely budget-truncated body, and a
+//! follow-up phase that polls each budget query until the background
+//! refinement tier republishes a converged body under the same cache key.
+//!
 //! The harness is a plain blocking TCP client — no shared state with the
 //! server beyond the socket — so it can drive an in-process loopback
 //! server (tests) or an external `mpds-cli serve` (the CI smoke job)
@@ -979,9 +987,349 @@ pub fn render_batch_report(r: &BatchReport) -> String {
     s
 }
 
+/// Anytime-harness parameters (see [`run_anytime`]).
+#[derive(Debug, Clone)]
+pub struct AnytimeConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent client threads per phase.
+    pub clients: usize,
+    /// Cold queries per client per phase (distinct seeds throughout).
+    pub queries_per_client: usize,
+    /// Reported in the JSON (the harness cannot observe it remotely).
+    pub server_threads: usize,
+    /// Dataset queried.
+    pub dataset: String,
+    /// Worlds per query (`Stop::Stable`'s `theta_cap`, so also the fixed
+    /// phase's full cost — the two phases answer the same question).
+    pub theta: usize,
+    /// Result count per query.
+    pub k: usize,
+    /// `stop=stable` window for the stable phase.
+    pub window: u32,
+    /// Budget for the tight-budget phase, milliseconds (deliberately far
+    /// below the cold compute time, so truncation actually happens).
+    pub budget_ms: u64,
+}
+
+impl Default for AnytimeConfig {
+    fn default() -> Self {
+        AnytimeConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7878)),
+            clients: 8,
+            queries_per_client: 4,
+            server_threads: 4,
+            dataset: "karate".to_string(),
+            theta: 1024,
+            k: 3,
+            window: 64,
+            budget_ms: 10,
+        }
+    }
+}
+
+/// Full anytime-harness outcome (`BENCH_pr7.json`).
+#[derive(Debug, Clone)]
+pub struct AnytimeReport {
+    /// Configuration echo.
+    pub config: AnytimeConfig,
+    /// Phase 1 — cold fixed-θ queries (distinct seeds).
+    pub fixed: PhaseStats,
+    /// Phase 2 — cold `stop=stable` queries (fresh seeds, same θ cap).
+    pub stable: PhaseStats,
+    /// Phase 3 — cold `budget_ms` queries (fresh seeds again).
+    pub budget: PhaseStats,
+    /// `fixed.p50_ms / stable.p50_ms` — the early-stop speedup on the cold
+    /// path (must exceed 1).
+    pub stable_speedup: f64,
+    /// Budget-phase bodies that actually reported `stop_reason: "budget"`.
+    pub budget_truncated: usize,
+    /// Budget-phase responses with status 504 (must be zero — the whole
+    /// point of graceful budgets).
+    pub budget_504s: usize,
+    /// Unique budget-phase queries re-issued afterwards.
+    pub refined_followups: usize,
+    /// Of those, how many were eventually served `X-Cache: HIT` with a
+    /// non-budget `stop_reason` — the background tier republished a
+    /// converged answer under the same key.
+    pub refined_hits: usize,
+    /// Median wall time until a follow-up observed the refined body, ms.
+    pub refined_wait_p50_ms: f64,
+    /// Hard failures: any non-2xx anywhere (504s in the budget phase
+    /// especially), stable not faster than fixed, no actual truncation, or
+    /// follow-ups that never saw a refined answer. Empty means `--check`
+    /// holds.
+    pub violations: Vec<String>,
+}
+
+/// Runs the anytime harness against `cfg.addr`.
+///
+/// Four phases:
+///
+/// 1. **fixed** — cold fixed-θ queries at distinct seeds: the PR 3-style
+///    baseline cost of a full estimator run;
+/// 2. **stable** — the same shape with `stop=stable&window=W`: must be
+///    faster at the median, since the top-k stabilizes well before θ on
+///    real graphs;
+/// 3. **budget** — fresh seeds with a deliberately tiny `budget_ms`: every
+///    response must be a 200 carrying best-so-far results (zero 504s), and
+///    at least one must be genuinely budget-truncated;
+/// 4. **refined follow-up** — re-issue each budget-phase query and poll:
+///    because `budget_ms` is not part of the cache key, the background
+///    refinement tier must eventually republish a converged body under the
+///    same key, observable as `X-Cache: HIT` with a non-budget
+///    `stop_reason`.
+pub fn run_anytime(cfg: &AnytimeConfig) -> AnytimeReport {
+    let mut violations = Vec::new();
+    let per_client = cfg.queries_per_client.max(1);
+    let base = format!(
+        "/query?dataset={}&theta={}&k={}",
+        cfg.dataset, cfg.theta, cfg.k
+    );
+    let phase_cfg = HarnessConfig {
+        addr: cfg.addr,
+        clients: cfg.clients,
+        requests_per_client: per_client,
+        server_threads: cfg.server_threads,
+        dataset: cfg.dataset.clone(),
+        theta: cfg.theta,
+        k: cfg.k,
+    };
+    let seed_of = |block: u64, c: usize, i: usize| block + (c * per_client + i) as u64;
+
+    // Phase 1 — fixed-θ cold baseline.
+    let (fixed_ex, fixed_elapsed) = run_phase(&phase_cfg, per_client, |c, i| {
+        format!("{base}&seed={}", seed_of(40_000, c, i))
+    });
+    let fixed = phase_stats(&fixed_ex, fixed_elapsed);
+
+    // Phase 2 — stable early-stop, fresh seeds so every request computes.
+    let (stable_ex, stable_elapsed) = run_phase(&phase_cfg, per_client, |c, i| {
+        format!(
+            "{base}&seed={}&stop=stable&window={}",
+            seed_of(50_000, c, i),
+            cfg.window
+        )
+    });
+    let stable = phase_stats(&stable_ex, stable_elapsed);
+
+    // Phase 3 — tight budget, fresh seeds again.
+    let budget_path = |c: usize, i: usize| {
+        format!(
+            "{base}&seed={}&budget_ms={}",
+            seed_of(70_000, c, i),
+            cfg.budget_ms
+        )
+    };
+    let (budget_ex, budget_elapsed) = run_phase(&phase_cfg, per_client, budget_path);
+    let budget = phase_stats(&budget_ex, budget_elapsed);
+    let budget_truncated = budget_ex
+        .iter()
+        .filter(|e| {
+            (200..300).contains(&e.status)
+                && String::from_utf8_lossy(&e.body).contains("\"stop_reason\":\"budget\"")
+        })
+        .count();
+    let budget_504s = budget_ex.iter().filter(|e| e.status == 504).count();
+
+    for (phase, stats) in [("fixed", &fixed), ("stable", &stable), ("budget", &budget)] {
+        if stats.errors > 0 {
+            violations.push(format!("{phase} phase: {} non-2xx responses", stats.errors));
+        }
+    }
+    if budget_504s > 0 {
+        violations.push(format!(
+            "budget phase: {budget_504s} responses were 504 — budgeted serving must degrade, not fail"
+        ));
+    }
+    if budget_truncated == 0 {
+        violations.push(format!(
+            "budget phase: no response was budget-truncated at budget_ms={} — the gate proved nothing",
+            cfg.budget_ms
+        ));
+    }
+    let stable_speedup = if stable.p50_ms > 0.0 {
+        fixed.p50_ms / stable.p50_ms
+    } else {
+        0.0
+    };
+    if stable_speedup <= 1.0 {
+        violations.push(format!(
+            "stable p50 {:.3} ms not below fixed p50 {:.3} ms — early stop bought nothing",
+            stable.p50_ms, fixed.p50_ms
+        ));
+    }
+
+    // Phase 4 — follow-up: each budget query must eventually HIT a refined
+    // (non-budget) body under the same cache key. Re-issuing the identical
+    // URL is deliberate: budget_ms is excluded from the key, so until the
+    // refinement tier republishes, polls HIT the truncated body. The
+    // deadline is generous because the server refines serially (one worker,
+    // so refinement cannot starve serving) — the whole backlog is
+    // one-full-run times the number of unique budget queries.
+    let refine_deadline = Instant::now() + Duration::from_secs(120);
+    let mut refined_hits = 0usize;
+    let mut refined_followups = 0usize;
+    let mut waits_ms: Vec<f64> = Vec::new();
+    'outer: for c in 0..cfg.clients {
+        for i in 0..per_client {
+            let path = budget_path(c, i);
+            refined_followups += 1;
+            let started = Instant::now();
+            loop {
+                match http_get(cfg.addr, &path, Duration::from_secs(30)) {
+                    Ok(e) if (200..300).contains(&e.status) => {
+                        let body = String::from_utf8_lossy(&e.body);
+                        if e.x_cache.as_deref() == Some("HIT")
+                            && !body.contains("\"stop_reason\":\"budget\"")
+                        {
+                            refined_hits += 1;
+                            waits_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                            break;
+                        }
+                    }
+                    Ok(e) => {
+                        violations.push(format!(
+                            "follow-up {path}: status {} while polling for refinement",
+                            e.status
+                        ));
+                        break;
+                    }
+                    Err(e) => {
+                        violations.push(format!("follow-up {path}: {e}"));
+                        break;
+                    }
+                }
+                if Instant::now() >= refine_deadline {
+                    violations.push(format!(
+                        "follow-up {path}: no refined body within the 120 s deadline"
+                    ));
+                    break 'outer;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    if refined_hits < refined_followups {
+        violations.push(format!(
+            "only {refined_hits} of {refined_followups} budget queries were refined to convergence"
+        ));
+    }
+    waits_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    AnytimeReport {
+        config: cfg.clone(),
+        fixed,
+        stable,
+        budget,
+        stable_speedup,
+        budget_truncated,
+        budget_504s,
+        refined_followups,
+        refined_hits,
+        refined_wait_p50_ms: percentile(&waits_ms, 0.50),
+        violations,
+    }
+}
+
+/// Serializes an anytime report in the `BENCH_pr7.json` schema.
+pub fn render_anytime_report(r: &AnytimeReport) -> String {
+    use crate::json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("schema", "mpds-service/anytime_harness/v1")
+        .field_str(
+            "note",
+            "anytime-query harness; latencies are machine-dependent, the checked \
+             invariants are zero non-2xx (and zero 504s under budget_ms), stable \
+             cold p50 below fixed cold p50 at the same theta cap, at least one \
+             genuinely budget-truncated 200, and every budget query later served \
+             a refined (non-budget) body from cache under the same key",
+        )
+        .key("config")
+        .begin_object()
+        .field_str("dataset", &r.config.dataset)
+        .field_uint("clients", r.config.clients as u64)
+        .field_uint("queries_per_client", r.config.queries_per_client as u64)
+        .field_uint("server_threads", r.config.server_threads as u64)
+        .field_uint("theta", r.config.theta as u64)
+        .field_uint("k", r.config.k as u64)
+        .field_uint("window", r.config.window as u64)
+        .field_uint("budget_ms", r.config.budget_ms)
+        .end_object()
+        .key("phases")
+        .begin_array();
+    for (name, p) in [
+        ("fixed", &r.fixed),
+        ("stable", &r.stable),
+        ("budget", &r.budget),
+    ] {
+        w.begin_object()
+            .field_str("name", name)
+            .field_uint("requests", p.requests as u64)
+            .field_uint("errors", p.errors as u64)
+            .field_float("throughput_rps", round3(p.throughput_rps))
+            .field_float("p50_ms", round3(p.p50_ms))
+            .field_float("p99_ms", round3(p.p99_ms))
+            .end_object();
+    }
+    w.end_array()
+        .field_float("stable_speedup", round3(r.stable_speedup))
+        .field_uint("budget_truncated", r.budget_truncated as u64)
+        .field_uint("budget_504s", r.budget_504s as u64)
+        .key("refined")
+        .begin_object()
+        .field_uint("followups", r.refined_followups as u64)
+        .field_uint("hits", r.refined_hits as u64)
+        .field_float("wait_p50_ms", round3(r.refined_wait_p50_ms))
+        .end_object()
+        .key("violations")
+        .begin_array();
+    for v in &r.violations {
+        w.string(v);
+    }
+    w.end_array().end_object();
+    let mut s = w.finish();
+    s.push('\n');
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn anytime_report_renders_with_schema() {
+        let stats = PhaseStats {
+            requests: 32,
+            errors: 0,
+            throughput_rps: 10.0,
+            p50_ms: 100.0,
+            p99_ms: 200.0,
+        };
+        let r = AnytimeReport {
+            config: AnytimeConfig::default(),
+            fixed: stats.clone(),
+            stable: PhaseStats {
+                p50_ms: 25.0,
+                ..stats.clone()
+            },
+            budget: stats,
+            stable_speedup: 4.0,
+            budget_truncated: 30,
+            budget_504s: 0,
+            refined_followups: 32,
+            refined_hits: 32,
+            refined_wait_p50_ms: 180.5,
+            violations: vec![],
+        };
+        let s = render_anytime_report(&r);
+        assert!(s.contains("\"schema\":\"mpds-service/anytime_harness/v1\""));
+        assert!(s.contains("\"stable_speedup\":4.0"));
+        assert!(s.contains("\"budget_504s\":0"));
+        assert!(s.contains("\"refined\":{\"followups\":32,\"hits\":32"));
+        assert!(s.ends_with("}\n"));
+    }
 
     #[test]
     fn counter_scan_and_percentiles() {

@@ -19,14 +19,15 @@
 //! | `GET /healthz` | `{"status":"ok"}` |
 //! | `GET /datasets` | registry listing (name, loaded, shape, generation) |
 //! | `GET /dataset?name=D` | dataset stats (forces construction) |
-//! | `GET /query?dataset=D&…` | MPDS/NDS query (see [`crate::engine`]) |
+//! | `GET /query?dataset=D&…` | MPDS/NDS query (see [`crate::engine`]); anytime knobs: `stop=stable&window=N` early-stops when the top-k settles, `budget_ms=N` returns the best estimate so far (200, never 504) and refines in the background |
 //! | `POST /batch` | many queries over one shared world stream (JSON body of member specs; per-member cache keys, misses computed in a single [`mpds::QuerySet`] pass) |
 //! | `GET /diff?dataset=A&against=B&…` | one query over two datasets under common random numbers, diffed (A is the *after* side, B the baseline) |
 //! | `POST /update?dataset=D` | apply a mutation batch (body: `u v p` / `u v -` lines); gated by [`ServerConfig::mutable`] |
 //! | `GET /metrics` | cache/engine/server counters + per-dataset generation/overlay/compactions |
 
 use crate::engine::{
-    Algo, BatchMember, BatchRequest, QueryEngine, QueryError, QueryRequest, MAX_BATCH_MEMBERS,
+    Algo, BatchMember, BatchRequest, QueryEngine, QueryError, QueryRequest, StopSpec,
+    DEFAULT_STABLE_WINDOW, MAX_BATCH_MEMBERS,
 };
 use crate::json::JsonValue;
 use crate::json::{error_body, JsonWriter};
@@ -264,7 +265,7 @@ fn respond_overloaded(mut stream: TcpStream, drain_timeout: Duration) {
     let _ = stream.set_read_timeout(Some(drain_timeout));
     let _ = stream.set_write_timeout(Some(drain_timeout));
     let _ = read_request(&mut stream, |_, _| false);
-    let body = error_body("server overloaded: connection queue full");
+    let body = error_body("overloaded", "server overloaded: connection queue full");
     let _ = write_response(
         &mut stream,
         503,
@@ -326,7 +327,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
                 &mut stream,
                 400,
                 "Bad Request",
-                error_body(&msg).as_bytes(),
+                error_body("bad_request", &msg).as_bytes(),
                 None,
             );
             return;
@@ -441,12 +442,22 @@ fn route(
         Some((p, q)) => (p, q),
         None => (request.target.as_str(), ""),
     };
-    let bad = |msg: String| (400, "Bad Request", Body::Text(error_body(&msg)), None);
+    let bad = |msg: String| {
+        (
+            400,
+            "Bad Request",
+            Body::Text(error_body("bad_request", &msg)),
+            None,
+        )
+    };
     match (request.method.as_str(), path) {
         ("GET", "/update") => (
             405,
             "Method Not Allowed",
-            Body::Text(error_body("POST a mutation batch to /update")),
+            Body::Text(error_body(
+                "method_not_allowed",
+                "POST a mutation batch to /update",
+            )),
             None,
         ),
         ("POST", "/update") => {
@@ -455,6 +466,7 @@ fn route(
                     403,
                     "Forbidden",
                     Body::Text(error_body(
+                        "forbidden",
                         "server is immutable (start it with serve --mutable)",
                     )),
                     None,
@@ -479,7 +491,10 @@ fn route(
         ("GET", "/batch") => (
             405,
             "Method Not Allowed",
-            Body::Text(error_body("POST a JSON body of query specs to /batch")),
+            Body::Text(error_body(
+                "method_not_allowed",
+                "POST a JSON body of query specs to /batch",
+            )),
             None,
         ),
         ("POST", "/batch") => match parse_batch_request(&request.body) {
@@ -524,7 +539,10 @@ fn route(
         ("POST", _) => (
             405,
             "Method Not Allowed",
-            Body::Text(error_body("POST is only accepted on /update and /batch")),
+            Body::Text(error_body(
+                "method_not_allowed",
+                "POST is only accepted on /update and /batch",
+            )),
             None,
         ),
         ("GET", "/") | ("GET", "/healthz") => {
@@ -564,7 +582,7 @@ fn route(
         ("GET", _) => (
             404,
             "Not Found",
-            Body::Text(error_body("no such endpoint")),
+            Body::Text(error_body("not_found", "no such endpoint")),
             None,
         ),
         (method, _) => bad(format!("method {method} not supported (GET or POST)")),
@@ -572,13 +590,18 @@ fn route(
 }
 
 fn query_error_response(e: &QueryError) -> (u16, &'static str, Body, Option<&'static str>) {
-    let (status, reason) = match e {
-        QueryError::BadRequest(_) => (400, "Bad Request"),
-        QueryError::DeadlineExceeded { .. } => (504, "Gateway Timeout"),
-        QueryError::Cancelled => (503, "Service Unavailable"),
-        QueryError::Internal(_) => (500, "Internal Server Error"),
+    let (status, reason, code) = match e {
+        QueryError::BadRequest(_) => (400, "Bad Request", "bad_request"),
+        QueryError::DeadlineExceeded { .. } => (504, "Gateway Timeout", "deadline_exceeded"),
+        QueryError::Cancelled => (503, "Service Unavailable", "cancelled"),
+        QueryError::Internal(_) => (500, "Internal Server Error", "internal"),
     };
-    (status, reason, Body::Text(error_body(&e.to_string())), None)
+    (
+        status,
+        reason,
+        Body::Text(error_body(code, &e.to_string())),
+        None,
+    )
 }
 
 fn render_datasets(state: &ServerState) -> String {
@@ -614,6 +637,7 @@ fn render_metrics(state: &ServerState) -> String {
         .end_object()
         .field_uint("computed", s.computed)
         .field_uint("coalesced", s.coalesced)
+        .field_uint("refined", s.refined)
         .field_uint("worlds_sampled", s.worlds_sampled)
         .field_uint("worlds_requested", s.worlds_requested)
         .field_uint("rejected", state.rejected.load(Ordering::Relaxed))
@@ -733,6 +757,8 @@ fn parse_query_pairs(pairs: &[(String, String)]) -> Result<QueryRequest, String>
         .ok_or("missing parameter \"dataset\"")?;
     let mut req = QueryRequest::new(&dataset);
     let mut seen = std::collections::HashSet::new();
+    let mut stop: Option<String> = None;
+    let mut window: Option<u32> = None;
     for (k, v) in pairs {
         // `density` is an alias of `notion`; canonicalize before the
         // duplicate check so `notion=…&density=…` cannot sneak past it.
@@ -760,10 +786,32 @@ fn parse_query_pairs(pairs: &[(String, String)]) -> Result<QueryRequest, String>
             "timeout_ms" => {
                 req.timeout_ms = Some(v.parse().map_err(|e| format!("timeout_ms: {e}"))?)
             }
+            "budget_ms" => req.budget_ms = Some(v.parse().map_err(|e| format!("budget_ms: {e}"))?),
+            "stop" => stop = Some(v.clone()),
+            "window" => window = Some(v.parse().map_err(|e| format!("window: {e}"))?),
             other => return Err(format!("unknown parameter {other:?}")),
         }
     }
+    req.stop = parse_stop(stop.as_deref(), window)?;
     Ok(req)
+}
+
+/// Combines the `stop` and `window` parameters into a [`StopSpec`]: the
+/// grammar shared by `/query`, `/batch`, and the CLI flags. `window`
+/// without `stop=stable` is rejected (it would silently do nothing).
+fn parse_stop(stop: Option<&str>, window: Option<u32>) -> Result<StopSpec, String> {
+    match (stop, window) {
+        (None, None) | (Some("fixed"), None) => Ok(StopSpec::Fixed),
+        (Some("stable"), w) => Ok(StopSpec::Stable {
+            window: w.unwrap_or(DEFAULT_STABLE_WINDOW),
+        }),
+        (Some("fixed"), Some(_)) | (None, Some(_)) => {
+            Err("window requires stop=stable".to_string())
+        }
+        (Some(other), _) => Err(format!(
+            "stop: unknown policy {other:?} (expected fixed|stable)"
+        )),
+    }
 }
 
 /// Parses `/diff` parameters: the `/query` grammar plus a required
@@ -783,6 +831,12 @@ fn parse_diff_request(query: &str) -> Result<(QueryRequest, String), String> {
                 return Err(
                     "diff runs serially (CRN is one per-snapshot stream); drop threads".to_string(),
                 )
+            }
+            "stop" | "window" | "budget_ms" => {
+                return Err(format!(
+                    "diff supports no {k:?}: common random numbers need the same \
+                     fixed-θ stream on both snapshots"
+                ))
             }
             _ => rest.push((k, v)),
         }
@@ -807,12 +861,23 @@ fn parse_batch_request(body: &[u8]) -> Result<BatchRequest, String> {
         .as_str("dataset")?
         .to_string();
     let mut req = BatchRequest::new(&dataset);
+    let mut stop: Option<String> = None;
+    let mut window: Option<u32> = None;
     for (key, value) in fields {
         match key.as_str() {
             "dataset" => {}
             "theta" => req.theta = value.as_usize("theta")?,
             "seed" => req.seed = value.as_u64("seed")?,
             "timeout_ms" => req.timeout_ms = Some(value.as_u64("timeout_ms")?),
+            "budget_ms" => req.budget_ms = Some(value.as_u64("budget_ms")?),
+            "stop" => stop = Some(value.as_str("stop")?.to_string()),
+            "window" => {
+                let raw = value.as_u64("window")?;
+                window = Some(
+                    raw.try_into()
+                        .map_err(|_| format!("window: {raw} does not fit in 32 bits"))?,
+                )
+            }
             "members" => {
                 for (i, m) in value.as_array("members")?.iter().enumerate() {
                     req.members.push(parse_batch_member(m, i)?);
@@ -821,8 +886,18 @@ fn parse_batch_request(body: &[u8]) -> Result<BatchRequest, String> {
             other => return Err(format!("unknown field {other:?}")),
         }
     }
+    req.stop = parse_stop(stop.as_deref(), window)?;
     // Trip the duplicate-key check for every known top-level field.
-    for key in ["dataset", "theta", "seed", "timeout_ms", "members"] {
+    for key in [
+        "dataset",
+        "theta",
+        "seed",
+        "timeout_ms",
+        "budget_ms",
+        "stop",
+        "window",
+        "members",
+    ] {
         doc.get(key)?;
     }
     if req.members.is_empty() {
@@ -994,6 +1069,75 @@ mod tests {
             vec!["{}"; MAX_BATCH_MEMBERS + 1].join(",")
         );
         assert!(err(&too_many).contains("limit"));
+    }
+
+    #[test]
+    fn stop_and_budget_parameters() {
+        let req = parse_query_request("dataset=karate&stop=stable&window=16").unwrap();
+        assert_eq!(req.stop, StopSpec::Stable { window: 16 });
+        let req = parse_query_request("dataset=karate&stop=stable").unwrap();
+        assert_eq!(
+            req.stop,
+            StopSpec::Stable {
+                window: DEFAULT_STABLE_WINDOW
+            }
+        );
+        let req = parse_query_request("dataset=karate&stop=fixed").unwrap();
+        assert_eq!(req.stop, StopSpec::Fixed);
+        let req = parse_query_request("dataset=karate&budget_ms=250").unwrap();
+        assert_eq!(req.budget_ms, Some(250));
+        assert_eq!(req.stop, StopSpec::Fixed);
+        // window without stop=stable would silently do nothing — reject.
+        assert!(parse_query_request("dataset=karate&window=8")
+            .unwrap_err()
+            .contains("stop=stable"));
+        assert!(parse_query_request("dataset=karate&stop=fixed&window=8")
+            .unwrap_err()
+            .contains("stop=stable"));
+        assert!(parse_query_request("dataset=karate&stop=sideways")
+            .unwrap_err()
+            .contains("unknown policy"));
+        assert!(
+            parse_query_request("dataset=karate&stop=stable&stop=stable")
+                .unwrap_err()
+                .contains("duplicate parameter")
+        );
+    }
+
+    #[test]
+    fn diff_rejects_anytime_parameters() {
+        for p in ["stop=stable", "window=8", "budget_ms=100"] {
+            let err = parse_diff_request(&format!("dataset=a&against=b&{p}")).unwrap_err();
+            assert!(err.contains("common random numbers"), "{p}: {err}");
+        }
+    }
+
+    #[test]
+    fn batch_stop_and_budget_fields() {
+        let req = parse_batch_request(
+            br#"{"dataset":"d","stop":"stable","window":12,"budget_ms":500,"members":[{}]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.stop, StopSpec::Stable { window: 12 });
+        assert_eq!(req.budget_ms, Some(500));
+        let req =
+            parse_batch_request(br#"{"dataset":"d","stop":"stable","members":[{}]}"#).unwrap();
+        assert_eq!(
+            req.stop,
+            StopSpec::Stable {
+                window: DEFAULT_STABLE_WINDOW
+            }
+        );
+        assert!(
+            parse_batch_request(br#"{"dataset":"d","window":5,"members":[{}]}"#)
+                .unwrap_err()
+                .contains("stop=stable")
+        );
+        assert!(
+            parse_batch_request(br#"{"dataset":"d","stop":"nope","members":[{}]}"#)
+                .unwrap_err()
+                .contains("unknown policy")
+        );
     }
 
     #[test]

@@ -175,10 +175,24 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Renders a one-field error document: `{"error":"..."}`.
-pub fn error_body(message: &str) -> String {
+/// Renders the unified error document shared by every endpoint:
+/// `{"error":{"code":"...","reason":"..."},"reason":"..."}`.
+///
+/// `code` is a stable machine vocabulary (`bad_request`, `not_found`,
+/// `method_not_allowed`, `forbidden`, `overloaded`, `deadline_exceeded`,
+/// `cancelled`, `internal`); `reason` is the human-readable message. The
+/// top-level `"reason"` duplicates the nested one for clients that still
+/// read the old flat shape — kept for one release, then dropped.
+pub fn error_body(code: &str, reason: &str) -> String {
     let mut w = JsonWriter::new();
-    w.begin_object().field_str("error", message).end_object();
+    w.begin_object()
+        .key("error")
+        .begin_object()
+        .field_str("code", code)
+        .field_str("reason", reason)
+        .end_object()
+        .field_str("reason", reason)
+        .end_object();
     w.finish()
 }
 
@@ -482,7 +496,35 @@ mod tests {
 
     #[test]
     fn error_body_shape() {
-        assert_eq!(error_body("bad"), "{\"error\":\"bad\"}");
+        // Nested typed error plus the one-release top-level alias. No
+        // duplicate keys: `error` is an object, `reason` appears once at
+        // each level.
+        assert_eq!(
+            error_body("bad_request", "bad"),
+            "{\"error\":{\"code\":\"bad_request\",\"reason\":\"bad\"},\"reason\":\"bad\"}"
+        );
+        // The alias must stay parseable by the strict duplicate-rejecting
+        // parser (the loopback tests read error bodies through it).
+        let doc = JsonValue::parse(&error_body("internal", "boom")).unwrap();
+        assert_eq!(
+            doc.get("error")
+                .unwrap()
+                .unwrap()
+                .get("code")
+                .unwrap()
+                .unwrap()
+                .as_str("code")
+                .unwrap(),
+            "internal"
+        );
+        assert_eq!(
+            doc.get("reason")
+                .unwrap()
+                .unwrap()
+                .as_str("reason")
+                .unwrap(),
+            "boom"
+        );
     }
 
     #[test]

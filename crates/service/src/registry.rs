@@ -33,7 +33,7 @@ use ugraph::{datasets, io, NodeId, UncertainGraph};
 /// A loaded dataset snapshot: the shared graph at one generation plus the
 /// label of every compact node id (file-backed datasets keep their original
 /// labels; built-ins are identity-labeled until an update adds nodes).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct LoadedGraph {
     /// Registry name.
     pub name: String,

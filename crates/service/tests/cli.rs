@@ -118,14 +118,78 @@ fn mpds_json_flag_is_deterministic() {
         assert!(out.status.success());
         out.stdout
     };
-    let a = run();
-    let b = run();
-    assert_eq!(a, b, "same seed must give identical JSON bytes");
-    let text = String::from_utf8(a).unwrap();
+    // `--json` adds a CLI-only `wall_ms` to the stats block; everything
+    // else must be byte-identical across runs with the same seed.
+    let strip_wall = |bytes: Vec<u8>| {
+        let text = String::from_utf8(bytes).unwrap();
+        let i = text
+            .find("\"wall_ms\":")
+            .unwrap_or_else(|| panic!("stats block must carry wall_ms: {text}"));
+        let tail = &text[i + "\"wall_ms\":".len()..];
+        let digits = tail.find(|c: char| !c.is_ascii_digit()).unwrap();
+        assert!(digits > 0, "wall_ms must be a number: {text}");
+        format!("{}{}", &text[..i], &tail[digits..])
+    };
+    let a = strip_wall(run());
+    let b = strip_wall(run());
+    assert_eq!(a, b, "same seed must give identical JSON modulo wall_ms");
+    let text = a;
     assert!(text.contains("\"algo\":\"mpds\""), "{text}");
     assert!(text.contains("\"score\":\"tau_hat\""), "{text}");
+    assert!(text.contains("\"stats\":{\"worlds_sampled\":500"), "{text}");
+    assert!(text.contains("\"stop_reason\":\"completed\""), "{text}");
     // Results use the file's original labels (2 and 4 are B and D).
     assert!(text.contains("\"nodes\":[2,4]"), "{text}");
+}
+
+#[test]
+fn stable_stop_ends_early_and_reports_stats() {
+    let path = demo_file();
+    let out = cli()
+        .args([
+            "mpds",
+            path.as_str(),
+            "--theta",
+            "3000",
+            "--k",
+            "1",
+            "--seed",
+            "7",
+            "--stop",
+            "stable",
+            "--window",
+            "64",
+            "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    // On the tiny fig1 graph the top-1 set stabilizes long before 3000
+    // worlds; the body must echo the policy and report the early stop.
+    assert!(text.contains("\"stop\":\"stable\",\"window\":64"), "{text}");
+    assert!(text.contains("\"stop_reason\":\"stable\""), "{text}");
+    assert!(text.contains("\"converged_at\":"), "{text}");
+
+    // Human output carries the same run summary.
+    let out = cli()
+        .args([
+            "mpds",
+            path.as_str(),
+            "--theta",
+            "3000",
+            "--k",
+            "1",
+            "--seed",
+            "7",
+            "--stop",
+            "stable",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("stop: stable, converged at world"), "{text}");
 }
 
 #[test]

@@ -301,6 +301,56 @@ fn batch_harness_runs_clean_and_measures_amortization() {
 }
 
 #[test]
+fn anytime_budget_serves_200_then_refines_to_the_same_cache_key() {
+    // The anytime contract over real HTTP: a budget-truncated query answers
+    // 200 with a best-so-far body (never 504), and the background refinement
+    // tier republishes a converged body under the same URL so a follow-up is
+    // a cache HIT without the budget marker.
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let path = "/query?dataset=karate&theta=2000&k=3&seed=41&budget_ms=1";
+
+    let e = get(&server, path);
+    assert_eq!(e.status, 200, "{}", String::from_utf8_lossy(&e.body));
+    let text = String::from_utf8(e.body).unwrap();
+    assert!(text.contains("\"stop_reason\":\"budget\""), "{text}");
+
+    // Poll the identical URL (budget_ms is not part of the cache key) until
+    // the refinement worker has swapped in the converged body.
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    let refined = loop {
+        let e = get(&server, path);
+        assert_eq!(e.status, 200);
+        let body = String::from_utf8(e.body).unwrap();
+        if e.x_cache.as_deref() == Some("HIT") && !body.contains("\"stop_reason\":\"budget\"") {
+            break body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no refined body within the deadline; last: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(
+        refined.contains("\"stop_reason\":\"completed\""),
+        "{refined}"
+    );
+    assert!(refined.contains("\"worlds_sampled\":2000"), "{refined}");
+    let metrics = String::from_utf8(get(&server, "/metrics").body).unwrap();
+    assert!(metrics.contains("\"refined\":1"), "{metrics}");
+
+    // A stable-stop query converges early and says so in its stats block.
+    let e = get(
+        &server,
+        "/query?dataset=karate&theta=3000&k=1&seed=7&stop=stable&window=64",
+    );
+    assert_eq!(e.status, 200, "{}", String::from_utf8_lossy(&e.body));
+    let text = String::from_utf8(e.body).unwrap();
+    assert!(text.contains("\"stop\":\"stable\",\"window\":64"), "{text}");
+    assert!(text.contains("\"stop_reason\":\"stable\""), "{text}");
+    assert!(text.contains("\"converged_at\":"), "{text}");
+}
+
+#[test]
 fn shutdown_cancels_inflight_queries() {
     let mut server = start_server(&EngineConfig::default(), &ServerConfig::default());
     let addr = server.local_addr();

@@ -15,7 +15,7 @@
 
 use densest::DensityNotion;
 use mpds::api::{Exec, Query, RunDetails, SamplerKind};
-use mpds::{MpdsResult, NdsResult, QuerySet};
+use mpds::{MpdsResult, NdsResult, QuerySet, Stop, StopReason};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -212,6 +212,88 @@ proptest! {
         let details = nds_details(run.details);
         prop_assert_eq!(details.transactions, expected_transactions);
         prop_assert_eq!(details.empty_worlds, expected_empty);
+    }
+
+    /// The anytime contract, MPDS side: a `Stop::Stable` run that stops
+    /// after `t` worlds is bit-identical to `Stop::FixedTheta` at
+    /// `theta = t` with the same seed — early stopping truncates the world
+    /// stream, it never changes what any prefix of the stream estimates.
+    #[test]
+    fn stable_stop_equals_fixed_theta_at_the_stop_point_mpds(
+        ug in arb_uncertain(),
+        seed in 0u64..512,
+        theta in 4usize..40,
+        window in 1usize..6,
+    ) {
+        let stable = Query::mpds(DensityNotion::Edge)
+            .theta(theta)
+            .k(3)
+            .seed(seed)
+            .stop(Stop::Stable { window, min_theta: window, theta_cap: theta })
+            .run(&ug)
+            .unwrap();
+        let t = stable.stats.worlds_sampled;
+        prop_assert!(t >= 1 && t <= theta, "stop point {} outside 1..={}", t, theta);
+        if stable.stats.stop_reason == StopReason::Stable {
+            prop_assert!(t < theta || stable.stats.converged_at.is_some());
+        } else {
+            prop_assert_eq!(stable.stats.stop_reason, StopReason::Completed);
+            prop_assert_eq!(t, theta);
+        }
+        let fixed = Query::mpds(DensityNotion::Edge)
+            .theta(t)
+            .k(3)
+            .seed(seed)
+            .run(&ug)
+            .unwrap();
+        let sb: Vec<(NodeSet, u64)> =
+            stable.top_k.iter().map(|(s, v)| (s.clone(), v.to_bits())).collect();
+        let fb: Vec<(NodeSet, u64)> =
+            fixed.top_k.iter().map(|(s, v)| (s.clone(), v.to_bits())).collect();
+        prop_assert_eq!(sb, fb);
+        prop_assert_eq!(stable.stats.empty_worlds, fixed.stats.empty_worlds);
+        let s = mpds_details(stable.details);
+        let f = mpds_details(fixed.details);
+        prop_assert_eq!(s.candidates, f.candidates);
+        prop_assert_eq!(s.densest_counts, f.densest_counts);
+    }
+
+    /// The anytime contract, NDS side: same statement over the closed-set
+    /// miner — transactions collected up to the stop point match a fixed-θ
+    /// run of exactly that length.
+    #[test]
+    fn stable_stop_equals_fixed_theta_at_the_stop_point_nds(
+        ug in arb_uncertain(),
+        seed in 0u64..512,
+        theta in 4usize..40,
+        window in 1usize..6,
+    ) {
+        let stable = Query::nds(DensityNotion::Edge)
+            .theta(theta)
+            .k(3)
+            .min_size(2)
+            .seed(seed)
+            .stop(Stop::Stable { window, min_theta: window, theta_cap: theta })
+            .run(&ug)
+            .unwrap();
+        let t = stable.stats.worlds_sampled;
+        prop_assert!(t >= 1 && t <= theta);
+        let fixed = Query::nds(DensityNotion::Edge)
+            .theta(t)
+            .k(3)
+            .min_size(2)
+            .seed(seed)
+            .run(&ug)
+            .unwrap();
+        let sb: Vec<(NodeSet, u64)> =
+            stable.top_k.iter().map(|(s, v)| (s.clone(), v.to_bits())).collect();
+        let fb: Vec<(NodeSet, u64)> =
+            fixed.top_k.iter().map(|(s, v)| (s.clone(), v.to_bits())).collect();
+        prop_assert_eq!(sb, fb);
+        let s = nds_details(stable.details);
+        let f = nds_details(fixed.details);
+        prop_assert_eq!(s.transactions, f.transactions);
+        prop_assert_eq!(s.empty_worlds, f.empty_worlds);
     }
 
     /// A single-member `QuerySet` is bit-identical to the equivalent
