@@ -69,6 +69,7 @@ use crate::nds::NdsResult;
 use densest::{
     all_densest, heuristic::heuristic_dense_subgraphs, max_sized_densest, DensityNotion,
 };
+use mpds_obs::Stage;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sampling::{stream_seed, LazyPropagation, MonteCarlo, RecursiveStratified, WorldSampler};
@@ -1091,15 +1092,25 @@ impl Query {
         let limit = self.world_limit();
         progress.begin(limit);
         let mut tracker = self.stable_tracker();
+        // Stage recorder (if attached): a disabled recorder hands out inert
+        // spans, so the un-profiled loop pays one branch per stage, no
+        // clock reads.
+        let rec = self.control.recorder();
         match self.kind {
             Kind::Mpds => {
                 let mut acc = MpdsAccum::new(self);
                 let mut outcome =
                     sample_worlds(g, sampler, limit, &self.control, progress, |world| {
-                        acc.consume(world, self);
+                        {
+                            let _span = rec.map(|r| r.span(Stage::EstimatorAccumulate));
+                            acc.consume(world, self);
+                        }
                         match &mut tracker {
                             None => true,
-                            Some(t) => !t.observe(top_k_sets(&acc.candidates, self.k)),
+                            Some(t) => {
+                                let _span = rec.map(|r| r.span(Stage::StableTracker));
+                                !t.observe(top_k_sets(&acc.candidates, self.k))
+                            }
                         }
                     })?;
                 self.note_convergence(&mut outcome);
@@ -1109,10 +1120,14 @@ impl Query {
                 let mut acc = NdsAccum::new(self);
                 let mut outcome =
                     sample_worlds(g, sampler, limit, &self.control, progress, |world| {
-                        acc.consume(world, self);
+                        {
+                            let _span = rec.map(|r| r.span(Stage::EstimatorAccumulate));
+                            acc.consume(world, self);
+                        }
                         match &mut tracker {
                             None => true,
                             Some(t) => {
+                                let _span = rec.map(|r| r.span(Stage::StableTracker));
                                 let (mined, _) = itemset::top_k_closed(
                                     &acc.transactions,
                                     self.k,
@@ -1172,6 +1187,7 @@ impl Query {
                     let quota = per + usize::from(w < extra);
                     let mut acc = seed_acc.fresh();
                     scope.spawn(move || {
+                        let rec = self.control.recorder();
                         let mut sampler = self.sampler.build_stream(g, self.seed, w as u64);
                         let outcome = sample_worlds(
                             g,
@@ -1180,6 +1196,7 @@ impl Query {
                             &self.control,
                             progress,
                             |world| {
+                                let _span = rec.map(|r| r.span(Stage::EstimatorAccumulate));
                                 acc.consume(world, self);
                                 true
                             },
@@ -1336,6 +1353,7 @@ pub(crate) fn sample_worlds<S: WorldSampler + ?Sized>(
 ) -> Result<WorldsOutcome, Interrupted> {
     let mut mask = EdgeMask::new(g.num_edges());
     let mut world = Graph::default();
+    let rec = ctrl.recorder();
     for completed in 0..limit {
         if let Some(reason) = ctrl.interruption() {
             return Err(Interrupted {
@@ -1350,8 +1368,11 @@ pub(crate) fn sample_worlds<S: WorldSampler + ?Sized>(
                 converged_at: None,
             });
         }
-        sampler.next_mask_into(&mut mask);
-        world = g.world_from_bitmap(&mask, world);
+        {
+            let _span = rec.map(|r| r.span(Stage::WorldMaterialize));
+            sampler.next_mask_into(&mut mask);
+            world = g.world_from_bitmap(&mask, world);
+        }
         let keep_going = per_world(&world);
         progress.world_done();
         if !keep_going {

@@ -21,6 +21,7 @@
 //! with both stops at whichever fires first — cancellation, then hard
 //! deadline, then budget.
 
+use mpds_obs::Recorder;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -68,6 +69,7 @@ pub struct RunControl {
     deadline: Option<Instant>,
     cancel: Option<Arc<AtomicBool>>,
     budget: Option<Instant>,
+    recorder: Option<Arc<Recorder>>,
 }
 
 impl RunControl {
@@ -97,6 +99,21 @@ impl RunControl {
     pub fn with_budget(mut self, budget: Instant) -> Self {
         self.budget = Some(budget);
         self
+    }
+
+    /// Attach a stage-timing [`Recorder`]: the sampling loop wraps world
+    /// materialization, estimator accumulation, and stability tracking in
+    /// [`mpds_obs::Span`]s against it. A *disabled* recorder (or none at
+    /// all) keeps the loop on its fast path — no clock reads per world.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached stage recorder, if any.
+    #[inline]
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_deref()
     }
 
     /// `true` once the graceful budget (if any) has passed. Unlike

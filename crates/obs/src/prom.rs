@@ -1,0 +1,202 @@
+//! Deterministic Prometheus text-format (version 0.0.4) exposition.
+//!
+//! [`PromText`] renders metric families in the order they are written, with
+//! `# HELP`/`# TYPE` headers and full 64-bucket cumulative histogram series
+//! (`_bucket{le=...}`, `_sum`, `_count`). Every bucket of the fixed layout
+//! is always emitted, so scrapes of different series are bucket-aligned and
+//! [`crate::scrape::prom_histogram`] can reconstruct exact
+//! [`HistogramSnapshot`]s by subtraction.
+
+use crate::hist::{bucket_le, HistogramSnapshot};
+
+/// The `Content-Type` of the text rendered by [`PromText`].
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Incremental writer for the Prometheus text exposition format.
+///
+/// ```
+/// use mpds_obs::{Histogram, PromText};
+/// let h = Histogram::new();
+/// h.record(5);
+/// let mut w = PromText::new();
+/// w.family("mpds_demo_duration_us", "histogram", "Demo latency.");
+/// w.histogram("mpds_demo_duration_us", &[("endpoint", "query")], &h.snapshot());
+/// let text = w.finish();
+/// assert!(text.contains("# TYPE mpds_demo_duration_us histogram"));
+/// assert!(text.contains("mpds_demo_duration_us_bucket{endpoint=\"query\",le=\"7\"} 1"));
+/// assert!(text.ends_with("mpds_demo_duration_us_count{endpoint=\"query\"} 1\n"));
+/// ```
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        PromText::default()
+    }
+
+    /// Writes the `# HELP` and `# TYPE` headers for a metric family.
+    /// `kind` is one of `counter`, `gauge`, or `histogram`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Writes one unsigned sample line: `name{labels} value`.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_start(name, labels, None);
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Writes one signed sample line (gauges may be transiently negative).
+    pub fn sample_i64(&mut self, name: &str, labels: &[(&str, &str)], value: i64) {
+        self.sample_start(name, labels, None);
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
+    }
+
+    /// Writes a full cumulative histogram series for one label set: all 64
+    /// `_bucket` lines (the overflow bucket as `le="+Inf"`), then `_sum`
+    /// and `_count`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        let bucket_name = format!("{name}_bucket");
+        let mut cumulative = 0u64;
+        for (i, &c) in snap.counts().iter().enumerate() {
+            cumulative += c;
+            let le = match bucket_le(i) {
+                Some(bound) => bound.to_string(),
+                None => "+Inf".to_string(),
+            };
+            self.sample_start(&bucket_name, labels, Some(&le));
+            self.out.push(' ');
+            self.out.push_str(&cumulative.to_string());
+            self.out.push('\n');
+        }
+        self.sample_u64(&format!("{name}_sum"), labels, snap.sum());
+        self.sample_u64(&format!("{name}_count"), labels, cumulative);
+    }
+
+    /// Consumes the writer and returns the rendered text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn sample_start(&mut self, name: &str, labels: &[(&str, &str)], le: Option<&str>) {
+        self.out.push_str(name);
+        if !labels.is_empty() || le.is_some() {
+            self.out.push('{');
+            let mut first = true;
+            for (k, v) in labels {
+                if !first {
+                    self.out.push(',');
+                }
+                first = false;
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                escape_label(&mut self.out, v);
+                self.out.push('"');
+            }
+            if let Some(le) = le {
+                if !first {
+                    self.out.push(',');
+                }
+                self.out.push_str("le=\"");
+                self.out.push_str(le);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+    }
+}
+
+/// Escapes a label value per the text format: backslash, double quote, and
+/// newline.
+fn escape_label(out: &mut String, value: &str) {
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counter_and_gauge_lines() {
+        let mut w = PromText::new();
+        w.family("mpds_served_total", "counter", "Requests served.");
+        w.sample_u64("mpds_served_total", &[], 7);
+        w.family("mpds_inflight", "gauge", "In-flight requests.");
+        w.sample_i64("mpds_inflight", &[("listener", "main")], -1);
+        assert_eq!(
+            w.finish(),
+            "# HELP mpds_served_total Requests served.\n\
+             # TYPE mpds_served_total counter\n\
+             mpds_served_total 7\n\
+             # HELP mpds_inflight In-flight requests.\n\
+             # TYPE mpds_inflight gauge\n\
+             mpds_inflight{listener=\"main\"} -1\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromText::new();
+        w.sample_u64("m", &[("d", "a\"b\\c\nd")], 1);
+        assert_eq!(w.finish(), "m{d=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    // Pins the histogram text rendering byte-for-byte: bucket alignment,
+    // cumulative counts, the +Inf bucket, and the _sum/_count tail.
+    #[test]
+    fn histogram_rendering_is_pinned() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0, le="0"
+        h.record(3); // bucket 2, le="3"
+        h.record(3);
+        h.record(1u64 << 62); // overflow bucket, le="+Inf"
+        let mut w = PromText::new();
+        w.family("d_us", "histogram", "Demo.");
+        w.histogram("d_us", &[("src", "HIT")], &h.snapshot());
+        let text = w.finish();
+
+        let mut expected = String::from("# HELP d_us Demo.\n# TYPE d_us histogram\n");
+        let mut cumulative = 0u64;
+        for i in 0..crate::BUCKETS {
+            cumulative += match i {
+                0 => 1,
+                2 => 2,
+                63 => 1,
+                _ => 0,
+            };
+            let le = match bucket_le(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            expected.push_str(&format!(
+                "d_us_bucket{{src=\"HIT\",le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        expected.push_str("d_us_sum{src=\"HIT\"} 4611686018427387910\n");
+        expected.push_str("d_us_count{src=\"HIT\"} 4\n");
+        assert_eq!(text, expected);
+    }
+}

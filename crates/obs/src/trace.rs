@@ -1,0 +1,276 @@
+//! Cheap per-stage tracing: a [`Recorder`] accumulates wall time per
+//! pipeline [`Stage`], and a [`Span`] is an RAII guard that times one stage
+//! invocation.
+//!
+//! The design constraint is the sampling hot loop: when a recorder is
+//! disabled (the default for un-profiled requests), [`Recorder::span`]
+//! returns an inert guard without reading the clock — the whole per-world
+//! cost is one branch. When enabled, each span costs two monotonic clock
+//! reads and two relaxed `fetch_add`s on drop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The instrumented stages of the query pipeline, in execution order.
+///
+/// `SnapshotResolve`, `CacheProbe`, and `JsonRender` are timed once per
+/// request by the serving engine; `WorldMaterialize`,
+/// `EstimatorAccumulate`, and `StableTracker` are timed once per sampled
+/// world inside the core sampling loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Resolving the dataset name to a graph snapshot in the registry.
+    SnapshotResolve,
+    /// Probing the response cache (and joining in-flight duplicates).
+    CacheProbe,
+    /// Drawing the next world: mask sampling plus subgraph materialization.
+    WorldMaterialize,
+    /// Folding the materialized world into the density estimator.
+    EstimatorAccumulate,
+    /// Checking top-k stability for early stopping.
+    StableTracker,
+    /// Rendering the response body JSON.
+    JsonRender,
+}
+
+impl Stage {
+    /// Number of stages (the length of [`Stage::ALL`]).
+    pub const COUNT: usize = 6;
+
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::SnapshotResolve,
+        Stage::CacheProbe,
+        Stage::WorldMaterialize,
+        Stage::EstimatorAccumulate,
+        Stage::StableTracker,
+        Stage::JsonRender,
+    ];
+
+    /// The stage's stable snake_case name, used in `?profile=1` blocks and
+    /// Prometheus labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::SnapshotResolve => "snapshot_resolve",
+            Stage::CacheProbe => "cache_probe",
+            Stage::WorldMaterialize => "world_materialize",
+            Stage::EstimatorAccumulate => "estimator_accumulate",
+            Stage::StableTracker => "stable_tracker",
+            Stage::JsonRender => "json_render",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Accumulates per-[`Stage`] wall time and invocation counts.
+///
+/// A recorder is either *enabled* (spans read the clock and record) or
+/// *disabled* (spans are inert). Disabled recorders still accept
+/// [`Recorder::record_ns`] and [`Recorder::absorb`], so one always-on
+/// recorder can serve as a process-wide aggregation sink.
+///
+/// ```
+/// use mpds_obs::{Recorder, Stage};
+/// let rec = Recorder::new(true);
+/// {
+///     let _s = rec.span(Stage::JsonRender);
+/// }
+/// let totals = rec.totals();
+/// assert_eq!(totals.count(Stage::JsonRender), 1);
+/// assert_eq!(totals.count(Stage::CacheProbe), 0);
+/// ```
+#[derive(Debug)]
+pub struct Recorder {
+    enabled: bool,
+    total_ns: [AtomicU64; Stage::COUNT],
+    count: [AtomicU64; Stage::COUNT],
+}
+
+impl Default for Recorder {
+    /// A *disabled* recorder — the right default for aggregation sinks,
+    /// which are fed via [`Recorder::absorb`]/[`Recorder::record_ns`].
+    fn default() -> Self {
+        Recorder::new(false)
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder; `enabled` controls whether [`Recorder::span`]
+    /// reads the clock.
+    pub fn new(enabled: bool) -> Self {
+        Recorder {
+            enabled,
+            total_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Whether spans from this recorder time their stage.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts timing `stage`; the returned guard records on drop. When the
+    /// recorder is disabled this is a no-op that never reads the clock.
+    #[inline]
+    #[must_use = "the span records its stage when dropped"]
+    pub fn span(&self, stage: Stage) -> Span<'_> {
+        if self.enabled {
+            Span {
+                active: Some((self, stage, Instant::now())),
+            }
+        } else {
+            Span { active: None }
+        }
+    }
+
+    /// Directly adds one invocation of `stage` lasting `ns` nanoseconds,
+    /// bypassing the enabled gate (used for aggregation sinks).
+    #[inline]
+    pub fn record_ns(&self, stage: Stage, ns: u64) {
+        let i = stage.index();
+        self.total_ns[i].fetch_add(ns, Ordering::Relaxed);
+        self.count[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds a finished request's [`StageTotals`] into this recorder
+    /// (aggregating per-request profiles into process totals).
+    pub fn absorb(&self, totals: &StageTotals) {
+        for i in 0..Stage::COUNT {
+            self.total_ns[i].fetch_add(totals.total_ns[i], Ordering::Relaxed);
+            self.count[i].fetch_add(totals.count[i], Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a point-in-time copy of the accumulated stage totals.
+    pub fn totals(&self) -> StageTotals {
+        let mut t = StageTotals::default();
+        for i in 0..Stage::COUNT {
+            t.total_ns[i] = self.total_ns[i].load(Ordering::Relaxed);
+            t.count[i] = self.count[i].load(Ordering::Relaxed);
+        }
+        t
+    }
+}
+
+/// RAII guard returned by [`Recorder::span`]; records elapsed wall time for
+/// its stage when dropped (inert when the recorder is disabled).
+#[derive(Debug)]
+pub struct Span<'a> {
+    active: Option<(&'a Recorder, Stage, Instant)>,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if let Some((rec, stage, start)) = self.active.take() {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            rec.record_ns(stage, ns);
+        }
+    }
+}
+
+/// An owned copy of a [`Recorder`]'s accumulated state: total nanoseconds
+/// and invocation count per stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTotals {
+    total_ns: [u64; Stage::COUNT],
+    count: [u64; Stage::COUNT],
+}
+
+impl StageTotals {
+    /// Total nanoseconds accumulated for `stage`.
+    pub fn total_ns(&self, stage: Stage) -> u64 {
+        self.total_ns[stage.index()]
+    }
+
+    /// Total microseconds accumulated for `stage` (integer division).
+    pub fn total_us(&self, stage: Stage) -> u64 {
+        self.total_ns[stage.index()] / 1_000
+    }
+
+    /// Number of recorded invocations of `stage`.
+    pub fn count(&self, stage: Stage) -> u64 {
+        self.count[stage.index()]
+    }
+
+    /// Sums another totals into this one.
+    pub fn merge(&mut self, other: &StageTotals) {
+        for i in 0..Stage::COUNT {
+            self.total_ns[i] += other.total_ns[i];
+            self.count[i] += other.count[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let rec = Recorder::new(false);
+        for stage in Stage::ALL {
+            let _s = rec.span(stage);
+        }
+        assert_eq!(rec.totals(), StageTotals::default());
+    }
+
+    #[test]
+    fn enabled_spans_count_and_accumulate() {
+        let rec = Recorder::new(true);
+        for _ in 0..3 {
+            let _s = rec.span(Stage::EstimatorAccumulate);
+        }
+        let t = rec.totals();
+        assert_eq!(t.count(Stage::EstimatorAccumulate), 3);
+        assert_eq!(t.count(Stage::WorldMaterialize), 0);
+    }
+
+    #[test]
+    fn concurrent_spans_merge_exactly() {
+        use std::sync::Arc;
+        let shared = Arc::new(Recorder::new(true));
+        let locals: Vec<Arc<Recorder>> = (0..4).map(|_| Arc::new(Recorder::new(true))).collect();
+        std::thread::scope(|scope| {
+            for local in &locals {
+                let shared = Arc::clone(&shared);
+                let local = Arc::clone(local);
+                scope.spawn(move || {
+                    for i in 0..5_000u64 {
+                        let stage = Stage::ALL[(i % 6) as usize];
+                        shared.record_ns(stage, i);
+                        local.record_ns(stage, i);
+                    }
+                });
+            }
+        });
+        let global = Recorder::new(false);
+        for local in &locals {
+            global.absorb(&local.totals());
+        }
+        assert_eq!(global.totals(), shared.totals());
+        let counts: u64 = Stage::ALL.iter().map(|&s| global.totals().count(s)).sum();
+        assert_eq!(counts, 20_000);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "snapshot_resolve",
+                "cache_probe",
+                "world_materialize",
+                "estimator_accumulate",
+                "stable_tracker",
+                "json_render"
+            ]
+        );
+    }
+}

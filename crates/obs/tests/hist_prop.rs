@@ -1,0 +1,67 @@
+//! Property tests for the log2 histogram: estimated quantiles must land
+//! inside the bucket bounds of the exact sample quantile.
+
+use mpds_obs::{bucket_bounds, bucket_index, Histogram};
+use proptest::prelude::*;
+
+/// Exact q-quantile of a sample set, mirroring the histogram's rank rule:
+/// the ceil(q·n)-th order statistic (1-based, clamped to [1, n]).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    // For any sample set, the histogram quantile lies within the log2
+    // bucket bounds of the exact quantile of the recorded samples.
+    #[test]
+    fn quantile_within_bucket_of_exact(
+        samples in proptest::collection::vec(0u64..2_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let (lo, hi) = bucket_bounds(bucket_index(exact));
+        let est = h.snapshot().quantile(q);
+        prop_assert!(
+            est >= lo as f64 && est <= hi as f64,
+            "q={} exact={} bucket=[{},{}] est={}",
+            q, exact, lo, hi, est
+        );
+    }
+
+    // Count and sum are exact regardless of bucketing.
+    #[test]
+    fn count_and_sum_are_exact(
+        samples in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.sum(), samples.iter().sum::<u64>());
+    }
+
+    // Recording on bucket bounds themselves: the estimate equals the bound
+    // when every sample is the same value sitting on a bucket edge.
+    #[test]
+    fn degenerate_bound_samples_stay_in_bucket(i in 0usize..64, q in 0.01f64..1.0) {
+        let (lo, hi) = bucket_bounds(i);
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.record(lo);
+        }
+        let est = h.snapshot().quantile(q);
+        prop_assert!(est >= lo as f64 && est <= hi as f64, "i={} est={}", i, est);
+    }
+}

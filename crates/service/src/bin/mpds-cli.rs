@@ -35,6 +35,8 @@
 //!   --queue N             admission queue bound     [default 64]
 //!   --dataset NAME=PATH   register an edge-list file (repeatable)
 //!   --mutable             serve POST /update (off by default)
+//!   --access-log PATH     append one JSON line per request (off by default)
+//!   --slow-ms N           echo requests taking ≥ N ms to stderr (off by default)
 //!
 //! update options:
 //!   --dataset NAME        target dataset            (required)
@@ -117,6 +119,8 @@ struct ServeOptions {
     queue: usize,
     datasets: Vec<(String, String)>,
     mutable: bool,
+    access_log: Option<String>,
+    slow_ms: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -291,6 +295,8 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
         queue: 64,
         datasets: Vec::new(),
         mutable: false,
+        access_log: None,
+        slow_ms: None,
     };
     let mut seen = SeenFlags::new();
     while let Some(flag) = args.next() {
@@ -338,6 +344,14 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
                 o.datasets.push((name.to_string(), path.to_string()));
             }
             "--mutable" => o.mutable = true,
+            "--access-log" => o.access_log = Some(val("--access-log")?),
+            "--slow-ms" => {
+                o.slow_ms = Some(
+                    val("--slow-ms")?
+                        .parse()
+                        .map_err(|e| format!("--slow-ms: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
@@ -482,6 +496,7 @@ fn run_command(o: &RunOptions) -> Result<(), String> {
         stop: o.stop,
         timeout_ms: None,
         budget_ms: o.budget_ms,
+        profile: false,
     };
     let started = std::time::Instant::now();
     let payload = run_query(&loaded, &req, &RunControl::unbounded()).map_err(|e| e.to_string())?;
@@ -554,6 +569,8 @@ fn serve_command(o: &ServeOptions) -> Result<(), String> {
         threads: o.threads,
         queue_capacity: o.queue,
         mutable: o.mutable,
+        access_log: o.access_log.as_ref().map(std::path::PathBuf::from),
+        slow_ms: o.slow_ms,
         ..ServerConfig::default()
     };
     let server =
@@ -566,6 +583,9 @@ fn serve_command(o: &ServeOptions) -> Result<(), String> {
         o.cache_capacity,
         if o.mutable { ", mutable" } else { "" }
     );
+    if let Some(path) = &o.access_log {
+        println!("access log: {path}");
+    }
     // Serve until killed; the Server's own threads do all the work.
     loop {
         std::thread::park();
@@ -984,6 +1004,29 @@ mod tests {
         assert!(parse_serve(&["serve", "--threads", "0"])
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn serve_observability_flags() {
+        let o = parse_serve(&["serve"]).unwrap();
+        assert_eq!(o.access_log, None);
+        assert_eq!(o.slow_ms, None);
+        let o = parse_serve(&[
+            "serve",
+            "--access-log",
+            "/tmp/access.jsonl",
+            "--slow-ms",
+            "250",
+        ])
+        .unwrap();
+        assert_eq!(o.access_log.as_deref(), Some("/tmp/access.jsonl"));
+        assert_eq!(o.slow_ms, Some(250));
+        assert!(parse_serve(&["serve", "--slow-ms", "soon"])
+            .unwrap_err()
+            .contains("--slow-ms"));
+        assert!(parse_serve(&["serve", "--slow-ms", "1", "--slow-ms", "2"])
+            .unwrap_err()
+            .contains("duplicate option"));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!           [--churn] [--updates N] [--batch-edges N] [--reads-per-round N]
 //!           [--batch] [--members N] [--rounds N]
 //!           [--anytime] [--window N] [--budget-ms N]
+//!           [--obs]
 //! ```
 //!
 //! Default mode drives `--clients` concurrent clients, each issuing
@@ -35,16 +36,28 @@
 //! phase polling each budget query until the server's background refinement
 //! tier republishes a converged body under the same cache key.
 //!
+//! `--obs` instead drives the observability harness (emits
+//! `BENCH_pr8.json`): the cold/repeat read shape with server-side p50/p99
+//! reconstructed from Prometheus `/metrics` histogram scrapes bracketing
+//! each phase, cross-checked against the client-side timings, plus a
+//! `?profile=1` probe asserting stage timings appear without perturbing the
+//! cached body.
+//!
 //! `--check` turns the report's invariants into an exit code (the CI
-//! `service-smoke` / `churn-smoke` / `batch-smoke` / `anytime-smoke`
-//! gates): zero non-2xx responses plus, in read mode, bytewise-identical
-//! repeat bodies and a repeat-phase cache hit rate above 0.9 — in churn
-//! mode, strictly monotone generations — in batch mode, an amortization
-//! ratio of at least 2 and all follow-up point queries served from cache —
-//! in anytime mode, zero 504s, a stable-phase median speedup, real budget
-//! truncation, and every budget query eventually refined.
+//! `service-smoke` / `churn-smoke` / `batch-smoke` / `anytime-smoke` /
+//! `obs-smoke` gates): zero non-2xx responses plus, in read mode,
+//! bytewise-identical repeat bodies and a repeat-phase cache hit rate above
+//! 0.9 — in churn mode, strictly monotone generations — in batch mode, an
+//! amortization ratio of at least 2 and all follow-up point queries served
+//! from cache — in anytime mode, zero 504s, a stable-phase median speedup,
+//! real budget truncation, and every budget query eventually refined — in
+//! obs mode, server-side windows counting exactly the requests sent and
+//! percentiles agreeing with client-side timings within the log2 tolerance
+//! band.
 
-use mpds_service::harness::{self, AnytimeConfig, BatchConfig, ChurnConfig, HarnessConfig};
+use mpds_service::harness::{
+    self, AnytimeConfig, BatchConfig, ChurnConfig, HarnessConfig, ObsConfig,
+};
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -65,6 +78,7 @@ fn main() -> ExitCode {
     let mut anytime = false;
     let mut window = AnytimeConfig::default().window;
     let mut budget_ms = AnytimeConfig::default().budget_ms;
+    let mut obs = false;
     let mut theta_set = false;
 
     let mut args = std::env::args().skip(1);
@@ -75,7 +89,7 @@ fn main() -> ExitCode {
              [--server-threads N] [--dataset D] [--theta N] [--k N] [--out PATH] \
              [--wait-secs S] [--check] [--churn] [--updates N] [--batch-edges N] \
              [--reads-per-round N] [--batch] [--members N] [--rounds N] \
-             [--anytime] [--window N] [--budget-ms N]"
+             [--anytime] [--window N] [--budget-ms N] [--obs]"
         );
         ExitCode::FAILURE
     };
@@ -128,6 +142,7 @@ fn main() -> ExitCode {
                 "--budget-ms" => {
                     budget_ms = val("--budget-ms")?.parse().map_err(|e| format!("{e}"))?
                 }
+                "--obs" => obs = true,
                 other => return Err(format!("unknown option {other:?}")),
             }
             Ok(())
@@ -141,11 +156,13 @@ fn main() -> ExitCode {
         Some(a) => a,
         None => return fail(format!("cannot resolve --addr {addr_spec:?}")),
     };
-    if [batch, churn, anytime].iter().filter(|&&m| m).count() > 1 {
-        return fail("--batch, --churn, and --anytime are mutually exclusive".to_string());
+    if [batch, churn, anytime, obs].iter().filter(|&&m| m).count() > 1 {
+        return fail("--batch, --churn, --anytime, and --obs are mutually exclusive".to_string());
     }
     let out_path = out_path.unwrap_or_else(|| {
-        if anytime {
+        if obs {
+            "target/BENCH_pr8.json".to_string()
+        } else if anytime {
             "target/BENCH_pr7.json".to_string()
         } else if batch {
             "target/BENCH_pr6.json".to_string()
@@ -160,7 +177,43 @@ fn main() -> ExitCode {
         return fail(e);
     }
 
-    let (json, violations) = if anytime {
+    let (json, violations) = if obs {
+        let ocfg = ObsConfig {
+            addr: cfg.addr,
+            clients: cfg.clients,
+            queries_per_client: rounds,
+            server_threads: cfg.server_threads,
+            dataset: cfg.dataset.clone(),
+            theta: if theta_set {
+                cfg.theta
+            } else {
+                ObsConfig::default().theta
+            },
+            k: cfg.k,
+        };
+        println!(
+            "obs: {} clients x {} queries/phase against http://{} (dataset {}, theta {}, k {})",
+            ocfg.clients, ocfg.queries_per_client, ocfg.addr, ocfg.dataset, ocfg.theta, ocfg.k
+        );
+        let report = harness::run_obs(&ocfg);
+        for (name, p, s) in [
+            ("cold", &report.cold, &report.server_cold),
+            ("repeat", &report.repeat, &report.server_repeat),
+        ] {
+            println!(
+                "  {name:<7} {:>5} reqs, {:>3} errors, client p50 {:>8.3} / p99 {:>8.3} ms, server p50 {:>8.3} / p99 {:>8.3} ms ({} observed)",
+                p.requests, p.errors, p.p50_ms, p.p99_ms, s.p50_ms, s.p99_ms, s.requests
+            );
+        }
+        println!(
+            "  profile probe: {}",
+            if report.profile_ok { "ok" } else { "FAILED" }
+        );
+        (
+            harness::render_obs_report(&report),
+            report.violations.clone(),
+        )
+    } else if anytime {
         let acfg = AnytimeConfig {
             addr: cfg.addr,
             clients: cfg.clients,

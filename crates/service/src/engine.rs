@@ -25,6 +25,7 @@ use mpds::api::queryset::QuerySet;
 use mpds::api::{ApiError, Exec, ProgressCounter, ProgressSink, Query, Run, Stop};
 use mpds::control::{InterruptReason, RunControl};
 use mpds::recompute::Recompute;
+use mpds_obs::{Counter, Gauge, Histogram, Recorder, Stage, StageTotals};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -145,6 +146,14 @@ pub struct QueryRequest {
     /// `stop_reason:"budget"`) and the engine refines it to convergence in
     /// the background.
     pub budget_ms: Option<u64>,
+    /// Attach per-stage timings (`?profile=1`): the engine times each
+    /// pipeline stage for this request and the serving layer appends a
+    /// `profile` block to the response. Like `timeout_ms`/`budget_ms` this
+    /// only describes *this evaluation*, not the answer, so it is excluded
+    /// from the cache key — and the profile block is spliced outside the
+    /// cached bytes, which stay identical for profiled and unprofiled
+    /// requests alike.
+    pub profile: bool,
 }
 
 impl QueryRequest {
@@ -163,6 +172,7 @@ impl QueryRequest {
             stop: StopSpec::Fixed,
             timeout_ms: None,
             budget_ms: None,
+            profile: false,
         }
     }
 
@@ -339,6 +349,7 @@ impl BatchRequest {
             stop: self.stop,
             timeout_ms: self.timeout_ms,
             budget_ms: self.budget_ms,
+            profile: false,
         }
     }
 
@@ -621,6 +632,41 @@ fn render_query_body(
     w.finish()
 }
 
+/// Renders the `?profile=1` per-stage timing block: every stage of
+/// [`mpds_obs::Stage::ALL`] in order, each with its invocation count and
+/// total microseconds — zero-count stages included, so the block's shape is
+/// stable across cache hits (which only exercise the engine-side stages)
+/// and misses.
+pub fn render_profile_block(totals: &StageTotals, source: ResponseSource) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object().field_str("source", source.as_str());
+    w.key("stages").begin_object();
+    for stage in Stage::ALL {
+        w.key(stage.as_str())
+            .begin_object()
+            .field_uint("count", totals.count(stage))
+            .field_uint("total_us", totals.total_us(stage))
+            .end_object();
+    }
+    w.end_object().end_object();
+    w.finish()
+}
+
+/// Splices a profile block into an already-rendered query body *without*
+/// touching the cached bytes: the body's closing `}` is replaced by
+/// `,"profile":{...}}` in a fresh buffer, so the `Arc`'d cache entry keeps
+/// serving byte-identical responses to unprofiled requests.
+pub fn splice_profile(body: &[u8], totals: &StageTotals, source: ResponseSource) -> Vec<u8> {
+    debug_assert_eq!(body.last(), Some(&b'}'));
+    let block = render_profile_block(totals, source);
+    let mut out = Vec::with_capacity(body.len() + block.len() + 12);
+    out.extend_from_slice(&body[..body.len().saturating_sub(1)]);
+    out.extend_from_slice(b",\"profile\":");
+    out.extend_from_slice(block.as_bytes());
+    out.push(b'}');
+    out
+}
+
 /// Serializes an applied update (the server's `POST /update` response and
 /// the CLI `update` output). Field order is fixed, like every response.
 pub fn render_update_response(dataset: &str, o: &crate::registry::UpdateOutcome) -> String {
@@ -750,6 +796,46 @@ pub struct EngineStats {
     pub refined: u64,
 }
 
+/// Engine-side observability state, shared with the refinement worker and
+/// read by the `/metrics` renderers.
+///
+/// Everything in here is lock-free (atomics under the hood) and safe to
+/// read while the engine serves traffic.
+#[derive(Debug, Default)]
+pub struct EngineObs {
+    /// Refinement jobs currently queued or being re-run (returns to 0 once
+    /// the background worker drains).
+    pub refine_queue_depth: Gauge,
+    /// Wall time of completed background refinement runs, in microseconds.
+    pub refine_hist: Histogram,
+    /// Refinement runs that converged and republished their key.
+    pub refine_ok: Counter,
+    /// Refinement runs that failed (e.g. cancelled at shutdown); the
+    /// truncated answer keeps serving.
+    pub refine_failed: Counter,
+    /// Per-stage time totals aggregated across every profiled
+    /// (`?profile=1`) request.
+    pub stage_totals: Recorder,
+    /// Profiled requests served.
+    pub profiled: Counter,
+}
+
+/// A query response with its provenance: the bytes, how they were obtained,
+/// the dataset generation they were computed against, and — when the
+/// request asked for `?profile=1` — the per-stage timings of *this*
+/// evaluation.
+#[derive(Debug, Clone)]
+pub struct TracedResponse {
+    /// The JSON response body (shared with the cache).
+    pub body: Arc<Vec<u8>>,
+    /// Cache hit, miss, or coalesced join.
+    pub source: ResponseSource,
+    /// Generation of the dataset snapshot the response is keyed to.
+    pub generation: u64,
+    /// Per-stage timings when the request set [`QueryRequest::profile`].
+    pub profile: Option<StageTotals>,
+}
+
 /// One queued unit of background refinement: a budget-truncated query to
 /// re-run to convergence against the exact snapshot it was answered from.
 struct RefineJob {
@@ -779,6 +865,8 @@ pub struct QueryEngine {
     refine_tx: Mutex<std::sync::mpsc::Sender<RefineJob>>,
     /// Shared per-world progress sink attached to every computed query.
     worlds: Arc<ProgressCounter>,
+    /// Observability state shared with the refinement worker.
+    obs: Arc<EngineObs>,
 }
 
 impl QueryEngine {
@@ -789,6 +877,7 @@ impl QueryEngine {
         let refined = Arc::new(AtomicU64::new(0));
         let refining = Arc::new(Mutex::new(HashSet::new()));
         let worlds = ProgressCounter::new();
+        let obs = Arc::new(EngineObs::default());
         let (refine_tx, refine_rx) = std::sync::mpsc::channel::<RefineJob>();
         {
             let cache = Arc::clone(&cache);
@@ -796,18 +885,27 @@ impl QueryEngine {
             let refined = Arc::clone(&refined);
             let refining = Arc::clone(&refining);
             let worlds = Arc::clone(&worlds);
+            let obs = Arc::clone(&obs);
             std::thread::spawn(move || {
                 while let Ok(job) = refine_rx.recv() {
+                    let started = Instant::now();
                     let ctrl = RunControl::unbounded().with_cancel_flag(Arc::clone(&cancel));
                     let sink = Arc::clone(&worlds);
-                    if let Ok(payload) =
-                        run_query_with_progress(&job.graph, &job.req, &ctrl, Some(sink as _))
-                    {
-                        let body = Arc::new(render_query_response(&job.req, &payload).into_bytes());
-                        cache.insert(job.key.clone(), body);
-                        refined.fetch_add(1, Ordering::Relaxed);
+                    match run_query_with_progress(&job.graph, &job.req, &ctrl, Some(sink as _)) {
+                        Ok(payload) => {
+                            let body =
+                                Arc::new(render_query_response(&job.req, &payload).into_bytes());
+                            cache.insert(job.key.clone(), body);
+                            refined.fetch_add(1, Ordering::Relaxed);
+                            obs.refine_ok.inc();
+                        }
+                        Err(_) => obs.refine_failed.inc(),
                     }
+                    obs.refine_hist.record(mpds_obs::micros_since(started));
                     refining.lock().unwrap().remove(&job.key);
+                    // Depth counts queued + in-progress jobs; the job is
+                    // done only after its key is released above.
+                    obs.refine_queue_depth.dec();
                 }
             });
         }
@@ -822,7 +920,14 @@ impl QueryEngine {
             refining,
             refine_tx: Mutex::new(refine_tx),
             worlds,
+            obs,
         }
+    }
+
+    /// The engine's observability state (refinement gauges/histogram and
+    /// aggregated stage totals), for `/metrics` rendering.
+    pub fn obs(&self) -> &EngineObs {
+        &self.obs
     }
 
     /// The dataset registry.
@@ -862,20 +967,43 @@ impl QueryEngine {
         &self,
         req: &QueryRequest,
     ) -> Result<(Arc<Vec<u8>>, ResponseSource), QueryError> {
+        self.execute_traced(req).map(|t| (t.body, t.source))
+    }
+
+    /// [`Self::execute`] with provenance: the snapshot generation served
+    /// against and — when the request set [`QueryRequest::profile`] — the
+    /// per-stage timings of this evaluation. Profiled timings are also
+    /// absorbed into the engine-wide [`EngineObs::stage_totals`].
+    pub fn execute_traced(&self, req: &QueryRequest) -> Result<TracedResponse, QueryError> {
         req.validate().map_err(QueryError::BadRequest)?;
+        let rec = req.profile.then(|| Arc::new(Recorder::new(true)));
         // Resolve the dataset snapshot up front: its generation is part of
         // the cache key, and the computation below runs against exactly
         // this snapshot even if a writer swaps in a newer generation
         // mid-flight.
-        let graph = self
-            .registry
-            .get(&req.dataset)
-            .map_err(QueryError::BadRequest)?;
+        let graph = {
+            let _span = rec.as_deref().map(|r| r.span(Stage::SnapshotResolve));
+            self.registry
+                .get(&req.dataset)
+                .map_err(QueryError::BadRequest)?
+        };
         let key = req.key(graph.generation);
         let own_deadline = req
             .timeout_ms
             .map(|ms| Instant::now() + Duration::from_millis(ms));
-        self.serve_key(req, &graph, &key, own_deadline)
+        let (body, source) = self.serve_key(req, &graph, &key, own_deadline, rec.as_ref())?;
+        let profile = rec.map(|r| {
+            let totals = r.totals();
+            self.obs.stage_totals.absorb(&totals);
+            self.obs.profiled.inc();
+            totals
+        });
+        Ok(TracedResponse {
+            body,
+            source,
+            generation: graph.generation,
+            profile,
+        })
     }
 
     /// The cache → in-flight → compute path for an already-resolved
@@ -888,13 +1016,18 @@ impl QueryEngine {
         graph: &LoadedGraph,
         key: &QueryKey,
         own_deadline: Option<Instant>,
+        rec: Option<&Arc<Recorder>>,
     ) -> Result<(Arc<Vec<u8>>, ResponseSource), QueryError> {
         // Bounded retries: each iteration either serves the request or
         // observes a *leader* deadline failure (not cached, entry removed),
         // after which this thread re-runs and typically becomes the leader.
         let mut last_err = None;
         for _ in 0..3 {
-            if let Some(body) = self.cache.get(key) {
+            let probed = {
+                let _span = rec.map(|r| r.span(Stage::CacheProbe));
+                self.cache.get(key)
+            };
+            if let Some(body) = probed {
                 return Ok((body, ResponseSource::Hit));
             }
             let flight = {
@@ -903,6 +1036,9 @@ impl QueryEngine {
                     let existing = Arc::clone(existing);
                     drop(map);
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    // A coalesced join is the cache-probe stage stretched
+                    // out to the leader's completion, so it is timed there.
+                    let _span = rec.map(|r| r.span(Stage::CacheProbe));
                     match existing.wait_until(own_deadline) {
                         WaitOutcome::Done(Ok(body)) => {
                             return Ok((body, ResponseSource::Coalesced))
@@ -932,7 +1068,7 @@ impl QueryEngine {
                 flight: &flight,
                 completed: false,
             };
-            let result = self.compute(req, graph, own_deadline);
+            let result = self.compute(req, graph, own_deadline, rec);
             guard.finish(result.clone());
             return result.map(|b| (b, ResponseSource::Miss));
         }
@@ -945,10 +1081,16 @@ impl QueryEngine {
         req: &QueryRequest,
         graph: &LoadedGraph,
         deadline: Option<Instant>,
+        rec: Option<&Arc<Recorder>>,
     ) -> Result<Arc<Vec<u8>>, QueryError> {
         let mut ctrl = RunControl::unbounded().with_cancel_flag(self.cancel_flag());
         if let Some(d) = deadline {
             ctrl = ctrl.with_deadline(d);
+        }
+        if let Some(r) = rec {
+            // The sampling loop times world materialization, estimator
+            // accumulation, and stability tracking against this recorder.
+            ctrl = ctrl.with_recorder(Arc::clone(r));
         }
         let payload =
             run_query_with_progress(graph, req, &ctrl, Some(Arc::clone(&self.worlds) as _))?;
@@ -956,6 +1098,7 @@ impl QueryEngine {
         if payload.stop_reason == "budget" {
             self.spawn_refinement(req, graph);
         }
+        let _span = rec.map(|r| r.span(Stage::JsonRender));
         Ok(Arc::new(render_query_response(req, &payload).into_bytes()))
     }
 
@@ -979,8 +1122,12 @@ impl QueryEngine {
             req: full,
             graph: graph.clone(),
         };
+        // Count the job before sending so the worker's decrement (which
+        // races the send returning) can never observe a missing increment.
+        self.obs.refine_queue_depth.inc();
         if self.refine_tx.lock().unwrap().send(job).is_err() {
             // Worker gone (only possible mid-teardown): undo the claim.
+            self.obs.refine_queue_depth.dec();
             self.refining.lock().unwrap().remove(&key);
         }
     }
@@ -1093,7 +1240,8 @@ impl QueryEngine {
         // published). This runs after the led computation, so a duplicate
         // never deadlocks on its own batch.
         for i in joined {
-            let (body, source) = self.serve_key(&requests[i], &graph, &keys[i], own_deadline)?;
+            let (body, source) =
+                self.serve_key(&requests[i], &graph, &keys[i], own_deadline, None)?;
             let source = match source {
                 // The member joined someone's in-flight computation or hit
                 // bytes published after classification — both are coalesced

@@ -28,11 +28,22 @@
 //! follow-up phase that polls each budget query until the background
 //! refinement tier republishes a converged body under the same cache key.
 //!
+//! The **observability** harness ([`run_obs`], `mpds-load --obs`, emits
+//! `BENCH_pr8.json`) closes the loop on the server's own latency
+//! histograms: it scrapes the Prometheus `/metrics` exposition around a
+//! cold and a repeat phase, reconstructs the per-phase server-side
+//! latency distribution with [`mpds_obs::scrape::prom_histogram`], and
+//! cross-checks the server-side p50/p99 against the client-side timings.
+//! Its `--check` gate also exercises `?profile=1` cache-neutrality.
+//!
 //! The harness is a plain blocking TCP client — no shared state with the
 //! server beyond the socket — so it can drive an in-process loopback
 //! server (tests) or an external `mpds-cli serve` (the CI smoke job)
-//! identically.
+//! identically. All response scraping (flat JSON counters, Prometheus
+//! text) goes through the shared [`mpds_obs::scrape`] parser.
 
+use mpds_obs::scrape;
+use mpds_obs::HistogramSnapshot;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Mutex;
@@ -158,6 +169,21 @@ pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Res
     http_exchange(addr, req.as_bytes(), timeout)
 }
 
+/// [`http_get`] with an explicit `Accept` header — the scraper half of the
+/// `/metrics` content negotiation (`Accept: text/plain` selects Prometheus
+/// text exposition).
+pub fn http_get_accept(
+    addr: SocketAddr,
+    path: &str,
+    accept: &str,
+    timeout: Duration,
+) -> std::io::Result<Exchange> {
+    let req = format!(
+        "GET {path} HTTP/1.1\r\nHost: loopback\r\nAccept: {accept}\r\nConnection: close\r\n\r\n"
+    );
+    http_exchange(addr, req.as_bytes(), timeout)
+}
+
 /// Issues one blocking HTTP/1.1 POST with `body` and reads the full
 /// response (the client half of `POST /update`).
 pub fn http_post(
@@ -188,15 +214,6 @@ pub fn wait_until_healthy(addr: SocketAddr, budget: Duration) -> Result<(), Stri
             _ => std::thread::sleep(Duration::from_millis(100)),
         }
     }
-}
-
-/// Reads a named unsigned counter out of a flat JSON body (the harness has
-/// no JSON parser; `/metrics` keys are unique, so a scan suffices).
-fn scan_counter(body: &str, key: &str) -> Option<u64> {
-    let at = body.find(&format!("\"{key}\":"))?;
-    let rest = &body[at + key.len() + 3..];
-    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
-    digits.parse().ok()
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -330,9 +347,9 @@ pub fn run(cfg: &HarnessConfig) -> HarnessReport {
             let bt = String::from_utf8_lossy(&b.body).into_owned();
             let at = String::from_utf8_lossy(&a.body).into_owned();
             let delta = |key: &str| -> u64 {
-                scan_counter(&at, key)
+                scrape::json_uint(&at, key)
                     .unwrap_or(0)
-                    .saturating_sub(scan_counter(&bt, key).unwrap_or(0))
+                    .saturating_sub(scrape::json_uint(&bt, key).unwrap_or(0))
             };
             let (hits, misses, coalesced) = (delta("hits"), delta("misses"), delta("coalesced"));
             // Every request performs exactly one cache lookup (coalesced
@@ -550,7 +567,7 @@ pub fn run_churn(cfg: &ChurnConfig) -> ChurnReport {
                 update_latencies_ms.push(e.latency.as_secs_f64() * 1e3);
                 if (200..300).contains(&e.status) {
                     let body = String::from_utf8_lossy(&e.body).into_owned();
-                    match scan_counter(&body, "generation") {
+                    match scrape::json_uint(&body, "generation") {
                         Some(g) => generations.push(g),
                         None => violations
                             .push(format!("round {round}: no generation in update response")),
@@ -798,7 +815,7 @@ pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
     let timeout = Duration::from_secs(120);
     let worlds_now = |violations: &mut Vec<String>| -> u64 {
         match http_get(cfg.addr, "/metrics", Duration::from_secs(10)) {
-            Ok(e) => scan_counter(&String::from_utf8_lossy(&e.body), "worlds_sampled")
+            Ok(e) => scrape::json_uint(&String::from_utf8_lossy(&e.body), "worlds_sampled")
                 .unwrap_or_else(|| {
                     violations.push("no worlds_sampled in /metrics".to_string());
                     0
@@ -866,7 +883,7 @@ pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
         };
         let w2 = worlds_now(&mut violations);
         batch_worlds += w2.saturating_sub(w1);
-        if scan_counter(&envelope, "computed") != Some(cfg.members as u64) {
+        if scrape::json_uint(&envelope, "computed") != Some(cfg.members as u64) {
             violations.push(format!(
                 "round {round}: batch at a fresh seed should compute all {} members",
                 cfg.members
@@ -1294,6 +1311,318 @@ pub fn render_anytime_report(r: &AnytimeReport) -> String {
     s
 }
 
+/// Observability-harness knobs (`mpds-load --obs`, `BENCH_pr8.json`).
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Server address.
+    pub addr: SocketAddr,
+    /// Concurrent client threads per phase.
+    pub clients: usize,
+    /// Queries per client per phase.
+    pub queries_per_client: usize,
+    /// Reported in the JSON (the harness cannot observe it remotely).
+    pub server_threads: usize,
+    /// Dataset queried.
+    pub dataset: String,
+    /// Worlds per query.
+    pub theta: usize,
+    /// Result count per query.
+    pub k: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            addr: SocketAddr::from(([127, 0, 0, 1], 7878)),
+            clients: 8,
+            queries_per_client: 4,
+            server_threads: 4,
+            dataset: "karate".to_string(),
+            theta: 64,
+            k: 3,
+        }
+    }
+}
+
+/// Server-side latency figures reconstructed from one scraped histogram
+/// window.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerSide {
+    /// Observations recorded by the server inside the window.
+    pub requests: u64,
+    /// Server-side median, milliseconds (log2-bucket interpolated).
+    pub p50_ms: f64,
+    /// Server-side p99, milliseconds (log2-bucket interpolated).
+    pub p99_ms: f64,
+}
+
+/// Full observability-harness outcome (`BENCH_pr8.json`).
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Configuration echo.
+    pub config: ObsConfig,
+    /// Phase 1 — cold queries at distinct seeds (client-side timings).
+    pub cold: PhaseStats,
+    /// Phase 2 — one query repeated from every client (client-side timings).
+    pub repeat: PhaseStats,
+    /// Server-side view of the cold phase, from the scraped
+    /// `mpds_http_request_duration_microseconds{endpoint="query"}` window.
+    pub server_cold: ServerSide,
+    /// Server-side view of the repeat phase, same source.
+    pub server_repeat: ServerSide,
+    /// Whether the `?profile=1` probe returned a stage breakdown without
+    /// perturbing the cached body.
+    pub profile_ok: bool,
+    /// Hard failures: non-2xx responses, scrape failures, server-side
+    /// request counts that disagree with what the harness sent, server and
+    /// client percentiles outside the log2-quantization tolerance band, or
+    /// a broken `?profile=1` probe. Empty means `--check` holds.
+    pub violations: Vec<String>,
+}
+
+/// Scrapes `/metrics` in Prometheus text format and reconstructs the
+/// cumulative 2xx `/query` latency histogram. Returns an empty snapshot
+/// (recording the failure in `violations`) when the scrape or the parse
+/// fails, and an empty snapshot silently when the family simply has no
+/// samples yet (no `/query` traffic has been served).
+fn scrape_query_hist(addr: SocketAddr, violations: &mut Vec<String>) -> HistogramSnapshot {
+    match http_get_accept(addr, "/metrics", "text/plain", Duration::from_secs(10)) {
+        Ok(e) if (200..300).contains(&e.status) => {
+            let text = String::from_utf8_lossy(&e.body);
+            if !text.contains("# TYPE mpds_http_request_duration_microseconds histogram") {
+                violations.push(
+                    "/metrics with Accept: text/plain did not return Prometheus text".to_string(),
+                );
+                return HistogramSnapshot::default();
+            }
+            scrape::prom_histogram(
+                &text,
+                "mpds_http_request_duration_microseconds",
+                &[("endpoint", "query"), ("status", "2xx")],
+            )
+            .unwrap_or_default()
+        }
+        Ok(e) => {
+            violations.push(format!("/metrics scrape: status {}", e.status));
+            HistogramSnapshot::default()
+        }
+        Err(e) => {
+            violations.push(format!("/metrics scrape: {e}"));
+            HistogramSnapshot::default()
+        }
+    }
+}
+
+/// Converts one scraped histogram window (microsecond observations) to
+/// millisecond percentiles.
+fn server_side(win: &HistogramSnapshot) -> ServerSide {
+    ServerSide {
+        requests: win.count(),
+        p50_ms: win.quantile(0.50) / 1e3,
+        p99_ms: win.quantile(0.99) / 1e3,
+    }
+}
+
+/// Runs the observability harness against `cfg.addr`.
+///
+/// The harness drives the same cold/repeat shape as the PR 3 load harness
+/// but reads latency back from **both sides**: client-side wall times as
+/// before, plus server-side percentiles reconstructed from Prometheus
+/// `/metrics` scrapes bracketing each phase (the scrapes themselves land in
+/// the `endpoint="metrics"` series, so they never pollute the `/query`
+/// window). Checks:
+///
+/// * zero non-2xx responses in either phase;
+/// * the server-side cold window counts exactly the requests the harness
+///   sent (nothing lost, nothing double-counted);
+/// * server-side p50 within a `[0.25×, 4×]` band of client-side p50 plus a
+///   1 ms absolute slack — wide enough for log2 bucket quantization and
+///   connection overhead, tight enough to catch unit errors (µs read as ms
+///   is 1000× out);
+/// * a `?profile=1` probe of the repeat query returns a stage breakdown,
+///   and an unprofiled re-issue still serves the original cached bytes.
+pub fn run_obs(cfg: &ObsConfig) -> ObsReport {
+    let mut violations = Vec::new();
+    let per_client = cfg.queries_per_client.max(1);
+    let base = format!(
+        "/query?dataset={}&theta={}&k={}",
+        cfg.dataset, cfg.theta, cfg.k
+    );
+    let phase_cfg = HarnessConfig {
+        addr: cfg.addr,
+        clients: cfg.clients,
+        requests_per_client: per_client,
+        server_threads: cfg.server_threads,
+        dataset: cfg.dataset.clone(),
+        theta: cfg.theta,
+        k: cfg.k,
+    };
+
+    // Bracketing scrapes turn the cumulative histogram into per-phase
+    // windows.
+    let s0 = scrape_query_hist(cfg.addr, &mut violations);
+
+    // Phase 1 — cold queries, distinct seeds.
+    let (cold_ex, cold_elapsed) = run_phase(&phase_cfg, per_client, |c, i| {
+        format!("{base}&seed={}", 80_000 + (c * per_client + i) as u64)
+    });
+    let cold = phase_stats(&cold_ex, cold_elapsed);
+
+    let s1 = scrape_query_hist(cfg.addr, &mut violations);
+
+    // Phase 2 — every client repeats one query (cache hits after the first).
+    let repeat_path = format!("{base}&seed=4242");
+    let (repeat_ex, repeat_elapsed) = run_phase(&phase_cfg, per_client, |_, _| repeat_path.clone());
+    let repeat = phase_stats(&repeat_ex, repeat_elapsed);
+
+    let s2 = scrape_query_hist(cfg.addr, &mut violations);
+
+    let cold_win = s1.since(&s0);
+    let repeat_win = s2.since(&s1);
+    let server_cold = server_side(&cold_win);
+    let server_repeat = server_side(&repeat_win);
+
+    for (phase, stats) in [("cold", &cold), ("repeat", &repeat)] {
+        if stats.errors > 0 {
+            violations.push(format!("{phase} phase: {} non-2xx responses", stats.errors));
+        }
+    }
+    let sent = (cfg.clients * per_client) as u64;
+    if server_cold.requests != sent {
+        violations.push(format!(
+            "server-side cold window counted {} requests, harness sent {sent}",
+            server_cold.requests
+        ));
+    }
+    if server_repeat.requests != sent {
+        violations.push(format!(
+            "server-side repeat window counted {} requests, harness sent {sent}",
+            server_repeat.requests
+        ));
+    }
+    for (phase, client, server) in [
+        ("cold", &cold, &server_cold),
+        ("repeat", &repeat, &server_repeat),
+    ] {
+        // Server time is a subset of client time (no connect/read overhead)
+        // and log2-quantized; a generous multiplicative band plus 1 ms of
+        // absolute slack still catches unit errors outright.
+        let hi = client.p50_ms * 4.0 + 1.0;
+        let lo = (client.p50_ms * 0.25 - 1.0).max(0.0);
+        if server.p50_ms > hi || server.p50_ms < lo {
+            violations.push(format!(
+                "{phase} phase: server-side p50 {:.3} ms outside [{:.3}, {:.3}] band \
+                 around client-side p50 {:.3} ms",
+                server.p50_ms, lo, hi, client.p50_ms
+            ));
+        }
+    }
+
+    // Profile probe: the repeat query is cached by now, so `?profile=1`
+    // must splice a stage breakdown into a fresh body while the cached
+    // bytes stay untouched.
+    let mut profile_ok = false;
+    let profiled_path = format!("{repeat_path}&profile=1");
+    match http_get(cfg.addr, &profiled_path, Duration::from_secs(30)) {
+        Ok(e) if (200..300).contains(&e.status) => {
+            let body = String::from_utf8_lossy(&e.body).into_owned();
+            if !body.contains("\"profile\":{") || !body.contains("\"stages\":{") {
+                violations.push("profile=1 response carries no stage breakdown".to_string());
+            } else {
+                match http_get(cfg.addr, &repeat_path, Duration::from_secs(30)) {
+                    Ok(after) if (200..300).contains(&after.status) => {
+                        let plain = String::from_utf8_lossy(&after.body).into_owned();
+                        if plain.contains("\"profile\":") {
+                            violations.push(
+                                "profile block leaked into the cached unprofiled body".to_string(),
+                            );
+                        } else {
+                            profile_ok = true;
+                        }
+                    }
+                    Ok(after) => {
+                        violations.push(format!("unprofiled re-issue: status {}", after.status))
+                    }
+                    Err(e) => violations.push(format!("unprofiled re-issue: {e}")),
+                }
+            }
+        }
+        Ok(e) => violations.push(format!("profile=1 probe: status {}", e.status)),
+        Err(e) => violations.push(format!("profile=1 probe: {e}")),
+    }
+
+    ObsReport {
+        config: cfg.clone(),
+        cold,
+        repeat,
+        server_cold,
+        server_repeat,
+        profile_ok,
+        violations,
+    }
+}
+
+/// Serializes an observability report in the `BENCH_pr8.json` schema.
+pub fn render_obs_report(r: &ObsReport) -> String {
+    use crate::json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("schema", "mpds-service/obs_harness/v1")
+        .field_str(
+            "note",
+            "observability harness; latencies are machine-dependent, the checked \
+             invariants are zero non-2xx, server-side histogram windows counting \
+             exactly the requests sent, server-side p50 within a 4x/1ms band of \
+             client-side p50 (log2 bucket quantization tolerated, unit errors \
+             caught), and a profile=1 probe that returns stage timings without \
+             perturbing the cached body",
+        )
+        .key("config")
+        .begin_object()
+        .field_str("dataset", &r.config.dataset)
+        .field_uint("clients", r.config.clients as u64)
+        .field_uint("queries_per_client", r.config.queries_per_client as u64)
+        .field_uint("server_threads", r.config.server_threads as u64)
+        .field_uint("theta", r.config.theta as u64)
+        .field_uint("k", r.config.k as u64)
+        .end_object()
+        .key("phases")
+        .begin_array();
+    for (name, p, s) in [
+        ("cold", &r.cold, &r.server_cold),
+        ("repeat", &r.repeat, &r.server_repeat),
+    ] {
+        w.begin_object()
+            .field_str("name", name)
+            .field_uint("requests", p.requests as u64)
+            .field_uint("errors", p.errors as u64)
+            .field_float("throughput_rps", round3(p.throughput_rps))
+            .key("client")
+            .begin_object()
+            .field_float("p50_ms", round3(p.p50_ms))
+            .field_float("p99_ms", round3(p.p99_ms))
+            .end_object()
+            .key("server")
+            .begin_object()
+            .field_uint("requests", s.requests)
+            .field_float("p50_ms", round3(s.p50_ms))
+            .field_float("p99_ms", round3(s.p99_ms))
+            .end_object()
+            .end_object();
+    }
+    w.end_array()
+        .field_bool("profile_ok", r.profile_ok)
+        .key("violations")
+        .begin_array();
+    for v in &r.violations {
+        w.string(v);
+    }
+    w.end_array().end_object();
+    let mut s = w.finish();
+    s.push('\n');
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1332,12 +1661,45 @@ mod tests {
     }
 
     #[test]
+    fn obs_report_renders_with_schema() {
+        let stats = PhaseStats {
+            requests: 32,
+            errors: 0,
+            throughput_rps: 10.0,
+            p50_ms: 1.5,
+            p99_ms: 9.25,
+        };
+        let server = ServerSide {
+            requests: 32,
+            p50_ms: 1.25,
+            p99_ms: 8.0,
+        };
+        let r = ObsReport {
+            config: ObsConfig::default(),
+            cold: stats.clone(),
+            repeat: stats,
+            server_cold: server,
+            server_repeat: server,
+            profile_ok: true,
+            violations: vec![],
+        };
+        let s = render_obs_report(&r);
+        assert!(s.contains("\"schema\":\"mpds-service/obs_harness/v1\""));
+        assert!(s.contains("\"client\":{\"p50_ms\":1.5,\"p99_ms\":9.25}"));
+        assert!(s.contains("\"server\":{\"requests\":32,\"p50_ms\":1.25,\"p99_ms\":8.0}"));
+        assert!(s.contains("\"profile_ok\":true"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
     fn counter_scan_and_percentiles() {
+        // The counter scans now ride the shared mpds-obs parser; pin the
+        // harness-visible behavior here too.
         let body = "{\"cache\":{\"hits\":12,\"misses\":3},\"coalesced\":4}";
-        assert_eq!(scan_counter(body, "hits"), Some(12));
-        assert_eq!(scan_counter(body, "misses"), Some(3));
-        assert_eq!(scan_counter(body, "coalesced"), Some(4));
-        assert_eq!(scan_counter(body, "absent"), None);
+        assert_eq!(scrape::json_uint(body, "hits"), Some(12));
+        assert_eq!(scrape::json_uint(body, "misses"), Some(3));
+        assert_eq!(scrape::json_uint(body, "coalesced"), Some(4));
+        assert_eq!(scrape::json_uint(body, "absent"), None);
 
         let ms = [1.0, 2.0, 3.0, 4.0, 100.0];
         assert_eq!(percentile(&ms, 0.5), 3.0);

@@ -23,7 +23,18 @@
 //! | `POST /batch` | many queries over one shared world stream (JSON body of member specs; per-member cache keys, misses computed in a single [`mpds::QuerySet`] pass) |
 //! | `GET /diff?dataset=A&against=B&…` | one query over two datasets under common random numbers, diffed (A is the *after* side, B the baseline) |
 //! | `POST /update?dataset=D` | apply a mutation batch (body: `u v p` / `u v -` lines); gated by [`ServerConfig::mutable`] |
-//! | `GET /metrics` | cache/engine/server counters + per-dataset generation/overlay/compactions |
+//! | `GET /metrics` | cache/engine/server counters + per-dataset generation/overlay/compactions; `Accept: text/plain` (or any OpenMetrics/Prometheus accept value) switches to Prometheus text exposition with full latency histograms |
+//!
+//! ## Observability
+//!
+//! Every request is timed end-to-end (read → route → write) into the
+//! [`crate::obs::HttpObs`] histogram bank, labeled by endpoint, cache
+//! source, and status class. With [`ServerConfig::access_log`] set, each
+//! request also appends one JSON line (see [`crate::obs::AccessRecord`]);
+//! with [`ServerConfig::slow_ms`] set, requests at or past the threshold
+//! are echoed to stderr. `/query?profile=1` returns the response with a
+//! spliced `"profile"` block of per-stage timings — the parameter is not
+//! part of the cache key and the cached bytes are never mutated.
 
 use crate::engine::{
     Algo, BatchMember, BatchRequest, QueryEngine, QueryError, QueryRequest, StopSpec,
@@ -31,12 +42,18 @@ use crate::engine::{
 };
 use crate::json::JsonValue;
 use crate::json::{error_body, JsonWriter};
+use crate::obs::{render_access_record, AccessRecord, Endpoint, HttpObs, SourceLabel};
+use mpds_obs::{scrape, PromText, Stage};
 use std::collections::VecDeque;
-use std::io::{Read, Write};
+use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// `Content-Type` of every JSON response.
+const CONTENT_TYPE_JSON: &str = "application/json";
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -56,6 +73,12 @@ pub struct ServerConfig {
     /// Immutable servers (the default) answer it `403` without touching the
     /// registry, so a fleet can expose read-only replicas safely.
     pub mutable: bool,
+    /// Append one JSON line per request to this file (the CLI's
+    /// `serve --access-log PATH`). `None` disables access logging.
+    pub access_log: Option<PathBuf>,
+    /// Echo requests whose wall time reaches this many milliseconds to
+    /// stderr (the CLI's `serve --slow-ms N`). `None` disables the slow log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +89,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             default_timeout: Some(Duration::from_secs(120)),
             mutable: false,
+            access_log: None,
+            slow_ms: None,
         }
     }
 }
@@ -91,6 +116,15 @@ struct ServerState {
     served: AtomicU64,
     /// Live rejection-drain threads (bounded; see `acceptor_loop`).
     rejecters: AtomicU64,
+    /// Latency histogram bank + in-flight gauge.
+    http_obs: HttpObs,
+    /// Open access-log sink, when configured. One line per request,
+    /// flushed per line so `tail -f` (and the smoke test) see it live.
+    access_log: Option<Mutex<BufWriter<std::fs::File>>>,
+    /// Slow-query threshold in milliseconds, when configured.
+    slow_ms: Option<u64>,
+    /// Monotonic request-id source for access-log lines.
+    next_request_id: AtomicU64,
 }
 
 /// A running server; dropping it (or calling [`Server::shutdown`]) stops the
@@ -112,6 +146,17 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        // Open (or create) the access log before spawning anything: a bad
+        // path should fail the bind, not lose lines silently at runtime.
+        let access_log = match &cfg.access_log {
+            Some(path) => Some(Mutex::new(BufWriter::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ))),
+            None => None,
+        };
         let state = Arc::new(ServerState {
             engine,
             queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity)),
@@ -127,6 +172,10 @@ impl Server {
             rejected: AtomicU64::new(0),
             served: AtomicU64::new(0),
             rejecters: AtomicU64::new(0),
+            http_obs: HttpObs::new(),
+            access_log,
+            slow_ms: cfg.slow_ms,
+            next_request_id: AtomicU64::new(0),
         });
         let workers = (0..cfg.threads.max(1))
             .map(|i| {
@@ -272,6 +321,7 @@ fn respond_overloaded(mut stream: TcpStream, drain_timeout: Duration) {
         "Service Unavailable",
         body.as_bytes(),
         None,
+        CONTENT_TYPE_JSON,
     );
 }
 
@@ -294,10 +344,12 @@ fn worker_loop(state: &Arc<ServerState>) {
     }
 }
 
-/// A response body: owned text for small/metadata replies, or the engine's
-/// shared cache bytes written without copying.
+/// A response body: owned text for small/metadata replies, owned bytes for
+/// per-request variants (profile splices), or the engine's shared cache
+/// bytes written without copying.
 enum Body {
     Text(String),
+    Bytes(Vec<u8>),
     Shared(std::sync::Arc<Vec<u8>>),
 }
 
@@ -305,7 +357,36 @@ impl Body {
     fn as_bytes(&self) -> &[u8] {
         match self {
             Body::Text(s) => s.as_bytes(),
+            Body::Bytes(b) => b,
             Body::Shared(b) => b,
+        }
+    }
+}
+
+/// One routed response plus the provenance the observability layer wants:
+/// the `X-Cache` header, the dataset/generation the route resolved (for
+/// access-log lines), and the negotiated content type.
+struct Response {
+    status: u16,
+    reason: &'static str,
+    body: Body,
+    x_cache: Option<&'static str>,
+    content_type: &'static str,
+    dataset: Option<String>,
+    generation: Option<u64>,
+}
+
+impl Response {
+    /// A JSON response with no cache or dataset provenance.
+    fn json(status: u16, reason: &'static str, body: Body) -> Response {
+        Response {
+            status,
+            reason,
+            body,
+            x_cache: None,
+            content_type: CONTENT_TYPE_JSON,
+            dataset: None,
+            generation: None,
         }
     }
 }
@@ -313,6 +394,9 @@ impl Body {
 fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     let _ = stream.set_read_timeout(Some(state.read_timeout));
     let _ = stream.set_write_timeout(Some(state.read_timeout));
+    let started = Instant::now();
+    state.http_obs.inflight.inc();
+    let id = state.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
     // Buffer a request body only for POSTs this server will actually route:
     // /update (when mutable) and /batch. Everything else gets its rejection
     // without the server reading (and holding) up to MAX_BODY
@@ -320,28 +404,103 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     let accept_body = |method: &str, path: &str| {
         method == "POST" && (path == "/batch" || (path == "/update" && state.mutable))
     };
-    let request = match read_request(&mut stream, accept_body) {
-        Ok(r) => r,
-        Err(msg) => {
+    match read_request(&mut stream, accept_body) {
+        Ok(request) => {
+            let endpoint = Endpoint::classify(request.target.split('?').next().unwrap_or(""));
+            let resp = route(&request, state);
             let _ = write_response(
                 &mut stream,
+                resp.status,
+                resp.reason,
+                resp.body.as_bytes(),
+                resp.x_cache,
+                resp.content_type,
+            );
+            observe_request(state, id, started, Some(&request.method), endpoint, &resp);
+        }
+        Err(msg) => {
+            let resp = Response::json(
                 400,
                 "Bad Request",
-                error_body("bad_request", &msg).as_bytes(),
-                None,
+                Body::Text(error_body("bad_request", &msg)),
             );
-            return;
+            let _ = write_response(
+                &mut stream,
+                resp.status,
+                resp.reason,
+                resp.body.as_bytes(),
+                resp.x_cache,
+                resp.content_type,
+            );
+            observe_request(state, id, started, None, Endpoint::Other, &resp);
         }
-    };
-    let (status, reason, body, cache_header) = route(&request, state);
-    let _ = write_response(&mut stream, status, reason, body.as_bytes(), cache_header);
+    }
+    state.http_obs.inflight.dec();
 }
 
-/// One parsed HTTP request: method, target (path + query), and — for POST —
-/// the `Content-Length`-delimited body.
+/// Records one finished request: latency into the histogram bank, an
+/// optional access-log line, and an optional stderr echo past the slow
+/// threshold. `/query` successes are enriched with `stop_reason` and
+/// `worlds_sampled` scraped back out of the response body through the
+/// shared [`mpds_obs::scrape`] parser.
+fn observe_request(
+    state: &ServerState,
+    id: u64,
+    started: Instant,
+    method: Option<&str>,
+    endpoint: Endpoint,
+    resp: &Response,
+) {
+    let wall_us = mpds_obs::micros_since(started);
+    let source = SourceLabel::from_header(resp.x_cache);
+    state
+        .http_obs
+        .record(endpoint, source, resp.status, wall_us);
+    let slow = state
+        .slow_ms
+        .is_some_and(|t| wall_us >= t.saturating_mul(1_000));
+    if state.access_log.is_none() && !slow {
+        return;
+    }
+    let (stop_reason, worlds_sampled) = if endpoint == Endpoint::Query && resp.status == 200 {
+        let text = std::str::from_utf8(resp.body.as_bytes()).unwrap_or("");
+        (
+            scrape::json_str(text, "stop_reason"),
+            scrape::json_uint(text, "worlds_sampled"),
+        )
+    } else {
+        (None, None)
+    };
+    let line = render_access_record(&AccessRecord {
+        id,
+        endpoint: endpoint.as_str(),
+        method,
+        status: resp.status,
+        source: resp.x_cache,
+        dataset: resp.dataset.as_deref(),
+        generation: resp.generation,
+        stop_reason,
+        worlds_sampled,
+        wall_us,
+    });
+    if let Some(log) = &state.access_log {
+        let mut sink = log.lock().unwrap();
+        let _ = sink.write_all(line.as_bytes());
+        let _ = sink.write_all(b"\n");
+        let _ = sink.flush();
+    }
+    if slow {
+        eprintln!("mpds-service slow_query {line}");
+    }
+}
+
+/// One parsed HTTP request: method, target (path + query), the `Accept`
+/// header (for `/metrics` content negotiation), and — for POST — the
+/// `Content-Length`-delimited body.
 struct Request {
     method: String,
     target: String,
+    accept: String,
     body: Vec<u8>,
 }
 
@@ -384,6 +543,7 @@ fn read_request(
     let method = parts.next().ok_or("empty request")?.to_string();
     let target = parts.next().ok_or("missing request target")?.to_string();
     let mut content_length = 0usize;
+    let mut accept = String::new();
     for line in head.lines().skip(1) {
         if let Some((k, v)) = line.split_once(':') {
             if k.trim().eq_ignore_ascii_case("content-length") {
@@ -391,6 +551,8 @@ fn read_request(
                     .trim()
                     .parse()
                     .map_err(|_| format!("bad Content-Length {:?}", v.trim()))?;
+            } else if k.trim().eq_ignore_ascii_case("accept") {
+                accept = v.trim().to_string();
             }
         }
     }
@@ -411,6 +573,7 @@ fn read_request(
         return Ok(Request {
             method,
             target,
+            accept,
             body: Vec::new(),
         });
     }
@@ -429,47 +592,42 @@ fn read_request(
     Ok(Request {
         method,
         target,
+        accept,
         body,
     })
 }
 
-/// Dispatches one request to a `(status, reason, body, x_cache)`.
-fn route(
-    request: &Request,
-    state: &ServerState,
-) -> (u16, &'static str, Body, Option<&'static str>) {
+/// Dispatches one request to a [`Response`].
+fn route(request: &Request, state: &ServerState) -> Response {
     let (path, query) = match request.target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (request.target.as_str(), ""),
     };
     let bad = |msg: String| {
-        (
+        Response::json(
             400,
             "Bad Request",
             Body::Text(error_body("bad_request", &msg)),
-            None,
         )
     };
     match (request.method.as_str(), path) {
-        ("GET", "/update") => (
+        ("GET", "/update") => Response::json(
             405,
             "Method Not Allowed",
             Body::Text(error_body(
                 "method_not_allowed",
                 "POST a mutation batch to /update",
             )),
-            None,
         ),
         ("POST", "/update") => {
             if !state.mutable {
-                return (
+                return Response::json(
                     403,
                     "Forbidden",
                     Body::Text(error_body(
                         "forbidden",
                         "server is immutable (start it with serve --mutable)",
                     )),
-                    None,
                 );
             }
             match single_param(query, "dataset") {
@@ -477,25 +635,24 @@ fn route(
                 Ok(dataset) => match state.engine.apply_update(&dataset, request.body.as_slice()) {
                     Ok(outcome) => {
                         state.updates.fetch_add(1, Ordering::Relaxed);
-                        (
-                            200,
-                            "OK",
-                            Body::Text(crate::engine::render_update_response(&dataset, &outcome)),
-                            None,
-                        )
+                        let body = crate::engine::render_update_response(&dataset, &outcome);
+                        Response {
+                            generation: Some(outcome.generation),
+                            dataset: Some(dataset),
+                            ..Response::json(200, "OK", Body::Text(body))
+                        }
                     }
                     Err(e) => query_error_response(&e),
                 },
             }
         }
-        ("GET", "/batch") => (
+        ("GET", "/batch") => Response::json(
             405,
             "Method Not Allowed",
             Body::Text(error_body(
                 "method_not_allowed",
                 "POST a JSON body of query specs to /batch",
             )),
-            None,
         ),
         ("POST", "/batch") => match parse_batch_request(&request.body) {
             Err(msg) => bad(msg),
@@ -508,12 +665,11 @@ fn route(
                 match state.engine.execute_batch(&req) {
                     Ok(outcome) => {
                         state.batches.fetch_add(1, Ordering::Relaxed);
-                        (
-                            200,
-                            "OK",
-                            Body::Text(crate::engine::render_batch_response(&req, &outcome)),
-                            None,
-                        )
+                        let body = crate::engine::render_batch_response(&req, &outcome);
+                        Response {
+                            dataset: Some(req.dataset),
+                            ..Response::json(200, "OK", Body::Text(body))
+                        }
                     }
                     Err(e) => query_error_response(&e),
                 }
@@ -530,37 +686,41 @@ fn route(
                 match state.engine.execute_diff(&req, &against) {
                     Ok(body) => {
                         state.diffs.fetch_add(1, Ordering::Relaxed);
-                        (200, "OK", Body::Shared(Arc::new(body)), None)
+                        Response {
+                            dataset: Some(req.dataset),
+                            ..Response::json(200, "OK", Body::Shared(Arc::new(body)))
+                        }
                     }
                     Err(e) => query_error_response(&e),
                 }
             }
         },
-        ("POST", _) => (
+        ("POST", _) => Response::json(
             405,
             "Method Not Allowed",
             Body::Text(error_body(
                 "method_not_allowed",
                 "POST is only accepted on /update and /batch",
             )),
-            None,
         ),
         ("GET", "/") | ("GET", "/healthz") => {
             let mut w = JsonWriter::new();
             w.begin_object().field_str("status", "ok").end_object();
-            (200, "OK", Body::Text(w.finish()), None)
+            Response::json(200, "OK", Body::Text(w.finish()))
         }
-        ("GET", "/datasets") => (200, "OK", Body::Text(render_datasets(state)), None),
+        ("GET", "/datasets") => Response::json(200, "OK", Body::Text(render_datasets(state))),
         ("GET", "/dataset") => match single_param(query, "name") {
             Err(msg) => bad(msg),
             Ok(name) => match state.engine.registry().get(&name) {
                 Err(msg) => bad(msg),
-                Ok(g) => (
-                    200,
-                    "OK",
-                    Body::Text(crate::engine::render_stats(&name, &g.graph)),
-                    None,
-                ),
+                Ok(g) => {
+                    let body = crate::engine::render_stats(&name, &g.graph);
+                    Response {
+                        generation: Some(g.generation),
+                        dataset: Some(name),
+                        ..Response::json(200, "OK", Body::Text(body))
+                    }
+                }
             },
         },
         ("GET", "/query") => match parse_query_request(query) {
@@ -572,36 +732,64 @@ fn route(
                 if req.timeout_ms.is_none() {
                     req.timeout_ms = state.default_timeout.map(|d| d.as_millis() as u64);
                 }
-                match state.engine.execute(&req) {
-                    Ok((body, source)) => (200, "OK", Body::Shared(body), Some(source.as_str())),
+                match state.engine.execute_traced(&req) {
+                    Ok(t) => {
+                        // A profiled response splices the stage timings
+                        // into a fresh buffer; the cached `Arc` keeps
+                        // serving byte-identical unprofiled bodies.
+                        let body = match &t.profile {
+                            Some(totals) => Body::Bytes(crate::engine::splice_profile(
+                                &t.body, totals, t.source,
+                            )),
+                            None => Body::Shared(t.body),
+                        };
+                        Response {
+                            x_cache: Some(t.source.as_str()),
+                            dataset: Some(req.dataset),
+                            generation: Some(t.generation),
+                            ..Response::json(200, "OK", body)
+                        }
+                    }
                     Err(e) => query_error_response(&e),
                 }
             }
         },
-        ("GET", "/metrics") => (200, "OK", Body::Text(render_metrics(state)), None),
-        ("GET", _) => (
+        ("GET", "/metrics") => {
+            if wants_prometheus(&request.accept) {
+                Response {
+                    content_type: mpds_obs::prom::CONTENT_TYPE,
+                    ..Response::json(200, "OK", Body::Text(render_metrics_prom(state)))
+                }
+            } else {
+                Response::json(200, "OK", Body::Text(render_metrics(state)))
+            }
+        }
+        ("GET", _) => Response::json(
             404,
             "Not Found",
             Body::Text(error_body("not_found", "no such endpoint")),
-            None,
         ),
         (method, _) => bad(format!("method {method} not supported (GET or POST)")),
     }
 }
 
-fn query_error_response(e: &QueryError) -> (u16, &'static str, Body, Option<&'static str>) {
+fn query_error_response(e: &QueryError) -> Response {
     let (status, reason, code) = match e {
         QueryError::BadRequest(_) => (400, "Bad Request", "bad_request"),
         QueryError::DeadlineExceeded { .. } => (504, "Gateway Timeout", "deadline_exceeded"),
         QueryError::Cancelled => (503, "Service Unavailable", "cancelled"),
         QueryError::Internal(_) => (500, "Internal Server Error", "internal"),
     };
-    (
-        status,
-        reason,
-        Body::Text(error_body(code, &e.to_string())),
-        None,
-    )
+    Response::json(status, reason, Body::Text(error_body(code, &e.to_string())))
+}
+
+/// `/metrics` content negotiation: Prometheus scrapers advertise
+/// `text/plain` (the classic exposition type) or an OpenMetrics media
+/// type; plain `curl` sends `*/*` and keeps receiving the legacy JSON
+/// body unchanged.
+fn wants_prometheus(accept: &str) -> bool {
+    let a = accept.to_ascii_lowercase();
+    a.contains("text/plain") || a.contains("openmetrics") || a.contains("prometheus")
 }
 
 fn render_datasets(state: &ServerState) -> String {
@@ -626,7 +814,12 @@ fn render_datasets(state: &ServerState) -> String {
 
 fn render_metrics(state: &ServerState) -> String {
     let s = state.engine.stats();
+    let eobs = state.engine.obs();
+    let queue_depth = state.queue.lock().unwrap().len() as u64;
     let mut w = JsonWriter::new();
+    // Pre-existing keys keep their exact order and spelling — external
+    // scrapers key-scan this body. New observability keys are appended
+    // after `diffs`, before the `datasets` array.
     w.begin_object()
         .key("cache")
         .begin_object()
@@ -644,7 +837,16 @@ fn render_metrics(state: &ServerState) -> String {
         .field_uint("served", state.served.load(Ordering::Relaxed))
         .field_uint("updates", state.updates.load(Ordering::Relaxed))
         .field_uint("batches", state.batches.load(Ordering::Relaxed))
-        .field_uint("diffs", state.diffs.load(Ordering::Relaxed));
+        .field_uint("diffs", state.diffs.load(Ordering::Relaxed))
+        .field_uint(
+            "refine_queue_depth",
+            eobs.refine_queue_depth.value().max(0) as u64,
+        )
+        .field_uint("refine_ok", eobs.refine_ok.value())
+        .field_uint("refine_failed", eobs.refine_failed.value())
+        .field_uint("inflight", state.http_obs.inflight.value().max(0) as u64)
+        .field_uint("queue_depth", queue_depth)
+        .field_uint("profiled", eobs.profiled.value());
     // Per-dataset dynamic-graph state (loaded datasets only — listing must
     // never force construction).
     w.key("datasets").begin_array();
@@ -668,15 +870,250 @@ fn render_metrics(state: &ServerState) -> String {
     w.finish()
 }
 
+/// The Prometheus text-exposition rendering of `/metrics` (served when the
+/// scraper's `Accept` header asks for it; see [`wants_prometheus`]).
+///
+/// Latency histograms render one series per `(endpoint, source, status)`
+/// combination that has seen traffic, with all 64 cumulative buckets —
+/// so a scraper can reconstruct exact per-window snapshots with
+/// [`mpds_obs::scrape::prom_histogram`].
+fn render_metrics_prom(state: &ServerState) -> String {
+    let s = state.engine.stats();
+    let eobs = state.engine.obs();
+    let mut p = PromText::new();
+
+    p.family(
+        "mpds_http_request_duration_microseconds",
+        "histogram",
+        "End-to-end request wall time by endpoint, cache source, and status class.",
+    );
+    for (endpoint, source, class, snap) in state.http_obs.series() {
+        p.histogram(
+            "mpds_http_request_duration_microseconds",
+            &[
+                ("endpoint", endpoint.as_str()),
+                ("source", source.as_str()),
+                ("status", class.as_str()),
+            ],
+            &snap,
+        );
+    }
+
+    p.family(
+        "mpds_inflight_requests",
+        "gauge",
+        "Requests currently being read, routed, or written (includes this scrape).",
+    );
+    p.sample_i64(
+        "mpds_inflight_requests",
+        &[],
+        state.http_obs.inflight.value(),
+    );
+    p.family(
+        "mpds_admission_queue_depth",
+        "gauge",
+        "Accepted connections waiting for a worker (503 past capacity).",
+    );
+    p.sample_u64(
+        "mpds_admission_queue_depth",
+        &[],
+        state.queue.lock().unwrap().len() as u64,
+    );
+
+    p.family(
+        "mpds_refine_queue_depth",
+        "gauge",
+        "Background refinement jobs queued or running (0 when drained).",
+    );
+    p.sample_i64(
+        "mpds_refine_queue_depth",
+        &[],
+        eobs.refine_queue_depth.value(),
+    );
+    p.family(
+        "mpds_refine_duration_microseconds",
+        "histogram",
+        "Wall time of completed background refinement runs.",
+    );
+    p.histogram(
+        "mpds_refine_duration_microseconds",
+        &[],
+        &eobs.refine_hist.snapshot(),
+    );
+    p.family(
+        "mpds_refine_runs_total",
+        "counter",
+        "Background refinement runs by outcome.",
+    );
+    p.sample_u64(
+        "mpds_refine_runs_total",
+        &[("outcome", "ok")],
+        eobs.refine_ok.value(),
+    );
+    p.sample_u64(
+        "mpds_refine_runs_total",
+        &[("outcome", "failed")],
+        eobs.refine_failed.value(),
+    );
+
+    let totals = eobs.stage_totals.totals();
+    p.family(
+        "mpds_stage_duration_nanoseconds_total",
+        "counter",
+        "Per-stage wall time aggregated over profiled (?profile=1) requests.",
+    );
+    for stage in Stage::ALL {
+        p.sample_u64(
+            "mpds_stage_duration_nanoseconds_total",
+            &[("stage", stage.as_str())],
+            totals.total_ns(stage),
+        );
+    }
+    p.family(
+        "mpds_stage_invocations_total",
+        "counter",
+        "Per-stage invocation counts aggregated over profiled requests.",
+    );
+    for stage in Stage::ALL {
+        p.sample_u64(
+            "mpds_stage_invocations_total",
+            &[("stage", stage.as_str())],
+            totals.count(stage),
+        );
+    }
+    p.family(
+        "mpds_profiled_requests_total",
+        "counter",
+        "Requests served with ?profile=1.",
+    );
+    p.sample_u64("mpds_profiled_requests_total", &[], eobs.profiled.value());
+
+    p.family(
+        "mpds_cache_requests_total",
+        "counter",
+        "Result-cache lookups by outcome.",
+    );
+    p.sample_u64(
+        "mpds_cache_requests_total",
+        &[("result", "hit")],
+        s.cache.hits,
+    );
+    p.sample_u64(
+        "mpds_cache_requests_total",
+        &[("result", "miss")],
+        s.cache.misses,
+    );
+    p.family("mpds_cache_entries", "gauge", "Live result-cache entries.");
+    p.sample_u64("mpds_cache_entries", &[], s.cache.entries as u64);
+    p.family("mpds_cache_capacity", "gauge", "Result-cache capacity.");
+    p.sample_u64("mpds_cache_capacity", &[], s.cache.capacity as u64);
+
+    for (name, help, value) in [
+        (
+            "mpds_queries_computed_total",
+            "Queries that ran an estimator (cache misses).",
+            s.computed,
+        ),
+        (
+            "mpds_queries_coalesced_total",
+            "Queries that joined an identical in-flight computation.",
+            s.coalesced,
+        ),
+        (
+            "mpds_queries_refined_total",
+            "Budget-truncated answers refined and republished.",
+            s.refined,
+        ),
+        (
+            "mpds_worlds_sampled_total",
+            "Possible worlds fully sampled across all computed queries.",
+            s.worlds_sampled,
+        ),
+        (
+            "mpds_worlds_requested_total",
+            "Possible worlds requested (theta summed) across computed queries.",
+            s.worlds_requested,
+        ),
+        (
+            "mpds_rejected_total",
+            "Connections answered 503 at the admission gate.",
+            state.rejected.load(Ordering::Relaxed),
+        ),
+        (
+            "mpds_served_total",
+            "Requests fully served (any status).",
+            state.served.load(Ordering::Relaxed),
+        ),
+        (
+            "mpds_updates_total",
+            "Mutation batches applied through /update.",
+            state.updates.load(Ordering::Relaxed),
+        ),
+        (
+            "mpds_batches_total",
+            "Query batches served through /batch.",
+            state.batches.load(Ordering::Relaxed),
+        ),
+        (
+            "mpds_diffs_total",
+            "Diffs served through /diff.",
+            state.diffs.load(Ordering::Relaxed),
+        ),
+    ] {
+        p.family(name, "counter", help);
+        p.sample_u64(name, &[], value);
+    }
+
+    // Per-dataset dynamic-graph state (loaded datasets only — a scrape
+    // must never force construction).
+    p.family(
+        "mpds_dataset_generation",
+        "gauge",
+        "Current generation of each loaded dataset.",
+    );
+    let listing = state.engine.registry().list();
+    for d in listing.iter().filter(|d| d.loaded) {
+        if let Some(g) = d.generation {
+            p.sample_u64("mpds_dataset_generation", &[("dataset", &d.name)], g);
+        }
+    }
+    p.family(
+        "mpds_dataset_overlay_edges",
+        "gauge",
+        "Uncompacted overlay edges per loaded dataset.",
+    );
+    for d in listing.iter().filter(|d| d.loaded) {
+        if let Some(o) = d.overlay {
+            p.sample_u64(
+                "mpds_dataset_overlay_edges",
+                &[("dataset", &d.name)],
+                o as u64,
+            );
+        }
+    }
+    p.family(
+        "mpds_dataset_compactions_total",
+        "counter",
+        "Overlay compactions per loaded dataset.",
+    );
+    for d in listing.iter().filter(|d| d.loaded) {
+        if let Some(c) = d.compactions {
+            p.sample_u64("mpds_dataset_compactions_total", &[("dataset", &d.name)], c);
+        }
+    }
+    p.finish()
+}
+
 fn write_response(
     stream: &mut TcpStream,
     status: u16,
     reason: &str,
     body: &[u8],
     x_cache: Option<&str>,
+    content_type: &str,
 ) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
     if let Some(v) = x_cache {
@@ -787,6 +1224,13 @@ fn parse_query_pairs(pairs: &[(String, String)]) -> Result<QueryRequest, String>
                 req.timeout_ms = Some(v.parse().map_err(|e| format!("timeout_ms: {e}"))?)
             }
             "budget_ms" => req.budget_ms = Some(v.parse().map_err(|e| format!("budget_ms: {e}"))?),
+            "profile" => {
+                req.profile = match v.as_str() {
+                    "true" | "1" | "" => true,
+                    "false" | "0" => false,
+                    other => return Err(format!("profile: bad boolean {other:?}")),
+                }
+            }
             "stop" => stop = Some(v.clone()),
             "window" => window = Some(v.parse().map_err(|e| format!("window: {e}"))?),
             other => return Err(format!("unknown parameter {other:?}")),
@@ -837,6 +1281,13 @@ fn parse_diff_request(query: &str) -> Result<(QueryRequest, String), String> {
                     "diff supports no {k:?}: common random numbers need the same \
                      fixed-θ stream on both snapshots"
                 ))
+            }
+            "profile" => {
+                return Err(
+                    "diff supports no \"profile\": stage timings are per-evaluation \
+                     and a diff runs two"
+                        .to_string(),
+                )
             }
             _ => rest.push((k, v)),
         }
@@ -1110,6 +1561,44 @@ mod tests {
             let err = parse_diff_request(&format!("dataset=a&against=b&{p}")).unwrap_err();
             assert!(err.contains("common random numbers"), "{p}: {err}");
         }
+    }
+
+    #[test]
+    fn profile_parameter_forms() {
+        assert!(
+            parse_query_request("dataset=karate&profile=1")
+                .unwrap()
+                .profile
+        );
+        assert!(
+            parse_query_request("dataset=karate&profile=true")
+                .unwrap()
+                .profile
+        );
+        assert!(
+            !parse_query_request("dataset=karate&profile=0")
+                .unwrap()
+                .profile
+        );
+        assert!(!parse_query_request("dataset=karate").unwrap().profile);
+        assert!(parse_query_request("dataset=karate&profile=maybe").is_err());
+        assert!(parse_query_request("dataset=karate&profile=1&profile=1")
+            .unwrap_err()
+            .contains("duplicate parameter"));
+        assert!(parse_diff_request("dataset=a&against=b&profile=1")
+            .unwrap_err()
+            .contains("profile"));
+    }
+
+    #[test]
+    fn metrics_content_negotiation() {
+        assert!(!wants_prometheus(""));
+        assert!(!wants_prometheus("*/*"));
+        assert!(!wants_prometheus("application/json"));
+        assert!(wants_prometheus("text/plain"));
+        assert!(wants_prometheus("text/plain; version=0.0.4"));
+        assert!(wants_prometheus("application/openmetrics-text"));
+        assert!(wants_prometheus("TEXT/PLAIN"));
     }
 
     #[test]

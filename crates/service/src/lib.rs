@@ -24,6 +24,11 @@
 //! * [`http`] — a std-only thread-pool HTTP/1.1 front end with a bounded
 //!   admission queue (503 on overload), gated `POST /update`, `POST
 //!   /batch` + `GET /diff` endpoints, and cooperative-cancel shutdown;
+//! * [`obs`] — the front end's observability surface: per
+//!   `(endpoint, cache source, status class)` latency histograms
+//!   ([`mpds_obs`] under the hood), the in-flight gauge, and JSONL
+//!   access-log records (`serve --access-log`); `/metrics` exposes it all
+//!   in both the legacy JSON body and Prometheus text exposition;
 //! * [`harness`] — the loopback load + churn + batch harnesses behind
 //!   `BENCH_pr3.json` / `BENCH_pr5.json` / `BENCH_pr6.json` and the CI
 //!   `service-smoke` / `churn-smoke` / `batch-smoke` jobs;
@@ -36,6 +41,7 @@ pub mod engine;
 pub mod harness;
 pub mod http;
 pub mod json;
+pub mod obs;
 pub mod registry;
 
 pub use engine::{

@@ -1,0 +1,470 @@
+//! HTTP-layer observability: the per-endpoint latency histogram bank and
+//! structured access-log records.
+//!
+//! The serving engine already owns its own counters ([`crate::engine::EngineObs`]);
+//! this module covers the front end. Request latency is recorded into one
+//! [`Histogram`] per `(endpoint, cache source, status class)` combination —
+//! a flat bank of atomics, so recording is lock-free and a `/metrics`
+//! scrape never blocks a worker. Access-log lines are rendered through the
+//! same deterministic [`JsonWriter`] as every response body.
+
+use crate::json::JsonWriter;
+use mpds_obs::{Gauge, Histogram, HistogramSnapshot};
+
+/// The served endpoints, as latency-metric label values.
+///
+/// `Other` covers 404s, bad request lines, and method mismatches — traffic
+/// that never resolved to a real route but still consumed a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /` and `GET /healthz`.
+    Healthz,
+    /// `GET /datasets`.
+    Datasets,
+    /// `GET /dataset`.
+    Dataset,
+    /// `GET /query`.
+    Query,
+    /// `POST /batch`.
+    Batch,
+    /// `GET /diff`.
+    Diff,
+    /// `POST /update`.
+    Update,
+    /// `GET /metrics`.
+    Metrics,
+    /// Anything that matched no route.
+    Other,
+}
+
+impl Endpoint {
+    /// Number of endpoint labels (the length of [`Endpoint::ALL`]).
+    pub const COUNT: usize = 9;
+
+    /// Every endpoint label.
+    pub const ALL: [Endpoint; Endpoint::COUNT] = [
+        Endpoint::Healthz,
+        Endpoint::Datasets,
+        Endpoint::Dataset,
+        Endpoint::Query,
+        Endpoint::Batch,
+        Endpoint::Diff,
+        Endpoint::Update,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    /// Maps a request path (no query string) to its endpoint label.
+    pub fn classify(path: &str) -> Endpoint {
+        match path {
+            "/" | "/healthz" => Endpoint::Healthz,
+            "/datasets" => Endpoint::Datasets,
+            "/dataset" => Endpoint::Dataset,
+            "/query" => Endpoint::Query,
+            "/batch" => Endpoint::Batch,
+            "/diff" => Endpoint::Diff,
+            "/update" => Endpoint::Update,
+            "/metrics" => Endpoint::Metrics,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// The stable label value used in metrics and access logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Datasets => "datasets",
+            Endpoint::Dataset => "dataset",
+            Endpoint::Query => "query",
+            Endpoint::Batch => "batch",
+            Endpoint::Diff => "diff",
+            Endpoint::Update => "update",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Healthz => 0,
+            Endpoint::Datasets => 1,
+            Endpoint::Dataset => 2,
+            Endpoint::Query => 3,
+            Endpoint::Batch => 4,
+            Endpoint::Diff => 5,
+            Endpoint::Update => 6,
+            Endpoint::Metrics => 7,
+            Endpoint::Other => 8,
+        }
+    }
+}
+
+/// Where a response's bytes came from, as a latency-metric label.
+///
+/// Mirrors the `X-Cache` header values; `None` labels endpoints that have
+/// no result cache (everything except `/query`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SourceLabel {
+    /// Served from the result cache (`X-Cache: HIT`).
+    Hit,
+    /// Computed by this request (`X-Cache: MISS`).
+    Miss,
+    /// Joined an identical in-flight computation (`X-Cache: COALESCED`).
+    Coalesced,
+    /// No cache involved (non-`/query` endpoints and error responses).
+    None,
+}
+
+impl SourceLabel {
+    /// Number of source labels (the length of [`SourceLabel::ALL`]).
+    pub const COUNT: usize = 4;
+
+    /// Every source label.
+    pub const ALL: [SourceLabel; SourceLabel::COUNT] = [
+        SourceLabel::Hit,
+        SourceLabel::Miss,
+        SourceLabel::Coalesced,
+        SourceLabel::None,
+    ];
+
+    /// Maps an `X-Cache` header value (if any) to its label.
+    pub fn from_header(x_cache: Option<&str>) -> SourceLabel {
+        match x_cache {
+            Some("HIT") => SourceLabel::Hit,
+            Some("MISS") => SourceLabel::Miss,
+            Some("COALESCED") => SourceLabel::Coalesced,
+            _ => SourceLabel::None,
+        }
+    }
+
+    /// The stable label value used in metrics and access logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SourceLabel::Hit => "HIT",
+            SourceLabel::Miss => "MISS",
+            SourceLabel::Coalesced => "COALESCED",
+            SourceLabel::None => "NONE",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            SourceLabel::Hit => 0,
+            SourceLabel::Miss => 1,
+            SourceLabel::Coalesced => 2,
+            SourceLabel::None => 3,
+        }
+    }
+}
+
+/// HTTP status class, as a latency-metric label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StatusClass {
+    /// 200–299.
+    Success,
+    /// 400–499.
+    ClientError,
+    /// 500–599.
+    ServerError,
+    /// Anything else (this server emits none today).
+    Other,
+}
+
+impl StatusClass {
+    /// Number of status classes (the length of [`StatusClass::ALL`]).
+    pub const COUNT: usize = 4;
+
+    /// Every status class.
+    pub const ALL: [StatusClass; StatusClass::COUNT] = [
+        StatusClass::Success,
+        StatusClass::ClientError,
+        StatusClass::ServerError,
+        StatusClass::Other,
+    ];
+
+    /// Maps a numeric status code to its class.
+    pub fn from_status(status: u16) -> StatusClass {
+        match status / 100 {
+            2 => StatusClass::Success,
+            4 => StatusClass::ClientError,
+            5 => StatusClass::ServerError,
+            _ => StatusClass::Other,
+        }
+    }
+
+    /// The stable label value used in metrics and access logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StatusClass::Success => "2xx",
+            StatusClass::ClientError => "4xx",
+            StatusClass::ServerError => "5xx",
+            StatusClass::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            StatusClass::Success => 0,
+            StatusClass::ClientError => 1,
+            StatusClass::ServerError => 2,
+            StatusClass::Other => 3,
+        }
+    }
+}
+
+/// The front end's lock-free metric state: one latency [`Histogram`] per
+/// `(endpoint, source, status class)` plus the in-flight request gauge.
+#[derive(Debug)]
+pub struct HttpObs {
+    bank: Vec<Histogram>,
+    /// Requests currently being read, routed, or written.
+    pub inflight: Gauge,
+}
+
+impl Default for HttpObs {
+    fn default() -> Self {
+        HttpObs::new()
+    }
+}
+
+impl HttpObs {
+    /// Creates the bank with every histogram empty.
+    pub fn new() -> Self {
+        let cells = Endpoint::COUNT * SourceLabel::COUNT * StatusClass::COUNT;
+        HttpObs {
+            bank: (0..cells).map(|_| Histogram::new()).collect(),
+            inflight: Gauge::new(),
+        }
+    }
+
+    fn cell(endpoint: Endpoint, source: SourceLabel, class: StatusClass) -> usize {
+        (endpoint.index() * SourceLabel::COUNT + source.index()) * StatusClass::COUNT
+            + class.index()
+    }
+
+    /// Records one request's wall time (microseconds) into its series.
+    pub fn record(&self, endpoint: Endpoint, source: SourceLabel, status: u16, wall_us: u64) {
+        let class = StatusClass::from_status(status);
+        self.bank[Self::cell(endpoint, source, class)].record(wall_us);
+    }
+
+    /// The histogram backing one `(endpoint, source, class)` series.
+    pub fn histogram(
+        &self,
+        endpoint: Endpoint,
+        source: SourceLabel,
+        class: StatusClass,
+    ) -> &Histogram {
+        &self.bank[Self::cell(endpoint, source, class)]
+    }
+
+    /// Snapshots every series that has recorded at least one request —
+    /// the `/metrics` Prometheus renderer emits only these, keeping the
+    /// exposition proportional to observed traffic rather than the full
+    /// 144-cell bank.
+    pub fn series(&self) -> Vec<(Endpoint, SourceLabel, StatusClass, HistogramSnapshot)> {
+        let mut out = Vec::new();
+        for e in Endpoint::ALL {
+            for s in SourceLabel::ALL {
+                for c in StatusClass::ALL {
+                    let snap = self.bank[Self::cell(e, s, c)].snapshot();
+                    if snap.count() > 0 {
+                        out.push((e, s, c, snap));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One access-log line's fields. Optional fields are omitted from the
+/// rendered JSON when absent, so a line carries exactly what was known.
+#[derive(Debug, Default)]
+pub struct AccessRecord<'a> {
+    /// Monotonic per-process request id.
+    pub id: u64,
+    /// Endpoint label (see [`Endpoint::as_str`]).
+    pub endpoint: &'a str,
+    /// Request method (`GET`/`POST`), when the request line parsed.
+    pub method: Option<&'a str>,
+    /// Response status code.
+    pub status: u16,
+    /// `X-Cache` provenance for `/query` responses.
+    pub source: Option<&'a str>,
+    /// Dataset the request addressed, when the route resolved one.
+    pub dataset: Option<&'a str>,
+    /// Dataset generation served against (`/query` only).
+    pub generation: Option<u64>,
+    /// Estimator stop reason scraped from the response body.
+    pub stop_reason: Option<&'a str>,
+    /// Worlds sampled, scraped from the response body.
+    pub worlds_sampled: Option<u64>,
+    /// End-to-end wall time in microseconds (read → route → write).
+    pub wall_us: u64,
+}
+
+/// Renders one access-log record as a single JSON line (no trailing
+/// newline). Field order is fixed; absent optionals are omitted.
+///
+/// ```
+/// use mpds_service::obs::{render_access_record, AccessRecord};
+/// let line = render_access_record(&AccessRecord {
+///     id: 7,
+///     endpoint: "healthz",
+///     method: Some("GET"),
+///     status: 200,
+///     wall_us: 120,
+///     ..AccessRecord::default()
+/// });
+/// assert_eq!(
+///     line,
+///     r#"{"id":7,"endpoint":"healthz","method":"GET","status":200,"wall_us":120}"#
+/// );
+/// ```
+pub fn render_access_record(r: &AccessRecord) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_uint("id", r.id)
+        .field_str("endpoint", r.endpoint);
+    if let Some(m) = r.method {
+        w.field_str("method", m);
+    }
+    w.field_uint("status", r.status as u64);
+    if let Some(s) = r.source {
+        w.field_str("source", s);
+    }
+    if let Some(d) = r.dataset {
+        w.field_str("dataset", d);
+    }
+    if let Some(g) = r.generation {
+        w.field_uint("generation", g);
+    }
+    if let Some(s) = r.stop_reason {
+        w.field_str("stop_reason", s);
+    }
+    if let Some(n) = r.worlds_sampled {
+        w.field_uint("worlds_sampled", n);
+    }
+    w.field_uint("wall_us", r.wall_us).end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_covers_every_route() {
+        assert_eq!(Endpoint::classify("/"), Endpoint::Healthz);
+        assert_eq!(Endpoint::classify("/healthz"), Endpoint::Healthz);
+        assert_eq!(Endpoint::classify("/datasets"), Endpoint::Datasets);
+        assert_eq!(Endpoint::classify("/dataset"), Endpoint::Dataset);
+        assert_eq!(Endpoint::classify("/query"), Endpoint::Query);
+        assert_eq!(Endpoint::classify("/batch"), Endpoint::Batch);
+        assert_eq!(Endpoint::classify("/diff"), Endpoint::Diff);
+        assert_eq!(Endpoint::classify("/update"), Endpoint::Update);
+        assert_eq!(Endpoint::classify("/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::classify("/nope"), Endpoint::Other);
+    }
+
+    #[test]
+    fn label_indices_are_bijective() {
+        // Every (endpoint, source, class) triple maps to a distinct cell.
+        let mut seen = std::collections::HashSet::new();
+        for e in Endpoint::ALL {
+            for s in SourceLabel::ALL {
+                for c in StatusClass::ALL {
+                    assert!(seen.insert(HttpObs::cell(e, s, c)));
+                }
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            Endpoint::COUNT * SourceLabel::COUNT * StatusClass::COUNT
+        );
+        assert_eq!(
+            seen.into_iter().max().unwrap() + 1,
+            HttpObs::new().bank.len()
+        );
+    }
+
+    #[test]
+    fn source_label_round_trips_the_header() {
+        assert_eq!(SourceLabel::from_header(Some("HIT")), SourceLabel::Hit);
+        assert_eq!(SourceLabel::from_header(Some("MISS")), SourceLabel::Miss);
+        assert_eq!(
+            SourceLabel::from_header(Some("COALESCED")),
+            SourceLabel::Coalesced
+        );
+        assert_eq!(SourceLabel::from_header(None), SourceLabel::None);
+        assert_eq!(SourceLabel::from_header(Some("weird")), SourceLabel::None);
+    }
+
+    #[test]
+    fn status_classes() {
+        assert_eq!(StatusClass::from_status(200), StatusClass::Success);
+        assert_eq!(StatusClass::from_status(204), StatusClass::Success);
+        assert_eq!(StatusClass::from_status(400), StatusClass::ClientError);
+        assert_eq!(StatusClass::from_status(404), StatusClass::ClientError);
+        assert_eq!(StatusClass::from_status(503), StatusClass::ServerError);
+        assert_eq!(StatusClass::from_status(302), StatusClass::Other);
+    }
+
+    #[test]
+    fn record_lands_in_the_right_series_and_series_skips_empties() {
+        let obs = HttpObs::new();
+        obs.record(Endpoint::Query, SourceLabel::Hit, 200, 150);
+        obs.record(Endpoint::Query, SourceLabel::Hit, 200, 250);
+        obs.record(Endpoint::Query, SourceLabel::Miss, 504, 9_000);
+        let series = obs.series();
+        assert_eq!(series.len(), 2);
+        let (e, s, c, snap) = series[0];
+        assert_eq!(
+            (e, s, c, snap.count()),
+            (Endpoint::Query, SourceLabel::Hit, StatusClass::Success, 2)
+        );
+        assert_eq!(snap.sum(), 400);
+        let (e, s, c, snap) = series[1];
+        assert_eq!(
+            (e, s, c, snap.count()),
+            (
+                Endpoint::Query,
+                SourceLabel::Miss,
+                StatusClass::ServerError,
+                1
+            )
+        );
+        assert_eq!(snap.sum(), 9_000);
+        let direct = obs
+            .histogram(Endpoint::Query, SourceLabel::Hit, StatusClass::Success)
+            .snapshot();
+        assert_eq!(direct.count(), 2);
+    }
+
+    #[test]
+    fn access_record_with_all_fields_pins_its_layout() {
+        let line = render_access_record(&AccessRecord {
+            id: 42,
+            endpoint: "query",
+            method: Some("GET"),
+            status: 200,
+            source: Some("MISS"),
+            dataset: Some("karate"),
+            generation: Some(3),
+            stop_reason: Some("fixed_theta"),
+            worlds_sampled: Some(320),
+            wall_us: 12_345,
+        });
+        assert_eq!(
+            line,
+            concat!(
+                r#"{"id":42,"endpoint":"query","method":"GET","status":200,"#,
+                r#""source":"MISS","dataset":"karate","generation":3,"#,
+                r#""stop_reason":"fixed_theta","worlds_sampled":320,"wall_us":12345}"#
+            )
+        );
+        // The line is itself valid JSON under the workspace parser.
+        assert!(crate::json::JsonValue::parse(&line).is_ok());
+    }
+}

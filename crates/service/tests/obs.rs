@@ -1,0 +1,320 @@
+//! End-to-end observability tests: `?profile=1` cache neutrality, `/metrics`
+//! content negotiation, refinement-queue drain, and access-log output — all
+//! over real loopback HTTP.
+
+use mpds_obs::scrape;
+use mpds_service::harness::{http_get, http_get_accept, Exchange};
+use mpds_service::{EngineConfig, GraphRegistry, QueryEngine, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server(engine_cfg: &EngineConfig, server_cfg: &ServerConfig) -> Server {
+    let engine = Arc::new(QueryEngine::new(GraphRegistry::with_builtins(), engine_cfg));
+    Server::bind("127.0.0.1:0", engine, server_cfg).expect("bind ephemeral port")
+}
+
+fn get(server: &Server, path: &str) -> Exchange {
+    http_get(server.local_addr(), path, Duration::from_secs(60)).expect("http_get")
+}
+
+const STAGES: [&str; 6] = [
+    "snapshot_resolve",
+    "cache_probe",
+    "world_materialize",
+    "estimator_accumulate",
+    "stable_tracker",
+    "json_render",
+];
+
+#[test]
+fn profile_block_rides_along_without_perturbing_cached_bytes() {
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let path = "/query?dataset=karate&theta=100&k=3&seed=17";
+
+    // Cold profiled request: a MISS that computes, caches the *unprofiled*
+    // bytes, and splices the stage breakdown into its own response only.
+    let profiled = get(&server, &format!("{path}&profile=1"));
+    assert_eq!(
+        profiled.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&profiled.body)
+    );
+    assert_eq!(profiled.x_cache.as_deref(), Some("MISS"));
+    let profiled_body = String::from_utf8(profiled.body).unwrap();
+    assert!(profiled_body.contains("\"profile\":{"), "{profiled_body}");
+    assert!(profiled_body.contains("\"stages\":{"), "{profiled_body}");
+    for stage in STAGES {
+        assert!(
+            profiled_body.contains(&format!("\"{stage}\":{{")),
+            "missing stage {stage}: {profiled_body}"
+        );
+    }
+    // The splice must still be valid JSON under the server's own parser.
+    mpds_service::json::JsonValue::parse(&profiled_body).expect("profiled body parses");
+
+    // The unprofiled re-issue is a cache HIT with no trace of the profile.
+    let plain = get(&server, path);
+    assert_eq!(plain.status, 200);
+    assert_eq!(plain.x_cache.as_deref(), Some("HIT"));
+    let plain_body = String::from_utf8(plain.body).unwrap();
+    assert!(!plain_body.contains("profile"), "{plain_body}");
+    // Splice contract: profiled bytes are the cached body minus its closing
+    // brace, plus the appended profile object.
+    assert!(
+        profiled_body.starts_with(&plain_body[..plain_body.len() - 1]),
+        "profiled body is not a suffix-splice of the cached body:\n\
+         profiled: {profiled_body}\nplain: {plain_body}"
+    );
+
+    // A profiled re-issue is itself a HIT (profile is not part of the key)
+    // and says so in its breakdown.
+    let again = get(&server, &format!("{path}&profile=1"));
+    assert_eq!(again.x_cache.as_deref(), Some("HIT"));
+    let again_body = String::from_utf8(again.body).unwrap();
+    assert!(
+        again_body.contains("\"profile\":{\"source\":\"HIT\""),
+        "{again_body}"
+    );
+
+    // Both profiled requests were counted, and their stage timings
+    // aggregated into the Prometheus per-stage totals.
+    let legacy = String::from_utf8(get(&server, "/metrics").body).unwrap();
+    assert_eq!(scrape::json_uint(&legacy, "profiled"), Some(2), "{legacy}");
+    let prom_text = {
+        let e = http_get_accept(
+            server.local_addr(),
+            "/metrics",
+            "text/plain",
+            Duration::from_secs(10),
+        )
+        .unwrap();
+        String::from_utf8(e.body).unwrap()
+    };
+    assert_eq!(
+        scrape::prom_value(&prom_text, "mpds_profiled_requests_total", &[]),
+        Some(2.0)
+    );
+    // The MISS ran the estimator: its accumulate stage must show up.
+    let accumulate = scrape::prom_value(
+        &prom_text,
+        "mpds_stage_invocations_total",
+        &[("stage", "estimator_accumulate")],
+    );
+    assert!(accumulate.is_some_and(|v| v >= 1.0), "{prom_text}");
+}
+
+#[test]
+fn metrics_content_negotiation_selects_prometheus_text() {
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    // Seed one query so the request-duration family has samples.
+    let e = get(&server, "/query?dataset=karate&theta=32&k=3&seed=5");
+    assert_eq!(e.status, 200);
+
+    // Default Accept (none at all): the legacy JSON body, byte-compatible
+    // with what pre-PR8 scrapers key-scan.
+    let legacy = get(&server, "/metrics");
+    assert_eq!(legacy.status, 200);
+    let legacy_body = String::from_utf8(legacy.body).unwrap();
+    assert!(
+        legacy_body.starts_with("{\"cache\":{\"hits\":"),
+        "{legacy_body}"
+    );
+    assert!(scrape::json_uint(&legacy_body, "computed").is_some());
+
+    // Accept: text/plain → Prometheus text exposition.
+    let prom = http_get_accept(
+        server.local_addr(),
+        "/metrics",
+        "text/plain",
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    assert_eq!(prom.status, 200);
+    let prom_body = String::from_utf8(prom.body).unwrap();
+    assert!(prom_body.starts_with("# HELP "), "{prom_body}");
+    assert!(
+        prom_body.contains("# TYPE mpds_http_request_duration_microseconds histogram"),
+        "{prom_body}"
+    );
+
+    // The query that just ran is reconstructible as an exact histogram
+    // window: one 2xx /query observation across all 64 buckets.
+    let hist = scrape::prom_histogram(
+        &prom_body,
+        "mpds_http_request_duration_microseconds",
+        &[("endpoint", "query"), ("status", "2xx")],
+    )
+    .expect("query histogram present");
+    assert_eq!(hist.count(), 1);
+    assert!(hist.sum() > 0);
+
+    // Scalar families mirror the legacy counters exactly.
+    assert_eq!(
+        scrape::prom_value(&prom_body, "mpds_queries_computed_total", &[]),
+        scrape::json_uint(&legacy_body, "computed").map(|v| v as f64)
+    );
+    // A Prometheus-ish Accept string also negotiates.
+    let prom2 = http_get_accept(
+        server.local_addr(),
+        "/metrics",
+        "application/openmetrics-text;version=1.0.0",
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    assert!(String::from_utf8(prom2.body)
+        .unwrap()
+        .starts_with("# HELP "));
+}
+
+#[test]
+fn refine_queue_reports_depth_and_drains_to_zero() {
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    // A budget-truncated query enqueues a background refinement job.
+    let e = get(
+        &server,
+        "/query?dataset=karate&theta=2000&k=3&seed=23&budget_ms=1",
+    );
+    assert_eq!(e.status, 200, "{}", String::from_utf8_lossy(&e.body));
+    assert!(String::from_utf8_lossy(&e.body).contains("\"stop_reason\":\"budget\""));
+
+    // Poll the legacy body until the worker finishes: `refined` increments
+    // and the queue-depth gauge returns to zero.
+    let deadline = std::time::Instant::now() + Duration::from_secs(120);
+    let legacy = loop {
+        let m = String::from_utf8(get(&server, "/metrics").body).unwrap();
+        if scrape::json_uint(&m, "refined") == Some(1)
+            && scrape::json_uint(&m, "refine_queue_depth") == Some(0)
+        {
+            break m;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "refinement did not drain within the deadline; last: {m}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert_eq!(scrape::json_uint(&legacy, "refine_ok"), Some(1));
+    assert_eq!(scrape::json_uint(&legacy, "refine_failed"), Some(0));
+
+    // The Prometheus view agrees: one completed run, one latency
+    // observation, drained gauge.
+    let prom = http_get_accept(
+        server.local_addr(),
+        "/metrics",
+        "text/plain",
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    let text = String::from_utf8(prom.body).unwrap();
+    assert_eq!(
+        scrape::prom_value(&text, "mpds_refine_runs_total", &[("outcome", "ok")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        scrape::prom_value(&text, "mpds_refine_queue_depth", &[]),
+        Some(0.0)
+    );
+    let refine_hist =
+        scrape::prom_histogram(&text, "mpds_refine_duration_microseconds", &[]).unwrap();
+    assert_eq!(refine_hist.count(), 1);
+}
+
+#[test]
+fn access_log_records_each_request_as_jsonl() {
+    let log_path = std::env::temp_dir().join(format!(
+        "mpds-obs-access-{}-{}.jsonl",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    let server = start_server(
+        &EngineConfig::default(),
+        &ServerConfig {
+            access_log: Some(log_path.clone()),
+            ..ServerConfig::default()
+        },
+    );
+
+    assert_eq!(get(&server, "/healthz").status, 200);
+    let q = get(&server, "/query?dataset=karate&theta=32&k=3&seed=11");
+    assert_eq!(q.status, 200);
+    assert_eq!(get(&server, "/nope").status, 404);
+
+    let text = std::fs::read_to_string(&log_path).expect("access log exists");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}");
+    for line in &lines {
+        // Every line is valid JSON under the server's own parser and starts
+        // with a monotone request id.
+        assert!(line.starts_with("{\"id\":"), "{line}");
+        mpds_service::json::JsonValue::parse(line).expect("log line parses");
+    }
+    assert!(
+        lines[0].contains("\"endpoint\":\"healthz\""),
+        "{}",
+        lines[0]
+    );
+    assert!(lines[0].contains("\"method\":\"GET\""), "{}", lines[0]);
+    assert!(lines[0].contains("\"status\":200"), "{}", lines[0]);
+    assert!(lines[0].contains("\"wall_us\":"), "{}", lines[0]);
+
+    // The query line carries the full provenance: cache source, dataset,
+    // generation, stop reason, and worlds sampled.
+    assert!(lines[1].contains("\"endpoint\":\"query\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"source\":\"MISS\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"dataset\":\"karate\""), "{}", lines[1]);
+    assert!(lines[1].contains("\"generation\":"), "{}", lines[1]);
+    assert!(
+        lines[1].contains("\"stop_reason\":\"completed\""),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[1].contains("\"worlds_sampled\":32"), "{}", lines[1]);
+
+    assert!(lines[2].contains("\"endpoint\":\"other\""), "{}", lines[2]);
+    assert!(lines[2].contains("\"status\":404"), "{}", lines[2]);
+
+    drop(server);
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn obs_harness_runs_clean_with_server_side_percentiles() {
+    // Miniature of the CI obs-smoke run: server-side histogram windows must
+    // count exactly the traffic sent and agree with client-side timings.
+    let server = start_server(
+        &EngineConfig {
+            cache_capacity: 512,
+            cache_shards: 8,
+        },
+        &ServerConfig {
+            threads: 4,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    );
+    let cfg = mpds_service::harness::ObsConfig {
+        addr: server.local_addr(),
+        clients: 4,
+        queries_per_client: 3,
+        server_threads: 4,
+        dataset: "karate".to_string(),
+        theta: 32,
+        k: 3,
+    };
+    let report = mpds_service::harness::run_obs(&cfg);
+    assert!(
+        report.violations.is_empty(),
+        "violations: {:?}",
+        report.violations
+    );
+    assert_eq!(report.server_cold.requests, 12);
+    assert_eq!(report.server_repeat.requests, 12);
+    assert!(report.profile_ok);
+    assert!(report.server_cold.p50_ms > 0.0);
+    let rendered = mpds_service::harness::render_obs_report(&report);
+    assert!(rendered.contains("\"schema\":\"mpds-service/obs_harness/v1\""));
+}
