@@ -12,6 +12,7 @@
 //!   update [update-opts]      POST a mutation batch to a running server
 //!   batch [batch-opts]        POST a multi-query spec to a running server
 //!   diff [diff-opts]          diff one query across two datasets (CRN)
+//!   checkpoint [ckpt-opts]    force a durable checkpoint on a running server
 //!
 //! mpds/nds options:
 //!   --theta N       number of sampled worlds        [default 320]
@@ -37,6 +38,10 @@
 //!   --mutable             serve POST /update (off by default)
 //!   --access-log PATH     append one JSON line per request (off by default)
 //!   --slow-ms N           echo requests taking ≥ N ms to stderr (off by default)
+//!   --data-dir PATH       persist datasets (WAL + checkpoints) under PATH and
+//!                         recover them on boot (off by default)
+//!   --wal-sync MODE       commit = fsync per accepted batch (default),
+//!                         interval = coalesce fsyncs to about one per second
 //!
 //! update options:
 //!   --dataset NAME        target dataset            (required)
@@ -60,6 +65,10 @@
 //!   --heuristic           as for mpds/nds
 //!   --addr HOST:PORT      server address            [default 127.0.0.1:7878]
 //!   --json                emit the raw diff response instead of text
+//!
+//! checkpoint options:
+//!   --dataset NAME        target dataset            (required)
+//!   --addr HOST:PORT      server address            [default 127.0.0.1:7878]
 //! ```
 //!
 //! The edge-list format is one `u v p` triple per line (`#` comments
@@ -76,6 +85,7 @@ use mpds_service::engine::{
 use mpds_service::json::JsonValue;
 use mpds_service::registry::{GraphRegistry, LoadedGraph};
 use mpds_service::{EngineConfig, QueryEngine, Server, ServerConfig};
+use mpds_store::{Store, SyncPolicy};
 use std::collections::HashSet;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -93,6 +103,8 @@ enum Command {
     Batch(BatchOptions),
     /// `diff` against a running server.
     Diff(DiffOptions),
+    /// `checkpoint` against a running server.
+    Checkpoint(CheckpointOptions),
 }
 
 #[derive(Debug)]
@@ -121,6 +133,14 @@ struct ServeOptions {
     mutable: bool,
     access_log: Option<String>,
     slow_ms: Option<u64>,
+    data_dir: Option<String>,
+    wal_sync: SyncPolicy,
+}
+
+#[derive(Debug)]
+struct CheckpointOptions {
+    dataset: String,
+    addr: String,
 }
 
 #[derive(Debug)]
@@ -156,8 +176,10 @@ const USAGE: &str = "usage: mpds-cli <mpds|nds|stats> <edge-list> \\
   [--theta N] [--k N] [--lm N] [--density D] [--seed N] [--threads N] \\
   [--heuristic] [--stop fixed|stable] [--window N] [--budget-ms N] [--json]
    or: mpds-cli serve [--bind ADDR] [--threads N] [--cache-capacity N] \\
-  [--queue N] [--dataset NAME=PATH]... [--mutable]
+  [--queue N] [--dataset NAME=PATH]... [--mutable] [--data-dir PATH] \\
+  [--wal-sync commit|interval]
    or: mpds-cli update --dataset NAME --file delta.txt [--addr HOST:PORT]
+   or: mpds-cli checkpoint --dataset NAME [--addr HOST:PORT]
    or: mpds-cli batch --file spec.json [--addr HOST:PORT] [--json]
    or: mpds-cli diff --dataset AFTER --against BEFORE [--algo A] [--theta N] \\
   [--k N] [--lm N] [--density D] [--seed N] [--heuristic] [--addr HOST:PORT] \\
@@ -171,6 +193,7 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Command, String>
         "update" => parse_update_args(args).map(Command::Update),
         "batch" => parse_batch_args(args).map(Command::Batch),
         "diff" => parse_diff_args(args).map(Command::Diff),
+        "checkpoint" => parse_checkpoint_args(args).map(Command::Checkpoint),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -297,6 +320,8 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
         mutable: false,
         access_log: None,
         slow_ms: None,
+        data_dir: None,
+        wal_sync: SyncPolicy::Commit,
     };
     let mut seen = SeenFlags::new();
     while let Some(flag) = args.next() {
@@ -352,10 +377,40 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
                         .map_err(|e| format!("--slow-ms: {e}"))?,
                 )
             }
+            "--data-dir" => o.data_dir = Some(val("--data-dir")?),
+            "--wal-sync" => {
+                // Fail fast on the value, before any socket or file I/O.
+                o.wal_sync = SyncPolicy::parse(&val("--wal-sync")?)
+                    .map_err(|e| format!("--wal-sync: {e}"))?
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
     Ok(o)
+}
+
+fn parse_checkpoint_args(
+    mut args: impl Iterator<Item = String>,
+) -> Result<CheckpointOptions, String> {
+    let mut dataset: Option<String> = None;
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut seen = SeenFlags::new();
+    while let Some(flag) = args.next() {
+        seen.check(&flag)?;
+        let mut val = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--dataset" => dataset = Some(val("--dataset")?),
+            "--addr" => addr = val("--addr")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(CheckpointOptions {
+        dataset: dataset.ok_or("checkpoint requires --dataset NAME")?,
+        addr,
+    })
 }
 
 fn parse_update_args(mut args: impl Iterator<Item = String>) -> Result<UpdateOptions, String> {
@@ -558,6 +613,11 @@ fn serve_command(o: &ServeOptions) -> Result<(), String> {
     for (name, path) in &o.datasets {
         registry.register_file(name, path);
     }
+    if let Some(dir) = &o.data_dir {
+        let store = Store::create(std::path::Path::new(dir), o.wal_sync)
+            .map_err(|e| format!("data dir {dir}: {e}"))?;
+        registry.set_store(store);
+    }
     let engine = Arc::new(QueryEngine::new(
         registry,
         &EngineConfig {
@@ -565,6 +625,18 @@ fn serve_command(o: &ServeOptions) -> Result<(), String> {
             cache_shards: 8,
         },
     ));
+    // Recover durable datasets before the listener binds, so the first
+    // request already sees pre-crash state. A dataset that fails recovery is
+    // a fatal error — serving it empty would silently drop acknowledged
+    // mutations.
+    if engine.registry().persistence_enabled() {
+        for (name, outcome) in engine.registry().recover_on_boot() {
+            match outcome {
+                Ok(generation) => println!("recovered dataset {name:?} at generation {generation}"),
+                Err(e) => return Err(format!("recover dataset {name:?}: {e}")),
+            }
+        }
+    }
     let cfg = ServerConfig {
         threads: o.threads,
         queue_capacity: o.queue,
@@ -586,6 +658,15 @@ fn serve_command(o: &ServeOptions) -> Result<(), String> {
     if let Some(path) = &o.access_log {
         println!("access log: {path}");
     }
+    if let Some(dir) = &o.data_dir {
+        println!(
+            "durable datasets under {dir} (wal-sync {})",
+            match o.wal_sync {
+                SyncPolicy::Commit => "commit",
+                SyncPolicy::Interval => "interval",
+            }
+        );
+    }
     // Serve until killed; the Server's own threads do all the work.
     loop {
         std::thread::park();
@@ -606,6 +687,20 @@ fn update_command(o: &UpdateOptions) -> Result<(), String> {
     let path = format!("/update?dataset={}", o.dataset);
     let ex =
         mpds_service::harness::http_post(addr, &path, &body, std::time::Duration::from_secs(120))
+            .map_err(|e| format!("POST {path} to {addr}: {e}"))?;
+    let text = String::from_utf8_lossy(&ex.body);
+    if ex.status != 200 {
+        return Err(format!("server answered {}: {text}", ex.status));
+    }
+    println!("{text}");
+    Ok(())
+}
+
+fn checkpoint_command(o: &CheckpointOptions) -> Result<(), String> {
+    let addr = resolve_addr(&o.addr)?;
+    let path = format!("/admin/checkpoint?dataset={}", o.dataset);
+    let ex =
+        mpds_service::harness::http_post(addr, &path, &[], std::time::Duration::from_secs(120))
             .map_err(|e| format!("POST {path} to {addr}: {e}"))?;
     let text = String::from_utf8_lossy(&ex.body);
     if ex.status != 200 {
@@ -813,6 +908,7 @@ fn main() -> ExitCode {
         Command::Update(o) => update_command(o),
         Command::Batch(o) => batch_command(o),
         Command::Diff(o) => diff_command(o),
+        Command::Checkpoint(o) => checkpoint_command(o),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -1040,6 +1136,73 @@ mod tests {
         assert!(parse_serve(&["serve", "--immutable"])
             .unwrap_err()
             .contains("unknown option"));
+    }
+
+    #[test]
+    fn serve_durability_flags() {
+        let o = parse_serve(&["serve"]).unwrap();
+        assert_eq!(o.data_dir, None);
+        assert_eq!(o.wal_sync, SyncPolicy::Commit);
+        let o =
+            parse_serve(&["serve", "--data-dir", "/tmp/mpds", "--wal-sync", "interval"]).unwrap();
+        assert_eq!(o.data_dir.as_deref(), Some("/tmp/mpds"));
+        assert_eq!(o.wal_sync, SyncPolicy::Interval);
+        assert_eq!(
+            parse_serve(&["serve", "--wal-sync", "commit"])
+                .unwrap()
+                .wal_sync,
+            SyncPolicy::Commit
+        );
+        // Unknown sync values fail in parse, before any file or socket I/O.
+        let e = parse_serve(&["serve", "--wal-sync", "always"]).unwrap_err();
+        assert!(e.contains("--wal-sync"), "{e}");
+        assert!(e.contains("expected"), "{e}");
+        assert!(parse_serve(&["serve", "--wal-sync"])
+            .unwrap_err()
+            .contains("missing value"));
+        // The new flags get the same duplicate rejection as the rest.
+        assert!(
+            parse_serve(&["serve", "--data-dir", "/a", "--data-dir", "/b"])
+                .unwrap_err()
+                .contains("duplicate option \"--data-dir\"")
+        );
+        assert!(
+            parse_serve(&["serve", "--wal-sync", "commit", "--wal-sync", "interval"])
+                .unwrap_err()
+                .contains("duplicate option \"--wal-sync\"")
+        );
+    }
+
+    fn parse_checkpoint(args: &[&str]) -> Result<CheckpointOptions, String> {
+        match parse(args)? {
+            Command::Checkpoint(o) => Ok(o),
+            _ => panic!("expected checkpoint command"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_args_parse_and_validate() {
+        let o = parse_checkpoint(&["checkpoint", "--dataset", "karate"]).unwrap();
+        assert_eq!(o.dataset, "karate");
+        assert_eq!(o.addr, "127.0.0.1:7878");
+        let o = parse_checkpoint(&["checkpoint", "--dataset", "x", "--addr", "h:1"]).unwrap();
+        assert_eq!(o.addr, "h:1");
+        assert!(parse_checkpoint(&["checkpoint"])
+            .unwrap_err()
+            .contains("requires --dataset"));
+        assert!(
+            parse_checkpoint(&["checkpoint", "--dataset", "a", "--dataset", "b"])
+                .unwrap_err()
+                .contains("duplicate option \"--dataset\"")
+        );
+        assert!(
+            parse_checkpoint(&["checkpoint", "--dataset", "a", "--bogus"])
+                .unwrap_err()
+                .contains("unknown option")
+        );
+        assert!(parse_checkpoint(&["checkpoint", "--dataset"])
+            .unwrap_err()
+            .contains("missing value"));
     }
 
     fn parse_batch(args: &[&str]) -> Result<BatchOptions, String> {

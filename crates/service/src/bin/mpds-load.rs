@@ -9,6 +9,8 @@
 //!           [--batch] [--members N] [--rounds N]
 //!           [--anytime] [--window N] [--budget-ms N]
 //!           [--obs]
+//!           [--kill-recover --server-bin PATH --data-dir PATH]
+//!           [--rounds-before N] [--rounds-after N]
 //! ```
 //!
 //! Default mode drives `--clients` concurrent clients, each issuing
@@ -43,20 +45,29 @@
 //! `?profile=1` probe asserting stage timings appear without perturbing the
 //! cached body.
 //!
+//! `--kill-recover` instead drives the durability harness (emits
+//! `BENCH_pr9.json`). Unlike the other modes it spawns the server itself
+//! (`--server-bin` must point at an `mpds-cli` binary, `--data-dir` at the
+//! durability directory): it churns `--rounds-before` update batches,
+//! SIGKILLs the server mid-stream, restarts it from the same `--data-dir`,
+//! and then churns `--rounds-after` more.
+//!
 //! `--check` turns the report's invariants into an exit code (the CI
 //! `service-smoke` / `churn-smoke` / `batch-smoke` / `anytime-smoke` /
-//! `obs-smoke` gates): zero non-2xx responses plus, in read mode,
-//! bytewise-identical repeat bodies and a repeat-phase cache hit rate above
-//! 0.9 — in churn mode, strictly monotone generations — in batch mode, an
-//! amortization ratio of at least 2 and all follow-up point queries served
-//! from cache — in anytime mode, zero 504s, a stable-phase median speedup,
-//! real budget truncation, and every budget query eventually refined — in
-//! obs mode, server-side windows counting exactly the requests sent and
-//! percentiles agreeing with client-side timings within the log2 tolerance
-//! band.
+//! `obs-smoke` / `durability-smoke` gates): zero non-2xx responses plus, in
+//! read mode, bytewise-identical repeat bodies and a repeat-phase cache hit
+//! rate above 0.9 — in churn mode, strictly monotone generations — in batch
+//! mode, an amortization ratio of at least 2 and all follow-up point
+//! queries served from cache — in anytime mode, zero 504s, a stable-phase
+//! median speedup, real budget truncation, and every budget query
+//! eventually refined — in obs mode, server-side windows counting exactly
+//! the requests sent and percentiles agreeing with client-side timings
+//! within the log2 tolerance band — in kill-recover mode, the restarted
+//! server recovering the exact pre-SIGKILL generation with a byte-identical
+//! canonical read and gap-free post-restart generations.
 
 use mpds_service::harness::{
-    self, AnytimeConfig, BatchConfig, ChurnConfig, HarnessConfig, ObsConfig,
+    self, AnytimeConfig, BatchConfig, ChurnConfig, HarnessConfig, KillRecoverConfig, ObsConfig,
 };
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
@@ -79,6 +90,12 @@ fn main() -> ExitCode {
     let mut window = AnytimeConfig::default().window;
     let mut budget_ms = AnytimeConfig::default().budget_ms;
     let mut obs = false;
+    let mut kill_recover = false;
+    let mut server_bin: Option<String> = None;
+    let mut data_dir: Option<String> = None;
+    let kr_defaults = KillRecoverConfig::default();
+    let mut rounds_before = kr_defaults.rounds_before_kill;
+    let mut rounds_after = kr_defaults.rounds_after_restart;
     let mut theta_set = false;
 
     let mut args = std::env::args().skip(1);
@@ -89,7 +106,9 @@ fn main() -> ExitCode {
              [--server-threads N] [--dataset D] [--theta N] [--k N] [--out PATH] \
              [--wait-secs S] [--check] [--churn] [--updates N] [--batch-edges N] \
              [--reads-per-round N] [--batch] [--members N] [--rounds N] \
-             [--anytime] [--window N] [--budget-ms N] [--obs]"
+             [--anytime] [--window N] [--budget-ms N] [--obs] \
+             [--kill-recover --server-bin PATH --data-dir PATH] \
+             [--rounds-before N] [--rounds-after N]"
         );
         ExitCode::FAILURE
     };
@@ -143,6 +162,17 @@ fn main() -> ExitCode {
                     budget_ms = val("--budget-ms")?.parse().map_err(|e| format!("{e}"))?
                 }
                 "--obs" => obs = true,
+                "--kill-recover" => kill_recover = true,
+                "--server-bin" => server_bin = Some(val("--server-bin")?),
+                "--data-dir" => data_dir = Some(val("--data-dir")?),
+                "--rounds-before" => {
+                    rounds_before = val("--rounds-before")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?
+                }
+                "--rounds-after" => {
+                    rounds_after = val("--rounds-after")?.parse().map_err(|e| format!("{e}"))?
+                }
                 other => return Err(format!("unknown option {other:?}")),
             }
             Ok(())
@@ -156,11 +186,21 @@ fn main() -> ExitCode {
         Some(a) => a,
         None => return fail(format!("cannot resolve --addr {addr_spec:?}")),
     };
-    if [batch, churn, anytime, obs].iter().filter(|&&m| m).count() > 1 {
-        return fail("--batch, --churn, --anytime, and --obs are mutually exclusive".to_string());
+    if [batch, churn, anytime, obs, kill_recover]
+        .iter()
+        .filter(|&&m| m)
+        .count()
+        > 1
+    {
+        return fail(
+            "--batch, --churn, --anytime, --obs, and --kill-recover are mutually exclusive"
+                .to_string(),
+        );
     }
     let out_path = out_path.unwrap_or_else(|| {
-        if obs {
+        if kill_recover {
+            "target/BENCH_pr9.json".to_string()
+        } else if obs {
             "target/BENCH_pr8.json".to_string()
         } else if anytime {
             "target/BENCH_pr7.json".to_string()
@@ -173,11 +213,69 @@ fn main() -> ExitCode {
         }
     });
 
-    if let Err(e) = harness::wait_until_healthy(cfg.addr, Duration::from_secs(wait_secs)) {
-        return fail(e);
+    // Kill-recover owns the server process itself; every other mode expects
+    // an already-running server at --addr.
+    if !kill_recover {
+        if let Err(e) = harness::wait_until_healthy(cfg.addr, Duration::from_secs(wait_secs)) {
+            return fail(e);
+        }
     }
 
-    let (json, violations) = if obs {
+    let (json, violations) = if kill_recover {
+        let (Some(server_bin), Some(data_dir)) = (server_bin, data_dir) else {
+            return fail(
+                "--kill-recover requires --server-bin PATH and --data-dir PATH".to_string(),
+            );
+        };
+        let kcfg = KillRecoverConfig {
+            server_bin,
+            data_dir,
+            bind: addr_spec.clone(),
+            addr: cfg.addr,
+            rounds_before_kill: rounds_before,
+            rounds_after_restart: rounds_after,
+            batch_edges,
+            server_threads: cfg.server_threads,
+            dataset: cfg.dataset.clone(),
+            theta: cfg.theta,
+            k: cfg.k,
+        };
+        println!(
+            "kill-recover: {} rounds, SIGKILL, restart, {} rounds against {} (data dir {}, dataset {}, theta {}, k {})",
+            kcfg.rounds_before_kill,
+            kcfg.rounds_after_restart,
+            kcfg.bind,
+            kcfg.data_dir,
+            kcfg.dataset,
+            kcfg.theta,
+            kcfg.k
+        );
+        let report = harness::run_kill_recover(&kcfg);
+        println!(
+            "  updates {:>3}+{:>3}, {:>3} errors, p50 {:>8.3} ms; reads p50 {:>8.3} ms",
+            report.updates_before,
+            report.updates_after,
+            report.update_errors,
+            report.update_p50_ms,
+            report.read_p50_ms
+        );
+        println!(
+            "  recovery: generation {} -> {} in {:.1} ms wall ({} records replayed, {} ms server-side)",
+            report.pre_kill_generation,
+            report.recovered_generation,
+            report.recovery_wall_ms,
+            report.replayed_records,
+            report.server_recovery_ms
+        );
+        println!(
+            "  reads identical: {}; generations continuous: {}",
+            report.reads_identical, report.generations_continuous
+        );
+        (
+            harness::render_kill_recover_report(&report),
+            report.violations.clone(),
+        )
+    } else if obs {
         let ocfg = ObsConfig {
             addr: cfg.addr,
             clients: cfg.clients,

@@ -686,6 +686,19 @@ pub fn render_update_response(dataset: &str, o: &crate::registry::UpdateOutcome)
     w.finish()
 }
 
+/// Serializes a forced checkpoint (the server's `POST /admin/checkpoint`
+/// response and the CLI `checkpoint` output). Field order is fixed.
+pub fn render_checkpoint_response(dataset: &str, o: &crate::registry::CheckpointOutcome) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("dataset", dataset)
+        .field_uint("generation", o.generation)
+        .field_uint("wal_records", o.wal_records)
+        .field_uint("wal_bytes", o.wal_bytes)
+        .end_object();
+    w.finish()
+}
+
 /// Serializes dataset statistics (the CLI `stats --json` output and the
 /// server's `/dataset` endpoint).
 pub fn render_stats(name: &str, g: &ugraph::UncertainGraph) -> String {
@@ -1353,6 +1366,18 @@ impl QueryEngine {
     ) -> Result<crate::registry::UpdateOutcome, QueryError> {
         self.registry
             .apply_update(dataset, mutations)
+            .map_err(QueryError::BadRequest)
+    }
+
+    /// Forces a compaction + durable snapshot checkpoint of `dataset` (see
+    /// [`crate::registry::GraphRegistry::checkpoint_dataset`]). The
+    /// generation is unchanged, so cached responses stay valid.
+    pub fn checkpoint(
+        &self,
+        dataset: &str,
+    ) -> Result<crate::registry::CheckpointOutcome, QueryError> {
+        self.registry
+            .checkpoint_dataset(dataset)
             .map_err(QueryError::BadRequest)
     }
 }

@@ -36,6 +36,14 @@
 //! cross-checks the server-side p50/p99 against the client-side timings.
 //! Its `--check` gate also exercises `?profile=1` cache-neutrality.
 //!
+//! The **kill-recover** harness ([`run_kill_recover`], `mpds-load
+//! --kill-recover`, emits `BENCH_pr9.json`) proves the durability claim end
+//! to end: it spawns `mpds-cli serve --mutable --data-dir` itself, applies
+//! churn batches, SIGKILLs the server mid-stream (no flush, no graceful
+//! shutdown), restarts it from the same `--data-dir`, and gates on exact
+//! generation continuity, a byte-identical canonical read across the crash,
+//! and further updates resuming at the very next generation.
+//!
 //! The harness is a plain blocking TCP client — no shared state with the
 //! server beyond the socket — so it can drive an in-process loopback
 //! server (tests) or an external `mpds-cli serve` (the CI smoke job)
@@ -1623,9 +1631,460 @@ pub fn render_obs_report(r: &ObsReport) -> String {
     s
 }
 
+/// Kill-recover harness knobs (`mpds-load --kill-recover`,
+/// `BENCH_pr9.json`). Unlike the other harnesses this one owns the server
+/// process: it spawns `server_bin serve --mutable --data-dir data_dir`,
+/// SIGKILLs it mid-churn, and restarts it from the same directory.
+#[derive(Debug, Clone)]
+pub struct KillRecoverConfig {
+    /// Path to the `mpds-cli` binary to spawn.
+    pub server_bin: String,
+    /// `--data-dir` shared by both server runs (the durability surface).
+    pub data_dir: String,
+    /// Listen address for both runs (also where the harness connects).
+    pub bind: String,
+    /// Resolved form of `bind`.
+    pub addr: SocketAddr,
+    /// Churn rounds applied before the SIGKILL.
+    pub rounds_before_kill: usize,
+    /// Churn rounds applied after the restart (generation continuity).
+    pub rounds_after_restart: usize,
+    /// Edges inserted per round (see [`churn_batch`]).
+    pub batch_edges: usize,
+    /// Worker threads passed to the spawned server.
+    pub server_threads: usize,
+    /// Dataset updated and queried (must be a builtin of the spawned CLI).
+    pub dataset: String,
+    /// Worlds per query.
+    pub theta: usize,
+    /// Result count per query.
+    pub k: usize,
+}
+
+impl Default for KillRecoverConfig {
+    fn default() -> Self {
+        KillRecoverConfig {
+            server_bin: "target/release/mpds-cli".to_string(),
+            data_dir: "target/mpds-data".to_string(),
+            bind: "127.0.0.1:7878".to_string(),
+            addr: SocketAddr::from(([127, 0, 0, 1], 7878)),
+            rounds_before_kill: 6,
+            rounds_after_restart: 4,
+            batch_edges: 16,
+            server_threads: 4,
+            dataset: "karate".to_string(),
+            theta: 64,
+            k: 3,
+        }
+    }
+}
+
+/// Full kill-recover outcome (`BENCH_pr9.json`).
+#[derive(Debug, Clone)]
+pub struct KillRecoverReport {
+    /// Configuration echo.
+    pub config: KillRecoverConfig,
+    /// Update batches applied before the SIGKILL.
+    pub updates_before: usize,
+    /// Update batches applied after the restart.
+    pub updates_after: usize,
+    /// Update responses with a non-2xx status, both runs.
+    pub update_errors: usize,
+    /// Median update latency across both runs, milliseconds.
+    pub update_p50_ms: f64,
+    /// Median canonical-read latency across both runs, milliseconds.
+    pub read_p50_ms: f64,
+    /// Generation acknowledged by the last pre-kill update.
+    pub pre_kill_generation: u64,
+    /// Generation the restarted server reported for the dataset.
+    pub recovered_generation: u64,
+    /// Wall time from respawn to a healthy `/healthz`, milliseconds
+    /// (includes checkpoint load + WAL replay).
+    pub recovery_wall_ms: f64,
+    /// WAL records the server reported replaying (`/datasets`).
+    pub replayed_records: u64,
+    /// Server-side recovery time for the dataset (`/datasets`), ms.
+    pub server_recovery_ms: u64,
+    /// Whether the canonical read after recovery returned bytes identical
+    /// to the read taken at the same generation before the kill.
+    pub reads_identical: bool,
+    /// Whether post-restart update generations continued exactly from the
+    /// pre-kill generation (first ack = pre_kill + 1, strictly monotone).
+    pub generations_continuous: bool,
+    /// Hard failures. Empty means the `--check` contract holds.
+    pub violations: Vec<String>,
+}
+
+/// Spawns `server_bin serve --mutable --data-dir ...` with output discarded.
+fn spawn_kill_recover_server(cfg: &KillRecoverConfig) -> std::io::Result<std::process::Child> {
+    std::process::Command::new(&cfg.server_bin)
+        .args([
+            "serve",
+            "--bind",
+            &cfg.bind,
+            "--threads",
+            &cfg.server_threads.to_string(),
+            "--mutable",
+            "--data-dir",
+            &cfg.data_dir,
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+}
+
+/// Reads the dataset's row out of `/datasets` (generation, replayed
+/// records, server-side recovery time). Zeros on any scrape failure, with
+/// the failure recorded in `violations`.
+fn scrape_dataset_row(
+    addr: SocketAddr,
+    dataset: &str,
+    violations: &mut Vec<String>,
+) -> (u64, u64, u64) {
+    let listing = match http_get(addr, "/datasets", Duration::from_secs(10)) {
+        Ok(e) if (200..300).contains(&e.status) => String::from_utf8_lossy(&e.body).into_owned(),
+        Ok(e) => {
+            violations.push(format!("/datasets scrape: status {}", e.status));
+            return (0, 0, 0);
+        }
+        Err(e) => {
+            violations.push(format!("/datasets scrape: {e}"));
+            return (0, 0, 0);
+        }
+    };
+    let doc = match crate::json::JsonValue::parse(&listing) {
+        Ok(d) => d,
+        Err(e) => {
+            violations.push(format!("/datasets parse: {e}"));
+            return (0, 0, 0);
+        }
+    };
+    let rows = doc
+        .get("datasets")
+        .ok()
+        .flatten()
+        .and_then(|v| v.as_array("datasets").ok());
+    let Some(rows) = rows else {
+        violations.push("/datasets has no datasets array".to_string());
+        return (0, 0, 0);
+    };
+    for row in rows {
+        let name = row
+            .get("name")
+            .ok()
+            .flatten()
+            .and_then(|v| v.as_str("name").ok());
+        if name != Some(dataset) {
+            continue;
+        }
+        let uint = |key: &str| {
+            row.get(key)
+                .ok()
+                .flatten()
+                .and_then(|v| v.as_usize(key).ok())
+                .unwrap_or(0) as u64
+        };
+        return (
+            uint("generation"),
+            uint("replayed_records"),
+            uint("recovery_ms"),
+        );
+    }
+    violations.push(format!("/datasets has no row for dataset {dataset:?}"));
+    (0, 0, 0)
+}
+
+/// Runs the kill-recover harness: spawn → churn → SIGKILL → restart from
+/// the same `--data-dir` → verify generation continuity and byte-identical
+/// reads → churn on.
+pub fn run_kill_recover(cfg: &KillRecoverConfig) -> KillRecoverReport {
+    let mut violations = Vec::new();
+    let timeout = Duration::from_secs(120);
+    let query_path = format!(
+        "/query?dataset={}&theta={}&k={}&seed=42",
+        cfg.dataset, cfg.theta, cfg.k
+    );
+    let update_path = format!("/update?dataset={}", cfg.dataset);
+    let mut update_latencies_ms: Vec<f64> = Vec::new();
+    let mut read_latencies_ms: Vec<f64> = Vec::new();
+    let mut update_errors = 0usize;
+    let mut generations: Vec<u64> = Vec::new();
+
+    let empty_report = |violations: Vec<String>| KillRecoverReport {
+        config: cfg.clone(),
+        updates_before: 0,
+        updates_after: 0,
+        update_errors: 0,
+        update_p50_ms: 0.0,
+        read_p50_ms: 0.0,
+        pre_kill_generation: 0,
+        recovered_generation: 0,
+        recovery_wall_ms: 0.0,
+        replayed_records: 0,
+        server_recovery_ms: 0,
+        reads_identical: false,
+        generations_continuous: false,
+        violations,
+    };
+
+    // Run 1 — spawn the server fresh on an empty (or reused) data dir.
+    let mut child = match spawn_kill_recover_server(cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            violations.push(format!("spawn {}: {e}", cfg.server_bin));
+            return empty_report(violations);
+        }
+    };
+    if let Err(e) = wait_until_healthy(cfg.addr, Duration::from_secs(30)) {
+        violations.push(format!("run 1: {e}"));
+        let _ = child.kill();
+        let _ = child.wait();
+        return empty_report(violations);
+    }
+
+    let apply_round = |round: usize,
+                       update_latencies_ms: &mut Vec<f64>,
+                       update_errors: &mut usize,
+                       generations: &mut Vec<u64>,
+                       violations: &mut Vec<String>| {
+        let batch = churn_batch(round, cfg.batch_edges);
+        match http_post(cfg.addr, &update_path, batch.as_bytes(), timeout) {
+            Ok(e) => {
+                update_latencies_ms.push(e.latency.as_secs_f64() * 1e3);
+                if (200..300).contains(&e.status) {
+                    let body = String::from_utf8_lossy(&e.body).into_owned();
+                    match scrape::json_uint(&body, "generation") {
+                        Some(g) => generations.push(g),
+                        None => violations
+                            .push(format!("round {round}: no generation in update response")),
+                    }
+                } else {
+                    *update_errors += 1;
+                    violations.push(format!(
+                        "round {round}: update answered {}: {}",
+                        e.status,
+                        String::from_utf8_lossy(&e.body)
+                    ));
+                }
+            }
+            Err(e) => {
+                *update_errors += 1;
+                violations.push(format!("round {round}: update failed: {e}"));
+            }
+        }
+    };
+
+    for round in 0..cfg.rounds_before_kill {
+        apply_round(
+            round,
+            &mut update_latencies_ms,
+            &mut update_errors,
+            &mut generations,
+            &mut violations,
+        );
+    }
+    let pre_kill_generation = generations.last().copied().unwrap_or(0);
+
+    // Canonical read at the pre-crash generation — the byte-identity
+    // baseline the recovered server must reproduce.
+    let pre_kill_body = match http_get(cfg.addr, &query_path, timeout) {
+        Ok(e) if (200..300).contains(&e.status) => {
+            read_latencies_ms.push(e.latency.as_secs_f64() * 1e3);
+            Some(e.body)
+        }
+        Ok(e) => {
+            violations.push(format!("pre-kill read: status {}", e.status));
+            None
+        }
+        Err(e) => {
+            violations.push(format!("pre-kill read: {e}"));
+            None
+        }
+    };
+
+    // SIGKILL — no flush, no graceful shutdown. Every acknowledged batch
+    // must already be durable.
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // Run 2 — restart from the same data dir; recovery wall time is
+    // respawn → healthy (checkpoint load + WAL replay happen before bind).
+    let restart_started = Instant::now();
+    let mut child = match spawn_kill_recover_server(cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            violations.push(format!("respawn {}: {e}", cfg.server_bin));
+            return empty_report(violations);
+        }
+    };
+    if let Err(e) = wait_until_healthy(cfg.addr, Duration::from_secs(60)) {
+        violations.push(format!("run 2: {e}"));
+        let _ = child.kill();
+        let _ = child.wait();
+        return empty_report(violations);
+    }
+    let recovery_wall_ms = restart_started.elapsed().as_secs_f64() * 1e3;
+
+    let (recovered_generation, replayed_records, server_recovery_ms) =
+        scrape_dataset_row(cfg.addr, &cfg.dataset, &mut violations);
+    if recovered_generation != pre_kill_generation {
+        violations.push(format!(
+            "recovered generation {recovered_generation} != pre-kill generation {pre_kill_generation}"
+        ));
+    }
+
+    // The canonical read must be byte-identical across the crash: same
+    // generation, same graph, same deterministic estimator output.
+    let reads_identical = match (&pre_kill_body, http_get(cfg.addr, &query_path, timeout)) {
+        (Some(before), Ok(e)) if (200..300).contains(&e.status) => {
+            read_latencies_ms.push(e.latency.as_secs_f64() * 1e3);
+            if &e.body == before {
+                true
+            } else {
+                violations.push(format!(
+                    "post-recovery read differs from pre-kill read ({} vs {} bytes)",
+                    e.body.len(),
+                    before.len()
+                ));
+                false
+            }
+        }
+        (_, Ok(e)) => {
+            violations.push(format!("post-recovery read: status {}", e.status));
+            false
+        }
+        (_, Err(e)) => {
+            violations.push(format!("post-recovery read: {e}"));
+            false
+        }
+    };
+
+    // Run 2 churn: generations must continue exactly where run 1 stopped.
+    for round in cfg.rounds_before_kill..cfg.rounds_before_kill + cfg.rounds_after_restart {
+        apply_round(
+            round,
+            &mut update_latencies_ms,
+            &mut update_errors,
+            &mut generations,
+            &mut violations,
+        );
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let expected: Vec<u64> =
+        (1..=(cfg.rounds_before_kill + cfg.rounds_after_restart) as u64).collect();
+    let generations_continuous = generations == expected;
+    if !generations_continuous {
+        violations.push(format!(
+            "generations not continuous across the crash: {generations:?} (expected {expected:?})"
+        ));
+    }
+
+    update_latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    read_latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    KillRecoverReport {
+        config: cfg.clone(),
+        updates_before: cfg.rounds_before_kill,
+        updates_after: cfg.rounds_after_restart,
+        update_errors,
+        update_p50_ms: percentile(&update_latencies_ms, 0.50),
+        read_p50_ms: percentile(&read_latencies_ms, 0.50),
+        pre_kill_generation,
+        recovered_generation,
+        recovery_wall_ms,
+        replayed_records,
+        server_recovery_ms,
+        reads_identical,
+        generations_continuous,
+        violations,
+    }
+}
+
+/// Serializes a kill-recover report in the `BENCH_pr9.json` schema.
+pub fn render_kill_recover_report(r: &KillRecoverReport) -> String {
+    use crate::json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("schema", "mpds-service/kill_recover_harness/v1")
+        .field_str(
+            "note",
+            "kill-recover durability harness; latencies are machine-dependent, the \
+             checked invariants are zero non-2xx, the restarted server recovering \
+             the exact pre-SIGKILL generation, a byte-identical canonical read \
+             across the crash, and post-restart generations continuing without a \
+             gap",
+        )
+        .key("config")
+        .begin_object()
+        .field_str("dataset", &r.config.dataset)
+        .field_uint("rounds_before_kill", r.config.rounds_before_kill as u64)
+        .field_uint("rounds_after_restart", r.config.rounds_after_restart as u64)
+        .field_uint("batch_edges", r.config.batch_edges as u64)
+        .field_uint("server_threads", r.config.server_threads as u64)
+        .field_uint("theta", r.config.theta as u64)
+        .field_uint("k", r.config.k as u64)
+        .end_object()
+        .key("updates")
+        .begin_object()
+        .field_uint("before_kill", r.updates_before as u64)
+        .field_uint("after_restart", r.updates_after as u64)
+        .field_uint("errors", r.update_errors as u64)
+        .field_float("p50_ms", round3(r.update_p50_ms))
+        .end_object()
+        .field_float("read_p50_ms", round3(r.read_p50_ms))
+        .key("recovery")
+        .begin_object()
+        .field_uint("pre_kill_generation", r.pre_kill_generation)
+        .field_uint("recovered_generation", r.recovered_generation)
+        .field_float("wall_ms", round3(r.recovery_wall_ms))
+        .field_uint("replayed_records", r.replayed_records)
+        .field_uint("server_recovery_ms", r.server_recovery_ms)
+        .end_object()
+        .field_bool("reads_identical", r.reads_identical)
+        .field_bool("generations_continuous", r.generations_continuous)
+        .key("violations")
+        .begin_array();
+    for v in &r.violations {
+        w.string(v);
+    }
+    w.end_array().end_object();
+    let mut s = w.finish();
+    s.push('\n');
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kill_recover_report_renders_with_schema() {
+        let r = KillRecoverReport {
+            config: KillRecoverConfig::default(),
+            updates_before: 6,
+            updates_after: 4,
+            update_errors: 0,
+            update_p50_ms: 2.5,
+            read_p50_ms: 1.25,
+            pre_kill_generation: 6,
+            recovered_generation: 6,
+            recovery_wall_ms: 321.5,
+            replayed_records: 6,
+            server_recovery_ms: 12,
+            reads_identical: true,
+            generations_continuous: true,
+            violations: vec![],
+        };
+        let s = render_kill_recover_report(&r);
+        assert!(s.contains("\"schema\":\"mpds-service/kill_recover_harness/v1\""));
+        assert!(s.contains("\"pre_kill_generation\":6"));
+        assert!(s.contains("\"recovered_generation\":6"));
+        assert!(s.contains("\"replayed_records\":6"));
+        assert!(s.contains("\"reads_identical\":true"));
+        assert!(s.contains("\"generations_continuous\":true"));
+        assert!(s.ends_with("}\n"));
+    }
 
     #[test]
     fn anytime_report_renders_with_schema() {

@@ -22,8 +22,9 @@
 //! | `GET /query?dataset=D&…` | MPDS/NDS query (see [`crate::engine`]); anytime knobs: `stop=stable&window=N` early-stops when the top-k settles, `budget_ms=N` returns the best estimate so far (200, never 504) and refines in the background |
 //! | `POST /batch` | many queries over one shared world stream (JSON body of member specs; per-member cache keys, misses computed in a single [`mpds::QuerySet`] pass) |
 //! | `GET /diff?dataset=A&against=B&…` | one query over two datasets under common random numbers, diffed (A is the *after* side, B the baseline) |
-//! | `POST /update?dataset=D` | apply a mutation batch (body: `u v p` / `u v -` lines); gated by [`ServerConfig::mutable`] |
-//! | `GET /metrics` | cache/engine/server counters + per-dataset generation/overlay/compactions; `Accept: text/plain` (or any OpenMetrics/Prometheus accept value) switches to Prometheus text exposition with full latency histograms |
+//! | `POST /update?dataset=D` | apply a mutation batch (body: `u v p` / `u v -` lines); gated by [`ServerConfig::mutable`]; with `serve --data-dir` the batch is WAL-logged before the ack |
+//! | `POST /admin/checkpoint?dataset=D` | force a compaction + durable checkpoint (requires `--mutable` and `--data-dir`); truncates the covered WAL prefix |
+//! | `GET /metrics` | cache/engine/server counters + per-dataset generation/overlay/compactions (plus wal/checkpoint/recovery state on durable servers); `Accept: text/plain` (or any OpenMetrics/Prometheus accept value) switches to Prometheus text exposition with full latency histograms |
 //!
 //! ## Observability
 //!
@@ -106,6 +107,8 @@ struct ServerState {
     mutable: bool,
     /// Mutation batches applied through `/update`.
     updates: AtomicU64,
+    /// Durable checkpoints forced through `/admin/checkpoint`.
+    checkpoints: AtomicU64,
     /// Query batches served through `/batch`.
     batches: AtomicU64,
     /// Diffs served through `/diff`.
@@ -167,6 +170,7 @@ impl Server {
             default_timeout: cfg.default_timeout,
             mutable: cfg.mutable,
             updates: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             diffs: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -646,6 +650,37 @@ fn route(request: &Request, state: &ServerState) -> Response {
                 },
             }
         }
+        // Checkpointing mutates on-disk state, so it sits behind the same
+        // gate as /update; the persistence requirement itself surfaces as a
+        // 400 from the registry when the server has no --data-dir. The
+        // endpoint takes no request body.
+        ("POST", "/admin/checkpoint") => {
+            if !state.mutable {
+                return Response::json(
+                    403,
+                    "Forbidden",
+                    Body::Text(error_body(
+                        "forbidden",
+                        "server is immutable (start it with serve --mutable)",
+                    )),
+                );
+            }
+            match single_param(query, "dataset") {
+                Err(msg) => bad(msg),
+                Ok(dataset) => match state.engine.checkpoint(&dataset) {
+                    Ok(outcome) => {
+                        state.checkpoints.fetch_add(1, Ordering::Relaxed);
+                        let body = crate::engine::render_checkpoint_response(&dataset, &outcome);
+                        Response {
+                            generation: Some(outcome.generation),
+                            dataset: Some(dataset),
+                            ..Response::json(200, "OK", Body::Text(body))
+                        }
+                    }
+                    Err(e) => query_error_response(&e),
+                },
+            }
+        }
         ("GET", "/batch") => Response::json(
             405,
             "Method Not Allowed",
@@ -700,7 +735,7 @@ fn route(request: &Request, state: &ServerState) -> Response {
             "Method Not Allowed",
             Body::Text(error_body(
                 "method_not_allowed",
-                "POST is only accepted on /update and /batch",
+                "POST is only accepted on /update, /batch, and /admin/checkpoint",
             )),
         ),
         ("GET", "/") | ("GET", "/healthz") => {
@@ -806,6 +841,23 @@ fn render_datasets(state: &ServerState) -> String {
         if let Some(g) = d.generation {
             w.field_uint("generation", g);
         }
+        // Durability state, present only when the server persists this
+        // dataset (serve --data-dir).
+        if let Some(r) = d.wal_records {
+            w.field_uint("wal_records", r);
+        }
+        if let Some(b) = d.wal_bytes {
+            w.field_uint("wal_bytes", b);
+        }
+        if let Some(g) = d.last_checkpoint_generation {
+            w.field_uint("last_checkpoint_generation", g);
+        }
+        if let Some(n) = d.replayed_records {
+            w.field_uint("replayed_records", n);
+        }
+        if let Some(ms) = d.recovery_ms {
+            w.field_uint("recovery_ms", ms);
+        }
         w.end_object();
     }
     w.end_array().end_object();
@@ -846,7 +898,8 @@ fn render_metrics(state: &ServerState) -> String {
         .field_uint("refine_failed", eobs.refine_failed.value())
         .field_uint("inflight", state.http_obs.inflight.value().max(0) as u64)
         .field_uint("queue_depth", queue_depth)
-        .field_uint("profiled", eobs.profiled.value());
+        .field_uint("profiled", eobs.profiled.value())
+        .field_uint("checkpoints", state.checkpoints.load(Ordering::Relaxed));
     // Per-dataset dynamic-graph state (loaded datasets only — listing must
     // never force construction).
     w.key("datasets").begin_array();
@@ -863,6 +916,24 @@ fn render_metrics(state: &ServerState) -> String {
         }
         if let Some(c) = d.compactions {
             w.field_uint("compactions", c);
+        }
+        // Durability keys are appended after the pre-existing trio and only
+        // present on persistent datasets — key-scanning scrapers see an
+        // unchanged body on non-durable servers.
+        if let Some(r) = d.wal_records {
+            w.field_uint("wal_records", r);
+        }
+        if let Some(b) = d.wal_bytes {
+            w.field_uint("wal_bytes", b);
+        }
+        if let Some(g) = d.last_checkpoint_generation {
+            w.field_uint("last_checkpoint_generation", g);
+        }
+        if let Some(n) = d.replayed_records {
+            w.field_uint("replayed_records", n);
+        }
+        if let Some(ms) = d.recovery_ms {
+            w.field_uint("recovery_ms", ms);
         }
         w.end_object();
     }
@@ -1050,6 +1121,11 @@ fn render_metrics_prom(state: &ServerState) -> String {
             state.updates.load(Ordering::Relaxed),
         ),
         (
+            "mpds_checkpoints_total",
+            "Durable checkpoints forced through /admin/checkpoint.",
+            state.checkpoints.load(Ordering::Relaxed),
+        ),
+        (
             "mpds_batches_total",
             "Query batches served through /batch.",
             state.batches.load(Ordering::Relaxed),
@@ -1099,6 +1175,52 @@ fn render_metrics_prom(state: &ServerState) -> String {
     for d in listing.iter().filter(|d| d.loaded) {
         if let Some(c) = d.compactions {
             p.sample_u64("mpds_dataset_compactions_total", &[("dataset", &d.name)], c);
+        }
+    }
+    // Durability families sample only persistent datasets, so non-durable
+    // servers expose the families with no series.
+    p.family(
+        "mpds_dataset_wal_records",
+        "gauge",
+        "Write-ahead-log records not yet covered by a checkpoint, per durable dataset.",
+    );
+    for d in listing.iter().filter(|d| d.loaded) {
+        if let Some(r) = d.wal_records {
+            p.sample_u64("mpds_dataset_wal_records", &[("dataset", &d.name)], r);
+        }
+    }
+    p.family(
+        "mpds_dataset_wal_bytes",
+        "gauge",
+        "On-disk write-ahead-log size in bytes, per durable dataset.",
+    );
+    for d in listing.iter().filter(|d| d.loaded) {
+        if let Some(b) = d.wal_bytes {
+            p.sample_u64("mpds_dataset_wal_bytes", &[("dataset", &d.name)], b);
+        }
+    }
+    p.family(
+        "mpds_dataset_last_checkpoint_generation",
+        "gauge",
+        "Generation stamped into the newest durable checkpoint, per durable dataset.",
+    );
+    for d in listing.iter().filter(|d| d.loaded) {
+        if let Some(g) = d.last_checkpoint_generation {
+            p.sample_u64(
+                "mpds_dataset_last_checkpoint_generation",
+                &[("dataset", &d.name)],
+                g,
+            );
+        }
+    }
+    p.family(
+        "mpds_dataset_replayed_records",
+        "gauge",
+        "WAL records replayed during the last recovery, per durable dataset.",
+    );
+    for d in listing.iter().filter(|d| d.loaded) {
+        if let Some(n) = d.replayed_records {
+            p.sample_u64("mpds_dataset_replayed_records", &[("dataset", &d.name)], n);
         }
     }
     p.finish()

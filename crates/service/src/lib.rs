@@ -29,9 +29,15 @@
 //!   ([`mpds_obs`] under the hood), the in-flight gauge, and JSONL
 //!   access-log records (`serve --access-log`); `/metrics` exposes it all
 //!   in both the legacy JSON body and Prometheus text exposition;
-//! * [`harness`] — the loopback load + churn + batch harnesses behind
-//!   `BENCH_pr3.json` / `BENCH_pr5.json` / `BENCH_pr6.json` and the CI
-//!   `service-smoke` / `churn-smoke` / `batch-smoke` jobs;
+//! * durability ([`mpds_store`]) — `serve --data-dir` gives every mutable
+//!   dataset a per-dataset write-ahead log (fsync-on-commit by default)
+//!   plus snapshot checkpoints (`POST /admin/checkpoint`, `mpds-cli
+//!   checkpoint`), and boot replays checkpoint + WAL tail back to the
+//!   exact pre-crash generation;
+//! * [`harness`] — the loopback load + churn + batch + kill-recover
+//!   harnesses behind `BENCH_pr3.json` / `BENCH_pr5.json` /
+//!   `BENCH_pr6.json` / `BENCH_pr9.json` and the CI `service-smoke` /
+//!   `churn-smoke` / `batch-smoke` / `durability-smoke` jobs;
 //! * [`json`] — the byte-stable JSON writer everything serializes through
 //!   (the vendored serde is a no-op shim; determinism is asserted, not
 //!   hoped for).

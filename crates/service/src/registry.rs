@@ -22,11 +22,21 @@
 //! concurrent first-queries on the same dataset build it exactly once while
 //! the others block on that build — the same discipline the result cache
 //! applies to query computation.
+//!
+//! With a [`mpds_store::Store`] attached (the CLI's `serve --data-dir`),
+//! every entry is also **durable**: accepted batches are WAL-logged before
+//! the new snapshot is published (log-before-swap — a crash between the
+//! append and the swap replays to the exact state the client was acked),
+//! `DeltaGraph` compactions trigger snapshot checkpoints, and first builds
+//! recover from the newest valid checkpoint plus the WAL tail instead of
+//! the original source.
 
+use mpds_store::{replay_wal, DatasetStore, RecoveryStats, Store};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 use ugraph::dynamic::DeltaGraph;
 use ugraph::{datasets, io, NodeId, UncertainGraph};
 
@@ -73,6 +83,14 @@ struct Writer {
     /// Compact id → original label (identity-seeded for built-ins; grows
     /// when updates reference unseen labels).
     labels: Vec<u32>,
+    /// Durable storage for this dataset, when the registry has a data dir.
+    /// Shares the writer lock, which is what orders WAL appends.
+    store: Option<DatasetStore>,
+    /// Set when a WAL append or checkpoint failed after the in-memory state
+    /// advanced: the writer and the log disagree, so further updates are
+    /// refused (reads keep serving the last published snapshot) until a
+    /// restart replays the log into a consistent writer again.
+    poisoned: Option<String>,
 }
 
 /// One built dataset: the current snapshot (swapped atomically under a
@@ -88,6 +106,32 @@ struct LiveDataset {
     /// the writer lock.
     overlay: AtomicUsize,
     compactions: AtomicU64,
+    /// Whether this dataset persists to a data dir (fixed at build time).
+    persistent: bool,
+    /// WAL record count mirror (current log contents).
+    wal_records: AtomicU64,
+    /// WAL byte count mirror (current log contents).
+    wal_bytes: AtomicU64,
+    /// Newest checkpoint generation + 1 (0 = no checkpoint yet).
+    checkpoint_gen_plus_one: AtomicU64,
+    /// WAL records replayed during this process's boot-time recovery.
+    replayed_records: AtomicU64,
+    /// Wall-clock milliseconds boot-time recovery took (open + replay).
+    recovery_ms: AtomicU64,
+}
+
+impl LiveDataset {
+    /// Refreshes the lock-free persistence mirrors from the writer-side
+    /// store. Called with the writer lock held, read without it.
+    fn mirror_store(&self, store: &DatasetStore) {
+        self.wal_records
+            .store(store.wal_records(), Ordering::Relaxed);
+        self.wal_bytes.store(store.wal_bytes(), Ordering::Relaxed);
+        self.checkpoint_gen_plus_one.store(
+            store.last_checkpoint_generation().map_or(0, |g| g + 1),
+            Ordering::Relaxed,
+        );
+    }
 }
 
 struct Entry {
@@ -103,6 +147,8 @@ struct Entry {
 /// per-entry snapshot/writer locks synchronize updates.
 pub struct GraphRegistry {
     entries: BTreeMap<String, Entry>,
+    /// Durable storage root, when serving with `--data-dir`.
+    store: Option<Store>,
 }
 
 /// Metadata row returned by [`GraphRegistry::list`]. Stats are only present
@@ -121,6 +167,16 @@ pub struct DatasetInfo {
     pub overlay: Option<usize>,
     /// Overlay compactions performed so far, when loaded.
     pub compactions: Option<u64>,
+    /// Records currently in the WAL, when loaded and persistent.
+    pub wal_records: Option<u64>,
+    /// Bytes currently in the WAL, when loaded and persistent.
+    pub wal_bytes: Option<u64>,
+    /// Generation of the newest on-disk checkpoint, when one exists.
+    pub last_checkpoint_generation: Option<u64>,
+    /// WAL records replayed at boot, when loaded and persistent.
+    pub replayed_records: Option<u64>,
+    /// Wall-clock milliseconds boot recovery took, when loaded and persistent.
+    pub recovery_ms: Option<u64>,
 }
 
 /// What one applied `/update` batch did (see [`GraphRegistry::apply_update`]).
@@ -144,11 +200,23 @@ pub struct UpdateOutcome {
     pub compactions: u64,
 }
 
+/// What one explicit checkpoint did (see [`GraphRegistry::checkpoint_dataset`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointOutcome {
+    /// The generation the checkpoint was taken at (the current one).
+    pub generation: u64,
+    /// Records left in the WAL after truncation.
+    pub wal_records: u64,
+    /// Bytes left in the WAL after truncation.
+    pub wal_bytes: u64,
+}
+
 impl GraphRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         GraphRegistry {
             entries: BTreeMap::new(),
+            store: None,
         }
     }
 
@@ -201,6 +269,40 @@ impl GraphRegistry {
         );
     }
 
+    /// Attaches durable storage: every dataset built from now on opens a
+    /// WAL + checkpoint directory under the store's data dir, recovers any
+    /// on-disk state, and logs accepted batches before publishing them.
+    /// Must be called before serving starts (like registration).
+    pub fn set_store(&mut self, store: Store) {
+        self.store = Some(store);
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
+    }
+
+    /// Whether a data dir is attached (the precondition for checkpoints).
+    pub fn persistence_enabled(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Eagerly builds every registered dataset that has durable state on
+    /// disk, so a restarted server resumes at its pre-crash generations
+    /// before the first query arrives. Returns `(name, recovered
+    /// generation)` per recovered dataset; build failures surface as `Err`
+    /// strings without aborting the rest.
+    pub fn recover_on_boot(&self) -> Vec<(String, Result<u64, String>)> {
+        let Some(store) = &self.store else {
+            return Vec::new();
+        };
+        self.entries
+            .keys()
+            .filter(|name| store.has_state(name))
+            .map(|name| (name.clone(), self.get(name).map(|g| g.generation)))
+            .collect()
+    }
+
     /// Registered names, sorted.
     pub fn names(&self) -> Vec<String> {
         self.entries.keys().cloned().collect()
@@ -216,6 +318,7 @@ impl GraphRegistry {
                     _ => None,
                 };
                 let snapshot = live.map(|l| Arc::clone(&*l.current.read().unwrap()));
+                let durable = live.filter(|l| l.persistent);
                 DatasetInfo {
                     name: name.clone(),
                     loaded: live.is_some(),
@@ -225,6 +328,14 @@ impl GraphRegistry {
                     generation: snapshot.as_ref().map(|g| g.generation),
                     overlay: live.map(|l| l.overlay.load(Ordering::Relaxed)),
                     compactions: live.map(|l| l.compactions.load(Ordering::Relaxed)),
+                    wal_records: durable.map(|l| l.wal_records.load(Ordering::Relaxed)),
+                    wal_bytes: durable.map(|l| l.wal_bytes.load(Ordering::Relaxed)),
+                    last_checkpoint_generation: durable
+                        .map(|l| l.checkpoint_gen_plus_one.load(Ordering::Relaxed))
+                        .filter(|&g| g > 0)
+                        .map(|g| g - 1),
+                    replayed_records: durable.map(|l| l.replayed_records.load(Ordering::Relaxed)),
+                    recovery_ms: durable.map(|l| l.recovery_ms.load(Ordering::Relaxed)),
                 }
             })
             .collect()
@@ -237,7 +348,7 @@ impl GraphRegistry {
             .ok_or_else(|| format!("unknown dataset {name:?} (try /datasets)"))?;
         entry
             .cell
-            .get_or_init(|| build(name, &entry.source))
+            .get_or_init(|| build(name, &entry.source, self.store.as_ref()))
             .clone()
     }
 
@@ -265,18 +376,49 @@ impl GraphRegistry {
     pub fn apply_update(
         &self,
         name: &str,
-        mutations: impl std::io::Read,
+        mut mutations: impl std::io::Read,
     ) -> Result<UpdateOutcome, String> {
         let live = self.live(name)?;
-        let mut writer = live.writer.lock().unwrap();
-        let Writer { delta, labels } = &mut *writer;
-        let applied = io::apply_edge_list_delta(delta, labels, mutations)
+        // Buffer the batch body up front: the WAL logs the exact bytes that
+        // were applied (bounded by the HTTP body cap on the service path).
+        let mut payload = Vec::new();
+        mutations
+            .read_to_end(&mut payload)
             .map_err(|e| format!("dataset {name:?}: {e}"))?;
-        let snapshot = writer.delta.snapshot();
-        // Updated snapshots always carry explicit labels: identity built-ins
-        // may have gained non-identity labels through appended nodes, and an
-        // identity label vector resolves identically either way.
-        let labels = Some(writer.labels.clone());
+        let mut writer = live.writer.lock().unwrap();
+        let Writer {
+            delta,
+            labels,
+            store,
+            poisoned,
+        } = &mut *writer;
+        if let Some(msg) = poisoned {
+            return Err(format!(
+                "dataset {name:?}: persistence failed earlier ({msg}); updates are \
+                 refused until a restart recovers the log"
+            ));
+        }
+        let generation_before = delta.generation();
+        let compactions_before = delta.compactions();
+        let applied = io::apply_edge_list_delta(delta, labels, payload.as_slice())
+            .map_err(|e| format!("dataset {name:?}: {e}"))?;
+        // Log before swap: the batch must be durable before any client can
+        // observe (or be acked) the new generation. Empty batches don't
+        // advance the generation and are not logged. On append failure the
+        // in-memory writer is ahead of the log, so it is poisoned — the
+        // published snapshot stays at the old generation and recovery from
+        // the WAL reproduces exactly the acked prefix.
+        if applied.generation > generation_before {
+            if let Some(ds) = store.as_mut() {
+                if let Err(e) = ds.log_batch(applied.generation, &payload) {
+                    let msg = format!("WAL append failed: {e}");
+                    *poisoned = Some(msg.clone());
+                    return Err(format!("dataset {name:?}: {msg}"));
+                }
+            }
+        }
+        let compacted = delta.compactions() > compactions_before;
+        let snapshot = delta.snapshot();
         let outcome = UpdateOutcome {
             generation: snapshot.generation(),
             inserted: applied.stats.inserted,
@@ -284,13 +426,17 @@ impl GraphRegistry {
             deleted: applied.stats.deleted,
             nodes_added: applied.stats.nodes_added,
             shape: (snapshot.graph().num_nodes(), snapshot.graph().num_edges()),
-            overlay: writer.delta.overlay_len(),
-            compactions: writer.delta.compactions(),
+            overlay: delta.overlay_len(),
+            compactions: delta.compactions(),
         };
         let next = Arc::new(LoadedGraph {
             name: name.to_string(),
             graph: snapshot.shared_graph(),
-            labels,
+            // Updated snapshots always carry explicit labels: identity
+            // built-ins may have gained non-identity labels through appended
+            // nodes, and an identity label vector resolves identically
+            // either way.
+            labels: Some(labels.clone()),
             generation: snapshot.generation(),
         });
         live.overlay.store(outcome.overlay, Ordering::Relaxed);
@@ -299,6 +445,76 @@ impl GraphRegistry {
         // Swap the published snapshot while still holding the writer lock,
         // so generations published through `current` are monotone.
         *live.current.write().unwrap() = next;
+        // Compaction fired: take a checkpoint of the freshly-materialized
+        // CSR and truncate the WAL prefix it covers. The batch itself is
+        // already durable, so a checkpoint failure only poisons *future*
+        // updates, not this (already acked-able) one.
+        if compacted {
+            if let Some(ds) = store.as_mut() {
+                if let Err(e) = ds.checkpoint(snapshot.graph(), labels, snapshot.generation()) {
+                    *poisoned = Some(format!("checkpoint failed: {e}"));
+                }
+            }
+        }
+        if let Some(ds) = store.as_ref() {
+            live.mirror_store(ds);
+        }
+        Ok(outcome)
+    }
+
+    /// Forces a compaction + snapshot checkpoint of `name` (the CLI's
+    /// `mpds-cli checkpoint`, HTTP's `POST /admin/checkpoint`): the overlay
+    /// is folded into a fresh base CSR, written as a checkpoint file, and
+    /// the WAL prefix it covers is truncated. The generation is unchanged —
+    /// checkpoints are an operational act, not a mutation.
+    ///
+    /// Errors if the registry has no data dir attached.
+    pub fn checkpoint_dataset(&self, name: &str) -> Result<CheckpointOutcome, String> {
+        if self.store.is_none() {
+            return Err(format!(
+                "dataset {name:?}: persistence is not enabled (serve with --data-dir)"
+            ));
+        }
+        let live = self.live(name)?;
+        let mut writer = live.writer.lock().unwrap();
+        let Writer {
+            delta,
+            labels,
+            store,
+            poisoned,
+        } = &mut *writer;
+        if let Some(msg) = poisoned {
+            return Err(format!(
+                "dataset {name:?}: persistence failed earlier ({msg}); restart to recover"
+            ));
+        }
+        let Some(ds) = store.as_mut() else {
+            return Err(format!(
+                "dataset {name:?}: persistence is not enabled (serve with --data-dir)"
+            ));
+        };
+        delta.compact();
+        let snapshot = delta.snapshot();
+        ds.checkpoint(snapshot.graph(), labels, snapshot.generation())
+            .map_err(|e| format!("dataset {name:?}: checkpoint failed: {e}"))?;
+        let outcome = CheckpointOutcome {
+            generation: snapshot.generation(),
+            wal_records: ds.wal_records(),
+            wal_bytes: ds.wal_bytes(),
+        };
+        // Publish the compacted snapshot (same generation, fresh CSR) and
+        // refresh the mirrors, mirroring the update path's swap discipline.
+        let next = Arc::new(LoadedGraph {
+            name: name.to_string(),
+            graph: snapshot.shared_graph(),
+            labels: Some(labels.clone()),
+            generation: snapshot.generation(),
+        });
+        live.overlay.store(delta.overlay_len(), Ordering::Relaxed);
+        live.compactions
+            .store(delta.compactions(), Ordering::Relaxed);
+        *live.current.write().unwrap() = next;
+        live.mirror_store(ds);
         Ok(outcome)
     }
 }
@@ -324,33 +540,90 @@ pub fn load_edge_list_file(name: &str, path: &std::path::Path) -> Result<LoadedG
     })
 }
 
-fn build(name: &str, source: &Source) -> Result<Arc<LiveDataset>, String> {
-    let (graph, labels) = match source {
-        Source::Builtin(f) => (Arc::new(f().graph), None),
-        Source::File(path) => {
-            let loaded =
-                load_edge_list_file(name, path).map_err(|e| format!("dataset {name:?}: {e}"))?;
-            (loaded.graph, loaded.labels)
-        }
+fn build(name: &str, source: &Source, store: Option<&Store>) -> Result<Arc<LiveDataset>, String> {
+    let started = Instant::now();
+    // With durable storage attached, consult the disk first: a checkpoint
+    // replaces the source as the base, and the WAL tail is replayed on top.
+    let mut opened = match store {
+        Some(s) => Some(
+            s.open_dataset(name)
+                .map_err(|e| format!("dataset {name:?}: {e}"))?,
+        ),
+        None => None,
     };
-    let writer_labels = labels
-        .clone()
-        .unwrap_or_else(|| (0..graph.num_nodes() as u32).collect());
+    let mut recovery = RecoveryStats::default();
+    if let Some(open) = &opened {
+        recovery.truncated_bytes = open.truncated_bytes;
+        recovery.checkpoints_discarded = open.checkpoints_discarded;
+    }
+    let (mut delta, mut writer_labels, source_labels) =
+        match opened.as_mut().and_then(|o| o.checkpoint.take()) {
+            Some(ckpt) => {
+                let graph = Arc::new(ckpt.graph);
+                let delta = DeltaGraph::new(graph).with_generation(ckpt.generation);
+                // Recovered snapshots always carry explicit labels, like
+                // updated ones.
+                (delta, ckpt.labels.clone(), Some(ckpt.labels))
+            }
+            None => {
+                let (graph, labels) = match source {
+                    Source::Builtin(f) => (Arc::new(f().graph), None),
+                    Source::File(path) => {
+                        let loaded = load_edge_list_file(name, path)
+                            .map_err(|e| format!("dataset {name:?}: {e}"))?;
+                        (loaded.graph, loaded.labels)
+                    }
+                };
+                let writer_labels = labels
+                    .clone()
+                    .unwrap_or_else(|| (0..graph.num_nodes() as u32).collect());
+                (DeltaGraph::new(graph), writer_labels, labels)
+            }
+        };
+    if let Some(open) = &opened {
+        let (replayed, skipped) = replay_wal(&mut delta, &mut writer_labels, &open.wal_records)
+            .map_err(|e| format!("dataset {name:?}: {e}"))?;
+        recovery.replayed_records = replayed;
+        recovery.skipped_records = skipped;
+    }
+    let generation = delta.generation();
+    let snapshot_graph = delta.snapshot().shared_graph();
     let snapshot = Arc::new(LoadedGraph {
         name: name.to_string(),
-        graph: Arc::clone(&graph),
-        labels,
-        generation: 0,
+        graph: snapshot_graph,
+        // Replay may have grown the label table past the source's: publish
+        // the writer's labels whenever anything was recovered.
+        labels: if generation > 0 {
+            Some(writer_labels.clone())
+        } else {
+            source_labels
+        },
+        generation,
     });
-    Ok(Arc::new(LiveDataset {
+    if opened.is_some() {
+        recovery.recovery_ms = started.elapsed().as_millis() as u64;
+    }
+    let live = LiveDataset {
         current: RwLock::new(snapshot),
+        overlay: AtomicUsize::new(delta.overlay_len()),
+        compactions: AtomicU64::new(delta.compactions()),
+        persistent: opened.is_some(),
+        wal_records: AtomicU64::new(0),
+        wal_bytes: AtomicU64::new(0),
+        checkpoint_gen_plus_one: AtomicU64::new(0),
+        replayed_records: AtomicU64::new(recovery.replayed_records),
+        recovery_ms: AtomicU64::new(recovery.recovery_ms),
         writer: Mutex::new(Writer {
-            delta: DeltaGraph::new(graph),
+            delta,
             labels: writer_labels,
+            store: opened.map(|o| o.store),
+            poisoned: None,
         }),
-        overlay: AtomicUsize::new(0),
-        compactions: AtomicU64::new(0),
-    }))
+    };
+    if let Some(ds) = &live.writer.lock().unwrap().store {
+        live.mirror_store(ds);
+    }
+    Ok(Arc::new(live))
 }
 
 #[cfg(test)]
@@ -492,6 +765,74 @@ mod tests {
         assert_eq!(out.generation, 1);
         assert_eq!((out.inserted, out.reweighted, out.deleted), (0, 0, 0));
         assert_eq!(r.get("karate").unwrap().generation, g1.generation);
+    }
+
+    #[test]
+    fn durable_updates_recover_after_restart() {
+        let data_dir =
+            std::env::temp_dir().join(format!("mpds-registry-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&data_dir);
+        let store =
+            || Store::create(&data_dir, mpds_store::SyncPolicy::Commit).expect("create store");
+
+        // First process: two durable batches, then a "crash" (drop without
+        // checkpointing).
+        let mut r = GraphRegistry::with_builtins();
+        r.set_store(store());
+        r.apply_update("karate", "0 1 0.9\n0 99 0.5\n".as_bytes())
+            .unwrap();
+        r.apply_update("karate", "0 2 -\n".as_bytes()).unwrap();
+        let before = r.get("karate").unwrap();
+        assert_eq!(before.generation, 2);
+        drop(r);
+
+        // Second process: recovery lands on the exact pre-crash state.
+        let mut r2 = GraphRegistry::with_builtins();
+        r2.set_store(store());
+        let recovered = r2.recover_on_boot();
+        assert_eq!(recovered.len(), 1, "only karate has durable state");
+        assert_eq!(recovered[0].0, "karate");
+        assert_eq!(recovered[0].1.as_ref().unwrap(), &2);
+        let after = r2.get("karate").unwrap();
+        assert_eq!(after.generation, 2);
+        assert_eq!(after.graph.edge_prob(0, 1), Some(0.9));
+        assert_eq!(after.graph.edge_prob(0, 2), None);
+        let n99 = (0..after.graph.num_nodes() as NodeId)
+            .find(|&v| after.label_of(v) == 99)
+            .expect("appended label survives recovery");
+        assert_eq!(after.graph.edge_prob(0, n99), Some(0.5));
+        let row = r2.list().into_iter().find(|d| d.name == "karate").unwrap();
+        assert_eq!(row.wal_records, Some(2));
+        assert_eq!(row.replayed_records, Some(2));
+        assert_eq!(row.last_checkpoint_generation, None);
+
+        // The generation sequence continues, and an explicit checkpoint
+        // truncates the WAL without touching the generation.
+        let out = r2.apply_update("karate", "0 3 0.7\n".as_bytes()).unwrap();
+        assert_eq!(out.generation, 3);
+        let ck = r2.checkpoint_dataset("karate").unwrap();
+        assert_eq!(ck.generation, 3);
+        assert_eq!(ck.wal_records, 0);
+        drop(r2);
+
+        // Third process: recovery now comes from the checkpoint alone.
+        let mut r3 = GraphRegistry::with_builtins();
+        r3.set_store(store());
+        r3.recover_on_boot();
+        let g3 = r3.get("karate").unwrap();
+        assert_eq!(g3.generation, 3);
+        assert_eq!(g3.graph.edge_prob(0, 3), Some(0.7));
+        let row = r3.list().into_iter().find(|d| d.name == "karate").unwrap();
+        assert_eq!(row.last_checkpoint_generation, Some(3));
+        assert_eq!(row.replayed_records, Some(0));
+        std::fs::remove_dir_all(&data_dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_requires_data_dir() {
+        let r = GraphRegistry::with_builtins();
+        let err = r.checkpoint_dataset("karate").unwrap_err();
+        assert!(err.contains("not enabled"), "{err}");
     }
 
     #[test]

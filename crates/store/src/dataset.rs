@@ -1,0 +1,404 @@
+//! Per-dataset durable state: a directory holding one WAL plus rotated
+//! snapshot checkpoints, and the recovery logic that stitches them back
+//! into a live graph on boot.
+//!
+//! ## Directory layout
+//!
+//! ```text
+//! <data-dir>/<dataset>/wal.log                  append-only mutation log
+//! <data-dir>/<dataset>/checkpoint-<gen>.ckpt    binary snapshots (newest 2 kept)
+//! ```
+//!
+//! Dataset names are sanitized for the filesystem: characters outside
+//! `[A-Za-z0-9._-]` are percent-encoded, so registry names map to
+//! directories injectively.
+//!
+//! ## Recovery
+//!
+//! [`DatasetStore::open`] picks the **highest-generation checkpoint that
+//! passes CRC validation** (a partially-written or bit-rotted newest file
+//! is skipped, falling back to the previous one), then hands back the WAL
+//! records so the caller can replay the tail with [`replay_wal`]. Because
+//! checkpoint rotation only drops WAL records the *oldest retained*
+//! checkpoint covers, the fallback checkpoint always has every record it
+//! needs to reach the head.
+
+use std::path::{Path, PathBuf};
+use ugraph::dynamic::DeltaGraph;
+use ugraph::io::{apply_edge_list_delta, read_graph_checkpoint, write_graph_checkpoint};
+use ugraph::UncertainGraph;
+
+use crate::wal::{Wal, WalRecord};
+use crate::{StoreError, SyncPolicy};
+
+/// How many checkpoint files rotation retains. Two, so one corrupt or torn
+/// newest checkpoint still leaves a valid base plus a complete WAL tail.
+pub const CHECKPOINTS_KEPT: usize = 2;
+
+/// Maps a dataset name to its directory name: `[A-Za-z0-9._-]` pass
+/// through, everything else is percent-encoded byte-wise.
+///
+/// ```
+/// use mpds_store::sanitize_dataset_dir;
+/// assert_eq!(sanitize_dataset_dir("intel-lab"), "intel-lab");
+/// assert_eq!(sanitize_dataset_dir("a/b c"), "a%2Fb%20c");
+/// ```
+pub fn sanitize_dataset_dir(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(b as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+/// A checkpoint recovered from disk: the materialized graph, its labels,
+/// and the generation it was taken at.
+#[derive(Debug)]
+pub struct RecoveredCheckpoint {
+    /// The materialized graph.
+    pub graph: UncertainGraph,
+    /// Original label of every compact node id.
+    pub labels: Vec<u32>,
+    /// Generation the checkpoint was taken at.
+    pub generation: u64,
+}
+
+/// What [`DatasetStore::open`] found on disk for one dataset.
+#[derive(Debug)]
+pub struct DatasetOpen {
+    /// The store, ready for appends and checkpoints.
+    pub store: DatasetStore,
+    /// Newest valid checkpoint, if any.
+    pub checkpoint: Option<RecoveredCheckpoint>,
+    /// Every valid WAL record, in append order, for [`replay_wal`].
+    pub wal_records: Vec<WalRecord>,
+    /// Torn-tail WAL bytes dropped on open.
+    pub truncated_bytes: u64,
+    /// Checkpoint files skipped because they failed validation.
+    pub checkpoints_discarded: u64,
+}
+
+/// Counters describing one boot-time recovery, surfaced through
+/// `/datasets` and `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// WAL records replayed on top of the recovered checkpoint.
+    pub replayed_records: u64,
+    /// WAL records skipped because the checkpoint already covered them.
+    pub skipped_records: u64,
+    /// Torn-tail WAL bytes truncated on open.
+    pub truncated_bytes: u64,
+    /// Checkpoint files discarded as corrupt or partially written.
+    pub checkpoints_discarded: u64,
+    /// Wall-clock milliseconds the recovery took (open + replay).
+    pub recovery_ms: u64,
+}
+
+/// The durable half of one live dataset: its WAL handle plus checkpoint
+/// bookkeeping. All methods take `&mut self`; the service serializes them
+/// under the same writer lock that orders mutations.
+#[derive(Debug)]
+pub struct DatasetStore {
+    dir: PathBuf,
+    wal: Wal,
+    last_checkpoint_generation: Option<u64>,
+}
+
+/// Lists `(generation, path)` of every checkpoint file in `dir`, sorted by
+/// generation ascending. Files whose names don't parse are ignored.
+fn checkpoint_files(dir: &Path) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(middle) = name
+            .strip_prefix("checkpoint-")
+            .and_then(|rest| rest.strip_suffix(".ckpt"))
+        else {
+            continue;
+        };
+        if let Ok(generation) = middle.parse::<u64>() {
+            found.push((generation, entry.path()));
+        }
+    }
+    found.sort_unstable_by_key(|&(g, _)| g);
+    Ok(found)
+}
+
+impl DatasetStore {
+    /// Opens (creating directories as needed) the durable state of
+    /// `dataset` under `data_dir`: validates checkpoints newest-first,
+    /// opens the WAL (truncating any torn tail), and returns everything a
+    /// caller needs to rebuild the live graph.
+    pub fn open(
+        data_dir: &Path,
+        dataset: &str,
+        sync: SyncPolicy,
+    ) -> Result<DatasetOpen, StoreError> {
+        let dir = data_dir.join(sanitize_dataset_dir(dataset));
+        std::fs::create_dir_all(&dir)?;
+        let mut checkpoints_discarded = 0u64;
+        let mut checkpoint = None;
+        let mut files = checkpoint_files(&dir)?;
+        while let Some((generation, path)) = files.pop() {
+            match std::fs::File::open(&path)
+                .map_err(StoreError::Io)
+                .and_then(|f| {
+                    read_graph_checkpoint(std::io::BufReader::new(f))
+                        .map_err(|e| StoreError::Replay(e.to_string()))
+                }) {
+                Ok((graph, labels, stored_gen)) => {
+                    // The name is advisory; the stamped generation is truth.
+                    let _ = generation;
+                    checkpoint = Some(RecoveredCheckpoint {
+                        graph,
+                        labels,
+                        generation: stored_gen,
+                    });
+                    break;
+                }
+                Err(_) => checkpoints_discarded += 1,
+            }
+        }
+        let open = Wal::open(&dir.join("wal.log"), sync)?;
+        Ok(DatasetOpen {
+            store: DatasetStore {
+                dir,
+                wal: open.wal,
+                last_checkpoint_generation: checkpoint.as_ref().map(|c| c.generation),
+            },
+            checkpoint,
+            wal_records: open.records,
+            truncated_bytes: open.truncated_bytes,
+            checkpoints_discarded,
+        })
+    }
+
+    /// Appends one accepted mutation batch to the WAL and makes it durable
+    /// per the sync policy. Must be called **before** the new snapshot is
+    /// published (log-before-swap): a crash right after this call replays
+    /// to exactly the state the client was about to be acked.
+    pub fn log_batch(&mut self, generation: u64, payload: &[u8]) -> std::io::Result<()> {
+        self.wal.append(generation, payload)
+    }
+
+    /// Writes a checkpoint of the materialized graph at `generation`,
+    /// atomically (temp file + rename), then rotates: the newest
+    /// [`CHECKPOINTS_KEPT`] files stay, older ones are deleted, and the WAL
+    /// drops every record the oldest retained checkpoint already covers.
+    pub fn checkpoint(
+        &mut self,
+        graph: &UncertainGraph,
+        labels: &[u32],
+        generation: u64,
+    ) -> std::io::Result<()> {
+        self.wal.sync()?;
+        let final_path = self.dir.join(format!("checkpoint-{generation:020}.ckpt"));
+        let tmp_path = self.dir.join("checkpoint.tmp");
+        {
+            let file = std::fs::File::create(&tmp_path)?;
+            let mut w = std::io::BufWriter::new(file);
+            write_graph_checkpoint(&mut w, graph, labels, generation)?;
+            use std::io::Write;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        self.last_checkpoint_generation = Some(generation);
+        let mut files = checkpoint_files(&self.dir)?;
+        while files.len() > CHECKPOINTS_KEPT {
+            let (_, path) = files.remove(0);
+            let _ = std::fs::remove_file(path);
+        }
+        let floor = files.first().map(|&(g, _)| g).unwrap_or(0);
+        self.wal.retain_after(floor)
+    }
+
+    /// Generation of the newest checkpoint on disk, if any.
+    pub fn last_checkpoint_generation(&self) -> Option<u64> {
+        self.last_checkpoint_generation
+    }
+
+    /// Records currently in the WAL.
+    pub fn wal_records(&self) -> u64 {
+        self.wal.records()
+    }
+
+    /// Bytes currently in the WAL.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes()
+    }
+}
+
+/// Replays WAL records onto a live graph: records at or below the graph's
+/// current generation are skipped (the checkpoint already covers them),
+/// newer ones are applied through the same batch path mutations originally
+/// took. Returns `(replayed, skipped)` counts.
+///
+/// Replay asserts generation continuity: each applied record must land the
+/// graph exactly on the record's stamped generation, so a gap or reorder in
+/// the log is an error, never a silent divergence.
+pub fn replay_wal(
+    delta: &mut DeltaGraph,
+    labels: &mut Vec<u32>,
+    records: &[WalRecord],
+) -> Result<(u64, u64), StoreError> {
+    let mut replayed = 0u64;
+    let mut skipped = 0u64;
+    for rec in records {
+        if rec.generation <= delta.generation() {
+            skipped += 1;
+            continue;
+        }
+        let done = apply_edge_list_delta(delta, labels, rec.payload.as_slice()).map_err(|e| {
+            StoreError::Replay(format!("record at generation {}: {e}", rec.generation))
+        })?;
+        if done.generation != rec.generation {
+            return Err(StoreError::Replay(format!(
+                "generation diverged during replay: record says {}, graph reached {}",
+                rec.generation, done.generation
+            )));
+        }
+        replayed += 1;
+    }
+    Ok((replayed, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpds-store-ds-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn seed_graph() -> (DeltaGraph, Vec<u32>) {
+        let base = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.5), (1, 2, 0.25)]);
+        (DeltaGraph::from_graph(base), vec![10, 20, 30])
+    }
+
+    /// Applies `batch` to the live graph and logs it, the service's
+    /// log-before-swap order in miniature.
+    fn apply_and_log(
+        store: &mut DatasetStore,
+        delta: &mut DeltaGraph,
+        labels: &mut Vec<u32>,
+        batch: &str,
+    ) {
+        let done = apply_edge_list_delta(delta, labels, batch.as_bytes()).unwrap();
+        store.log_batch(done.generation, batch.as_bytes()).unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_to_pre_crash_state() {
+        let data_dir = tmp_dir("recover");
+        let (mut delta, mut labels) = seed_graph();
+        {
+            let open = DatasetStore::open(&data_dir, "demo", SyncPolicy::Commit).unwrap();
+            assert!(open.checkpoint.is_none());
+            let mut store = open.store;
+            apply_and_log(&mut store, &mut delta, &mut labels, "10 20 0.9\n");
+            apply_and_log(&mut store, &mut delta, &mut labels, "30 40 0.8\n10 20 -\n");
+            // Crash: store dropped without a checkpoint.
+        }
+        let open = DatasetStore::open(&data_dir, "demo", SyncPolicy::Commit).unwrap();
+        let (mut twin, mut twin_labels) = seed_graph();
+        let (replayed, skipped) =
+            replay_wal(&mut twin, &mut twin_labels, &open.wal_records).unwrap();
+        assert_eq!((replayed, skipped), (2, 0));
+        assert_eq!(twin.generation(), delta.generation());
+        assert_eq!(twin_labels, labels);
+        assert_eq!(twin.edge_prob(0, 1), None);
+        assert_eq!(twin.edge_prob(2, 3), Some(0.8));
+        std::fs::remove_dir_all(&data_dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_rotation_and_wal_truncation() {
+        let data_dir = tmp_dir("rotate");
+        let (mut delta, mut labels) = seed_graph();
+        let open = DatasetStore::open(&data_dir, "demo", SyncPolicy::Commit).unwrap();
+        let mut store = open.store;
+        for g in 1..=3u64 {
+            apply_and_log(
+                &mut store,
+                &mut delta,
+                &mut labels,
+                &format!("10 20 0.{g}\n"),
+            );
+            let snap = delta.snapshot();
+            store
+                .checkpoint(snap.graph(), &labels, delta.generation())
+                .unwrap();
+            let _ = g;
+        }
+        // Three checkpoints taken, two kept.
+        let dir = data_dir.join("demo");
+        let kept = checkpoint_files(&dir).unwrap();
+        assert_eq!(kept.len(), CHECKPOINTS_KEPT);
+        assert_eq!(kept.iter().map(|&(g, _)| g).collect::<Vec<_>>(), vec![2, 3]);
+        // The WAL only holds records the oldest kept checkpoint doesn't cover.
+        let reopened = DatasetStore::open(&data_dir, "demo", SyncPolicy::Commit).unwrap();
+        let gens: Vec<u64> = reopened.wal_records.iter().map(|r| r.generation).collect();
+        assert_eq!(gens, vec![3]);
+        assert_eq!(reopened.checkpoint.unwrap().generation, 3);
+        std::fs::remove_dir_all(&data_dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_previous() {
+        let data_dir = tmp_dir("fallback");
+        let (mut delta, mut labels) = seed_graph();
+        let open = DatasetStore::open(&data_dir, "demo", SyncPolicy::Commit).unwrap();
+        let mut store = open.store;
+        apply_and_log(&mut store, &mut delta, &mut labels, "10 30 0.7\n");
+        let snap = delta.snapshot();
+        store
+            .checkpoint(snap.graph(), &labels, delta.generation())
+            .unwrap();
+        apply_and_log(&mut store, &mut delta, &mut labels, "20 30 -\n");
+        let snap = delta.snapshot();
+        store
+            .checkpoint(snap.graph(), &labels, delta.generation())
+            .unwrap();
+        drop(store);
+        // Bit-rot the newest checkpoint.
+        let dir = data_dir.join("demo");
+        let newest = checkpoint_files(&dir).unwrap().pop().unwrap().1;
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let open = DatasetStore::open(&data_dir, "demo", SyncPolicy::Commit).unwrap();
+        assert_eq!(open.checkpoints_discarded, 1);
+        let ckpt = open.checkpoint.unwrap();
+        assert_eq!(ckpt.generation, 1);
+        // Replay from the fallback still reaches the pre-crash head.
+        let mut recovered = DeltaGraph::from_graph(ckpt.graph).with_generation(ckpt.generation);
+        let mut recovered_labels = ckpt.labels;
+        replay_wal(&mut recovered, &mut recovered_labels, &open.wal_records).unwrap();
+        assert_eq!(recovered.generation(), 2);
+        assert_eq!(recovered.edge_prob(1, 2), None);
+        assert_eq!(recovered.edge_prob(0, 2), Some(0.7));
+        std::fs::remove_dir_all(&data_dir).unwrap();
+    }
+
+    #[test]
+    fn replay_rejects_generation_gaps() {
+        let (mut delta, mut labels) = seed_graph();
+        let records = vec![WalRecord {
+            generation: 5, // graph is at 0: applying yields 1, not 5
+            payload: b"10 20 0.9\n".to_vec(),
+        }];
+        let err = replay_wal(&mut delta, &mut labels, &records).unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+    }
+}

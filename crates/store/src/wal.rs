@@ -1,0 +1,370 @@
+//! The write-ahead log: one append-only file per dataset, one framed
+//! record per accepted mutation batch.
+//!
+//! ## Record framing
+//!
+//! ```text
+//! [payload len: u32 LE][generation: u64 LE][crc: u32 LE][payload bytes]
+//! ```
+//!
+//! The CRC is [`ugraph::io::crc32`] over the generation bytes plus the
+//! payload, so a flipped bit anywhere in a record (or a torn write that
+//! left a partial frame) fails validation. The payload is the textual
+//! `u v p` / `u v -` mutation grammar from [`ugraph::io`] — `strings` or
+//! `grep` on a WAL file shows exactly what was applied.
+//!
+//! ## Torn tails
+//!
+//! A crash mid-append leaves a partial record at the end of the file.
+//! [`Wal::open`] scans every frame from the start and truncates the file at
+//! the last valid record boundary; everything before that point is the
+//! longest valid prefix and is returned for replay.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+use ugraph::io::crc32;
+
+use crate::SyncPolicy;
+
+/// Frame header size: payload length (4) + generation (8) + CRC (4).
+pub const RECORD_HEADER_BYTES: usize = 16;
+
+/// One decoded WAL record: the generation the batch produced and the
+/// textual mutation payload that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Generation of the dataset *after* this batch was applied.
+    pub generation: u64,
+    /// The batch body in the `u v p` / `u v -` grammar.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes one record into its framed byte representation.
+///
+/// ```
+/// use mpds_store::{decode_record, encode_record, DecodeStep};
+/// let frame = encode_record(3, b"1 2 0.5\n");
+/// match decode_record(&frame) {
+///     DecodeStep::Record(rec, consumed) => {
+///         assert_eq!(consumed, frame.len());
+///         assert_eq!(rec.generation, 3);
+///         assert_eq!(rec.payload, b"1 2 0.5\n");
+///     }
+///     _ => panic!("roundtrip failed"),
+/// }
+/// ```
+pub fn encode_record(generation: u64, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(RECORD_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&generation.to_le_bytes());
+    let mut crc_input = Vec::with_capacity(8 + payload.len());
+    crc_input.extend_from_slice(&generation.to_le_bytes());
+    crc_input.extend_from_slice(payload);
+    frame.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Outcome of decoding the frame at the front of a byte slice.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeStep {
+    /// A valid record and the number of bytes it consumed.
+    Record(WalRecord, usize),
+    /// The slice ends before the frame does (torn tail).
+    Incomplete,
+    /// The frame is complete but its CRC does not match (corrupt tail).
+    Corrupt,
+}
+
+/// Decodes the frame at the front of `buf`. `Incomplete` and `Corrupt`
+/// both mean "the valid prefix ends here" to a scanner.
+pub fn decode_record(buf: &[u8]) -> DecodeStep {
+    if buf.len() < RECORD_HEADER_BYTES {
+        return DecodeStep::Incomplete;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let generation = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+    let stored_crc = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes"));
+    let Some(payload) = buf.get(RECORD_HEADER_BYTES..RECORD_HEADER_BYTES + len) else {
+        return DecodeStep::Incomplete;
+    };
+    let mut crc_input = Vec::with_capacity(8 + len);
+    crc_input.extend_from_slice(&buf[4..12]);
+    crc_input.extend_from_slice(payload);
+    if crc32(&crc_input) != stored_crc {
+        return DecodeStep::Corrupt;
+    }
+    DecodeStep::Record(
+        WalRecord {
+            generation,
+            payload: payload.to_vec(),
+        },
+        RECORD_HEADER_BYTES + len,
+    )
+}
+
+/// Scans a full WAL image: returns every valid record plus the byte length
+/// of the valid prefix. Scanning stops at the first incomplete or
+/// CRC-failing frame — the torn tail a crash mid-append leaves behind.
+pub fn scan_records(data: &[u8]) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut offset = 0;
+    while offset < data.len() {
+        match decode_record(&data[offset..]) {
+            DecodeStep::Record(rec, consumed) => {
+                records.push(rec);
+                offset += consumed;
+            }
+            DecodeStep::Incomplete | DecodeStep::Corrupt => break,
+        }
+    }
+    (records, offset)
+}
+
+/// An open per-dataset write-ahead log positioned at its end.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    sync: SyncPolicy,
+    records: u64,
+    bytes: u64,
+    last_sync: Instant,
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug)]
+pub struct WalOpen {
+    /// The log, ready for appends.
+    pub wal: Wal,
+    /// Every valid record, in append order, for replay.
+    pub records: Vec<WalRecord>,
+    /// Torn-tail bytes dropped by truncation (0 for a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// How long `interval` sync mode may leave appended records unsynced.
+const INTERVAL_SYNC: std::time::Duration = std::time::Duration::from_secs(1);
+
+impl Wal {
+    /// Opens (creating if absent) the log at `path`, scans it, truncates
+    /// any torn tail, and returns the valid records for replay.
+    pub fn open(path: &Path, sync: SyncPolicy) -> std::io::Result<WalOpen> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            // Existing contents are the durable history; never truncate on
+            // open (torn tails are cut back explicitly after the CRC scan).
+            .truncate(false)
+            .open(path)?;
+        let mut data = Vec::new();
+        file.read_to_end(&mut data)?;
+        let (records, valid_len) = scan_records(&data);
+        let truncated_bytes = (data.len() - valid_len) as u64;
+        if truncated_bytes > 0 {
+            file.set_len(valid_len as u64)?;
+            file.sync_all()?;
+        }
+        // Position at the end for appends (set_len does not move the cursor).
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::Start(valid_len as u64))?;
+        Ok(WalOpen {
+            wal: Wal {
+                file,
+                path: path.to_path_buf(),
+                sync,
+                records: records.len() as u64,
+                bytes: valid_len as u64,
+                last_sync: Instant::now(),
+            },
+            records,
+            truncated_bytes,
+        })
+    }
+
+    /// Appends one framed record and makes it durable per the sync policy:
+    /// `commit` fsyncs before returning, `interval` coalesces fsyncs to at
+    /// most one per second. Only after this returns may the caller ack the
+    /// batch to a client.
+    pub fn append(&mut self, generation: u64, payload: &[u8]) -> std::io::Result<()> {
+        let frame = encode_record(generation, payload);
+        self.file.write_all(&frame)?;
+        match self.sync {
+            SyncPolicy::Commit => {
+                self.file.sync_data()?;
+                self.last_sync = Instant::now();
+            }
+            SyncPolicy::Interval => {
+                if self.last_sync.elapsed() >= INTERVAL_SYNC {
+                    self.file.sync_data()?;
+                    self.last_sync = Instant::now();
+                }
+            }
+        }
+        self.records += 1;
+        self.bytes += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Rewrites the log keeping only records with `generation > floor`,
+    /// atomically (temp file + rename). Called after a checkpoint: records
+    /// the oldest retained checkpoint already covers are dropped, records
+    /// newer than it stay so a corrupt newest checkpoint still recovers.
+    pub fn retain_after(&mut self, floor: u64) -> std::io::Result<()> {
+        use std::io::Seek;
+        self.file.seek(std::io::SeekFrom::Start(0))?;
+        let mut data = Vec::new();
+        self.file.read_to_end(&mut data)?;
+        let (records, _) = scan_records(&data);
+        let mut kept = Vec::new();
+        let mut kept_count = 0u64;
+        for rec in records.iter().filter(|r| r.generation > floor) {
+            kept.extend_from_slice(&encode_record(rec.generation, &rec.payload));
+            kept_count += 1;
+        }
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&kept)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen so the handle points at the renamed file, not the unlinked
+        // inode of the old one.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(std::io::SeekFrom::End(0))?;
+        self.file = file;
+        self.records = kept_count;
+        self.bytes = kept.len() as u64;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Forces an fsync regardless of policy (used before checkpoints).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.last_sync = Instant::now();
+        Ok(())
+    }
+
+    /// Records currently in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes currently in the log.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpds-store-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_reopen_replays_everything() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("wal.log");
+        {
+            let mut open = Wal::open(&path, SyncPolicy::Commit).unwrap();
+            assert_eq!(open.records.len(), 0);
+            open.wal.append(1, b"1 2 0.5\n").unwrap();
+            open.wal.append(2, b"2 3 0.25\n1 2 -\n").unwrap();
+            assert_eq!(open.wal.records(), 2);
+        }
+        let open = Wal::open(&path, SyncPolicy::Commit).unwrap();
+        assert_eq!(open.truncated_bytes, 0);
+        assert_eq!(
+            open.records,
+            vec![
+                WalRecord {
+                    generation: 1,
+                    payload: b"1 2 0.5\n".to_vec()
+                },
+                WalRecord {
+                    generation: 2,
+                    payload: b"2 3 0.25\n1 2 -\n".to_vec()
+                },
+            ]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal.log");
+        {
+            let mut open = Wal::open(&path, SyncPolicy::Commit).unwrap();
+            open.wal.append(1, b"1 2 0.5\n").unwrap();
+            open.wal.append(2, b"3 4 0.5\n").unwrap();
+        }
+        // Simulate a crash mid-append: half of a third record.
+        let mut data = std::fs::read(&path).unwrap();
+        let clean_len = data.len();
+        let partial = encode_record(3, b"5 6 0.5\n");
+        data.extend_from_slice(&partial[..partial.len() / 2]);
+        std::fs::write(&path, &data).unwrap();
+
+        let open = Wal::open(&path, SyncPolicy::Commit).unwrap();
+        assert_eq!(open.records.len(), 2);
+        assert_eq!(open.truncated_bytes, (partial.len() / 2) as u64);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len as u64);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_truncates_from_that_record() {
+        let dir = tmp_dir("flip");
+        let path = dir.join("wal.log");
+        let first_len;
+        {
+            let mut open = Wal::open(&path, SyncPolicy::Commit).unwrap();
+            open.wal.append(1, b"1 2 0.5\n").unwrap();
+            first_len = std::fs::metadata(&path).unwrap().len();
+            open.wal.append(2, b"3 4 0.5\n").unwrap();
+        }
+        let mut data = std::fs::read(&path).unwrap();
+        let at = first_len as usize + RECORD_HEADER_BYTES + 2; // inside record 2's payload
+        data[at] ^= 0x20;
+        std::fs::write(&path, &data).unwrap();
+
+        let open = Wal::open(&path, SyncPolicy::Commit).unwrap();
+        assert_eq!(open.records.len(), 1);
+        assert_eq!(open.records[0].generation, 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), first_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retain_after_drops_covered_prefix() {
+        let dir = tmp_dir("retain");
+        let path = dir.join("wal.log");
+        let mut open = Wal::open(&path, SyncPolicy::Commit).unwrap();
+        for g in 1..=5u64 {
+            open.wal
+                .append(g, format!("1 {} 0.5\n", g + 1).as_bytes())
+                .unwrap();
+        }
+        open.wal.retain_after(3).unwrap();
+        assert_eq!(open.wal.records(), 2);
+        // Appends keep working on the rewritten file.
+        open.wal.append(6, b"9 10 0.5\n").unwrap();
+        drop(open);
+        let reopened = Wal::open(&path, SyncPolicy::Commit).unwrap();
+        let gens: Vec<u64> = reopened.records.iter().map(|r| r.generation).collect();
+        assert_eq!(gens, vec![4, 5, 6]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

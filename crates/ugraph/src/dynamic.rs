@@ -339,6 +339,24 @@ impl DeltaGraph {
         self
     }
 
+    /// Seeds the generation counter, for restoring a graph from durable
+    /// storage: a checkpoint taken at generation `g` must resume counting
+    /// from `g`, not restart at 0, so clients never observe a generation
+    /// moving backwards across a restart.
+    ///
+    /// ```
+    /// use ugraph::dynamic::DeltaGraph;
+    /// use ugraph::UncertainGraph;
+    /// let base = UncertainGraph::from_weighted_edges(2, &[(0, 1, 1.0)]);
+    /// let mut d = DeltaGraph::from_graph(base).with_generation(41);
+    /// d.upsert_edge(0, 1, 0.5).unwrap();
+    /// assert_eq!(d.generation(), 42);
+    /// ```
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
     /// Node count of the merged view.
     ///
     /// ```

@@ -13,7 +13,12 @@
 //!   deletes it ([`read_edge_list_delta`] / [`apply_edge_list_delta`]).
 //!   Same comment/whitespace/probability rules as weighted edge lists;
 //!   duplicate edge keys within one batch are rejected with the offending
-//!   line number.
+//!   line number. [`DeltaLines`] exposes the same grammar as a streaming
+//!   iterator, so replaying a large log never buffers the whole file.
+//! * **Binary checkpoints** — [`write_graph_checkpoint`] /
+//!   [`read_graph_checkpoint`]: the materialized graph (edges + probability
+//!   bits + labels + generation) in a fixed little-endian layout with a
+//!   trailing [`crc32`], used by `mpds-store` for durable snapshots.
 
 use crate::dynamic::{ApplyStats, DeltaGraph, EdgeMutation, MutationBatch};
 use crate::graph::NodeId;
@@ -27,6 +32,8 @@ pub enum IoError {
     Io(std::io::Error),
     /// `(line number, message)`.
     Parse(usize, String),
+    /// A binary checkpoint failed structural or CRC validation.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for IoError {
@@ -34,6 +41,7 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
             IoError::Parse(line, msg) => write!(f, "parse error on line {line}: {msg}"),
+            IoError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
         }
     }
 }
@@ -124,31 +132,85 @@ pub fn read_weighted_edge_list<R: Read>(reader: R) -> Result<(UncertainGraph, Ve
 /// re-weights the edge, `(u, v, None)` deletes it.
 pub type LabeledMutation = (u32, u32, Option<f64>);
 
-/// Parses a mutation file (`u v p` upsert / `u v -` delete per line) with
-/// line numbers attached — the shared path behind [`read_edge_list_delta`]
-/// and [`apply_edge_list_delta`].
-fn parse_delta_lines<R: Read>(reader: R) -> Result<Vec<(usize, LabeledMutation)>, IoError> {
-    let reader = BufReader::new(reader);
-    let mut out: Vec<(usize, LabeledMutation)> = Vec::new();
-    let mut seen = std::collections::HashSet::new();
-    for (lineno, line) in reader.lines().enumerate() {
-        let lineno = lineno + 1;
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+/// Streaming parser over the mutation grammar: one `u v p` (insert /
+/// re-weight) or `u v -` (delete) per line, `#`-comments and blank lines
+/// skipped, yielding `(line number, mutation)` pairs as they are read —
+/// nothing buffers the whole input, so WAL replay of a large log costs one
+/// line of memory at a time.
+///
+/// Duplicate canonical edge keys within the stream are rejected with the
+/// offending line number, exactly as [`read_edge_list_delta`] does. After
+/// the first `Err` the iterator is fused (yields `None` forever).
+///
+/// ```
+/// use std::io::BufReader;
+/// use ugraph::io::DeltaLines;
+/// let mut it = DeltaLines::new(BufReader::new("# d\n1 2 0.5\n3 1 -\n".as_bytes()));
+/// assert_eq!(it.next().unwrap().unwrap(), (2, (1, 2, Some(0.5))));
+/// assert_eq!(it.next().unwrap().unwrap(), (3, (3, 1, None)));
+/// assert!(it.next().is_none());
+/// ```
+pub struct DeltaLines<R: BufRead> {
+    lines: std::io::Lines<R>,
+    lineno: usize,
+    seen: std::collections::HashSet<(u32, u32)>,
+    done: bool,
+}
+
+impl<R: BufRead> DeltaLines<R> {
+    /// Starts streaming mutations from `reader` at line 1.
+    pub fn new(reader: R) -> Self {
+        DeltaLines {
+            lines: reader.lines(),
+            lineno: 0,
+            seen: std::collections::HashSet::new(),
+            done: false,
         }
-        let (u, v, action) = parse_edge_line(lineno, line, true)?;
-        let key = if u < v { (u, v) } else { (v, u) };
-        if !seen.insert(key) {
-            return Err(IoError::Parse(
-                lineno,
-                format!("duplicate edge ({u}, {v}) in one mutation batch"),
-            ));
-        }
-        out.push((lineno, (u, v, action)));
     }
-    Ok(out)
+}
+
+impl<R: BufRead> Iterator for DeltaLines<R> {
+    type Item = Result<(usize, LabeledMutation), IoError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.lineno += 1;
+            let line = match self.lines.next() {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(Err(e)) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+                Some(Ok(line)) => line,
+            };
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (u, v, action) = match parse_edge_line(self.lineno, line, true) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            let key = if u < v { (u, v) } else { (v, u) };
+            if !self.seen.insert(key) {
+                self.done = true;
+                return Some(Err(IoError::Parse(
+                    self.lineno,
+                    format!("duplicate edge ({u}, {v}) in one mutation batch"),
+                )));
+            }
+            return Some(Ok((self.lineno, (u, v, action))));
+        }
+    }
 }
 
 /// Reads a mutation file: one `u v p` (insert / re-weight) or `u v -`
@@ -164,10 +226,9 @@ fn parse_delta_lines<R: Read>(reader: R) -> Result<Vec<(usize, LabeledMutation)>
 /// assert!(read_edge_list_delta("1 2 0.5\n2 1 -\n".as_bytes()).is_err()); // dup key
 /// ```
 pub fn read_edge_list_delta<R: Read>(reader: R) -> Result<Vec<LabeledMutation>, IoError> {
-    Ok(parse_delta_lines(reader)?
-        .into_iter()
-        .map(|(_, m)| m)
-        .collect())
+    DeltaLines::new(BufReader::new(reader))
+        .map(|r| r.map(|(_, m)| m))
+        .collect()
 }
 
 /// What [`apply_edge_list_delta`] changed.
@@ -214,16 +275,16 @@ pub fn apply_edge_list_delta<R: Read>(
         delta.num_nodes(),
         "labels must carry one entry per node"
     );
-    let parsed = parse_delta_lines(reader)?;
     let mut index_of: std::collections::HashMap<u32, NodeId> = labels
         .iter()
         .enumerate()
         .map(|(i, &l)| (l, i as NodeId))
         .collect();
     let mut new_labels: Vec<u32> = Vec::new();
-    let mut edges = Vec::with_capacity(parsed.len());
+    let mut edges = Vec::new();
     let n0 = delta.num_nodes();
-    for (lineno, (lu, lv, action)) in parsed {
+    for parsed in DeltaLines::new(BufReader::new(reader)) {
+        let (lineno, (lu, lv, action)) = parsed?;
         let mut resolve = |label: u32, deleting: bool| -> Result<NodeId, IoError> {
             if let Some(&id) = index_of.get(&label) {
                 return Ok(id);
@@ -270,6 +331,176 @@ pub fn apply_edge_list_delta<R: Read>(
         stats,
         generation: delta.generation(),
     })
+}
+
+/// IEEE CRC-32 lookup table (polynomial `0xEDB88320`), built in a const
+/// context so the hand-rolled checksum costs one table lookup per byte.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 (the zlib/PNG polynomial) of `bytes`. The workspace vendors
+/// no checksum crate, so this one implementation backs both the binary
+/// checkpoint trailer and the `mpds-store` WAL record frames.
+///
+/// ```
+/// use ugraph::io::crc32;
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926); // the standard check value
+/// assert_eq!(crc32(b""), 0);
+/// ```
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Magic + format version prefix of a binary graph checkpoint.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"MPDSCKP1";
+
+/// Writes a binary checkpoint of a materialized graph: edges, probability
+/// bits, per-node labels, and the generation stamp, all little-endian, with
+/// a trailing [`crc32`] over everything before it. The layout after the
+/// [`CHECKPOINT_MAGIC`] prefix is `n: u64, m: u64, generation: u64`,
+/// then `m` edge pairs (`u32, u32`), `m` probability bit patterns
+/// (`f64::to_bits` as `u64`), and `n` labels (`u32`).
+///
+/// `labels` must carry exactly one entry per node. Readers recover the
+/// exact same graph: probabilities round-trip bit-for-bit.
+///
+/// ```
+/// use ugraph::io::{read_graph_checkpoint, write_graph_checkpoint};
+/// use ugraph::UncertainGraph;
+/// let g = UncertainGraph::from_weighted_edges(3, &[(0, 1, 0.25), (1, 2, 0.75)]);
+/// let mut buf = Vec::new();
+/// write_graph_checkpoint(&mut buf, &g, &[10, 20, 30], 7).unwrap();
+/// let (g2, labels, generation) = read_graph_checkpoint(buf.as_slice()).unwrap();
+/// assert_eq!((g2.num_nodes(), g2.num_edges()), (3, 2));
+/// assert_eq!(labels, vec![10, 20, 30]);
+/// assert_eq!(generation, 7);
+/// assert_eq!(g2.edge_prob(0, 1), Some(0.25));
+/// ```
+pub fn write_graph_checkpoint<W: Write>(
+    mut writer: W,
+    g: &UncertainGraph,
+    labels: &[u32],
+    generation: u64,
+) -> std::io::Result<()> {
+    assert_eq!(
+        labels.len(),
+        g.num_nodes(),
+        "labels must carry one entry per node"
+    );
+    let (n, m) = (g.num_nodes(), g.num_edges());
+    let mut buf = Vec::with_capacity(8 + 24 + m * 16 + n * 4 + 4);
+    buf.extend_from_slice(CHECKPOINT_MAGIC);
+    buf.extend_from_slice(&(n as u64).to_le_bytes());
+    buf.extend_from_slice(&(m as u64).to_le_bytes());
+    buf.extend_from_slice(&generation.to_le_bytes());
+    for &(u, v) in g.graph().edges() {
+        buf.extend_from_slice(&u.to_le_bytes());
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    for i in 0..m {
+        buf.extend_from_slice(&g.prob(i).to_bits().to_le_bytes());
+    }
+    for &l in labels {
+        buf.extend_from_slice(&l.to_le_bytes());
+    }
+    let crc = crc32(&buf);
+    writer.write_all(&buf)?;
+    writer.write_all(&crc.to_le_bytes())?;
+    writer.flush()
+}
+
+/// Reads a binary checkpoint written by [`write_graph_checkpoint`],
+/// returning the graph, its labels, and the generation stamp. Any
+/// structural problem — short file, wrong magic, inconsistent lengths, or
+/// CRC mismatch — yields [`IoError::Corrupt`]; callers treat that as "this
+/// checkpoint never happened" and fall back to an older one.
+pub fn read_graph_checkpoint<R: Read>(
+    mut reader: R,
+) -> Result<(UncertainGraph, Vec<u32>, u64), IoError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    let header_len = CHECKPOINT_MAGIC.len() + 24;
+    if data.len() < header_len + 4 {
+        return Err(IoError::Corrupt(format!(
+            "file too short ({} bytes)",
+            data.len()
+        )));
+    }
+    let (body, trailer) = data.split_at(data.len() - 4);
+    let stored_crc = u32::from_le_bytes(trailer.try_into().expect("trailer is 4 bytes"));
+    if crc32(body) != stored_crc {
+        return Err(IoError::Corrupt("CRC mismatch".to_string()));
+    }
+    if &body[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC {
+        return Err(IoError::Corrupt("bad magic".to_string()));
+    }
+    let u64_at =
+        |off: usize| u64::from_le_bytes(body[off..off + 8].try_into().expect("8-byte field"));
+    let n = u64_at(8) as usize;
+    let m = u64_at(16) as usize;
+    let generation = u64_at(24);
+    let expect = header_len + m * 16 + n * 4;
+    if body.len() != expect {
+        return Err(IoError::Corrupt(format!(
+            "length {} does not match n={n}, m={m} (expected {expect})",
+            body.len()
+        )));
+    }
+    let mut off = header_len;
+    let u32_next = |off: &mut usize| {
+        let v = u32::from_le_bytes(body[*off..*off + 4].try_into().expect("4-byte field"));
+        *off += 4;
+        v
+    };
+    let mut weighted = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = u32_next(&mut off);
+        let v = u32_next(&mut off);
+        weighted.push((u as NodeId, v as NodeId, 0.0f64));
+    }
+    for w in weighted.iter_mut() {
+        let bits = u64::from_le_bytes(body[off..off + 8].try_into().expect("8-byte field"));
+        off += 8;
+        w.2 = f64::from_bits(bits);
+    }
+    for (u, v, p) in &weighted {
+        if *u as usize >= n || *v as usize >= n || u == v || !(*p > 0.0 && *p <= 1.0) {
+            return Err(IoError::Corrupt(format!("invalid edge ({u}, {v}, {p})")));
+        }
+    }
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push(u32_next(&mut off));
+    }
+    let g = UncertainGraph::from_weighted_edges(n, &weighted);
+    if g.num_edges() != m {
+        return Err(IoError::Corrupt(format!(
+            "duplicate edges collapsed: {m} stored, {} reconstructed",
+            g.num_edges()
+        )));
+    }
+    Ok((g, labels, generation))
 }
 
 /// Writes a weighted edge list (`u v p` per line), using `labels` to map
@@ -436,6 +667,73 @@ mod tests {
         assert!(err.is_ok(), "independent delete after inserts is fine");
         assert_eq!(d.generation(), 1);
         assert!(!d.has_edge(0, 1));
+    }
+
+    #[test]
+    fn delta_lines_streams_and_fuses_on_error() {
+        let mut it = DeltaLines::new("1 2 0.5\n2 1 -\n3 4 0.1\n".as_bytes());
+        assert_eq!(it.next().unwrap().unwrap(), (1, (1, 2, Some(0.5))));
+        let err = it.next().unwrap().unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        // Fused after the duplicate-key error: line 3 is never yielded.
+        assert!(it.next().is_none());
+        assert!(it.next().is_none());
+    }
+
+    #[test]
+    fn crc32_known_values() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_is_bit_exact() {
+        let g = UncertainGraph::from_weighted_edges(
+            4,
+            &[(0, 1, 0.1 + 0.2), (1, 2, 1.0 / 3.0), (2, 3, 0.75)],
+        );
+        let mut buf = Vec::new();
+        write_graph_checkpoint(&mut buf, &g, &[7, 8, 9, 10], 42).unwrap();
+        let (g2, labels, generation) = read_graph_checkpoint(buf.as_slice()).unwrap();
+        assert_eq!(generation, 42);
+        assert_eq!(labels, vec![7, 8, 9, 10]);
+        assert_eq!(g2.num_nodes(), 4);
+        for (i, &(u, v)) in g.graph().edges().iter().enumerate() {
+            // Bit-exact probabilities, not just approximately equal.
+            assert_eq!(
+                g2.edge_prob(u, v).map(f64::to_bits),
+                Some(g.prob(i).to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_corruption() {
+        let g = UncertainGraph::from_weighted_edges(2, &[(0, 1, 0.5)]);
+        let mut buf = Vec::new();
+        write_graph_checkpoint(&mut buf, &g, &[1, 2], 3).unwrap();
+        // Flip one byte anywhere in the body: CRC must catch it.
+        for at in [0, 9, buf.len() / 2, buf.len() - 5] {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x40;
+            assert!(
+                matches!(
+                    read_graph_checkpoint(bad.as_slice()),
+                    Err(IoError::Corrupt(_))
+                ),
+                "byte flip at {at} not detected"
+            );
+        }
+        // Truncations (torn writes) are also rejected.
+        for cut in [0, 4, buf.len() - 1] {
+            assert!(matches!(
+                read_graph_checkpoint(&buf[..cut]),
+                Err(IoError::Corrupt(_))
+            ));
+        }
     }
 
     #[test]
