@@ -1,0 +1,484 @@
+//! Per-request flight recorder: trace ids, in-flight introspection, and
+//! retained rings of completed and slow requests.
+//!
+//! The [`FlightRecorder`] is the request-scoped complement to the
+//! fleet-level aggregates in [`crate::hist`]/[`crate::trace`]: every
+//! request is minted a process-unique trace id ([`TraceIdGen`]), registered
+//! while in flight (so a live `/debug/requests` endpoint can show its age
+//! and the stage it is executing right now), and on completion folded into
+//! a bounded ring of recent [`TraceRecord`]s. Requests whose wall time
+//! crosses a configurable threshold are additionally promoted into a
+//! separate slow-query ring that survives much longer than the completed
+//! ring under load, so a latency spike stays debuggable after the fact.
+//!
+//! Concurrency: the in-flight table is sharded by trace id across
+//! [`SHARDS`] mutexes (a request takes exactly two uncontended-in-practice
+//! lock acquisitions, registration and completion); the completed and slow
+//! rings are each a single mutex around a `VecDeque`, touched once per
+//! completion. No lock is held across a clock read or an allocation larger
+//! than one record. Crucially, in-flight requests live in the shard maps —
+//! not the rings — so ring eviction can never drop a request that has not
+//! finished (see `tests/flight_prop.rs`).
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::trace::{Recorder, Stage, StageTotals};
+
+/// Number of in-flight table shards (must be a power of two).
+pub const SHARDS: usize = 16;
+
+/// Formats a trace id the way every surface of the workspace emits it:
+/// 16 lowercase hex digits (`X-Trace-Id` header, access log, `/debug/*`
+/// JSON, and Prometheus exemplar labels).
+///
+/// ```
+/// assert_eq!(mpds_obs::flight::format_trace_id(0x2a), "000000000000002a");
+/// ```
+pub fn format_trace_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a trace id previously rendered by [`format_trace_id`]: exactly 16
+/// lowercase hex digits.
+///
+/// ```
+/// use mpds_obs::flight::{format_trace_id, parse_trace_id};
+/// assert_eq!(parse_trace_id(&format_trace_id(u64::MAX)), Some(u64::MAX));
+/// assert_eq!(parse_trace_id("2a"), None);
+/// assert_eq!(parse_trace_id("00000000000000ZZ"), None);
+/// ```
+pub fn parse_trace_id(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mints process-unique, never-zero trace ids: a seeded counter fed through
+/// a splitmix64 mix, so consecutive requests get well-scattered ids (good
+/// shard distribution, no cross-restart collisions in practice) while the
+/// generator itself is one relaxed `fetch_add`.
+#[derive(Debug)]
+pub struct TraceIdGen {
+    seed: u64,
+    counter: AtomicU64,
+}
+
+impl TraceIdGen {
+    /// Creates a generator from an explicit seed (tests pass a constant for
+    /// reproducible ids).
+    pub fn new(seed: u64) -> Self {
+        TraceIdGen {
+            seed,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a generator seeded from the wall clock, so two processes
+    /// booted at different instants mint disjoint id streams.
+    pub fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        TraceIdGen::new(splitmix64(nanos))
+    }
+
+    /// Returns the next trace id (never zero — zero is the "no trace"
+    /// sentinel in [`crate::hist::BucketExemplars`]).
+    pub fn mint(&self) -> u64 {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let id = splitmix64(self.seed ^ n.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        if id == 0 {
+            1
+        } else {
+            id
+        }
+    }
+}
+
+/// Whether a [`TraceRecord`] describes a request that is still executing or
+/// one that has completed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceState {
+    /// The request is registered but [`FlightRecorder::finish`] has not run.
+    InFlight,
+    /// The request completed and was retained in a ring.
+    Completed,
+}
+
+impl TraceState {
+    /// Stable snake_case name used in `/debug/*` JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceState::InFlight => "in_flight",
+            TraceState::Completed => "completed",
+        }
+    }
+}
+
+/// One request's flight record: identity, where it is (or ended up), and
+/// its per-stage time breakdown.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// The request's process-unique trace id.
+    pub trace_id: u64,
+    /// Bounded-cardinality endpoint label (e.g. `query`, `debug`).
+    pub endpoint: String,
+    /// HTTP method, or empty when the request line never parsed.
+    pub method: String,
+    /// The raw request target (path + query string).
+    pub target: String,
+    /// In flight or completed.
+    pub state: TraceState,
+    /// Response status code; `0` while the request is in flight.
+    pub status: u16,
+    /// Wall microseconds: total latency once completed, age so far while in
+    /// flight.
+    pub wall_us: u64,
+    /// The stage the request is executing right now (in-flight only, and
+    /// only when its recorder is enabled).
+    pub current_stage: Option<Stage>,
+    /// Whether the record was promoted into the slow-query ring.
+    pub slow: bool,
+    /// Per-stage wall time and invocation counts recorded so far.
+    pub totals: StageTotals,
+}
+
+#[derive(Debug)]
+struct InFlightEntry {
+    endpoint: String,
+    method: String,
+    target: String,
+    started: Instant,
+    recorder: Arc<Recorder>,
+}
+
+impl InFlightEntry {
+    fn record(&self, trace_id: u64) -> TraceRecord {
+        TraceRecord {
+            trace_id,
+            endpoint: self.endpoint.clone(),
+            method: self.method.clone(),
+            target: self.target.clone(),
+            state: TraceState::InFlight,
+            status: 0,
+            wall_us: crate::micros_since(self.started),
+            current_stage: self.recorder.current_stage(),
+            slow: false,
+            totals: self.recorder.totals(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Ring {
+    cap: usize,
+    buf: VecDeque<TraceRecord>,
+}
+
+impl Ring {
+    fn new(cap: usize) -> Self {
+        Ring {
+            cap,
+            buf: VecDeque::with_capacity(cap.min(1024)),
+        }
+    }
+
+    fn push(&mut self, record: TraceRecord) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(record);
+    }
+
+    /// Newest-first copy of the retained records.
+    fn newest_first(&self) -> Vec<TraceRecord> {
+        self.buf.iter().rev().cloned().collect()
+    }
+
+    fn find(&self, trace_id: u64) -> Option<TraceRecord> {
+        self.buf
+            .iter()
+            .rev()
+            .find(|r| r.trace_id == trace_id)
+            .cloned()
+    }
+}
+
+/// The per-request flight recorder: an in-flight table plus bounded rings
+/// of completed and slow requests.
+///
+/// ```
+/// use std::sync::Arc;
+/// use mpds_obs::flight::{FlightRecorder, TraceState};
+/// use mpds_obs::Recorder;
+///
+/// let f = FlightRecorder::new(true, 8, 8, 1_000_000);
+/// let rec = Arc::new(Recorder::new(true));
+/// f.begin(42, "query", "GET", "/query?dataset=karate", Arc::clone(&rec));
+/// assert_eq!(f.in_flight().len(), 1);
+/// f.finish(42, 200, 123, true);
+/// let trace = f.lookup(42).unwrap();
+/// assert_eq!(trace.state, TraceState::Completed);
+/// assert_eq!(trace.status, 200);
+/// assert!(!trace.slow); // 123 us is under the 1 s threshold
+/// ```
+#[derive(Debug)]
+pub struct FlightRecorder {
+    enabled: bool,
+    slow_threshold_us: u64,
+    shards: Vec<Mutex<HashMap<u64, InFlightEntry>>>,
+    completed: Mutex<Ring>,
+    slow: Mutex<Ring>,
+    slow_promoted: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a flight recorder.
+    ///
+    /// `enabled` gates whether the serving layer records at all (a disabled
+    /// recorder keeps the `/debug/*` endpoints wired but empty);
+    /// `capacity`/`slow_capacity` bound the completed and slow rings;
+    /// `slow_threshold_us` is the promotion threshold for the slow ring.
+    pub fn new(
+        enabled: bool,
+        capacity: usize,
+        slow_capacity: usize,
+        slow_threshold_us: u64,
+    ) -> Self {
+        FlightRecorder {
+            enabled,
+            slow_threshold_us,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            completed: Mutex::new(Ring::new(capacity)),
+            slow: Mutex::new(Ring::new(slow_capacity)),
+            slow_promoted: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the serving layer should register requests here (and hand
+    /// them enabled [`Recorder`]s).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The slow-ring promotion threshold, in microseconds.
+    pub fn slow_threshold_us(&self) -> u64 {
+        self.slow_threshold_us
+    }
+
+    /// Total number of requests ever promoted into the slow ring (a
+    /// monotone counter; the ring itself is bounded).
+    pub fn slow_promoted(&self) -> u64 {
+        self.slow_promoted.load(Ordering::Relaxed)
+    }
+
+    fn shard(&self, trace_id: u64) -> &Mutex<HashMap<u64, InFlightEntry>> {
+        &self.shards[(trace_id % SHARDS as u64) as usize]
+    }
+
+    /// Registers an in-flight request. No-op when the recorder is disabled.
+    /// `recorder` is the request's own stage recorder; its live state backs
+    /// the `current_stage`/partial-totals view in [`FlightRecorder::in_flight`].
+    pub fn begin(
+        &self,
+        trace_id: u64,
+        endpoint: &str,
+        method: &str,
+        target: &str,
+        recorder: Arc<Recorder>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let entry = InFlightEntry {
+            endpoint: endpoint.to_string(),
+            method: method.to_string(),
+            target: target.to_string(),
+            started: Instant::now(),
+            recorder,
+        };
+        self.shard(trace_id).lock().unwrap().insert(trace_id, entry);
+    }
+
+    /// Completes a request: removes it from the in-flight table and retains
+    /// it in the completed ring (and the slow ring when `slow_eligible` and
+    /// `wall_us` crosses the threshold — self-observation traffic like
+    /// `/debug/*` and `/metrics` passes `slow_eligible = false`).
+    ///
+    /// Returns whether the request was promoted as slow. Unknown trace ids
+    /// (never registered, e.g. while disabled) are a no-op.
+    pub fn finish(&self, trace_id: u64, status: u16, wall_us: u64, slow_eligible: bool) -> bool {
+        let Some(entry) = self.shard(trace_id).lock().unwrap().remove(&trace_id) else {
+            return false;
+        };
+        let slow = slow_eligible && wall_us >= self.slow_threshold_us;
+        let record = TraceRecord {
+            trace_id,
+            endpoint: entry.endpoint,
+            method: entry.method,
+            target: entry.target,
+            state: TraceState::Completed,
+            status,
+            wall_us,
+            current_stage: None,
+            slow,
+            totals: entry.recorder.totals(),
+        };
+        if slow {
+            self.slow_promoted.fetch_add(1, Ordering::Relaxed);
+            self.slow.lock().unwrap().push(record.clone());
+        }
+        self.completed.lock().unwrap().push(record);
+        slow
+    }
+
+    /// Every currently in-flight request, sorted by trace id (deterministic
+    /// output for `/debug/requests`), each with its age and current stage.
+    pub fn in_flight(&self) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            out.extend(shard.iter().map(|(&id, entry)| entry.record(id)));
+        }
+        out.sort_by_key(|r| r.trace_id);
+        out
+    }
+
+    /// The retained completed requests, newest first.
+    pub fn completed(&self) -> Vec<TraceRecord> {
+        self.completed.lock().unwrap().newest_first()
+    }
+
+    /// The retained slow requests, newest first.
+    pub fn slow(&self) -> Vec<TraceRecord> {
+        self.slow.lock().unwrap().newest_first()
+    }
+
+    /// Looks a trace id up across the in-flight table, then the slow ring,
+    /// then the completed ring.
+    pub fn lookup(&self, trace_id: u64) -> Option<TraceRecord> {
+        {
+            let shard = self.shard(trace_id).lock().unwrap();
+            if let Some(entry) = shard.get(&trace_id) {
+                return Some(entry.record(trace_id));
+            }
+        }
+        if let Some(r) = self.slow.lock().unwrap().find(trace_id) {
+            return Some(r);
+        }
+        self.completed.lock().unwrap().find(trace_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder() -> Arc<Recorder> {
+        Arc::new(Recorder::new(true))
+    }
+
+    #[test]
+    fn trace_ids_are_unique_nonzero_and_round_trip() {
+        let gen = TraceIdGen::new(7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = gen.mint();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate trace id {id}");
+            assert_eq!(parse_trace_id(&format_trace_id(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn completed_ring_evicts_oldest_only() {
+        let f = FlightRecorder::new(true, 2, 2, u64::MAX);
+        for id in 1..=3u64 {
+            f.begin(id, "query", "GET", "/query", recorder());
+            f.finish(id, 200, id * 10, true);
+        }
+        let ids: Vec<u64> = f.completed().iter().map(|r| r.trace_id).collect();
+        assert_eq!(ids, [3, 2]); // newest first; id 1 evicted
+        assert!(f.lookup(1).is_none());
+        assert_eq!(f.lookup(3).unwrap().wall_us, 30);
+    }
+
+    #[test]
+    fn slow_ring_promotes_past_threshold_and_respects_eligibility() {
+        let f = FlightRecorder::new(true, 4, 4, 1_000);
+        f.begin(1, "query", "GET", "/query", recorder());
+        assert!(!f.finish(1, 200, 999, true)); // under threshold
+        f.begin(2, "query", "GET", "/query", recorder());
+        assert!(f.finish(2, 200, 1_000, true)); // at threshold
+        f.begin(3, "metrics", "GET", "/metrics", recorder());
+        assert!(!f.finish(3, 200, 50_000, false)); // self-traffic excluded
+        let slow = f.slow();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].trace_id, 2);
+        assert!(slow[0].slow);
+        assert_eq!(f.slow_promoted(), 1);
+        // The excluded request still lands in the completed ring.
+        assert_eq!(f.lookup(3).unwrap().status, 200);
+    }
+
+    #[test]
+    fn slow_records_outlive_completed_ring_churn() {
+        let f = FlightRecorder::new(true, 2, 4, 1_000);
+        f.begin(99, "query", "GET", "/query?slow=1", recorder());
+        f.finish(99, 200, 5_000, true);
+        for id in 100..110u64 {
+            f.begin(id, "query", "GET", "/query", recorder());
+            f.finish(id, 200, 10, true);
+        }
+        // Churned out of the completed ring, still resolvable via slow ring.
+        let r = f.lookup(99).unwrap();
+        assert!(r.slow);
+        assert_eq!(r.wall_us, 5_000);
+    }
+
+    #[test]
+    fn in_flight_view_reports_age_stage_and_partial_totals() {
+        let f = FlightRecorder::new(true, 4, 4, u64::MAX);
+        let rec = recorder();
+        f.begin(5, "update", "POST", "/update", Arc::clone(&rec));
+        rec.record_ns(Stage::WalAppend, 1_500);
+        let _live = rec.span(Stage::WalFsync);
+        let inflight = f.in_flight();
+        assert_eq!(inflight.len(), 1);
+        let r = &inflight[0];
+        assert_eq!(r.state, TraceState::InFlight);
+        assert_eq!(r.status, 0);
+        assert_eq!(r.current_stage, Some(Stage::WalFsync));
+        assert_eq!(r.totals.count(Stage::WalAppend), 1);
+        // Same view through lookup.
+        let via_lookup = f.lookup(5).unwrap();
+        assert_eq!(via_lookup.state, TraceState::InFlight);
+    }
+
+    #[test]
+    fn disabled_recorder_registers_nothing() {
+        let f = FlightRecorder::new(false, 4, 4, 0);
+        f.begin(1, "query", "GET", "/query", recorder());
+        assert!(f.in_flight().is_empty());
+        assert!(!f.finish(1, 200, 10_000, true));
+        assert!(f.completed().is_empty());
+        assert!(f.slow().is_empty());
+        assert!(f.lookup(1).is_none());
+    }
+}

@@ -250,6 +250,98 @@ impl HistogramSnapshot {
     }
 }
 
+/// Per-bucket exemplar storage riding alongside a [`Histogram`]: each
+/// bucket remembers the most recent `(trace_id, value)` observation that
+/// landed in it.
+///
+/// Writes are two relaxed stores (no CAS loop); a reader racing a writer
+/// can see a trace id paired with the previous value, which is acceptable
+/// for exemplars — both still point at a real observation in that bucket.
+/// Trace id `0` is the "empty" sentinel, so mint ids starting at 1.
+///
+/// ```
+/// use mpds_obs::{bucket_index, BucketExemplars};
+/// let e = BucketExemplars::new();
+/// e.observe(700, 0x2a);
+/// let snap = e.snapshot();
+/// assert_eq!(snap.get(bucket_index(700)), Some((0x2a, 700)));
+/// assert_eq!(snap.get(0), None);
+/// ```
+#[derive(Debug)]
+pub struct BucketExemplars {
+    trace: [AtomicU64; BUCKETS],
+    value: [AtomicU64; BUCKETS],
+}
+
+impl Default for BucketExemplars {
+    fn default() -> Self {
+        BucketExemplars::new()
+    }
+}
+
+impl BucketExemplars {
+    /// Creates an empty exemplar bank (every bucket unset).
+    pub fn new() -> Self {
+        BucketExemplars {
+            trace: std::array::from_fn(|_| AtomicU64::new(0)),
+            value: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Remembers `trace_id` as the most recent observation of `value` in
+    /// the bucket `value` maps to. A zero `trace_id` is ignored (it is the
+    /// empty sentinel).
+    #[inline]
+    pub fn observe(&self, value: u64, trace_id: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let i = bucket_index(value);
+        self.value[i].store(value, Ordering::Relaxed);
+        self.trace[i].store(trace_id, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of every bucket's exemplar.
+    pub fn snapshot(&self) -> ExemplarSnapshot {
+        let mut slots = [None; BUCKETS];
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let trace = self.trace[i].load(Ordering::Relaxed);
+            if trace != 0 {
+                *slot = Some((trace, self.value[i].load(Ordering::Relaxed)));
+            }
+        }
+        ExemplarSnapshot { slots }
+    }
+}
+
+/// An owned copy of a [`BucketExemplars`] bank: per bucket, the most recent
+/// `(trace_id, value)` pair or `None` if the bucket never saw a traced
+/// observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExemplarSnapshot {
+    slots: [Option<(u64, u64)>; BUCKETS],
+}
+
+impl Default for ExemplarSnapshot {
+    fn default() -> Self {
+        ExemplarSnapshot {
+            slots: [None; BUCKETS],
+        }
+    }
+}
+
+impl ExemplarSnapshot {
+    /// The `(trace_id, value)` exemplar for bucket `i`, if any.
+    pub fn get(&self, i: usize) -> Option<(u64, u64)> {
+        self.slots.get(i).copied().flatten()
+    }
+
+    /// Whether no bucket carries an exemplar.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,6 +393,21 @@ mod tests {
             let est = s.quantile(q);
             assert!(est >= lo as f64 && est <= hi as f64, "q={q} est={est}");
         }
+    }
+
+    #[test]
+    fn exemplars_keep_the_most_recent_trace_per_bucket() {
+        let e = BucketExemplars::new();
+        assert!(e.snapshot().is_empty());
+        e.observe(700, 7);
+        e.observe(900, 9); // same bucket as 700: replaces it
+        e.observe(5, 5);
+        e.observe(42, 0); // zero trace id: ignored
+        let snap = e.snapshot();
+        assert_eq!(snap.get(bucket_index(700)), Some((9, 900)));
+        assert_eq!(snap.get(bucket_index(5)), Some((5, 5)));
+        assert_eq!(snap.get(bucket_index(42)), None);
+        assert!(!snap.is_empty());
     }
 
     #[test]

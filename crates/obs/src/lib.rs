@@ -19,6 +19,11 @@
 //! * [`scrape`] — the inverse direction: flat-JSON key scans and Prometheus
 //!   text parsing used by the load harness and access-log enrichment, so
 //!   every scraper in the workspace shares one tested parser.
+//! * [`flight`] — the per-request flight recorder: trace ids, the in-flight
+//!   table behind `/debug/requests`, and the completed/slow retention rings
+//!   behind `/debug/slow` and `/debug/trace/<id>`.
+//! * [`slo`] — latency/availability objectives per endpoint with
+//!   multi-window burn-rate tracking, exported on `/metrics`.
 //!
 //! ```
 //! use mpds_obs::{Histogram, Recorder, Stage};
@@ -39,13 +44,20 @@
 //! assert_eq!(rec.totals().count(Stage::WorldMaterialize), 1);
 //! ```
 
+pub mod flight;
 pub mod hist;
 pub mod prom;
 pub mod scrape;
+pub mod slo;
 pub mod trace;
 
-pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use flight::{FlightRecorder, TraceIdGen, TraceRecord, TraceState};
+pub use hist::{
+    bucket_bounds, bucket_index, BucketExemplars, ExemplarSnapshot, Histogram, HistogramSnapshot,
+    BUCKETS,
+};
 pub use prom::PromText;
+pub use slo::{SloEngine, SloKind, SloObjective, SloSnapshot};
 pub use trace::{Recorder, Span, Stage, StageTotals};
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};

@@ -7,7 +7,7 @@
 //! [`crate::scrape::prom_histogram`] can reconstruct exact
 //! [`HistogramSnapshot`]s by subtraction.
 
-use crate::hist::{bucket_le, HistogramSnapshot};
+use crate::hist::{bucket_le, ExemplarSnapshot, HistogramSnapshot};
 
 /// The `Content-Type` of the text rendered by [`PromText`].
 pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
@@ -71,6 +71,31 @@ impl PromText {
     /// `_bucket` lines (the overflow bucket as `le="+Inf"`), then `_sum`
     /// and `_count`.
     pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+        self.histogram_impl(name, labels, snap, None);
+    }
+
+    /// Like [`PromText::histogram`], but suffixes each bucket line that has
+    /// an exemplar with OpenMetrics exemplar syntax:
+    /// `… # {trace_id="<16-hex>"} <observed value>`. Buckets without an
+    /// exemplar render exactly as in [`PromText::histogram`], so parsers
+    /// that ignore exemplars see an unchanged exposition.
+    pub fn histogram_with_exemplars(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        exemplars: &ExemplarSnapshot,
+    ) {
+        self.histogram_impl(name, labels, snap, Some(exemplars));
+    }
+
+    fn histogram_impl(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        exemplars: Option<&ExemplarSnapshot>,
+    ) {
         let bucket_name = format!("{name}_bucket");
         let mut cumulative = 0u64;
         for (i, &c) in snap.counts().iter().enumerate() {
@@ -82,10 +107,25 @@ impl PromText {
             self.sample_start(&bucket_name, labels, Some(&le));
             self.out.push(' ');
             self.out.push_str(&cumulative.to_string());
+            if let Some((trace, value)) = exemplars.and_then(|e| e.get(i)) {
+                self.out.push_str(" # {trace_id=\"");
+                self.out.push_str(&crate::flight::format_trace_id(trace));
+                self.out.push_str("\"} ");
+                self.out.push_str(&value.to_string());
+            }
             self.out.push('\n');
         }
         self.sample_u64(&format!("{name}_sum"), labels, snap.sum());
         self.sample_u64(&format!("{name}_count"), labels, cumulative);
+    }
+
+    /// Writes one floating-point sample line (burn rates, ratios). Uses
+    /// Rust's shortest-round-trip float formatting, which is deterministic.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample_start(name, labels, None);
+        self.out.push(' ');
+        self.out.push_str(&value.to_string());
+        self.out.push('\n');
     }
 
     /// Consumes the writer and returns the rendered text.
@@ -162,6 +202,39 @@ mod tests {
         let mut w = PromText::new();
         w.sample_u64("m", &[("d", "a\"b\\c\nd")], 1);
         assert_eq!(w.finish(), "m{d=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+
+    // Pins the exemplar suffix format: only buckets with an exemplar carry
+    // the ` # {trace_id="…"} value` tail; the rest match the plain render.
+    #[test]
+    fn exemplar_suffixes_are_pinned() {
+        use crate::hist::BucketExemplars;
+        let h = Histogram::new();
+        h.record(3);
+        let e = BucketExemplars::new();
+        e.observe(3, 0xbeef);
+        let mut plain = PromText::new();
+        plain.histogram("d_us", &[], &h.snapshot());
+        let mut with = PromText::new();
+        with.histogram_with_exemplars("d_us", &[], &h.snapshot(), &e.snapshot());
+        let (plain, with) = (plain.finish(), with.finish());
+        assert!(with.contains("d_us_bucket{le=\"3\"} 1 # {trace_id=\"000000000000beef\"} 3\n"));
+        // Exactly one line differs, by exactly the exemplar suffix.
+        let diff: Vec<(&str, &str)> = plain
+            .lines()
+            .zip(with.lines())
+            .filter(|(a, b)| a != b)
+            .collect();
+        assert_eq!(diff.len(), 1);
+        assert!(diff[0].1.starts_with(diff[0].0));
+    }
+
+    #[test]
+    fn float_samples_render_shortest_roundtrip() {
+        let mut w = PromText::new();
+        w.sample_f64("m", &[("slo", "query")], 0.25);
+        w.sample_f64("m", &[], 2.0);
+        assert_eq!(w.finish(), "m{slo=\"query\"} 0.25\nm 2\n");
     }
 
     // Pins the histogram text rendering byte-for-byte: bucket alignment,

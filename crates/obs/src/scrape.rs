@@ -59,7 +59,10 @@ fn after_key<'a>(body: &'a str, key: &str) -> Option<&'a str> {
     Some(body[at + needle.len()..].trim_start())
 }
 
-/// One parsed Prometheus sample line: metric name, label pairs, value.
+/// One parsed Prometheus sample line: metric name, label pairs, value, and
+/// (for histogram buckets rendered with
+/// [`crate::prom::PromText::histogram_with_exemplars`]) the attached
+/// exemplar.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PromSample {
     /// Metric name (including any `_bucket`/`_sum`/`_count` suffix).
@@ -68,6 +71,33 @@ pub struct PromSample {
     pub labels: Vec<(String, String)>,
     /// The sample value.
     pub value: f64,
+    /// The OpenMetrics exemplar attached to this sample, if any.
+    pub exemplar: Option<PromExemplar>,
+}
+
+/// An OpenMetrics exemplar parsed from a `… # {labels} value` suffix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromExemplar {
+    /// Exemplar label pairs in order of appearance (e.g. `trace_id`).
+    pub labels: Vec<(String, String)>,
+    /// The exemplar's observed value.
+    pub value: f64,
+}
+
+impl PromExemplar {
+    /// Returns the value of exemplar label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `trace_id` exemplar label parsed back to its integer form, if
+    /// present and well-formed (16 lowercase hex digits).
+    pub fn trace_id(&self) -> Option<u64> {
+        crate::flight::parse_trace_id(self.label("trace_id")?)
+    }
 }
 
 impl PromSample {
@@ -98,12 +128,16 @@ fn parse_line(line: &str) -> Option<PromSample> {
     if line.is_empty() || line.starts_with('#') {
         return None;
     }
-    let (name_labels, value) = line.rsplit_once(' ')?;
-    let value: f64 = match value {
-        "+Inf" => f64::INFINITY,
-        "-Inf" => f64::NEG_INFINITY,
-        v => v.parse().ok()?,
+    // Split off an OpenMetrics exemplar suffix (` # {labels} value`) before
+    // locating the sample value: the suffix's own value would otherwise win
+    // the rsplit. Label *values* could contain " # {" only via escapes,
+    // which the renderer never emits for the metric name/label section.
+    let (line, exemplar) = match line.split_once(" # {") {
+        None => (line, None),
+        Some((main, ex)) => (main, parse_exemplar(ex)),
     };
+    let (name_labels, value) = line.rsplit_once(' ')?;
+    let value = parse_value(value)?;
     let (name, labels) = match name_labels.split_once('{') {
         None => (name_labels.trim().to_string(), Vec::new()),
         Some((name, rest)) => {
@@ -115,6 +149,25 @@ fn parse_line(line: &str) -> Option<PromSample> {
         name,
         labels,
         value,
+        exemplar,
+    })
+}
+
+fn parse_value(value: &str) -> Option<f64> {
+    match value {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        v => v.parse().ok(),
+    }
+}
+
+/// Parses the tail of an exemplar suffix, after the opening `{`:
+/// `trace_id="…"} 813`.
+fn parse_exemplar(rest: &str) -> Option<PromExemplar> {
+    let (labels, value) = rest.split_once("} ")?;
+    Some(PromExemplar {
+        labels: parse_labels(labels)?,
+        value: parse_value(value.trim())?,
     })
 }
 
@@ -253,6 +306,60 @@ pub fn prom_histogram(
     Some(HistogramSnapshot::from_parts(counts, sum))
 }
 
+/// Collects the exemplars attached to histogram `name`'s `_bucket` series
+/// (label-subset matched), as `(bucket index, exemplar)` pairs in bucket
+/// order. Buckets without exemplars are absent.
+///
+/// ```
+/// use mpds_obs::{bucket_index, BucketExemplars, Histogram, PromText};
+/// use mpds_obs::scrape::prom_exemplars;
+/// let h = Histogram::new();
+/// h.record(900);
+/// let e = BucketExemplars::new();
+/// e.observe(900, 0x2a);
+/// let mut w = PromText::new();
+/// w.histogram_with_exemplars("lat_us", &[], &h.snapshot(), &e.snapshot());
+/// let found = prom_exemplars(&w.finish(), "lat_us", &[]);
+/// assert_eq!(found.len(), 1);
+/// assert_eq!(found[0].0, bucket_index(900));
+/// assert_eq!(found[0].1.trace_id(), Some(0x2a));
+/// ```
+pub fn prom_exemplars(
+    text: &str,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Vec<(usize, PromExemplar)> {
+    let bucket_name = format!("{name}_bucket");
+    let mut out = Vec::new();
+    for s in prom_parse(text) {
+        if s.name != bucket_name || !s.matches(labels) {
+            continue;
+        }
+        let Some(le) = s.label("le").map(str::to_string) else {
+            continue;
+        };
+        let Some(ex) = s.exemplar else {
+            continue;
+        };
+        let idx = if le == "+Inf" {
+            BUCKETS - 1
+        } else {
+            let Some(next) = le.parse::<u64>().ok().and_then(|b| b.checked_add(1)) else {
+                continue;
+            };
+            if !next.is_power_of_two() {
+                continue;
+            }
+            next.trailing_zeros() as usize
+        };
+        if idx < BUCKETS {
+            out.push((idx, ex));
+        }
+    }
+    out.sort_by_key(|(i, _)| *i);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +418,44 @@ mod tests {
         assert_eq!(prom_sum(text, "m", &[("src", "MISS")]), Some(4.0));
         assert_eq!(prom_sum(text, "m", &[("src", "NONE")]), None);
         assert_eq!(prom_value(text, "m", &[("src", "HIT")]), Some(3.0));
+    }
+
+    // Exemplar suffixes round-trip: the bucket value/cumulative counts are
+    // untouched (prom_histogram still reconstructs the exact snapshot) and
+    // the trace id + observed value come back out bucket-aligned.
+    #[test]
+    fn exemplar_suffixes_round_trip() {
+        use crate::hist::{bucket_index, BucketExemplars};
+        let h = Histogram::new();
+        for v in [3u64, 900, 900, 70_000] {
+            h.record(v);
+        }
+        let e = BucketExemplars::new();
+        e.observe(900, 0x00ab_cdef_0123_4567);
+        e.observe(70_000, 0x1);
+        let mut w = PromText::new();
+        w.histogram_with_exemplars(
+            "lat",
+            &[("endpoint", "query")],
+            &h.snapshot(),
+            &e.snapshot(),
+        );
+        let text = w.finish();
+
+        // The exemplar suffix must not perturb value parsing.
+        assert_eq!(
+            prom_histogram(&text, "lat", &[("endpoint", "query")]).unwrap(),
+            h.snapshot()
+        );
+        let found = prom_exemplars(&text, "lat", &[("endpoint", "query")]);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].0, bucket_index(900));
+        assert_eq!(found[0].1.trace_id(), Some(0x00ab_cdef_0123_4567));
+        assert_eq!(found[0].1.value, 900.0);
+        assert_eq!(found[1].0, bucket_index(70_000));
+        assert_eq!(found[1].1.trace_id(), Some(0x1));
+        // Label-subset mismatch finds nothing.
+        assert!(prom_exemplars(&text, "lat", &[("endpoint", "batch")]).is_empty());
     }
 
     #[test]

@@ -16,7 +16,10 @@ use std::time::Instant;
 /// `SnapshotResolve`, `CacheProbe`, and `JsonRender` are timed once per
 /// request by the serving engine; `WorldMaterialize`,
 /// `EstimatorAccumulate`, and `StableTracker` are timed once per sampled
-/// world inside the core sampling loop.
+/// world inside the core sampling loop. `WalAppend`, `WalFsync`, and
+/// `StoreCheckpoint` time the durable-store halves of a mutating request;
+/// `RefineRepublish` times the background refinement worker's recompute +
+/// cache republish for a budget-truncated query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Stage {
     /// Resolving the dataset name to a graph snapshot in the registry.
@@ -31,11 +34,20 @@ pub enum Stage {
     StableTracker,
     /// Rendering the response body JSON.
     JsonRender,
+    /// Framing and writing an update batch into the dataset WAL.
+    WalAppend,
+    /// Flushing the WAL to stable storage (`fsync`), per the sync policy.
+    WalFsync,
+    /// Writing a snapshot checkpoint and truncating the WAL behind it.
+    StoreCheckpoint,
+    /// Background refinement: recompute plus cache republish of a
+    /// budget-truncated result.
+    RefineRepublish,
 }
 
 impl Stage {
     /// Number of stages (the length of [`Stage::ALL`]).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 10;
 
     /// Every stage, in execution order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -45,6 +57,10 @@ impl Stage {
         Stage::EstimatorAccumulate,
         Stage::StableTracker,
         Stage::JsonRender,
+        Stage::WalAppend,
+        Stage::WalFsync,
+        Stage::StoreCheckpoint,
+        Stage::RefineRepublish,
     ];
 
     /// The stage's stable snake_case name, used in `?profile=1` blocks and
@@ -57,6 +73,10 @@ impl Stage {
             Stage::EstimatorAccumulate => "estimator_accumulate",
             Stage::StableTracker => "stable_tracker",
             Stage::JsonRender => "json_render",
+            Stage::WalAppend => "wal_append",
+            Stage::WalFsync => "wal_fsync",
+            Stage::StoreCheckpoint => "store_checkpoint",
+            Stage::RefineRepublish => "refine_republish",
         }
     }
 
@@ -88,6 +108,9 @@ pub struct Recorder {
     enabled: bool,
     total_ns: [AtomicU64; Stage::COUNT],
     count: [AtomicU64; Stage::COUNT],
+    // Stage index + 1 of the innermost live span; 0 when idle. Lets the
+    // flight recorder report what an in-flight request is doing right now.
+    current: AtomicU64,
 }
 
 impl Default for Recorder {
@@ -106,6 +129,7 @@ impl Recorder {
             enabled,
             total_ns: std::array::from_fn(|_| AtomicU64::new(0)),
             count: std::array::from_fn(|_| AtomicU64::new(0)),
+            current: AtomicU64::new(0),
         }
     }
 
@@ -121,11 +145,25 @@ impl Recorder {
     #[must_use = "the span records its stage when dropped"]
     pub fn span(&self, stage: Stage) -> Span<'_> {
         if self.enabled {
+            let prev = self
+                .current
+                .swap(stage.index() as u64 + 1, Ordering::Relaxed);
             Span {
-                active: Some((self, stage, Instant::now())),
+                active: Some((self, stage, Instant::now(), prev)),
             }
         } else {
             Span { active: None }
+        }
+    }
+
+    /// The stage the innermost live [`Span`] is timing right now, or `None`
+    /// when no span is active (or the recorder is disabled).
+    pub fn current_stage(&self) -> Option<Stage> {
+        let marker = self.current.load(Ordering::Relaxed);
+        if marker == 0 {
+            None
+        } else {
+            Stage::ALL.get(marker as usize - 1).copied()
         }
     }
 
@@ -162,14 +200,15 @@ impl Recorder {
 /// its stage when dropped (inert when the recorder is disabled).
 #[derive(Debug)]
 pub struct Span<'a> {
-    active: Option<(&'a Recorder, Stage, Instant)>,
+    active: Option<(&'a Recorder, Stage, Instant, u64)>,
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
-        if let Some((rec, stage, start)) = self.active.take() {
+        if let Some((rec, stage, start, prev)) = self.active.take() {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             rec.record_ns(stage, ns);
+            rec.current.store(prev, Ordering::Relaxed);
         }
     }
 }
@@ -242,7 +281,7 @@ mod tests {
                 let local = Arc::clone(local);
                 scope.spawn(move || {
                     for i in 0..5_000u64 {
-                        let stage = Stage::ALL[(i % 6) as usize];
+                        let stage = Stage::ALL[(i as usize) % Stage::COUNT];
                         shared.record_ns(stage, i);
                         local.record_ns(stage, i);
                     }
@@ -259,6 +298,25 @@ mod tests {
     }
 
     #[test]
+    fn current_stage_tracks_nested_spans() {
+        let rec = Recorder::new(true);
+        assert_eq!(rec.current_stage(), None);
+        {
+            let _outer = rec.span(Stage::WorldMaterialize);
+            assert_eq!(rec.current_stage(), Some(Stage::WorldMaterialize));
+            {
+                let _inner = rec.span(Stage::WalFsync);
+                assert_eq!(rec.current_stage(), Some(Stage::WalFsync));
+            }
+            assert_eq!(rec.current_stage(), Some(Stage::WorldMaterialize));
+        }
+        assert_eq!(rec.current_stage(), None);
+        let disabled = Recorder::new(false);
+        let _s = disabled.span(Stage::JsonRender);
+        assert_eq!(disabled.current_stage(), None);
+    }
+
+    #[test]
     fn stage_names_are_stable() {
         let names: Vec<&str> = Stage::ALL.iter().map(|s| s.as_str()).collect();
         assert_eq!(
@@ -269,7 +327,11 @@ mod tests {
                 "world_materialize",
                 "estimator_accumulate",
                 "stable_tracker",
-                "json_render"
+                "json_render",
+                "wal_append",
+                "wal_fsync",
+                "store_checkpoint",
+                "refine_republish"
             ]
         );
     }

@@ -37,11 +37,22 @@
 //!   --dataset NAME=PATH   register an edge-list file (repeatable)
 //!   --mutable             serve POST /update (off by default)
 //!   --access-log PATH     append one JSON line per request (off by default)
-//!   --slow-ms N           echo requests taking ≥ N ms to stderr (off by default)
+//!   --slow-ms N           echo requests taking ≥ N ms to stderr, and promote
+//!                         them into the /debug/slow ring (ring threshold
+//!                         defaults to 1000 ms when this flag is off)
 //!   --data-dir PATH       persist datasets (WAL + checkpoints) under PATH and
 //!                         recover them on boot (off by default)
 //!   --wal-sync MODE       commit = fsync per accepted batch (default),
 //!                         interval = coalesce fsyncs to about one per second
+//!   --no-flight           disable the per-request flight recorder (/debug/*
+//!                         rings stay empty; X-Trace-Id is still returned)
+//!   --flight-capacity N   completed-request ring size   [default 256]
+//!   --slow-capacity N     slow-query ring size          [default 64]
+//!   --slo SPEC            score an SLO (repeatable):
+//!                         ENDPOINT:latency:MILLIS:TARGET or
+//!                         ENDPOINT:availability:TARGET; replaces the default
+//!                         set (query latency 250ms@0.99, query/update
+//!                         availability@0.999)
 //!
 //! update options:
 //!   --dataset NAME        target dataset            (required)
@@ -135,6 +146,10 @@ struct ServeOptions {
     slow_ms: Option<u64>,
     data_dir: Option<String>,
     wal_sync: SyncPolicy,
+    flight: bool,
+    flight_capacity: usize,
+    slow_capacity: usize,
+    slo: Vec<mpds_obs::SloObjective>,
 }
 
 #[derive(Debug)]
@@ -322,10 +337,14 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
         slow_ms: None,
         data_dir: None,
         wal_sync: SyncPolicy::Commit,
+        flight: true,
+        flight_capacity: 256,
+        slow_capacity: 64,
+        slo: Vec::new(),
     };
     let mut seen = SeenFlags::new();
     while let Some(flag) = args.next() {
-        if flag != "--dataset" {
+        if flag != "--dataset" && flag != "--slo" {
             seen.check(&flag)?;
         }
         let mut val = |name: &str| {
@@ -378,6 +397,26 @@ fn parse_serve_args(mut args: impl Iterator<Item = String>) -> Result<ServeOptio
                 )
             }
             "--data-dir" => o.data_dir = Some(val("--data-dir")?),
+            "--no-flight" => o.flight = false,
+            "--flight-capacity" => {
+                o.flight_capacity = val("--flight-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--flight-capacity: {e}"))?
+            }
+            "--slow-capacity" => {
+                o.slow_capacity = val("--slow-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--slow-capacity: {e}"))?
+            }
+            "--slo" => {
+                let spec = val("--slo")?;
+                let objective =
+                    mpds_obs::SloObjective::parse_spec(&spec).map_err(|e| format!("--slo: {e}"))?;
+                if o.slo.iter().any(|s| s.name == objective.name) {
+                    return Err(format!("duplicate SLO {:?}", objective.name));
+                }
+                o.slo.push(objective);
+            }
             "--wal-sync" => {
                 // Fail fast on the value, before any socket or file I/O.
                 o.wal_sync = SyncPolicy::parse(&val("--wal-sync")?)
@@ -643,6 +682,14 @@ fn serve_command(o: &ServeOptions) -> Result<(), String> {
         mutable: o.mutable,
         access_log: o.access_log.as_ref().map(std::path::PathBuf::from),
         slow_ms: o.slow_ms,
+        flight: o.flight,
+        flight_capacity: o.flight_capacity,
+        slow_capacity: o.slow_capacity,
+        slo: if o.slo.is_empty() {
+            mpds_service::http::default_slo_objectives()
+        } else {
+            o.slo.clone()
+        },
         ..ServerConfig::default()
     };
     let server =
@@ -1121,6 +1168,53 @@ mod tests {
             .unwrap_err()
             .contains("--slow-ms"));
         assert!(parse_serve(&["serve", "--slow-ms", "1", "--slow-ms", "2"])
+            .unwrap_err()
+            .contains("duplicate option"));
+    }
+
+    #[test]
+    fn serve_flight_and_slo_flags() {
+        let o = parse_serve(&["serve"]).unwrap();
+        assert!(o.flight);
+        assert_eq!(o.flight_capacity, 256);
+        assert_eq!(o.slow_capacity, 64);
+        assert!(o.slo.is_empty());
+        let o = parse_serve(&[
+            "serve",
+            "--no-flight",
+            "--flight-capacity",
+            "16",
+            "--slow-capacity",
+            "4",
+            "--slo",
+            "query:latency:100:0.95",
+            "--slo",
+            "update:availability:0.999",
+        ])
+        .unwrap();
+        assert!(!o.flight);
+        assert_eq!(o.flight_capacity, 16);
+        assert_eq!(o.slow_capacity, 4);
+        assert_eq!(o.slo.len(), 2);
+        assert_eq!(o.slo[0].name, "query-latency-100ms");
+        assert_eq!(o.slo[1].name, "update-availability");
+        assert!(parse_serve(&["serve", "--flight-capacity", "many"])
+            .unwrap_err()
+            .contains("--flight-capacity"));
+        assert!(parse_serve(&["serve", "--slo", "query:nonsense"])
+            .unwrap_err()
+            .contains("--slo"));
+        // --slo is repeatable, but derived names must be unique.
+        assert!(parse_serve(&[
+            "serve",
+            "--slo",
+            "query:availability:0.9",
+            "--slo",
+            "query:availability:0.99",
+        ])
+        .unwrap_err()
+        .contains("duplicate SLO"));
+        assert!(parse_serve(&["serve", "--no-flight", "--no-flight"])
             .unwrap_err()
             .contains("duplicate option"));
     }

@@ -8,7 +8,7 @@
 //!           [--churn] [--updates N] [--batch-edges N] [--reads-per-round N]
 //!           [--batch] [--members N] [--rounds N]
 //!           [--anytime] [--window N] [--budget-ms N]
-//!           [--obs]
+//!           [--obs] [--flight]
 //!           [--kill-recover --server-bin PATH --data-dir PATH]
 //!           [--rounds-before N] [--rounds-after N]
 //! ```
@@ -45,6 +45,13 @@
 //! `?profile=1` probe asserting stage timings appear without perturbing the
 //! cached body.
 //!
+//! `--flight` instead drives the flight-recorder harness (emits
+//! `BENCH_pr10.json`). It needs no running server: it binds two in-process
+//! servers — flight recorder enabled vs disabled — drives the identical
+//! cold/repeat workload against both, and probes the enabled one's
+//! `/debug/requests`, `/debug/slow`, and `/debug/trace/<id>` endpoints,
+//! resolving a Prometheus histogram exemplar to a per-stage breakdown.
+//!
 //! `--kill-recover` instead drives the durability harness (emits
 //! `BENCH_pr9.json`). Unlike the other modes it spawns the server itself
 //! (`--server-bin` must point at an `mpds-cli` binary, `--data-dir` at the
@@ -55,6 +62,8 @@
 //! `--check` turns the report's invariants into an exit code (the CI
 //! `service-smoke` / `churn-smoke` / `batch-smoke` / `anytime-smoke` /
 //! `obs-smoke` / `durability-smoke` gates): zero non-2xx responses plus, in
+//! flight mode, an enabled/disabled throughput ratio of at least 0.95 with
+//! every debug probe and the exemplar resolution holding — and, in
 //! read mode, bytewise-identical repeat bodies and a repeat-phase cache hit
 //! rate above 0.9 — in churn mode, strictly monotone generations — in batch
 //! mode, an amortization ratio of at least 2 and all follow-up point
@@ -67,7 +76,8 @@
 //! canonical read and gap-free post-restart generations.
 
 use mpds_service::harness::{
-    self, AnytimeConfig, BatchConfig, ChurnConfig, HarnessConfig, KillRecoverConfig, ObsConfig,
+    self, AnytimeConfig, BatchConfig, ChurnConfig, FlightConfig, HarnessConfig, KillRecoverConfig,
+    ObsConfig,
 };
 use std::net::ToSocketAddrs;
 use std::process::ExitCode;
@@ -90,6 +100,7 @@ fn main() -> ExitCode {
     let mut window = AnytimeConfig::default().window;
     let mut budget_ms = AnytimeConfig::default().budget_ms;
     let mut obs = false;
+    let mut flight = false;
     let mut kill_recover = false;
     let mut server_bin: Option<String> = None;
     let mut data_dir: Option<String> = None;
@@ -97,6 +108,7 @@ fn main() -> ExitCode {
     let mut rounds_before = kr_defaults.rounds_before_kill;
     let mut rounds_after = kr_defaults.rounds_after_restart;
     let mut theta_set = false;
+    let mut rounds_set = false;
 
     let mut args = std::env::args().skip(1);
     let fail = |msg: String| -> ExitCode {
@@ -106,7 +118,7 @@ fn main() -> ExitCode {
              [--server-threads N] [--dataset D] [--theta N] [--k N] [--out PATH] \
              [--wait-secs S] [--check] [--churn] [--updates N] [--batch-edges N] \
              [--reads-per-round N] [--batch] [--members N] [--rounds N] \
-             [--anytime] [--window N] [--budget-ms N] [--obs] \
+             [--anytime] [--window N] [--budget-ms N] [--obs] [--flight] \
              [--kill-recover --server-bin PATH --data-dir PATH] \
              [--rounds-before N] [--rounds-after N]"
         );
@@ -155,13 +167,17 @@ fn main() -> ExitCode {
                 }
                 "--batch" => batch = true,
                 "--members" => members = val("--members")?.parse().map_err(|e| format!("{e}"))?,
-                "--rounds" => rounds = val("--rounds")?.parse().map_err(|e| format!("{e}"))?,
+                "--rounds" => {
+                    rounds = val("--rounds")?.parse().map_err(|e| format!("{e}"))?;
+                    rounds_set = true;
+                }
                 "--anytime" => anytime = true,
                 "--window" => window = val("--window")?.parse().map_err(|e| format!("{e}"))?,
                 "--budget-ms" => {
                     budget_ms = val("--budget-ms")?.parse().map_err(|e| format!("{e}"))?
                 }
                 "--obs" => obs = true,
+                "--flight" => flight = true,
                 "--kill-recover" => kill_recover = true,
                 "--server-bin" => server_bin = Some(val("--server-bin")?),
                 "--data-dir" => data_dir = Some(val("--data-dir")?),
@@ -186,20 +202,23 @@ fn main() -> ExitCode {
         Some(a) => a,
         None => return fail(format!("cannot resolve --addr {addr_spec:?}")),
     };
-    if [batch, churn, anytime, obs, kill_recover]
+    if [batch, churn, anytime, obs, flight, kill_recover]
         .iter()
         .filter(|&&m| m)
         .count()
         > 1
     {
         return fail(
-            "--batch, --churn, --anytime, --obs, and --kill-recover are mutually exclusive"
+            "--batch, --churn, --anytime, --obs, --flight, and --kill-recover are mutually \
+             exclusive"
                 .to_string(),
         );
     }
     let out_path = out_path.unwrap_or_else(|| {
         if kill_recover {
             "target/BENCH_pr9.json".to_string()
+        } else if flight {
+            "target/BENCH_pr10.json".to_string()
         } else if obs {
             "target/BENCH_pr8.json".to_string()
         } else if anytime {
@@ -213,9 +232,10 @@ fn main() -> ExitCode {
         }
     });
 
-    // Kill-recover owns the server process itself; every other mode expects
-    // an already-running server at --addr.
-    if !kill_recover {
+    // Kill-recover owns the server process itself, and the flight harness
+    // binds its own in-process pair; every other mode expects an
+    // already-running server at --addr.
+    if !kill_recover && !flight {
         if let Err(e) = harness::wait_until_healthy(cfg.addr, Duration::from_secs(wait_secs)) {
             return fail(e);
         }
@@ -273,6 +293,54 @@ fn main() -> ExitCode {
         );
         (
             harness::render_kill_recover_report(&report),
+            report.violations.clone(),
+        )
+    } else if flight {
+        let defaults = FlightConfig::default();
+        let fcfg = FlightConfig {
+            clients: cfg.clients,
+            queries_per_client: if rounds_set {
+                rounds
+            } else {
+                defaults.queries_per_client
+            },
+            server_threads: cfg.server_threads,
+            dataset: cfg.dataset.clone(),
+            theta: if theta_set { cfg.theta } else { defaults.theta },
+            k: cfg.k,
+        };
+        println!(
+            "flight: {} clients x {} queries/phase against two in-process servers, recorder enabled vs disabled (dataset {}, theta {}, k {})",
+            fcfg.clients, fcfg.queries_per_client, fcfg.dataset, fcfg.theta, fcfg.k
+        );
+        let report = harness::run_flight(&fcfg);
+        for (name, side) in [("enabled", &report.enabled), ("disabled", &report.disabled)] {
+            println!(
+                "  {name:<8} {:>9.1} req/s overall; cold p50 {:>8.3} ms, repeat p50 {:>8.3} ms, {} errors",
+                side.overall_rps,
+                side.cold.p50_ms,
+                side.repeat.p50_ms,
+                side.cold.errors + side.repeat.errors
+            );
+        }
+        println!(
+            "  overhead ratio {:.3} (floor {}), debug/requests {}, slow ring {} records, exemplar {}",
+            report.overhead_ratio,
+            harness::OVERHEAD_RATIO_FLOOR,
+            if report.debug_requests_ok {
+                "ok"
+            } else {
+                "FAILED"
+            },
+            report.debug_slow_len,
+            if report.exemplar_resolved {
+                format!("{} resolved", report.exemplar_trace)
+            } else {
+                "UNRESOLVED".to_string()
+            }
+        );
+        (
+            harness::render_flight_report(&report),
             report.violations.clone(),
         )
     } else if obs {

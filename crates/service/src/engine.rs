@@ -904,16 +904,27 @@ impl QueryEngine {
                     let started = Instant::now();
                     let ctrl = RunControl::unbounded().with_cancel_flag(Arc::clone(&cancel));
                     let sink = Arc::clone(&worlds);
-                    match run_query_with_progress(&job.graph, &job.req, &ctrl, Some(sink as _)) {
-                        Ok(payload) => {
-                            let body =
-                                Arc::new(render_query_response(&job.req, &payload).into_bytes());
-                            cache.insert(job.key.clone(), body);
-                            refined.fetch_add(1, Ordering::Relaxed);
-                            obs.refine_ok.inc();
+                    // Time the whole refine-and-republish pass as its own
+                    // stage, absorbed into the engine-wide totals so the
+                    // background worker shows up on /metrics alongside the
+                    // request-path stages.
+                    let rec = Recorder::new(true);
+                    {
+                        let _span = rec.span(Stage::RefineRepublish);
+                        match run_query_with_progress(&job.graph, &job.req, &ctrl, Some(sink as _))
+                        {
+                            Ok(payload) => {
+                                let body = Arc::new(
+                                    render_query_response(&job.req, &payload).into_bytes(),
+                                );
+                                cache.insert(job.key.clone(), body);
+                                refined.fetch_add(1, Ordering::Relaxed);
+                                obs.refine_ok.inc();
+                            }
+                            Err(_) => obs.refine_failed.inc(),
                         }
-                        Err(_) => obs.refine_failed.inc(),
                     }
+                    obs.stage_totals.absorb(&rec.totals());
                     obs.refine_hist.record(mpds_obs::micros_since(started));
                     refining.lock().unwrap().remove(&job.key);
                     // Depth counts queued + in-progress jobs; the job is
@@ -988,8 +999,24 @@ impl QueryEngine {
     /// per-stage timings of this evaluation. Profiled timings are also
     /// absorbed into the engine-wide [`EngineObs::stage_totals`].
     pub fn execute_traced(&self, req: &QueryRequest) -> Result<TracedResponse, QueryError> {
+        self.execute_traced_with(req, None)
+    }
+
+    /// [`Self::execute_traced`] against a caller-supplied recorder (the HTTP
+    /// front end's per-request flight recorder). When the caller's recorder
+    /// is enabled the evaluation is timed into it — so `/debug/trace/<id>`
+    /// shows per-stage breakdowns for every request, profiled or not; when
+    /// it is absent or disabled, `?profile=1` still mints its own.
+    pub fn execute_traced_with(
+        &self,
+        req: &QueryRequest,
+        caller_rec: Option<&Arc<Recorder>>,
+    ) -> Result<TracedResponse, QueryError> {
         req.validate().map_err(QueryError::BadRequest)?;
-        let rec = req.profile.then(|| Arc::new(Recorder::new(true)));
+        let rec = match caller_rec {
+            Some(r) if r.is_enabled() => Some(Arc::clone(r)),
+            _ => req.profile.then(|| Arc::new(Recorder::new(true))),
+        };
         // Resolve the dataset snapshot up front: its generation is part of
         // the cache key, and the computation below runs against exactly
         // this snapshot even if a writer swaps in a newer generation
@@ -1005,12 +1032,18 @@ impl QueryEngine {
             .timeout_ms
             .map(|ms| Instant::now() + Duration::from_millis(ms));
         let (body, source) = self.serve_key(req, &graph, &key, own_deadline, rec.as_ref())?;
-        let profile = rec.map(|r| {
-            let totals = r.totals();
-            self.obs.stage_totals.absorb(&totals);
-            self.obs.profiled.inc();
-            totals
-        });
+        // A flight-only recorder feeds /debug/trace but leaves the profiled
+        // aggregates alone: absorb + count only what ?profile=1 asked for.
+        let profile = if req.profile {
+            rec.map(|r| {
+                let totals = r.totals();
+                self.obs.stage_totals.absorb(&totals);
+                self.obs.profiled.inc();
+                totals
+            })
+        } else {
+            None
+        };
         Ok(TracedResponse {
             body,
             source,
@@ -1364,8 +1397,19 @@ impl QueryEngine {
         dataset: &str,
         mutations: impl std::io::Read,
     ) -> Result<crate::registry::UpdateOutcome, QueryError> {
+        self.apply_update_traced(dataset, mutations, None)
+    }
+
+    /// [`Self::apply_update`] with an optional flight recorder timing the
+    /// store-side stages (WAL append, fsync, compaction checkpoints).
+    pub fn apply_update_traced(
+        &self,
+        dataset: &str,
+        mutations: impl std::io::Read,
+        rec: Option<&Recorder>,
+    ) -> Result<crate::registry::UpdateOutcome, QueryError> {
         self.registry
-            .apply_update(dataset, mutations)
+            .apply_update_traced(dataset, mutations, rec)
             .map_err(QueryError::BadRequest)
     }
 
@@ -1376,8 +1420,18 @@ impl QueryEngine {
         &self,
         dataset: &str,
     ) -> Result<crate::registry::CheckpointOutcome, QueryError> {
+        self.checkpoint_traced(dataset, None)
+    }
+
+    /// [`Self::checkpoint`] with an optional flight recorder timing the
+    /// checkpoint write and its fsyncs.
+    pub fn checkpoint_traced(
+        &self,
+        dataset: &str,
+        rec: Option<&Recorder>,
+    ) -> Result<crate::registry::CheckpointOutcome, QueryError> {
         self.registry
-            .checkpoint_dataset(dataset)
+            .checkpoint_dataset_traced(dataset, rec)
             .map_err(QueryError::BadRequest)
     }
 }

@@ -44,6 +44,16 @@
 //! generation continuity, a byte-identical canonical read across the crash,
 //! and further updates resuming at the very next generation.
 //!
+//! The **flight** harness ([`run_flight`], `mpds-load --flight`, emits
+//! `BENCH_pr10.json`) is self-contained: it binds two in-process servers —
+//! flight recorder enabled vs disabled — runs the identical cold/repeat
+//! workload against both, and gates the enabled/disabled throughput ratio
+//! at [`OVERHEAD_RATIO_FLOOR`]. Against the enabled server it also proves
+//! the introspection loop end to end: `/debug/requests` observing its own
+//! in-flight trace, a populated slow-query ring, and a Prometheus
+//! histogram exemplar resolving through `/debug/trace/<id>` to a
+//! per-stage breakdown.
+//!
 //! The harness is a plain blocking TCP client — no shared state with the
 //! server beyond the socket — so it can drive an in-process loopback
 //! server (tests) or an external `mpds-cli serve` (the CI smoke job)
@@ -54,7 +64,7 @@ use mpds_obs::scrape;
 use mpds_obs::HistogramSnapshot;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Harness parameters.
@@ -102,6 +112,9 @@ pub struct Exchange {
     /// The `X-Cache` response header (`HIT` / `MISS` / `COALESCED`), when
     /// the server sent one.
     pub x_cache: Option<String>,
+    /// The `X-Trace-Id` response header (16 lowercase hex digits), when the
+    /// server sent one.
+    pub trace_id: Option<String>,
 }
 
 /// Latency/throughput summary of one phase.
@@ -157,17 +170,22 @@ fn http_exchange(addr: SocketAddr, request: &[u8], timeout: Duration) -> std::io
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
-    let x_cache = head.lines().skip(1).find_map(|l| {
-        let (k, v) = l.split_once(':')?;
-        k.trim()
-            .eq_ignore_ascii_case("x-cache")
-            .then(|| v.trim().to_string())
-    });
+    let header = |name: &str| {
+        head.lines().skip(1).find_map(|l| {
+            let (k, v) = l.split_once(':')?;
+            k.trim()
+                .eq_ignore_ascii_case(name)
+                .then(|| v.trim().to_string())
+        })
+    };
+    let x_cache = header("x-cache");
+    let trace_id = header("x-trace-id");
     Ok(Exchange {
         status,
         body: raw[header_end + 4..].to_vec(),
         latency,
         x_cache,
+        trace_id,
     })
 }
 
@@ -271,6 +289,7 @@ fn run_phase(
             body: e.into_bytes(),
             latency: elapsed,
             x_cache: None,
+            trace_id: None,
         });
     }
     (all, elapsed)
@@ -1631,6 +1650,393 @@ pub fn render_obs_report(r: &ObsReport) -> String {
     s
 }
 
+/// Flight-recorder harness knobs (`mpds-load --flight`, `BENCH_pr10.json`).
+/// This harness is self-contained: it binds two in-process servers on
+/// ephemeral loopback ports — one with the flight recorder enabled, one
+/// with it disabled — and drives the identical workload against both, so
+/// the enabled/disabled throughput ratio is a same-run, same-machine
+/// measurement.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Concurrent client threads per phase.
+    pub clients: usize,
+    /// Queries per client per phase (cold and repeat each issue this many).
+    pub queries_per_client: usize,
+    /// Worker threads per server.
+    pub server_threads: usize,
+    /// Dataset queried.
+    pub dataset: String,
+    /// Worlds per query.
+    pub theta: usize,
+    /// Result count per query.
+    pub k: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            clients: 8,
+            queries_per_client: 16,
+            server_threads: 4,
+            dataset: "karate".to_string(),
+            theta: 64,
+            k: 3,
+        }
+    }
+}
+
+/// One server's half of the flight harness (enabled or disabled recorder).
+#[derive(Debug, Clone)]
+pub struct FlightSide {
+    /// Cold phase — distinct seeds, every request computes.
+    pub cold: PhaseStats,
+    /// Repeat phase — one identical query, served from cache after the
+    /// first computation.
+    pub repeat: PhaseStats,
+    /// Total requests over total wall clock across both phases.
+    pub overall_rps: f64,
+}
+
+/// Full flight-recorder harness outcome (`BENCH_pr10.json`).
+#[derive(Debug, Clone)]
+pub struct FlightReport {
+    /// Configuration echo.
+    pub config: FlightConfig,
+    /// The flight-recorder-enabled server's phases.
+    pub enabled: FlightSide,
+    /// The flight-recorder-disabled server's phases.
+    pub disabled: FlightSide,
+    /// `enabled.overall_rps / disabled.overall_rps` — the overhead gate.
+    /// `--check` demands at least [`OVERHEAD_RATIO_FLOOR`].
+    pub overhead_ratio: f64,
+    /// Whether `GET /debug/requests` showed its own trace id in flight (the
+    /// debug request registers before it routes, so it must observe itself).
+    pub debug_requests_ok: bool,
+    /// Records retained in the slow-query ring after the load (the harness
+    /// runs the enabled server with a zero slow threshold, so every query
+    /// must have been promoted).
+    pub debug_slow_len: u64,
+    /// The histogram exemplar trace id (16 hex digits) that resolved via
+    /// `GET /debug/trace/<id>`; empty when none resolved.
+    pub exemplar_trace: String,
+    /// Whether an exemplar from the highest occupied `/metrics` latency
+    /// bucket resolved to a full per-stage breakdown.
+    pub exemplar_resolved: bool,
+    /// Hard failures: non-2xx responses, a debug endpoint not honoring its
+    /// contract, an unresolvable exemplar, or overhead past the gate. Empty
+    /// means `--check` holds.
+    pub violations: Vec<String>,
+}
+
+/// Minimum allowed `enabled/disabled` throughput ratio: the flight recorder
+/// may cost at most 5% under the harness workload.
+pub const OVERHEAD_RATIO_FLOOR: f64 = 0.95;
+
+/// Binds one in-process server over the builtin datasets for the flight
+/// harness. `slow_ms = 0` on both sides keeps the workload symmetric (the
+/// stderr slow echo fires identically) while guaranteeing the enabled
+/// side's slow ring actually exercises promotion.
+fn bind_flight_server(cfg: &FlightConfig, flight: bool) -> std::io::Result<crate::Server> {
+    let engine = Arc::new(crate::QueryEngine::new(
+        crate::GraphRegistry::with_builtins(),
+        &crate::EngineConfig::default(),
+    ));
+    let server_cfg = crate::ServerConfig {
+        threads: cfg.server_threads,
+        slow_ms: Some(0),
+        flight,
+        ..crate::ServerConfig::default()
+    };
+    crate::Server::bind("127.0.0.1:0", engine, &server_cfg)
+}
+
+/// Runs both measured phases against `addr` and returns the side summary.
+fn run_flight_side(cfg: &FlightConfig, addr: SocketAddr) -> FlightSide {
+    let per_client = cfg.queries_per_client.max(1);
+    let base = format!(
+        "/query?dataset={}&theta={}&k={}",
+        cfg.dataset, cfg.theta, cfg.k
+    );
+    let phase_cfg = HarnessConfig {
+        addr,
+        clients: cfg.clients,
+        requests_per_client: per_client,
+        server_threads: cfg.server_threads,
+        dataset: cfg.dataset.clone(),
+        theta: cfg.theta,
+        k: cfg.k,
+    };
+    // Untimed warmup so neither side pays one-time costs (lazy estimator
+    // paths, allocator growth) inside its measured window.
+    let _ = run_phase(&phase_cfg, 1, |c, _| format!("{base}&seed={}", 900_000 + c));
+    let (cold_ex, cold_elapsed) = run_phase(&phase_cfg, per_client, |c, i| {
+        format!("{base}&seed={}", 100_000 + (c * per_client + i) as u64)
+    });
+    let (repeat_ex, repeat_elapsed) =
+        run_phase(&phase_cfg, per_client, |_, _| format!("{base}&seed=7777"));
+    let total = (cold_ex.len() + repeat_ex.len()) as f64;
+    let elapsed = (cold_elapsed + repeat_elapsed).as_secs_f64().max(1e-9);
+    FlightSide {
+        cold: phase_stats(&cold_ex, cold_elapsed),
+        repeat: phase_stats(&repeat_ex, repeat_elapsed),
+        overall_rps: total / elapsed,
+    }
+}
+
+/// Runs the flight-recorder harness: two in-process servers (recorder
+/// enabled vs disabled), the same cold/repeat workload against both, and
+/// three end-to-end introspection checks against the enabled one:
+///
+/// * `GET /debug/requests` must list its own trace id as in flight (the
+///   request registers with the flight recorder before routing, so the
+///   snapshot it renders always contains itself — a deterministic "live
+///   requests are visible" probe);
+/// * `GET /debug/slow` must be non-empty — the harness runs with a zero
+///   slow threshold, so every query is promoted into the slow ring;
+/// * an exemplar trace id scraped off the highest occupied bucket of the
+///   Prometheus `/query` latency histogram must resolve through
+///   `GET /debug/trace/<id>` to a completed record with a non-empty
+///   per-stage breakdown.
+///
+/// The `--check` gate additionally demands zero non-2xx responses on both
+/// sides and an enabled/disabled overall-throughput ratio of at least
+/// [`OVERHEAD_RATIO_FLOOR`].
+pub fn run_flight(cfg: &FlightConfig) -> FlightReport {
+    let mut violations = Vec::new();
+
+    let mut enabled_server = match bind_flight_server(cfg, true) {
+        Ok(s) => s,
+        Err(e) => {
+            return flight_failure(cfg, format!("bind flight-enabled server: {e}"));
+        }
+    };
+    let enabled_addr = enabled_server.local_addr();
+    let enabled = run_flight_side(cfg, enabled_addr);
+
+    // Introspection probes run against the enabled server while its rings
+    // still hold the measured workload (the repeat phase is the newest
+    // traffic, so its records cannot have been evicted yet).
+    let timeout = Duration::from_secs(30);
+    let mut debug_requests_ok = false;
+    match http_get(enabled_addr, "/debug/requests", timeout) {
+        Ok(e) if e.status == 200 => match &e.trace_id {
+            Some(id) if String::from_utf8_lossy(&e.body).contains(id.as_str()) => {
+                debug_requests_ok = true;
+            }
+            Some(id) => violations.push(format!(
+                "/debug/requests did not list its own in-flight trace {id}"
+            )),
+            None => violations.push("/debug/requests response carried no X-Trace-Id".to_string()),
+        },
+        Ok(e) => violations.push(format!("/debug/requests: status {}", e.status)),
+        Err(e) => violations.push(format!("/debug/requests: {e}")),
+    }
+
+    let mut debug_slow_len = 0u64;
+    match http_get(enabled_addr, "/debug/slow", timeout) {
+        Ok(e) if e.status == 200 => {
+            debug_slow_len = String::from_utf8_lossy(&e.body)
+                .matches("\"trace_id\"")
+                .count() as u64;
+            if debug_slow_len == 0 {
+                violations
+                    .push("/debug/slow is empty although the slow threshold was zero".to_string());
+            }
+        }
+        Ok(e) => violations.push(format!("/debug/slow: status {}", e.status)),
+        Err(e) => violations.push(format!("/debug/slow: {e}")),
+    }
+
+    let (exemplar_trace, exemplar_resolved) =
+        resolve_exemplar(enabled_addr, timeout, &mut violations);
+
+    enabled_server.shutdown();
+    drop(enabled_server);
+
+    let mut disabled_server = match bind_flight_server(cfg, false) {
+        Ok(s) => s,
+        Err(e) => {
+            return flight_failure(cfg, format!("bind flight-disabled server: {e}"));
+        }
+    };
+    let disabled = run_flight_side(cfg, disabled_server.local_addr());
+    disabled_server.shutdown();
+
+    for (side, stats) in [("enabled", &enabled), ("disabled", &disabled)] {
+        for (phase, p) in [("cold", &stats.cold), ("repeat", &stats.repeat)] {
+            if p.errors > 0 {
+                violations.push(format!(
+                    "{side} {phase} phase: {} non-2xx responses",
+                    p.errors
+                ));
+            }
+        }
+    }
+    let overhead_ratio = enabled.overall_rps / disabled.overall_rps.max(1e-9);
+    if overhead_ratio < OVERHEAD_RATIO_FLOOR {
+        violations.push(format!(
+            "flight-enabled throughput is {overhead_ratio:.3}x the disabled server's \
+             (floor {OVERHEAD_RATIO_FLOOR})"
+        ));
+    }
+
+    FlightReport {
+        config: cfg.clone(),
+        enabled,
+        disabled,
+        overhead_ratio,
+        debug_requests_ok,
+        debug_slow_len,
+        exemplar_trace,
+        exemplar_resolved,
+        violations,
+    }
+}
+
+/// Scrapes the enabled server's Prometheus text, walks the `/query` 2xx
+/// latency exemplars from the highest occupied bucket downward, and returns
+/// the first trace id that `GET /debug/trace/<id>` resolves to a record
+/// with a non-empty stage breakdown. Higher buckets first: the slowest
+/// requests are exactly the ones the flight recorder exists to explain.
+fn resolve_exemplar(
+    addr: SocketAddr,
+    timeout: Duration,
+    violations: &mut Vec<String>,
+) -> (String, bool) {
+    let text = match http_get_accept(addr, "/metrics", "text/plain", timeout) {
+        Ok(e) if (200..300).contains(&e.status) => String::from_utf8_lossy(&e.body).into_owned(),
+        Ok(e) => {
+            violations.push(format!("/metrics scrape: status {}", e.status));
+            return (String::new(), false);
+        }
+        Err(e) => {
+            violations.push(format!("/metrics scrape: {e}"));
+            return (String::new(), false);
+        }
+    };
+    let mut exemplars = scrape::prom_exemplars(
+        &text,
+        "mpds_http_request_duration_microseconds",
+        &[("endpoint", "query"), ("status", "2xx")],
+    );
+    if exemplars.is_empty() {
+        violations.push("no exemplars on the /query latency histogram".to_string());
+        return (String::new(), false);
+    }
+    exemplars.sort_by_key(|(bucket, _)| std::cmp::Reverse(*bucket));
+    for (_, ex) in &exemplars {
+        let Some(id) = ex.trace_id() else { continue };
+        let hex = mpds_obs::flight::format_trace_id(id);
+        match http_get(addr, &format!("/debug/trace/{hex}"), timeout) {
+            Ok(e) if e.status == 200 => {
+                let body = String::from_utf8_lossy(&e.body);
+                if body.contains("\"stages\":{\"") {
+                    return (hex, true);
+                }
+            }
+            _ => {}
+        }
+    }
+    violations.push(format!(
+        "none of the {} histogram exemplars resolved via /debug/trace/<id> to a \
+         stage breakdown",
+        exemplars.len()
+    ));
+    (String::new(), false)
+}
+
+/// A report for a harness run that could not even start (bind failure):
+/// zeroed stats plus the one fatal violation, so `--check` still fails
+/// loudly with a written report.
+fn flight_failure(cfg: &FlightConfig, violation: String) -> FlightReport {
+    let empty = PhaseStats {
+        requests: 0,
+        errors: 0,
+        throughput_rps: 0.0,
+        p50_ms: 0.0,
+        p99_ms: 0.0,
+    };
+    let side = FlightSide {
+        cold: empty.clone(),
+        repeat: empty,
+        overall_rps: 0.0,
+    };
+    FlightReport {
+        config: cfg.clone(),
+        enabled: side.clone(),
+        disabled: side,
+        overhead_ratio: 0.0,
+        debug_requests_ok: false,
+        debug_slow_len: 0,
+        exemplar_trace: String::new(),
+        exemplar_resolved: false,
+        violations: vec![violation],
+    }
+}
+
+/// Serializes a flight report in the `BENCH_pr10.json` schema.
+pub fn render_flight_report(r: &FlightReport) -> String {
+    use crate::json::JsonWriter;
+    let mut w = JsonWriter::new();
+    w.begin_object()
+        .field_str("schema", "mpds-service/flight_harness/v1")
+        .field_str(
+            "note",
+            "flight-recorder harness; two in-process servers run the same \
+             workload with the recorder enabled and disabled, so the checked \
+             invariants are same-run: zero non-2xx on both sides, an \
+             enabled/disabled throughput ratio of at least 0.95, \
+             /debug/requests observing its own in-flight trace, a populated \
+             slow-query ring under a zero threshold, and a /metrics histogram \
+             exemplar resolving through /debug/trace/<id> to a per-stage \
+             breakdown",
+        )
+        .key("config")
+        .begin_object()
+        .field_str("dataset", &r.config.dataset)
+        .field_uint("clients", r.config.clients as u64)
+        .field_uint("queries_per_client", r.config.queries_per_client as u64)
+        .field_uint("server_threads", r.config.server_threads as u64)
+        .field_uint("theta", r.config.theta as u64)
+        .field_uint("k", r.config.k as u64)
+        .end_object()
+        .key("servers")
+        .begin_array();
+    for (name, side) in [("enabled", &r.enabled), ("disabled", &r.disabled)] {
+        w.begin_object()
+            .field_str("flight", name)
+            .field_float("overall_rps", round3(side.overall_rps))
+            .key("phases")
+            .begin_array();
+        for (phase, p) in [("cold", &side.cold), ("repeat", &side.repeat)] {
+            w.begin_object()
+                .field_str("name", phase)
+                .field_uint("requests", p.requests as u64)
+                .field_uint("errors", p.errors as u64)
+                .field_float("throughput_rps", round3(p.throughput_rps))
+                .field_float("p50_ms", round3(p.p50_ms))
+                .field_float("p99_ms", round3(p.p99_ms))
+                .end_object();
+        }
+        w.end_array().end_object();
+    }
+    w.end_array()
+        .field_float("overhead_ratio", round3(r.overhead_ratio))
+        .field_bool("debug_requests_ok", r.debug_requests_ok)
+        .field_uint("debug_slow_len", r.debug_slow_len)
+        .field_str("exemplar_trace", &r.exemplar_trace)
+        .field_bool("exemplar_resolved", r.exemplar_resolved)
+        .key("violations")
+        .begin_array();
+    for v in &r.violations {
+        w.string(v);
+    }
+    w.end_array().end_object();
+    let mut s = w.finish();
+    s.push('\n');
+    s
+}
+
 /// Kill-recover harness knobs (`mpds-load --kill-recover`,
 /// `BENCH_pr9.json`). Unlike the other harnesses this one owns the server
 /// process: it spawns `server_bin serve --mutable --data-dir data_dir`,
@@ -2148,6 +2554,45 @@ mod tests {
         assert!(s.contains("\"server\":{\"requests\":32,\"p50_ms\":1.25,\"p99_ms\":8.0}"));
         assert!(s.contains("\"profile_ok\":true"));
         assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn flight_report_renders_with_schema() {
+        let stats = PhaseStats {
+            requests: 128,
+            errors: 0,
+            throughput_rps: 200.0,
+            p50_ms: 1.5,
+            p99_ms: 9.25,
+        };
+        let side = FlightSide {
+            cold: stats.clone(),
+            repeat: stats,
+            overall_rps: 250.125,
+        };
+        let r = FlightReport {
+            config: FlightConfig::default(),
+            enabled: side.clone(),
+            disabled: side,
+            overhead_ratio: 0.987,
+            debug_requests_ok: true,
+            debug_slow_len: 64,
+            exemplar_trace: "00000000000000ab".to_string(),
+            exemplar_resolved: true,
+            violations: vec![],
+        };
+        let s = render_flight_report(&r);
+        assert!(s.contains("\"schema\":\"mpds-service/flight_harness/v1\""));
+        assert!(s.contains("\"flight\":\"enabled\""));
+        assert!(s.contains("\"flight\":\"disabled\""));
+        assert!(s.contains("\"overall_rps\":250.125"));
+        assert!(s.contains("\"overhead_ratio\":0.987"));
+        assert!(s.contains("\"debug_requests_ok\":true"));
+        assert!(s.contains("\"debug_slow_len\":64"));
+        assert!(s.contains("\"exemplar_trace\":\"00000000000000ab\""));
+        assert!(s.contains("\"exemplar_resolved\":true"));
+        assert!(s.ends_with("}\n"));
+        crate::json::JsonValue::parse(&s).expect("flight report parses");
     }
 
     #[test]

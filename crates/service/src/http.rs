@@ -44,7 +44,11 @@ use crate::engine::{
 use crate::json::JsonValue;
 use crate::json::{error_body, JsonWriter};
 use crate::obs::{render_access_record, AccessRecord, Endpoint, HttpObs, SourceLabel};
-use mpds_obs::{scrape, PromText, Stage};
+use mpds_obs::flight::{format_trace_id, parse_trace_id};
+use mpds_obs::{
+    scrape, FlightRecorder, PromText, Recorder, SloEngine, SloObjective, Stage, TraceIdGen,
+    TraceRecord, TraceState,
+};
 use std::collections::VecDeque;
 use std::io::{BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -79,7 +83,38 @@ pub struct ServerConfig {
     pub access_log: Option<PathBuf>,
     /// Echo requests whose wall time reaches this many milliseconds to
     /// stderr (the CLI's `serve --slow-ms N`). `None` disables the slow log.
+    /// This threshold also decides slow-query-ring promotion; when unset the
+    /// ring uses [`DEFAULT_SLOW_THRESHOLD_MS`].
     pub slow_ms: Option<u64>,
+    /// Whether the per-request flight recorder runs (the CLI's
+    /// `serve --no-flight` turns it off). Trace ids are minted and returned
+    /// as `X-Trace-Id` either way; disabling only stops record retention and
+    /// per-stage timing of unprofiled requests.
+    pub flight: bool,
+    /// Completed-request ring capacity (the CLI's `serve --flight-capacity`).
+    pub flight_capacity: usize,
+    /// Slow-query ring capacity (the CLI's `serve --slow-capacity`).
+    pub slow_capacity: usize,
+    /// Service-level objectives scored on every request (the CLI's
+    /// repeatable `serve --slo SPEC`; see [`SloObjective::parse_spec`]).
+    pub slo: Vec<SloObjective>,
+}
+
+/// Slow-query-ring promotion threshold when [`ServerConfig::slow_ms`] is
+/// unset: one second.
+pub const DEFAULT_SLOW_THRESHOLD_MS: u64 = 1_000;
+
+/// The SLOs a server scores when none are configured: p99 of `/query`
+/// under 250 ms, 99.9% availability on `/query` and `/update`.
+pub fn default_slo_objectives() -> Vec<SloObjective> {
+    [
+        "query:latency:250:0.99",
+        "query:availability:0.999",
+        "update:availability:0.999",
+    ]
+    .iter()
+    .map(|s| SloObjective::parse_spec(s).expect("default SLO spec"))
+    .collect()
 }
 
 impl Default for ServerConfig {
@@ -92,6 +127,10 @@ impl Default for ServerConfig {
             mutable: false,
             access_log: None,
             slow_ms: None,
+            flight: true,
+            flight_capacity: 256,
+            slow_capacity: 64,
+            slo: default_slo_objectives(),
         }
     }
 }
@@ -128,6 +167,12 @@ struct ServerState {
     slow_ms: Option<u64>,
     /// Monotonic request-id source for access-log lines.
     next_request_id: AtomicU64,
+    /// Process-unique trace-id source (`X-Trace-Id`).
+    trace_ids: TraceIdGen,
+    /// Per-request flight recorder backing `/debug/*`.
+    flight: FlightRecorder,
+    /// Burn-rate tracking for the configured objectives.
+    slo: SloEngine,
 }
 
 /// A running server; dropping it (or calling [`Server::shutdown`]) stops the
@@ -180,6 +225,16 @@ impl Server {
             access_log,
             slow_ms: cfg.slow_ms,
             next_request_id: AtomicU64::new(0),
+            trace_ids: TraceIdGen::from_entropy(),
+            flight: FlightRecorder::new(
+                cfg.flight,
+                cfg.flight_capacity,
+                cfg.slow_capacity,
+                cfg.slow_ms
+                    .unwrap_or(DEFAULT_SLOW_THRESHOLD_MS)
+                    .saturating_mul(1_000),
+            ),
+            slo: SloEngine::new(cfg.slo.clone()),
         });
         let workers = (0..cfg.threads.max(1))
             .map(|i| {
@@ -293,10 +348,13 @@ fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
             }
             let drain_timeout = state.read_timeout.min(Duration::from_secs(2));
             let thread_state = Arc::clone(state);
+            // Even a shed connection gets a trace id: the 503 body is
+            // anonymous, but the header lets the client report something.
+            let trace_hex = format_trace_id(state.trace_ids.mint());
             let spawned = std::thread::Builder::new()
                 .name("mpds-reject".to_string())
                 .spawn(move || {
-                    respond_overloaded(stream, drain_timeout);
+                    respond_overloaded(stream, drain_timeout, &trace_hex);
                     thread_state.rejecters.fetch_sub(1, Ordering::AcqRel);
                 });
             if spawned.is_err() {
@@ -314,7 +372,7 @@ fn acceptor_loop(listener: &TcpListener, state: &Arc<ServerState>) {
 /// drained first (bounded by a short timeout): closing a socket with unread
 /// received data sends RST, which would destroy the 503 before the client
 /// reads it.
-fn respond_overloaded(mut stream: TcpStream, drain_timeout: Duration) {
+fn respond_overloaded(mut stream: TcpStream, drain_timeout: Duration, trace_hex: &str) {
     let _ = stream.set_read_timeout(Some(drain_timeout));
     let _ = stream.set_write_timeout(Some(drain_timeout));
     let _ = read_request(&mut stream, |_, _| false);
@@ -326,6 +384,7 @@ fn respond_overloaded(mut stream: TcpStream, drain_timeout: Duration) {
         body.as_bytes(),
         None,
         CONTENT_TYPE_JSON,
+        Some(trace_hex),
     );
 }
 
@@ -401,6 +460,14 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     let started = Instant::now();
     state.http_obs.inflight.inc();
     let id = state.next_request_id.fetch_add(1, Ordering::Relaxed) + 1;
+    // Every request gets a process-unique trace id, returned as
+    // `X-Trace-Id` even on parse failures — a client report quoting the
+    // header is enough to find the request in the flight recorder.
+    let trace_id = state.trace_ids.mint();
+    let trace_hex = format_trace_id(trace_id);
+    // The request's own stage recorder; enabled with the flight recorder so
+    // /debug/trace shows per-stage breakdowns without ?profile=1.
+    let rec = Arc::new(Recorder::new(state.flight.is_enabled()));
     // Buffer a request body only for POSTs this server will actually route:
     // /update (when mutable) and /batch. Everything else gets its rejection
     // without the server reading (and holding) up to MAX_BODY
@@ -411,7 +478,14 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
     match read_request(&mut stream, accept_body) {
         Ok(request) => {
             let endpoint = Endpoint::classify(request.target.split('?').next().unwrap_or(""));
-            let resp = route(&request, state);
+            state.flight.begin(
+                trace_id,
+                endpoint.as_str(),
+                &request.method,
+                &request.target,
+                Arc::clone(&rec),
+            );
+            let resp = route(&request, state, &rec);
             let _ = write_response(
                 &mut stream,
                 resp.status,
@@ -419,8 +493,17 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
                 resp.body.as_bytes(),
                 resp.x_cache,
                 resp.content_type,
+                Some(&trace_hex),
             );
-            observe_request(state, id, started, Some(&request.method), endpoint, &resp);
+            observe_request(
+                state,
+                id,
+                trace_id,
+                started,
+                Some(&request.method),
+                endpoint,
+                &resp,
+            );
         }
         Err(msg) => {
             let resp = Response::json(
@@ -435,21 +518,24 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) {
                 resp.body.as_bytes(),
                 resp.x_cache,
                 resp.content_type,
+                Some(&trace_hex),
             );
-            observe_request(state, id, started, None, Endpoint::Other, &resp);
+            observe_request(state, id, trace_id, started, None, Endpoint::Other, &resp);
         }
     }
     state.http_obs.inflight.dec();
 }
 
-/// Records one finished request: latency into the histogram bank, an
-/// optional access-log line, and an optional stderr echo past the slow
-/// threshold. `/query` successes are enriched with `stop_reason` and
-/// `worlds_sampled` scraped back out of the response body through the
-/// shared [`mpds_obs::scrape`] parser.
+/// Records one finished request: latency (with the trace id as the bucket
+/// exemplar) into the histogram bank, SLO verdicts, the flight-recorder
+/// completion, an optional access-log line, and an optional stderr echo
+/// past the slow threshold. `/query` successes are enriched with
+/// `stop_reason` and `worlds_sampled` scraped back out of the response body
+/// through the shared [`mpds_obs::scrape`] parser.
 fn observe_request(
     state: &ServerState,
     id: u64,
+    trace_id: u64,
     started: Instant,
     method: Option<&str>,
     endpoint: Endpoint,
@@ -459,7 +545,16 @@ fn observe_request(
     let source = SourceLabel::from_header(resp.x_cache);
     state
         .http_obs
-        .record(endpoint, source, resp.status, wall_us);
+        .record_traced(endpoint, source, resp.status, wall_us, trace_id);
+    state.slo.record(endpoint.as_str(), resp.status, wall_us);
+    // Self-observation traffic (/metrics scrapes, /debug reads) completes
+    // its flight record but never competes for the slow-query ring.
+    state.flight.finish(
+        trace_id,
+        resp.status,
+        wall_us,
+        !endpoint.is_self_observation(),
+    );
     let slow = state
         .slow_ms
         .is_some_and(|t| wall_us >= t.saturating_mul(1_000));
@@ -475,8 +570,10 @@ fn observe_request(
     } else {
         (None, None)
     };
+    let trace_hex = format_trace_id(trace_id);
     let line = render_access_record(&AccessRecord {
         id,
+        trace_id: Some(&trace_hex),
         endpoint: endpoint.as_str(),
         method,
         status: resp.status,
@@ -601,8 +698,11 @@ fn read_request(
     })
 }
 
-/// Dispatches one request to a [`Response`].
-fn route(request: &Request, state: &ServerState) -> Response {
+/// Dispatches one request to a [`Response`]. `rec` is the request's flight
+/// recorder (disabled when the flight recorder is off) — compute- and
+/// store-side stages are timed into it so `/debug/trace/<id>` can show a
+/// full breakdown.
+fn route(request: &Request, state: &ServerState, rec: &Arc<Recorder>) -> Response {
     let (path, query) = match request.target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (request.target.as_str(), ""),
@@ -636,7 +736,11 @@ fn route(request: &Request, state: &ServerState) -> Response {
             }
             match single_param(query, "dataset") {
                 Err(msg) => bad(msg),
-                Ok(dataset) => match state.engine.apply_update(&dataset, request.body.as_slice()) {
+                Ok(dataset) => match state.engine.apply_update_traced(
+                    &dataset,
+                    request.body.as_slice(),
+                    Some(rec),
+                ) {
                     Ok(outcome) => {
                         state.updates.fetch_add(1, Ordering::Relaxed);
                         let body = crate::engine::render_update_response(&dataset, &outcome);
@@ -667,7 +771,7 @@ fn route(request: &Request, state: &ServerState) -> Response {
             }
             match single_param(query, "dataset") {
                 Err(msg) => bad(msg),
-                Ok(dataset) => match state.engine.checkpoint(&dataset) {
+                Ok(dataset) => match state.engine.checkpoint_traced(&dataset, Some(rec)) {
                     Ok(outcome) => {
                         state.checkpoints.fetch_add(1, Ordering::Relaxed);
                         let body = crate::engine::render_checkpoint_response(&dataset, &outcome);
@@ -767,7 +871,7 @@ fn route(request: &Request, state: &ServerState) -> Response {
                 if req.timeout_ms.is_none() {
                     req.timeout_ms = state.default_timeout.map(|d| d.as_millis() as u64);
                 }
-                match state.engine.execute_traced(&req) {
+                match state.engine.execute_traced_with(&req, Some(rec)) {
                     Ok(t) => {
                         // A profiled response splices the stage timings
                         // into a fresh buffer; the cached `Arc` keeps
@@ -799,6 +903,44 @@ fn route(request: &Request, state: &ServerState) -> Response {
                 Response::json(200, "OK", Body::Text(render_metrics(state)))
             }
         }
+        ("GET", "/debug/requests") => Response::json(
+            200,
+            "OK",
+            Body::Text(render_trace_list("requests", &state.flight.in_flight())),
+        ),
+        ("GET", "/debug/slow") => Response::json(
+            200,
+            "OK",
+            Body::Text(render_trace_list("slow", &state.flight.slow())),
+        ),
+        ("GET", p) if p.starts_with("/debug/trace/") => {
+            let raw = &p["/debug/trace/".len()..];
+            match parse_trace_id(raw) {
+                None => bad(format!(
+                    "bad trace id {raw:?} (expected 16 lowercase hex digits)"
+                )),
+                Some(id) => match state.flight.lookup(id) {
+                    Some(r) => {
+                        let mut w = JsonWriter::new();
+                        w.begin_object();
+                        render_trace_record(&mut w, &r);
+                        w.end_object();
+                        Response::json(200, "OK", Body::Text(w.finish()))
+                    }
+                    None => Response::json(
+                        404,
+                        "Not Found",
+                        Body::Text(error_body(
+                            "not_found",
+                            &format!(
+                                "trace {raw} is not in flight and no longer retained by the \
+                                 completed or slow rings"
+                            ),
+                        )),
+                    ),
+                },
+            }
+        }
         ("GET", _) => Response::json(
             404,
             "Not Found",
@@ -825,6 +967,53 @@ fn query_error_response(e: &QueryError) -> Response {
 fn wants_prometheus(accept: &str) -> bool {
     let a = accept.to_ascii_lowercase();
     a.contains("text/plain") || a.contains("openmetrics") || a.contains("prometheus")
+}
+
+/// Renders `{"<key>":[{record},…]}` for `/debug/requests` and
+/// `/debug/slow`.
+fn render_trace_list(key: &str, records: &[TraceRecord]) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object().key(key).begin_array();
+    for r in records {
+        w.begin_object();
+        render_trace_record(&mut w, r);
+        w.end_object();
+    }
+    w.end_array().end_object();
+    w.finish()
+}
+
+/// Writes one flight record's fields (the caller brackets the object):
+/// identity, state, latency, and the per-stage breakdown — only stages that
+/// actually ran, in the fixed [`Stage::ALL`] order, with the same
+/// microsecond totals `?profile=1` splices into a response body.
+fn render_trace_record(w: &mut JsonWriter, r: &TraceRecord) {
+    w.field_str("trace_id", &format_trace_id(r.trace_id))
+        .field_str("state", r.state.as_str())
+        .field_str("endpoint", &r.endpoint)
+        .field_str("method", &r.method)
+        .field_str("target", &r.target);
+    if r.state == TraceState::Completed {
+        w.field_uint("status", r.status as u64);
+    }
+    w.field_uint("wall_us", r.wall_us)
+        .field_bool("slow", r.slow);
+    if let Some(stage) = r.current_stage {
+        w.field_str("current_stage", stage.as_str());
+    }
+    w.key("stages").begin_object();
+    for stage in Stage::ALL {
+        let count = r.totals.count(stage);
+        if count == 0 {
+            continue;
+        }
+        w.key(stage.as_str())
+            .begin_object()
+            .field_uint("count", count)
+            .field_uint("total_us", r.totals.total_ns(stage) / 1_000)
+            .end_object();
+    }
+    w.end_object();
 }
 
 fn render_datasets(state: &ServerState) -> String {
@@ -899,7 +1088,8 @@ fn render_metrics(state: &ServerState) -> String {
         .field_uint("inflight", state.http_obs.inflight.value().max(0) as u64)
         .field_uint("queue_depth", queue_depth)
         .field_uint("profiled", eobs.profiled.value())
-        .field_uint("checkpoints", state.checkpoints.load(Ordering::Relaxed));
+        .field_uint("checkpoints", state.checkpoints.load(Ordering::Relaxed))
+        .field_uint("slow_queries", state.flight.slow_promoted());
     // Per-dataset dynamic-graph state (loaded datasets only — listing must
     // never force construction).
     w.key("datasets").begin_array();
@@ -959,7 +1149,10 @@ fn render_metrics_prom(state: &ServerState) -> String {
         "End-to-end request wall time by endpoint, cache source, and status class.",
     );
     for (endpoint, source, class, snap) in state.http_obs.series() {
-        p.histogram(
+        // Each bucket line carries the most recent trace id that landed in
+        // it, in Prometheus exemplar syntax — resolvable while retained via
+        // GET /debug/trace/<id>.
+        p.histogram_with_exemplars(
             "mpds_http_request_duration_microseconds",
             &[
                 ("endpoint", endpoint.as_str()),
@@ -967,6 +1160,7 @@ fn render_metrics_prom(state: &ServerState) -> String {
                 ("status", class.as_str()),
             ],
             &snap,
+            &state.http_obs.exemplars(endpoint, source, class),
         );
     }
 
@@ -1058,6 +1252,72 @@ fn render_metrics_prom(state: &ServerState) -> String {
         "Requests served with ?profile=1.",
     );
     p.sample_u64("mpds_profiled_requests_total", &[], eobs.profiled.value());
+
+    p.family(
+        "mpds_slow_queries_total",
+        "counter",
+        "Requests promoted into the slow-query ring (wall time past the threshold).",
+    );
+    p.sample_u64("mpds_slow_queries_total", &[], state.flight.slow_promoted());
+    p.family(
+        "mpds_inflight_traces",
+        "gauge",
+        "Requests currently registered in the flight recorder.",
+    );
+    p.sample_u64(
+        "mpds_inflight_traces",
+        &[],
+        state.flight.in_flight().len() as u64,
+    );
+
+    // SLO burn-rate families: one series per configured objective.
+    let slo_snaps = state.slo.snapshots();
+    p.family(
+        "mpds_slo_requests_total",
+        "counter",
+        "Requests scored against each SLO, by verdict (excluded requests are not counted).",
+    );
+    for s in &slo_snaps {
+        p.sample_u64(
+            "mpds_slo_requests_total",
+            &[("slo", &s.objective.name), ("verdict", "good")],
+            s.good_total,
+        );
+        p.sample_u64(
+            "mpds_slo_requests_total",
+            &[("slo", &s.objective.name), ("verdict", "bad")],
+            s.bad_total,
+        );
+    }
+    p.family(
+        "mpds_slo_burn_rate",
+        "gauge",
+        "Error-budget burn rate per objective (1.0 = burning exactly the budget), over fast and slow windows.",
+    );
+    for s in &slo_snaps {
+        p.sample_f64(
+            "mpds_slo_burn_rate",
+            &[("slo", &s.objective.name), ("window", "5m")],
+            s.burn_fast,
+        );
+        p.sample_f64(
+            "mpds_slo_burn_rate",
+            &[("slo", &s.objective.name), ("window", "1h")],
+            s.burn_slow,
+        );
+    }
+    p.family(
+        "mpds_slo_target",
+        "gauge",
+        "Configured good-fraction target per objective.",
+    );
+    for s in &slo_snaps {
+        p.sample_f64(
+            "mpds_slo_target",
+            &[("slo", &s.objective.name)],
+            s.objective.target,
+        );
+    }
 
     p.family(
         "mpds_cache_requests_total",
@@ -1233,6 +1493,7 @@ fn write_response(
     body: &[u8],
     x_cache: Option<&str>,
     content_type: &str,
+    trace: Option<&str>,
 ) -> std::io::Result<()> {
     let mut head = format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
@@ -1240,6 +1501,9 @@ fn write_response(
     );
     if let Some(v) = x_cache {
         head.push_str(&format!("X-Cache: {v}\r\n"));
+    }
+    if let Some(t) = trace {
+        head.push_str(&format!("X-Trace-Id: {t}\r\n"));
     }
     head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;

@@ -9,7 +9,7 @@
 //! same deterministic [`JsonWriter`] as every response body.
 
 use crate::json::JsonWriter;
-use mpds_obs::{Gauge, Histogram, HistogramSnapshot};
+use mpds_obs::{BucketExemplars, ExemplarSnapshot, Gauge, Histogram, HistogramSnapshot};
 
 /// The served endpoints, as latency-metric label values.
 ///
@@ -33,13 +33,16 @@ pub enum Endpoint {
     Update,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /debug/*` introspection (requests, slow, trace lookup) — one
+    /// bounded-cardinality label for the whole family.
+    Debug,
     /// Anything that matched no route.
     Other,
 }
 
 impl Endpoint {
     /// Number of endpoint labels (the length of [`Endpoint::ALL`]).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every endpoint label.
     pub const ALL: [Endpoint; Endpoint::COUNT] = [
@@ -51,11 +54,15 @@ impl Endpoint {
         Endpoint::Diff,
         Endpoint::Update,
         Endpoint::Metrics,
+        Endpoint::Debug,
         Endpoint::Other,
     ];
 
     /// Maps a request path (no query string) to its endpoint label.
     pub fn classify(path: &str) -> Endpoint {
+        if path == "/debug" || path.starts_with("/debug/") {
+            return Endpoint::Debug;
+        }
         match path {
             "/" | "/healthz" => Endpoint::Healthz,
             "/datasets" => Endpoint::Datasets,
@@ -80,8 +87,16 @@ impl Endpoint {
             Endpoint::Diff => "diff",
             Endpoint::Update => "update",
             Endpoint::Metrics => "metrics",
+            Endpoint::Debug => "debug",
             Endpoint::Other => "other",
         }
+    }
+
+    /// Whether this endpoint is the server observing itself (`/metrics`
+    /// scrapes, `/debug/*` introspection) — excluded from the slow-query
+    /// ring so self-traffic cannot crowd out real slow queries.
+    pub fn is_self_observation(self) -> bool {
+        matches!(self, Endpoint::Metrics | Endpoint::Debug)
     }
 
     fn index(self) -> usize {
@@ -94,7 +109,8 @@ impl Endpoint {
             Endpoint::Diff => 5,
             Endpoint::Update => 6,
             Endpoint::Metrics => 7,
-            Endpoint::Other => 8,
+            Endpoint::Debug => 8,
+            Endpoint::Other => 9,
         }
     }
 }
@@ -217,6 +233,7 @@ impl StatusClass {
 #[derive(Debug)]
 pub struct HttpObs {
     bank: Vec<Histogram>,
+    exemplars: Vec<BucketExemplars>,
     /// Requests currently being read, routed, or written.
     pub inflight: Gauge,
 }
@@ -233,6 +250,7 @@ impl HttpObs {
         let cells = Endpoint::COUNT * SourceLabel::COUNT * StatusClass::COUNT;
         HttpObs {
             bank: (0..cells).map(|_| Histogram::new()).collect(),
+            exemplars: (0..cells).map(|_| BucketExemplars::new()).collect(),
             inflight: Gauge::new(),
         }
     }
@@ -244,8 +262,35 @@ impl HttpObs {
 
     /// Records one request's wall time (microseconds) into its series.
     pub fn record(&self, endpoint: Endpoint, source: SourceLabel, status: u16, wall_us: u64) {
+        self.record_traced(endpoint, source, status, wall_us, 0);
+    }
+
+    /// Records one request's wall time and remembers its trace id as the
+    /// latency bucket's exemplar. A zero `trace_id` records the sample
+    /// without touching the exemplar slot.
+    pub fn record_traced(
+        &self,
+        endpoint: Endpoint,
+        source: SourceLabel,
+        status: u16,
+        wall_us: u64,
+        trace_id: u64,
+    ) {
         let class = StatusClass::from_status(status);
-        self.bank[Self::cell(endpoint, source, class)].record(wall_us);
+        let cell = Self::cell(endpoint, source, class);
+        self.bank[cell].record(wall_us);
+        self.exemplars[cell].observe(wall_us, trace_id);
+    }
+
+    /// The per-bucket exemplar snapshot for one series, for the `/metrics`
+    /// Prometheus renderer to pair with the matching histogram snapshot.
+    pub fn exemplars(
+        &self,
+        endpoint: Endpoint,
+        source: SourceLabel,
+        class: StatusClass,
+    ) -> ExemplarSnapshot {
+        self.exemplars[Self::cell(endpoint, source, class)].snapshot()
     }
 
     /// The histogram backing one `(endpoint, source, class)` series.
@@ -261,7 +306,7 @@ impl HttpObs {
     /// Snapshots every series that has recorded at least one request —
     /// the `/metrics` Prometheus renderer emits only these, keeping the
     /// exposition proportional to observed traffic rather than the full
-    /// 144-cell bank.
+    /// 160-cell bank.
     pub fn series(&self) -> Vec<(Endpoint, SourceLabel, StatusClass, HistogramSnapshot)> {
         let mut out = Vec::new();
         for e in Endpoint::ALL {
@@ -284,6 +329,9 @@ impl HttpObs {
 pub struct AccessRecord<'a> {
     /// Monotonic per-process request id.
     pub id: u64,
+    /// The request's flight-recorder trace id (16 lowercase hex digits),
+    /// when tracing minted one.
+    pub trace_id: Option<&'a str>,
     /// Endpoint label (see [`Endpoint::as_str`]).
     pub endpoint: &'a str,
     /// Request method (`GET`/`POST`), when the request line parsed.
@@ -324,9 +372,11 @@ pub struct AccessRecord<'a> {
 /// ```
 pub fn render_access_record(r: &AccessRecord) -> String {
     let mut w = JsonWriter::new();
-    w.begin_object()
-        .field_uint("id", r.id)
-        .field_str("endpoint", r.endpoint);
+    w.begin_object().field_uint("id", r.id);
+    if let Some(t) = r.trace_id {
+        w.field_str("trace_id", t);
+    }
+    w.field_str("endpoint", r.endpoint);
     if let Some(m) = r.method {
         w.field_str("method", m);
     }
@@ -365,7 +415,18 @@ mod tests {
         assert_eq!(Endpoint::classify("/diff"), Endpoint::Diff);
         assert_eq!(Endpoint::classify("/update"), Endpoint::Update);
         assert_eq!(Endpoint::classify("/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::classify("/debug"), Endpoint::Debug);
+        assert_eq!(Endpoint::classify("/debug/requests"), Endpoint::Debug);
+        assert_eq!(Endpoint::classify("/debug/slow"), Endpoint::Debug);
+        assert_eq!(
+            Endpoint::classify("/debug/trace/00000000000000ab"),
+            Endpoint::Debug
+        );
+        assert_eq!(Endpoint::classify("/debuggery"), Endpoint::Other);
         assert_eq!(Endpoint::classify("/nope"), Endpoint::Other);
+        assert!(Endpoint::Debug.is_self_observation());
+        assert!(Endpoint::Metrics.is_self_observation());
+        assert!(!Endpoint::Query.is_self_observation());
     }
 
     #[test]
@@ -443,9 +504,24 @@ mod tests {
     }
 
     #[test]
+    fn traced_records_leave_exemplars_in_the_right_cell() {
+        let obs = HttpObs::new();
+        obs.record_traced(Endpoint::Query, SourceLabel::Miss, 200, 300, 0xbeef);
+        let ex = obs.exemplars(Endpoint::Query, SourceLabel::Miss, StatusClass::Success);
+        let (trace, value) = ex.get(mpds_obs::bucket_index(300)).unwrap();
+        assert_eq!((trace, value), (0xbeef, 300));
+        // Zero trace ids record the sample but never claim an exemplar slot.
+        obs.record(Endpoint::Query, SourceLabel::Hit, 200, 300);
+        assert!(obs
+            .exemplars(Endpoint::Query, SourceLabel::Hit, StatusClass::Success)
+            .is_empty());
+    }
+
+    #[test]
     fn access_record_with_all_fields_pins_its_layout() {
         let line = render_access_record(&AccessRecord {
             id: 42,
+            trace_id: Some("00000000000000ab"),
             endpoint: "query",
             method: Some("GET"),
             status: 200,
@@ -459,7 +535,8 @@ mod tests {
         assert_eq!(
             line,
             concat!(
-                r#"{"id":42,"endpoint":"query","method":"GET","status":200,"#,
+                r#"{"id":42,"trace_id":"00000000000000ab","endpoint":"query","#,
+                r#""method":"GET","status":200,"#,
                 r#""source":"MISS","dataset":"karate","generation":3,"#,
                 r#""stop_reason":"fixed_theta","worlds_sampled":320,"wall_us":12345}"#
             )

@@ -376,7 +376,19 @@ impl GraphRegistry {
     pub fn apply_update(
         &self,
         name: &str,
+        mutations: impl std::io::Read,
+    ) -> Result<UpdateOutcome, String> {
+        self.apply_update_traced(name, mutations, None)
+    }
+
+    /// [`GraphRegistry::apply_update`] with an optional flight recorder:
+    /// store-side work (WAL append, fsync, compaction checkpoints) is timed
+    /// into `rec`'s stage totals when one is supplied.
+    pub fn apply_update_traced(
+        &self,
+        name: &str,
         mut mutations: impl std::io::Read,
+        rec: Option<&mpds_obs::Recorder>,
     ) -> Result<UpdateOutcome, String> {
         let live = self.live(name)?;
         // Buffer the batch body up front: the WAL logs the exact bytes that
@@ -410,7 +422,7 @@ impl GraphRegistry {
         // the WAL reproduces exactly the acked prefix.
         if applied.generation > generation_before {
             if let Some(ds) = store.as_mut() {
-                if let Err(e) = ds.log_batch(applied.generation, &payload) {
+                if let Err(e) = ds.log_batch_traced(applied.generation, &payload, rec) {
                     let msg = format!("WAL append failed: {e}");
                     *poisoned = Some(msg.clone());
                     return Err(format!("dataset {name:?}: {msg}"));
@@ -451,7 +463,9 @@ impl GraphRegistry {
         // updates, not this (already acked-able) one.
         if compacted {
             if let Some(ds) = store.as_mut() {
-                if let Err(e) = ds.checkpoint(snapshot.graph(), labels, snapshot.generation()) {
+                if let Err(e) =
+                    ds.checkpoint_traced(snapshot.graph(), labels, snapshot.generation(), rec)
+                {
                     *poisoned = Some(format!("checkpoint failed: {e}"));
                 }
             }
@@ -470,6 +484,16 @@ impl GraphRegistry {
     ///
     /// Errors if the registry has no data dir attached.
     pub fn checkpoint_dataset(&self, name: &str) -> Result<CheckpointOutcome, String> {
+        self.checkpoint_dataset_traced(name, None)
+    }
+
+    /// [`GraphRegistry::checkpoint_dataset`] with an optional flight
+    /// recorder timing the checkpoint write and its fsyncs.
+    pub fn checkpoint_dataset_traced(
+        &self,
+        name: &str,
+        rec: Option<&mpds_obs::Recorder>,
+    ) -> Result<CheckpointOutcome, String> {
         if self.store.is_none() {
             return Err(format!(
                 "dataset {name:?}: persistence is not enabled (serve with --data-dir)"
@@ -495,7 +519,7 @@ impl GraphRegistry {
         };
         delta.compact();
         let snapshot = delta.snapshot();
-        ds.checkpoint(snapshot.graph(), labels, snapshot.generation())
+        ds.checkpoint_traced(snapshot.graph(), labels, snapshot.generation(), rec)
             .map_err(|e| format!("dataset {name:?}: checkpoint failed: {e}"))?;
         let outcome = CheckpointOutcome {
             generation: snapshot.generation(),

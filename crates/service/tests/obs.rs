@@ -281,6 +281,336 @@ fn access_log_records_each_request_as_jsonl() {
     let _ = std::fs::remove_file(&log_path);
 }
 
+/// The store-side stages an `/update` against a durable dataset must record.
+const STORE_STAGES: [&str; 2] = ["wal_append", "wal_fsync"];
+
+#[test]
+fn every_response_carries_a_trace_id_that_resolves_via_debug_trace() {
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+
+    // A computed query (stable stop, so every engine-side stage fires —
+    // the trace record omits zero-count stages): the header trace id
+    // resolves to a completed record with the full per-stage breakdown.
+    let q = get(
+        &server,
+        "/query?dataset=karate&theta=200&k=3&seed=31&stop=stable&window=8",
+    );
+    assert_eq!(q.status, 200);
+    let trace = q.trace_id.clone().expect("X-Trace-Id on /query");
+    assert_eq!(trace.len(), 16, "{trace}");
+    assert!(
+        trace
+            .bytes()
+            .all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')),
+        "{trace}"
+    );
+
+    let t = get(&server, &format!("/debug/trace/{trace}"));
+    assert_eq!(t.status, 200, "{}", String::from_utf8_lossy(&t.body));
+    let body = String::from_utf8(t.body).unwrap();
+    assert!(
+        body.contains(&format!("\"trace_id\":\"{trace}\"")),
+        "{body}"
+    );
+    assert!(body.contains("\"state\":\"completed\""), "{body}");
+    assert!(body.contains("\"endpoint\":\"query\""), "{body}");
+    assert!(body.contains("\"status\":200"), "{body}");
+    assert!(body.contains("\"wall_us\":"), "{body}");
+    for stage in STAGES {
+        assert!(
+            body.contains(&format!("\"{stage}\":{{\"count\":")),
+            "missing stage {stage}: {body}"
+        );
+    }
+    mpds_service::json::JsonValue::parse(&body).expect("trace body parses");
+
+    // Error responses are traced too.
+    let nf = get(&server, "/nope");
+    assert_eq!(nf.status, 404);
+    assert!(nf.trace_id.is_some());
+
+    // Trace id 0 is never minted, so it is deterministically unknown; a
+    // malformed id is a 400. Both failures still mint their own trace ids.
+    let missing = get(&server, "/debug/trace/0000000000000000");
+    assert_eq!(missing.status, 404);
+    assert!(missing.trace_id.is_some());
+    let bad = get(&server, "/debug/trace/not-a-trace-id");
+    assert_eq!(bad.status, 400);
+    assert!(bad.trace_id.is_some());
+}
+
+#[test]
+fn profile_stages_agree_with_debug_trace() {
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let e = get(
+        &server,
+        "/query?dataset=karate&theta=200&k=3&seed=37&stop=stable&window=8&profile=1",
+    );
+    assert_eq!(e.status, 200);
+    let trace = e.trace_id.clone().expect("X-Trace-Id on profiled query");
+    let profiled = String::from_utf8(e.body).unwrap();
+
+    let t = get(&server, &format!("/debug/trace/{trace}"));
+    assert_eq!(t.status, 200, "{}", String::from_utf8_lossy(&t.body));
+    let trace_body = String::from_utf8(t.body).unwrap();
+
+    // Both views of the same request expose the same engine-side stages —
+    // the ?profile=1 splice and the flight record come from one recorder.
+    for stage in STAGES {
+        let key = format!("\"{stage}\":{{\"count\":");
+        assert!(
+            profiled.contains(&key),
+            "profile missing {stage}: {profiled}"
+        );
+        assert!(
+            trace_body.contains(&key),
+            "trace missing {stage}: {trace_body}"
+        );
+    }
+}
+
+#[test]
+fn zero_threshold_promotes_queries_but_never_debug_self_traffic() {
+    let server = start_server(
+        &EngineConfig::default(),
+        &ServerConfig {
+            slow_ms: Some(0),
+            ..ServerConfig::default()
+        },
+    );
+
+    // /debug/requests registers before it routes, so the snapshot it
+    // renders always contains its own in-flight trace.
+    let dr = get(&server, "/debug/requests");
+    assert_eq!(dr.status, 200);
+    let own = dr.trace_id.clone().expect("X-Trace-Id on /debug/requests");
+    let dr_body = String::from_utf8(dr.body).unwrap();
+    assert!(
+        dr_body.contains(&format!("\"trace_id\":\"{own}\"")),
+        "{dr_body}"
+    );
+    assert!(dr_body.contains("\"state\":\"in_flight\""), "{dr_body}");
+
+    // One query under the zero threshold: promoted into the slow ring.
+    let q = get(&server, "/query?dataset=karate&theta=32&k=3&seed=41");
+    assert_eq!(q.status, 200);
+    let q_trace = q.trace_id.clone().unwrap();
+
+    let slow = get(&server, "/debug/slow");
+    assert_eq!(slow.status, 200);
+    let slow_body = String::from_utf8(slow.body).unwrap();
+    assert!(
+        slow_body.contains(&format!("\"trace_id\":\"{q_trace}\"")),
+        "{slow_body}"
+    );
+    assert!(slow_body.contains("\"slow\":true"), "{slow_body}");
+    // Self-observation traffic (/debug/*, /metrics) is never promoted, even
+    // at a zero threshold.
+    assert!(!slow_body.contains(&own), "{slow_body}");
+
+    // The promotion counter is visible in both /metrics flavors.
+    let legacy = String::from_utf8(get(&server, "/metrics").body).unwrap();
+    assert!(
+        scrape::json_uint(&legacy, "slow_queries").is_some_and(|v| v >= 1),
+        "{legacy}"
+    );
+    let prom = http_get_accept(
+        server.local_addr(),
+        "/metrics",
+        "text/plain",
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    let text = String::from_utf8(prom.body).unwrap();
+    assert!(
+        scrape::prom_value(&text, "mpds_slow_queries_total", &[]).is_some_and(|v| v >= 1.0),
+        "{text}"
+    );
+}
+
+#[test]
+fn update_traces_record_wal_and_fsync_stages() {
+    let dir = std::env::temp_dir().join(format!(
+        "mpds-obs-trace-store-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut registry = GraphRegistry::with_builtins();
+    registry.set_store(
+        mpds_store::Store::create(&dir, mpds_store::SyncPolicy::Commit).expect("create store"),
+    );
+    let engine = Arc::new(QueryEngine::new(registry, &EngineConfig::default()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        engine,
+        &ServerConfig {
+            mutable: true,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+
+    let e = mpds_service::harness::http_post(
+        server.local_addr(),
+        "/update?dataset=karate",
+        b"0 1 0.9\n",
+        Duration::from_secs(60),
+    )
+    .expect("http_post");
+    assert_eq!(e.status, 200, "{}", String::from_utf8_lossy(&e.body));
+    let trace = e.trace_id.clone().expect("X-Trace-Id on /update");
+
+    let t = get(&server, &format!("/debug/trace/{trace}"));
+    assert_eq!(t.status, 200, "{}", String::from_utf8_lossy(&t.body));
+    let body = String::from_utf8(t.body).unwrap();
+    assert!(body.contains("\"endpoint\":\"update\""), "{body}");
+    for stage in STORE_STAGES {
+        assert!(
+            body.contains(&format!("\"{stage}\":{{\"count\":")),
+            "missing store stage {stage}: {body}"
+        );
+    }
+
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn histogram_exemplars_carry_the_latest_trace_id() {
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let q = get(&server, "/query?dataset=karate&theta=32&k=3&seed=91");
+    assert_eq!(q.status, 200);
+    let trace = q.trace_id.clone().unwrap();
+
+    let prom = http_get_accept(
+        server.local_addr(),
+        "/metrics",
+        "text/plain",
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    let text = String::from_utf8(prom.body).unwrap();
+    let exemplars = scrape::prom_exemplars(
+        &text,
+        "mpds_http_request_duration_microseconds",
+        &[("endpoint", "query"), ("status", "2xx")],
+    );
+    assert_eq!(exemplars.len(), 1, "{text}");
+    assert_eq!(
+        exemplars[0].1.trace_id(),
+        mpds_obs::flight::parse_trace_id(&trace),
+        "{text}"
+    );
+}
+
+#[test]
+fn slo_families_expose_targets_and_burn_rates() {
+    // Default objectives: query latency p99 < 250 ms at 0.99, plus 0.999
+    // availability on /query and /update.
+    let server = start_server(&EngineConfig::default(), &ServerConfig::default());
+    let q = get(&server, "/query?dataset=karate&theta=16&k=3&seed=51");
+    assert_eq!(q.status, 200);
+
+    let prom = http_get_accept(
+        server.local_addr(),
+        "/metrics",
+        "text/plain",
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    let text = String::from_utf8(prom.body).unwrap();
+
+    assert_eq!(
+        scrape::prom_value(&text, "mpds_slo_target", &[("slo", "query-latency-250ms")]),
+        Some(0.99),
+        "{text}"
+    );
+    assert_eq!(
+        scrape::prom_value(&text, "mpds_slo_target", &[("slo", "query-availability")]),
+        Some(0.999),
+        "{text}"
+    );
+    // The one fast 200 scored good on both query objectives; /update saw no
+    // traffic at all.
+    for slo in ["query-latency-250ms", "query-availability"] {
+        assert_eq!(
+            scrape::prom_value(
+                &text,
+                "mpds_slo_requests_total",
+                &[("slo", slo), ("verdict", "good")]
+            ),
+            Some(1.0),
+            "{slo}: {text}"
+        );
+        assert_eq!(
+            scrape::prom_value(
+                &text,
+                "mpds_slo_requests_total",
+                &[("slo", slo), ("verdict", "bad")]
+            ),
+            Some(0.0),
+            "{slo}: {text}"
+        );
+    }
+    assert_eq!(
+        scrape::prom_value(
+            &text,
+            "mpds_slo_requests_total",
+            &[("slo", "update-availability"), ("verdict", "good")]
+        ),
+        Some(0.0),
+        "{text}"
+    );
+    // No bad requests anywhere: every burn rate reads exactly zero.
+    for window in ["5m", "1h"] {
+        assert_eq!(
+            scrape::prom_value(
+                &text,
+                "mpds_slo_burn_rate",
+                &[("slo", "query-availability"), ("window", window)]
+            ),
+            Some(0.0),
+            "{window}: {text}"
+        );
+    }
+}
+
+#[test]
+fn flight_harness_mini_run_resolves_an_exemplar() {
+    // A miniature of the CI flight-smoke run. The throughput-ratio gate is
+    // meaningless at this sample size, so only non-throughput violations
+    // count here.
+    let cfg = mpds_service::harness::FlightConfig {
+        clients: 2,
+        queries_per_client: 2,
+        server_threads: 2,
+        dataset: "karate".to_string(),
+        theta: 32,
+        k: 3,
+    };
+    let report = mpds_service::harness::run_flight(&cfg);
+    let hard: Vec<&String> = report
+        .violations
+        .iter()
+        .filter(|v| !v.contains("throughput"))
+        .collect();
+    assert!(hard.is_empty(), "violations: {hard:?}");
+    assert!(report.debug_requests_ok);
+    assert!(report.debug_slow_len >= 1);
+    assert!(report.exemplar_resolved, "{}", report.exemplar_trace);
+    assert_eq!(report.enabled.cold.errors + report.enabled.repeat.errors, 0);
+    assert_eq!(
+        report.disabled.cold.errors + report.disabled.repeat.errors,
+        0
+    );
+    let rendered = mpds_service::harness::render_flight_report(&report);
+    assert!(rendered.contains("\"schema\":\"mpds-service/flight_harness/v1\""));
+}
+
 #[test]
 fn obs_harness_runs_clean_with_server_side_percentiles() {
     // Miniature of the CI obs-smoke run: server-side histogram windows must

@@ -23,6 +23,7 @@
 //! checkpoint covers, the fallback checkpoint always has every record it
 //! needs to reach the head.
 
+use mpds_obs::{Recorder, Stage};
 use std::path::{Path, PathBuf};
 use ugraph::dynamic::DeltaGraph;
 use ugraph::io::{apply_edge_list_delta, read_graph_checkpoint, write_graph_checkpoint};
@@ -186,6 +187,17 @@ impl DatasetStore {
         self.wal.append(generation, payload)
     }
 
+    /// [`DatasetStore::log_batch`] with per-stage tracing (see
+    /// [`Wal::append_traced`]).
+    pub fn log_batch_traced(
+        &mut self,
+        generation: u64,
+        payload: &[u8],
+        rec: Option<&Recorder>,
+    ) -> std::io::Result<()> {
+        self.wal.append_traced(generation, payload, rec)
+    }
+
     /// Writes a checkpoint of the materialized graph at `generation`,
     /// atomically (temp file + rename), then rotates: the newest
     /// [`CHECKPOINTS_KEPT`] files stay, older ones are deleted, and the WAL
@@ -196,7 +208,24 @@ impl DatasetStore {
         labels: &[u32],
         generation: u64,
     ) -> std::io::Result<()> {
-        self.wal.sync()?;
+        self.checkpoint_traced(graph, labels, generation, None)
+    }
+
+    /// [`DatasetStore::checkpoint`] with per-stage tracing: the whole
+    /// snapshot-write + rotation is timed as [`Stage::StoreCheckpoint`] and
+    /// the leading forced WAL flush as [`Stage::WalFsync`].
+    pub fn checkpoint_traced(
+        &mut self,
+        graph: &UncertainGraph,
+        labels: &[u32],
+        generation: u64,
+        rec: Option<&Recorder>,
+    ) -> std::io::Result<()> {
+        let _span = rec.map(|r| r.span(Stage::StoreCheckpoint));
+        {
+            let _sync_span = rec.map(|r| r.span(Stage::WalFsync));
+            self.wal.sync()?;
+        }
         let final_path = self.dir.join(format!("checkpoint-{generation:020}.ckpt"));
         let tmp_path = self.dir.join("checkpoint.tmp");
         {
@@ -388,6 +417,30 @@ mod tests {
         assert_eq!(recovered.generation(), 2);
         assert_eq!(recovered.edge_prob(1, 2), None);
         assert_eq!(recovered.edge_prob(0, 2), Some(0.7));
+        std::fs::remove_dir_all(&data_dir).unwrap();
+    }
+
+    #[test]
+    fn traced_checkpoint_times_store_stages() {
+        let data_dir = tmp_dir("traced-ckpt");
+        let (mut delta, mut labels) = seed_graph();
+        let open = DatasetStore::open(&data_dir, "demo", SyncPolicy::Commit).unwrap();
+        let mut store = open.store;
+        let rec = Recorder::new(true);
+        let done =
+            apply_edge_list_delta(&mut delta, &mut labels, b"10 20 0.9\n".as_slice()).unwrap();
+        store
+            .log_batch_traced(done.generation, b"10 20 0.9\n", Some(&rec))
+            .unwrap();
+        let snap = delta.snapshot();
+        store
+            .checkpoint_traced(snap.graph(), &labels, delta.generation(), Some(&rec))
+            .unwrap();
+        let t = rec.totals();
+        assert_eq!(t.count(Stage::WalAppend), 1);
+        assert_eq!(t.count(Stage::StoreCheckpoint), 1);
+        // Commit-policy append fsync plus the checkpoint's forced flush.
+        assert_eq!(t.count(Stage::WalFsync), 2);
         std::fs::remove_dir_all(&data_dir).unwrap();
     }
 

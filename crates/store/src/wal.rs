@@ -20,6 +20,7 @@
 //! the last valid record boundary; everything before that point is the
 //! longest valid prefix and is returned for replay.
 
+use mpds_obs::{Recorder, Stage};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -190,15 +191,33 @@ impl Wal {
     /// most one per second. Only after this returns may the caller ack the
     /// batch to a client.
     pub fn append(&mut self, generation: u64, payload: &[u8]) -> std::io::Result<()> {
+        self.append_traced(generation, payload, None)
+    }
+
+    /// [`Wal::append`] with per-stage tracing: the frame write is timed as
+    /// [`Stage::WalAppend`] and any fsync the policy takes as
+    /// [`Stage::WalFsync`], so a traced `/update` shows where its durable
+    /// half spent its time.
+    pub fn append_traced(
+        &mut self,
+        generation: u64,
+        payload: &[u8],
+        rec: Option<&Recorder>,
+    ) -> std::io::Result<()> {
         let frame = encode_record(generation, payload);
-        self.file.write_all(&frame)?;
+        {
+            let _span = rec.map(|r| r.span(Stage::WalAppend));
+            self.file.write_all(&frame)?;
+        }
         match self.sync {
             SyncPolicy::Commit => {
+                let _span = rec.map(|r| r.span(Stage::WalFsync));
                 self.file.sync_data()?;
                 self.last_sync = Instant::now();
             }
             SyncPolicy::Interval => {
                 if self.last_sync.elapsed() >= INTERVAL_SYNC {
+                    let _span = rec.map(|r| r.span(Stage::WalFsync));
                     self.file.sync_data()?;
                     self.last_sync = Instant::now();
                 }
@@ -344,6 +363,22 @@ mod tests {
         assert_eq!(open.records.len(), 1);
         assert_eq!(open.records[0].generation, 1);
         assert_eq!(std::fs::metadata(&path).unwrap().len(), first_len);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn traced_append_times_write_and_fsync_stages() {
+        let dir = tmp_dir("traced");
+        let path = dir.join("wal.log");
+        let mut open = Wal::open(&path, SyncPolicy::Commit).unwrap();
+        let rec = Recorder::new(true);
+        open.wal.append_traced(1, b"1 2 0.5\n", Some(&rec)).unwrap();
+        let t = rec.totals();
+        assert_eq!(t.count(Stage::WalAppend), 1);
+        assert_eq!(t.count(Stage::WalFsync), 1); // commit policy syncs every append
+                                                 // The untraced path still works and records nothing new.
+        open.wal.append(2, b"2 3 0.5\n").unwrap();
+        assert_eq!(rec.totals().count(Stage::WalAppend), 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
